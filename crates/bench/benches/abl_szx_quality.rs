@@ -1,0 +1,89 @@
+//! ABL5 — the Sec. III-B.1 pipeline survey, measured: SZx-class
+//! (prediction-free, constant-block) vs ompSZp vs fZ-light. Reproduces the
+//! claims that (a) the SZx design point is the fastest, (b) its
+//! constant-block reconstruction quality trails at comparable ratios, and
+//! (c) fZ-light keeps cuSZp-class quality at SZx-class speed — the reason
+//! the paper built it.
+
+use datasets::{App, Quality};
+use fzlight::{Config, ErrorBound};
+use hzccl_bench::{banner, field_elems, gbps, mt_threads, time_best, Table};
+
+fn main() {
+    banner("ABL5", "ablation — SZx-class vs ompSZp vs fZ-light (speed & quality)");
+    let n = field_elems();
+    let bytes = n * 4;
+    let threads = mt_threads();
+    for app in [App::SimSet2, App::Hurricane] {
+        println!("--- {} (REL 1e-3) ---", app.name());
+        let data = app.generate(n, 0);
+        let cfg = Config::new(ErrorBound::Rel(1e-3)).with_threads(threads);
+        let table = Table::new(&[
+            ("Compressor", 10),
+            ("Ratio", 8),
+            ("NRMSE", 10),
+            ("PSNR", 8),
+            ("Comp GB/s", 10),
+            ("Dec GB/s", 10),
+        ]);
+
+        // szxlite
+        let s = szxlite::compress(&data, &cfg).expect("szx");
+        let t_c = time_best(3, || {
+            std::hint::black_box(szxlite::compress(&data, &cfg).expect("szx"));
+        });
+        let mut out = vec![0f32; n];
+        let t_d = time_best(3, || {
+            szxlite::decompress_into(&s, &mut out).expect("szx d");
+        });
+        let q = Quality::compare(&data, &out);
+        table.row(&[
+            "szxlite".into(),
+            format!("{:.2}", s.ratio()),
+            format!("{:.2e}", q.nrmse),
+            format!("{:.2}", q.psnr),
+            format!("{:.2}", gbps(bytes, t_c)),
+            format!("{:.2}", gbps(bytes, t_d)),
+        ]);
+
+        // ompszp
+        let s = ompszp::compress(&data, &cfg).expect("oszp");
+        let t_c = time_best(3, || {
+            std::hint::black_box(ompszp::compress(&data, &cfg).expect("oszp"));
+        });
+        let t_d = time_best(3, || {
+            ompszp::decompress_into(&s, &mut out).expect("oszp d");
+        });
+        let q = Quality::compare(&data, &out);
+        table.row(&[
+            "ompSZp".into(),
+            format!("{:.2}", s.ratio()),
+            format!("{:.2e}", q.nrmse),
+            format!("{:.2}", q.psnr),
+            format!("{:.2}", gbps(bytes, t_c)),
+            format!("{:.2}", gbps(bytes, t_d)),
+        ]);
+
+        // fzlight
+        let s = fzlight::compress(&data, &cfg).expect("fz");
+        let t_c = time_best(3, || {
+            std::hint::black_box(fzlight::compress(&data, &cfg).expect("fz"));
+        });
+        let t_d = time_best(3, || {
+            fzlight::decompress_into(&s, &mut out).expect("fz d");
+        });
+        let q = Quality::compare(&data, &out);
+        table.row(&[
+            "fZ-light".into(),
+            format!("{:.2}", s.ratio()),
+            format!("{:.2e}", q.nrmse),
+            format!("{:.2}", q.psnr),
+            format!("{:.2}", gbps(bytes, t_c)),
+            format!("{:.2}", gbps(bytes, t_d)),
+        ]);
+        println!();
+    }
+    println!("Expected shape (Sec. III-B.1): fZ-light matches or beats the");
+    println!("SZx-class ratio AND quality while staying in its speed class;");
+    println!("ompSZp (GPU-style parallelism on CPU) trails both on speed.");
+}

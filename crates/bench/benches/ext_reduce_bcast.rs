@@ -1,0 +1,74 @@
+//! EXT1 — extension beyond the paper's figures: `Reduce`-to-root and
+//! long-message `Bcast` in all three flavours (the paper's framework claims
+//! all collective computation operations; these are the next two most used).
+
+use datasets::App;
+use hzccl::{ccoll, hz, mpi, paper_model, CollectiveConfig, Mode, Variant};
+use hzccl_bench::{banner, env_usize, scaled_rank_fields, Table};
+use netsim::{Cluster, ComputeTiming};
+
+fn main() {
+    banner("EXT1", "extension — Reduce-to-root and Bcast across flavours");
+    let nranks = env_usize("HZ_RANKS", 16);
+    let n = env_usize("HZ_NODE_MSG_MB", 4) * (1 << 20) / 4;
+    let eb = 1e-4;
+    let base = App::SimSet1.generate(n, 0);
+    let fields = scaled_rank_fields(&base, nranks);
+    let mode = Mode::MultiThread(18);
+    let cfg = CollectiveConfig::new(eb, mode);
+
+    let timing = |v: Variant| ComputeTiming::Modeled(paper_model(v, mode));
+    let run = |which: usize, op: usize| -> f64 {
+        let variant = [Variant::Mpi, Variant::CColl, Variant::Hzccl][which];
+        let cluster = Cluster::new(nranks).with_timing(timing(variant));
+        let (_, stats) = cluster.run_stats(|comm| {
+            let data = &fields[comm.rank()];
+            match (op, which) {
+                (0, 0) => {
+                    mpi::reduce(comm, data, 0, 1);
+                }
+                (0, 1) => {
+                    ccoll::reduce(comm, data, 0, &cfg).expect("ccoll reduce");
+                }
+                (0, _) => {
+                    hz::reduce(comm, data, 0, &cfg).expect("hz reduce");
+                }
+                (_, 0) => {
+                    mpi::bcast(comm, if comm.rank() == 0 { data } else { &[] }, 0, n);
+                }
+                (_, 1) => {
+                    ccoll::bcast(comm, if comm.rank() == 0 { data } else { &[] }, 0, n, &cfg)
+                        .expect("ccoll bcast");
+                }
+                (_, _) => {
+                    hz::bcast(comm, if comm.rank() == 0 { data } else { &[] }, 0, n, &cfg)
+                        .expect("hz bcast");
+                }
+            }
+        });
+        stats.makespan
+    };
+
+    for (op, name) in [(0usize, "Reduce(sum) to root"), (1, "Bcast")] {
+        println!("--- {name} ({nranks} ranks, {} MB/rank) ---", (n * 4) >> 20);
+        let table = Table::new(&[
+            ("Flavour", 10),
+            ("time (ms)", 10),
+            ("speedup vs MPI", 14),
+        ]);
+        let t_mpi = run(0, op);
+        table.row(&["MPI".into(), format!("{:.2}", t_mpi * 1e3), "1.00x".into()]);
+        for (which, label) in [(1usize, "C-Coll"), (2, "hZCCL")] {
+            let t = run(which, op);
+            table.row(&[
+                label.into(),
+                format!("{:.2}", t * 1e3),
+                format!("{:.2}x", t_mpi / t),
+            ]);
+        }
+        println!();
+    }
+    println!("Expected shape: hZCCL >= C-Coll > MPI for Reduce (homomorphic rounds");
+    println!("+ no gather recompression); for Bcast both compressed flavours");
+    println!("collapse to 'compress once, ship compressed' and tie near ratio x.");
+}

@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks of the hot kernels: block codec, compressor
+//! end-to-end, homomorphic sum vs DOC reduce, and the ompSZp baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datasets::App;
+use fzlight::{codec, Config, ErrorBound};
+use hzdyn::ReduceOp;
+use std::hint::black_box;
+
+const FIELD: usize = 1 << 20; // 4 MiB of f32 — fast enough for criterion
+
+fn bench_codec(c: &mut Criterion) {
+    let deltas: Vec<i64> = (0..32).map(|i| (i * 37 - 500) as i64).collect();
+    let mut encoded = Vec::new();
+    codec::encode_deltas(&deltas, &mut encoded).unwrap();
+
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(32 * 8));
+    g.bench_function("encode_block_32", |b| {
+        let mut out = Vec::with_capacity(64);
+        b.iter(|| {
+            out.clear();
+            codec::encode_deltas(black_box(&deltas), &mut out).unwrap();
+            black_box(&out);
+        })
+    });
+    g.bench_function("decode_block_32", |b| {
+        let mut out = [0i64; 32];
+        b.iter(|| {
+            codec::decode_block(black_box(&encoded), &mut out).unwrap();
+            black_box(&out);
+        })
+    });
+    g.finish();
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let data = App::Hurricane.generate(FIELD, 0);
+    let cfg = Config::new(ErrorBound::Abs(1e-4));
+    let stream = fzlight::compress(&data, &cfg).unwrap();
+    let ostream = ompszp::compress(&data, &cfg).unwrap();
+    let mut out = vec![0f32; FIELD];
+
+    let mut g = c.benchmark_group("compressor");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes((FIELD * 4) as u64));
+    g.bench_function("fzlight_compress", |b| {
+        b.iter(|| black_box(fzlight::compress(black_box(&data), &cfg).unwrap()))
+    });
+    g.bench_function("fzlight_decompress", |b| {
+        b.iter(|| fzlight::decompress_into(black_box(&stream), &mut out).unwrap())
+    });
+    g.bench_function("fzlight_compress_unfused", |b| {
+        b.iter(|| black_box(fzlight::compress_unfused(black_box(&data), &cfg).unwrap()))
+    });
+    g.bench_function("ompszp_compress", |b| {
+        b.iter(|| black_box(ompszp::compress(black_box(&data), &cfg).unwrap()))
+    });
+    g.bench_function("ompszp_decompress", |b| {
+        b.iter(|| ompszp::decompress_into(black_box(&ostream), &mut out).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_homomorphic(c: &mut Criterion) {
+    let a = App::Hurricane.generate(FIELD, 0);
+    let b_ = App::Hurricane.generate(FIELD, 1);
+    let cfg = Config::new(ErrorBound::Abs(1e-4));
+    let ca = fzlight::compress(&a, &cfg).unwrap();
+    let cb = fzlight::compress(&b_, &cfg).unwrap();
+
+    let mut g = c.benchmark_group("homomorphic");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes((2 * FIELD * 4) as u64));
+    g.bench_function("hz_dynamic_sum", |b| {
+        b.iter(|| black_box(hzdyn::homomorphic_sum(black_box(&ca), black_box(&cb)).unwrap()))
+    });
+    g.bench_function("hz_static_sum", |b| {
+        b.iter(|| {
+            black_box(hzdyn::homomorphic_sum_static(black_box(&ca), black_box(&cb)).unwrap())
+        })
+    });
+    g.bench_function("doc_reduce", |b| {
+        b.iter(|| {
+            black_box(hzdyn::doc_reduce(black_box(&ca), black_box(&cb), ReduceOp::Sum).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_compressors, bench_homomorphic);
+criterion_main!(benches);

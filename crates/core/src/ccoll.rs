@@ -1,0 +1,339 @@
+//! The C-Coll baseline [13]: compression-accelerated collectives with the
+//! traditional **decompression-operation-compression (DOC)** workflow.
+//!
+//! Per Reduce_scatter round every rank compresses the chunk it forwards
+//! (CPR), decompresses the chunk it receives (DPR), and reduces on raw
+//! values (CPT) — the `(N-1)(CPR + DPR + CPT)` cost of Sec. III-C.1. The
+//! Allgather stage compresses once and decompresses every received chunk.
+//!
+//! C-Coll uses its own conventional compressor, which this reproduction maps
+//! to [`ompszp`] (the cuSZp-strategy CPU baseline): slower than `fZ-light`,
+//! especially in multi-thread mode, exactly as the published C-Coll's
+//! SZx-class compressor trails `hZCCL`'s co-designed stack. This keeps the
+//! framework comparison faithful to what the paper measured.
+
+use crate::chunks::node_chunks;
+use crate::config::CollectiveConfig;
+use crate::ring::ring_forward;
+use fzlight::Result;
+use hzdyn::{doc::reduce_in_place, ReduceOp};
+use netsim::{Comm, OpKind};
+use ompszp::OszpStream;
+
+use crate::mpi::TAG_RS;
+
+fn oszp_config(cfg: &CollectiveConfig) -> ompszp::Config {
+    ompszp::Config::new(ompszp::ErrorBound::Abs(cfg.eb))
+        .with_block_len(cfg.block_len)
+        .with_threads(cfg.mode.threads())
+}
+
+/// C-Coll ring `Reduce_scatter(sum)`: returns the reduced node-chunk `rank`.
+pub fn reduce_scatter(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+) -> Result<Vec<f32>> {
+    let n = comm.size();
+    let r = comm.rank();
+    let chunks = node_chunks(data.len(), n);
+    if n == 1 {
+        return Ok(data.to_vec());
+    }
+    let right = (r + 1) % n;
+    let left = (r + n - 1) % n;
+    let threads = cfg.mode.threads();
+    let ocfg = oszp_config(cfg);
+
+    let mut acc: Vec<f32> = data[chunks[(r + n - 1) % n].clone()].to_vec();
+    for s in 0..n - 1 {
+        // CPR: compress the chunk we are about to forward
+        let stream =
+            comm.compute(OpKind::Cpr, acc.len() * 4, || ompszp::compress(&acc, &ocfg))?;
+        let got =
+            comm.sendrecv(right, TAG_RS + s as u64, stream.as_bytes().to_vec(), left);
+        let received = OszpStream::from_bytes(got)?;
+        // DPR: fully decompress before any arithmetic (the DOC bottleneck)
+        let mut tmp =
+            comm.compute(OpKind::Dpr, received.n() * 4, || ompszp::decompress(&received))?;
+        let local_idx = (r + 2 * n - s - 2) % n;
+        let local = &data[chunks[local_idx].clone()];
+        // CPT: reduce on raw values
+        comm.compute(OpKind::Cpt, tmp.len() * 4, || {
+            reduce_in_place(&mut tmp, local, ReduceOp::Sum, threads)
+        });
+        acc = tmp;
+    }
+    Ok(acc)
+}
+
+/// C-Coll ring `Allgather`: compress the owned chunk once, forward
+/// compressed chunks around the ring, decompress everything at the end
+/// (`CPR + (N-1)·DPR`, Sec. III-C.2).
+pub fn allgather(
+    comm: &mut Comm,
+    own: &[f32],
+    total_len: usize,
+    cfg: &CollectiveConfig,
+) -> Result<Vec<f32>> {
+    let n = comm.size();
+    let r = comm.rank();
+    let chunks = node_chunks(total_len, n);
+    assert_eq!(own.len(), chunks[r].len(), "own chunk has the wrong length");
+    let ocfg = oszp_config(cfg);
+    let mut out = vec![0f32; total_len];
+    out[chunks[r].clone()].copy_from_slice(own);
+    if n == 1 {
+        return Ok(out);
+    }
+
+    // CPR (once): compress our own chunk
+    let own_stream =
+        comm.compute(OpKind::Cpr, own.len() * 4, || ompszp::compress(own, &ocfg))?;
+    let slots = ring_forward(comm, own_stream.as_bytes().to_vec());
+    for (idx, payload) in slots.into_iter().enumerate() {
+        if idx == r {
+            continue;
+        }
+        let stream = OszpStream::from_bytes(payload)?;
+        let dst = &mut out[chunks[idx].clone()];
+        comm.compute(OpKind::Dpr, dst.len() * 4, || ompszp::decompress_into(&stream, dst))?;
+    }
+    Ok(out)
+}
+
+/// C-Coll ring `Allreduce(sum)` = DOC Reduce_scatter + compressed Allgather.
+pub fn allreduce(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
+    let own = reduce_scatter(comm, data, cfg)?;
+    allgather(comm, &own, data.len(), cfg)
+}
+
+/// C-Coll `Reduce(sum)` to `root`: DOC Reduce_scatter, then every rank
+/// compresses its reduced chunk and the root decompresses the gathered
+/// chunks. Returns `Some(full sum)` on the root, `None` elsewhere.
+pub fn reduce(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    cfg: &CollectiveConfig,
+) -> Result<Option<Vec<f32>>> {
+    let n = comm.size();
+    let r = comm.rank();
+    let own = reduce_scatter(comm, data, cfg)?;
+    if n == 1 {
+        return Ok(Some(own));
+    }
+    let chunks = node_chunks(data.len(), n);
+    let ocfg = oszp_config(cfg);
+    if r == root {
+        let mut out = vec![0f32; data.len()];
+        out[chunks[r].clone()].copy_from_slice(&own);
+        for src in 0..n {
+            if src == root {
+                continue;
+            }
+            let got = comm.recv(src, crate::mpi::TAG_GATHER + src as u64);
+            let stream = OszpStream::from_bytes(got)?;
+            let dst = &mut out[chunks[src].clone()];
+            comm.compute(OpKind::Dpr, dst.len() * 4, || {
+                ompszp::decompress_into(&stream, dst)
+            })?;
+        }
+        Ok(Some(out))
+    } else {
+        let stream =
+            comm.compute(OpKind::Cpr, own.len() * 4, || ompszp::compress(&own, &ocfg))?;
+        comm.send(root, crate::mpi::TAG_GATHER + r as u64, stream.as_bytes().to_vec());
+        Ok(None)
+    }
+}
+
+/// C-Coll long-message `Bcast`: the root compresses its chunks once and
+/// scatters them compressed; a compressed ring-Allgather distributes the
+/// rest; every rank decompresses at the end.
+pub fn bcast(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    total_len: usize,
+    cfg: &CollectiveConfig,
+) -> Result<Vec<f32>> {
+    let n = comm.size();
+    let r = comm.rank();
+    let ocfg = oszp_config(cfg);
+    if n == 1 {
+        assert_eq!(data.len(), total_len);
+        return Ok(data.to_vec());
+    }
+    let chunks = node_chunks(total_len, n);
+    // the compressed bytes of this rank's chunk
+    let own_bytes: Vec<u8> = if r == root {
+        assert_eq!(data.len(), total_len, "bcast root must hold the full vector");
+        let mut mine = Vec::new();
+        for dst in 0..n {
+            let chunk = &data[chunks[dst].clone()];
+            let stream =
+                comm.compute(OpKind::Cpr, chunk.len() * 4, || ompszp::compress(chunk, &ocfg))?;
+            if dst == root {
+                mine = stream.as_bytes().to_vec();
+            } else {
+                comm.send(dst, crate::mpi::TAG_SCATTER + dst as u64, stream.as_bytes().to_vec());
+            }
+        }
+        mine
+    } else {
+        comm.recv(root, crate::mpi::TAG_SCATTER + r as u64)
+    };
+    let slots = ring_forward(comm, own_bytes);
+    let mut out = vec![0f32; total_len];
+    for (idx, payload) in slots.into_iter().enumerate() {
+        let stream = OszpStream::from_bytes(payload)?;
+        let dst = &mut out[chunks[idx].clone()];
+        comm.compute(OpKind::Dpr, dst.len() * 4, || ompszp::decompress_into(&stream, dst))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+
+    fn modeled() -> ComputeTiming {
+        ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
+    }
+
+    fn field(rank: usize, n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.01).sin() * (rank + 1) as f32).collect()
+    }
+
+    fn direct_sum(nranks: usize, n: usize) -> Vec<f32> {
+        let mut acc = vec![0f32; n];
+        for r in 0..nranks {
+            for (a, b) in acc.iter_mut().zip(field(r, n)) {
+                *a += b;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn ccoll_allreduce_is_error_bounded() {
+        let n = 2048;
+        let eb = 1e-4;
+        for nranks in [2usize, 4, 6] {
+            let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(comm.rank(), n);
+                allreduce(comm, &data, &cfg).expect("ccoll allreduce")
+            });
+            let expect = direct_sum(nranks, n);
+            // DOC error: each round re-quantizes, so worst case grows with N
+            let tol = (2.0 * nranks as f64) * eb + 1e-6;
+            for o in outcomes {
+                for (i, (a, b)) in o.value.iter().zip(&expect).enumerate() {
+                    assert!(
+                        ((a - b).abs() as f64) <= tol,
+                        "nranks={nranks} at {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ccoll_reduce_scatter_chunk_matches_direct_sum() {
+        let n = 999;
+        let nranks = 3;
+        let cfg = CollectiveConfig::new(1e-4, Mode::MultiThread(2));
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            reduce_scatter(comm, &data, &cfg).expect("rs")
+        });
+        let expect = direct_sum(nranks, n);
+        let chunks = node_chunks(n, nranks);
+        for (r, o) in outcomes.iter().enumerate() {
+            let want = &expect[chunks[r].clone()];
+            assert_eq!(o.value.len(), want.len());
+            for (a, b) in o.value.iter().zip(want) {
+                assert!((a - b).abs() <= 8.0 * 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ccoll_charges_doc_costs_every_round() {
+        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+        let cluster = Cluster::new(4).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), 4096);
+            reduce_scatter(comm, &data, &cfg).expect("rs");
+            comm.breakdown()
+        });
+        for o in outcomes {
+            let b = o.value;
+            assert!(b.cpr > 0.0 && b.dpr > 0.0 && b.cpt > 0.0, "{b:?}");
+            assert_eq!(b.hpr, 0.0, "C-Coll never uses homomorphic processing");
+        }
+    }
+
+    #[test]
+    fn ccoll_reduce_to_root_is_error_bounded() {
+        let n = 900;
+        let nranks = 4;
+        let eb = 1e-4;
+        let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            reduce(comm, &data, 0, &cfg).expect("reduce")
+        });
+        let expect = direct_sum(nranks, n);
+        let got = outcomes[0].value.as_ref().expect("root result");
+        for (a, b) in got.iter().zip(&expect) {
+            assert!(((a - b).abs() as f64) <= (2.0 * nranks as f64 + 1.0) * eb, "{a} vs {b}");
+        }
+        assert!(outcomes[1..].iter().all(|o| o.value.is_none()));
+    }
+
+    #[test]
+    fn ccoll_bcast_is_error_bounded_everywhere() {
+        let n = 800;
+        let nranks = 5;
+        let eb = 1e-3;
+        let base = field(3, n);
+        let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = if comm.rank() == 0 { base.clone() } else { Vec::new() };
+            bcast(comm, &data, 0, n, &cfg).expect("bcast")
+        });
+        for o in &outcomes {
+            for (a, b) in o.value.iter().zip(&base) {
+                assert!((a - b).abs() as f64 <= eb + 1e-9, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ccoll_allgather_reassembles() {
+        let n = 500;
+        let nranks = 5;
+        let base: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let chunks = node_chunks(n, comm.size());
+            let own = base[chunks[comm.rank()].clone()].to_vec();
+            allgather(comm, &own, n, &cfg).expect("ag")
+        });
+        for o in outcomes {
+            for (a, b) in o.value.iter().zip(&base) {
+                assert!((a - b).abs() <= 1e-4 + 1e-7, "{a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Node-level data chunking for ring collectives, plus raw `f32 <-> bytes`
+//! framing for the uncompressed baseline.
+
+use std::ops::Range;
+
+/// Split `n` elements into `nranks` contiguous node chunks (chunk `i` is the
+/// block that Reduce_scatter delivers to rank `i`); the last chunk absorbs
+/// the remainder.
+///
+/// Panics if `n < nranks` — ring collectives need at least one element per
+/// rank.
+pub fn node_chunks(n: usize, nranks: usize) -> Vec<Range<usize>> {
+    assert!(nranks > 0, "need at least one rank");
+    assert!(n >= nranks, "ring collectives need n >= nranks (n={n}, nranks={nranks})");
+    let base = n / nranks;
+    (0..nranks)
+        .map(|i| {
+            let start = i * base;
+            let end = if i == nranks - 1 { n } else { start + base };
+            start..end
+        })
+        .collect()
+}
+
+/// Serialize an `f32` slice to little-endian bytes (wire format of the
+/// uncompressed baseline).
+pub fn f32_to_bytes(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Deserialize little-endian bytes back to `f32`s. Panics on non-multiple-of-
+/// four input (framing bug, not data corruption).
+pub fn bytes_to_f32(bytes: &[u8]) -> Vec<f32> {
+    assert!(bytes.len().is_multiple_of(4), "payload is not a whole number of f32s");
+    bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_tile_and_last_absorbs() {
+        let c = node_chunks(10, 3);
+        assert_eq!(c, vec![0..3, 3..6, 6..10]);
+        let c = node_chunks(8, 8);
+        assert!(c.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= nranks")]
+    fn too_few_elements_panics() {
+        node_chunks(3, 4);
+    }
+
+    #[test]
+    fn f32_bytes_roundtrip() {
+        let data = vec![1.5f32, -0.25, f32::MIN_POSITIVE, 3.4e38];
+        assert_eq!(bytes_to_f32(&f32_to_bytes(&data)), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_bytes_panic() {
+        bytes_to_f32(&[1, 2, 3]);
+    }
+}

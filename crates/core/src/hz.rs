@@ -1,0 +1,417 @@
+//! The hZCCL collectives (Sec. III-C): the homomorphic
+//! compression-accelerated Reduce_scatter and Allreduce.
+//!
+//! Reduce_scatter compresses all `N` local chunks once up front, then every
+//! ring round reduces *compressed* blocks directly with `hZ-dynamic` (HPR) —
+//! no per-round decompression/recompression — and decompresses only the
+//! final owned chunk: `N·CPR + (N-1)·HPR + 1·DPR` versus C-Coll's
+//! `(N-1)(CPR + DPR + CPT)`.
+//!
+//! Allreduce fuses the stages (Sec. III-C.2): the Reduce_scatter stage skips
+//! its final decompression and hands the compressed chunk straight to the
+//! Allgather stage, which in turn skips its compression; chunks travel
+//! compressed and are decompressed once at the end. (We charge `N` DPRs —
+//! the paper's accounting lists `N-1`, eliding the own-chunk decompression.)
+
+use crate::chunks::node_chunks;
+use crate::config::CollectiveConfig;
+use crate::mpi::TAG_RS;
+use crate::ring::ring_forward;
+use fzlight::{compress_resolved, decompress, CompressedStream, Result};
+use hzdyn::homomorphic_sum;
+use netsim::{Comm, OpKind};
+
+/// hZCCL ring `Reduce_scatter(sum)`: returns the reduced node-chunk `rank`.
+pub fn reduce_scatter(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+) -> Result<Vec<f32>> {
+    let stream = reduce_scatter_compressed(comm, data, cfg)?;
+    // the single final decompression of the workflow
+    comm.compute(OpKind::Dpr, stream.n() * 4, || decompress(&stream))
+}
+
+/// The homomorphic Reduce_scatter core, returning the reduced chunk still in
+/// compressed form (the handle the fused Allreduce consumes).
+pub(crate) fn reduce_scatter_compressed(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+) -> Result<CompressedStream> {
+    let n = comm.size();
+    let r = comm.rank();
+    let chunks = node_chunks(data.len(), n);
+    let threads = cfg.mode.threads();
+    if n == 1 {
+        return comm.compute(OpKind::Cpr, data.len() * 4, || {
+            compress_resolved(data, cfg.eb, cfg.block_len, threads)
+        });
+    }
+    let right = (r + 1) % n;
+    let left = (r + n - 1) % n;
+
+    // Round 1: compress all N local chunks once (N·CPR, charged as one
+    // sweep over the full vector).
+    let comp: Vec<CompressedStream> = comm.compute(OpKind::Cpr, data.len() * 4, || {
+        chunks
+            .iter()
+            .map(|c| compress_resolved(&data[c.clone()], cfg.eb, cfg.block_len, threads))
+            .collect::<Result<Vec<_>>>()
+    })?;
+
+    let mut send = comp[(r + n - 1) % n].clone();
+    for s in 0..n - 1 {
+        let got = comm.sendrecv(right, TAG_RS + s as u64, send.as_bytes().to_vec(), left);
+        let received = CompressedStream::from_bytes(got)?;
+        let idx = (r + 2 * n - s - 2) % n;
+        // HPR: reduce two compressed chunks directly, no decompression
+        send = comm.compute(OpKind::Hpr, chunks[idx].len() * 4, || {
+            homomorphic_sum(&received, &comp[idx])
+        })?;
+    }
+    Ok(send)
+}
+
+/// hZCCL ring `Allreduce(sum)` with the fused Reduce_scatter/Allgather
+/// optimization.
+pub fn allreduce(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
+    let n = comm.size();
+    let own_stream = reduce_scatter_compressed(comm, data, cfg)?;
+    let chunks = node_chunks(data.len(), n);
+    let mut out = vec![0f32; data.len()];
+    // Allgather stage: no compression — the already-compressed chunks are
+    // forwarded verbatim around the ring...
+    let slots = ring_forward(comm, own_stream.into_bytes());
+    // ...and everything is decompressed once at the very end.
+    for (idx, payload) in slots.into_iter().enumerate() {
+        let stream = CompressedStream::from_bytes(payload)?;
+        let dst = &mut out[chunks[idx].clone()];
+        comm.compute(OpKind::Dpr, dst.len() * 4, || fzlight::decompress_into(&stream, dst))?;
+    }
+    Ok(out)
+}
+
+/// hZCCL `Reduce(sum)` to `root`: the homomorphic Reduce_scatter keeps every
+/// rank's reduced chunk compressed, so the gather forwards compressed bytes
+/// verbatim and **only the root decompresses** — `N·CPR + (N-1)·HPR` per
+/// rank plus `N·DPR` on the root, versus C-Coll's extra per-rank
+/// recompression. Returns `Some(full sum)` on the root, `None` elsewhere.
+pub fn reduce(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    cfg: &CollectiveConfig,
+) -> Result<Option<Vec<f32>>> {
+    let n = comm.size();
+    let r = comm.rank();
+    let own_stream = reduce_scatter_compressed(comm, data, cfg)?;
+    if n == 1 {
+        return Ok(Some(comm.compute(OpKind::Dpr, data.len() * 4, || {
+            decompress(&own_stream)
+        })?));
+    }
+    let chunks = node_chunks(data.len(), n);
+    if r == root {
+        let mut out = vec![0f32; data.len()];
+        {
+            let dst = &mut out[chunks[r].clone()];
+            comm.compute(OpKind::Dpr, dst.len() * 4, || {
+                fzlight::decompress_into(&own_stream, dst)
+            })?;
+        }
+        for src in 0..n {
+            if src == root {
+                continue;
+            }
+            let got = comm.recv(src, crate::mpi::TAG_GATHER + src as u64);
+            let stream = CompressedStream::from_bytes(got)?;
+            let dst = &mut out[chunks[src].clone()];
+            comm.compute(OpKind::Dpr, dst.len() * 4, || {
+                fzlight::decompress_into(&stream, dst)
+            })?;
+        }
+        Ok(Some(out))
+    } else {
+        // no recompression: the chunk is already compressed
+        comm.send(root, crate::mpi::TAG_GATHER + r as u64, own_stream.into_bytes());
+        Ok(None)
+    }
+}
+
+/// hZCCL long-message `Bcast`. Broadcast moves data without reducing, so no
+/// homomorphic operation applies; the gain over MPI is the compressed wire
+/// (the root compresses each chunk once with fZ-light, everyone decompresses
+/// at the end).
+pub fn bcast(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    total_len: usize,
+    cfg: &CollectiveConfig,
+) -> Result<Vec<f32>> {
+    let n = comm.size();
+    let r = comm.rank();
+    let threads = cfg.mode.threads();
+    if n == 1 {
+        assert_eq!(data.len(), total_len);
+        return Ok(data.to_vec());
+    }
+    let chunks = node_chunks(total_len, n);
+    let own_bytes: Vec<u8> = if r == root {
+        assert_eq!(data.len(), total_len, "bcast root must hold the full vector");
+        let mut mine = Vec::new();
+        for dst in 0..n {
+            let chunk = &data[chunks[dst].clone()];
+            let stream = comm.compute(OpKind::Cpr, chunk.len() * 4, || {
+                compress_resolved(chunk, cfg.eb, cfg.block_len, threads)
+            })?;
+            if dst == root {
+                mine = stream.into_bytes();
+            } else {
+                comm.send(dst, crate::mpi::TAG_SCATTER + dst as u64, stream.into_bytes());
+            }
+        }
+        mine
+    } else {
+        comm.recv(root, crate::mpi::TAG_SCATTER + r as u64)
+    };
+    let slots = ring_forward(comm, own_bytes);
+    let mut out = vec![0f32; total_len];
+    for (idx, payload) in slots.into_iter().enumerate() {
+        let stream = CompressedStream::from_bytes(payload)?;
+        let dst = &mut out[chunks[idx].clone()];
+        comm.compute(OpKind::Dpr, dst.len() * 4, || fzlight::decompress_into(&stream, dst))?;
+    }
+    Ok(out)
+}
+
+/// Ablation: hZCCL Reduce_scatter followed by the *unfused* C-Coll-style
+/// Allgather (decompress at the stage boundary, recompress for gathering).
+/// Quantifies the fusion saving of Sec. III-C.2.
+pub fn allreduce_unfused(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+) -> Result<Vec<f32>> {
+    let own = reduce_scatter(comm, data, cfg)?;
+    crate::ccoll::allgather(comm, &own, data.len(), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+
+    fn modeled() -> ComputeTiming {
+        ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
+    }
+
+    fn field(rank: usize, n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.013).sin() * (rank + 1) as f32 * 1.7).collect()
+    }
+
+    fn direct_sum(nranks: usize, n: usize) -> Vec<f32> {
+        let mut acc = vec![0f32; n];
+        for r in 0..nranks {
+            for (a, b) in acc.iter_mut().zip(field(r, n)) {
+                *a += b;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn hzccl_allreduce_is_error_bounded_by_n_eb() {
+        let n = 2048;
+        let eb = 1e-4;
+        for nranks in [2usize, 4, 6] {
+            for mode in [Mode::SingleThread, Mode::MultiThread(2)] {
+                let cfg = CollectiveConfig::new(eb, mode);
+                let cluster = Cluster::new(nranks).with_timing(modeled());
+                let outcomes = cluster.run(|comm| {
+                    let data = field(comm.rank(), n);
+                    allreduce(comm, &data, &cfg).expect("hzccl allreduce")
+                });
+                let expect = direct_sum(nranks, n);
+                // each rank's single quantization contributes <= eb; the
+                // homomorphic sums are exact on the integers
+                let tol = nranks as f64 * eb + 1e-6;
+                for o in outcomes {
+                    for (i, (a, b)) in o.value.iter().zip(&expect).enumerate() {
+                        assert!(
+                            ((a - b).abs() as f64) <= tol,
+                            "nranks={nranks} {mode:?} at {i}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_ranks_agree_bitwise() {
+        let cfg = CollectiveConfig::new(1e-4, Mode::MultiThread(2));
+        let cluster = Cluster::new(5).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), 1000);
+            allreduce(comm, &data, &cfg).expect("allreduce")
+        });
+        for o in &outcomes[1..] {
+            assert_eq!(o.value, outcomes[0].value);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_matches_mpi_chunk_within_bound() {
+        let n = 1200;
+        let nranks = 4;
+        let eb = 1e-4;
+        let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            reduce_scatter(comm, &data, &cfg).expect("rs")
+        });
+        let expect = direct_sum(nranks, n);
+        let chunks = node_chunks(n, nranks);
+        for (r, o) in outcomes.iter().enumerate() {
+            for (a, b) in o.value.iter().zip(&expect[chunks[r].clone()]) {
+                assert!(((a - b).abs() as f64) <= nranks as f64 * eb + 1e-6, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hzccl_charges_hpr_not_per_round_doc() {
+        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+        let cluster = Cluster::new(4).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), 4096);
+            reduce_scatter(comm, &data, &cfg).expect("rs");
+            comm.breakdown()
+        });
+        for o in outcomes {
+            let b = o.value;
+            assert!(b.hpr > 0.0, "{b:?}");
+            assert_eq!(b.cpt, 0.0, "hZCCL never reduces on raw values");
+            // exactly one decompression (the final chunk)
+            assert!(b.dpr > 0.0);
+            assert!(b.dpr < b.cpr, "single DPR must be far below N×CPR: {b:?}");
+        }
+    }
+
+    #[test]
+    fn fused_allreduce_beats_unfused_in_virtual_time() {
+        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+        let run = |fused: bool| {
+            let cluster = Cluster::new(6).with_timing(modeled());
+            let (_, stats) = cluster.run_stats(|comm| {
+                let data = field(comm.rank(), 60_000);
+                if fused {
+                    allreduce(comm, &data, &cfg).expect("fused")
+                } else {
+                    allreduce_unfused(comm, &data, &cfg).expect("unfused")
+                };
+            });
+            stats.makespan
+        };
+        assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn unfused_matches_fused_within_bound() {
+        let n = 900;
+        let nranks = 3;
+        let eb = 1e-3;
+        let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let fused = cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            allreduce(comm, &data, &cfg).expect("fused")
+        });
+        let unfused = cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            allreduce_unfused(comm, &data, &cfg).expect("unfused")
+        });
+        for (a, b) in fused[0].value.iter().zip(&unfused[0].value) {
+            // unfused re-quantizes once more at the stage boundary
+            assert!(((a - b).abs() as f64) <= 2.0 * eb + 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn reduce_to_root_is_error_bounded_and_root_only() {
+        let n = 1500;
+        let nranks = 5;
+        let eb = 1e-4;
+        let root = 2;
+        let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            reduce(comm, &data, root, &cfg).expect("reduce")
+        });
+        let expect = direct_sum(nranks, n);
+        for (r, o) in outcomes.iter().enumerate() {
+            if r == root {
+                let got = o.value.as_ref().expect("root must hold the result");
+                for (a, b) in got.iter().zip(&expect) {
+                    assert!(((a - b).abs() as f64) <= nranks as f64 * eb + 1e-6, "{a} vs {b}");
+                }
+            } else {
+                assert!(o.value.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_leaves_non_roots_without_decompression_cost() {
+        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+        let cluster = Cluster::new(4).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), 2048);
+            reduce(comm, &data, 0, &cfg).expect("reduce");
+            comm.breakdown()
+        });
+        assert!(outcomes[0].value.dpr > 0.0, "root decompresses");
+        for o in &outcomes[1..] {
+            assert_eq!(o.value.dpr, 0.0, "non-roots never decompress: {:?}", o.value);
+        }
+    }
+
+    #[test]
+    fn bcast_is_error_bounded_everywhere() {
+        let n = 1200;
+        let nranks = 6;
+        let eb = 1e-3;
+        let root = 1;
+        let base = field(7, n);
+        let cfg = CollectiveConfig::new(eb, Mode::MultiThread(2));
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = if comm.rank() == root { base.clone() } else { Vec::new() };
+            bcast(comm, &data, root, n, &cfg).expect("bcast")
+        });
+        for o in &outcomes {
+            assert_eq!(o.value, outcomes[0].value, "all ranks identical");
+            for (a, b) in o.value.iter().zip(&base) {
+                assert!((a - b).abs() as f64 <= eb + 1e-9, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_allreduce_is_quantized_identity() {
+        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+        let cluster = Cluster::new(1).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(0, 256);
+            allreduce(comm, &data, &cfg).expect("allreduce")
+        });
+        for (a, b) in outcomes[0].value.iter().zip(field(0, 256)) {
+            assert!((a - b).abs() <= 1e-4 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Uncompressed ring collectives — the "Original Collectives (MPI)" baseline
+//! of Table II, implementing the same large-message ring algorithms as
+//! MPICH [28] that both C-Coll and hZCCL build on.
+
+use crate::chunks::{bytes_to_f32, f32_to_bytes, node_chunks};
+use hzdyn::{doc::reduce_in_place, ReduceOp};
+use netsim::{Comm, OpKind};
+
+/// Tag bases keep the message spaces of different phases disjoint.
+pub(crate) const TAG_RS: u64 = 1 << 32;
+pub(crate) const TAG_AG: u64 = 2 << 32;
+pub(crate) const TAG_GATHER: u64 = 3 << 32;
+pub(crate) const TAG_SCATTER: u64 = 4 << 32;
+
+/// Ring `Reduce_scatter(sum)`: every rank contributes `data` (equal length
+/// on all ranks) and receives the fully reduced node-chunk `rank`.
+///
+/// `cpt_threads` parallelizes the local reduction arithmetic (the paper's
+/// multi-thread mode also threads CPT).
+pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f32> {
+    let n = comm.size();
+    let r = comm.rank();
+    let chunks = node_chunks(data.len(), n);
+    if n == 1 {
+        return data.to_vec();
+    }
+    let right = (r + 1) % n;
+    let left = (r + n - 1) % n;
+
+    // step s sends chunk (r - s - 1) mod n; the first send is our local copy
+    let mut acc: Vec<f32> = data[chunks[(r + n - 1) % n].clone()].to_vec();
+    for s in 0..n - 1 {
+        let payload = comm.compute(OpKind::Other, acc.len() * 4, || f32_to_bytes(&acc));
+        let got = comm.sendrecv(right, TAG_RS + s as u64, payload, left);
+        let mut tmp = comm.compute(OpKind::Other, got.len(), || bytes_to_f32(&got));
+        let local_idx = (r + 2 * n - s - 2) % n;
+        let local = &data[chunks[local_idx].clone()];
+        comm.compute(OpKind::Cpt, tmp.len() * 4, || {
+            reduce_in_place(&mut tmp, local, ReduceOp::Sum, cpt_threads)
+        });
+        acc = tmp;
+    }
+    acc
+}
+
+/// Ring `Allgather`: rank `r` contributes `own` (node-chunk `r` of a vector
+/// of `total_len` elements) and receives the concatenation of all chunks.
+pub fn allgather(comm: &mut Comm, own: &[f32], total_len: usize) -> Vec<f32> {
+    let n = comm.size();
+    let r = comm.rank();
+    let chunks = node_chunks(total_len, n);
+    assert_eq!(own.len(), chunks[r].len(), "own chunk has the wrong length");
+    let mut out = vec![0f32; total_len];
+    out[chunks[r].clone()].copy_from_slice(own);
+    if n == 1 {
+        return out;
+    }
+    let right = (r + 1) % n;
+    let left = (r + n - 1) % n;
+    for s in 0..n - 1 {
+        let send_idx = (r + n - s) % n;
+        let recv_idx = (r + 2 * n - s - 1) % n;
+        let payload = comm
+            .compute(OpKind::Other, chunks[send_idx].len() * 4, || {
+                f32_to_bytes(&out[chunks[send_idx].clone()])
+            });
+        let got = comm.sendrecv(right, TAG_AG + s as u64, payload, left);
+        let vals = comm.compute(OpKind::Other, got.len(), || bytes_to_f32(&got));
+        out[chunks[recv_idx].clone()].copy_from_slice(&vals);
+    }
+    out
+}
+
+/// Ring `Allreduce(sum)` = `Reduce_scatter` + `Allgather` (the widely used
+/// large-message algorithm [28], [8]).
+pub fn allreduce(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f32> {
+    let own = reduce_scatter(comm, data, cpt_threads);
+    allgather(comm, &own, data.len())
+}
+
+/// Ring `Reduce(sum)` to `root`: Reduce_scatter followed by a gather of the
+/// reduced chunks (MPICH's large-message Reduce). Returns `Some(full sum)`
+/// on the root, `None` elsewhere.
+pub fn reduce(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    cpt_threads: usize,
+) -> Option<Vec<f32>> {
+    let n = comm.size();
+    let r = comm.rank();
+    let own = reduce_scatter(comm, data, cpt_threads);
+    if n == 1 {
+        return Some(own);
+    }
+    let chunks = node_chunks(data.len(), n);
+    if r == root {
+        let mut out = vec![0f32; data.len()];
+        out[chunks[r].clone()].copy_from_slice(&own);
+        for src in 0..n {
+            if src == root {
+                continue;
+            }
+            let got = comm.recv(src, TAG_GATHER + src as u64);
+            let vals = comm.compute(OpKind::Other, got.len(), || bytes_to_f32(&got));
+            out[chunks[src].clone()].copy_from_slice(&vals);
+        }
+        Some(out)
+    } else {
+        let payload = comm.compute(OpKind::Other, own.len() * 4, || f32_to_bytes(&own));
+        comm.send(root, TAG_GATHER + r as u64, payload);
+        None
+    }
+}
+
+/// Long-message `Bcast`: scatter the root's chunks, then ring-Allgather
+/// (MPICH's scatter+allgather broadcast). `data` is read on the root only;
+/// every rank returns the full vector.
+pub fn bcast(comm: &mut Comm, data: &[f32], root: usize, total_len: usize) -> Vec<f32> {
+    let n = comm.size();
+    let r = comm.rank();
+    if n == 1 {
+        assert_eq!(data.len(), total_len);
+        return data.to_vec();
+    }
+    let chunks = node_chunks(total_len, n);
+    let own: Vec<f32> = if r == root {
+        assert_eq!(data.len(), total_len, "bcast root must hold the full vector");
+        for dst in 0..n {
+            if dst == root {
+                continue;
+            }
+            let payload = comm.compute(OpKind::Other, chunks[dst].len() * 4, || {
+                f32_to_bytes(&data[chunks[dst].clone()])
+            });
+            comm.send(dst, TAG_SCATTER + dst as u64, payload);
+        }
+        data[chunks[root].clone()].to_vec()
+    } else {
+        let got = comm.recv(root, TAG_SCATTER + r as u64);
+        comm.compute(OpKind::Other, got.len(), || bytes_to_f32(&got))
+    };
+    allgather(comm, &own, total_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+
+    fn modeled() -> ComputeTiming {
+        ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
+    }
+
+    fn field(rank: usize, n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i + 1) * (rank + 1)) as f32 * 0.25).collect()
+    }
+
+    fn expected_sum(nranks: usize, n: usize) -> Vec<f32> {
+        let mut acc = vec![0f32; n];
+        for r in 0..nranks {
+            for (a, b) in acc.iter_mut().zip(field(r, n)) {
+                *a += b;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn reduce_scatter_matches_direct_sum() {
+        for nranks in [2usize, 3, 5, 8] {
+            let n = 1000;
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(comm.rank(), n);
+                reduce_scatter(comm, &data, 1)
+            });
+            let expect = expected_sum(nranks, n);
+            let chunks = node_chunks(n, nranks);
+            for (r, o) in outcomes.iter().enumerate() {
+                assert_eq!(o.value, &expect[chunks[r].clone()], "rank {r} of {nranks}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_assembles_all_chunks() {
+        let n = 100;
+        let nranks = 4;
+        let base: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let chunks = node_chunks(n, comm.size());
+            let own = base[chunks[comm.rank()].clone()].to_vec();
+            allgather(comm, &own, n)
+        });
+        for o in outcomes {
+            assert_eq!(o.value, base);
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_direct_sum_everywhere() {
+        for nranks in [2usize, 4, 7] {
+            let n = 777;
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(comm.rank(), n);
+                allreduce(comm, &data, 1)
+            });
+            let expect = expected_sum(nranks, n);
+            for (r, o) in outcomes.iter().enumerate() {
+                assert_eq!(o.value, expect, "rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let cluster = Cluster::new(1).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(0, 64);
+            allreduce(comm, &data, 1)
+        });
+        assert_eq!(outcomes[0].value, field(0, 64));
+    }
+
+    #[test]
+    fn reduce_to_root_matches_direct_sum() {
+        for root in [0usize, 2] {
+            let nranks = 5;
+            let n = 500;
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(comm.rank(), n);
+                reduce(comm, &data, root, 1)
+            });
+            let expect = expected_sum(nranks, n);
+            for (r, o) in outcomes.iter().enumerate() {
+                if r == root {
+                    assert_eq!(o.value.as_ref().unwrap(), &expect);
+                } else {
+                    assert!(o.value.is_none(), "rank {r} should not hold the result");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_distributes_the_root_vector() {
+        let nranks = 6;
+        let n = 700;
+        let root = 3;
+        let base = field(9, n);
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = if comm.rank() == root { base.clone() } else { Vec::new() };
+            bcast(comm, &data, root, n)
+        });
+        for o in outcomes {
+            assert_eq!(o.value, base);
+        }
+    }
+
+    #[test]
+    fn single_rank_reduce_and_bcast_are_identity() {
+        let cluster = Cluster::new(1).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(0, 32);
+            let red = reduce(comm, &data, 0, 1).unwrap();
+            let bc = bcast(comm, &data, 0, 32);
+            (red, bc)
+        });
+        assert_eq!(outcomes[0].value.0, field(0, 32));
+        assert_eq!(outcomes[0].value.1, field(0, 32));
+    }
+
+    #[test]
+    fn mpi_time_dominates_for_large_messages() {
+        // the uncompressed baseline should be communication-bound
+        let cluster = Cluster::new(4).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), 1 << 20);
+            allreduce(comm, &data, 1);
+            comm.breakdown()
+        });
+        for o in &outcomes[1..] {
+            assert!(o.value.mpi > o.value.cpt, "{:?}", o.value);
+        }
+    }
+}

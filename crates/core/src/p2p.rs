@@ -1,0 +1,212 @@
+//! CPR-P2P: compression-enabled point-to-point collectives (Zhou et al.
+//! [25]) — the baseline *C-Coll itself* improves upon, included to complete
+//! the paper's comparison chain (CPR-P2P → C-Coll → hZCCL).
+//!
+//! In CPR-P2P every hop is an independent compressed point-to-point
+//! transfer: the sender compresses, the receiver decompresses — even when a
+//! chunk is merely *forwarded*. The Allgather therefore pays a fresh
+//! `CPR + DPR` per forwarding hop (`O(N)` DOC round trips per chunk),
+//! whereas C-Coll compresses once and forwards compressed bytes
+//! (Sec. III-C.2's `CPR + (N-1)·DPR`), and hZCCL eliminates the reduction
+//! DOC altogether.
+
+use crate::chunks::node_chunks;
+use crate::config::CollectiveConfig;
+use crate::mpi::{TAG_AG, TAG_RS};
+use fzlight::Result;
+use hzdyn::{doc::reduce_in_place, ReduceOp};
+use netsim::{Comm, OpKind};
+use ompszp::OszpStream;
+
+fn oszp_config(cfg: &CollectiveConfig) -> ompszp::Config {
+    ompszp::Config::new(ompszp::ErrorBound::Abs(cfg.eb))
+        .with_block_len(cfg.block_len)
+        .with_threads(cfg.mode.threads())
+}
+
+/// CPR-P2P ring `Reduce_scatter(sum)`. Identical hop structure to C-Coll's
+/// (the reduction inherently needs the DOC round trip per hop); kept
+/// separate so the Allgather difference is the only variable in comparisons.
+pub fn reduce_scatter(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+) -> Result<Vec<f32>> {
+    let n = comm.size();
+    let r = comm.rank();
+    let chunks = node_chunks(data.len(), n);
+    if n == 1 {
+        return Ok(data.to_vec());
+    }
+    let right = (r + 1) % n;
+    let left = (r + n - 1) % n;
+    let threads = cfg.mode.threads();
+    let ocfg = oszp_config(cfg);
+
+    let mut acc: Vec<f32> = data[chunks[(r + n - 1) % n].clone()].to_vec();
+    for s in 0..n - 1 {
+        let stream =
+            comm.compute(OpKind::Cpr, acc.len() * 4, || ompszp::compress(&acc, &ocfg))?;
+        let got = comm.sendrecv(right, TAG_RS + s as u64, stream.as_bytes().to_vec(), left);
+        let received = OszpStream::from_bytes(got)?;
+        let mut tmp =
+            comm.compute(OpKind::Dpr, received.n() * 4, || ompszp::decompress(&received))?;
+        let local_idx = (r + 2 * n - s - 2) % n;
+        let local = &data[chunks[local_idx].clone()];
+        comm.compute(OpKind::Cpt, tmp.len() * 4, || {
+            reduce_in_place(&mut tmp, local, ReduceOp::Sum, threads)
+        });
+        acc = tmp;
+    }
+    Ok(acc)
+}
+
+/// CPR-P2P ring `Allgather`: every forwarding hop decompresses the received
+/// chunk and recompresses it before sending on — the per-hop DOC cost that
+/// C-Coll's compress-once/forward-bytes design eliminates.
+pub fn allgather(
+    comm: &mut Comm,
+    own: &[f32],
+    total_len: usize,
+    cfg: &CollectiveConfig,
+) -> Result<Vec<f32>> {
+    let n = comm.size();
+    let r = comm.rank();
+    let chunks = node_chunks(total_len, n);
+    assert_eq!(own.len(), chunks[r].len(), "own chunk has the wrong length");
+    let ocfg = oszp_config(cfg);
+    let mut out = vec![0f32; total_len];
+    out[chunks[r].clone()].copy_from_slice(own);
+    if n == 1 {
+        return Ok(out);
+    }
+    let right = (r + 1) % n;
+    let left = (r + n - 1) % n;
+    for s in 0..n - 1 {
+        let send_idx = (r + n - s) % n;
+        let recv_idx = (r + 2 * n - s - 1) % n;
+        // compress the chunk we forward — afresh on every hop
+        let chunk = &out[chunks[send_idx].clone()];
+        let stream =
+            comm.compute(OpKind::Cpr, chunk.len() * 4, || ompszp::compress(chunk, &ocfg))?;
+        let got = comm.sendrecv(right, TAG_AG + s as u64, stream.as_bytes().to_vec(), left);
+        let received = OszpStream::from_bytes(got)?;
+        let dst = &mut out[chunks[recv_idx].clone()];
+        comm.compute(OpKind::Dpr, dst.len() * 4, || ompszp::decompress_into(&received, dst))?;
+    }
+    Ok(out)
+}
+
+/// CPR-P2P ring `Allreduce(sum)`.
+pub fn allreduce(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
+    let own = reduce_scatter(comm, data, cfg)?;
+    allgather(comm, &own, data.len(), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+
+    fn modeled() -> ComputeTiming {
+        ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
+    }
+
+    fn field(rank: usize, n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.015).sin() * (rank + 1) as f32).collect()
+    }
+
+    #[test]
+    fn p2p_allreduce_is_error_bounded() {
+        let n = 1200;
+        let nranks = 4;
+        let eb = 1e-4;
+        let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            allreduce(comm, &data, &cfg).expect("p2p allreduce")
+        });
+        let mut expect = vec![0f32; n];
+        for r in 0..nranks {
+            for (a, b) in expect.iter_mut().zip(field(r, n)) {
+                *a += b;
+            }
+        }
+        // per-hop recompression accumulates error: every one of the
+        // 2(N-1) hops can re-quantize
+        let tol = (2.0 * (nranks as f64) + 2.0) * eb;
+        for o in outcomes {
+            for (a, b) in o.value.iter().zip(&expect) {
+                assert!(((a - b).abs() as f64) <= tol, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn p2p_allgather_pays_cpr_every_hop() {
+        // CPR-P2P charges ~(N-1) compressions in the Allgather; C-Coll
+        // charges one
+        let n = 64 * 40;
+        let nranks = 8;
+        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let base: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).sin()).collect();
+        let p2p_cpr = {
+            let outcomes = cluster.run(|comm| {
+                let chunks = node_chunks(n, comm.size());
+                let own = base[chunks[comm.rank()].clone()].to_vec();
+                allgather(comm, &own, n, &cfg).expect("p2p ag");
+                comm.breakdown().cpr
+            });
+            outcomes.iter().map(|o| o.value).sum::<f64>()
+        };
+        let ccoll_cpr = {
+            let outcomes = cluster.run(|comm| {
+                let chunks = node_chunks(n, comm.size());
+                let own = base[chunks[comm.rank()].clone()].to_vec();
+                crate::ccoll::allgather(comm, &own, n, &cfg).expect("ccoll ag");
+                comm.breakdown().cpr
+            });
+            outcomes.iter().map(|o| o.value).sum::<f64>()
+        };
+        assert!(
+            p2p_cpr > 5.0 * ccoll_cpr,
+            "p2p CPR {p2p_cpr} should dwarf C-Coll's {ccoll_cpr}"
+        );
+    }
+
+    #[test]
+    fn comparison_chain_p2p_ccoll_hzccl() {
+        // the paper's lineage: hZCCL < C-Coll < CPR-P2P in virtual time
+        let n = 1 << 16;
+        let nranks = 8;
+        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+        let base: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.004).sin()).collect();
+        let fields: Vec<Vec<f32>> = (0..nranks)
+            .map(|r| base.iter().map(|&v| v * (1.0 + 0.001 * r as f32)).collect())
+            .collect();
+        let run = |which: usize| -> f64 {
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let (_, stats) = cluster.run_stats(|comm| {
+                let data = &fields[comm.rank()];
+                match which {
+                    0 => {
+                        allreduce(comm, data, &cfg).expect("p2p");
+                    }
+                    1 => {
+                        crate::ccoll::allreduce(comm, data, &cfg).expect("ccoll");
+                    }
+                    _ => {
+                        crate::hz::allreduce(comm, data, &cfg).expect("hz");
+                    }
+                }
+            });
+            stats.makespan
+        };
+        let (t_p2p, t_ccoll, t_hz) = (run(0), run(1), run(2));
+        assert!(t_hz < t_ccoll, "hz {t_hz} vs ccoll {t_ccoll}");
+        assert!(t_ccoll < t_p2p, "ccoll {t_ccoll} vs p2p {t_p2p}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Shared ring-Allgather byte forwarding, used by both C-Coll's compressed
+//! Allgather (ompSZp streams) and hZCCL's fused Allgather (fZ-light
+//! streams): the wire layer is payload-agnostic.
+
+use crate::mpi::TAG_AG;
+use netsim::Comm;
+
+/// Ring-forward opaque per-chunk payloads: rank `r` contributes
+/// `own_payload` as chunk `r`; after `N-1` rounds every rank holds every
+/// chunk's payload. Returns the payloads indexed by chunk.
+pub(crate) fn ring_forward(comm: &mut Comm, own_payload: Vec<u8>) -> Vec<Vec<u8>> {
+    let n = comm.size();
+    let r = comm.rank();
+    let mut slots: Vec<Option<Vec<u8>>> = vec![None; n];
+    slots[r] = Some(own_payload);
+    if n == 1 {
+        return slots.into_iter().map(|s| s.unwrap()).collect();
+    }
+    let right = (r + 1) % n;
+    let left = (r + n - 1) % n;
+    for s in 0..n - 1 {
+        let send_idx = (r + n - s) % n;
+        let recv_idx = (r + 2 * n - s - 1) % n;
+        let payload = slots[send_idx].clone().expect("chunk to forward not yet received");
+        let got = comm.sendrecv(right, TAG_AG + s as u64, payload, left);
+        slots[recv_idx] = Some(got);
+    }
+    slots.into_iter().map(|s| s.expect("ring left a hole")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+
+    #[test]
+    fn every_rank_collects_every_chunk() {
+        let timing = ComputeTiming::Modeled(ThroughputModel::new(1.0, 1.0, 1.0, 1.0, 1.0));
+        for nranks in [1usize, 2, 3, 7] {
+            let cluster = Cluster::new(nranks).with_timing(timing);
+            let outcomes = cluster.run(|comm| {
+                let own = vec![comm.rank() as u8; comm.rank() + 1]; // ragged sizes
+                super::ring_forward(comm, own)
+            });
+            for o in outcomes {
+                for (idx, payload) in o.value.iter().enumerate() {
+                    assert_eq!(payload, &vec![idx as u8; idx + 1], "nranks={nranks}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! # costmodel — the paper's closed-form collective cost equations
+//!
+//! Sec. III-C derives the compression/computation cost of ring
+//! `Reduce_scatter` and `Allreduce` for C-Coll and hZCCL:
+//!
+//! ```text
+//! T_CColl^RS = (N-1)·CPR + (N-1)·DPR + (N-1)·CPT
+//! T_hZCCL^RS =     N·CPR +     1·DPR + (N-1)·HPR
+//! T_CColl^AR = T_CColl^RS + CPR + (N-1)·DPR
+//! T_hZCCL^AR =     N·CPR + (N-1)·DPR + (N-1)·HPR
+//! ```
+//!
+//! where CPR/DPR/HPR/CPT are per-chunk costs. This crate evaluates those
+//! equations (plus the wire terms the paper treats as common) from
+//! calibrated constants, so the paper-scale configuration — 646 MB messages,
+//! 512 Broadwell nodes, Omni-Path — can be *projected* on any host and
+//! compared against the discrete simulation in `netsim`/`hzccl`.
+
+use netsim::{NetConfig, OpKind, ThroughputModel};
+
+/// Scenario parameters for the analytical model.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Ranks (nodes) in the ring.
+    pub nranks: usize,
+    /// Per-rank message size in bytes (the Allreduce vector).
+    pub message_bytes: usize,
+    /// Compression ratio achieved on this data at the chosen error bound.
+    pub ratio: f64,
+    /// Network model (the same α–β+congestion law `netsim` charges).
+    pub net: NetConfig,
+    /// Per-kind compute throughputs.
+    pub thr: ThroughputModel,
+}
+
+impl Scenario {
+    fn chunk(&self) -> f64 {
+        self.message_bytes as f64 / self.nranks as f64
+    }
+
+    fn wire(&self, bytes: f64) -> f64 {
+        // reuse NetConfig's law; round to the nearest byte for the API
+        self.net.transfer_time(bytes.round() as usize, self.nranks)
+    }
+
+    fn cost(&self, kind: OpKind, bytes: f64) -> f64 {
+        bytes / (self.thr.gbps[kind.index()] * 1e9)
+    }
+
+    /// One ring round's wire time for an uncompressed chunk.
+    fn round_wire_raw(&self) -> f64 {
+        self.wire(self.chunk())
+    }
+
+    /// One ring round's wire time for a compressed chunk.
+    fn round_wire_compressed(&self) -> f64 {
+        self.wire(self.chunk() / self.ratio)
+    }
+}
+
+/// `T^RS` for the original MPI ring (no compression).
+pub fn reduce_scatter_mpi(s: &Scenario) -> f64 {
+    let rounds = (s.nranks - 1) as f64;
+    rounds * (s.round_wire_raw() + s.cost(OpKind::Cpt, s.chunk()))
+}
+
+/// `T^AR` for the original MPI ring.
+pub fn allreduce_mpi(s: &Scenario) -> f64 {
+    reduce_scatter_mpi(s) + (s.nranks - 1) as f64 * s.round_wire_raw()
+}
+
+/// `T^RS_CColl = (N-1)(CPR + DPR + CPT)` plus compressed wire traffic.
+pub fn reduce_scatter_ccoll(s: &Scenario) -> f64 {
+    let rounds = (s.nranks - 1) as f64;
+    let c = s.chunk();
+    rounds
+        * (s.round_wire_compressed()
+            + s.cost(OpKind::Cpr, c)
+            + s.cost(OpKind::Dpr, c)
+            + s.cost(OpKind::Cpt, c))
+}
+
+/// `T^AR_CColl = T^RS + [CPR + (N-1)·DPR]` plus compressed Allgather wire.
+pub fn allreduce_ccoll(s: &Scenario) -> f64 {
+    let rounds = (s.nranks - 1) as f64;
+    let c = s.chunk();
+    reduce_scatter_ccoll(s)
+        + s.cost(OpKind::Cpr, c)
+        + rounds * (s.round_wire_compressed() + s.cost(OpKind::Dpr, c))
+}
+
+/// `T^RS_hZCCL = N·CPR + (N-1)·HPR + 1·DPR` plus compressed wire traffic.
+pub fn reduce_scatter_hzccl(s: &Scenario) -> f64 {
+    let rounds = (s.nranks - 1) as f64;
+    let c = s.chunk();
+    s.nranks as f64 * s.cost(OpKind::Cpr, c)
+        + rounds * (s.round_wire_compressed() + s.cost(OpKind::Hpr, c))
+        + s.cost(OpKind::Dpr, c)
+}
+
+/// `T^AR_hZCCL = N·CPR + (N-1)·HPR + N·DPR` plus two compressed ring sweeps
+/// (the fused form of Sec. III-C.2; the paper's accounting lists `(N-1)·DPR`,
+/// eliding the own-chunk decompression we charge explicitly).
+pub fn allreduce_hzccl(s: &Scenario) -> f64 {
+    let rounds = (s.nranks - 1) as f64;
+    let c = s.chunk();
+    s.nranks as f64 * s.cost(OpKind::Cpr, c)
+        + rounds * (s.round_wire_compressed() + s.cost(OpKind::Hpr, c))
+        + rounds * s.round_wire_compressed()
+        + s.nranks as f64 * s.cost(OpKind::Dpr, c)
+}
+
+/// The paper's Reduce_scatter cost difference,
+/// `T_CColl - T_hZCCL = (N-1)(DPR + CPT - HPR) - CPR - DPR`
+/// (compute terms only; wire terms cancel because both send compressed
+/// chunks). Exposed for the identity test and for intuition in reports.
+pub fn rs_compute_gap(s: &Scenario) -> f64 {
+    let n = s.nranks as f64;
+    let c = s.chunk();
+    (n - 1.0) * (s.cost(OpKind::Dpr, c) + s.cost(OpKind::Cpt, c) - s.cost(OpKind::Hpr, c))
+        - s.cost(OpKind::Cpr, c)
+        - s.cost(OpKind::Dpr, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario {
+            nranks: 64,
+            message_bytes: 646 << 20,
+            ratio: 7.0,
+            net: NetConfig::default(),
+            thr: ThroughputModel::new(1.7, 3.3, 9.7, 2.8, 6.0),
+        }
+    }
+
+    #[test]
+    fn ordering_matches_paper_headline() {
+        let s = scenario();
+        let mpi = allreduce_mpi(&s);
+        let ccoll = allreduce_ccoll(&s);
+        let hz = allreduce_hzccl(&s);
+        assert!(hz < ccoll, "hz {hz} vs ccoll {ccoll}");
+        assert!(ccoll < mpi, "ccoll {ccoll} vs mpi {mpi}");
+        // speedups in the paper's ballpark (1.4x-2.7x for ST)
+        let speedup = mpi / hz;
+        assert!((1.2..4.0).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn rs_difference_identity_holds() {
+        // T_CColl^RS - T_hZCCL^RS must equal the paper's closed form
+        let s = scenario();
+        let gap = reduce_scatter_ccoll(&s) - reduce_scatter_hzccl(&s);
+        assert!((gap - rs_compute_gap(&s)).abs() < 1e-9 * gap.abs().max(1.0), "{gap}");
+    }
+
+    #[test]
+    fn gap_grows_linearly_with_ranks() {
+        let mut s = scenario();
+        s.nranks = 8;
+        let g8 = rs_compute_gap(&s);
+        s.nranks = 16;
+        // same chunk size => double the per-round gap roughly doubles totals
+        s.message_bytes *= 2;
+        let g16 = rs_compute_gap(&s);
+        assert!(g16 > 1.8 * g8, "{g8} -> {g16}");
+    }
+
+    #[test]
+    fn hz_wins_even_with_modest_ratio() {
+        let mut s = scenario();
+        s.ratio = 2.0;
+        assert!(allreduce_hzccl(&s) < allreduce_mpi(&s));
+    }
+
+    #[test]
+    fn mpi_wins_when_compression_is_slow_and_ratio_low() {
+        let mut s = scenario();
+        s.ratio = 1.05;
+        s.thr = ThroughputModel::new(0.05, 0.1, 0.3, 2.8, 6.0);
+        assert!(allreduce_mpi(&s) < allreduce_hzccl(&s), "crossover must exist");
+    }
+
+    #[test]
+    fn allreduce_exceeds_reduce_scatter() {
+        let s = scenario();
+        assert!(allreduce_mpi(&s) > reduce_scatter_mpi(&s));
+        assert!(allreduce_ccoll(&s) > reduce_scatter_ccoll(&s));
+        assert!(allreduce_hzccl(&s) > reduce_scatter_hzccl(&s));
+    }
+
+    #[test]
+    fn times_are_monotone_in_message_size() {
+        let mut s = scenario();
+        let small = [
+            reduce_scatter_mpi(&s),
+            reduce_scatter_ccoll(&s),
+            reduce_scatter_hzccl(&s),
+            allreduce_mpi(&s),
+            allreduce_ccoll(&s),
+            allreduce_hzccl(&s),
+        ];
+        s.message_bytes *= 2;
+        let big = [
+            reduce_scatter_mpi(&s),
+            reduce_scatter_ccoll(&s),
+            reduce_scatter_hzccl(&s),
+            allreduce_mpi(&s),
+            allreduce_ccoll(&s),
+            allreduce_hzccl(&s),
+        ];
+        for (a, b) in small.iter().zip(&big) {
+            assert!(b > a, "doubling the message must cost more: {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn higher_ratio_always_helps_compressed_variants() {
+        let mut s = scenario();
+        let base = allreduce_hzccl(&s);
+        s.ratio *= 2.0;
+        assert!(allreduce_hzccl(&s) < base);
+        // and never changes the MPI baseline
+        let m1 = allreduce_mpi(&s);
+        s.ratio *= 10.0;
+        assert_eq!(allreduce_mpi(&s), m1);
+    }
+
+    #[test]
+    fn hz_advantage_grows_with_node_count_at_fixed_chunk() {
+        // fixed chunk size: scale message with nranks
+        let gap_at = |nranks: usize| {
+            let s = Scenario {
+                nranks,
+                message_bytes: nranks * (1 << 20),
+                ..scenario()
+            };
+            allreduce_ccoll(&s) - allreduce_hzccl(&s)
+        };
+        assert!(gap_at(64) > gap_at(8));
+        assert!(gap_at(512) > gap_at(64));
+    }
+}

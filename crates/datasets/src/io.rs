@@ -1,0 +1,90 @@
+//! Binary `.f32` field I/O (SDRBench layout: raw little-endian `f32`), plus a
+//! PGM writer for the image-stacking visual comparison (Fig. 13).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Load a raw little-endian `f32` field (the SDRBench dataset layout). If a
+/// real SDRBench file is available it can be dropped in for any synthetic
+/// generator.
+pub fn load_f32(path: &Path) -> io::Result<Vec<f32>> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() % 4 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} is not a multiple of 4 bytes", path.display()),
+        ));
+    }
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+/// Write a raw little-endian `f32` field.
+pub fn save_f32(path: &Path, data: &[f32]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for v in data {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Write a grayscale image as a binary PGM (P5), normalizing values to the
+/// full 8-bit range. Used for the Fig. 13 stacking-image visual comparison.
+pub fn save_pgm(path: &Path, data: &[f32], width: usize, height: usize) -> io::Result<()> {
+    assert_eq!(data.len(), width * height, "image dimensions must match data");
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in data {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let scale = if hi > lo { 255.0 / (hi - lo) } else { 0.0 };
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "P5\n{width} {height}\n255\n")?;
+    for &v in data {
+        w.write_all(&[((v - lo) * scale).round().clamp(0.0, 255.0) as u8])?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip() {
+        let dir = std::env::temp_dir().join("hzccl_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("field.f32");
+        let data = vec![1.5f32, -2.25, 0.0, 1e-20];
+        save_f32(&p, &data).unwrap();
+        assert_eq!(load_f32(&p).unwrap(), data);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn odd_sized_file_rejected() {
+        let dir = std::env::temp_dir().join("hzccl_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bad.f32");
+        std::fs::write(&p, [0u8; 7]).unwrap();
+        assert!(load_f32(&p).is_err());
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn pgm_has_correct_header_and_size() {
+        let dir = std::env::temp_dir().join("hzccl_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("img.pgm");
+        let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        save_pgm(&p, &data, 4, 3).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        assert!(bytes.starts_with(b"P5\n4 3\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n4 3\n255\n".len() + 12);
+        // max value maps to 255, min to 0
+        assert_eq!(*bytes.last().unwrap(), 255);
+        std::fs::remove_file(&p).unwrap();
+    }
+}

@@ -1,0 +1,24 @@
+//! # datasets — synthetic scientific fields + quality metrics
+//!
+//! Substrate crate of the hZCCL reproduction: seeded generators for the five
+//! application datasets of Table I (two RTM seismic settings, NYX cosmology,
+//! CESM-ATM climate, Hurricane Isabel), raw `.f32` I/O compatible with
+//! SDRBench files, a PGM writer for the Fig. 13 visual comparison, and the
+//! NRMSE/PSNR/max-error metrics the paper reports.
+//!
+//! ```
+//! use datasets::{App, Quality};
+//!
+//! let field = App::Nyx.generate(10_000, 1);
+//! let q = Quality::compare(&field, &field);
+//! assert_eq!(q.max_abs_err, 0.0);
+//! ```
+
+pub mod apps;
+pub mod io;
+pub mod metrics;
+pub mod noise;
+
+pub use apps::App;
+pub use io::{load_f32, save_f32, save_pgm};
+pub use metrics::{mean_std, Quality};

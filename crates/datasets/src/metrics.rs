@@ -1,0 +1,144 @@
+//! Compression-quality metrics as reported in the paper's evaluation:
+//! NRMSE, PSNR, maximum absolute/relative error, and value range.
+
+/// Quality metrics of a reconstruction against its original field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    /// `min(original)`.
+    pub min: f64,
+    /// `max(original)`.
+    pub max: f64,
+    /// Maximum absolute point-wise error.
+    pub max_abs_err: f64,
+    /// `max_abs_err / (max - min)` (range-relative).
+    pub max_rel_err: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// `rmse / (max - min)`.
+    pub nrmse: f64,
+    /// `20 * log10(range / rmse)`.
+    pub psnr: f64,
+}
+
+impl Quality {
+    /// Compare a reconstruction against the original field.
+    ///
+    /// Panics if lengths differ; returns degenerate (zero-error) metrics for
+    /// empty input.
+    pub fn compare(original: &[f32], reconstructed: &[f32]) -> Quality {
+        assert_eq!(original.len(), reconstructed.len(), "field lengths must match");
+        if original.is_empty() {
+            return Quality {
+                min: 0.0,
+                max: 0.0,
+                max_abs_err: 0.0,
+                max_rel_err: 0.0,
+                rmse: 0.0,
+                nrmse: 0.0,
+                psnr: f64::INFINITY,
+            };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut max_abs = 0f64;
+        let mut sq_sum = 0f64;
+        for (&a, &b) in original.iter().zip(reconstructed) {
+            let a = a as f64;
+            let e = (a - b as f64).abs();
+            min = min.min(a);
+            max = max.max(a);
+            max_abs = max_abs.max(e);
+            sq_sum += e * e;
+        }
+        let rmse = (sq_sum / original.len() as f64).sqrt();
+        let range = max - min;
+        let (nrmse, max_rel, psnr) = if range > 0.0 {
+            (
+                rmse / range,
+                max_abs / range,
+                if rmse > 0.0 { 20.0 * (range / rmse).log10() } else { f64::INFINITY },
+            )
+        } else {
+            (rmse, max_abs, if rmse > 0.0 { 0.0 } else { f64::INFINITY })
+        };
+        Quality {
+            min,
+            max,
+            max_abs_err: max_abs,
+            max_rel_err: max_rel,
+            rmse,
+            nrmse,
+            psnr,
+        }
+    }
+}
+
+/// Mean and (population) standard deviation of a sample — used to aggregate
+/// per-field NRMSE into Table III's `NRMSE ± STD` columns.
+pub fn mean_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_fields_have_zero_error() {
+        let a: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let q = Quality::compare(&a, &a);
+        assert_eq!(q.max_abs_err, 0.0);
+        assert_eq!(q.nrmse, 0.0);
+        assert!(q.psnr.is_infinite());
+        assert_eq!(q.min, 0.0);
+        assert_eq!(q.max, 99.0);
+    }
+
+    #[test]
+    fn known_error_is_reported() {
+        let a = vec![0.0f32, 10.0];
+        let b = vec![1.0f32, 10.0];
+        let q = Quality::compare(&a, &b);
+        assert_eq!(q.max_abs_err, 1.0);
+        assert!((q.max_rel_err - 0.1).abs() < 1e-12);
+        // rmse = sqrt(1/2)
+        assert!((q.rmse - (0.5f64).sqrt()).abs() < 1e-12);
+        // psnr = 20 log10(10 / rmse)
+        assert!((q.psnr - 20.0 * (10.0 / (0.5f64).sqrt()).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_field_uses_degenerate_range() {
+        let a = vec![5.0f32; 4];
+        let b = vec![5.5f32; 4];
+        let q = Quality::compare(&a, &b);
+        assert_eq!(q.max_abs_err, 0.5);
+        assert_eq!(q.nrmse, 0.5); // falls back to rmse itself
+    }
+
+    #[test]
+    fn empty_fields_are_ok() {
+        let q = Quality::compare(&[], &[]);
+        assert_eq!(q.rmse, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn length_mismatch_panics() {
+        Quality::compare(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,131 @@
+//! Thread-chunk partitioning (the "multi-layered partitioning" of
+//! Sec. III-B.2).
+//!
+//! The input of `n` elements is split into `nchunks` contiguous ranges of
+//! `n / nchunks` elements each; the final chunk additionally absorbs the
+//! `n % nchunks` remainder, exactly as the paper assigns the last `D % N`
+//! points to thread `N-1`.
+
+/// The element range a single thread-chunk covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSpan {
+    /// Index of the first element.
+    pub start: usize,
+    /// Number of elements.
+    pub len: usize,
+}
+
+/// Compute the effective chunk count for `n` elements and a requested thread
+/// count: never more chunks than elements, at least one chunk when `n > 0`,
+/// and zero chunks for empty input.
+pub fn effective_chunks(n: usize, threads: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        threads.max(1).min(n)
+    }
+}
+
+/// Enumerate the chunk spans for `n` elements split into `nchunks` chunks.
+///
+/// `nchunks` must come from [`effective_chunks`]; panics if a chunk would be
+/// empty.
+pub fn chunk_spans(n: usize, nchunks: usize) -> Vec<ChunkSpan> {
+    if nchunks == 0 {
+        assert_eq!(n, 0, "zero chunks only valid for empty input");
+        return Vec::new();
+    }
+    let base = n / nchunks;
+    assert!(base > 0, "more chunks than elements");
+    let mut spans = Vec::with_capacity(nchunks);
+    for t in 0..nchunks {
+        let start = t * base;
+        let len = if t == nchunks - 1 { n - start } else { base };
+        spans.push(ChunkSpan { start, len });
+    }
+    spans
+}
+
+/// Split a mutable slice into sub-slices matching `spans` (which must tile the
+/// slice exactly, in order).
+pub fn split_mut<'a, T>(mut data: &'a mut [T], spans: &[ChunkSpan]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(spans.len());
+    let mut consumed = 0usize;
+    for span in spans {
+        assert_eq!(span.start, consumed, "spans must be contiguous");
+        let (head, tail) = data.split_at_mut(span.len);
+        out.push(head);
+        data = tail;
+        consumed += span.len;
+    }
+    assert!(data.is_empty(), "spans must cover the whole slice");
+    out
+}
+
+/// Number of small blocks needed to cover `len` elements with blocks of
+/// `block_len`.
+pub fn block_count(len: usize, block_len: usize) -> usize {
+    len.div_ceil(block_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_tile_the_input() {
+        for n in [1usize, 2, 31, 32, 100, 101, 1024] {
+            for t in [1usize, 2, 3, 7, 16] {
+                let nchunks = effective_chunks(n, t);
+                let spans = chunk_spans(n, nchunks);
+                assert_eq!(spans.len(), nchunks);
+                let mut next = 0;
+                for s in &spans {
+                    assert_eq!(s.start, next);
+                    assert!(s.len > 0);
+                    next += s.len;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn last_chunk_absorbs_remainder() {
+        let spans = chunk_spans(10, 3);
+        assert_eq!(spans[0].len, 3);
+        assert_eq!(spans[1].len, 3);
+        assert_eq!(spans[2].len, 4);
+    }
+
+    #[test]
+    fn empty_input_has_no_chunks() {
+        assert_eq!(effective_chunks(0, 8), 0);
+        assert!(chunk_spans(0, 0).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_elements_is_clamped() {
+        assert_eq!(effective_chunks(3, 16), 3);
+        let spans = chunk_spans(3, 3);
+        assert!(spans.iter().all(|s| s.len == 1));
+    }
+
+    #[test]
+    fn split_mut_matches_spans() {
+        let mut v: Vec<u32> = (0..10).collect();
+        let spans = chunk_spans(10, 3);
+        let parts = split_mut(&mut v, &spans);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &[0, 1, 2]);
+        assert_eq!(parts[2], &[6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn block_count_rounds_up() {
+        assert_eq!(block_count(0, 32), 0);
+        assert_eq!(block_count(1, 32), 1);
+        assert_eq!(block_count(32, 32), 1);
+        assert_eq!(block_count(33, 32), 2);
+    }
+}

@@ -1,0 +1,366 @@
+//! Ultra-fast bit-shifting fixed-length block codec (Sec. III-B.3).
+//!
+//! A *block* is up to [`crate::config::MAX_BLOCK_LEN`] signed quantization
+//! deltas. Deltas are differences of `i32` quantization integers, so a single
+//! delta can span 33 bits signed; they are therefore handled as `i64` with a
+//! sign bitmap plus a `u32` magnitude (magnitudes above `u32::MAX` are a
+//! [`DeltaOverflow`](crate::error::Error::DeltaOverflow), which can only arise
+//! from homomorphic accumulation, never from compression itself).
+//!
+//! On the wire a block is:
+//!
+//! ```text
+//! [ code: u8 ]                      bit width c of the largest |delta|
+//! if c > 0:
+//!   [ signs: ceil(L/8) bytes ]      LSB-first sign bitmap (1 = negative)
+//!   [ planes: (c/8) * L bytes ]     full byte planes, plane p = bits 8p..8p+8
+//!   [ resid: ceil(L*r/8) bytes ]    r = c%8 high residual bits, LSB-first
+//! ```
+//!
+//! `c == 0` marks a **constant block** (all deltas zero) — a single byte on
+//! the wire. This is the representation the `hZ-dynamic` pipeline heuristic
+//! dispatches on: constant+constant blocks need no work at all, and
+//! constant+non-constant blocks are verbatim byte copies.
+//!
+//! The byte-plane layout is the CPU analogue of the paper's
+//! `ultra_fast_bit_shifting_x` scheme: full bytes of every element are stored
+//! with plain shifts (no bit-granular work), and only the final `r < 8`
+//! residual bits per element go through a packed bit writer.
+
+use crate::error::{Error, Result};
+
+/// Number of sign-bitmap bytes for a block of `len` deltas.
+#[inline]
+pub const fn sign_bytes(len: usize) -> usize {
+    len.div_ceil(8)
+}
+
+/// Bit width needed to store `max_mag` (0 for 0).
+#[inline]
+pub fn code_for_max(max_mag: u32) -> u8 {
+    (32 - max_mag.leading_zeros()) as u8
+}
+
+/// Payload size in bytes (excluding the 1-byte code) for a block of `len`
+/// deltas encoded with code length `c`.
+#[inline]
+pub const fn payload_size(c: u8, len: usize) -> usize {
+    if c == 0 {
+        return 0;
+    }
+    let byte_count = (c / 8) as usize;
+    let r = (c % 8) as usize;
+    sign_bytes(len) + byte_count * len + (len * r).div_ceil(8)
+}
+
+/// Total on-wire size (code byte + payload).
+#[inline]
+pub const fn block_size(c: u8, len: usize) -> usize {
+    1 + payload_size(c, len)
+}
+
+/// Read the code byte of the block starting at `input[0]`.
+#[inline]
+pub fn peek_code(input: &[u8]) -> Result<u8> {
+    match input.first() {
+        Some(&c) if c <= 32 => Ok(c),
+        Some(_) => Err(Error::Corrupt("code length > 32")),
+        None => Err(Error::Truncated { need: 1, have: 0 }),
+    }
+}
+
+/// Encode a block given `u32` magnitudes and a sign bitmap; appends to `out`
+/// and returns the code length used.
+///
+/// `signs` bit `i` set means delta `i` is negative. Magnitude 0 must carry
+/// sign bit 0 so the encoding is canonical (the homomorphic sum relies on
+/// byte-identical copies for pipelines ② and ③).
+pub fn encode_block(mags: &[u32], signs: u64, out: &mut Vec<u8>) -> u8 {
+    debug_assert!(mags.len() <= crate::config::MAX_BLOCK_LEN);
+    let len = mags.len();
+    let mut max = 0u32;
+    for &m in mags {
+        max |= m;
+    }
+    let c = code_for_max(max);
+    out.push(c);
+    if c == 0 {
+        return 0;
+    }
+    // sign bitmap
+    let sb = sign_bytes(len);
+    for b in 0..sb {
+        out.push(((signs >> (8 * b)) & 0xFF) as u8);
+    }
+    // full byte planes
+    let byte_count = (c / 8) as usize;
+    for p in 0..byte_count {
+        let shift = 8 * p as u32;
+        for &m in mags {
+            out.push((m >> shift) as u8);
+        }
+    }
+    // residual (high) bits, LSB-first packed
+    let r = (c % 8) as u32;
+    if r > 0 {
+        let base = 8 * byte_count as u32;
+        let mask = (1u32 << r) - 1;
+        let mut acc = 0u64;
+        let mut nbits = 0u32;
+        for &m in mags {
+            acc |= (((m >> base) & mask) as u64) << nbits;
+            nbits += r;
+            while nbits >= 8 {
+                out.push((acc & 0xFF) as u8);
+                acc >>= 8;
+                nbits -= 8;
+            }
+        }
+        if nbits > 0 {
+            out.push((acc & 0xFF) as u8);
+        }
+    }
+    c
+}
+
+/// Encode a block of signed `i64` deltas (computes magnitudes + sign bitmap
+/// first). Appends to `out`, returns the code length used.
+///
+/// Fails with [`Error::DeltaOverflow`] if any `|delta| > u32::MAX`.
+pub fn encode_deltas(deltas: &[i64], out: &mut Vec<u8>) -> Result<u8> {
+    debug_assert!(deltas.len() <= crate::config::MAX_BLOCK_LEN);
+    let mut mags = [0u32; crate::config::MAX_BLOCK_LEN];
+    let mut signs = 0u64;
+    for (i, &d) in deltas.iter().enumerate() {
+        let mag = d.unsigned_abs();
+        if mag > u32::MAX as u64 {
+            return Err(Error::DeltaOverflow);
+        }
+        mags[i] = mag as u32;
+        signs |= u64::from(d < 0) << i;
+    }
+    Ok(encode_block(&mags[..deltas.len()], signs, out))
+}
+
+/// Decode the block starting at `input[0]` into `deltas` (whose length is the
+/// block length). Returns the number of bytes consumed.
+pub fn decode_block(input: &[u8], deltas: &mut [i64]) -> Result<usize> {
+    let len = deltas.len();
+    debug_assert!(len <= crate::config::MAX_BLOCK_LEN);
+    let c = peek_code(input)?;
+    let total = block_size(c, len);
+    if input.len() < total {
+        return Err(Error::Truncated { need: total, have: input.len() });
+    }
+    if c == 0 {
+        deltas.fill(0);
+        return Ok(1);
+    }
+    let mut pos = 1usize;
+    // sign bitmap
+    let sb = sign_bytes(len);
+    let mut signs = 0u64;
+    for b in 0..sb {
+        signs |= (input[pos + b] as u64) << (8 * b);
+    }
+    pos += sb;
+    // full byte planes
+    let byte_count = (c / 8) as usize;
+    let mut mags = [0u32; crate::config::MAX_BLOCK_LEN];
+    for p in 0..byte_count {
+        let shift = 8 * p as u32;
+        let plane = &input[pos..pos + len];
+        for (i, &byte) in plane.iter().enumerate() {
+            mags[i] |= (byte as u32) << shift;
+        }
+        pos += len;
+    }
+    // residual bits
+    let r = (c % 8) as u32;
+    if r > 0 {
+        let base = 8 * byte_count as u32;
+        let mask = (1u64 << r) - 1;
+        let mut acc = 0u64;
+        let mut nbits = 0u32;
+        let mut src = pos;
+        for m in mags.iter_mut().take(len) {
+            while nbits < r {
+                acc |= (input[src] as u64) << nbits;
+                src += 1;
+                nbits += 8;
+            }
+            *m |= ((acc & mask) as u32) << base;
+            acc >>= r;
+            nbits -= r;
+        }
+    }
+    // apply signs
+    for (i, d) in deltas.iter_mut().enumerate() {
+        let m = mags[i] as i64;
+        *d = if (signs >> i) & 1 == 1 { -m } else { m };
+    }
+    Ok(total)
+}
+
+/// Copy a whole encoded block (code byte + payload) from `input` to `out`.
+/// Returns the number of bytes copied. Used by hZ-dynamic pipelines ② and ③.
+pub fn copy_block(input: &[u8], len: usize, out: &mut Vec<u8>) -> Result<usize> {
+    let c = peek_code(input)?;
+    let total = block_size(c, len);
+    if input.len() < total {
+        return Err(Error::Truncated { need: total, have: input.len() });
+    }
+    out.extend_from_slice(&input[..total]);
+    Ok(total)
+}
+
+/// Skip over an encoded block, returning its on-wire size.
+pub fn skip_block(input: &[u8], len: usize) -> Result<usize> {
+    let c = peek_code(input)?;
+    let total = block_size(c, len);
+    if input.len() < total {
+        return Err(Error::Truncated { need: total, have: input.len() });
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(deltas: &[i64]) -> Vec<i64> {
+        let mut buf = Vec::new();
+        encode_deltas(deltas, &mut buf).unwrap();
+        let mut out = vec![0i64; deltas.len()];
+        let used = decode_block(&buf, &mut out).unwrap();
+        assert_eq!(used, buf.len(), "decoder must consume exactly what encoder wrote");
+        out
+    }
+
+    #[test]
+    fn zero_block_is_one_byte() {
+        let deltas = [0i64; 32];
+        let mut buf = Vec::new();
+        let c = encode_deltas(&deltas, &mut buf).unwrap();
+        assert_eq!(c, 0);
+        assert_eq!(buf, vec![0u8]);
+        assert_eq!(roundtrip(&deltas), deltas);
+    }
+
+    #[test]
+    fn small_values_roundtrip() {
+        let deltas: Vec<i64> = (0..32).map(|i| (i % 7) - 3).collect();
+        assert_eq!(roundtrip(&deltas), deltas);
+    }
+
+    #[test]
+    fn every_code_length_roundtrips() {
+        for c in 1..=32u32 {
+            let hi = (1u64 << c) - 1;
+            let deltas: Vec<i64> = (0..32)
+                .map(|i| {
+                    let v = (hi * (i as u64 + 1) / 32) as i64;
+                    if i % 2 == 0 {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect();
+            assert_eq!(roundtrip(&deltas), deltas, "code length {c}");
+        }
+    }
+
+    #[test]
+    fn extreme_deltas_roundtrip() {
+        let max = u32::MAX as i64;
+        let deltas = [max, -max, 0, -1, 1, max - 1, 0, 0];
+        assert_eq!(roundtrip(&deltas), deltas);
+    }
+
+    #[test]
+    fn delta_overflow_detected() {
+        let deltas = [u32::MAX as i64 + 1];
+        let mut buf = Vec::new();
+        assert!(matches!(encode_deltas(&deltas, &mut buf), Err(Error::DeltaOverflow)));
+        let deltas = [-(u32::MAX as i64) - 1];
+        assert!(matches!(encode_deltas(&deltas, &mut buf), Err(Error::DeltaOverflow)));
+    }
+
+    #[test]
+    fn partial_blocks_roundtrip() {
+        for len in 1..=33usize {
+            let len = len.min(crate::config::MAX_BLOCK_LEN);
+            let deltas: Vec<i64> = (0..len).map(|i| (i as i64 - 5) * 1000).collect();
+            assert_eq!(roundtrip(&deltas), deltas, "len {len}");
+        }
+    }
+
+    #[test]
+    fn sixty_four_element_blocks_roundtrip() {
+        let deltas: Vec<i64> = (0..64).map(|i| (i as i64 - 32) * 77777).collect();
+        assert_eq!(roundtrip(&deltas), deltas);
+    }
+
+    #[test]
+    fn block_size_matches_encoded_size() {
+        for c_target in [0u32, 1, 3, 7, 8, 9, 15, 16, 17, 24, 31, 32] {
+            let v: i64 = if c_target == 0 { 0 } else { 1i64 << (c_target - 1) };
+            let deltas = vec![v; 32];
+            let mut buf = Vec::new();
+            let c = encode_deltas(&deltas, &mut buf).unwrap();
+            assert_eq!(c as u32, c_target);
+            assert_eq!(buf.len(), block_size(c, 32));
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let deltas = [12345i64; 32];
+        let mut buf = Vec::new();
+        encode_deltas(&deltas, &mut buf).unwrap();
+        let mut out = [0i64; 32];
+        for cut in 0..buf.len() {
+            assert!(decode_block(&buf[..cut], &mut out).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn invalid_code_is_rejected() {
+        let buf = [40u8, 0, 0];
+        let mut out = [0i64; 4];
+        assert!(matches!(decode_block(&buf, &mut out), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn copy_and_skip_agree_with_decode() {
+        let deltas: Vec<i64> = (0..32).map(|i| i * 37 - 400).collect();
+        let mut buf = Vec::new();
+        encode_deltas(&deltas, &mut buf).unwrap();
+        buf.extend_from_slice(&[0xAA; 5]); // trailing noise
+        let mut copied = Vec::new();
+        let n1 = copy_block(&buf, 32, &mut copied).unwrap();
+        let n2 = skip_block(&buf, 32).unwrap();
+        assert_eq!(n1, n2);
+        assert_eq!(&buf[..n1], copied.as_slice());
+    }
+
+    #[test]
+    fn canonical_zero_sign_for_zero_magnitude() {
+        let deltas = [0i64, -5, 0, 5];
+        let mut buf = Vec::new();
+        encode_deltas(&deltas, &mut buf).unwrap();
+        // signs byte: only bit 1 set
+        assert_eq!(buf[1], 0b0000_0010);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let deltas: Vec<i64> = (0..32).map(|i| i * i - 200).collect();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        encode_deltas(&deltas, &mut a).unwrap();
+        encode_deltas(&deltas, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+}

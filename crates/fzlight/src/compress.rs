@@ -1,0 +1,190 @@
+//! Parallel fused compression (quantization + prediction + encoding in one
+//! pass over contiguous memory, Sec. III-B.2).
+
+use crate::chunk::{chunk_spans, effective_chunks, ChunkSpan};
+use crate::codec;
+use crate::config::{Config, MAX_BLOCK_LEN};
+use crate::error::Result;
+use crate::header::Header;
+use crate::quantize::quantize;
+use crate::stream::CompressedStream;
+
+/// Compress `data` with the given configuration.
+///
+/// Relative error bounds are resolved against the data range first; see
+/// [`compress_resolved`] when the absolute bound is already known (e.g. in
+/// collectives, where every rank must bake the *same* bound into its stream).
+pub fn compress(data: &[f32], cfg: &Config) -> Result<CompressedStream> {
+    cfg.validate()?;
+    let eb = cfg.eb.resolve(data)?;
+    compress_resolved(data, eb, cfg.block_len, cfg.threads)
+}
+
+/// Compress with an already-resolved absolute error bound.
+///
+/// `threads` is both the parallelism degree and the number of thread-chunks
+/// in the stream layout (clamped to the element count).
+pub fn compress_resolved(
+    data: &[f32],
+    eb_abs: f64,
+    block_len: usize,
+    threads: usize,
+) -> Result<CompressedStream> {
+    let n = data.len();
+    let nchunks = effective_chunks(n, threads);
+    let spans = chunk_spans(n, nchunks);
+    let inv_2eb = 1.0 / (2.0 * eb_abs);
+
+    let parts: Vec<Result<Vec<u8>>> = if nchunks <= 1 {
+        spans
+            .iter()
+            .map(|span| {
+                let mut out = chunk_buffer(span.len, block_len);
+                compress_chunk(slice_of(data, span), span.start, block_len, inv_2eb, &mut out)
+                    .map(|()| out)
+            })
+            .collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = spans
+                .iter()
+                .map(|span| {
+                    let span = *span;
+                    s.spawn(move || {
+                        let mut out = chunk_buffer(span.len, block_len);
+                        compress_chunk(
+                            slice_of(data, &span),
+                            span.start,
+                            block_len,
+                            inv_2eb,
+                            &mut out,
+                        )
+                        .map(|()| out)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("compressor thread panicked")).collect()
+        })
+    };
+
+    let mut offsets = Vec::with_capacity(nchunks + 1);
+    offsets.push(0u64);
+    let mut body_len = 0usize;
+    let mut chunks = Vec::with_capacity(nchunks);
+    for part in parts {
+        let part = part?;
+        body_len += part.len();
+        offsets.push(body_len as u64);
+        chunks.push(part);
+    }
+
+    let mut body = Vec::with_capacity(body_len);
+    for c in &chunks {
+        body.extend_from_slice(c);
+    }
+
+    let header = Header {
+        n: n as u64,
+        eb: eb_abs,
+        block_len: block_len as u32,
+        nchunks: nchunks as u32,
+        offsets,
+    };
+    Ok(CompressedStream::from_parts(header, &body))
+}
+
+fn slice_of<'a>(data: &'a [f32], span: &ChunkSpan) -> &'a [f32] {
+    &data[span.start..span.start + span.len]
+}
+
+/// Initial capacity guess for a chunk's compressed bytes: outlier + one code
+/// byte per block + a quarter of the raw size (ratio 4 heuristic; `Vec` growth
+/// handles low-compressibility data).
+fn chunk_buffer(len: usize, block_len: usize) -> Vec<u8> {
+    Vec::with_capacity(4 + len.div_ceil(block_len) + len)
+}
+
+/// Fused quantization + prediction + encoding of one thread-chunk.
+///
+/// Emits `[outlier i32][block records...]` into `out`. The first delta of the
+/// chunk is always zero (the first quantization integer lives in the
+/// outlier), which the homomorphic sum preserves.
+pub(crate) fn compress_chunk(
+    chunk: &[f32],
+    base: usize,
+    block_len: usize,
+    inv_2eb: f64,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    debug_assert!(!chunk.is_empty());
+    debug_assert!(block_len <= MAX_BLOCK_LEN);
+    let q0 = quantize(chunk[0], inv_2eb, base)?;
+    out.extend_from_slice(&q0.to_le_bytes());
+    let mut q_prev = q0 as i64;
+    let mut mags = [0u32; MAX_BLOCK_LEN];
+    let mut index = base;
+    for block in chunk.chunks(block_len) {
+        let mut signs = 0u64;
+        for (k, &v) in block.iter().enumerate() {
+            let q = quantize(v, inv_2eb, index)? as i64;
+            index += 1;
+            let d = q - q_prev;
+            q_prev = q;
+            // |d| <= 2^32 - 2 because both integers fit in i32.
+            mags[k] = d.unsigned_abs() as u32;
+            signs |= u64::from(d < 0) << k;
+        }
+        codec::encode_block(&mags[..block.len()], signs, out);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ErrorBound;
+
+    #[test]
+    fn chunk_layout_matches_thread_count() {
+        let data: Vec<f32> = (0..1000).map(|i| i as f32 * 0.5).collect();
+        let s = compress(&data, &Config::new(ErrorBound::Abs(1e-2)).with_threads(4)).unwrap();
+        assert_eq!(s.nchunks(), 4);
+        let s1 = compress(&data, &Config::new(ErrorBound::Abs(1e-2))).unwrap();
+        assert_eq!(s1.nchunks(), 1);
+    }
+
+    #[test]
+    fn first_delta_of_every_chunk_is_zero() {
+        // The first block of each chunk must decode with delta[0] == 0.
+        let data: Vec<f32> = (0..256).map(|i| (i as f32).sin() * 10.0).collect();
+        let s = compress(&data, &Config::new(ErrorBound::Abs(1e-3)).with_threads(4)).unwrap();
+        for ci in 0..s.nchunks() {
+            let payload = s.chunk_payload(ci);
+            let mut deltas = [0i64; 32];
+            codec::decode_block(&payload[4..], &mut deltas).unwrap();
+            assert_eq!(deltas[0], 0, "chunk {ci}");
+        }
+    }
+
+    #[test]
+    fn compressed_size_accounts_header_and_body() {
+        let data = vec![0.0f32; 4096];
+        let s = compress(&data, &Config::new(ErrorBound::Abs(1e-3)).with_threads(2)).unwrap();
+        // all-zero data: per chunk 4-byte outlier + 64 one-byte constant blocks
+        let expected_body = 2 * (4 + 64);
+        assert_eq!(s.header().body_len(), expected_body);
+        assert_eq!(
+            s.compressed_size(),
+            crate::header::Header::serialized_len(2) + expected_body
+        );
+    }
+
+    #[test]
+    fn error_reported_with_global_index() {
+        let mut data: Vec<f32> = vec![1.0; 100];
+        data[73] = f32::NAN;
+        let err = compress(&data, &Config::new(ErrorBound::Abs(1e-3)).with_threads(3))
+            .expect_err("should fail");
+        assert_eq!(err, crate::error::Error::NonFiniteInput { index: 73 });
+    }
+}

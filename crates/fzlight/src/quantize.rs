@@ -1,0 +1,77 @@
+//! Scalar quantization helpers.
+//!
+//! Quantization is the single lossy step of the whole pipeline:
+//! `q = round(v / (2*eb))`, reconstructed as `v' = q * 2*eb`, which bounds the
+//! point-wise error by `eb`. All downstream stages (prediction, encoding,
+//! homomorphic reduction) operate on the integers `q` exactly.
+
+use crate::error::{Error, Result};
+
+/// Quantize one value with the precomputed reciprocal `inv_2eb = 1 / (2*eb)`.
+///
+/// Rejects non-finite inputs and quantization integers outside `i32` range
+/// (the stream stores 4-byte outliers and 32-bit delta magnitudes).
+#[inline]
+pub fn quantize(v: f32, inv_2eb: f64, index: usize) -> Result<i32> {
+    if !v.is_finite() {
+        return Err(Error::NonFiniteInput { index });
+    }
+    let q = (v as f64 * inv_2eb).round();
+    if q > i32::MAX as f64 || q < i32::MIN as f64 {
+        return Err(Error::QuantizationOverflow { index, value: v });
+    }
+    Ok(q as i32)
+}
+
+/// Reconstruct a value from its quantization integer.
+#[inline]
+pub fn dequantize(q: i32, two_eb: f64) -> f32 {
+    (q as f64 * two_eb) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_dequantize_respects_bound() {
+        let eb = 1e-3f64;
+        let inv = 1.0 / (2.0 * eb);
+        for i in 0..10_000 {
+            let v = (i as f32 * 0.01).sin() * 50.0;
+            let q = quantize(v, inv, i).unwrap();
+            let v2 = dequantize(q, 2.0 * eb);
+            assert!(((v - v2).abs() as f64) <= eb * (1.0 + 1e-9), "{v} -> {q} -> {v2}");
+        }
+    }
+
+    #[test]
+    fn rounds_to_nearest() {
+        let inv = 1.0 / 2.0; // eb = 1, bucket width 2
+        assert_eq!(quantize(0.9, inv, 0).unwrap(), 0);
+        assert_eq!(quantize(1.1, inv, 0).unwrap(), 1);
+        assert_eq!(quantize(-1.1, inv, 0).unwrap(), -1);
+    }
+
+    #[test]
+    fn zero_maps_to_zero() {
+        assert_eq!(quantize(0.0, 5000.0, 0).unwrap(), 0);
+        assert_eq!(quantize(-0.0, 5000.0, 0).unwrap(), 0);
+        assert_eq!(dequantize(0, 2e-4), 0.0);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let inv = 1.0 / (2.0 * 1e-30);
+        assert!(matches!(
+            quantize(1.0e9, inv, 3),
+            Err(Error::QuantizationOverflow { index: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_detected() {
+        assert!(quantize(f32::NAN, 1.0, 0).is_err());
+        assert!(quantize(f32::NEG_INFINITY, 1.0, 1).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Ablation variant: *unfused* quantization → prediction → encoding.
+//!
+//! Sec. III-B.2 argues that fusing quantization and prediction "reduces the
+//! number of memory accesses compared to the unfused version". This module
+//! implements the unfused version — three separate passes with a full-size
+//! intermediate integer array, as in cuSZp's staged GPU pipeline — producing
+//! **byte-identical streams** to [`crate::compress`], so the ablation bench
+//! isolates exactly the memory-traffic effect.
+
+use crate::chunk::{chunk_spans, effective_chunks};
+use crate::codec;
+use crate::config::Config;
+use crate::error::Result;
+use crate::header::Header;
+use crate::quantize::quantize;
+use crate::stream::CompressedStream;
+
+/// Compress with separate quantize / predict / encode passes.
+///
+/// The output is byte-identical to [`crate::compress`] with the same
+/// configuration; only the memory-access pattern (and therefore throughput)
+/// differs.
+pub fn compress_unfused(data: &[f32], cfg: &Config) -> Result<CompressedStream> {
+    cfg.validate()?;
+    let eb = cfg.eb.resolve(data)?;
+    let n = data.len();
+    let nchunks = effective_chunks(n, cfg.threads);
+    let spans = chunk_spans(n, nchunks);
+    let inv_2eb = 1.0 / (2.0 * eb);
+    let block_len = cfg.block_len;
+
+    let run_chunk = |start: usize, len: usize| -> Result<Vec<u8>> {
+        let chunk = &data[start..start + len];
+        // Pass 1: quantize everything into an intermediate array.
+        let mut q = vec![0i64; len];
+        for (k, &v) in chunk.iter().enumerate() {
+            q[k] = quantize(v, inv_2eb, start + k)? as i64;
+        }
+        // Pass 2: delta-predict in place (reverse order keeps predecessors).
+        let outlier = q[0] as i32;
+        for k in (1..len).rev() {
+            q[k] -= q[k - 1];
+        }
+        q[0] = 0;
+        // Pass 3: fixed-length encode block by block.
+        let mut out = Vec::with_capacity(4 + len.div_ceil(block_len) + len);
+        out.extend_from_slice(&outlier.to_le_bytes());
+        for block in q.chunks(block_len) {
+            codec::encode_deltas(block, &mut out)?;
+        }
+        Ok(out)
+    };
+
+    let parts: Vec<Result<Vec<u8>>> = if nchunks <= 1 {
+        spans.iter().map(|s| run_chunk(s.start, s.len)).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = spans
+                .iter()
+                .map(|span| {
+                    let (start, len) = (span.start, span.len);
+                    scope.spawn(move || run_chunk(start, len))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("unfused thread panicked")).collect()
+        })
+    };
+
+    let mut offsets = Vec::with_capacity(nchunks + 1);
+    offsets.push(0u64);
+    let mut body = Vec::new();
+    for part in parts {
+        body.extend_from_slice(&part?);
+        offsets.push(body.len() as u64);
+    }
+    let header = Header {
+        n: n as u64,
+        eb,
+        block_len: block_len as u32,
+        nchunks: nchunks as u32,
+        offsets,
+    };
+    Ok(CompressedStream::from_parts(header, &body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ErrorBound;
+
+    #[test]
+    fn unfused_output_is_byte_identical_to_fused() {
+        let data: Vec<f32> = (0..20_000)
+            .map(|i| ((i as f32) * 0.013).sin() * ((i % 100) as f32))
+            .collect();
+        for threads in [1usize, 2, 5] {
+            let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(threads);
+            let fused = crate::compress(&data, &cfg).unwrap();
+            let unfused = compress_unfused(&data, &cfg).unwrap();
+            assert_eq!(fused.as_bytes(), unfused.as_bytes(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn unfused_detects_non_finite_with_global_index() {
+        let mut data = vec![0.5f32; 64];
+        data[40] = f32::INFINITY;
+        let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(2);
+        let err = compress_unfused(&data, &cfg).unwrap_err();
+        assert_eq!(err, crate::error::Error::NonFiniteInput { index: 40 });
+    }
+}

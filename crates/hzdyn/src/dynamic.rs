@@ -1,0 +1,405 @@
+//! The dynamic homomorphic compression pipeline (Fig. 4, right side).
+//!
+//! Per chunk: add the outliers, then walk the two block sequences in
+//! lockstep, dispatching each pair through the lightest applicable pipeline.
+//! Work parallelizes over thread-chunks exactly like compression does, so the
+//! multi-thread mode of the collectives gets homomorphic speedups too.
+
+use crate::op::ReduceOp;
+use crate::stats::PipelineStats;
+use fzlight::chunk::chunk_spans;
+use fzlight::codec;
+use fzlight::config::MAX_BLOCK_LEN;
+use fzlight::error::{Error, Result};
+use fzlight::header::Header;
+use fzlight::stream::CompressedStream;
+
+/// Homomorphic element-wise sum of two compatible streams.
+pub fn homomorphic_sum(a: &CompressedStream, b: &CompressedStream) -> Result<CompressedStream> {
+    homomorphic_op(a, b, ReduceOp::Sum)
+}
+
+/// Homomorphic sum that also reports pipeline-selection statistics
+/// (Table V).
+pub fn homomorphic_sum_with_stats(
+    a: &CompressedStream,
+    b: &CompressedStream,
+) -> Result<(CompressedStream, PipelineStats)> {
+    op_impl(a, b, ReduceOp::Sum)
+}
+
+/// Homomorphic binary reduction of two compatible streams.
+pub fn homomorphic_op(
+    a: &CompressedStream,
+    b: &CompressedStream,
+    op: ReduceOp,
+) -> Result<CompressedStream> {
+    op_impl(a, b, op).map(|(s, _)| s)
+}
+
+fn op_impl(
+    a: &CompressedStream,
+    b: &CompressedStream,
+    op: ReduceOp,
+) -> Result<(CompressedStream, PipelineStats)> {
+    a.header().check_compatible(b.header())?;
+    let n = a.n();
+    let nchunks = a.nchunks();
+    let block_len = a.block_len();
+    let spans = chunk_spans(n, nchunks);
+
+    let parts: Vec<Result<(Vec<u8>, PipelineStats)>> = if nchunks <= 1 {
+        spans
+            .iter()
+            .enumerate()
+            .map(|(ci, span)| {
+                hz_chunk(a.chunk_payload(ci), b.chunk_payload(ci), ci, span.len, block_len, op)
+            })
+            .collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = spans
+                .iter()
+                .enumerate()
+                .map(|(ci, span)| {
+                    let (pa, pb, len) = (a.chunk_payload(ci), b.chunk_payload(ci), span.len);
+                    s.spawn(move || hz_chunk(pa, pb, ci, len, block_len, op))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("hz thread panicked")).collect()
+        })
+    };
+
+    let mut stats = PipelineStats::default();
+    let mut offsets = Vec::with_capacity(nchunks + 1);
+    offsets.push(0u64);
+    let mut body = Vec::new();
+    for part in parts {
+        let (bytes, st) = part?;
+        stats += st;
+        body.extend_from_slice(&bytes);
+        offsets.push(body.len() as u64);
+    }
+    let header = Header {
+        n: n as u64,
+        eb: a.eb(),
+        block_len: block_len as u32,
+        nchunks: nchunks as u32,
+        offsets,
+    };
+    Ok((CompressedStream::from_parts(header, &body), stats))
+}
+
+/// Process one chunk pair homomorphically.
+fn hz_chunk(
+    pa: &[u8],
+    pb: &[u8],
+    ci: usize,
+    chunk_len: usize,
+    block_len: usize,
+    op: ReduceOp,
+) -> Result<(Vec<u8>, PipelineStats)> {
+    if pa.len() < 4 || pb.len() < 4 {
+        return Err(Error::Truncated { need: 4, have: pa.len().min(pb.len()) });
+    }
+    let oa = i32::from_le_bytes(pa[0..4].try_into().unwrap()) as i64;
+    let ob = i32::from_le_bytes(pb[0..4].try_into().unwrap()) as i64;
+    let o = op.apply(oa, ob);
+    let o32 = i32::try_from(o).map_err(|_| Error::HomomorphicOverflow { chunk: ci })?;
+
+    let mut out = Vec::with_capacity(pa.len().max(pb.len()) + 16);
+    out.extend_from_slice(&o32.to_le_bytes());
+    let mut stats = PipelineStats::default();
+
+    let mut posa = 4usize;
+    let mut posb = 4usize;
+    let mut da = [0i64; MAX_BLOCK_LEN];
+    let mut db = [0i64; MAX_BLOCK_LEN];
+    let mut remaining = chunk_len;
+    while remaining > 0 {
+        let len = remaining.min(block_len);
+        remaining -= len;
+        let ca = codec::peek_code(&pa[posa..])?;
+        let cb = codec::peek_code(&pb[posb..])?;
+        match (ca, cb) {
+            (0, 0) => {
+                // ① both constant: result deltas are all zero for Sum/Diff.
+                out.push(0);
+                posa += 1;
+                posb += 1;
+                stats.p1 += 1;
+            }
+            (0, _) if op.left_identity_copies() => {
+                // ② left constant: 0 + b = b, copy B verbatim.
+                posa += 1;
+                posb += codec::copy_block(&pb[posb..], len, &mut out)?;
+                stats.p2 += 1;
+            }
+            (0, _) => {
+                // ② for Diff: 0 - b needs a negation pass over B's deltas.
+                posa += 1;
+                posb += codec::decode_block(&pb[posb..], &mut db[..len])?;
+                for d in &mut db[..len] {
+                    *d = -*d;
+                }
+                codec::encode_deltas(&db[..len], &mut out)
+                    .map_err(|_| Error::HomomorphicOverflow { chunk: ci })?;
+                stats.p2 += 1;
+            }
+            (_, 0) => {
+                // ③ right constant: a ∘ 0 = a for both Sum and Diff.
+                posb += 1;
+                posa += codec::copy_block(&pa[posa..], len, &mut out)?;
+                stats.p3 += 1;
+            }
+            (_, _) => {
+                // ④ both non-constant: IFE → integer op → FE.
+                posa += codec::decode_block(&pa[posa..], &mut da[..len])?;
+                posb += codec::decode_block(&pb[posb..], &mut db[..len])?;
+                for k in 0..len {
+                    da[k] = op.apply(da[k], db[k]);
+                }
+                codec::encode_deltas(&da[..len], &mut out)
+                    .map_err(|_| Error::HomomorphicOverflow { chunk: ci })?;
+                stats.p4 += 1;
+            }
+        }
+    }
+    if posa != pa.len() || posb != pb.len() {
+        return Err(Error::Corrupt("chunk payload longer than its blocks"));
+    }
+    Ok((out, stats))
+}
+
+/// Homomorphic linear combination `alpha*A + beta*B` with integer
+/// coefficients, computed directly on the compressed streams.
+///
+/// Generalizes [`homomorphic_sum`] (`1,1`), [`homomorphic_op`] with `Diff`
+/// (`1,-1`) and [`homomorphic_scale`]: any operation linear on the
+/// quantization integers composes with the delta encoding. The dynamic
+/// pipeline heuristic still applies — a constant block contributes nothing,
+/// so single-sided blocks reduce to a scale (or a copy when the coefficient
+/// is 1).
+pub fn homomorphic_axpby(
+    a: &CompressedStream,
+    alpha: i32,
+    b: &CompressedStream,
+    beta: i32,
+) -> Result<CompressedStream> {
+    a.header().check_compatible(b.header())?;
+    let n = a.n();
+    let nchunks = a.nchunks();
+    let block_len = a.block_len();
+    let spans = chunk_spans(n, nchunks);
+    let (alpha, beta) = (alpha as i64, beta as i64);
+
+    let mut offsets = Vec::with_capacity(nchunks + 1);
+    offsets.push(0u64);
+    let mut body = Vec::new();
+    let mut da = [0i64; MAX_BLOCK_LEN];
+    let mut db = [0i64; MAX_BLOCK_LEN];
+    for (ci, span) in spans.iter().enumerate() {
+        let pa = a.chunk_payload(ci);
+        let pb = b.chunk_payload(ci);
+        if pa.len() < 4 || pb.len() < 4 {
+            return Err(Error::Truncated { need: 4, have: pa.len().min(pb.len()) });
+        }
+        let oa = i32::from_le_bytes(pa[0..4].try_into().unwrap()) as i64;
+        let ob = i32::from_le_bytes(pb[0..4].try_into().unwrap()) as i64;
+        let o32 = i32::try_from(alpha * oa + beta * ob)
+            .map_err(|_| Error::HomomorphicOverflow { chunk: ci })?;
+        body.extend_from_slice(&o32.to_le_bytes());
+
+        let mut posa = 4usize;
+        let mut posb = 4usize;
+        let mut remaining = span.len;
+        while remaining > 0 {
+            let len = remaining.min(block_len);
+            remaining -= len;
+            let ca = codec::peek_code(&pa[posa..])?;
+            let cb = codec::peek_code(&pb[posb..])?;
+            match (ca, cb) {
+                (0, 0) => {
+                    body.push(0);
+                    posa += 1;
+                    posb += 1;
+                }
+                (0, _) if beta == 1 => {
+                    posa += 1;
+                    posb += codec::copy_block(&pb[posb..], len, &mut body)?;
+                }
+                (_, 0) if alpha == 1 => {
+                    posb += 1;
+                    posa += codec::copy_block(&pa[posa..], len, &mut body)?;
+                }
+                _ => {
+                    posa += codec::decode_block(&pa[posa..], &mut da[..len])?;
+                    posb += codec::decode_block(&pb[posb..], &mut db[..len])?;
+                    for k in 0..len {
+                        da[k] = alpha * da[k] + beta * db[k];
+                    }
+                    codec::encode_deltas(&da[..len], &mut body)
+                        .map_err(|_| Error::HomomorphicOverflow { chunk: ci })?;
+                }
+            }
+        }
+        if posa != pa.len() || posb != pb.len() {
+            return Err(Error::Corrupt("chunk payload longer than its blocks"));
+        }
+        offsets.push(body.len() as u64);
+    }
+    let header = Header {
+        n: n as u64,
+        eb: a.eb(),
+        block_len: block_len as u32,
+        nchunks: nchunks as u32,
+        offsets,
+    };
+    Ok(CompressedStream::from_parts(header, &body))
+}
+
+/// Homomorphic integer scaling: multiply every reconstructed value by `k`
+/// without decompressing (`decompress(scale(A, k)) == k * q_A` on the
+/// quantization integers).
+pub fn homomorphic_scale(a: &CompressedStream, k: i32) -> Result<CompressedStream> {
+    let n = a.n();
+    let nchunks = a.nchunks();
+    let block_len = a.block_len();
+    let spans = chunk_spans(n, nchunks);
+    let k = k as i64;
+
+    let mut offsets = Vec::with_capacity(nchunks + 1);
+    offsets.push(0u64);
+    let mut body = Vec::new();
+    for (ci, span) in spans.iter().enumerate() {
+        let pa = a.chunk_payload(ci);
+        if pa.len() < 4 {
+            return Err(Error::Truncated { need: 4, have: pa.len() });
+        }
+        let oa = i32::from_le_bytes(pa[0..4].try_into().unwrap()) as i64;
+        let o32 =
+            i32::try_from(oa * k).map_err(|_| Error::HomomorphicOverflow { chunk: ci })?;
+        body.extend_from_slice(&o32.to_le_bytes());
+
+        let mut pos = 4usize;
+        let mut deltas = [0i64; MAX_BLOCK_LEN];
+        let mut remaining = span.len;
+        while remaining > 0 {
+            let len = remaining.min(block_len);
+            remaining -= len;
+            let c = codec::peek_code(&pa[pos..])?;
+            if c == 0 || k == 0 {
+                // constant stays constant; scaling by zero zeroes everything
+                pos += codec::skip_block(&pa[pos..], len)?;
+                body.push(0);
+            } else if k == 1 {
+                pos += codec::copy_block(&pa[pos..], len, &mut body)?;
+            } else {
+                pos += codec::decode_block(&pa[pos..], &mut deltas[..len])?;
+                for d in &mut deltas[..len] {
+                    *d *= k;
+                }
+                codec::encode_deltas(&deltas[..len], &mut body)
+                    .map_err(|_| Error::HomomorphicOverflow { chunk: ci })?;
+            }
+        }
+        if pos != pa.len() {
+            return Err(Error::Corrupt("chunk payload longer than its blocks"));
+        }
+        offsets.push(body.len() as u64);
+    }
+    let header = Header {
+        n: n as u64,
+        eb: a.eb(),
+        block_len: block_len as u32,
+        nchunks: nchunks as u32,
+        offsets,
+    };
+    Ok(CompressedStream::from_parts(header, &body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fzlight::{compress, decompress, Config, ErrorBound};
+
+    #[test]
+    fn outlier_overflow_is_detected() {
+        // Two large constant fields: outliers near i32 max each.
+        let eb = 1e-4f64;
+        let big = (i32::MAX as f64 * 2.0 * eb * 0.9) as f32;
+        let data = vec![big; 64];
+        let cfg = Config::new(ErrorBound::Abs(eb));
+        let ca = compress(&data, &cfg).unwrap();
+        let err = homomorphic_sum(&ca, &ca).unwrap_err();
+        assert!(matches!(err, Error::HomomorphicOverflow { chunk: 0 }));
+    }
+
+    #[test]
+    fn scale_by_zero_one_and_negative() {
+        let data: Vec<f32> = (0..500).map(|i| (i as f32 * 0.1).sin()).collect();
+        let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(2);
+        let c = compress(&data, &cfg).unwrap();
+        let z = decompress(&homomorphic_scale(&c, 0).unwrap()).unwrap();
+        assert!(z.iter().all(|&v| v == 0.0));
+        let one = homomorphic_scale(&c, 1).unwrap();
+        assert_eq!(one.as_bytes(), c.as_bytes());
+        let neg = decompress(&homomorphic_scale(&c, -2).unwrap()).unwrap();
+        let base = decompress(&c).unwrap();
+        for i in 0..base.len() {
+            assert!((neg[i] + 2.0 * base[i]).abs() < 1e-5, "at {i}");
+        }
+    }
+
+    #[test]
+    fn axpby_matches_integer_combination() {
+        let eb = 1e-4f64;
+        let a: Vec<f32> = (0..3000).map(|i| (i as f32 * 0.02).sin() * 4.0).collect();
+        let b: Vec<f32> = (0..3000).map(|i| (i as f32 * 0.05).cos() * 2.0).collect();
+        let cfg = Config::new(ErrorBound::Abs(eb)).with_threads(2);
+        let ca = compress(&a, &cfg).unwrap();
+        let cb = compress(&b, &cfg).unwrap();
+        let q = |v: f32| ((v as f64) / (2.0 * eb)).round() as i64;
+        let da = decompress(&ca).unwrap();
+        let db = decompress(&cb).unwrap();
+        for (alpha, beta) in [(2i32, 3i32), (1, -1), (-4, 1), (0, 5), (1, 1)] {
+            let out = decompress(
+                &homomorphic_axpby(&ca, alpha, &cb, beta).unwrap(),
+            )
+            .unwrap();
+            for i in 0..a.len() {
+                assert_eq!(
+                    q(out[i]),
+                    alpha as i64 * q(da[i]) + beta as i64 * q(db[i]),
+                    "alpha={alpha} beta={beta} at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpby_one_one_equals_sum_bytes() {
+        let a: Vec<f32> = (0..2000).map(|i| (i as f32 * 0.03).sin()).collect();
+        let b: Vec<f32> = (0..2000).map(|i| (i as f32 * 0.07).cos()).collect();
+        let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(3);
+        let ca = compress(&a, &cfg).unwrap();
+        let cb = compress(&b, &cfg).unwrap();
+        let sum = homomorphic_sum(&ca, &cb).unwrap();
+        let axpby = homomorphic_axpby(&ca, 1, &cb, 1).unwrap();
+        assert_eq!(sum.as_bytes(), axpby.as_bytes());
+    }
+
+    #[test]
+    fn payload_size_mismatch_detected() {
+        // Craft incompatible bodies by concatenating a truncated chunk: the
+        // simplest way is to corrupt a code byte so block walking desyncs.
+        let data: Vec<f32> = (0..256).map(|i| (i as f32).sin() * 10.0).collect();
+        let cfg = Config::new(ErrorBound::Abs(1e-3));
+        let c = compress(&data, &cfg).unwrap();
+        let mut bytes = c.as_bytes().to_vec();
+        let body_start = fzlight::header::Header::serialized_len(1);
+        bytes[body_start + 4] = 33; // invalid code length
+        let bad = CompressedStream::from_bytes(bytes).unwrap();
+        assert!(homomorphic_sum(&bad, &c).is_err());
+    }
+}

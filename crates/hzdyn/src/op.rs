@@ -1,0 +1,62 @@
+//! Reduction operations supported homomorphically.
+//!
+//! The paper demonstrates `sum` and notes the principles apply to other
+//! reduction operations; any operation that is *linear on the quantization
+//! integers* composes with the delta encoding. `Sum` and `Diff` are provided
+//! here, and [`crate::homomorphic_scale`] covers integer scaling.
+
+/// A binary reduction applied on quantization integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise addition (`MPI_SUM` analogue) — the collective default.
+    Sum,
+    /// Element-wise subtraction `a - b`.
+    Diff,
+}
+
+impl ReduceOp {
+    /// Apply the operation to two integers (deltas or outliers).
+    #[inline]
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Diff => a - b,
+        }
+    }
+
+    /// Apply the operation to two floats (used by the DOC baseline).
+    #[inline]
+    pub fn apply_f32(self, a: f32, b: f32) -> f32 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Diff => a - b,
+        }
+    }
+
+    /// Whether a constant (all-zero-delta) *left* block lets the result be a
+    /// verbatim copy of the right block. True for `Sum` (0 + b = b); false
+    /// for `Diff`, where `0 - b` needs a negation pass.
+    #[inline]
+    pub fn left_identity_copies(self) -> bool {
+        matches!(self, ReduceOp::Sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_matches_semantics() {
+        assert_eq!(ReduceOp::Sum.apply(3, 4), 7);
+        assert_eq!(ReduceOp::Diff.apply(3, 4), -1);
+        assert_eq!(ReduceOp::Sum.apply_f32(1.5, 2.5), 4.0);
+        assert_eq!(ReduceOp::Diff.apply_f32(1.5, 2.5), -1.0);
+    }
+
+    #[test]
+    fn identity_copy_rules() {
+        assert!(ReduceOp::Sum.left_identity_copies());
+        assert!(!ReduceOp::Diff.left_identity_copies());
+    }
+}

@@ -1,0 +1,134 @@
+//! The simulated cluster: spawns one thread per rank and runs a closure on
+//! each, returning per-rank results with virtual-time accounting.
+
+use crate::breakdown::Breakdown;
+use crate::comm::Comm;
+use crate::config::{ComputeTiming, NetConfig};
+use crossbeam::channel::unbounded;
+use std::collections::HashMap;
+
+/// Result of one rank's participation in a [`Cluster::run`].
+#[derive(Debug, Clone)]
+pub struct RankOutcome<R> {
+    /// Whatever the rank closure returned.
+    pub value: R,
+    /// The rank's final virtual clock, in seconds.
+    pub elapsed: f64,
+    /// The rank's cost breakdown.
+    pub breakdown: Breakdown,
+}
+
+/// Aggregate view over all ranks of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Completion time of the slowest rank (the collective's latency).
+    pub makespan: f64,
+    /// Sum of all ranks' breakdowns.
+    pub total: Breakdown,
+}
+
+/// A virtual cluster configuration: rank count, network model and compute
+/// timing mode.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nprocs: usize,
+    net: NetConfig,
+    timing: ComputeTiming,
+}
+
+impl Cluster {
+    /// A cluster of `nprocs` ranks with the default (Omni-Path-class)
+    /// network and measured compute timing.
+    pub fn new(nprocs: usize) -> Self {
+        assert!(nprocs > 0, "cluster needs at least one rank");
+        Cluster { nprocs, net: NetConfig::default(), timing: ComputeTiming::Measured }
+    }
+
+    /// Replace the network model.
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Replace the compute-timing mode.
+    pub fn with_timing(mut self, timing: ComputeTiming) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Run `f` on every rank concurrently; returns per-rank outcomes in rank
+    /// order. Real data flows through real channels; time is virtual.
+    pub fn run<F, R>(&self, f: F) -> Vec<RankOutcome<R>>
+    where
+        F: Fn(&mut Comm) -> R + Sync,
+        R: Send,
+    {
+        let n = self.nprocs;
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let mut outcomes: Vec<Option<RankOutcome<R>>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = rxs
+                .into_iter()
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let txs = txs.clone();
+                    let f = &f;
+                    let (net, timing) = (self.net, self.timing);
+                    s.spawn(move || {
+                        let mut comm = Comm {
+                            rank,
+                            size: n,
+                            clock: 0.0,
+                            breakdown: Breakdown::default(),
+                            net,
+                            timing,
+                            txs,
+                            rx,
+                            pending: HashMap::new(),
+                        };
+                        let value = f(&mut comm);
+                        RankOutcome {
+                            value,
+                            elapsed: comm.elapsed(),
+                            breakdown: comm.breakdown(),
+                        }
+                    })
+                })
+                .collect();
+            drop(txs); // ranks hold their own clones
+            for (slot, h) in outcomes.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("rank thread panicked"));
+            }
+        });
+        outcomes.into_iter().map(|o| o.expect("rank outcome missing")).collect()
+    }
+
+    /// Run and reduce to aggregate statistics (plus the per-rank values).
+    pub fn run_stats<F, R>(&self, f: F) -> (Vec<R>, RunStats)
+    where
+        F: Fn(&mut Comm) -> R + Sync,
+        R: Send,
+    {
+        let outcomes = self.run(f);
+        let mut makespan = 0f64;
+        let mut total = Breakdown::default();
+        let mut values = Vec::with_capacity(outcomes.len());
+        for o in outcomes {
+            makespan = makespan.max(o.elapsed);
+            total += o.breakdown;
+            values.push(o.value);
+        }
+        (values, RunStats { makespan, total })
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-rank communicator: point-to-point messaging with virtual-time
+//! accounting and compute-cost charging.
+
+use crate::breakdown::Breakdown;
+use crate::config::{ComputeTiming, NetConfig, OpKind};
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// A message in flight: payload plus the virtual time at which it reaches
+/// the receiver.
+pub(crate) struct Message {
+    pub from: usize,
+    pub tag: u64,
+    pub payload: Vec<u8>,
+    pub arrival: f64,
+}
+
+/// The per-rank handle passed to the closure run on every simulated node.
+///
+/// Semantics:
+/// * [`Comm::send`] is non-blocking (eager): the message departs at the
+///   sender's current virtual clock and arrives `transfer_time` later.
+/// * [`Comm::recv`] blocks until the matching `(from, tag)` message exists
+///   and advances the virtual clock to `max(clock, arrival)`; the wait is
+///   charged to the `MPI` bucket.
+/// * [`Comm::compute`] runs a kernel and charges its cost to a breakdown
+///   bucket — wall-clock measured or modeled from calibrated throughputs,
+///   per the cluster's [`ComputeTiming`].
+pub struct Comm {
+    pub(crate) rank: usize,
+    pub(crate) size: usize,
+    pub(crate) clock: f64,
+    pub(crate) breakdown: Breakdown,
+    pub(crate) net: NetConfig,
+    pub(crate) timing: ComputeTiming,
+    pub(crate) txs: Vec<Sender<Message>>,
+    pub(crate) rx: Receiver<Message>,
+    pub(crate) pending: HashMap<(usize, u64), VecDeque<Message>>,
+}
+
+impl Comm {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the job.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual time on this rank, in seconds.
+    pub fn elapsed(&self) -> f64 {
+        self.clock
+    }
+
+    /// Cost breakdown accumulated so far on this rank.
+    pub fn breakdown(&self) -> Breakdown {
+        self.breakdown
+    }
+
+    /// Reset the virtual clock and breakdown (e.g. after a warm-up round).
+    pub fn reset_clock(&mut self) {
+        self.clock = 0.0;
+        self.breakdown = Breakdown::default();
+    }
+
+    /// Send `payload` to `to` with matching `tag`. Non-blocking.
+    ///
+    /// Panics on self-sends and unknown ranks (programming errors in a
+    /// collective).
+    pub fn send(&mut self, to: usize, tag: u64, payload: Vec<u8>) {
+        assert!(to != self.rank, "self-send in a collective is a bug");
+        let arrival = self.clock + self.net.transfer_time(payload.len(), self.size);
+        let msg = Message { from: self.rank, tag, payload, arrival };
+        self.txs[to].send(msg).expect("receiver rank hung up");
+    }
+
+    /// Receive the message with matching `(from, tag)`, blocking as needed.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<u8> {
+        let key = (from, tag);
+        let msg = loop {
+            if let Some(q) = self.pending.get_mut(&key) {
+                if let Some(m) = q.pop_front() {
+                    break m;
+                }
+            }
+            let m = self.rx.recv().expect("sender ranks hung up");
+            if m.from == from && m.tag == tag {
+                break m;
+            }
+            self.pending.entry((m.from, m.tag)).or_default().push_back(m);
+        };
+        if msg.arrival > self.clock {
+            self.breakdown.mpi += msg.arrival - self.clock;
+            self.clock = msg.arrival;
+        }
+        msg.payload
+    }
+
+    /// Concurrent exchange: send to `to`, receive from `from` (the classic
+    /// ring-step `MPI_Sendrecv`).
+    pub fn sendrecv(
+        &mut self,
+        to: usize,
+        tag: u64,
+        payload: Vec<u8>,
+        from: usize,
+    ) -> Vec<u8> {
+        self.send(to, tag, payload);
+        self.recv(from, tag)
+    }
+
+    /// Run `f`, charging its cost to `kind`. `bytes` is the volume of
+    /// *uncompressed-equivalent* data the kernel touches, used by modeled
+    /// timing (ignored by measured timing).
+    pub fn compute<T>(&mut self, kind: OpKind, bytes: usize, f: impl FnOnce() -> T) -> T {
+        match self.timing {
+            ComputeTiming::Measured => {
+                let t0 = Instant::now();
+                let r = f();
+                let dt = t0.elapsed().as_secs_f64();
+                self.clock += dt;
+                self.breakdown.charge(kind, dt);
+                r
+            }
+            ComputeTiming::Modeled(model) => {
+                let r = f();
+                let dt = model.duration(kind, bytes);
+                self.clock += dt;
+                self.breakdown.charge(kind, dt);
+                r
+            }
+        }
+    }
+
+    /// Advance the virtual clock without running anything (e.g. a cost known
+    /// analytically).
+    pub fn advance(&mut self, kind: OpKind, secs: f64) {
+        self.clock += secs;
+        self.breakdown.charge(kind, secs);
+    }
+}

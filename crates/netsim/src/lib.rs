@@ -1,0 +1,280 @@
+//! # netsim — a virtual-time multi-node cluster simulator
+//!
+//! The MPI substrate of the hZCCL reproduction (DESIGN.md §1). Ranks are OS
+//! threads exchanging **real byte buffers** over channels, so every
+//! collective's data path (compression, homomorphic reduction,
+//! decompression) runs for real and its results can be verified. Time,
+//! however, is *virtual*:
+//!
+//! * wire time comes from an α–β(+congestion) model of the paper's 100 Gbps
+//!   Omni-Path fabric ([`NetConfig`]);
+//! * compute time is either the kernel's measured wall clock
+//!   ([`ComputeTiming::Measured`]) or `bytes / calibrated-throughput`
+//!   ([`ComputeTiming::Modeled`]) for rank counts that oversubscribe the
+//!   host.
+//!
+//! Every rank carries a [`Breakdown`] so collectives report the paper's
+//! CPR/DPR/HPR/CPT vs MPI vs OTHER splits (Fig. 2, Table VII) directly.
+//!
+//! ```
+//! use netsim::{Cluster, OpKind};
+//!
+//! let cluster = Cluster::new(4);
+//! let (sums, stats) = cluster.run_stats(|comm| {
+//!     // ring: everyone passes its rank to the right, sums what it gets
+//!     let to = (comm.rank() + 1) % comm.size();
+//!     let from = (comm.rank() + comm.size() - 1) % comm.size();
+//!     let rank = comm.rank();
+//!     let got = comm.sendrecv(to, 0, vec![rank as u8], from);
+//!     comm.compute(OpKind::Cpt, 1, || got[0] as usize + rank)
+//! });
+//! assert_eq!(sums.len(), 4);
+//! assert!(stats.makespan > 0.0);
+//! ```
+
+pub mod breakdown;
+pub mod cluster;
+pub mod comm;
+pub mod config;
+
+pub use breakdown::Breakdown;
+pub use cluster::{Cluster, RankOutcome, RunStats};
+pub use comm::Comm;
+pub use config::{ComputeTiming, NetConfig, OpKind, ThroughputModel};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modeled() -> ComputeTiming {
+        ComputeTiming::Modeled(ThroughputModel::new(10.0, 20.0, 100.0, 30.0, 50.0))
+    }
+
+    #[test]
+    fn ring_exchange_delivers_correct_payloads() {
+        let cluster = Cluster::new(8);
+        let outcomes = cluster.run(|comm| {
+            let n = comm.size();
+            let to = (comm.rank() + 1) % n;
+            let from = (comm.rank() + n - 1) % n;
+            let got = comm.sendrecv(to, 7, vec![comm.rank() as u8; 3], from);
+            got[0] as usize
+        });
+        for (rank, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.value, (rank + 8 - 1) % 8);
+        }
+    }
+
+    #[test]
+    fn tags_disambiguate_messages() {
+        let cluster = Cluster::new(2);
+        let outcomes = cluster.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![1]);
+                comm.send(1, 2, vec![2]);
+                0
+            } else {
+                // receive in reverse tag order: matching must hold
+                let b = comm.recv(0, 2);
+                let a = comm.recv(0, 1);
+                (a[0] as usize) * 10 + b[0] as usize
+            }
+        });
+        assert_eq!(outcomes[1].value, 12);
+    }
+
+    #[test]
+    fn virtual_time_reflects_message_size() {
+        let net = NetConfig { latency_s: 1e-6, bandwidth_gbps: 100.0, congestion: 0.0 };
+        let run_with = |bytes: usize| {
+            let cluster = Cluster::new(2).with_net(net).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, vec![0u8; bytes]);
+                } else {
+                    comm.recv(0, 0);
+                }
+                comm.elapsed()
+            });
+            outcomes[1].value
+        };
+        let t_small = run_with(1_000);
+        let t_big = run_with(10_000_000);
+        // 10 MB at 100 Gbps = 0.8 ms
+        assert!(t_big > t_small);
+        assert!((t_big - (1e-6 + 10_000_000.0 * 8.0 / 100e9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpi_wait_time_is_charged() {
+        let net = NetConfig { latency_s: 1e-3, bandwidth_gbps: 100.0, congestion: 0.0 };
+        let cluster = Cluster::new(2).with_net(net).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0u8; 8]);
+            } else {
+                comm.recv(0, 0);
+            }
+            comm.breakdown()
+        });
+        assert!(outcomes[1].value.mpi >= 1e-3);
+        assert_eq!(outcomes[0].value.mpi, 0.0);
+    }
+
+    #[test]
+    fn modeled_compute_charges_expected_time() {
+        let cluster = Cluster::new(1).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            comm.compute(OpKind::Cpr, 10_000_000_000, || ());
+            comm.breakdown()
+        });
+        assert!((outcomes[0].value.cpr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_compute_charges_wall_time() {
+        let cluster = Cluster::new(1);
+        let outcomes = cluster.run(|comm| {
+            comm.compute(OpKind::Cpt, 0, || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            });
+            comm.breakdown()
+        });
+        assert!(outcomes[0].value.cpt >= 0.004);
+    }
+
+    #[test]
+    fn stats_aggregate_across_ranks() {
+        let cluster = Cluster::new(4).with_timing(modeled());
+        let (_, stats) = cluster.run_stats(|comm| {
+            comm.compute(OpKind::Cpt, 30_000_000_000, || ());
+        });
+        assert!((stats.makespan - 1.0).abs() < 1e-9);
+        assert!((stats.total.cpt - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modeled_runs_are_deterministic() {
+        let run_once = || {
+            let cluster = Cluster::new(8).with_timing(modeled());
+            let (_, stats) = cluster.run_stats(|comm| {
+                let n = comm.size();
+                let to = (comm.rank() + 1) % n;
+                let from = (comm.rank() + n - 1) % n;
+                for round in 0..5u64 {
+                    let payload = vec![comm.rank() as u8; 1000 * (round as usize + 1)];
+                    let got = comm.sendrecv(to, round, payload, from);
+                    comm.compute(OpKind::Cpt, got.len(), || ());
+                }
+            });
+            stats.makespan
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn reset_clock_clears_accounting() {
+        let cluster = Cluster::new(1).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            comm.compute(OpKind::Cpr, 1_000_000, || ());
+            comm.reset_clock();
+            (comm.elapsed(), comm.breakdown().total())
+        });
+        assert_eq!(outcomes[0].value, (0.0, 0.0));
+    }
+
+    #[test]
+    fn large_rank_counts_work() {
+        let cluster = Cluster::new(128).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let n = comm.size();
+            let got = comm.sendrecv((comm.rank() + 1) % n, 0, vec![1u8], (comm.rank() + n - 1) % n);
+            got[0]
+        });
+        assert_eq!(outcomes.len(), 128);
+        assert!(outcomes.iter().all(|o| o.value == 1));
+    }
+
+    #[test]
+    fn all_to_all_random_order_is_deadlock_free() {
+        // every rank sends to every other rank, then receives in an
+        // arbitrary (rank-dependent) order: the pending-message buffer must
+        // hold whatever arrives early
+        let nranks = 12;
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let me = comm.rank();
+            let n = comm.size();
+            for dst in 0..n {
+                if dst != me {
+                    comm.send(dst, 99, vec![me as u8]);
+                }
+            }
+            let mut sum = 0usize;
+            // receive in reverse order to exercise out-of-order buffering
+            for src in (0..n).rev() {
+                if src != me {
+                    let got = comm.recv(src, 99);
+                    sum += got[0] as usize;
+                }
+            }
+            sum
+        });
+        let expect: usize = (0..nranks).sum();
+        for (r, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.value, expect - r);
+        }
+    }
+
+    #[test]
+    fn large_payload_integrity() {
+        let payload: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
+        let cluster = Cluster::new(2).with_timing(modeled());
+        let expected = payload.clone();
+        let outcomes = cluster.run(move |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, payload.clone());
+                true
+            } else {
+                comm.recv(0, 0) == expected
+            }
+        });
+        assert!(outcomes[1].value);
+    }
+
+    #[test]
+    fn opa_line_rate_is_faster_than_default() {
+        let bytes = 10 << 20;
+        let fast = NetConfig::opa_line_rate().transfer_time(bytes, 64);
+        let slow = NetConfig::default().transfer_time(bytes, 64);
+        assert!(fast < slow / 5.0, "line rate {fast} vs effective {slow}");
+    }
+
+    #[test]
+    fn elapsed_equals_breakdown_total() {
+        let cluster = Cluster::new(3).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let n = comm.size();
+            let to = (comm.rank() + 1) % n;
+            let from = (comm.rank() + n - 1) % n;
+            for round in 0..4u64 {
+                let got = comm.sendrecv(to, round, vec![0u8; 10_000], from);
+                comm.compute(OpKind::Cpt, got.len(), || ());
+            }
+            (comm.elapsed(), comm.breakdown().total())
+        });
+        for o in outcomes {
+            let (elapsed, total) = o.value;
+            assert!((elapsed - total).abs() < 1e-12, "{elapsed} vs {total}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn self_send_panics_the_rank() {
+        // the self-send assert fires inside the rank thread; the cluster
+        // surfaces it by panicking on join
+        let cluster = Cluster::new(1);
+        cluster.run(|comm| comm.send(0, 0, vec![]));
+    }
+}

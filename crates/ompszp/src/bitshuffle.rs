@@ -1,0 +1,94 @@
+//! Bit-shuffle (one-bit-plane) encoding, as cuSZp stores fixed-length
+//! integers on the GPU.
+//!
+//! For a block of `L` magnitudes with code length `c`, plane `b`
+//! (`0 <= b < c`) stores one bit per element: bit `i % 8` of plane byte
+//! `i / 8` is bit `b` of `mag[i]`. This is deliberately bit-granular — the
+//! CPU-unfriendly pattern fZ-light's byte-plane scheme replaces.
+
+/// Bytes per one-bit plane for a block of `len` elements.
+#[inline]
+pub const fn plane_bytes(len: usize) -> usize {
+    len.div_ceil(8)
+}
+
+/// Total payload bytes for `c` planes over `len` elements.
+#[inline]
+pub const fn planes_size(c: u8, len: usize) -> usize {
+    plane_bytes(len) * c as usize
+}
+
+/// Append `c` bit planes of `mags[..len]` to `out`.
+pub fn encode_planes(mags: &[u32], c: u8, out: &mut Vec<u8>) {
+    let len = mags.len();
+    let pb = plane_bytes(len);
+    for b in 0..c as u32 {
+        for byte_idx in 0..pb {
+            let mut byte = 0u8;
+            let start = byte_idx * 8;
+            let end = (start + 8).min(len);
+            for (bit, &m) in mags[start..end].iter().enumerate() {
+                byte |= (((m >> b) & 1) as u8) << bit;
+            }
+            out.push(byte);
+        }
+    }
+}
+
+/// Decode `c` bit planes from `input` into `mags` (length = block length).
+/// Returns bytes consumed.
+pub fn decode_planes(input: &[u8], c: u8, mags: &mut [u32]) -> usize {
+    let len = mags.len();
+    let pb = plane_bytes(len);
+    mags.fill(0);
+    for b in 0..c as u32 {
+        let plane = &input[b as usize * pb..(b as usize + 1) * pb];
+        for (i, m) in mags.iter_mut().enumerate() {
+            let bit = (plane[i / 8] >> (i % 8)) & 1;
+            *m |= (bit as u32) << b;
+        }
+    }
+    planes_size(c, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planes_roundtrip_all_code_lengths() {
+        for c in 0..=32u8 {
+            let mags: Vec<u32> = (0..32u32)
+                .map(|i| if c == 0 { 0 } else { i.wrapping_mul(0x9E37_79B9) & ((1u64 << c) - 1) as u32 })
+                .collect();
+            let mut buf = Vec::new();
+            encode_planes(&mags, c, &mut buf);
+            assert_eq!(buf.len(), planes_size(c, 32));
+            let mut out = vec![0u32; 32];
+            let used = decode_planes(&buf, c, &mut out);
+            assert_eq!(used, buf.len());
+            assert_eq!(out, mags, "c={c}");
+        }
+    }
+
+    #[test]
+    fn partial_block_roundtrips() {
+        for len in [1usize, 7, 8, 9, 17, 31] {
+            let mags: Vec<u32> = (0..len as u32).map(|i| i * 3 + 1).collect();
+            let c = 8u8;
+            let mut buf = Vec::new();
+            encode_planes(&mags, c, &mut buf);
+            let mut out = vec![0u32; len];
+            decode_planes(&buf, c, &mut out);
+            assert_eq!(out, mags, "len={len}");
+        }
+    }
+
+    #[test]
+    fn zero_planes_cost_nothing() {
+        let mags = [0u32; 32];
+        let mut buf = Vec::new();
+        encode_planes(&mags, 0, &mut buf);
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Unfused, globally-synchronized compression with block-cyclic thread
+//! ownership — cuSZp's GPU pipeline transplanted onto CPU threads.
+//!
+//! Pass 1 quantizes and delta-predicts every owned block into a full-size
+//! intermediate array (threads hop between distant blocks). A global
+//! synchronization then derives per-group output offsets from the per-block
+//! record sizes (the GPU prefix-sum/sync stage). Pass 2 sweeps the blocks
+//! again to bit-shuffle-encode them.
+
+use crate::bitshuffle;
+use crate::format::{OszpHeader, OszpStream, ZERO_BLOCK};
+use fzlight::config::{Config, MAX_BLOCK_LEN};
+use fzlight::error::{Error, Result};
+
+/// Compress `data` with cuSZp's parallelism strategy.
+pub fn compress(data: &[f32], cfg: &Config) -> Result<OszpStream> {
+    cfg.validate()?;
+    let eb = cfg.eb.resolve(data)?;
+    let n = data.len();
+    let block_len = cfg.block_len;
+    if n == 0 {
+        let header =
+            OszpHeader { n: 0, eb, block_len: block_len as u32, ngroups: 0, offsets: vec![0] };
+        return Ok(OszpStream::from_parts(header, &[]));
+    }
+    let nblocks = n.div_ceil(block_len);
+    let ngroups = cfg.threads.max(1).min(nblocks);
+    let inv_2eb = 1.0 / (2.0 * eb);
+
+    // ---- Pass 1: block-wise quantization + prediction (strided ownership).
+    // Full-size intermediate arrays, exactly the memory cost the fused
+    // fZ-light pipeline avoids.
+    let mut deltas = vec![0i64; n];
+    let mut outliers = vec![0i32; nblocks];
+    let mut codes = vec![0u8; nblocks];
+
+    {
+        // Threads own disjoint block-cyclic index sets; hand each thread raw
+        // access to the shared scratch arrays.
+        let deltas_ptr = SendPtr(deltas.as_mut_ptr());
+        let outliers_ptr = SendPtr(outliers.as_mut_ptr());
+        let codes_ptr = SendPtr(codes.as_mut_ptr());
+        let results: Vec<Result<()>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..ngroups)
+                .map(|t| {
+                    let (dp, op, cp) = (deltas_ptr, outliers_ptr, codes_ptr);
+                    s.spawn(move || -> Result<()> {
+                        let mut bi = t;
+                        while bi < nblocks {
+                            let start = bi * block_len;
+                            let len = block_len.min(n - start);
+                            let block = &data[start..start + len];
+                            // SAFETY: block `bi` is owned by exactly one
+                            // thread (block-cyclic partition), so these
+                            // writes target disjoint ranges/cells.
+                            unsafe {
+                                quantize_predict_block(
+                                    block,
+                                    start,
+                                    inv_2eb,
+                                    dp.get().add(start),
+                                    op.get().add(bi),
+                                    cp.get().add(bi),
+                                )?;
+                            }
+                            bi += ngroups;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("ompszp pass-1 panicked")).collect()
+        });
+        for r in results {
+            r?;
+        }
+    }
+
+    // ---- Global synchronization: record sizes -> group offsets.
+    let record_size = |bi: usize| -> usize {
+        let c = codes[bi];
+        if c == ZERO_BLOCK {
+            1
+        } else {
+            let start = bi * block_len;
+            let len = block_len.min(n - start);
+            let body = if c == 0 {
+                0
+            } else {
+                bitshuffle::plane_bytes(len) + bitshuffle::planes_size(c, len)
+            };
+            1 + 4 + body
+        }
+    };
+    let mut group_sizes = vec![0usize; ngroups];
+    for bi in 0..nblocks {
+        group_sizes[bi % ngroups] += record_size(bi);
+    }
+    let mut offsets = Vec::with_capacity(ngroups + 1);
+    offsets.push(0u64);
+    let mut acc = 0u64;
+    for &gs in &group_sizes {
+        acc += gs as u64;
+        offsets.push(acc);
+    }
+
+    // ---- Pass 2: encode owned blocks into per-group buffers.
+    let groups: Vec<Vec<u8>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..ngroups)
+            .map(|t| {
+                let deltas = &deltas;
+                let outliers = &outliers;
+                let codes = &codes;
+                let size = group_sizes[t];
+                s.spawn(move || {
+                    let mut out = Vec::with_capacity(size);
+                    let mut mags = [0u32; MAX_BLOCK_LEN];
+                    let mut bi = t;
+                    while bi < nblocks {
+                        let start = bi * block_len;
+                        let len = block_len.min(n - start);
+                        let c = codes[bi];
+                        out.push(c);
+                        if c != ZERO_BLOCK {
+                            out.extend_from_slice(&outliers[bi].to_le_bytes());
+                            if c > 0 {
+                                let mut signs = 0u64;
+                                for (k, &d) in deltas[start..start + len].iter().enumerate() {
+                                    mags[k] = d.unsigned_abs() as u32;
+                                    signs |= u64::from(d < 0) << k;
+                                }
+                                for b in 0..bitshuffle::plane_bytes(len) {
+                                    out.push(((signs >> (8 * b)) & 0xFF) as u8);
+                                }
+                                bitshuffle::encode_planes(&mags[..len], c, &mut out);
+                            }
+                        }
+                        bi += ngroups;
+                    }
+                    debug_assert_eq!(out.len(), size);
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("ompszp pass-2 panicked")).collect()
+    });
+
+    let mut body = Vec::with_capacity(acc as usize);
+    for g in &groups {
+        body.extend_from_slice(g);
+    }
+    let header = OszpHeader {
+        n: n as u64,
+        eb,
+        block_len: block_len as u32,
+        ngroups: ngroups as u32,
+        offsets,
+    };
+    Ok(OszpStream::from_parts(header, &body))
+}
+
+/// Quantize one block (round-to-nearest, same rule as fZ-light so the
+/// quality comparison isolates the format, not the quantizer) and
+/// delta-predict it; writes the block's deltas, outlier and code byte
+/// through raw pointers.
+///
+/// # Safety
+/// `deltas_out` must be valid for `block.len()` writes and `outlier_out` /
+/// `code_out` for one write each, with no other thread touching those cells.
+unsafe fn quantize_predict_block(
+    block: &[f32],
+    base: usize,
+    inv_2eb: f64,
+    deltas_out: *mut i64,
+    outlier_out: *mut i32,
+    code_out: *mut u8,
+) -> Result<()> {
+    let mut q_prev = 0i64;
+    let mut all_zero = true;
+    let mut max_mag = 0u64;
+    for (k, &v) in block.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(Error::NonFiniteInput { index: base + k });
+        }
+        let q = fzlight::quantize::quantize(v, inv_2eb, base + k)? as i64;
+        all_zero &= q == 0;
+        if k == 0 {
+            unsafe { outlier_out.write(q as i32) };
+            unsafe { deltas_out.write(0) };
+        } else {
+            let d = q - q_prev;
+            unsafe { deltas_out.add(k).write(d) };
+            max_mag = max_mag.max(d.unsigned_abs());
+        }
+        q_prev = q;
+    }
+    let code = if all_zero {
+        ZERO_BLOCK
+    } else {
+        debug_assert!(max_mag <= u32::MAX as u64);
+        (64 - max_mag.leading_zeros()) as u8
+    };
+    unsafe { code_out.write(code) };
+    Ok(())
+}
+
+/// A raw pointer that may cross thread boundaries; safety is argued at each
+/// use site (disjoint block-cyclic ownership).
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+impl<T> SendPtr<T> {
+    /// Fetch the pointer (method call forces whole-struct closure capture,
+    /// keeping the `Send`/`Sync` impls in effect).
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fzlight::ErrorBound;
+
+    #[test]
+    fn quantization_matches_fzlight_reconstruction() {
+        // Same round-to-nearest rule as fZ-light: decompressed values must be
+        // identical, so Table III quality comparisons isolate the format.
+        let data: Vec<f32> = (0..4096).map(|i| ((i as f32) * 0.7).sin() * 9.0).collect();
+        let cfg = Config::new(ErrorBound::Abs(1e-3));
+        let o = crate::decompress(&compress(&data, &cfg).unwrap()).unwrap();
+        let f = fzlight::decompress(&fzlight::compress(&data, &cfg).unwrap()).unwrap();
+        assert_eq!(o, f);
+    }
+
+    #[test]
+    fn group_count_clamped_to_blocks() {
+        let data = vec![1.0f32; 40]; // 2 blocks of 32
+        let s = compress(&data, &Config::new(ErrorBound::Abs(1e-3)).with_threads(8)).unwrap();
+        assert_eq!(s.header().ngroups, 2);
+    }
+
+    #[test]
+    fn all_zero_data_is_one_marker_per_block() {
+        let data = vec![0.0f32; 32 * 10];
+        let s = compress(&data, &Config::new(ErrorBound::Abs(1e-3))).unwrap();
+        assert_eq!(s.header().body_len(), 10);
+    }
+}

@@ -1,0 +1,165 @@
+//! szxlite compression/decompression: prediction-free quantization with the
+//! constant-block shortcut and byte-aligned integer storage.
+
+use crate::format::{SzxHeader, SzxStream, DEFAULT_BLOCK_LEN};
+use fzlight::error::{Error, Result};
+use fzlight::{Config, ErrorBound};
+
+/// Compress `data`. `Config::block_len` is ignored (szxlite uses its own
+/// 64-element blocks, the SZx-class granularity); threads are ignored too —
+/// the kernel is already memory-bound single-threaded.
+pub fn compress(data: &[f32], cfg: &Config) -> Result<SzxStream> {
+    let eb = cfg.eb.resolve(data)?;
+    let inv_2eb = 1.0 / (2.0 * eb);
+    let block_len = DEFAULT_BLOCK_LEN;
+    let mut body = Vec::with_capacity(data.len() + data.len() / block_len + 16);
+    let mut quants = vec![0i64; block_len];
+    for (bi, block) in data.chunks(block_len).enumerate() {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        let mut sum = 0f64;
+        for (k, &v) in block.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(Error::NonFiniteInput { index: bi * block_len + k });
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+            sum += v as f64;
+        }
+        if (hi - lo) as f64 <= 2.0 * eb {
+            // constant block: the mean is within eb of every value
+            body.push(0);
+            let mean = (sum / block.len() as f64) as f32;
+            body.extend_from_slice(&mean.to_le_bytes());
+            continue;
+        }
+        // non-constant: quantize each value independently (no prediction)
+        let mut max_mag = 0u64;
+        for (k, &v) in block.iter().enumerate() {
+            let q = (v as f64 * inv_2eb).round();
+            // reject i32::MIN too: its magnitude needs a 33rd bit
+            if q.abs() > i32::MAX as f64 {
+                return Err(Error::QuantizationOverflow { index: bi * block_len + k, value: v });
+            }
+            let q = q as i64;
+            quants[k] = q;
+            max_mag = max_mag.max(q.unsigned_abs());
+        }
+        // whole bytes per integer: enough for magnitude + sign bit
+        let bits = 64 - max_mag.leading_zeros() as usize + 1;
+        let nbytes = bits.div_ceil(8).max(1);
+        debug_assert!(nbytes <= 4);
+        body.push(nbytes as u8);
+        for &q in &quants[..block.len()] {
+            body.extend_from_slice(&q.to_le_bytes()[..nbytes]);
+        }
+    }
+    let header =
+        SzxHeader { n: data.len() as u64, eb, block_len: block_len as u32 };
+    Ok(SzxStream::from_parts(header, &body))
+}
+
+/// Decompress into a new vector.
+pub fn decompress(stream: &SzxStream) -> Result<Vec<f32>> {
+    let mut out = vec![0f32; stream.n()];
+    decompress_into(stream, &mut out)?;
+    Ok(out)
+}
+
+/// Decompress into a caller-provided buffer of exactly `stream.n()` values.
+pub fn decompress_into(stream: &SzxStream, out: &mut [f32]) -> Result<()> {
+    if out.len() != stream.n() {
+        return Err(Error::Mismatch("output buffer length != stream element count"));
+    }
+    let body = stream.body();
+    let block_len = stream.header().block_len as usize;
+    let two_eb = 2.0 * stream.header().eb;
+    let mut pos = 0usize;
+    for block in out.chunks_mut(block_len) {
+        let Some(&flag) = body.get(pos) else {
+            return Err(Error::Truncated { need: pos + 1, have: body.len() });
+        };
+        pos += 1;
+        match flag {
+            0 => {
+                if body.len() < pos + 4 {
+                    return Err(Error::Truncated { need: pos + 4, have: body.len() });
+                }
+                let mean = f32::from_le_bytes(body[pos..pos + 4].try_into().unwrap());
+                pos += 4;
+                block.fill(mean);
+            }
+            nbytes @ 1..=4 => {
+                let nbytes = nbytes as usize;
+                let need = pos + nbytes * block.len();
+                if body.len() < need {
+                    return Err(Error::Truncated { need, have: body.len() });
+                }
+                for o in block.iter_mut() {
+                    let mut raw = [0u8; 8];
+                    raw[..nbytes].copy_from_slice(&body[pos..pos + nbytes]);
+                    pos += nbytes;
+                    // sign-extend the little-endian two's-complement value
+                    let shift = 64 - 8 * nbytes as u32;
+                    let q = (i64::from_le_bytes(raw) << shift) >> shift;
+                    *o = (q as f64 * two_eb) as f32;
+                }
+            }
+            _ => return Err(Error::Corrupt("invalid block flag")),
+        }
+    }
+    if pos != body.len() {
+        return Err(Error::Corrupt("body longer than its blocks"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_constant_and_varying_blocks() {
+        // first block flat, second block varying
+        let mut data = vec![5.0f32; 64];
+        data.extend((0..64).map(|i| (i as f32).sin() * 20.0));
+        let s = compress(&data, &Config::new(ErrorBound::Abs(1e-2))).unwrap();
+        let out = decompress(&s).unwrap();
+        assert!(out[..64].iter().all(|&v| v == out[0]));
+        for (a, b) in data.iter().zip(&out) {
+            assert!((a - b).abs() <= 1e-2 + 1e-7);
+        }
+        // constant block costs 5 bytes vs 64 raw values
+        assert!(s.ratio() > 2.0);
+    }
+
+    #[test]
+    fn negative_values_sign_extend_correctly() {
+        let data: Vec<f32> = (0..64).map(|i| -(i as f32) * 3.0).collect();
+        let s = compress(&data, &Config::new(ErrorBound::Abs(1e-3))).unwrap();
+        let out = decompress(&s).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            assert!((a - b).abs() <= 1e-3 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn truncated_body_detected() {
+        let data: Vec<f32> = (0..128).map(|i| (i as f32).sin() * 9.0).collect();
+        let s = compress(&data, &Config::new(ErrorBound::Abs(1e-3))).unwrap();
+        let bytes = s.as_bytes();
+        for cut in [bytes.len() - 1, bytes.len() - 10, crate::format::SzxHeader::serialized_len()]
+        {
+            let t = SzxStream::from_bytes(bytes[..cut].to_vec()).unwrap();
+            assert!(decompress(&t).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_output_length_rejected() {
+        let data = vec![0.5f32; 64];
+        let s = compress(&data, &Config::new(ErrorBound::Abs(1e-3))).unwrap();
+        let mut out = vec![0f32; 63];
+        assert!(decompress_into(&s, &mut out).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! szxlite stream format.
+//!
+//! ```text
+//! Header (little-endian):
+//!   magic "SZXL" 4 B | version u32 | n u64 | eb f64 | block_len u32
+//! Body, per block of up to `block_len` values:
+//!   flag u8:
+//!     0          constant block: followed by the mean as f32 (4 B)
+//!     1..=4      non-constant: bytes per quantization integer, followed by
+//!                len * flag bytes of little-endian two's-complement integers
+//! ```
+//!
+//! No offset tables, no bit packing, no prediction — the minimal,
+//! byte-aligned layout that makes the SZx design point fast.
+
+use fzlight::error::{Error, Result};
+
+/// Stream magic bytes.
+pub const MAGIC: [u8; 4] = *b"SZXL";
+/// Stream format version.
+pub const VERSION: u32 = 1;
+/// Default block length (SZx-class designs use larger blocks than cuSZp).
+pub const DEFAULT_BLOCK_LEN: usize = 64;
+
+const FIXED: usize = 4 + 4 + 8 + 8 + 4;
+
+/// Parsed szxlite header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SzxHeader {
+    /// Element count.
+    pub n: u64,
+    /// Absolute error bound.
+    pub eb: f64,
+    /// Block length.
+    pub block_len: u32,
+}
+
+impl SzxHeader {
+    /// Serialized header size.
+    pub fn serialized_len() -> usize {
+        FIXED
+    }
+
+    /// Append the serialized header to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.n.to_le_bytes());
+        out.extend_from_slice(&self.eb.to_le_bytes());
+        out.extend_from_slice(&self.block_len.to_le_bytes());
+    }
+
+    /// Parse a header; returns it with the body offset.
+    pub fn parse(bytes: &[u8]) -> Result<(SzxHeader, usize)> {
+        if bytes.len() < FIXED {
+            return Err(Error::Truncated { need: FIXED, have: bytes.len() });
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(Error::Corrupt("bad magic"));
+        }
+        if u32::from_le_bytes(bytes[4..8].try_into().unwrap()) != VERSION {
+            return Err(Error::Corrupt("unsupported version"));
+        }
+        let n = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let eb = f64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let block_len = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(Error::Corrupt("non-positive error bound"));
+        }
+        if block_len == 0 {
+            return Err(Error::Corrupt("invalid block length"));
+        }
+        Ok((SzxHeader { n, eb, block_len }, FIXED))
+    }
+}
+
+/// An owned szxlite compressed stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SzxStream {
+    bytes: Vec<u8>,
+    header: SzxHeader,
+}
+
+impl SzxStream {
+    /// Assemble from header + body.
+    pub fn from_parts(header: SzxHeader, body: &[u8]) -> SzxStream {
+        let mut bytes = Vec::with_capacity(FIXED + body.len());
+        header.write_to(&mut bytes);
+        bytes.extend_from_slice(body);
+        SzxStream { bytes, header }
+    }
+
+    /// Parse from wire bytes (body length is validated lazily by decode —
+    /// the format has no offset table to cross-check eagerly).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<SzxStream> {
+        let (header, _) = SzxHeader::parse(&bytes)?;
+        Ok(SzxStream { bytes, header })
+    }
+
+    /// Full wire bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Parsed header.
+    pub fn header(&self) -> &SzxHeader {
+        &self.header
+    }
+
+    /// Body bytes (after the header).
+    pub fn body(&self) -> &[u8] {
+        &self.bytes[FIXED..]
+    }
+
+    /// Element count.
+    pub fn n(&self) -> usize {
+        self.header.n as usize
+    }
+
+    /// Total compressed size (header + body).
+    pub fn compressed_size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Compression ratio `original / compressed`.
+    pub fn ratio(&self) -> f64 {
+        if self.bytes.is_empty() {
+            return 0.0;
+        }
+        (self.n() * 4) as f64 / self.compressed_size() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = SzxHeader { n: 123, eb: 1e-4, block_len: 64 };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        let (h2, at) = SzxHeader::parse(&buf).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(at, SzxHeader::serialized_len());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let h = SzxHeader { n: 1, eb: 1e-4, block_len: 64 };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(SzxHeader::parse(&buf[..cut]).is_err());
+        }
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(SzxHeader::parse(&bad).is_err());
+    }
+}

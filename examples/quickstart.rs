@@ -1,0 +1,55 @@
+//! Quickstart: compress a scientific field with fZ-light, reduce two
+//! compressed streams homomorphically with hZ-dynamic, and verify the error
+//! bounds — the 60-second tour of the library.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use datasets::{App, Quality};
+use fzlight::{compress, decompress, Config, ErrorBound};
+use hzdyn::homomorphic_sum;
+
+fn main() {
+    // 1. Two snapshots of a scientific field (synthetic Hurricane data).
+    let n = 1 << 22; // 16 MiB of f32
+    let snap_a = App::Hurricane.generate(n, 0);
+    let snap_b = App::Hurricane.generate(n, 1);
+
+    // 2. Compress both with an absolute error bound of 1e-4.
+    let eb = 1e-4;
+    let cfg = Config::new(ErrorBound::Abs(eb)).with_threads(4);
+    let ca = compress(&snap_a, &cfg).expect("compress a");
+    let cb = compress(&snap_b, &cfg).expect("compress b");
+    println!(
+        "compressed {} MiB -> {:.2} MiB + {:.2} MiB (ratios {:.2} / {:.2})",
+        (n * 4) >> 20,
+        ca.compressed_size() as f64 / (1 << 20) as f64,
+        cb.compressed_size() as f64 / (1 << 20) as f64,
+        ca.ratio(),
+        cb.ratio()
+    );
+
+    // 3. The round trip respects the error bound.
+    let da = decompress(&ca).expect("decompress");
+    let q = Quality::compare(&snap_a, &da);
+    println!("roundtrip: max abs err {:.2e} (bound {eb:.0e}), PSNR {:.1} dB", q.max_abs_err, q.psnr);
+    let ulp = q.max.abs().max(q.min.abs()) * f32::EPSILON as f64;
+    assert!(q.max_abs_err <= eb + ulp);
+
+    // 4. Homomorphic reduction: add the two snapshots WITHOUT decompressing.
+    let sum = homomorphic_sum(&ca, &cb).expect("homomorphic sum");
+    let restored = decompress(&sum).expect("decompress sum");
+    let exact: Vec<f32> = snap_a.iter().zip(&snap_b).map(|(x, y)| x + y).collect();
+    let q = Quality::compare(&exact, &restored);
+    println!(
+        "homomorphic sum: max abs err {:.2e} (bound 2*eb = {:.0e}), output ratio {:.2}",
+        q.max_abs_err,
+        2.0 * eb,
+        sum.ratio()
+    );
+    let ulp = q.max.abs().max(q.min.abs()) * f32::EPSILON as f64;
+    assert!(q.max_abs_err <= 2.0 * eb + ulp);
+
+    println!("quickstart OK");
+}

@@ -1,0 +1,135 @@
+//! Integration tests for the `hzc` command-line tool, driving the real
+//! binary end to end over temp files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hzc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hzc"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hzc_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_compress_info_check_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let raw = dir.join("field.f32");
+    let fzl = dir.join("field.fzl");
+    let back = dir.join("back.f32");
+
+    let out = hzc()
+        .args(["gen", "hurricane", raw.to_str().unwrap(), "--mb", "1", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::metadata(&raw).unwrap().len(), 1 << 20);
+
+    let out = hzc()
+        .args([
+            "compress",
+            raw.to_str().unwrap(),
+            fzl.to_str().unwrap(),
+            "--rel",
+            "1e-3",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ratio"), "{stdout}");
+
+    let out = hzc().args(["info", fzl.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("blocks:") && stdout.contains("chunks = 2"), "{stdout}");
+
+    let out = hzc()
+        .args(["decompress", fzl.to_str().unwrap(), back.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(std::fs::metadata(&back).unwrap().len(), 1 << 20);
+
+    let out = hzc()
+        .args(["check", raw.to_str().unwrap(), fzl.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("WITHIN BOUND"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sum_produces_valid_homomorphic_stream() {
+    let dir = tmpdir("sum");
+    let raw = dir.join("a.f32");
+    let fzl = dir.join("a.fzl");
+    let sum = dir.join("sum.fzl");
+    assert!(hzc()
+        .args(["gen", "sim2", raw.to_str().unwrap(), "--mb", "1"])
+        .status()
+        .unwrap()
+        .success());
+    assert!(hzc()
+        .args(["compress", raw.to_str().unwrap(), fzl.to_str().unwrap(), "--eb", "1e-3"])
+        .status()
+        .unwrap()
+        .success());
+    let out = hzc()
+        .args(["sum", fzl.to_str().unwrap(), fzl.to_str().unwrap(), sum.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no decompression"));
+
+    // the summed stream decompresses to ~2x the original
+    let a = datasets::load_f32(&raw).unwrap();
+    let s = fzlight::CompressedStream::from_bytes(std::fs::read(&sum).unwrap()).unwrap();
+    let doubled = fzlight::decompress(&s).unwrap();
+    for (x, y) in a.iter().zip(&doubled) {
+        assert!((2.0 * x - y).abs() <= 2.0 * 1e-3 + 1e-6, "{x} vs {y}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    // unknown command
+    let out = hzc().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // missing file
+    let out = hzc().args(["info", "/nonexistent/path.fzl"]).output().unwrap();
+    assert!(!out.status.success());
+
+    // conflicting flags
+    let out = hzc()
+        .args(["compress", "a", "b", "--eb", "1e-3", "--rel", "1e-3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+
+    // no args at all prints usage
+    let out = hzc().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn corrupt_stream_is_rejected_by_info() {
+    let dir = tmpdir("corrupt");
+    let bad = dir.join("bad.fzl");
+    std::fs::write(&bad, b"not a stream at all").unwrap();
+    let out = hzc().args(["info", bad.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

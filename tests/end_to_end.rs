@@ -1,0 +1,201 @@
+//! Cross-crate integration: synthetic datasets → compressors → homomorphic
+//! reduction → collectives, verifying the paper's correctness claims end to
+//! end.
+
+use datasets::{App, Quality};
+use fzlight::{Config, ErrorBound};
+use hzccl::{CollectiveConfig, Kernel, Mode};
+use netsim::{Cluster, ComputeTiming, ThroughputModel};
+
+fn q_ulp(data: &[f32]) -> f64 {
+    data.iter().fold(0f32, |m, v| m.max(v.abs())) as f64
+}
+
+fn modeled() -> ComputeTiming {
+    ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
+}
+
+#[test]
+fn every_dataset_roundtrips_within_bound_on_both_compressors() {
+    let n = 1 << 16;
+    for app in App::ALL {
+        let data = app.generate(n, 3);
+        for rel in [1e-2, 1e-4] {
+            let cfg = Config::new(ErrorBound::Rel(rel)).with_threads(2);
+            let eb = ErrorBound::Rel(rel).resolve(&data).unwrap();
+
+            // eb guaranteed in f64; the f32 reconstruction adds <= half an
+            // ULP of the largest value
+            let tol = eb * (1.0 + 1e-9)
+                + q_ulp(&data) * f32::EPSILON as f64;
+
+            let s = fzlight::compress(&data, &cfg).unwrap();
+            let out = fzlight::decompress(&s).unwrap();
+            let q = Quality::compare(&data, &out);
+            assert!(q.max_abs_err <= tol, "{app} fzlight rel={rel}: {q:?}");
+
+            let s = ompszp::compress(&data, &cfg).unwrap();
+            let out = ompszp::decompress(&s).unwrap();
+            let q = Quality::compare(&data, &out);
+            assert!(q.max_abs_err <= tol, "{app} ompszp rel={rel}: {q:?}");
+        }
+    }
+}
+
+#[test]
+fn homomorphic_sum_of_every_dataset_pair_is_error_bounded() {
+    let n = 1 << 15;
+    for app in App::ALL {
+        let a = app.generate(n, 0);
+        let b = app.generate(n, 1);
+        let eb = ErrorBound::Rel(1e-3).resolve(&a).unwrap();
+        let cfg = Config::new(ErrorBound::Abs(eb)).with_threads(2);
+        let ca = fzlight::compress(&a, &cfg).unwrap();
+        let cb = fzlight::compress(&b, &cfg).unwrap();
+        let hz = hzdyn::homomorphic_sum(&ca, &cb).unwrap();
+        let out = fzlight::decompress(&hz).unwrap();
+        for i in 0..n {
+            let exact = a[i] as f64 + b[i] as f64;
+            assert!(
+                (out[i] as f64 - exact).abs() <= 2.0 * eb + exact.abs() * 1e-6,
+                "{app} at {i}: {} vs {exact}",
+                out[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn all_kernels_agree_with_mpi_within_n_times_eb() {
+    let n = 4096;
+    let nranks = 8;
+    let eb = 1e-4;
+    let base = App::Hurricane.generate(n, 5);
+    let fields: Vec<Vec<f32>> = (0..nranks)
+        .map(|r| base.iter().map(|&v| v * (1.0 + 0.01 * r as f32)).collect())
+        .collect();
+
+    let cluster = Cluster::new(nranks).with_timing(modeled());
+    let reference = cluster.run(|comm| {
+        Kernel::MpiOriginal
+            .allreduce(comm, &fields[comm.rank()], eb, 2)
+            .expect("mpi")
+    });
+    for kernel in [
+        Kernel::CCollSingleThread,
+        Kernel::CCollMultiThread,
+        Kernel::HzcclSingleThread,
+        Kernel::HzcclMultiThread,
+    ] {
+        let outcomes = cluster.run(|comm| {
+            kernel.allreduce(comm, &fields[comm.rank()], eb, 2).expect("kernel")
+        });
+        let tol = 2.0 * nranks as f64 * eb;
+        for (o, r) in outcomes.iter().zip(&reference) {
+            for (a, b) in o.value.iter().zip(&r.value) {
+                assert!(
+                    ((a - b).abs() as f64) <= tol,
+                    "{kernel}: {a} vs {b} (tol {tol})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_scatter_then_allgather_equals_allreduce_for_hzccl() {
+    let n = 2000;
+    let nranks = 4;
+    let eb = 1e-4;
+    let base = App::SimSet2.generate(n, 1);
+    let fields: Vec<Vec<f32>> = (0..nranks)
+        .map(|r| base.iter().map(|&v| v + r as f32 * 0.01).collect())
+        .collect();
+    let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+    let cluster = Cluster::new(nranks).with_timing(modeled());
+    let fused = cluster.run(|comm| {
+        hzccl::hz::allreduce(comm, &fields[comm.rank()], &cfg).expect("fused")
+    });
+    let staged = cluster.run(|comm| {
+        let own = hzccl::hz::reduce_scatter(comm, &fields[comm.rank()], &cfg).expect("rs");
+        hzccl::mpi::allgather(comm, &own, n)
+    });
+    for (f, s) in fused.iter().zip(&staged) {
+        for (a, b) in f.value.iter().zip(&s.value) {
+            // staged path gathers the decompressed chunks uncompressed, so
+            // both reconstruct the same quantization integers
+            assert!((a - b).abs() <= 1e-6, "{a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn compressed_streams_survive_the_simulated_wire() {
+    // send a real compressed stream through netsim and decompress remotely
+    let data = App::Nyx.generate(10_000, 2);
+    let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(2);
+    let stream = fzlight::compress(&data, &cfg).unwrap();
+    let expect = fzlight::decompress(&stream).unwrap();
+    let bytes = stream.into_bytes();
+
+    let cluster = Cluster::new(2).with_timing(modeled());
+    let outcomes = cluster.run(|comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 0, bytes.clone());
+            Vec::new()
+        } else {
+            let got = comm.recv(0, 0);
+            let s = fzlight::CompressedStream::from_bytes(got).expect("parse");
+            fzlight::decompress(&s).expect("remote decompress")
+        }
+    });
+    assert_eq!(outcomes[1].value, expect);
+}
+
+#[test]
+fn costmodel_and_simulation_agree_on_the_winner() {
+    // the closed-form model and the discrete simulation must pick the same
+    // winner (hZCCL) for a bandwidth-bound configuration
+    let n = 1 << 18;
+    let nranks = 8;
+    let eb = 1e-4;
+    let base = App::SimSet1.generate(n, 0);
+    let fields: Vec<Vec<f32>> = (0..nranks).map(|_| base.clone()).collect();
+
+    let thr = ThroughputModel::new(2.0, 4.0, 20.0, 10.0, 20.0);
+    let timing = ComputeTiming::Modeled(thr);
+    let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+    let cluster = Cluster::new(nranks).with_timing(timing);
+
+    let t_mpi = {
+        let (_, s) = cluster.run_stats(|comm| {
+            hzccl::mpi::allreduce(comm, &fields[comm.rank()], 1);
+        });
+        s.makespan
+    };
+    let t_hz = {
+        let (_, s) = cluster.run_stats(|comm| {
+            hzccl::hz::allreduce(comm, &fields[comm.rank()], &cfg).expect("hz");
+        });
+        s.makespan
+    };
+
+    let ratio = fzlight::compress(&base, &cfg.fz()).unwrap().ratio();
+    let scen = costmodel::Scenario {
+        nranks,
+        message_bytes: n * 4,
+        ratio,
+        net: netsim::NetConfig::default(),
+        thr,
+    };
+    let m_mpi = costmodel::allreduce_mpi(&scen);
+    let m_hz = costmodel::allreduce_hzccl(&scen);
+
+    assert!(t_hz < t_mpi, "simulation: hz {t_hz} vs mpi {t_mpi}");
+    assert!(m_hz < m_mpi, "model: hz {m_hz} vs mpi {m_mpi}");
+    // and the model tracks the simulated MPI time within 2x
+    assert!(
+        (m_mpi / t_mpi) < 2.0 && (t_mpi / m_mpi) < 2.0,
+        "model {m_mpi} vs sim {t_mpi}"
+    );
+}

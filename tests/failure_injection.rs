@@ -1,0 +1,100 @@
+//! Failure injection: corrupted and adversarial compressed streams flowing
+//! through the stack must surface as clean `Err`s — never panics, hangs or
+//! out-of-bounds reads.
+
+use datasets::App;
+use fzlight::{compress, CompressedStream, Config, ErrorBound};
+use netsim::{Cluster, ComputeTiming, ThroughputModel};
+
+fn valid_stream_bytes() -> Vec<u8> {
+    let data = App::Hurricane.generate(4096, 9);
+    let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(2);
+    compress(&data, &cfg).unwrap().into_bytes()
+}
+
+/// Flip every byte (one at a time, sampled) of a valid stream and verify the
+/// stack never panics: parse either rejects the bytes, or decompression and
+/// homomorphic ops return a clean result/error.
+#[test]
+fn single_byte_corruption_never_panics() {
+    let bytes = valid_stream_bytes();
+    let reference = CompressedStream::from_bytes(bytes.clone()).unwrap();
+    // sample positions across header, offset table and body
+    let step = (bytes.len() / 200).max(1);
+    for at in (0..bytes.len()).step_by(step) {
+        for flip in [0x01u8, 0x80, 0xFF] {
+            let mut corrupted = bytes.clone();
+            corrupted[at] ^= flip;
+            if let Ok(stream) = CompressedStream::from_bytes(corrupted) {
+                let _ = fzlight::decompress(&stream);
+                let _ = fzlight::StreamStats::inspect(&stream);
+                let _ = hzdyn::homomorphic_sum(&stream, &reference);
+            }
+        }
+    }
+}
+
+/// Truncation at every sampled length must be a clean parse error.
+#[test]
+fn truncation_never_panics() {
+    let bytes = valid_stream_bytes();
+    let step = (bytes.len() / 100).max(1);
+    for cut in (0..bytes.len()).step_by(step) {
+        assert!(
+            CompressedStream::from_bytes(bytes[..cut].to_vec()).is_err(),
+            "cut at {cut} must be rejected"
+        );
+    }
+}
+
+/// A rank that receives garbage instead of a compressed chunk must fail its
+/// collective with an error, not bring the simulation down.
+#[test]
+fn garbage_on_the_wire_fails_cleanly() {
+    let timing = ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0));
+    let cluster = Cluster::new(2).with_timing(timing);
+    let outcomes = cluster.run(|comm| {
+        if comm.rank() == 0 {
+            // rank 0 maliciously sends noise instead of a stream
+            comm.send(1, 7, vec![0xAB; 100]);
+            Ok(())
+        } else {
+            let got = comm.recv(0, 7);
+            CompressedStream::from_bytes(got).map(|_| ())
+        }
+    });
+    assert!(outcomes[0].value.is_ok());
+    assert!(outcomes[1].value.is_err());
+}
+
+/// Mismatched-parameter streams must be rejected by every homomorphic entry
+/// point, including the accumulator.
+#[test]
+fn parameter_mismatches_rejected_everywhere() {
+    let data = App::Nyx.generate(2048, 0);
+    let a = compress(&data, &Config::new(ErrorBound::Abs(1e-3))).unwrap();
+    let b = compress(&data, &Config::new(ErrorBound::Abs(1e-4))).unwrap();
+    assert!(hzdyn::homomorphic_sum(&a, &b).is_err());
+    assert!(hzdyn::homomorphic_op(&a, &b, hzdyn::ReduceOp::Diff).is_err());
+    assert!(hzdyn::homomorphic_axpby(&a, 1, &b, 1).is_err());
+    assert!(hzdyn::homomorphic_sum_static(&a, &b).is_err());
+    assert!(hzdyn::doc_reduce(&a, &b, hzdyn::ReduceOp::Sum).is_err());
+    let mut acc = hzdyn::Accumulator::new(&a).unwrap();
+    assert!(acc.push(&b).is_err());
+}
+
+/// ompSZp is held to the same robustness bar.
+#[test]
+fn ompszp_corruption_never_panics() {
+    let data = App::CesmAtm.generate(4096, 2);
+    let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(2);
+    let bytes = ompszp::compress(&data, &cfg).unwrap().as_bytes().to_vec();
+    let step = (bytes.len() / 150).max(1);
+    for at in (0..bytes.len()).step_by(step) {
+        let mut corrupted = bytes.clone();
+        corrupted[at] ^= 0xFF;
+        if let Ok(stream) = ompszp::OszpStream::from_bytes(corrupted) {
+            let _ = ompszp::decompress(&stream);
+        }
+    }
+}

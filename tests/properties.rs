@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) on the core invariants:
+//! error-bounded round trips, homomorphic exactness, codec bijectivity and
+//! stream-format robustness under arbitrary inputs.
+
+use fzlight::{codec, compress, decompress, Config, ErrorBound};
+use proptest::prelude::*;
+
+/// Strategy: plausible scientific values spanning signs and magnitudes,
+/// always finite.
+fn field(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => -1.0e3f32..1.0e3f32,
+            1 => -1.0f32..1.0f32,
+            1 => Just(0.0f32),
+        ],
+        0..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fzlight_roundtrip_respects_bound(data in field(2000), eb in 1e-5f64..1e-1) {
+        let cfg = Config::new(ErrorBound::Abs(eb)).with_threads(3);
+        let stream = compress(&data, &cfg).unwrap();
+        let out = decompress(&stream).unwrap();
+        prop_assert_eq!(out.len(), data.len());
+        for (a, b) in data.iter().zip(&out) {
+            let tol = eb * (1.0 + 1e-9) + (b.abs() as f64) * f32::EPSILON as f64;
+            prop_assert!(((a - b).abs() as f64) <= tol, "|{} - {}| > {}", a, b, tol);
+        }
+    }
+
+    #[test]
+    fn ompszp_roundtrip_respects_bound(data in field(2000), eb in 1e-5f64..1e-1) {
+        let cfg = Config::new(ErrorBound::Abs(eb)).with_threads(2);
+        let stream = ompszp::compress(&data, &cfg).unwrap();
+        let out = ompszp::decompress(&stream).unwrap();
+        prop_assert_eq!(out.len(), data.len());
+        for (a, b) in data.iter().zip(&out) {
+            let tol = eb * (1.0 + 1e-9) + (b.abs() as f64) * f32::EPSILON as f64;
+            prop_assert!(((a - b).abs() as f64) <= tol);
+        }
+    }
+
+    /// The headline invariant: the homomorphic sum reconstructs from exactly
+    /// the sum of the quantization integers — no error beyond per-stream
+    /// quantization, bit-for-bit reproducible.
+    #[test]
+    fn homomorphic_sum_is_exact_on_integers(
+        a in field(1500),
+        b_seed in any::<u64>(),
+        eb in 1e-4f64..1e-1,
+    ) {
+        let n = a.len();
+        let mut state = b_seed | 1;
+        let b: Vec<f32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 100.0
+            })
+            .collect();
+        let cfg = Config::new(ErrorBound::Abs(eb)).with_threads(2);
+        let ca = compress(&a, &cfg).unwrap();
+        let cb = compress(&b, &cfg).unwrap();
+        let hz = hzdyn::homomorphic_sum(&ca, &cb).unwrap();
+        let da = decompress(&ca).unwrap();
+        let db = decompress(&cb).unwrap();
+        let ds = decompress(&hz).unwrap();
+        let q = |v: f32| ((v as f64) / (2.0 * eb)).round() as i64;
+        for i in 0..n {
+            prop_assert_eq!(q(ds[i]), q(da[i]) + q(db[i]), "at {}", i);
+        }
+    }
+
+    #[test]
+    fn homomorphic_sum_commutes(data in field(1000), eb in 1e-4f64..1e-2) {
+        let shifted: Vec<f32> = data.iter().map(|v| v * 0.5 + 1.0).collect();
+        let cfg = Config::new(ErrorBound::Abs(eb)).with_threads(2);
+        let ca = compress(&data, &cfg).unwrap();
+        let cb = compress(&shifted, &cfg).unwrap();
+        let ab = hzdyn::homomorphic_sum(&ca, &cb).unwrap();
+        let ba = hzdyn::homomorphic_sum(&cb, &ca).unwrap();
+        prop_assert_eq!(ab.as_bytes(), ba.as_bytes());
+    }
+
+    #[test]
+    fn codec_roundtrips_arbitrary_deltas(
+        deltas in prop::collection::vec(-(u32::MAX as i64)..=(u32::MAX as i64), 1..=64)
+    ) {
+        let mut buf = Vec::new();
+        codec::encode_deltas(&deltas, &mut buf).unwrap();
+        let mut out = vec![0i64; deltas.len()];
+        let used = codec::decode_block(&buf, &mut out).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(out, deltas);
+    }
+
+    /// Parsing arbitrary bytes must never panic — it either errors or yields
+    /// a stream whose decompression is also panic-free.
+    #[test]
+    fn stream_parser_is_panic_free(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(stream) = fzlight::CompressedStream::from_bytes(bytes) {
+            let _ = decompress(&stream);
+        }
+    }
+
+    /// Same for ompSZp.
+    #[test]
+    fn oszp_parser_is_panic_free(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(stream) = ompszp::OszpStream::from_bytes(bytes) {
+            let _ = ompszp::decompress(&stream);
+        }
+    }
+
+    /// Truncating a valid stream anywhere must error cleanly, never panic.
+    #[test]
+    fn truncated_streams_error_cleanly(cut_frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let data: Vec<f32> = (0..500)
+            .map(|i| ((i as f32) * 0.1 + seed as f32 * 1e-9).sin())
+            .collect();
+        let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(2);
+        let bytes = compress(&data, &cfg).unwrap().into_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(fzlight::CompressedStream::from_bytes(bytes[..cut].to_vec()).is_err());
+        }
+    }
+
+    #[test]
+    fn scale_distributes_over_sum(data in field(800), k in -5i32..=5) {
+        let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(2);
+        let c = compress(&data, &cfg).unwrap();
+        // k*(a+a) == (k*a) + (k*a) on the integers => byte-identical streams
+        let sum = hzdyn::homomorphic_sum(&c, &c).unwrap();
+        let left = hzdyn::homomorphic_scale(&sum, k);
+        let scaled = hzdyn::homomorphic_scale(&c, k).unwrap();
+        let right = hzdyn::homomorphic_sum(&scaled, &scaled);
+        // overflow may occur on either path for extreme k; when both paths
+        // succeed they must agree byte for byte
+        if let (Ok(l), Ok(r)) = (left, right) {
+            prop_assert_eq!(l.as_bytes(), r.as_bytes());
+        }
+    }
+}
