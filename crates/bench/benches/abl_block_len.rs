@@ -24,9 +24,8 @@ fn main() {
             ("hZ sum GB/s", 11),
         ]);
         for block_len in [8usize, 16, 32, 64] {
-            let cfg = Config::new(ErrorBound::Rel(1e-3))
-                .with_threads(threads)
-                .with_block_len(block_len);
+            let cfg =
+                Config::new(ErrorBound::Rel(1e-3)).with_threads(threads).with_block_len(block_len);
             let stream = fzlight::compress(&data, &cfg).expect("compress");
             let t_c = time_best(3, || {
                 std::hint::black_box(fzlight::compress(&data, &cfg).expect("compress"));

@@ -11,12 +11,8 @@ fn main() {
     let n = field_elems();
     let bytes = n * 4;
     let threads = mt_threads();
-    let table = Table::new(&[
-        ("App", 12),
-        ("Fused GB/s", 11),
-        ("Unfused GB/s", 12),
-        ("Fused/Unfused", 13),
-    ]);
+    let table =
+        Table::new(&[("App", 12), ("Fused GB/s", 11), ("Unfused GB/s", 12), ("Fused/Unfused", 13)]);
     for app in App::ALL {
         let data = app.generate(n, 0);
         let cfg = Config::new(ErrorBound::Rel(1e-3)).with_threads(threads);

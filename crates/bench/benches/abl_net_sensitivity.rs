@@ -27,12 +27,8 @@ fn main() {
             NetConfig { latency_s: 3e-6, bandwidth_gbps: 1.2, congestion: 0.3 },
         ),
     ];
-    let table = Table::new(&[
-        ("Fabric", 30),
-        ("MPI (ms)", 10),
-        ("C-Coll MT", 12),
-        ("hZCCL MT", 12),
-    ]);
+    let table =
+        Table::new(&[("Fabric", 30), ("MPI (ms)", 10), ("C-Coll MT", 12), ("hZCCL MT", 12)]);
     for (label, net) in nets {
         let run = |which: usize| -> f64 {
             let variant = [Variant::Mpi, Variant::CColl, Variant::Hzccl][which];

@@ -51,20 +51,12 @@ fn main() {
 
     for (op, name) in [(0usize, "Reduce(sum) to root"), (1, "Bcast")] {
         println!("--- {name} ({nranks} ranks, {} MB/rank) ---", (n * 4) >> 20);
-        let table = Table::new(&[
-            ("Flavour", 10),
-            ("time (ms)", 10),
-            ("speedup vs MPI", 14),
-        ]);
+        let table = Table::new(&[("Flavour", 10), ("time (ms)", 10), ("speedup vs MPI", 14)]);
         let t_mpi = run(0, op);
         table.row(&["MPI".into(), format!("{:.2}", t_mpi * 1e3), "1.00x".into()]);
         for (which, label) in [(1usize, "C-Coll"), (2, "hZCCL")] {
             let t = run(which, op);
-            table.row(&[
-                label.into(),
-                format!("{:.2}", t * 1e3),
-                format!("{:.2}x", t_mpi / t),
-            ]);
+            table.row(&[label.into(), format!("{:.2}", t * 1e3), format!("{:.2}x", t_mpi / t)]);
         }
         println!();
     }

@@ -26,8 +26,8 @@ fn main() {
     ]);
     for kb in [1usize, 16, 256, 4096, 16384] {
         let n = (kb * 1024 / 4).max(nranks); // ring needs n >= nranks
-        // independent per-rank fields: partial sums grow like sqrt(k), the
-        // realistic regime for ensemble/shot accumulation
+                                             // independent per-rank fields: partial sums grow like sqrt(k), the
+                                             // realistic regime for ensemble/shot accumulation
         let fields: Vec<Vec<f32>> =
             (0..nranks).map(|r| App::SimSet1.generate(n, r as u64)).collect();
         let run = |ring: bool| -> f64 {

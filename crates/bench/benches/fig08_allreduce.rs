@@ -33,9 +33,7 @@ fn main() {
             let n = mb * (1 << 20) / 4;
             let base = app.generate(n, 0);
             let fields = scaled_rank_fields(&base, nranks);
-            let t = |k: Kernel| {
-                hzccl_bench::run_collective(k, CollOp::Allreduce, &fields, eb).0
-            };
+            let t = |k: Kernel| hzccl_bench::run_collective(k, CollOp::Allreduce, &fields, eb).0;
             let c_st = t(Kernel::CCollSingleThread);
             let h_st = t(Kernel::HzcclSingleThread);
             let c_mt = t(Kernel::CCollMultiThread);

@@ -30,9 +30,7 @@ fn main() {
 
     let base = App::Hurricane.generate(n, 42);
     let fields: Vec<Vec<f32>> = (0..nranks).map(|r| observation(&base, r)).collect();
-    let exact: Vec<f32> = (0..n)
-        .map(|i| fields.iter().map(|f| f[i]).sum::<f32>())
-        .collect();
+    let exact: Vec<f32> = (0..n).map(|i| fields.iter().map(|f| f[i]).sum::<f32>()).collect();
 
     let timing = ComputeTiming::Modeled(ThroughputModel::new(2.0, 4.0, 20.0, 10.0, 20.0));
     let cluster = Cluster::new(nranks).with_timing(timing);
@@ -49,10 +47,15 @@ fn main() {
 
     let q = Quality::compare(&exact, stacked);
     println!("wrote {}/stack_mpi.pgm and stack_hzccl.pgm ({side}x{side})", dir.display());
-    println!("PSNR = {:.2} dB, NRMSE = {:.1e}, max abs err = {:.2e}", q.psnr, q.nrmse, q.max_abs_err);
-    println!("max abs err vs theoretical bound N*eb = {:.2e}: {}",
+    println!(
+        "PSNR = {:.2} dB, NRMSE = {:.1e}, max abs err = {:.2e}",
+        q.psnr, q.nrmse, q.max_abs_err
+    );
+    println!(
+        "max abs err vs theoretical bound N*eb = {:.2e}: {}",
         nranks as f64 * eb,
-        if q.max_abs_err <= nranks as f64 * eb * 1.01 { "WITHIN BOUND" } else { "EXCEEDED" });
+        if q.max_abs_err <= nranks as f64 * eb * 1.01 { "WITHIN BOUND" } else { "EXCEEDED" }
+    );
     println!("\nExpected (paper Fig. 13 + Sec. IV-E): no visual difference between");
     println!("the two images; paper reports PSNR 62.00 / NRMSE 8.0e-4.");
 }

@@ -1,92 +1,103 @@
-//! Criterion microbenchmarks of the hot kernels: block codec, compressor
-//! end-to-end, homomorphic sum vs DOC reduce, and the ompSZp baseline.
+//! Microbenchmarks of the hot kernels: block codec, compressor end-to-end,
+//! homomorphic sum vs DOC reduce, and the ompSZp baseline.
+//!
+//! Hand-rolled harness (best-of-k timing via `hzccl_bench::time_best`) so the
+//! workspace builds offline with no external benchmarking crate; the file
+//! keeps its historical `kernels_criterion` target name so existing
+//! EXPERIMENTS.md invocations still work.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use datasets::App;
 use fzlight::{codec, Config, ErrorBound};
+use hzccl_bench::{banner, gbps, time_best, Table};
 use hzdyn::ReduceOp;
 use std::hint::black_box;
 
-const FIELD: usize = 1 << 20; // 4 MiB of f32 — fast enough for criterion
+const FIELD: usize = 1 << 20; // 4 MiB of f32 — fast enough for a smoke bench
 
-fn bench_codec(c: &mut Criterion) {
+fn main() {
+    banner("kernels", "hot-kernel microbenchmarks (best of k runs)");
+    let table = Table::new(&[("kernel", 26), ("best (us)", 12), ("GB/s", 10)]);
+
+    let report = |name: &str, bytes: usize, secs: f64| {
+        table.row(&[
+            name.to_string(),
+            format!("{:.2}", secs * 1e6),
+            format!("{:.2}", gbps(bytes, secs)),
+        ]);
+    };
+
+    // --- block codec ------------------------------------------------------
     let deltas: Vec<i64> = (0..32).map(|i| (i * 37 - 500) as i64).collect();
     let mut encoded = Vec::new();
     codec::encode_deltas(&deltas, &mut encoded).unwrap();
 
-    let mut g = c.benchmark_group("codec");
-    g.throughput(Throughput::Bytes(32 * 8));
-    g.bench_function("encode_block_32", |b| {
-        let mut out = Vec::with_capacity(64);
-        b.iter(|| {
-            out.clear();
-            codec::encode_deltas(black_box(&deltas), &mut out).unwrap();
-            black_box(&out);
-        })
+    let mut out_buf = Vec::with_capacity(64);
+    let t = time_best(2000, || {
+        out_buf.clear();
+        codec::encode_deltas(black_box(&deltas), &mut out_buf).unwrap();
+        black_box(&out_buf);
     });
-    g.bench_function("decode_block_32", |b| {
-        let mut out = [0i64; 32];
-        b.iter(|| {
-            codec::decode_block(black_box(&encoded), &mut out).unwrap();
-            black_box(&out);
-        })
-    });
-    g.finish();
-}
+    report("codec/encode_block_32", 32 * 8, t);
 
-fn bench_compressors(c: &mut Criterion) {
+    let mut out32 = [0i64; 32];
+    let t = time_best(2000, || {
+        codec::decode_block(black_box(&encoded), &mut out32).unwrap();
+        black_box(&out32);
+    });
+    report("codec/decode_block_32", 32 * 8, t);
+
+    // --- compressors ------------------------------------------------------
     let data = App::Hurricane.generate(FIELD, 0);
     let cfg = Config::new(ErrorBound::Abs(1e-4));
     let stream = fzlight::compress(&data, &cfg).unwrap();
     let ostream = ompszp::compress(&data, &cfg).unwrap();
     let mut out = vec![0f32; FIELD];
+    let field_bytes = FIELD * 4;
 
-    let mut g = c.benchmark_group("compressor");
-    g.sample_size(20);
-    g.throughput(Throughput::Bytes((FIELD * 4) as u64));
-    g.bench_function("fzlight_compress", |b| {
-        b.iter(|| black_box(fzlight::compress(black_box(&data), &cfg).unwrap()))
+    let t = time_best(10, || {
+        black_box(fzlight::compress(black_box(&data), &cfg).unwrap());
     });
-    g.bench_function("fzlight_decompress", |b| {
-        b.iter(|| fzlight::decompress_into(black_box(&stream), &mut out).unwrap())
-    });
-    g.bench_function("fzlight_compress_unfused", |b| {
-        b.iter(|| black_box(fzlight::compress_unfused(black_box(&data), &cfg).unwrap()))
-    });
-    g.bench_function("ompszp_compress", |b| {
-        b.iter(|| black_box(ompszp::compress(black_box(&data), &cfg).unwrap()))
-    });
-    g.bench_function("ompszp_decompress", |b| {
-        b.iter(|| ompszp::decompress_into(black_box(&ostream), &mut out).unwrap())
-    });
-    g.finish();
-}
+    report("compressor/fzlight_compress", field_bytes, t);
 
-fn bench_homomorphic(c: &mut Criterion) {
+    let t = time_best(10, || {
+        fzlight::decompress_into(black_box(&stream), &mut out).unwrap();
+    });
+    report("compressor/fzlight_decompress", field_bytes, t);
+
+    let t = time_best(10, || {
+        black_box(fzlight::compress_unfused(black_box(&data), &cfg).unwrap());
+    });
+    report("compressor/fzlight_unfused", field_bytes, t);
+
+    let t = time_best(10, || {
+        black_box(ompszp::compress(black_box(&data), &cfg).unwrap());
+    });
+    report("compressor/ompszp_compress", field_bytes, t);
+
+    let t = time_best(10, || {
+        ompszp::decompress_into(black_box(&ostream), &mut out).unwrap();
+    });
+    report("compressor/ompszp_decompress", field_bytes, t);
+
+    // --- homomorphic processing vs DOC ------------------------------------
     let a = App::Hurricane.generate(FIELD, 0);
-    let b_ = App::Hurricane.generate(FIELD, 1);
-    let cfg = Config::new(ErrorBound::Abs(1e-4));
+    let b = App::Hurricane.generate(FIELD, 1);
     let ca = fzlight::compress(&a, &cfg).unwrap();
-    let cb = fzlight::compress(&b_, &cfg).unwrap();
+    let cb = fzlight::compress(&b, &cfg).unwrap();
+    let pair_bytes = 2 * field_bytes;
 
-    let mut g = c.benchmark_group("homomorphic");
-    g.sample_size(20);
-    g.throughput(Throughput::Bytes((2 * FIELD * 4) as u64));
-    g.bench_function("hz_dynamic_sum", |b| {
-        b.iter(|| black_box(hzdyn::homomorphic_sum(black_box(&ca), black_box(&cb)).unwrap()))
+    let t = time_best(10, || {
+        black_box(hzdyn::homomorphic_sum(black_box(&ca), black_box(&cb)).unwrap());
     });
-    g.bench_function("hz_static_sum", |b| {
-        b.iter(|| {
-            black_box(hzdyn::homomorphic_sum_static(black_box(&ca), black_box(&cb)).unwrap())
-        })
+    report("homomorphic/hz_dynamic_sum", pair_bytes, t);
+
+    let t = time_best(10, || {
+        black_box(hzdyn::homomorphic_sum_static(black_box(&ca), black_box(&cb)).unwrap());
     });
-    g.bench_function("doc_reduce", |b| {
-        b.iter(|| {
-            black_box(hzdyn::doc_reduce(black_box(&ca), black_box(&cb), ReduceOp::Sum).unwrap())
-        })
+    report("homomorphic/hz_static_sum", pair_bytes, t);
+
+    let t = time_best(10, || {
+        black_box(hzdyn::doc_reduce(black_box(&ca), black_box(&cb), ReduceOp::Sum).unwrap());
     });
-    g.finish();
+    report("homomorphic/doc_reduce", pair_bytes, t);
 }
-
-criterion_group!(benches, bench_codec, bench_compressors, bench_homomorphic);
-criterion_main!(benches);

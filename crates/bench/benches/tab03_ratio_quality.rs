@@ -24,8 +24,7 @@ fn main() {
         ("oSZp STD", 9),
     ]);
     for app in App::ALL {
-        let fields: Vec<Vec<f32>> =
-            (0..FIELDS_PER_APP).map(|seed| app.generate(n, seed)).collect();
+        let fields: Vec<Vec<f32>> = (0..FIELDS_PER_APP).map(|seed| app.generate(n, seed)).collect();
         for rel in RELS {
             let cfg = Config::new(ErrorBound::Rel(rel)).with_threads(threads);
             let mut fz_ratio = Vec::new();

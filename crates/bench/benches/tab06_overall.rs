@@ -44,9 +44,7 @@ fn main() {
 
             let doc = hzdyn::doc_reduce(&ca, &cb, ReduceOp::Sum).expect("doc");
             let t_doc = time_best(3, || {
-                std::hint::black_box(
-                    hzdyn::doc_reduce(&ca, &cb, ReduceOp::Sum).expect("doc"),
-                );
+                std::hint::black_box(hzdyn::doc_reduce(&ca, &cb, ReduceOp::Sum).expect("doc"));
             });
             let doc_out = fzlight::decompress(&doc).expect("doc d");
             let doc_q = Quality::compare(&exact, &doc_out);

@@ -33,13 +33,8 @@ fn main() {
     let fields: Vec<Vec<f32>> = (0..nranks).map(|r| observation(&base, r)).collect();
 
     let t_mpi = run_collective(Kernel::MpiOriginal, CollOp::Allreduce, &fields, eb).0;
-    let table = Table::new(&[
-        ("Kernel", 24),
-        ("Speedup", 8),
-        ("CPR+CPT", 9),
-        ("MPI", 8),
-        ("Others", 8),
-    ]);
+    let table =
+        Table::new(&[("Kernel", 24), ("Speedup", 8), ("CPR+CPT", 9), ("MPI", 8), ("Others", 8)]);
     for kernel in [
         Kernel::HzcclSingleThread,
         Kernel::CCollSingleThread,
@@ -58,9 +53,7 @@ fn main() {
     }
 
     // accuracy of the hZCCL-stacked image vs exact float stacking
-    let exact: Vec<f32> = (0..n)
-        .map(|i| fields.iter().map(|f| f[i]).sum::<f32>())
-        .collect();
+    let exact: Vec<f32> = (0..n).map(|i| fields.iter().map(|f| f[i]).sum::<f32>()).collect();
     let timing = hzccl_bench::timing_for(
         hzccl::Variant::Hzccl,
         hzccl::Mode::SingleThread,

@@ -10,6 +10,7 @@
 //! | `HZ_THREADS` | host cores | multi-thread mode thread count |
 //! | `HZ_NODE_MSG_MB` | 8 | per-rank message of the scalability sweeps |
 //! | `HZ_PAPER_MODEL` | off | use paper-calibrated throughputs instead of host calibration |
+//! | `HZ_METRICS_OUT` | off | directory receiving a `BENCH_<name>.json` metrics snapshot; also enables flight-recorder tracing in [`run_collective`] |
 //!
 //! Collective benches always use [`netsim::ComputeTiming::Modeled`]: the
 //! data path runs for real (ratios, pipeline mixes and correctness are
@@ -46,10 +47,7 @@ pub fn ranks() -> usize {
 
 /// Thread count of the multi-thread mode.
 pub fn mt_threads() -> usize {
-    env_usize(
-        "HZ_THREADS",
-        std::thread::available_parallelism().map(|t| t.get()).unwrap_or(2),
-    )
+    env_usize("HZ_THREADS", std::thread::available_parallelism().map(|t| t.get()).unwrap_or(2))
 }
 
 /// Per-rank message elements for the node-count sweeps.
@@ -78,8 +76,7 @@ pub fn timing_for(variant: Variant, mode: Mode, sample: &[f32], eb: f64) -> Comp
     if env_flag("HZ_PAPER_MODEL") {
         return ComputeTiming::Modeled(hzccl::paper_model(variant, mode));
     }
-    static CACHE: Mutex<Option<HashMap<(u8, usize), netsim::ThroughputModel>>> =
-        Mutex::new(None);
+    static CACHE: Mutex<Option<HashMap<(u8, usize), netsim::ThroughputModel>>> = Mutex::new(None);
     let key = (
         match variant {
             Variant::Mpi => 0u8,
@@ -126,6 +123,12 @@ fn calibration_sample(field: &[f32]) -> &[f32] {
 
 /// Run one collective kernel over a simulated cluster (modeled timing, real
 /// data) and return `(makespan_seconds, aggregated_breakdown)`.
+///
+/// When `HZ_METRICS_OUT` names a directory, the cluster additionally runs
+/// with the flight recorder enabled; per-rank traces are folded into a
+/// process-global [`netsim::Registry`] and flushed to
+/// `HZ_METRICS_OUT/BENCH_<name>.json` after every run (the file is
+/// overwritten, so the last snapshot of a sweep accumulates everything).
 pub fn run_collective(
     kernel: hzccl::Kernel,
     op: CollOp,
@@ -136,8 +139,11 @@ pub fn run_collective(
     let mt = mt_threads();
     let mode = kernel.mode(mt).unwrap_or(Mode::SingleThread);
     let timing = timing_for(kernel.variant(), mode, calibration_sample(&fields[0]), eb);
-    let cluster = netsim::Cluster::new(nranks).with_net(net()).with_timing(timing);
-    let (_, stats) = cluster.run_stats(|comm| {
+    let mut cluster = netsim::Cluster::new(nranks).with_net(net()).with_timing(timing);
+    if metrics_out_dir().is_some() {
+        cluster = cluster.with_trace(netsim::TraceConfig::default());
+    }
+    let outcomes = cluster.run(|comm| {
         let data = &fields[comm.rank()];
         match op {
             CollOp::Allreduce => {
@@ -148,7 +154,55 @@ pub fn run_collective(
             }
         }
     });
-    (stats.makespan, stats.total)
+    let mut makespan = 0f64;
+    let mut total = netsim::Breakdown::default();
+    for o in &outcomes {
+        makespan = makespan.max(o.elapsed);
+        total += o.breakdown;
+    }
+    record_metrics(&outcomes);
+    (makespan, total)
+}
+
+/// Where metric snapshots go, if requested via `HZ_METRICS_OUT`.
+fn metrics_out_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os("HZ_METRICS_OUT").map(std::path::PathBuf::from)
+}
+
+/// The process-global metrics registry fed by [`run_collective`].
+fn global_registry() -> &'static std::sync::Mutex<netsim::Registry> {
+    use std::sync::{Mutex, OnceLock};
+    static REGISTRY: OnceLock<Mutex<netsim::Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(netsim::Registry::new()))
+}
+
+/// Bench name for the metrics file: the executable stem with cargo's
+/// trailing `-<hash>` disambiguator stripped.
+fn bench_name() -> String {
+    let exe = std::env::current_exe().ok();
+    let stem =
+        exe.as_deref().and_then(|p| p.file_stem()).and_then(|s| s.to_str()).unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+/// Fold one run's outcomes into the global registry and (re)write the
+/// `BENCH_<name>.json` snapshot. No-op unless `HZ_METRICS_OUT` is set.
+pub fn record_metrics<R>(outcomes: &[netsim::RankOutcome<R>]) {
+    let Some(dir) = metrics_out_dir() else {
+        return;
+    };
+    let mut guard = global_registry().lock().expect("metrics registry poisoned");
+    guard.record_run(outcomes);
+    let path = dir.join(format!("BENCH_{}.json", bench_name()));
+    let _ = std::fs::create_dir_all(&dir);
+    if let Err(e) = std::fs::write(&path, guard.to_json().render()) {
+        eprintln!("warning: could not write metrics snapshot {}: {e}", path.display());
+    }
 }
 
 /// Best-of-`k` wall time of `f`, in seconds.
@@ -176,8 +230,7 @@ impl Table {
     /// Start a table and print its header row.
     pub fn new(columns: &[(&str, usize)]) -> Table {
         let widths: Vec<usize> = columns.iter().map(|c| c.1).collect();
-        let header: Vec<String> =
-            columns.iter().map(|(name, w)| format!("{name:<w$}")).collect();
+        let header: Vec<String> = columns.iter().map(|(name, w)| format!("{name:<w$}")).collect();
         println!("{}", header.join(" | "));
         println!("{}", "-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len() - 1)));
         Table { widths }
@@ -186,11 +239,8 @@ impl Table {
     /// Print one row; `cells` must match the header arity.
     pub fn row(&self, cells: &[String]) {
         assert_eq!(cells.len(), self.widths.len(), "row arity mismatch");
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(&self.widths)
-            .map(|(c, w)| format!("{c:<w$}"))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(&self.widths).map(|(c, w)| format!("{c:<w$}")).collect();
         println!("{}", padded.join(" | "));
     }
 }

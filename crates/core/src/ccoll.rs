@@ -14,7 +14,7 @@
 
 use crate::chunks::node_chunks;
 use crate::config::CollectiveConfig;
-use crate::ring::ring_forward;
+use crate::ring::ring_forward_logical;
 use fzlight::Result;
 use hzdyn::{doc::reduce_in_place, ReduceOp};
 use netsim::{Comm, OpKind};
@@ -29,11 +29,7 @@ fn oszp_config(cfg: &CollectiveConfig) -> ompszp::Config {
 }
 
 /// C-Coll ring `Reduce_scatter(sum)`: returns the reduced node-chunk `rank`.
-pub fn reduce_scatter(
-    comm: &mut Comm,
-    data: &[f32],
-    cfg: &CollectiveConfig,
-) -> Result<Vec<f32>> {
+pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
     let n = comm.size();
     let r = comm.rank();
     let chunks = node_chunks(data.len(), n);
@@ -48,18 +44,27 @@ pub fn reduce_scatter(
     let mut acc: Vec<f32> = data[chunks[(r + n - 1) % n].clone()].to_vec();
     for s in 0..n - 1 {
         // CPR: compress the chunk we are about to forward
-        let stream =
-            comm.compute(OpKind::Cpr, acc.len() * 4, || ompszp::compress(&acc, &ocfg))?;
-        let got =
-            comm.sendrecv(right, TAG_RS + s as u64, stream.as_bytes().to_vec(), left);
+        let stream = comm.compute_labeled(OpKind::Cpr, acc.len() * 4, "ccoll:compress", || {
+            ompszp::compress(&acc, &ocfg)
+        })?;
+        let logical = acc.len() * 4;
+        let got = comm.sendrecv_compressed(
+            right,
+            TAG_RS + s as u64,
+            stream.as_bytes().to_vec(),
+            logical,
+            left,
+        );
         let received = OszpStream::from_bytes(got)?;
         // DPR: fully decompress before any arithmetic (the DOC bottleneck)
         let mut tmp =
-            comm.compute(OpKind::Dpr, received.n() * 4, || ompszp::decompress(&received))?;
+            comm.compute_labeled(OpKind::Dpr, received.n() * 4, "ccoll:decompress", || {
+                ompszp::decompress(&received)
+            })?;
         let local_idx = (r + 2 * n - s - 2) % n;
         let local = &data[chunks[local_idx].clone()];
         // CPT: reduce on raw values
-        comm.compute(OpKind::Cpt, tmp.len() * 4, || {
+        comm.compute_labeled(OpKind::Cpt, tmp.len() * 4, "ccoll:reduce", || {
             reduce_in_place(&mut tmp, local, ReduceOp::Sum, threads)
         });
         acc = tmp;
@@ -88,16 +93,20 @@ pub fn allgather(
     }
 
     // CPR (once): compress our own chunk
-    let own_stream =
-        comm.compute(OpKind::Cpr, own.len() * 4, || ompszp::compress(own, &ocfg))?;
-    let slots = ring_forward(comm, own_stream.as_bytes().to_vec());
+    let own_stream = comm.compute_labeled(OpKind::Cpr, own.len() * 4, "ccoll:compress", || {
+        ompszp::compress(own, &ocfg)
+    })?;
+    let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
+    let slots = ring_forward_logical(comm, own_stream.as_bytes().to_vec(), &logical);
     for (idx, payload) in slots.into_iter().enumerate() {
         if idx == r {
             continue;
         }
         let stream = OszpStream::from_bytes(payload)?;
         let dst = &mut out[chunks[idx].clone()];
-        comm.compute(OpKind::Dpr, dst.len() * 4, || ompszp::decompress_into(&stream, dst))?;
+        comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
+            ompszp::decompress_into(&stream, dst)
+        })?;
     }
     Ok(out)
 }
@@ -135,15 +144,21 @@ pub fn reduce(
             let got = comm.recv(src, crate::mpi::TAG_GATHER + src as u64);
             let stream = OszpStream::from_bytes(got)?;
             let dst = &mut out[chunks[src].clone()];
-            comm.compute(OpKind::Dpr, dst.len() * 4, || {
+            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
                 ompszp::decompress_into(&stream, dst)
             })?;
         }
         Ok(Some(out))
     } else {
-        let stream =
-            comm.compute(OpKind::Cpr, own.len() * 4, || ompszp::compress(&own, &ocfg))?;
-        comm.send(root, crate::mpi::TAG_GATHER + r as u64, stream.as_bytes().to_vec());
+        let stream = comm.compute_labeled(OpKind::Cpr, own.len() * 4, "ccoll:compress", || {
+            ompszp::compress(&own, &ocfg)
+        })?;
+        comm.send_compressed(
+            root,
+            crate::mpi::TAG_GATHER + r as u64,
+            stream.as_bytes().to_vec(),
+            own.len() * 4,
+        );
         Ok(None)
     }
 }
@@ -173,23 +188,33 @@ pub fn bcast(
         for dst in 0..n {
             let chunk = &data[chunks[dst].clone()];
             let stream =
-                comm.compute(OpKind::Cpr, chunk.len() * 4, || ompszp::compress(chunk, &ocfg))?;
+                comm.compute_labeled(OpKind::Cpr, chunk.len() * 4, "ccoll:compress", || {
+                    ompszp::compress(chunk, &ocfg)
+                })?;
             if dst == root {
                 mine = stream.as_bytes().to_vec();
             } else {
-                comm.send(dst, crate::mpi::TAG_SCATTER + dst as u64, stream.as_bytes().to_vec());
+                comm.send_compressed(
+                    dst,
+                    crate::mpi::TAG_SCATTER + dst as u64,
+                    stream.as_bytes().to_vec(),
+                    chunk.len() * 4,
+                );
             }
         }
         mine
     } else {
         comm.recv(root, crate::mpi::TAG_SCATTER + r as u64)
     };
-    let slots = ring_forward(comm, own_bytes);
+    let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
+    let slots = ring_forward_logical(comm, own_bytes, &logical);
     let mut out = vec![0f32; total_len];
     for (idx, payload) in slots.into_iter().enumerate() {
         let stream = OszpStream::from_bytes(payload)?;
         let dst = &mut out[chunks[idx].clone()];
-        comm.compute(OpKind::Dpr, dst.len() * 4, || ompszp::decompress_into(&stream, dst))?;
+        comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
+            ompszp::decompress_into(&stream, dst)
+        })?;
     }
     Ok(out)
 }
@@ -234,10 +259,7 @@ mod tests {
             let tol = (2.0 * nranks as f64) * eb + 1e-6;
             for o in outcomes {
                 for (i, (a, b)) in o.value.iter().zip(&expect).enumerate() {
-                    assert!(
-                        ((a - b).abs() as f64) <= tol,
-                        "nranks={nranks} at {i}: {a} vs {b}"
-                    );
+                    assert!(((a - b).abs() as f64) <= tol, "nranks={nranks} at {i}: {a} vs {b}");
                 }
             }
         }

@@ -143,15 +143,9 @@ fn calibrate_common(sample: &[f32], threads: usize, out: &mut [f32]) -> (f64, f6
 pub fn paper_model(variant: Variant, mode: Mode) -> ThroughputModel {
     match (variant, mode) {
         (Variant::Mpi, _) => ThroughputModel::new(1.0, 1.0, 1.0, 50.0, 108.0),
-        (Variant::CColl, Mode::SingleThread) => {
-            ThroughputModel::new(1.7, 3.0, 3.0, 2.8, 6.0)
-        }
-        (Variant::CColl, Mode::MultiThread(_)) => {
-            ThroughputModel::new(4.0, 7.0, 7.0, 50.0, 108.0)
-        }
-        (Variant::Hzccl, Mode::SingleThread) => {
-            ThroughputModel::new(1.7, 3.3, 9.7, 2.8, 6.0)
-        }
+        (Variant::CColl, Mode::SingleThread) => ThroughputModel::new(1.7, 3.0, 3.0, 2.8, 6.0),
+        (Variant::CColl, Mode::MultiThread(_)) => ThroughputModel::new(4.0, 7.0, 7.0, 50.0, 108.0),
+        (Variant::Hzccl, Mode::SingleThread) => ThroughputModel::new(1.7, 3.3, 9.7, 2.8, 6.0),
         (Variant::Hzccl, Mode::MultiThread(_)) => {
             ThroughputModel::new(30.0, 60.0, 175.0, 50.0, 108.0)
         }

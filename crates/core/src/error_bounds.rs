@@ -99,9 +99,7 @@ mod tests {
         let fields: Vec<Vec<f32>> = (0..nranks)
             .map(|r| base.iter().map(|&v| v * (1.0 + 0.05 * r as f32)).collect())
             .collect();
-        let exact: Vec<f64> = (0..n)
-            .map(|i| fields.iter().map(|f| f[i] as f64).sum())
-            .collect();
+        let exact: Vec<f64> = (0..n).map(|i| fields.iter().map(|f| f[i] as f64).sum()).collect();
         let ulp = exact.iter().fold(0f64, |m, v| m.max(v.abs())) * f32::EPSILON as f64;
 
         let cluster = Cluster::new(nranks).with_timing(timing);

@@ -16,20 +16,16 @@
 use crate::chunks::node_chunks;
 use crate::config::CollectiveConfig;
 use crate::mpi::TAG_RS;
-use crate::ring::ring_forward;
+use crate::ring::ring_forward_logical;
 use fzlight::{compress_resolved, decompress, CompressedStream, Result};
 use hzdyn::homomorphic_sum;
 use netsim::{Comm, OpKind};
 
 /// hZCCL ring `Reduce_scatter(sum)`: returns the reduced node-chunk `rank`.
-pub fn reduce_scatter(
-    comm: &mut Comm,
-    data: &[f32],
-    cfg: &CollectiveConfig,
-) -> Result<Vec<f32>> {
+pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
     let stream = reduce_scatter_compressed(comm, data, cfg)?;
     // the single final decompression of the workflow
-    comm.compute(OpKind::Dpr, stream.n() * 4, || decompress(&stream))
+    comm.compute_labeled(OpKind::Dpr, stream.n() * 4, "hz:final-decompress", || decompress(&stream))
 }
 
 /// The homomorphic Reduce_scatter core, returning the reduced chunk still in
@@ -44,7 +40,7 @@ pub(crate) fn reduce_scatter_compressed(
     let chunks = node_chunks(data.len(), n);
     let threads = cfg.mode.threads();
     if n == 1 {
-        return comm.compute(OpKind::Cpr, data.len() * 4, || {
+        return comm.compute_labeled(OpKind::Cpr, data.len() * 4, "hz:compress-all", || {
             compress_resolved(data, cfg.eb, cfg.block_len, threads)
         });
     }
@@ -53,22 +49,33 @@ pub(crate) fn reduce_scatter_compressed(
 
     // Round 1: compress all N local chunks once (N·CPR, charged as one
     // sweep over the full vector).
-    let comp: Vec<CompressedStream> = comm.compute(OpKind::Cpr, data.len() * 4, || {
-        chunks
-            .iter()
-            .map(|c| compress_resolved(&data[c.clone()], cfg.eb, cfg.block_len, threads))
-            .collect::<Result<Vec<_>>>()
-    })?;
+    let comp: Vec<CompressedStream> =
+        comm.compute_labeled(OpKind::Cpr, data.len() * 4, "hz:compress-all", || {
+            chunks
+                .iter()
+                .map(|c| compress_resolved(&data[c.clone()], cfg.eb, cfg.block_len, threads))
+                .collect::<Result<Vec<_>>>()
+        })?;
 
     let mut send = comp[(r + n - 1) % n].clone();
     for s in 0..n - 1 {
-        let got = comm.sendrecv(right, TAG_RS + s as u64, send.as_bytes().to_vec(), left);
+        // the chunk being forwarded at step s (its uncompressed size is the
+        // logical volume this compressed message represents)
+        let send_idx = (r + 2 * n - s - 1) % n;
+        let got = comm.sendrecv_compressed(
+            right,
+            TAG_RS + s as u64,
+            send.as_bytes().to_vec(),
+            chunks[send_idx].len() * 4,
+            left,
+        );
         let received = CompressedStream::from_bytes(got)?;
         let idx = (r + 2 * n - s - 2) % n;
         // HPR: reduce two compressed chunks directly, no decompression
-        send = comm.compute(OpKind::Hpr, chunks[idx].len() * 4, || {
-            homomorphic_sum(&received, &comp[idx])
-        })?;
+        send =
+            comm.compute_labeled(OpKind::Hpr, chunks[idx].len() * 4, "hz:homomorphic-sum", || {
+                homomorphic_sum(&received, &comp[idx])
+            })?;
     }
     Ok(send)
 }
@@ -82,12 +89,15 @@ pub fn allreduce(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Resul
     let mut out = vec![0f32; data.len()];
     // Allgather stage: no compression — the already-compressed chunks are
     // forwarded verbatim around the ring...
-    let slots = ring_forward(comm, own_stream.into_bytes());
+    let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
+    let slots = ring_forward_logical(comm, own_stream.into_bytes(), &logical);
     // ...and everything is decompressed once at the very end.
     for (idx, payload) in slots.into_iter().enumerate() {
         let stream = CompressedStream::from_bytes(payload)?;
         let dst = &mut out[chunks[idx].clone()];
-        comm.compute(OpKind::Dpr, dst.len() * 4, || fzlight::decompress_into(&stream, dst))?;
+        comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:final-decompress", || {
+            fzlight::decompress_into(&stream, dst)
+        })?;
     }
     Ok(out)
 }
@@ -107,16 +117,19 @@ pub fn reduce(
     let r = comm.rank();
     let own_stream = reduce_scatter_compressed(comm, data, cfg)?;
     if n == 1 {
-        return Ok(Some(comm.compute(OpKind::Dpr, data.len() * 4, || {
-            decompress(&own_stream)
-        })?));
+        return Ok(Some(comm.compute_labeled(
+            OpKind::Dpr,
+            data.len() * 4,
+            "hz:final-decompress",
+            || decompress(&own_stream),
+        )?));
     }
     let chunks = node_chunks(data.len(), n);
     if r == root {
         let mut out = vec![0f32; data.len()];
         {
             let dst = &mut out[chunks[r].clone()];
-            comm.compute(OpKind::Dpr, dst.len() * 4, || {
+            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:root-decompress", || {
                 fzlight::decompress_into(&own_stream, dst)
             })?;
         }
@@ -127,14 +140,19 @@ pub fn reduce(
             let got = comm.recv(src, crate::mpi::TAG_GATHER + src as u64);
             let stream = CompressedStream::from_bytes(got)?;
             let dst = &mut out[chunks[src].clone()];
-            comm.compute(OpKind::Dpr, dst.len() * 4, || {
+            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:root-decompress", || {
                 fzlight::decompress_into(&stream, dst)
             })?;
         }
         Ok(Some(out))
     } else {
         // no recompression: the chunk is already compressed
-        comm.send(root, crate::mpi::TAG_GATHER + r as u64, own_stream.into_bytes());
+        comm.send_compressed(
+            root,
+            crate::mpi::TAG_GATHER + r as u64,
+            own_stream.into_bytes(),
+            chunks[r].len() * 4,
+        );
         Ok(None)
     }
 }
@@ -163,25 +181,34 @@ pub fn bcast(
         let mut mine = Vec::new();
         for dst in 0..n {
             let chunk = &data[chunks[dst].clone()];
-            let stream = comm.compute(OpKind::Cpr, chunk.len() * 4, || {
-                compress_resolved(chunk, cfg.eb, cfg.block_len, threads)
-            })?;
+            let stream =
+                comm.compute_labeled(OpKind::Cpr, chunk.len() * 4, "hz:bcast-compress", || {
+                    compress_resolved(chunk, cfg.eb, cfg.block_len, threads)
+                })?;
             if dst == root {
                 mine = stream.into_bytes();
             } else {
-                comm.send(dst, crate::mpi::TAG_SCATTER + dst as u64, stream.into_bytes());
+                comm.send_compressed(
+                    dst,
+                    crate::mpi::TAG_SCATTER + dst as u64,
+                    stream.into_bytes(),
+                    chunk.len() * 4,
+                );
             }
         }
         mine
     } else {
         comm.recv(root, crate::mpi::TAG_SCATTER + r as u64)
     };
-    let slots = ring_forward(comm, own_bytes);
+    let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
+    let slots = ring_forward_logical(comm, own_bytes, &logical);
     let mut out = vec![0f32; total_len];
     for (idx, payload) in slots.into_iter().enumerate() {
         let stream = CompressedStream::from_bytes(payload)?;
         let dst = &mut out[chunks[idx].clone()];
-        comm.compute(OpKind::Dpr, dst.len() * 4, || fzlight::decompress_into(&stream, dst))?;
+        comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:bcast-decompress", || {
+            fzlight::decompress_into(&stream, dst)
+        })?;
     }
     Ok(out)
 }

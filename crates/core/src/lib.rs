@@ -76,9 +76,8 @@ mod tests {
         let nranks = 8;
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
         let time_of = |which: usize| {
-            let cluster = Cluster::new(nranks)
-                .with_timing(modeled())
-                .with_net(NetConfig::default());
+            let cluster =
+                Cluster::new(nranks).with_timing(modeled()).with_net(NetConfig::default());
             let (_, stats) = cluster.run_stats(|comm| {
                 let data = smooth_field(comm.rank(), n);
                 match which {

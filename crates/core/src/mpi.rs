@@ -30,12 +30,14 @@ pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<
     // step s sends chunk (r - s - 1) mod n; the first send is our local copy
     let mut acc: Vec<f32> = data[chunks[(r + n - 1) % n].clone()].to_vec();
     for s in 0..n - 1 {
-        let payload = comm.compute(OpKind::Other, acc.len() * 4, || f32_to_bytes(&acc));
+        let payload =
+            comm.compute_labeled(OpKind::Other, acc.len() * 4, "mpi:pack", || f32_to_bytes(&acc));
         let got = comm.sendrecv(right, TAG_RS + s as u64, payload, left);
-        let mut tmp = comm.compute(OpKind::Other, got.len(), || bytes_to_f32(&got));
+        let mut tmp =
+            comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
         let local_idx = (r + 2 * n - s - 2) % n;
         let local = &data[chunks[local_idx].clone()];
-        comm.compute(OpKind::Cpt, tmp.len() * 4, || {
+        comm.compute_labeled(OpKind::Cpt, tmp.len() * 4, "mpi:reduce", || {
             reduce_in_place(&mut tmp, local, ReduceOp::Sum, cpt_threads)
         });
         acc = tmp;
@@ -60,12 +62,13 @@ pub fn allgather(comm: &mut Comm, own: &[f32], total_len: usize) -> Vec<f32> {
     for s in 0..n - 1 {
         let send_idx = (r + n - s) % n;
         let recv_idx = (r + 2 * n - s - 1) % n;
-        let payload = comm
-            .compute(OpKind::Other, chunks[send_idx].len() * 4, || {
+        let payload =
+            comm.compute_labeled(OpKind::Other, chunks[send_idx].len() * 4, "mpi:pack", || {
                 f32_to_bytes(&out[chunks[send_idx].clone()])
             });
         let got = comm.sendrecv(right, TAG_AG + s as u64, payload, left);
-        let vals = comm.compute(OpKind::Other, got.len(), || bytes_to_f32(&got));
+        let vals =
+            comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
         out[chunks[recv_idx].clone()].copy_from_slice(&vals);
     }
     out
@@ -81,12 +84,7 @@ pub fn allreduce(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f32> 
 /// Ring `Reduce(sum)` to `root`: Reduce_scatter followed by a gather of the
 /// reduced chunks (MPICH's large-message Reduce). Returns `Some(full sum)`
 /// on the root, `None` elsewhere.
-pub fn reduce(
-    comm: &mut Comm,
-    data: &[f32],
-    root: usize,
-    cpt_threads: usize,
-) -> Option<Vec<f32>> {
+pub fn reduce(comm: &mut Comm, data: &[f32], root: usize, cpt_threads: usize) -> Option<Vec<f32>> {
     let n = comm.size();
     let r = comm.rank();
     let own = reduce_scatter(comm, data, cpt_threads);
@@ -102,12 +100,14 @@ pub fn reduce(
                 continue;
             }
             let got = comm.recv(src, TAG_GATHER + src as u64);
-            let vals = comm.compute(OpKind::Other, got.len(), || bytes_to_f32(&got));
+            let vals =
+                comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
             out[chunks[src].clone()].copy_from_slice(&vals);
         }
         Some(out)
     } else {
-        let payload = comm.compute(OpKind::Other, own.len() * 4, || f32_to_bytes(&own));
+        let payload =
+            comm.compute_labeled(OpKind::Other, own.len() * 4, "mpi:pack", || f32_to_bytes(&own));
         comm.send(root, TAG_GATHER + r as u64, payload);
         None
     }
@@ -130,15 +130,16 @@ pub fn bcast(comm: &mut Comm, data: &[f32], root: usize, total_len: usize) -> Ve
             if dst == root {
                 continue;
             }
-            let payload = comm.compute(OpKind::Other, chunks[dst].len() * 4, || {
-                f32_to_bytes(&data[chunks[dst].clone()])
-            });
+            let payload =
+                comm.compute_labeled(OpKind::Other, chunks[dst].len() * 4, "mpi:pack", || {
+                    f32_to_bytes(&data[chunks[dst].clone()])
+                });
             comm.send(dst, TAG_SCATTER + dst as u64, payload);
         }
         data[chunks[root].clone()].to_vec()
     } else {
         let got = comm.recv(root, TAG_SCATTER + r as u64);
-        comm.compute(OpKind::Other, got.len(), || bytes_to_f32(&got))
+        comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got))
     };
     allgather(comm, &own, total_len)
 }

@@ -27,11 +27,7 @@ fn oszp_config(cfg: &CollectiveConfig) -> ompszp::Config {
 /// CPR-P2P ring `Reduce_scatter(sum)`. Identical hop structure to C-Coll's
 /// (the reduction inherently needs the DOC round trip per hop); kept
 /// separate so the Allgather difference is the only variable in comparisons.
-pub fn reduce_scatter(
-    comm: &mut Comm,
-    data: &[f32],
-    cfg: &CollectiveConfig,
-) -> Result<Vec<f32>> {
+pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
     let n = comm.size();
     let r = comm.rank();
     let chunks = node_chunks(data.len(), n);
@@ -45,15 +41,25 @@ pub fn reduce_scatter(
 
     let mut acc: Vec<f32> = data[chunks[(r + n - 1) % n].clone()].to_vec();
     for s in 0..n - 1 {
-        let stream =
-            comm.compute(OpKind::Cpr, acc.len() * 4, || ompszp::compress(&acc, &ocfg))?;
-        let got = comm.sendrecv(right, TAG_RS + s as u64, stream.as_bytes().to_vec(), left);
+        let stream = comm.compute_labeled(OpKind::Cpr, acc.len() * 4, "p2p:compress", || {
+            ompszp::compress(&acc, &ocfg)
+        })?;
+        let logical = acc.len() * 4;
+        let got = comm.sendrecv_compressed(
+            right,
+            TAG_RS + s as u64,
+            stream.as_bytes().to_vec(),
+            logical,
+            left,
+        );
         let received = OszpStream::from_bytes(got)?;
         let mut tmp =
-            comm.compute(OpKind::Dpr, received.n() * 4, || ompszp::decompress(&received))?;
+            comm.compute_labeled(OpKind::Dpr, received.n() * 4, "p2p:decompress", || {
+                ompszp::decompress(&received)
+            })?;
         let local_idx = (r + 2 * n - s - 2) % n;
         let local = &data[chunks[local_idx].clone()];
-        comm.compute(OpKind::Cpt, tmp.len() * 4, || {
+        comm.compute_labeled(OpKind::Cpt, tmp.len() * 4, "p2p:reduce", || {
             reduce_in_place(&mut tmp, local, ReduceOp::Sum, threads)
         });
         acc = tmp;
@@ -87,12 +93,22 @@ pub fn allgather(
         let recv_idx = (r + 2 * n - s - 1) % n;
         // compress the chunk we forward — afresh on every hop
         let chunk = &out[chunks[send_idx].clone()];
-        let stream =
-            comm.compute(OpKind::Cpr, chunk.len() * 4, || ompszp::compress(chunk, &ocfg))?;
-        let got = comm.sendrecv(right, TAG_AG + s as u64, stream.as_bytes().to_vec(), left);
+        let stream = comm.compute_labeled(OpKind::Cpr, chunk.len() * 4, "p2p:compress", || {
+            ompszp::compress(chunk, &ocfg)
+        })?;
+        let logical = chunk.len() * 4;
+        let got = comm.sendrecv_compressed(
+            right,
+            TAG_AG + s as u64,
+            stream.as_bytes().to_vec(),
+            logical,
+            left,
+        );
         let received = OszpStream::from_bytes(got)?;
         let dst = &mut out[chunks[recv_idx].clone()];
-        comm.compute(OpKind::Dpr, dst.len() * 4, || ompszp::decompress_into(&received, dst))?;
+        comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "p2p:decompress", || {
+            ompszp::decompress_into(&received, dst)
+        })?;
     }
     Ok(out)
 }
@@ -171,10 +187,7 @@ mod tests {
             });
             outcomes.iter().map(|o| o.value).sum::<f64>()
         };
-        assert!(
-            p2p_cpr > 5.0 * ccoll_cpr,
-            "p2p CPR {p2p_cpr} should dwarf C-Coll's {ccoll_cpr}"
-        );
+        assert!(p2p_cpr > 5.0 * ccoll_cpr, "p2p CPR {p2p_cpr} should dwarf C-Coll's {ccoll_cpr}");
     }
 
     #[test]

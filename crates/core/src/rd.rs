@@ -73,17 +73,21 @@ pub fn allreduce_rd(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f3
 
     // fold: even partners send their vector to the odd ones
     if r < 2 * plan.rem {
-        if r % 2 == 0 {
-            let payload = comm.compute(OpKind::Other, acc.len() * 4, || {
+        if r.is_multiple_of(2) {
+            let payload = comm.compute_labeled(OpKind::Other, acc.len() * 4, "rd:pack", || {
                 crate::chunks::f32_to_bytes(&acc)
             });
             comm.send(r + 1, TAG_FOLD, payload);
             let got = comm.recv(r + 1, TAG_FOLD + 1);
-            return comm.compute(OpKind::Other, got.len(), || crate::chunks::bytes_to_f32(&got));
+            return comm.compute_labeled(OpKind::Other, got.len(), "rd:unpack", || {
+                crate::chunks::bytes_to_f32(&got)
+            });
         }
         let got = comm.recv(r - 1, TAG_FOLD);
-        let vals = comm.compute(OpKind::Other, got.len(), || crate::chunks::bytes_to_f32(&got));
-        comm.compute(OpKind::Cpt, acc.len() * 4, || {
+        let vals = comm.compute_labeled(OpKind::Other, got.len(), "rd:unpack", || {
+            crate::chunks::bytes_to_f32(&got)
+        });
+        comm.compute_labeled(OpKind::Cpt, acc.len() * 4, "rd:reduce", || {
             reduce_in_place(&mut acc, &vals, ReduceOp::Sum, cpt_threads)
         });
     }
@@ -93,11 +97,14 @@ pub fn allreduce_rd(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f3
     let mut mask = 1usize;
     while mask < plan.pow2 {
         let peer = plan.core_to_rank(core ^ mask);
-        let payload =
-            comm.compute(OpKind::Other, acc.len() * 4, || crate::chunks::f32_to_bytes(&acc));
+        let payload = comm.compute_labeled(OpKind::Other, acc.len() * 4, "rd:pack", || {
+            crate::chunks::f32_to_bytes(&acc)
+        });
         let got = comm.sendrecv(peer, TAG_RD + mask as u64, payload, peer);
-        let vals = comm.compute(OpKind::Other, got.len(), || crate::chunks::bytes_to_f32(&got));
-        comm.compute(OpKind::Cpt, acc.len() * 4, || {
+        let vals = comm.compute_labeled(OpKind::Other, got.len(), "rd:unpack", || {
+            crate::chunks::bytes_to_f32(&got)
+        });
+        comm.compute_labeled(OpKind::Cpt, acc.len() * 4, "rd:reduce", || {
             reduce_in_place(&mut acc, &vals, ReduceOp::Sum, cpt_threads)
         });
         mask <<= 1;
@@ -105,8 +112,9 @@ pub fn allreduce_rd(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f3
 
     // unfold: odd partners return the result to the even ones
     if r < 2 * plan.rem {
-        let payload =
-            comm.compute(OpKind::Other, acc.len() * 4, || crate::chunks::f32_to_bytes(&acc));
+        let payload = comm.compute_labeled(OpKind::Other, acc.len() * 4, "rd:pack", || {
+            crate::chunks::f32_to_bytes(&acc)
+        });
         comm.send(r - 1, TAG_FOLD + 1, payload);
     }
     acc
@@ -116,49 +124,56 @@ pub fn allreduce_rd(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f3
 /// compresses once, every doubling round exchanges compressed vectors and
 /// reduces them with `hZ-dynamic`, and each rank decompresses once at the
 /// end — `1·CPR + log2(N)·HPR + 1·DPR` per rank.
-pub fn allreduce_rd_hz(
-    comm: &mut Comm,
-    data: &[f32],
-    cfg: &CollectiveConfig,
-) -> Result<Vec<f32>> {
+pub fn allreduce_rd_hz(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
     let n = comm.size();
     let r = comm.rank();
     let threads = cfg.mode.threads();
     let bytes = data.len() * 4;
-    let mut acc = comm.compute(OpKind::Cpr, bytes, || {
+    let mut acc = comm.compute_labeled(OpKind::Cpr, bytes, "rd:compress", || {
         compress_resolved(data, cfg.eb, cfg.block_len, threads)
     })?;
     if n == 1 {
-        return comm.compute(OpKind::Dpr, bytes, || decompress(&acc));
+        return comm.compute_labeled(OpKind::Dpr, bytes, "rd:decompress", || decompress(&acc));
     }
     let plan = RdPlan::new(n);
 
     if r < 2 * plan.rem {
-        if r % 2 == 0 {
-            comm.send(r + 1, TAG_FOLD, acc.into_bytes());
+        if r.is_multiple_of(2) {
+            comm.send_compressed(r + 1, TAG_FOLD, acc.into_bytes(), bytes);
             let got = comm.recv(r + 1, TAG_FOLD + 1);
             let stream = CompressedStream::from_bytes(got)?;
-            return comm.compute(OpKind::Dpr, bytes, || decompress(&stream));
+            return comm
+                .compute_labeled(OpKind::Dpr, bytes, "rd:decompress", || decompress(&stream));
         }
         let got = comm.recv(r - 1, TAG_FOLD);
         let stream = CompressedStream::from_bytes(got)?;
-        acc = comm.compute(OpKind::Hpr, bytes, || homomorphic_sum(&acc, &stream))?;
+        acc = comm.compute_labeled(OpKind::Hpr, bytes, "rd:homomorphic-sum", || {
+            homomorphic_sum(&acc, &stream)
+        })?;
     }
     let core = plan.core_id(r).expect("folded ranks returned above");
 
     let mut mask = 1usize;
     while mask < plan.pow2 {
         let peer = plan.core_to_rank(core ^ mask);
-        let got = comm.sendrecv(peer, TAG_RD + mask as u64, acc.as_bytes().to_vec(), peer);
+        let got = comm.sendrecv_compressed(
+            peer,
+            TAG_RD + mask as u64,
+            acc.as_bytes().to_vec(),
+            bytes,
+            peer,
+        );
         let stream = CompressedStream::from_bytes(got)?;
-        acc = comm.compute(OpKind::Hpr, bytes, || homomorphic_sum(&acc, &stream))?;
+        acc = comm.compute_labeled(OpKind::Hpr, bytes, "rd:homomorphic-sum", || {
+            homomorphic_sum(&acc, &stream)
+        })?;
         mask <<= 1;
     }
 
     if r < 2 * plan.rem {
-        comm.send(r - 1, TAG_FOLD + 1, acc.as_bytes().to_vec());
+        comm.send_compressed(r - 1, TAG_FOLD + 1, acc.as_bytes().to_vec(), bytes);
     }
-    comm.compute(OpKind::Dpr, bytes, || decompress(&acc))
+    comm.compute_labeled(OpKind::Dpr, bytes, "rd:decompress", || decompress(&acc))
 }
 
 #[cfg(test)]
@@ -213,10 +228,7 @@ mod tests {
             let expect = direct_sum(nranks, n);
             for (r, o) in outcomes.iter().enumerate() {
                 for (i, (a, b)) in o.value.iter().zip(&expect).enumerate() {
-                    assert!(
-                        (a - b).abs() <= 1e-3,
-                        "nranks={nranks} rank={r} at {i}: {a} vs {b}"
-                    );
+                    assert!((a - b).abs() <= 1e-3, "nranks={nranks} rank={r} at {i}: {a} vs {b}");
                 }
             }
         }
@@ -237,10 +249,7 @@ mod tests {
             let tol = nranks as f64 * eb + 1e-6;
             for o in &outcomes {
                 for (i, (a, b)) in o.value.iter().zip(&expect).enumerate() {
-                    assert!(
-                        ((a - b).abs() as f64) <= tol,
-                        "nranks={nranks} at {i}: {a} vs {b}"
-                    );
+                    assert!(((a - b).abs() as f64) <= tol, "nranks={nranks} at {i}: {a} vs {b}");
                 }
             }
         }

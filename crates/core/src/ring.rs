@@ -8,9 +8,23 @@ use netsim::Comm;
 /// Ring-forward opaque per-chunk payloads: rank `r` contributes
 /// `own_payload` as chunk `r`; after `N-1` rounds every rank holds every
 /// chunk's payload. Returns the payloads indexed by chunk.
-pub(crate) fn ring_forward(comm: &mut Comm, own_payload: Vec<u8>) -> Vec<Vec<u8>> {
+///
+/// `logical_sizes[idx]` is the
+/// uncompressed-equivalent byte count of chunk `idx`, attached to each
+/// forwarded message so the flight recorder can observe per-step achieved
+/// compression ratios. An empty slice means "wire bytes == logical bytes"
+/// (uncompressed traffic).
+pub(crate) fn ring_forward_logical(
+    comm: &mut Comm,
+    own_payload: Vec<u8>,
+    logical_sizes: &[usize],
+) -> Vec<Vec<u8>> {
     let n = comm.size();
     let r = comm.rank();
+    assert!(
+        logical_sizes.is_empty() || logical_sizes.len() == n,
+        "logical_sizes must be empty or one entry per chunk"
+    );
     let mut slots: Vec<Option<Vec<u8>>> = vec![None; n];
     slots[r] = Some(own_payload);
     if n == 1 {
@@ -22,7 +36,8 @@ pub(crate) fn ring_forward(comm: &mut Comm, own_payload: Vec<u8>) -> Vec<Vec<u8>
         let send_idx = (r + n - s) % n;
         let recv_idx = (r + 2 * n - s - 1) % n;
         let payload = slots[send_idx].clone().expect("chunk to forward not yet received");
-        let got = comm.sendrecv(right, TAG_AG + s as u64, payload, left);
+        let logical = logical_sizes.get(send_idx).copied().unwrap_or(payload.len());
+        let got = comm.sendrecv_compressed(right, TAG_AG + s as u64, payload, logical, left);
         slots[recv_idx] = Some(got);
     }
     slots.into_iter().map(|s| s.expect("ring left a hole")).collect()
@@ -39,7 +54,7 @@ mod tests {
             let cluster = Cluster::new(nranks).with_timing(timing);
             let outcomes = cluster.run(|comm| {
                 let own = vec![comm.rank() as u8; comm.rank() + 1]; // ragged sizes
-                super::ring_forward(comm, own)
+                super::ring_forward_logical(comm, own, &[])
             });
             for o in outcomes {
                 for (idx, payload) in o.value.iter().enumerate() {

@@ -233,11 +233,7 @@ mod tests {
     fn hz_advantage_grows_with_node_count_at_fixed_chunk() {
         // fixed chunk size: scale message with nranks
         let gap_at = |nranks: usize| {
-            let s = Scenario {
-                nranks,
-                message_bytes: nranks * (1 << 20),
-                ..scenario()
-            };
+            let s = Scenario { nranks, message_bytes: nranks * (1 << 20), ..scenario() };
             allreduce_ccoll(&s) - allreduce_hzccl(&s)
         };
         assert!(gap_at(64) > gap_at(8));

@@ -148,8 +148,7 @@ fn rtm_early(p: (f32, f32, f32), dims: (usize, usize, usize), seed: u64) -> f32 
             // amplitude decays with distance; the wavelet rides on the shell
             // and is modulated by fine-grained scattering noise
             let s = 0.35;
-            let scatter =
-                1.0 + 0.35 * fbm3(seed ^ 0xA5, p.0 * s, p.1 * s, p.2 * s, 3);
+            let scatter = 1.0 + 0.35 * fbm3(seed ^ 0xA5, p.0 * s, p.1 * s, p.2 * s, 3);
             v += ricker(band) * scatter * 50.0 / (1.0 + r * 0.05);
         }
     }
@@ -174,8 +173,7 @@ fn rtm_late(p: (f32, f32, f32), dims: (usize, usize, usize), seed: u64) -> f32 {
         return residual;
     }
     // carrier resolved at ~50 grid points per wavelength
-    let carrier =
-        (x * 4.0 + y * 1.5).sin() * (y * 3.5 - z * 1.0).cos() * (z * 3.0 + x * 0.5).sin();
+    let carrier = (x * 4.0 + y * 1.5).sin() * (y * 3.5 - z * 1.0).cos() * (z * 3.0 + x * 0.5).sin();
     120.0 * env * env * carrier + residual
 }
 
@@ -187,8 +185,8 @@ fn nyx(p: (f32, f32, f32), dims: (usize, usize, usize), seed: u64) -> f32 {
     let (x, y, z) = (p.0 * s, p.1 * s, p.2 * s);
     // log-normal background with both large-scale clustering and small-scale
     // turbulence: huge dynamic range, but visible structure at tight bounds
-    let log_density = 3.5 * fbm3(seed, x, y, z, 3)
-        + 1.2 * fbm3(seed ^ 0x11, x * 8.0, y * 8.0, z * 8.0, 2);
+    let log_density =
+        3.5 * fbm3(seed, x, y, z, 3) + 1.2 * fbm3(seed ^ 0x11, x * 8.0, y * 8.0, z * 8.0, 2);
     let mut v = log_density.exp();
     // rare halos: sharp peaks several orders of magnitude above background
     let halo = value_noise3(seed ^ 0xBEEF, x * 2.0, y * 2.0, z * 2.0);
@@ -263,11 +261,7 @@ mod tests {
     fn sim1_has_large_zero_fraction() {
         let f = App::SimSet1.generate(1 << 18, 3);
         let zeros = f.iter().filter(|&&v| v == 0.0).count();
-        assert!(
-            zeros as f64 > 0.5 * f.len() as f64,
-            "only {zeros}/{} zeros",
-            f.len()
-        );
+        assert!(zeros as f64 > 0.5 * f.len() as f64, "only {zeros}/{} zeros", f.len());
     }
 
     #[test]
@@ -327,10 +321,7 @@ mod tests {
             )
             .unwrap()
             .constant_fraction();
-            assert!(
-                (small - large).abs() < 0.25,
-                "{app}: {small} vs {large} constant fraction"
-            );
+            assert!((small - large).abs() < 0.25, "{app}: {small} vs {large} constant fraction");
         }
     }
 

@@ -61,15 +61,7 @@ impl Quality {
         } else {
             (rmse, max_abs, if rmse > 0.0 { 0.0 } else { f64::INFINITY })
         };
-        Quality {
-            min,
-            max,
-            max_abs_err: max_abs,
-            max_rel_err: max_rel,
-            rmse,
-            nrmse,
-            psnr,
-        }
+        Quality { min, max, max_abs_err: max_abs, max_rel_err: max_rel, rmse, nrmse, psnr }
     }
 }
 

@@ -173,10 +173,7 @@ mod tests {
         // all-zero data: per chunk 4-byte outlier + 64 one-byte constant blocks
         let expected_body = 2 * (4 + 64);
         assert_eq!(s.header().body_len(), expected_body);
-        assert_eq!(
-            s.compressed_size(),
-            crate::header::Header::serialized_len(2) + expected_body
-        );
+        assert_eq!(s.compressed_size(), crate::header::Header::serialized_len(2) + expected_body);
     }
 
     #[test]

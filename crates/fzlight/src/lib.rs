@@ -99,11 +99,7 @@ mod tests {
                 // eb guaranteed in f64 arithmetic; storing as f32 adds at most
                 // half an ULP of the reconstructed value.
                 let tol = eb * (1.0 + 1e-9) + (b.abs() as f64) * (f32::EPSILON as f64);
-                assert!(
-                    ((a - b).abs() as f64) <= tol,
-                    "eb={eb}: |{a} - {b}| = {}",
-                    (a - b).abs()
-                );
+                assert!(((a - b).abs() as f64) <= tol, "eb={eb}: |{a} - {b}| = {}", (a - b).abs());
             }
         }
     }
@@ -135,10 +131,7 @@ mod tests {
     fn rejects_non_finite_input() {
         let cfg = Config::new(ErrorBound::Abs(1e-4));
         assert!(matches!(compress(&[1.0, f32::NAN], &cfg), Err(Error::NonFiniteInput { .. })));
-        assert!(matches!(
-            compress(&[f32::INFINITY], &cfg),
-            Err(Error::NonFiniteInput { .. })
-        ));
+        assert!(matches!(compress(&[f32::INFINITY], &cfg), Err(Error::NonFiniteInput { .. })));
     }
 
     #[test]
@@ -149,9 +142,8 @@ mod tests {
 
     #[test]
     fn thread_count_does_not_change_decompressed_values() {
-        let data: Vec<f32> = (0..50_000)
-            .map(|i| ((i as f32) * 0.37).cos() * (i % 17) as f32)
-            .collect();
+        let data: Vec<f32> =
+            (0..50_000).map(|i| ((i as f32) * 0.37).cos() * (i % 17) as f32).collect();
         let base = {
             let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(1);
             roundtrip(&data, &cfg)
@@ -179,9 +171,7 @@ mod tests {
     #[test]
     fn huge_deltas_need_wide_codes() {
         // alternate +/- large values so deltas need close to 32 bits
-        let data: Vec<f32> = (0..256)
-            .map(|i| if i % 2 == 0 { 1.0e5 } else { -1.0e5 })
-            .collect();
+        let data: Vec<f32> = (0..256).map(|i| if i % 2 == 0 { 1.0e5 } else { -1.0e5 }).collect();
         let cfg = Config::new(ErrorBound::Abs(1e-4));
         let out = roundtrip(&data, &cfg);
         for (a, b) in data.iter().zip(&out) {

@@ -76,8 +76,7 @@ impl StreamStats {
         if self.blocks == 0 {
             return 0.0;
         }
-        let weighted: u64 =
-            self.code_hist.iter().enumerate().map(|(c, &k)| c as u64 * k).sum();
+        let weighted: u64 = self.code_hist.iter().enumerate().map(|(c, &k)| c as u64 * k).sum();
         weighted as f64 / self.blocks as f64
     }
 }

@@ -73,13 +73,8 @@ pub fn compress_unfused(data: &[f32], cfg: &Config) -> Result<CompressedStream> 
         body.extend_from_slice(&part?);
         offsets.push(body.len() as u64);
     }
-    let header = Header {
-        n: n as u64,
-        eb,
-        block_len: block_len as u32,
-        nchunks: nchunks as u32,
-        offsets,
-    };
+    let header =
+        Header { n: n as u64, eb, block_len: block_len as u32, nchunks: nchunks as u32, offsets };
     Ok(CompressedStream::from_parts(header, &body))
 }
 
@@ -90,9 +85,8 @@ mod tests {
 
     #[test]
     fn unfused_output_is_byte_identical_to_fused() {
-        let data: Vec<f32> = (0..20_000)
-            .map(|i| ((i as f32) * 0.013).sin() * ((i % 100) as f32))
-            .collect();
+        let data: Vec<f32> =
+            (0..20_000).map(|i| ((i as f32) * 0.013).sin() * ((i % 100) as f32)).collect();
         for threads in [1usize, 2, 5] {
             let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(threads);
             let fused = crate::compress(&data, &cfg).unwrap();

@@ -82,8 +82,7 @@ impl Accumulator {
             if payload.len() < 4 {
                 return Err(Error::Truncated { need: 4, have: payload.len() });
             }
-            self.outliers[ci] +=
-                i32::from_le_bytes(payload[0..4].try_into().unwrap()) as i64;
+            self.outliers[ci] += i32::from_le_bytes(payload[0..4].try_into().unwrap()) as i64;
             let mut pos = 4usize;
             let mut at = span.start;
             let mut remaining = span.len;
@@ -179,9 +178,7 @@ mod tests {
         // three-stream total agrees with extending the chain
         assert_eq!(
             three.as_bytes(),
-            homomorphic_sum(&homomorphic_sum(&ss[0], &ss[1]).unwrap(), &ss[2])
-                .unwrap()
-                .as_bytes()
+            homomorphic_sum(&homomorphic_sum(&ss[0], &ss[1]).unwrap(), &ss[2]).unwrap().as_bytes()
         );
     }
 

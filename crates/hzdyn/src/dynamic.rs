@@ -277,8 +277,7 @@ pub fn homomorphic_scale(a: &CompressedStream, k: i32) -> Result<CompressedStrea
             return Err(Error::Truncated { need: 4, have: pa.len() });
         }
         let oa = i32::from_le_bytes(pa[0..4].try_into().unwrap()) as i64;
-        let o32 =
-            i32::try_from(oa * k).map_err(|_| Error::HomomorphicOverflow { chunk: ci })?;
+        let o32 = i32::try_from(oa * k).map_err(|_| Error::HomomorphicOverflow { chunk: ci })?;
         body.extend_from_slice(&o32.to_le_bytes());
 
         let mut pos = 4usize;
@@ -363,10 +362,7 @@ mod tests {
         let da = decompress(&ca).unwrap();
         let db = decompress(&cb).unwrap();
         for (alpha, beta) in [(2i32, 3i32), (1, -1), (-4, 1), (0, 5), (1, 1)] {
-            let out = decompress(
-                &homomorphic_axpby(&ca, alpha, &cb, beta).unwrap(),
-            )
-            .unwrap();
+            let out = decompress(&homomorphic_axpby(&ca, alpha, &cb, beta).unwrap()).unwrap();
             for i in 0..a.len() {
                 assert_eq!(
                     q(out[i]),

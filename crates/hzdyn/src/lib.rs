@@ -233,8 +233,7 @@ mod tests {
         let eb = 1e-3;
         let cfg = Config::new(ErrorBound::Abs(eb)).with_threads(2);
         let n = 2_048;
-        let fields: Vec<Vec<f32>> =
-            (0..8).map(|k| wave(n, 0.002 * (k + 1) as f32, 1.0)).collect();
+        let fields: Vec<Vec<f32>> = (0..8).map(|k| wave(n, 0.002 * (k + 1) as f32, 1.0)).collect();
         let mut acc = compress(&fields[0], &cfg).unwrap();
         for f in &fields[1..] {
             let c = compress(f, &cfg).unwrap();

@@ -25,11 +25,7 @@ pub fn homomorphic_sum_static(
     static_op(a, b, ReduceOp::Sum)
 }
 
-fn static_op(
-    a: &CompressedStream,
-    b: &CompressedStream,
-    op: ReduceOp,
-) -> Result<CompressedStream> {
+fn static_op(a: &CompressedStream, b: &CompressedStream, op: ReduceOp) -> Result<CompressedStream> {
     a.header().check_compatible(b.header())?;
     let n = a.n();
     let nchunks = a.nchunks();
@@ -88,8 +84,8 @@ fn static_chunk(
     }
     let oa = i32::from_le_bytes(pa[0..4].try_into().unwrap()) as i64;
     let ob = i32::from_le_bytes(pb[0..4].try_into().unwrap()) as i64;
-    let o32 = i32::try_from(op.apply(oa, ob))
-        .map_err(|_| Error::HomomorphicOverflow { chunk: ci })?;
+    let o32 =
+        i32::try_from(op.apply(oa, ob)).map_err(|_| Error::HomomorphicOverflow { chunk: ci })?;
 
     // The static pipeline materializes the whole chunk's integer prediction
     // array (the memory cost the dynamic design avoids).

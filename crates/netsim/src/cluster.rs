@@ -1,11 +1,13 @@
 //! The simulated cluster: spawns one thread per rank and runs a closure on
-//! each, returning per-rank results with virtual-time accounting.
+//! each, returning per-rank results with virtual-time accounting and
+//! (optionally) flight-recorder traces.
 
 use crate::breakdown::Breakdown;
 use crate::comm::Comm;
 use crate::config::{ComputeTiming, NetConfig};
-use crossbeam::channel::unbounded;
+use crate::trace::{RankTrace, TraceConfig};
 use std::collections::HashMap;
+use std::sync::mpsc::channel;
 
 /// Result of one rank's participation in a [`Cluster::run`].
 #[derive(Debug, Clone)]
@@ -16,6 +18,9 @@ pub struct RankOutcome<R> {
     pub elapsed: f64,
     /// The rank's cost breakdown.
     pub breakdown: Breakdown,
+    /// The rank's flight-recorder event stream — `Some` iff the cluster was
+    /// configured with [`Cluster::with_trace`].
+    pub trace: Option<RankTrace>,
 }
 
 /// Aggregate view over all ranks of one run.
@@ -27,21 +32,22 @@ pub struct RunStats {
     pub total: Breakdown,
 }
 
-/// A virtual cluster configuration: rank count, network model and compute
-/// timing mode.
+/// A virtual cluster configuration: rank count, network model, compute
+/// timing mode, and optional flight-recorder tracing.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     nprocs: usize,
     net: NetConfig,
     timing: ComputeTiming,
+    trace: Option<TraceConfig>,
 }
 
 impl Cluster {
     /// A cluster of `nprocs` ranks with the default (Omni-Path-class)
-    /// network and measured compute timing.
+    /// network, measured compute timing, and tracing disabled.
     pub fn new(nprocs: usize) -> Self {
         assert!(nprocs > 0, "cluster needs at least one rank");
-        Cluster { nprocs, net: NetConfig::default(), timing: ComputeTiming::Measured }
+        Cluster { nprocs, net: NetConfig::default(), timing: ComputeTiming::Measured, trace: None }
     }
 
     /// Replace the network model.
@@ -53,6 +59,15 @@ impl Cluster {
     /// Replace the compute-timing mode.
     pub fn with_timing(mut self, timing: ComputeTiming) -> Self {
         self.timing = timing;
+        self
+    }
+
+    /// Enable the flight recorder: every rank records structured
+    /// [`crate::trace::Event`]s on the virtual timeline, returned in
+    /// [`RankOutcome::trace`]. Off by default; when off, the per-event
+    /// record sites compile down to a `None` branch with zero allocation.
+    pub fn with_trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
         self
     }
 
@@ -72,7 +87,7 @@ impl Cluster {
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             txs.push(tx);
             rxs.push(rx);
         }
@@ -84,7 +99,7 @@ impl Cluster {
                 .map(|(rank, rx)| {
                     let txs = txs.clone();
                     let f = &f;
-                    let (net, timing) = (self.net, self.timing);
+                    let (net, timing, trace) = (self.net, self.timing, self.trace);
                     s.spawn(move || {
                         let mut comm = Comm {
                             rank,
@@ -96,12 +111,14 @@ impl Cluster {
                             txs,
                             rx,
                             pending: HashMap::new(),
+                            trace: trace.map(|cfg| Vec::with_capacity(cfg.capacity)),
                         };
                         let value = f(&mut comm);
                         RankOutcome {
                             value,
                             elapsed: comm.elapsed(),
                             breakdown: comm.breakdown(),
+                            trace: comm.trace.take().map(|events| RankTrace { rank, events }),
                         }
                     })
                 })

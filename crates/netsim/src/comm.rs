@@ -1,10 +1,11 @@
 //! Per-rank communicator: point-to-point messaging with virtual-time
-//! accounting and compute-cost charging.
+//! accounting, compute-cost charging, and optional flight-recorder tracing.
 
 use crate::breakdown::Breakdown;
 use crate::config::{ComputeTiming, NetConfig, OpKind};
-use crossbeam::channel::{Receiver, Sender};
+use crate::trace::Event;
 use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
 use std::time::Instant;
 
 /// A message in flight: payload plus the virtual time at which it reaches
@@ -19,14 +20,33 @@ pub(crate) struct Message {
 /// The per-rank handle passed to the closure run on every simulated node.
 ///
 /// Semantics:
-/// * [`Comm::send`] is non-blocking (eager): the message departs at the
-///   sender's current virtual clock and arrives `transfer_time` later.
+/// * [`Comm::send`] is non-blocking (eager) but **not free**: the sender's
+///   clock advances by the network model's per-message latency α — the
+///   CPU-side injection overhead of posting the message (charged to the
+///   `OTHER` bucket, see below) — and the message then arrives
+///   `serialization_time` later.
 /// * [`Comm::recv`] blocks until the matching `(from, tag)` message exists
 ///   and advances the virtual clock to `max(clock, arrival)`; the wait is
 ///   charged to the `MPI` bucket.
 /// * [`Comm::compute`] runs a kernel and charges its cost to a breakdown
 ///   bucket — wall-clock measured or modeled from calibrated throughputs,
 ///   per the cluster's [`ComputeTiming`].
+///
+/// ## Why send injection is charged to `OTHER`, not `MPI`
+///
+/// Modelling sends as entirely free (the pre-flight-recorder behaviour) let
+/// a rank inject unbounded messages at a single virtual instant, which both
+/// understates sender-side cost and makes α invisible in breakdowns. We now
+/// charge α on the sender. It goes to the `OTHER` bucket — CPU-side
+/// posting/packing work — rather than `MPI`, deliberately: the paper's
+/// Fig. 2 `MPI` share means *time blocked on communication*, and keeping
+/// `MPI` purely blocking-wait preserves both that reading and the flight
+/// recorder's invariant `Σ Recv.wait_secs == Breakdown::mpi`. The wire
+/// share of α is correspondingly removed from the receiver side: a message
+/// posted at `t` arrives at `t + serialization_time`, so the end-to-end
+/// latency of an unloaded message is still exactly
+/// `α + bytes/effective_bandwidth` and `elapsed_equals_breakdown_total`
+/// stays green.
 pub struct Comm {
     pub(crate) rank: usize,
     pub(crate) size: usize,
@@ -37,6 +57,10 @@ pub struct Comm {
     pub(crate) txs: Vec<Sender<Message>>,
     pub(crate) rx: Receiver<Message>,
     pub(crate) pending: HashMap<(usize, u64), VecDeque<Message>>,
+    /// Flight-recorder buffer; `None` (the default) disables tracing and
+    /// makes every record site a single branch with no event construction
+    /// and no allocation.
+    pub(crate) trace: Option<Vec<Event>>,
 }
 
 impl Comm {
@@ -60,19 +84,56 @@ impl Comm {
         self.breakdown
     }
 
-    /// Reset the virtual clock and breakdown (e.g. after a warm-up round).
+    /// Whether the flight recorder is active on this rank.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Reset the virtual clock, breakdown and recorded events (e.g. after a
+    /// warm-up round).
     pub fn reset_clock(&mut self) {
         self.clock = 0.0;
         self.breakdown = Breakdown::default();
+        if let Some(buf) = &mut self.trace {
+            buf.clear();
+        }
     }
 
-    /// Send `payload` to `to` with matching `tag`. Non-blocking.
+    /// Record an event if (and only if) tracing is enabled. The closure
+    /// defers event construction, so the disabled path is one `Option`
+    /// branch with zero allocation — the no-op contract relied on by
+    /// `Cluster` runs without `with_trace`.
+    #[inline]
+    fn record(&mut self, make: impl FnOnce() -> Event) {
+        if let Some(buf) = &mut self.trace {
+            buf.push(make());
+        }
+    }
+
+    /// Send `payload` to `to` with matching `tag`. Non-blocking, but charges
+    /// the sender-side injection overhead α to this rank's clock (`OTHER`
+    /// bucket — see the type-level docs for the modelling rationale).
     ///
     /// Panics on self-sends and unknown ranks (programming errors in a
     /// collective).
     pub fn send(&mut self, to: usize, tag: u64, payload: Vec<u8>) {
+        let logical = payload.len();
+        self.send_compressed(to, tag, payload, logical);
+    }
+
+    /// [`Comm::send`] for compressed traffic: `logical_bytes` is the
+    /// uncompressed-equivalent size this message represents, so the flight
+    /// recorder can observe the per-step achieved compression ratio
+    /// (`logical_bytes / wire_bytes`). Identical timing to `send`.
+    pub fn send_compressed(&mut self, to: usize, tag: u64, payload: Vec<u8>, logical_bytes: usize) {
         assert!(to != self.rank, "self-send in a collective is a bug");
-        let arrival = self.clock + self.net.transfer_time(payload.len(), self.size);
+        let wire_bytes = payload.len();
+        let t = self.clock;
+        let inject = self.net.latency_s;
+        self.clock += inject;
+        self.breakdown.charge(OpKind::Other, inject);
+        self.record(|| Event::Send { t, to, tag, wire_bytes, logical_bytes, inject_secs: inject });
+        let arrival = self.clock + self.net.serialization_time(wire_bytes, self.size);
         let msg = Message { from: self.rank, tag, payload, arrival };
         self.txs[to].send(msg).expect("receiver rank hung up");
     }
@@ -92,23 +153,35 @@ impl Comm {
             }
             self.pending.entry((m.from, m.tag)).or_default().push_back(m);
         };
-        if msg.arrival > self.clock {
-            self.breakdown.mpi += msg.arrival - self.clock;
+        let t = self.clock;
+        let wait = (msg.arrival - self.clock).max(0.0);
+        if wait > 0.0 {
+            self.breakdown.mpi += wait;
             self.clock = msg.arrival;
         }
+        let wire_bytes = msg.payload.len();
+        self.record(|| Event::Recv { t, from, tag, wire_bytes, wait_secs: wait });
         msg.payload
     }
 
     /// Concurrent exchange: send to `to`, receive from `from` (the classic
     /// ring-step `MPI_Sendrecv`).
-    pub fn sendrecv(
+    pub fn sendrecv(&mut self, to: usize, tag: u64, payload: Vec<u8>, from: usize) -> Vec<u8> {
+        self.send(to, tag, payload);
+        self.recv(from, tag)
+    }
+
+    /// [`Comm::sendrecv`] for compressed traffic (see
+    /// [`Comm::send_compressed`]).
+    pub fn sendrecv_compressed(
         &mut self,
         to: usize,
         tag: u64,
         payload: Vec<u8>,
+        logical_bytes: usize,
         from: usize,
     ) -> Vec<u8> {
-        self.send(to, tag, payload);
+        self.send_compressed(to, tag, payload, logical_bytes);
         self.recv(from, tag)
     }
 
@@ -116,29 +189,40 @@ impl Comm {
     /// *uncompressed-equivalent* data the kernel touches, used by modeled
     /// timing (ignored by measured timing).
     pub fn compute<T>(&mut self, kind: OpKind, bytes: usize, f: impl FnOnce() -> T) -> T {
-        match self.timing {
+        self.compute_labeled(kind, bytes, "", f)
+    }
+
+    /// [`Comm::compute`] with a pipeline-step label recorded on the flight
+    /// recorder event (e.g. `"hz:homomorphic-sum"`). Labels must be static
+    /// so the disabled-tracing path stays allocation-free.
+    pub fn compute_labeled<T>(
+        &mut self,
+        kind: OpKind,
+        bytes: usize,
+        label: &'static str,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let t = self.clock;
+        let (r, dt) = match self.timing {
             ComputeTiming::Measured => {
                 let t0 = Instant::now();
                 let r = f();
-                let dt = t0.elapsed().as_secs_f64();
-                self.clock += dt;
-                self.breakdown.charge(kind, dt);
-                r
+                (r, t0.elapsed().as_secs_f64())
             }
-            ComputeTiming::Modeled(model) => {
-                let r = f();
-                let dt = model.duration(kind, bytes);
-                self.clock += dt;
-                self.breakdown.charge(kind, dt);
-                r
-            }
-        }
+            ComputeTiming::Modeled(model) => (f(), model.duration(kind, bytes)),
+        };
+        self.clock += dt;
+        self.breakdown.charge(kind, dt);
+        self.record(|| Event::Compute { t, kind, bytes, secs: dt, label });
+        r
     }
 
     /// Advance the virtual clock without running anything (e.g. a cost known
     /// analytically).
     pub fn advance(&mut self, kind: OpKind, secs: f64) {
+        let t = self.clock;
         self.clock += secs;
         self.breakdown.charge(kind, secs);
+        self.record(|| Event::Compute { t, kind, bytes: 0, secs, label: "advance" });
     }
 }

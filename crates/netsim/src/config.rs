@@ -45,9 +45,18 @@ impl NetConfig {
 
     /// Wire time for a message of `bytes` on a job of `nprocs` ranks.
     pub fn transfer_time(&self, bytes: usize, nprocs: usize) -> f64 {
+        self.latency_s + self.serialization_time(bytes, nprocs)
+    }
+
+    /// The β (bandwidth) portion of [`NetConfig::transfer_time`]: time on
+    /// the wire excluding the per-message latency α. [`crate::Comm::send`]
+    /// charges α to the *sender* (injection overhead) and the message then
+    /// arrives `serialization_time` later, so end-to-end unloaded latency is
+    /// still exactly `transfer_time`.
+    pub fn serialization_time(&self, bytes: usize, nprocs: usize) -> f64 {
         let beta = 8.0 / (self.bandwidth_gbps * 1e9); // seconds per byte
         let factor = 1.0 + self.congestion * (nprocs.max(1) as f64).log2();
-        self.latency_s + bytes as f64 * beta * factor
+        bytes as f64 * beta * factor
     }
 }
 
@@ -80,6 +89,21 @@ impl OpKind {
             OpKind::Hpr => 2,
             OpKind::Cpt => 3,
             OpKind::Other => 4,
+        }
+    }
+
+    /// All kinds in index order.
+    pub const ALL: [OpKind; OpKind::COUNT] =
+        [OpKind::Cpr, OpKind::Dpr, OpKind::Hpr, OpKind::Cpt, OpKind::Other];
+
+    /// Stable lowercase name (metric labels, trace categories).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Cpr => "cpr",
+            OpKind::Dpr => "dpr",
+            OpKind::Hpr => "hpr",
+            OpKind::Cpt => "cpt",
+            OpKind::Other => "other",
         }
     }
 }

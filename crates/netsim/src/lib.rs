@@ -15,6 +15,11 @@
 //!
 //! Every rank carries a [`Breakdown`] so collectives report the paper's
 //! CPR/DPR/HPR/CPT vs MPI vs OTHER splits (Fig. 2, Table VII) directly.
+//! A flight recorder ([`trace`], enabled via [`Cluster::with_trace`])
+//! additionally captures per-event streams on the virtual timeline, with
+//! Chrome-trace/Perfetto and ASCII Gantt exporters, and [`metrics`] turns a
+//! run into counters + log2-bucketed histograms with Prometheus-text and
+//! JSON renderings ([`json`] is the hand-rolled JSON layer both use).
 //!
 //! ```
 //! use netsim::{Cluster, OpKind};
@@ -36,11 +41,17 @@ pub mod breakdown;
 pub mod cluster;
 pub mod comm;
 pub mod config;
+pub mod json;
+pub mod metrics;
+pub mod trace;
 
 pub use breakdown::Breakdown;
 pub use cluster::{Cluster, RankOutcome, RunStats};
 pub use comm::Comm;
 pub use config::{ComputeTiming, NetConfig, OpKind, ThroughputModel};
+pub use json::Json;
+pub use metrics::Registry;
+pub use trace::{Event, RankTrace, TraceConfig};
 
 #[cfg(test)]
 mod tests {
@@ -267,6 +278,88 @@ mod tests {
             let (elapsed, total) = o.value;
             assert!((elapsed - total).abs() < 1e-12, "{elapsed} vs {total}");
         }
+    }
+
+    #[test]
+    fn send_injection_is_charged_to_sender_other_bucket() {
+        let net = NetConfig { latency_s: 5e-4, bandwidth_gbps: 100.0, congestion: 0.0 };
+        let cluster = Cluster::new(2).with_net(net).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0u8; 1000]);
+            } else {
+                comm.recv(0, 0);
+            }
+            comm.breakdown()
+        });
+        // sender paid exactly alpha, into OTHER (never MPI)
+        assert!((outcomes[0].value.other - 5e-4).abs() < 1e-12, "{:?}", outcomes[0].value);
+        assert_eq!(outcomes[0].value.mpi, 0.0);
+        // end-to-end unloaded latency is still alpha + beta*s
+        let expect = 5e-4 + 1000.0 * 8.0 / 100e9;
+        assert!((outcomes[1].value.mpi - expect).abs() < 1e-12, "{:?}", outcomes[1].value);
+    }
+
+    #[test]
+    fn tracing_is_disabled_by_default() {
+        let cluster = Cluster::new(2).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            assert!(!comm.tracing_enabled());
+            let n = comm.size();
+            comm.sendrecv((comm.rank() + 1) % n, 0, vec![1u8; 64], (comm.rank() + n - 1) % n);
+        });
+        assert!(outcomes.iter().all(|o| o.trace.is_none()));
+    }
+
+    #[test]
+    fn traced_run_reconciles_with_breakdown() {
+        let cluster = Cluster::new(4).with_timing(modeled()).with_trace(TraceConfig::default());
+        let outcomes = cluster.run(|comm| {
+            let n = comm.size();
+            let to = (comm.rank() + 1) % n;
+            let from = (comm.rank() + n - 1) % n;
+            for round in 0..3u64 {
+                let got = comm.sendrecv_compressed(to, round, vec![0u8; 500], 2000, from);
+                comm.compute_labeled(OpKind::Hpr, got.len() * 4, "test:hpr", || ());
+            }
+            comm.advance(OpKind::Cpt, 1e-4);
+        });
+        for o in &outcomes {
+            let trace = o.trace.as_ref().expect("traced run returns events");
+            let rebuilt = trace.reconstructed_breakdown();
+            for (a, b) in [
+                (rebuilt.cpr, o.breakdown.cpr),
+                (rebuilt.dpr, o.breakdown.dpr),
+                (rebuilt.hpr, o.breakdown.hpr),
+                (rebuilt.cpt, o.breakdown.cpt),
+                (rebuilt.other, o.breakdown.other),
+                (rebuilt.mpi, o.breakdown.mpi),
+            ] {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+            // event stream is non-decreasing in virtual time
+            for w in trace.events.windows(2) {
+                assert!(w[1].start() >= w[0].start() - 1e-12);
+            }
+            // compressed sends recorded wire and logical sizes
+            assert!(trace
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::Send { wire_bytes: 500, logical_bytes: 2000, .. })));
+        }
+    }
+
+    #[test]
+    fn reset_clock_clears_trace() {
+        let cluster = Cluster::new(1).with_timing(modeled()).with_trace(TraceConfig::default());
+        let outcomes = cluster.run(|comm| {
+            comm.compute(OpKind::Cpr, 1_000_000, || ());
+            comm.reset_clock();
+            comm.compute(OpKind::Dpr, 1_000_000, || ());
+        });
+        let trace = outcomes[0].trace.as_ref().unwrap();
+        assert_eq!(trace.events.len(), 1);
+        assert!(matches!(trace.events[0], Event::Compute { kind: OpKind::Dpr, .. }));
     }
 
     #[test]

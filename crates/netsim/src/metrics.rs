@@ -1,0 +1,379 @@
+//! Metrics registry: counters and log2-bucketed histograms with a stable
+//! Prometheus-style text rendering and a hand-rolled JSON snapshot (no
+//! `serde` — tier-1 builds run without registry access).
+//!
+//! [`Registry::record_run`] derives the standard metric set of a simulated
+//! collective from per-rank [`RankOutcome`]s: per-[`OpKind`] virtual-second
+//! totals (always available from the [`Breakdown`]s) plus — when the run was
+//! traced via [`crate::Cluster::with_trace`] — message wire-size,
+//! per-step achieved-compression-ratio and recv-wait distributions.
+
+use crate::cluster::RankOutcome;
+use crate::config::OpKind;
+use crate::json::Json;
+use crate::trace::Event;
+use std::collections::BTreeMap;
+
+/// A log2-bucketed histogram over non-negative `f64` observations.
+///
+/// Bucket `e` counts observations `v` with `2^(e-1) < v <= 2^e`; zeros fall
+/// into a dedicated underflow bucket. Exponents are clamped to ±64, which
+/// comfortably covers byte sizes, ratios and second-scale waits.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Observations `<= 0` (wait times of already-arrived messages, mostly).
+    pub zeros: u64,
+    /// `exponent -> count` for positive observations.
+    pub buckets: BTreeMap<i32, u64>,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v <= 0.0 {
+            self.zeros += 1;
+        } else {
+            let e = (v.log2().ceil() as i32).clamp(-64, 64);
+            *self.buckets.entry(e).or_insert(0) += 1;
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.zeros += other.zeros;
+        for (e, c) in &other.buckets {
+            *self.buckets.entry(*e).or_insert(0) += c;
+        }
+    }
+
+    /// Cumulative `(le, count)` pairs in Prometheus order (upper bound of
+    /// each occupied power-of-two bucket, then `+Inf` = `count`).
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut running = self.zeros;
+        if self.zeros > 0 {
+            out.push((0.0, running));
+        }
+        for (e, c) in &self.buckets {
+            running += c;
+            out.push((2f64.powi(*e), running));
+        }
+        out.push((f64::INFINITY, self.count));
+        out
+    }
+}
+
+/// Counters (integer + float) and histograms under stable, fully-qualified
+/// names (labels are folded into the name, e.g. `hz_op_seconds{kind="cpr"}`),
+/// so both renderings are deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Increment an integer counter.
+    pub fn inc(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Add to a float accumulator (rendered as an untyped gauge).
+    pub fn add(&mut self, name: &str, v: f64) {
+        *self.gauges.entry(name.to_string()).or_insert(0.0) += v;
+    }
+
+    /// Raise a float gauge to `v` if `v` is larger (used for makespans).
+    pub fn set_max(&mut self, name: &str, v: f64) {
+        let slot = self.gauges.entry(name.to_string()).or_insert(f64::NEG_INFINITY);
+        if v > *slot {
+            *slot = v;
+        }
+    }
+
+    /// Record one observation into a histogram.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Histogram accessor (for assertions and table rendering).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counter accessor.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Gauge accessor.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merge another registry into this one (counters/gauges add,
+    /// histograms merge; `*_makespan_*` gauges take the max).
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            if k.contains("makespan") {
+                self.set_max(k, *v);
+            } else {
+                *self.gauges.entry(k.clone()).or_insert(0.0) += v;
+            }
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Derive the standard collective-run metric set from per-rank outcomes.
+    ///
+    /// Works untraced (per-kind totals from the breakdowns only); with
+    /// traces it additionally fills the message/ratio/wait histograms and
+    /// per-label compute totals.
+    pub fn record_run<R>(&mut self, outcomes: &[RankOutcome<R>]) {
+        self.inc("hz_runs_total", 1);
+        self.inc("hz_ranks_total", outcomes.len() as u64);
+        let mut makespan = 0f64;
+        for o in outcomes {
+            makespan = makespan.max(o.elapsed);
+            let b = &o.breakdown;
+            for (kind, secs) in [
+                (OpKind::Cpr, b.cpr),
+                (OpKind::Dpr, b.dpr),
+                (OpKind::Hpr, b.hpr),
+                (OpKind::Cpt, b.cpt),
+                (OpKind::Other, b.other),
+            ] {
+                self.add(&format!("hz_op_seconds{{kind=\"{}\"}}", kind.name()), secs);
+            }
+            self.add("hz_mpi_wait_seconds", b.mpi);
+            let Some(trace) = &o.trace else { continue };
+            for ev in &trace.events {
+                match *ev {
+                    Event::Send { wire_bytes, logical_bytes, .. } => {
+                        self.inc("hz_messages_total", 1);
+                        self.inc("hz_wire_bytes_total", wire_bytes as u64);
+                        self.inc("hz_logical_bytes_total", logical_bytes as u64);
+                        self.observe("hz_message_wire_bytes", wire_bytes as f64);
+                        if wire_bytes > 0 && logical_bytes > 0 {
+                            self.observe(
+                                "hz_step_compression_ratio",
+                                logical_bytes as f64 / wire_bytes as f64,
+                            );
+                        }
+                    }
+                    Event::Recv { wait_secs, .. } => {
+                        self.observe("hz_recv_wait_seconds", wait_secs);
+                    }
+                    Event::Compute { kind, secs, label, .. } => {
+                        let label = if label.is_empty() { kind.name() } else { label };
+                        self.add(&format!("hz_step_seconds{{label=\"{label}\"}}"), secs);
+                        self.inc(&format!("hz_step_calls_total{{label=\"{label}\"}}"), 1);
+                    }
+                }
+            }
+        }
+        self.set_max("hz_makespan_seconds", makespan);
+    }
+
+    /// Render in Prometheus text exposition style. Deterministic: names are
+    /// sorted, histogram buckets ascend, floats use shortest round-trip
+    /// formatting.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_base = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let base = base_name(name);
+            if base != last_base {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+                last_base = base.to_string();
+            }
+        };
+        for (name, v) in &self.counters {
+            type_line(&mut out, name, "counter");
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            type_line(&mut out, name, "gauge");
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let base = base_name(name);
+            out.push_str(&format!("# TYPE {base} histogram\n"));
+            for (le, count) in h.cumulative() {
+                let le = if le.is_infinite() { "+Inf".to_string() } else { format!("{le}") };
+                out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {count}\n"));
+            }
+            out.push_str(&format!("{base}_sum {}\n", h.sum));
+            out.push_str(&format!("{base}_count {}\n", h.count));
+        }
+        out
+    }
+
+    /// Snapshot as a JSON document (hand-rolled writer; see [`crate::json`]).
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect(),
+        );
+        let gauges =
+            Json::Obj(self.gauges.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect());
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = h
+                        .cumulative()
+                        .into_iter()
+                        .map(|(le, count)| {
+                            Json::obj(vec![
+                                (
+                                    "le",
+                                    if le.is_infinite() {
+                                        Json::Str("+Inf".into())
+                                    } else {
+                                        Json::Num(le)
+                                    },
+                                ),
+                                ("count", Json::Num(count as f64)),
+                            ])
+                        })
+                        .collect();
+                    (
+                        k.clone(),
+                        Json::obj(vec![
+                            ("count", Json::Num(h.count as f64)),
+                            ("sum", Json::Num(h.sum)),
+                            ("buckets", Json::Arr(buckets)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj(vec![("counters", counters), ("gauges", gauges), ("histograms", histograms)])
+    }
+
+    /// Human-oriented one-histogram bar chart (used by `hzc sim --metrics`).
+    pub fn render_histogram_ascii(&self, name: &str, title: &str) -> String {
+        let Some(h) = self.histograms.get(name) else {
+            return format!("{title}: (no observations)\n");
+        };
+        let mut out =
+            format!("{title} (n={}, mean={:.3}):\n", h.count, h.sum / h.count.max(1) as f64);
+        let mut prev = 0u64;
+        let per_bucket: Vec<(f64, u64)> = h
+            .cumulative()
+            .into_iter()
+            .map(|(le, cum)| {
+                let in_bucket = cum - prev;
+                prev = cum;
+                (le, in_bucket)
+            })
+            .collect();
+        let max = per_bucket.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
+        for (le, in_bucket) in per_bucket {
+            if in_bucket == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((in_bucket * 40).div_ceil(max) as usize).min(40));
+            let le = if le.is_infinite() { "+Inf".into() } else { format!("{le:.6}") };
+            out.push_str(&format!("  le {le:>14} : {in_bucket:>6} {bar}\n"));
+        }
+        out
+    }
+}
+
+/// Strip a `{label="..."}` suffix for `# TYPE` lines.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::default();
+        for v in [0.0, 1.0, 2.0, 3.0, 1024.0, 0.4] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.zeros, 1);
+        // 1.0 -> e=0, 2.0 -> e=1, 3.0 -> e=2, 1024 -> e=10, 0.4 -> e=-1
+        assert_eq!(h.buckets.get(&0), Some(&1));
+        assert_eq!(h.buckets.get(&1), Some(&1));
+        assert_eq!(h.buckets.get(&2), Some(&1));
+        assert_eq!(h.buckets.get(&10), Some(&1));
+        assert_eq!(h.buckets.get(&-1), Some(&1));
+        let cum = h.cumulative();
+        assert_eq!(cum.last().unwrap().1, 6);
+    }
+
+    #[test]
+    fn merge_accumulates_and_makespan_takes_max() {
+        let mut a = Registry::new();
+        a.inc("c", 1);
+        a.add("g", 0.5);
+        a.set_max("hz_makespan_seconds", 2.0);
+        a.observe("h", 8.0);
+        let mut b = Registry::new();
+        b.inc("c", 2);
+        b.add("g", 0.25);
+        b.set_max("hz_makespan_seconds", 1.0);
+        b.observe("h", 16.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), Some(3));
+        assert_eq!(a.gauge("g"), Some(0.75));
+        assert_eq!(a.gauge("hz_makespan_seconds"), Some(2.0));
+        assert_eq!(a.histogram("h").unwrap().count, 2);
+    }
+
+    #[test]
+    fn json_snapshot_parses_back() {
+        let mut r = Registry::new();
+        r.inc("hz_messages_total", 7);
+        r.add("hz_mpi_wait_seconds", 0.125);
+        r.observe("hz_message_wire_bytes", 100.0);
+        r.observe("hz_message_wire_bytes", 3000.0);
+        let doc = Json::parse(&r.to_json().render()).expect("snapshot parses");
+        assert_eq!(
+            doc.get("counters").unwrap().get("hz_messages_total").unwrap().as_f64(),
+            Some(7.0)
+        );
+        let h = doc.get("histograms").unwrap().get("hz_message_wire_bytes").unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(2.0));
+        assert_eq!(h.get("sum").unwrap().as_f64(), Some(3100.0));
+    }
+
+    #[test]
+    fn prometheus_rendering_strips_labels_in_type_lines() {
+        let mut r = Registry::new();
+        r.add("hz_op_seconds{kind=\"cpr\"}", 1.5);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE hz_op_seconds gauge"), "{text}");
+        assert!(text.contains("hz_op_seconds{kind=\"cpr\"} 1.5"), "{text}");
+    }
+}

@@ -1,0 +1,377 @@
+//! Flight recorder: per-rank structured event tracing on the virtual
+//! timeline, plus Chrome-trace (Perfetto) and ASCII Gantt exporters.
+//!
+//! Tracing is **off by default** and enabled per run with
+//! [`crate::Cluster::with_trace`]. When disabled, every record site inside
+//! [`crate::Comm`] reduces to a single `Option` branch — no event is
+//! constructed and nothing is allocated (the zero-overhead contract DESIGN.md
+//! §"Observability" documents and `tests/trace.rs` pins down).
+//!
+//! Every event carries its *start* virtual time `t` and a duration, so the
+//! per-rank event stream reconstructs the rank's [`Breakdown`] exactly:
+//!
+//! * `Compute { kind, secs }` sums match the `cpr`/`dpr`/`hpr`/`cpt` buckets,
+//! * `Send.inject_secs` plus `Compute(Other)` sums match `other`,
+//! * `Recv.wait_secs` sums match `mpi`.
+
+use crate::breakdown::Breakdown;
+use crate::cluster::RankOutcome;
+use crate::config::OpKind;
+use crate::json::Json;
+
+/// Configuration for the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Initial per-rank event-buffer capacity (one up-front allocation; the
+    /// buffer grows amortized beyond it).
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { capacity: 1024 }
+    }
+}
+
+/// One structured event on a rank's virtual timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A message departure. `t` is the clock when the send was posted; the
+    /// sender's injection overhead (`inject_secs`, the α portion of the
+    /// network model) is charged to the sender's `other` bucket.
+    Send {
+        /// Start time (virtual seconds).
+        t: f64,
+        /// Destination rank.
+        to: usize,
+        /// Message tag.
+        tag: u64,
+        /// Bytes that travel the wire (compressed size for compressed
+        /// collectives).
+        wire_bytes: usize,
+        /// Uncompressed-equivalent bytes this message represents; equals
+        /// `wire_bytes` for uncompressed traffic. `logical/wire` is the
+        /// per-step achieved compression ratio.
+        logical_bytes: usize,
+        /// Sender-side injection overhead charged at this event.
+        inject_secs: f64,
+    },
+    /// A message receipt. `t` is the clock when the receive was posted;
+    /// `wait_secs` is the blocking time until the message's arrival
+    /// (zero if it had already arrived), charged to the `mpi` bucket.
+    Recv {
+        /// Start time (virtual seconds).
+        t: f64,
+        /// Source rank.
+        from: usize,
+        /// Message tag.
+        tag: u64,
+        /// Bytes that travelled the wire.
+        wire_bytes: usize,
+        /// Blocking wait charged to the `mpi` bucket.
+        wait_secs: f64,
+    },
+    /// A compute kernel (or an analytic [`crate::Comm::advance`] charge).
+    Compute {
+        /// Start time (virtual seconds).
+        t: f64,
+        /// Cost bucket.
+        kind: OpKind,
+        /// Uncompressed-equivalent bytes the kernel touched.
+        bytes: usize,
+        /// Charged duration.
+        secs: f64,
+        /// Pipeline-step label (e.g. `"hz:homomorphic-sum"`); empty when the
+        /// call site did not label itself.
+        label: &'static str,
+    },
+}
+
+impl Event {
+    /// Virtual start time of the event.
+    pub fn start(&self) -> f64 {
+        match *self {
+            Event::Send { t, .. } | Event::Recv { t, .. } | Event::Compute { t, .. } => t,
+        }
+    }
+
+    /// Charged duration of the event (zero-cost events return 0).
+    pub fn duration(&self) -> f64 {
+        match *self {
+            Event::Send { inject_secs, .. } => inject_secs,
+            Event::Recv { wait_secs, .. } => wait_secs,
+            Event::Compute { secs, .. } => secs,
+        }
+    }
+
+    /// Virtual end time of the event.
+    pub fn end(&self) -> f64 {
+        self.start() + self.duration()
+    }
+}
+
+/// The recorded event stream of one rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankTrace {
+    /// The rank that produced the events.
+    pub rank: usize,
+    /// Events in the order they occurred (non-decreasing `start()`).
+    pub events: Vec<Event>,
+}
+
+impl RankTrace {
+    /// Reconstruct the rank's [`Breakdown`] purely from the event stream.
+    /// Matches the rank's live accounting exactly (same `f64` additions in
+    /// the same order), which `tests/trace.rs` relies on.
+    pub fn reconstructed_breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::default();
+        for ev in &self.events {
+            match *ev {
+                Event::Compute { kind, secs, .. } => b.charge(kind, secs),
+                Event::Send { inject_secs, .. } => b.charge(OpKind::Other, inject_secs),
+                Event::Recv { wait_secs, .. } => b.mpi += wait_secs,
+            }
+        }
+        b
+    }
+
+    /// Sum of charged compute seconds for one bucket (send injection counts
+    /// toward [`OpKind::Other`]).
+    pub fn seconds(&self, kind: OpKind) -> f64 {
+        let mut total = 0.0;
+        for ev in &self.events {
+            match *ev {
+                Event::Compute { kind: k, secs, .. } if k == kind => total += secs,
+                Event::Send { inject_secs, .. } if kind == OpKind::Other => total += inject_secs,
+                _ => {}
+            }
+        }
+        total
+    }
+
+    /// Sum of blocking receive waits (the `mpi` bucket).
+    pub fn wait_seconds(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| match *e {
+                Event::Recv { wait_secs, .. } => wait_secs,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Virtual end time of the last event (0 for an empty trace).
+    pub fn end_time(&self) -> f64 {
+        self.events.iter().map(|e| e.end()).fold(0.0, f64::max)
+    }
+}
+
+/// Extract the traces of a traced run, panicking if tracing was disabled.
+pub fn take_traces<R>(outcomes: Vec<RankOutcome<R>>) -> (Vec<R>, Vec<RankTrace>) {
+    let mut values = Vec::with_capacity(outcomes.len());
+    let mut traces = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        values.push(o.value);
+        traces.push(o.trace.expect("run was not traced: use Cluster::with_trace"));
+    }
+    (values, traces)
+}
+
+/// Export traces as Chrome trace-event JSON (the format `chrome://tracing`
+/// and [Perfetto](https://ui.perfetto.dev) load). One *pid* per rank; every
+/// recorded event becomes one `traceEvents` entry ("X" complete events),
+/// plus one `process_name` metadata entry per rank.
+pub fn chrome_trace(traces: &[RankTrace]) -> String {
+    let us = |secs: f64| Json::Num(secs * 1e6);
+    let mut events = Vec::new();
+    for trace in traces {
+        let pid = trace.rank as f64;
+        events.push(Json::obj(vec![
+            ("name", Json::Str("process_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::Num(pid)),
+            ("tid", Json::Num(0.0)),
+            ("args", Json::obj(vec![("name", Json::Str(format!("rank {}", trace.rank)))])),
+        ]));
+        for ev in &trace.events {
+            let (name, cat, args) = match *ev {
+                Event::Send { to, tag, wire_bytes, logical_bytes, .. } => (
+                    format!("send\u{2192}{to}"),
+                    "send",
+                    Json::obj(vec![
+                        ("to", Json::Num(to as f64)),
+                        ("tag", Json::Num(tag as f64)),
+                        ("wire_bytes", Json::Num(wire_bytes as f64)),
+                        ("logical_bytes", Json::Num(logical_bytes as f64)),
+                    ]),
+                ),
+                Event::Recv { from, tag, wire_bytes, .. } => (
+                    format!("recv\u{2190}{from}"),
+                    "wait",
+                    Json::obj(vec![
+                        ("from", Json::Num(from as f64)),
+                        ("tag", Json::Num(tag as f64)),
+                        ("wire_bytes", Json::Num(wire_bytes as f64)),
+                    ]),
+                ),
+                Event::Compute { kind, bytes, label, .. } => (
+                    if label.is_empty() { kind.name().to_string() } else { label.to_string() },
+                    kind.name(),
+                    Json::obj(vec![("bytes", Json::Num(bytes as f64))]),
+                ),
+            };
+            events.push(Json::obj(vec![
+                ("name", Json::Str(name)),
+                ("cat", Json::Str(cat.into())),
+                ("ph", Json::Str("X".into())),
+                ("ts", us(ev.start())),
+                ("dur", us(ev.duration())),
+                ("pid", Json::Num(pid)),
+                ("tid", Json::Num(0.0)),
+                ("args", args),
+            ]));
+        }
+    }
+    Json::obj(vec![("traceEvents", Json::Arr(events)), ("displayTimeUnit", Json::Str("ms".into()))])
+        .render()
+}
+
+/// Render a terminal ASCII Gantt chart of a traced run: one row per rank,
+/// one column per time bin, the glyph of the dominant activity in each bin
+/// (`C`ompression, `D`ecompression, `H`omomorphic, cm`P`utation, `o`ther,
+/// `.` = blocked on communication, space = done/idle).
+pub fn ascii_timeline(traces: &[RankTrace], width: usize) -> String {
+    let width = width.clamp(8, 512);
+    let span = traces.iter().map(|t| t.end_time()).fold(0.0, f64::max);
+    let mut out = String::new();
+    if span <= 0.0 || traces.is_empty() {
+        out.push_str("(empty timeline)\n");
+        return out;
+    }
+    let col = span / width as f64;
+    out.push_str(&format!(
+        "virtual timeline: {} ranks, makespan {} (1 col = {})\n",
+        traces.len(),
+        fmt_secs(span),
+        fmt_secs(col),
+    ));
+    // glyph order decides ties deterministically; '.' (wait) loses ties to
+    // real work so short stalls do not mask computation
+    const GLYPHS: [char; 6] = ['C', 'D', 'H', 'P', 'o', '.'];
+    for trace in traces {
+        let mut overlap = vec![[0.0f64; GLYPHS.len()]; width];
+        for ev in &trace.events {
+            let slot = match ev {
+                Event::Compute { kind, .. } => kind.index().min(4),
+                Event::Send { .. } => 4, // injection is charged to `other`
+                Event::Recv { .. } => 5,
+            };
+            let (start, end) = (ev.start(), ev.end());
+            if end <= start {
+                continue;
+            }
+            let first = ((start / col).floor() as usize).min(width - 1);
+            let last = ((end / col).ceil() as usize).clamp(first + 1, width);
+            for (c, cell) in overlap.iter_mut().enumerate().take(last).skip(first) {
+                let c0 = c as f64 * col;
+                let c1 = c0 + col;
+                let covered = end.min(c1) - start.max(c0);
+                if covered > 0.0 {
+                    cell[slot] += covered;
+                }
+            }
+        }
+        out.push_str(&format!("rank {:>3} |", trace.rank));
+        for cell in &overlap {
+            let (mut best, mut best_cover) = (' ', 0.0f64);
+            for (slot, &covered) in cell.iter().enumerate() {
+                if covered > best_cover {
+                    best_cover = covered;
+                    best = GLYPHS[slot];
+                }
+            }
+            // require a visible share of the column to draw anything
+            out.push(if best_cover >= col * 0.05 { best } else { ' ' });
+        }
+        out.push_str("|\n");
+    }
+    out.push_str("legend: C=cpr D=dpr H=hpr P=cpt o=other .=recv-wait\n");
+    out
+}
+
+fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{:.3} us", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> RankTrace {
+        RankTrace {
+            rank: 1,
+            events: vec![
+                Event::Compute { t: 0.0, kind: OpKind::Cpr, bytes: 100, secs: 0.4, label: "x:cpr" },
+                Event::Send {
+                    t: 0.4,
+                    to: 0,
+                    tag: 7,
+                    wire_bytes: 40,
+                    logical_bytes: 100,
+                    inject_secs: 0.1,
+                },
+                Event::Recv { t: 0.5, from: 0, tag: 7, wire_bytes: 30, wait_secs: 0.5 },
+                Event::Compute { t: 1.0, kind: OpKind::Hpr, bytes: 100, secs: 1.0, label: "" },
+            ],
+        }
+    }
+
+    #[test]
+    fn reconstructed_breakdown_matches_charges() {
+        let t = sample_trace();
+        let b = t.reconstructed_breakdown();
+        assert_eq!(b.cpr, 0.4);
+        assert_eq!(b.hpr, 1.0);
+        assert_eq!(b.other, 0.1);
+        assert_eq!(b.mpi, 0.5);
+        assert_eq!(t.seconds(OpKind::Other), 0.1);
+        assert_eq!(t.wait_seconds(), 0.5);
+        assert_eq!(t.end_time(), 2.0);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_and_covers_every_event() {
+        let traces = vec![sample_trace()];
+        let text = chrome_trace(&traces);
+        let doc = Json::parse(&text).expect("chrome trace parses");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let complete: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
+        assert_eq!(complete.len(), traces[0].events.len());
+        // ts/dur in microseconds of the first compute
+        assert_eq!(complete[0].get("ts").unwrap().as_f64(), Some(0.0));
+        assert_eq!(complete[0].get("dur").unwrap().as_f64(), Some(0.4e6));
+        assert_eq!(complete[0].get("name").unwrap().as_str(), Some("x:cpr"));
+    }
+
+    #[test]
+    fn ascii_timeline_draws_dominant_activity() {
+        let art = ascii_timeline(&[sample_trace()], 20);
+        assert!(art.contains("rank   1 |"), "{art}");
+        assert!(art.contains('C') && art.contains('H') && art.contains('.'), "{art}");
+        assert!(art.contains("legend:"), "{art}");
+    }
+
+    #[test]
+    fn empty_timeline_is_handled() {
+        assert!(ascii_timeline(&[], 40).contains("empty"));
+        let t = RankTrace { rank: 0, events: vec![] };
+        assert!(ascii_timeline(&[t], 40).contains("empty"));
+    }
+}

@@ -59,7 +59,13 @@ mod tests {
     fn planes_roundtrip_all_code_lengths() {
         for c in 0..=32u8 {
             let mags: Vec<u32> = (0..32u32)
-                .map(|i| if c == 0 { 0 } else { i.wrapping_mul(0x9E37_79B9) & ((1u64 << c) - 1) as u32 })
+                .map(|i| {
+                    if c == 0 {
+                        0
+                    } else {
+                        i.wrapping_mul(0x9E37_79B9) & ((1u64 << c) - 1) as u32
+                    }
+                })
                 .collect();
             let mut buf = Vec::new();
             encode_planes(&mags, c, &mut buf);

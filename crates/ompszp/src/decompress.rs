@@ -44,9 +44,8 @@ pub fn decompress_into(stream: &OszpStream, out: &mut [f32]) -> Result<()> {
                         let len = block_len.min(n - start);
                         // SAFETY: block `bi` is owned by exactly one thread;
                         // writes target the disjoint range [start, start+len).
-                        let dst = unsafe {
-                            std::slice::from_raw_parts_mut(p.get().add(start), len)
-                        };
+                        let dst =
+                            unsafe { std::slice::from_raw_parts_mut(p.get().add(start), len) };
                         pos += decode_record(&payload[pos..], len, two_eb, &mut mags, dst)?;
                         bi += ngroups;
                     }

@@ -69,9 +69,7 @@ mod tests {
 
     #[test]
     fn error_bounded_on_mixed_signs() {
-        let data: Vec<f32> = (0..50_000)
-            .map(|i| ((i as f32) * 0.0137).sin() * 42.0)
-            .collect();
+        let data: Vec<f32> = (0..50_000).map(|i| ((i as f32) * 0.0137).sin() * 42.0).collect();
         for &eb in &[1e-1, 1e-2, 1e-3] {
             let cfg = Config::new(ErrorBound::Abs(eb));
             let out = roundtrip(&data, &cfg);
@@ -91,8 +89,7 @@ mod tests {
         }
         let cfg = Config::new(ErrorBound::Abs(1e-3));
         let s = compress(&data, &cfg).unwrap();
-        let all_signal: Vec<f32> =
-            (0..32 * 100).map(|i| (i as f32 * 0.1).sin() * 10.0).collect();
+        let all_signal: Vec<f32> = (0..32 * 100).map(|i| (i as f32 * 0.1).sin() * 10.0).collect();
         let s2 = compress(&all_signal, &cfg).unwrap();
         assert!(s.compressed_size() < s2.compressed_size() / 2 + 200);
         let out = decompress(&s).unwrap();

@@ -3,7 +3,7 @@
 
 use crate::format::{SzxHeader, SzxStream, DEFAULT_BLOCK_LEN};
 use fzlight::error::{Error, Result};
-use fzlight::{Config, ErrorBound};
+use fzlight::Config;
 
 /// Compress `data`. `Config::block_len` is ignored (szxlite uses its own
 /// 64-element blocks, the SZx-class granularity); threads are ignored too —
@@ -54,8 +54,7 @@ pub fn compress(data: &[f32], cfg: &Config) -> Result<SzxStream> {
             body.extend_from_slice(&q.to_le_bytes()[..nbytes]);
         }
     }
-    let header =
-        SzxHeader { n: data.len() as u64, eb, block_len: block_len as u32 };
+    let header = SzxHeader { n: data.len() as u64, eb, block_len: block_len as u32 };
     Ok(SzxStream::from_parts(header, &body))
 }
 
@@ -117,6 +116,7 @@ pub fn decompress_into(stream: &SzxStream, out: &mut [f32]) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fzlight::ErrorBound;
 
     #[test]
     fn mixed_constant_and_varying_blocks() {
@@ -148,8 +148,7 @@ mod tests {
         let data: Vec<f32> = (0..128).map(|i| (i as f32).sin() * 9.0).collect();
         let s = compress(&data, &Config::new(ErrorBound::Abs(1e-3))).unwrap();
         let bytes = s.as_bytes();
-        for cut in [bytes.len() - 1, bytes.len() - 10, crate::format::SzxHeader::serialized_len()]
-        {
+        for cut in [bytes.len() - 1, bytes.len() - 10, crate::format::SzxHeader::serialized_len()] {
             let t = SzxStream::from_bytes(bytes[..cut].to_vec()).unwrap();
             assert!(decompress(&t).is_err(), "cut {cut}");
         }

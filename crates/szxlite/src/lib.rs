@@ -55,9 +55,8 @@ mod tests {
 
     #[test]
     fn error_bound_holds_across_magnitudes() {
-        let data: Vec<f32> = (0..50_000)
-            .map(|i| ((i as f32) * 0.0173).sin() * 10f32.powi((i % 5) as i32 - 2))
-            .collect();
+        let data: Vec<f32> =
+            (0..50_000).map(|i| ((i as f32) * 0.0173).sin() * 10f32.powi(i % 5 - 2)).collect();
         for &eb in &[1e-1, 1e-2, 1e-3] {
             let cfg = Config::new(ErrorBound::Abs(eb));
             let out = roundtrip(&data, &cfg);

@@ -30,8 +30,7 @@ fn main() {
     let mode = Mode::MultiThread(18);
     let cfg = CollectiveConfig::new(EB, mode);
     let sample = &fields[0][..ELEMS.min(1 << 20)];
-    let hz_timing =
-        netsim::ComputeTiming::Modeled(hzccl::paper_model(hzccl::Variant::Hzccl, mode));
+    let hz_timing = netsim::ComputeTiming::Modeled(hzccl::paper_model(hzccl::Variant::Hzccl, mode));
     let doc_timing =
         netsim::ComputeTiming::Modeled(hzccl::paper_model(hzccl::Variant::CColl, mode));
 

@@ -42,9 +42,8 @@ fn main() {
 
     // --- baseline: uncompressed MPI stacking
     let cluster = Cluster::new(RANKS).with_timing(timing);
-    let (mpi_results, mpi_stats) = cluster.run_stats(|comm| {
-        mpi::allreduce(comm, &observations[comm.rank()], 1)
-    });
+    let (mpi_results, mpi_stats) =
+        cluster.run_stats(|comm| mpi::allreduce(comm, &observations[comm.rank()], 1));
     let mpi_image = &mpi_results[0];
 
     // --- hZCCL-accelerated stacking
@@ -53,9 +52,7 @@ fn main() {
     });
     let hz_image = &hz_results[0];
 
-    println!(
-        "stacked {RANKS} observations of a {SIDE}x{SIDE} scene (abs eb {EB:.0e})"
-    );
+    println!("stacked {RANKS} observations of a {SIDE}x{SIDE} scene (abs eb {EB:.0e})");
     println!(
         "virtual collective time: MPI {:.3} ms, hZCCL {:.3} ms ({:.2}x speedup)",
         mpi_stats.makespan * 1e3,

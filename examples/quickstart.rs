@@ -33,7 +33,10 @@ fn main() {
     // 3. The round trip respects the error bound.
     let da = decompress(&ca).expect("decompress");
     let q = Quality::compare(&snap_a, &da);
-    println!("roundtrip: max abs err {:.2e} (bound {eb:.0e}), PSNR {:.1} dB", q.max_abs_err, q.psnr);
+    println!(
+        "roundtrip: max abs err {:.2e} (bound {eb:.0e}), PSNR {:.1} dB",
+        q.max_abs_err, q.psnr
+    );
     let ulp = q.max.abs().max(q.min.abs()) * f32::EPSILON as f64;
     assert!(q.max_abs_err <= eb + ulp);
 

@@ -69,15 +69,17 @@ fn main() {
     // 3. Correctness: hZCCL's chunk equals MPI's within N*eb.
     let cluster = Cluster::new(RANKS).with_timing(hz_timing);
     let exact = cluster.run(|comm| mpi::reduce_scatter(comm, &fields[comm.rank()], 1));
-    let approx = cluster.run(|comm| {
-        hz::reduce_scatter(comm, &fields[comm.rank()], &cfg).expect("hzccl")
-    });
+    let approx =
+        cluster.run(|comm| hz::reduce_scatter(comm, &fields[comm.rank()], &cfg).expect("hzccl"));
     let mut worst = 0f64;
     for (e, a) in exact.iter().zip(&approx) {
         for (x, y) in e.value.iter().zip(&a.value) {
             worst = worst.max((x - y).abs() as f64);
         }
     }
-    println!("max abs error vs exact reduction: {worst:.2e} (bound N*eb = {:.0e})", RANKS as f64 * EB);
+    println!(
+        "max abs error vs exact reduction: {worst:.2e} (bound N*eb = {:.0e})",
+        RANKS as f64 * EB
+    );
     assert!(worst <= RANKS as f64 * EB * 1.01);
 }

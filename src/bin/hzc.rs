@@ -8,6 +8,7 @@
 //! hzc sum <a.fzl> <b.fzl> <out.fzl>                homomorphic a + b
 //! hzc diff <a.fzl> <b.fzl> <out.fzl>               homomorphic a - b
 //! hzc check <in.f32> <stream.fzl>                  verify the error bound
+//! hzc sim <op> [--ranks N] [--mb M] [--variant V]  run a simulated collective
 //! ```
 //!
 //! `.f32` files are raw little-endian floats (the SDRBench layout); `<app>`
@@ -38,7 +39,10 @@ const USAGE: &str = "usage:
   hzc info <in.fzl>
   hzc sum <a.fzl> <b.fzl> <out.fzl>
   hzc diff <a.fzl> <b.fzl> <out.fzl>
-  hzc check <in.f32> <stream.fzl>";
+  hzc check <in.f32> <stream.fzl>
+  hzc sim <allreduce|reduce_scatter|reduce|bcast> [--ranks N] [--mb M]
+          [--variant hz|ccoll|mpi] [--eb E] [--threads T] [--app A] [--seed S]
+          [--trace out.json] [--metrics] [--width W]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -51,6 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "sum" => reduce(rest, hzdyn::ReduceOp::Sum),
         "diff" => reduce(rest, hzdyn::ReduceOp::Diff),
         "check" => check(rest),
+        "sim" => sim(rest),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -60,10 +65,7 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, 
     for (i, a) in args.iter().enumerate() {
         if a == name {
             let v = args.get(i + 1).ok_or_else(|| format!("{name} needs a value"))?;
-            return v
-                .parse()
-                .map(Some)
-                .map_err(|_| format!("invalid value '{v}' for {name}"));
+            return v.parse().map(Some).map_err(|_| format!("invalid value '{v}' for {name}"));
         }
     }
     Ok(None)
@@ -133,9 +135,8 @@ fn compress(args: &[String]) -> Result<(), String> {
         (None, Some(e)) => ErrorBound::Rel(e),
         (None, None) => ErrorBound::Abs(1e-4),
     };
-    let threads: usize = flag(args, "--threads")?.unwrap_or_else(|| {
-        std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
-    });
+    let threads: usize = flag(args, "--threads")?
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1));
     let block: usize = flag(args, "--block")?.unwrap_or(fzlight::DEFAULT_BLOCK_LEN);
     let data = datasets::load_f32(Path::new(input)).map_err(|e| e.to_string())?;
     let cfg = Config::new(eb).with_threads(threads).with_block_len(block);
@@ -235,4 +236,165 @@ fn check(args: &[String]) -> Result<(), String> {
 fn load_stream(path: &str) -> Result<CompressedStream, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     CompressedStream::from_bytes(bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Presence of a boolean `--flag` (no value).
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// `hzc sim`: run one collective on the virtual cluster with the flight
+/// recorder on, then print the paper-style cost breakdown, an ASCII
+/// timeline, and (optionally) Prometheus-style metrics; `--trace` writes a
+/// Chrome/Perfetto trace-event JSON file.
+fn sim(args: &[String]) -> Result<(), String> {
+    use hzccl::{CollectiveConfig, Mode, Variant};
+    use netsim::{trace, Cluster, ComputeTiming, TraceConfig};
+
+    let op = args.first().map(|s| s.as_str()).ok_or("missing collective op")?;
+    if !matches!(op, "allreduce" | "reduce_scatter" | "reduce" | "bcast") {
+        return Err(format!("unknown collective '{op}'"));
+    }
+    let rest = &args[1..];
+    let ranks: usize = flag(rest, "--ranks")?.unwrap_or(8);
+    if ranks == 0 {
+        return Err("--ranks must be at least 1".into());
+    }
+    let mb: usize = flag(rest, "--mb")?.unwrap_or(4);
+    let variant = match flag::<String>(rest, "--variant")?.as_deref().unwrap_or("hz") {
+        "hz" => Variant::Hzccl,
+        "ccoll" => Variant::CColl,
+        "mpi" => Variant::Mpi,
+        other => return Err(format!("unknown variant '{other}' (hz|ccoll|mpi)")),
+    };
+    let eb: f64 = flag(rest, "--eb")?.unwrap_or(1e-4);
+    let threads: usize = flag(rest, "--threads")?.unwrap_or(1);
+    let mode = if threads > 1 { Mode::MultiThread(threads) } else { Mode::SingleThread };
+    let app = match flag::<String>(rest, "--app")?.as_deref().unwrap_or("sim2") {
+        "sim1" => App::SimSet1,
+        "sim2" => App::SimSet2,
+        "nyx" => App::Nyx,
+        "cesm" => App::CesmAtm,
+        "hurricane" => App::Hurricane,
+        other => return Err(format!("unknown app '{other}'")),
+    };
+    let seed: u64 = flag(rest, "--seed")?.unwrap_or(0);
+    let trace_out: Option<String> = flag(rest, "--trace")?;
+    let want_metrics = has_flag(rest, "--metrics");
+    let width: usize = flag(rest, "--width")?.unwrap_or(100);
+
+    // Per-rank fields: one base field, slightly rescaled per rank (same
+    // compressibility profile, distinct values).
+    let elems = mb * (1 << 20) / 4;
+    let base = app.generate(elems, seed);
+    let fields: Vec<Vec<f32>> = (0..ranks)
+        .map(|r| {
+            let k = 1.0 + 0.001 * r as f32;
+            base.iter().map(|&v| v * k).collect()
+        })
+        .collect();
+
+    let cfg = CollectiveConfig::new(eb, mode);
+    let timing = ComputeTiming::Modeled(hzccl::paper_model(variant, mode));
+    let cluster = Cluster::new(ranks)
+        .with_net(netsim::NetConfig::default())
+        .with_timing(timing)
+        .with_trace(TraceConfig::default());
+    let outcomes = cluster.run(|comm| {
+        let data = &fields[comm.rank()];
+        let cpt_threads = mode.threads();
+        match (variant, op) {
+            (Variant::Mpi, "allreduce") => {
+                hzccl::mpi::allreduce(comm, data, cpt_threads);
+            }
+            (Variant::Mpi, "reduce_scatter") => {
+                hzccl::mpi::reduce_scatter(comm, data, cpt_threads);
+            }
+            (Variant::Mpi, "reduce") => {
+                hzccl::mpi::reduce(comm, data, 0, cpt_threads);
+            }
+            (Variant::Mpi, "bcast") => {
+                let full = if comm.rank() == 0 { data.as_slice() } else { &[] };
+                hzccl::mpi::bcast(comm, full, 0, data.len());
+            }
+            (Variant::CColl, "allreduce") => {
+                hzccl::ccoll::allreduce(comm, data, &cfg).expect("ccoll allreduce");
+            }
+            (Variant::CColl, "reduce_scatter") => {
+                hzccl::ccoll::reduce_scatter(comm, data, &cfg).expect("ccoll rs");
+            }
+            (Variant::CColl, "reduce") => {
+                hzccl::ccoll::reduce(comm, data, 0, &cfg).expect("ccoll reduce");
+            }
+            (Variant::CColl, "bcast") => {
+                let full = if comm.rank() == 0 { data.as_slice() } else { &[] };
+                hzccl::ccoll::bcast(comm, full, 0, data.len(), &cfg).expect("ccoll bcast");
+            }
+            (Variant::Hzccl, "allreduce") => {
+                hzccl::hz::allreduce(comm, data, &cfg).expect("hz allreduce");
+            }
+            (Variant::Hzccl, "reduce_scatter") => {
+                hzccl::hz::reduce_scatter(comm, data, &cfg).expect("hz rs");
+            }
+            (Variant::Hzccl, "reduce") => {
+                hzccl::hz::reduce(comm, data, 0, &cfg).expect("hz reduce");
+            }
+            (Variant::Hzccl, "bcast") => {
+                let full = if comm.rank() == 0 { data.as_slice() } else { &[] };
+                hzccl::hz::bcast(comm, full, 0, data.len(), &cfg).expect("hz bcast");
+            }
+            _ => unreachable!("op validated above"),
+        }
+    });
+
+    // --- breakdown table ---------------------------------------------------
+    let mut total = netsim::Breakdown::default();
+    let mut makespan = 0f64;
+    for o in &outcomes {
+        total += o.breakdown;
+        makespan = makespan.max(o.elapsed);
+    }
+    println!(
+        "sim {op}: variant={variant:?} ranks={ranks} field={mb} MiB/rank eb={eb:e} mode={mode:?}"
+    );
+    println!("makespan: {:.6} s (slowest rank)", makespan);
+    println!();
+    println!("{:<10} {:>14} {:>8}", "bucket", "seconds", "share");
+    let grand = total.total();
+    for (name, secs) in [
+        ("cpr", total.cpr),
+        ("dpr", total.dpr),
+        ("hpr", total.hpr),
+        ("cpt", total.cpt),
+        ("mpi", total.mpi),
+        ("other", total.other),
+    ] {
+        let share = if grand > 0.0 { secs * 100.0 / grand } else { 0.0 };
+        println!("{name:<10} {secs:>14.6} {share:>7.2}%");
+    }
+    println!("{:<10} {grand:>14.6} {:>7.2}%", "total", 100.0);
+
+    // --- per-rank timeline --------------------------------------------------
+    let mut registry = netsim::Registry::new();
+    registry.record_run(&outcomes);
+    let (_, traces) = trace::take_traces(outcomes);
+    println!();
+    println!("{}", trace::ascii_timeline(&traces, width));
+
+    if want_metrics {
+        println!(
+            "{}",
+            registry.render_histogram_ascii(
+                "hz_step_compression_ratio",
+                "per-step achieved compression ratio",
+            )
+        );
+        println!("{}", registry.render_prometheus());
+    }
+
+    if let Some(path) = trace_out {
+        std::fs::write(&path, trace::chrome_trace(&traces)).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote Chrome trace to {path} (load in Perfetto / chrome://tracing)");
+    }
+    Ok(())
 }

@@ -49,17 +49,12 @@ fn gen_compress_info_check_roundtrip() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("blocks:") && stdout.contains("chunks = 2"), "{stdout}");
 
-    let out = hzc()
-        .args(["decompress", fzl.to_str().unwrap(), back.to_str().unwrap()])
-        .output()
-        .unwrap();
+    let out =
+        hzc().args(["decompress", fzl.to_str().unwrap(), back.to_str().unwrap()]).output().unwrap();
     assert!(out.status.success());
     assert_eq!(std::fs::metadata(&back).unwrap().len(), 1 << 20);
 
-    let out = hzc()
-        .args(["check", raw.to_str().unwrap(), fzl.to_str().unwrap()])
-        .output()
-        .unwrap();
+    let out = hzc().args(["check", raw.to_str().unwrap(), fzl.to_str().unwrap()]).output().unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("WITHIN BOUND"));
 
@@ -100,6 +95,54 @@ fn sum_produces_valid_homomorphic_stream() {
 }
 
 #[test]
+fn sim_runs_a_traced_collective_end_to_end() {
+    let dir = tmpdir("sim");
+    let trace_path = dir.join("trace.json");
+    let out = hzc()
+        .args([
+            "sim",
+            "allreduce",
+            "--ranks",
+            "2",
+            "--mb",
+            "1",
+            "--variant",
+            "hz",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--metrics",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // breakdown table, timeline and metrics all render
+    assert!(stdout.contains("makespan"), "{stdout}");
+    assert!(stdout.contains("cpr"), "{stdout}");
+    assert!(stdout.contains("rank   0 |"), "{stdout}");
+    assert!(stdout.contains("legend:"), "{stdout}");
+    assert!(stdout.contains("hz_messages_total"), "{stdout}");
+
+    // the Chrome trace is valid JSON with one process per rank
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc = netsim::Json::parse(&text).expect("trace file is valid JSON");
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    assert!(!events.is_empty());
+    let meta: Vec<_> =
+        events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M")).collect();
+    assert_eq!(meta.len(), 2, "one process_name entry per rank");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sim_rejects_bad_arguments() {
+    let out = hzc().args(["sim", "gathermax"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = hzc().args(["sim", "allreduce", "--variant", "nccl"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn errors_are_reported_not_panicked() {
     // unknown command
     let out = hzc().args(["frobnicate"]).output().unwrap();
@@ -111,10 +154,7 @@ fn errors_are_reported_not_panicked() {
     assert!(!out.status.success());
 
     // conflicting flags
-    let out = hzc()
-        .args(["compress", "a", "b", "--eb", "1e-3", "--rel", "1e-3"])
-        .output()
-        .unwrap();
+    let out = hzc().args(["compress", "a", "b", "--eb", "1e-3", "--rel", "1e-3"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
 

@@ -11,9 +11,7 @@ fn modeled() -> ComputeTiming {
 
 fn fields(nranks: usize, n: usize) -> Vec<Vec<f32>> {
     let base = App::SimSet1.generate(n, 0);
-    (0..nranks)
-        .map(|r| base.iter().map(|&v| v * (1.0 + 0.001 * r as f32)).collect())
-        .collect()
+    (0..nranks).map(|r| base.iter().map(|&v| v * (1.0 + 0.001 * r as f32)).collect()).collect()
 }
 
 #[test]
@@ -23,13 +21,10 @@ fn sixty_four_rank_allreduce_is_consistent_everywhere() {
     let data = fields(nranks, n);
     let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
     let cluster = Cluster::new(nranks).with_timing(modeled());
-    let outcomes = cluster.run(|comm| {
-        hz::allreduce(comm, &data[comm.rank()], &cfg).expect("allreduce")
-    });
+    let outcomes =
+        cluster.run(|comm| hz::allreduce(comm, &data[comm.rank()], &cfg).expect("allreduce"));
     // all ranks identical, and error-bounded against the exact sum
-    let exact: Vec<f64> = (0..n)
-        .map(|i| data.iter().map(|f| f[i] as f64).sum())
-        .collect();
+    let exact: Vec<f64> = (0..n).map(|i| data.iter().map(|f| f[i] as f64).sum()).collect();
     let tol = nranks as f64 * 1e-4 + 1e-6;
     for o in &outcomes {
         assert_eq!(o.value, outcomes[0].value);
@@ -100,14 +95,11 @@ fn reduce_scatter_chunks_reassemble_to_the_full_sum() {
     let data = fields(nranks, n);
     let cfg = CollectiveConfig::new(1e-4, Mode::MultiThread(2));
     let cluster = Cluster::new(nranks).with_timing(modeled());
-    let outcomes = cluster.run(|comm| {
-        hz::reduce_scatter(comm, &data[comm.rank()], &cfg).expect("rs")
-    });
+    let outcomes =
+        cluster.run(|comm| hz::reduce_scatter(comm, &data[comm.rank()], &cfg).expect("rs"));
     let gathered: Vec<f32> = outcomes.iter().flat_map(|o| o.value.clone()).collect();
     assert_eq!(gathered.len(), n);
-    let exact: Vec<f64> = (0..n)
-        .map(|i| data.iter().map(|f| f[i] as f64).sum())
-        .collect();
+    let exact: Vec<f64> = (0..n).map(|i| data.iter().map(|f| f[i] as f64).sum()).collect();
     for (i, v) in gathered.iter().enumerate() {
         assert!(
             ((*v as f64) - exact[i]).abs() <= nranks as f64 * 1e-4 + exact[i].abs() * 1e-6,

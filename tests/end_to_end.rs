@@ -26,8 +26,7 @@ fn every_dataset_roundtrips_within_bound_on_both_compressors() {
 
             // eb guaranteed in f64; the f32 reconstruction adds <= half an
             // ULP of the largest value
-            let tol = eb * (1.0 + 1e-9)
-                + q_ulp(&data) * f32::EPSILON as f64;
+            let tol = eb * (1.0 + 1e-9) + q_ulp(&data) * f32::EPSILON as f64;
 
             let s = fzlight::compress(&data, &cfg).unwrap();
             let out = fzlight::decompress(&s).unwrap();
@@ -71,32 +70,24 @@ fn all_kernels_agree_with_mpi_within_n_times_eb() {
     let nranks = 8;
     let eb = 1e-4;
     let base = App::Hurricane.generate(n, 5);
-    let fields: Vec<Vec<f32>> = (0..nranks)
-        .map(|r| base.iter().map(|&v| v * (1.0 + 0.01 * r as f32)).collect())
-        .collect();
+    let fields: Vec<Vec<f32>> =
+        (0..nranks).map(|r| base.iter().map(|&v| v * (1.0 + 0.01 * r as f32)).collect()).collect();
 
     let cluster = Cluster::new(nranks).with_timing(modeled());
-    let reference = cluster.run(|comm| {
-        Kernel::MpiOriginal
-            .allreduce(comm, &fields[comm.rank()], eb, 2)
-            .expect("mpi")
-    });
+    let reference = cluster
+        .run(|comm| Kernel::MpiOriginal.allreduce(comm, &fields[comm.rank()], eb, 2).expect("mpi"));
     for kernel in [
         Kernel::CCollSingleThread,
         Kernel::CCollMultiThread,
         Kernel::HzcclSingleThread,
         Kernel::HzcclMultiThread,
     ] {
-        let outcomes = cluster.run(|comm| {
-            kernel.allreduce(comm, &fields[comm.rank()], eb, 2).expect("kernel")
-        });
+        let outcomes = cluster
+            .run(|comm| kernel.allreduce(comm, &fields[comm.rank()], eb, 2).expect("kernel"));
         let tol = 2.0 * nranks as f64 * eb;
         for (o, r) in outcomes.iter().zip(&reference) {
             for (a, b) in o.value.iter().zip(&r.value) {
-                assert!(
-                    ((a - b).abs() as f64) <= tol,
-                    "{kernel}: {a} vs {b} (tol {tol})"
-                );
+                assert!(((a - b).abs() as f64) <= tol, "{kernel}: {a} vs {b} (tol {tol})");
             }
         }
     }
@@ -108,14 +99,12 @@ fn reduce_scatter_then_allgather_equals_allreduce_for_hzccl() {
     let nranks = 4;
     let eb = 1e-4;
     let base = App::SimSet2.generate(n, 1);
-    let fields: Vec<Vec<f32>> = (0..nranks)
-        .map(|r| base.iter().map(|&v| v + r as f32 * 0.01).collect())
-        .collect();
+    let fields: Vec<Vec<f32>> =
+        (0..nranks).map(|r| base.iter().map(|&v| v + r as f32 * 0.01).collect()).collect();
     let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
     let cluster = Cluster::new(nranks).with_timing(modeled());
-    let fused = cluster.run(|comm| {
-        hzccl::hz::allreduce(comm, &fields[comm.rank()], &cfg).expect("fused")
-    });
+    let fused =
+        cluster.run(|comm| hzccl::hz::allreduce(comm, &fields[comm.rank()], &cfg).expect("fused"));
     let staged = cluster.run(|comm| {
         let own = hzccl::hz::reduce_scatter(comm, &fields[comm.rank()], &cfg).expect("rs");
         hzccl::mpi::allgather(comm, &own, n)
@@ -194,8 +183,5 @@ fn costmodel_and_simulation_agree_on_the_winner() {
     assert!(t_hz < t_mpi, "simulation: hz {t_hz} vs mpi {t_mpi}");
     assert!(m_hz < m_mpi, "model: hz {m_hz} vs mpi {m_mpi}");
     // and the model tracks the simulated MPI time within 2x
-    assert!(
-        (m_mpi / t_mpi) < 2.0 && (t_mpi / m_mpi) < 2.0,
-        "model {m_mpi} vs sim {t_mpi}"
-    );
+    assert!((m_mpi / t_mpi) < 2.0 && (t_mpi / m_mpi) < 2.0, "model {m_mpi} vs sim {t_mpi}");
 }

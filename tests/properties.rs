@@ -1,69 +1,122 @@
-//! Property-based tests (proptest) on the core invariants:
-//! error-bounded round trips, homomorphic exactness, codec bijectivity and
-//! stream-format robustness under arbitrary inputs.
+//! Randomized property tests on the core invariants: error-bounded round
+//! trips, homomorphic exactness, codec bijectivity and stream-format
+//! robustness under arbitrary inputs.
+//!
+//! Uses a local deterministic xorshift generator instead of an external
+//! property-testing crate so the whole workspace builds offline from the
+//! standard library alone. Each property runs a fixed number of seeded
+//! cases; failures print the case index and seed so they reproduce exactly.
 
 use fzlight::{codec, compress, decompress, Config, ErrorBound};
-use proptest::prelude::*;
 
-/// Strategy: plausible scientific values spanning signs and magnitudes,
-/// always finite.
-fn field(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(
-        prop_oneof![
-            3 => -1.0e3f32..1.0e3f32,
-            1 => -1.0f32..1.0f32,
-            1 => Just(0.0f32),
-        ],
-        0..max_len,
-    )
+/// Deterministic xorshift64* PRNG — good enough statistical quality for
+/// generating test inputs, zero dependencies, fully reproducible.
+#[derive(Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.unit() * (hi - lo) as f64) as usize
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// Log-uniform f64 in `[lo, hi)` — matches how error bounds span
+    /// magnitudes.
+    fn log_uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        (self.f64_in(lo.ln(), hi.ln())).exp()
+    }
+
+    /// Plausible scientific field: values spanning signs and magnitudes,
+    /// always finite; ~3/5 large-range, ~1/5 unit-range, ~1/5 exact zeros.
+    fn field(&mut self, max_len: usize) -> Vec<f32> {
+        let n = self.range(0, max_len);
+        (0..n)
+            .map(|_| match self.next_u64() % 5 {
+                0..=2 => self.f64_in(-1.0e3, 1.0e3) as f32,
+                3 => self.f64_in(-1.0, 1.0) as f32,
+                _ => 0.0f32,
+            })
+            .collect()
+    }
+
+    fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let n = self.range(0, max_len);
+        (0..n).map(|_| self.next_u64() as u8).collect()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn fzlight_roundtrip_respects_bound(data in field(2000), eb in 1e-5f64..1e-1) {
+#[test]
+fn fzlight_roundtrip_respects_bound() {
+    let mut rng = Rng::new(0xF21);
+    for case in 0..CASES {
+        let data = rng.field(2000);
+        let eb = rng.log_uniform(1e-5, 1e-1);
         let cfg = Config::new(ErrorBound::Abs(eb)).with_threads(3);
         let stream = compress(&data, &cfg).unwrap();
         let out = decompress(&stream).unwrap();
-        prop_assert_eq!(out.len(), data.len());
+        assert_eq!(out.len(), data.len(), "case {case}");
         for (a, b) in data.iter().zip(&out) {
             let tol = eb * (1.0 + 1e-9) + (b.abs() as f64) * f32::EPSILON as f64;
-            prop_assert!(((a - b).abs() as f64) <= tol, "|{} - {}| > {}", a, b, tol);
+            assert!(((a - b).abs() as f64) <= tol, "case {case}: |{a} - {b}| > {tol} (eb {eb})");
         }
     }
+}
 
-    #[test]
-    fn ompszp_roundtrip_respects_bound(data in field(2000), eb in 1e-5f64..1e-1) {
+#[test]
+fn ompszp_roundtrip_respects_bound() {
+    let mut rng = Rng::new(0x052);
+    for case in 0..CASES {
+        let data = rng.field(2000);
+        let eb = rng.log_uniform(1e-5, 1e-1);
         let cfg = Config::new(ErrorBound::Abs(eb)).with_threads(2);
         let stream = ompszp::compress(&data, &cfg).unwrap();
         let out = ompszp::decompress(&stream).unwrap();
-        prop_assert_eq!(out.len(), data.len());
+        assert_eq!(out.len(), data.len(), "case {case}");
         for (a, b) in data.iter().zip(&out) {
             let tol = eb * (1.0 + 1e-9) + (b.abs() as f64) * f32::EPSILON as f64;
-            prop_assert!(((a - b).abs() as f64) <= tol);
+            assert!(((a - b).abs() as f64) <= tol, "case {case}: |{a} - {b}| > {tol}");
         }
     }
+}
 
-    /// The headline invariant: the homomorphic sum reconstructs from exactly
-    /// the sum of the quantization integers — no error beyond per-stream
-    /// quantization, bit-for-bit reproducible.
-    #[test]
-    fn homomorphic_sum_is_exact_on_integers(
-        a in field(1500),
-        b_seed in any::<u64>(),
-        eb in 1e-4f64..1e-1,
-    ) {
+/// The headline invariant: the homomorphic sum reconstructs from exactly
+/// the sum of the quantization integers — no error beyond per-stream
+/// quantization, bit-for-bit reproducible.
+#[test]
+fn homomorphic_sum_is_exact_on_integers() {
+    let mut rng = Rng::new(0x407);
+    for case in 0..CASES {
+        let a = rng.field(1500);
         let n = a.len();
-        let mut state = b_seed | 1;
         let b: Vec<f32> = (0..n)
-            .map(|_| {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                ((state >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 100.0
-            })
+            .map(|_| ((rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 100.0)
             .collect();
+        let eb = rng.log_uniform(1e-4, 1e-1);
         let cfg = Config::new(ErrorBound::Abs(eb)).with_threads(2);
         let ca = compress(&a, &cfg).unwrap();
         let cb = compress(&b, &cfg).unwrap();
@@ -73,66 +126,99 @@ proptest! {
         let ds = decompress(&hz).unwrap();
         let q = |v: f32| ((v as f64) / (2.0 * eb)).round() as i64;
         for i in 0..n {
-            prop_assert_eq!(q(ds[i]), q(da[i]) + q(db[i]), "at {}", i);
+            assert_eq!(q(ds[i]), q(da[i]) + q(db[i]), "case {case} at {i}");
         }
     }
+}
 
-    #[test]
-    fn homomorphic_sum_commutes(data in field(1000), eb in 1e-4f64..1e-2) {
+#[test]
+fn homomorphic_sum_commutes() {
+    let mut rng = Rng::new(0xC03);
+    for case in 0..CASES {
+        let data = rng.field(1000);
+        let eb = rng.log_uniform(1e-4, 1e-2);
         let shifted: Vec<f32> = data.iter().map(|v| v * 0.5 + 1.0).collect();
         let cfg = Config::new(ErrorBound::Abs(eb)).with_threads(2);
         let ca = compress(&data, &cfg).unwrap();
         let cb = compress(&shifted, &cfg).unwrap();
         let ab = hzdyn::homomorphic_sum(&ca, &cb).unwrap();
         let ba = hzdyn::homomorphic_sum(&cb, &ca).unwrap();
-        prop_assert_eq!(ab.as_bytes(), ba.as_bytes());
+        assert_eq!(ab.as_bytes(), ba.as_bytes(), "case {case}");
     }
+}
 
-    #[test]
-    fn codec_roundtrips_arbitrary_deltas(
-        deltas in prop::collection::vec(-(u32::MAX as i64)..=(u32::MAX as i64), 1..=64)
-    ) {
+#[test]
+fn codec_roundtrips_arbitrary_deltas() {
+    let mut rng = Rng::new(0xDE1);
+    for case in 0..CASES {
+        let len = rng.range(1, 65);
+        let deltas: Vec<i64> = (0..len)
+            .map(|_| {
+                let span = 2 * (u32::MAX as i64) + 1;
+                (rng.next_u64() % span as u64) as i64 - u32::MAX as i64
+            })
+            .collect();
         let mut buf = Vec::new();
         codec::encode_deltas(&deltas, &mut buf).unwrap();
         let mut out = vec![0i64; deltas.len()];
         let used = codec::decode_block(&buf, &mut out).unwrap();
-        prop_assert_eq!(used, buf.len());
-        prop_assert_eq!(out, deltas);
+        assert_eq!(used, buf.len(), "case {case}");
+        assert_eq!(out, deltas, "case {case}");
     }
+}
 
-    /// Parsing arbitrary bytes must never panic — it either errors or yields
-    /// a stream whose decompression is also panic-free.
-    #[test]
-    fn stream_parser_is_panic_free(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+/// Parsing arbitrary bytes must never panic — it either errors or yields
+/// a stream whose decompression is also panic-free.
+#[test]
+fn stream_parser_is_panic_free() {
+    let mut rng = Rng::new(0xABC);
+    for _ in 0..4 * CASES {
+        let bytes = rng.bytes(512);
         if let Ok(stream) = fzlight::CompressedStream::from_bytes(bytes) {
             let _ = decompress(&stream);
         }
     }
+}
 
-    /// Same for ompSZp.
-    #[test]
-    fn oszp_parser_is_panic_free(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+/// Same for ompSZp.
+#[test]
+fn oszp_parser_is_panic_free() {
+    let mut rng = Rng::new(0xABD);
+    for _ in 0..4 * CASES {
+        let bytes = rng.bytes(512);
         if let Ok(stream) = ompszp::OszpStream::from_bytes(bytes) {
             let _ = ompszp::decompress(&stream);
         }
     }
+}
 
-    /// Truncating a valid stream anywhere must error cleanly, never panic.
-    #[test]
-    fn truncated_streams_error_cleanly(cut_frac in 0.0f64..1.0, seed in any::<u64>()) {
-        let data: Vec<f32> = (0..500)
-            .map(|i| ((i as f32) * 0.1 + seed as f32 * 1e-9).sin())
-            .collect();
+/// Truncating a valid stream anywhere must error cleanly, never panic.
+#[test]
+fn truncated_streams_error_cleanly() {
+    let mut rng = Rng::new(0x7C7);
+    for case in 0..CASES {
+        let seed = rng.next_u64();
+        let data: Vec<f32> =
+            (0..500).map(|i| ((i as f32) * 0.1 + seed as f32 * 1e-9).sin()).collect();
         let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(2);
         let bytes = compress(&data, &cfg).unwrap().into_bytes();
-        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let cut = ((bytes.len() as f64) * rng.unit()) as usize;
         if cut < bytes.len() {
-            prop_assert!(fzlight::CompressedStream::from_bytes(bytes[..cut].to_vec()).is_err());
+            assert!(
+                fzlight::CompressedStream::from_bytes(bytes[..cut].to_vec()).is_err(),
+                "case {case}: truncation at {cut}/{} parsed",
+                bytes.len()
+            );
         }
     }
+}
 
-    #[test]
-    fn scale_distributes_over_sum(data in field(800), k in -5i32..=5) {
+#[test]
+fn scale_distributes_over_sum() {
+    let mut rng = Rng::new(0x5CA);
+    for case in 0..CASES {
+        let data = rng.field(800);
+        let k = (rng.next_u64() % 11) as i32 - 5;
         let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(2);
         let c = compress(&data, &cfg).unwrap();
         // k*(a+a) == (k*a) + (k*a) on the integers => byte-identical streams
@@ -143,7 +229,7 @@ proptest! {
         // overflow may occur on either path for extreme k; when both paths
         // succeed they must agree byte for byte
         if let (Ok(l), Ok(r)) = (left, right) {
-            prop_assert_eq!(l.as_bytes(), r.as_bytes());
+            assert_eq!(l.as_bytes(), r.as_bytes(), "case {case} (k {k})");
         }
     }
 }

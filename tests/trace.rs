@@ -1,0 +1,263 @@
+//! Flight-recorder invariants across every collective pipeline: the traced
+//! event stream must reconcile exactly with the live breakdown accounting,
+//! event times must be monotone, and the exporters must round-trip.
+
+use hzccl::{CollectiveConfig, Mode};
+use netsim::{trace, Cluster, ComputeTiming, Event, Json, OpKind, ThroughputModel, TraceConfig};
+
+fn modeled() -> ComputeTiming {
+    ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
+}
+
+fn field(rank: usize, n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i as f32) * 0.017).sin() * (rank + 1) as f32 * 1.3).collect()
+}
+
+/// Run `f` on a traced cluster and assert, for every rank, that
+/// (a) the trace-reconstructed breakdown matches the live breakdown in every
+///     bucket to 1e-9,
+/// (b) event start times are non-decreasing,
+/// (c) the sum of recv waits equals the `mpi` bucket, and
+/// (d) no event extends past the rank's final clock.
+fn assert_trace_reconciles<F>(nranks: usize, what: &str, f: F) -> Vec<trace::RankTrace>
+where
+    F: Fn(&mut netsim::Comm) + Sync,
+{
+    let cluster = Cluster::new(nranks).with_timing(modeled()).with_trace(TraceConfig::default());
+    let outcomes = cluster.run(|comm| f(comm));
+    let mut traces = Vec::new();
+    for o in outcomes {
+        let t = o.trace.expect("tracing was enabled");
+        let rank = t.rank;
+        let live = o.breakdown;
+        let rec = t.reconstructed_breakdown();
+        for (bucket, a, b) in [
+            ("cpr", live.cpr, rec.cpr),
+            ("dpr", live.dpr, rec.dpr),
+            ("hpr", live.hpr, rec.hpr),
+            ("cpt", live.cpt, rec.cpt),
+            ("other", live.other, rec.other),
+            ("mpi", live.mpi, rec.mpi),
+        ] {
+            assert!(
+                (a - b).abs() <= 1e-9,
+                "{what} rank {rank}: {bucket} live {a} vs reconstructed {b}"
+            );
+        }
+        let mut prev = 0.0f64;
+        for ev in &t.events {
+            assert!(
+                ev.start() >= prev - 1e-12,
+                "{what} rank {rank}: event starts went backwards ({} < {prev})",
+                ev.start()
+            );
+            prev = prev.max(ev.start());
+        }
+        assert!(
+            (t.wait_seconds() - live.mpi).abs() <= 1e-9,
+            "{what} rank {rank}: wait sum {} vs mpi {}",
+            t.wait_seconds(),
+            live.mpi
+        );
+        assert!(
+            t.end_time() <= o.elapsed + 1e-12,
+            "{what} rank {rank}: event past the final clock"
+        );
+        traces.push(t);
+    }
+    traces
+}
+
+#[test]
+fn mpi_allreduce_trace_reconciles() {
+    assert_trace_reconciles(5, "mpi", |comm| {
+        let data = field(comm.rank(), 1200);
+        hzccl::mpi::allreduce(comm, &data, 1);
+    });
+}
+
+#[test]
+fn ccoll_allreduce_trace_reconciles() {
+    let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    assert_trace_reconciles(4, "ccoll", |comm| {
+        let data = field(comm.rank(), 1500);
+        hzccl::ccoll::allreduce(comm, &data, &cfg).expect("ccoll");
+    });
+}
+
+#[test]
+fn hz_allreduce_trace_reconciles_st_and_mt() {
+    for mode in [Mode::SingleThread, Mode::MultiThread(2)] {
+        let cfg = CollectiveConfig::new(1e-4, mode);
+        assert_trace_reconciles(4, "hz", |comm| {
+            let data = field(comm.rank(), 2000);
+            hzccl::hz::allreduce(comm, &data, &cfg).expect("hz");
+        });
+    }
+}
+
+#[test]
+fn rd_hz_trace_reconciles_non_power_of_two() {
+    let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    assert_trace_reconciles(6, "rd-hz", |comm| {
+        let data = field(comm.rank(), 800);
+        hzccl::rd::allreduce_rd_hz(comm, &data, &cfg).expect("rd hz");
+    });
+}
+
+#[test]
+fn hz_reduce_and_bcast_traces_reconcile() {
+    let cfg = CollectiveConfig::new(1e-3, Mode::SingleThread);
+    assert_trace_reconciles(5, "hz-reduce", |comm| {
+        let data = field(comm.rank(), 900);
+        hzccl::hz::reduce(comm, &data, 0, &cfg).expect("reduce");
+    });
+    let base = field(7, 900);
+    assert_trace_reconciles(5, "hz-bcast", |comm| {
+        let data = if comm.rank() == 1 { base.clone() } else { Vec::new() };
+        hzccl::hz::bcast(comm, &data, 1, 900, &cfg).expect("bcast");
+    });
+}
+
+#[test]
+fn compressed_sends_carry_logical_bytes() {
+    let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    let traces = assert_trace_reconciles(4, "hz-ratio", |comm| {
+        let data = field(comm.rank(), 4096);
+        hzccl::hz::allreduce(comm, &data, &cfg).expect("hz");
+    });
+    let mut compressed_sends = 0usize;
+    for t in &traces {
+        for ev in &t.events {
+            if let Event::Send { wire_bytes, logical_bytes, .. } = *ev {
+                assert!(logical_bytes >= wire_bytes, "hz wire must not exceed logical");
+                if logical_bytes > wire_bytes {
+                    compressed_sends += 1;
+                }
+            }
+        }
+    }
+    assert!(compressed_sends > 0, "hz traffic should be compressed on the wire");
+}
+
+#[test]
+fn chrome_export_round_trips_every_event() {
+    let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    let traces = assert_trace_reconciles(3, "chrome", |comm| {
+        let data = field(comm.rank(), 600);
+        hzccl::hz::allreduce(comm, &data, &cfg).expect("hz");
+    });
+    let text = trace::chrome_trace(&traces);
+    let doc = Json::parse(&text).expect("chrome trace is valid JSON");
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let total_events: usize = traces.iter().map(|t| t.events.len()).sum();
+    let complete: Vec<&Json> =
+        events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
+    assert_eq!(complete.len(), total_events, "one X entry per recorded event");
+    let meta = events.len() - complete.len();
+    assert_eq!(meta, traces.len(), "one process_name metadata entry per rank");
+    // every complete event belongs to a valid rank and has sane timing
+    for e in complete {
+        let pid = e.get("pid").unwrap().as_f64().unwrap() as usize;
+        assert!(pid < traces.len());
+        assert!(e.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(e.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(e.get("args").is_some());
+    }
+}
+
+#[test]
+fn ascii_timeline_renders_all_ranks() {
+    let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    let traces = assert_trace_reconciles(4, "ascii", |comm| {
+        let data = field(comm.rank(), 3000);
+        hzccl::hz::allreduce(comm, &data, &cfg).expect("hz");
+    });
+    let art = trace::ascii_timeline(&traces, 80);
+    for r in 0..4 {
+        assert!(art.contains(&format!("rank {r:>3} |")), "{art}");
+    }
+    assert!(art.contains("legend:"), "{art}");
+    assert!(art.contains('C'), "compression must be visible: {art}");
+}
+
+#[test]
+fn untraced_runs_carry_no_trace() {
+    let cluster = Cluster::new(2).with_timing(modeled());
+    let outcomes = cluster.run(|comm| {
+        let data = field(comm.rank(), 256);
+        hzccl::mpi::allreduce(comm, &data, 1);
+    });
+    for o in outcomes {
+        assert!(o.trace.is_none(), "tracing must be off by default");
+    }
+}
+
+#[test]
+fn registry_record_run_matches_trace_sums() {
+    let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    let cluster = Cluster::new(4).with_timing(modeled()).with_trace(TraceConfig::default());
+    let outcomes = cluster.run(|comm| {
+        let data = field(comm.rank(), 2000);
+        hzccl::hz::allreduce(comm, &data, &cfg).expect("hz");
+    });
+    let mut reg = netsim::Registry::new();
+    reg.record_run(&outcomes);
+
+    // messages_total equals Send events; wire bytes match
+    let (mut sends, mut wire, mut cpr) = (0u64, 0u64, 0.0f64);
+    for o in &outcomes {
+        let t = o.trace.as_ref().unwrap();
+        for ev in &t.events {
+            if let Event::Send { wire_bytes, .. } = *ev {
+                sends += 1;
+                wire += wire_bytes as u64;
+            }
+        }
+        cpr += t.seconds(OpKind::Cpr);
+    }
+    assert_eq!(reg.counter("hz_messages_total"), Some(sends));
+    assert_eq!(reg.counter("hz_wire_bytes_total"), Some(wire));
+    let got = reg.gauge("hz_op_seconds{kind=\"cpr\"}").unwrap();
+    assert!((got - cpr).abs() <= 1e-9, "{got} vs {cpr}");
+    assert!(reg.histogram("hz_step_compression_ratio").unwrap().count > 0);
+    assert!(reg.gauge("hz_makespan_seconds").unwrap() > 0.0);
+}
+
+/// Golden rendering: a hand-fed registry renders byte-for-byte stably (the
+/// contract `hzc sim --metrics` output and the JSON snapshots rely on).
+#[test]
+fn metrics_text_rendering_is_golden() {
+    let mut r = netsim::Registry::new();
+    r.inc("hz_messages_total", 3);
+    r.inc("hz_step_calls_total{label=\"hz:compress-all\"}", 2);
+    r.inc("hz_step_calls_total{label=\"hz:homomorphic-sum\"}", 4);
+    r.add("hz_op_seconds{kind=\"cpr\"}", 0.5);
+    r.set_max("hz_makespan_seconds", 1.25);
+    r.observe("hz_message_wire_bytes", 3.0);
+    r.observe("hz_message_wire_bytes", 4.0);
+    r.observe("hz_message_wire_bytes", 0.0);
+    let expect = "\
+# TYPE hz_messages_total counter
+hz_messages_total 3
+# TYPE hz_step_calls_total counter
+hz_step_calls_total{label=\"hz:compress-all\"} 2
+hz_step_calls_total{label=\"hz:homomorphic-sum\"} 4
+# TYPE hz_makespan_seconds gauge
+hz_makespan_seconds 1.25
+# TYPE hz_op_seconds gauge
+hz_op_seconds{kind=\"cpr\"} 0.5
+# TYPE hz_message_wire_bytes histogram
+hz_message_wire_bytes_bucket{le=\"0\"} 1
+hz_message_wire_bytes_bucket{le=\"4\"} 3
+hz_message_wire_bytes_bucket{le=\"+Inf\"} 3
+hz_message_wire_bytes_sum 7
+hz_message_wire_bytes_count 3
+";
+    assert_eq!(r.render_prometheus(), expect);
+
+    let json = r.to_json().render();
+    let doc = Json::parse(&json).expect("snapshot parses");
+    assert_eq!(doc.get("counters").unwrap().get("hz_messages_total").unwrap().as_f64(), Some(3.0));
+    assert_eq!(doc.get("gauges").unwrap().get("hz_makespan_seconds").unwrap().as_f64(), Some(1.25));
+}
