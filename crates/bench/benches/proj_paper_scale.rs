@@ -35,7 +35,8 @@ fn main() {
             let s = Scenario { thr: paper_model(variant, mode), ..base };
             match variant {
                 Variant::CColl => allreduce_ccoll(&s),
-                Variant::Hzccl => allreduce_hzccl(&s),
+                // Auto dispatches to a static flavour; at this size it is hz.
+                Variant::Hzccl | Variant::Auto => allreduce_hzccl(&s),
                 Variant::Mpi => allreduce_mpi(&s),
             }
         };

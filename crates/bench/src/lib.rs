@@ -82,6 +82,7 @@ pub fn timing_for(variant: Variant, mode: Mode, sample: &[f32], eb: f64) -> Comp
             Variant::Mpi => 0u8,
             Variant::CColl => 1,
             Variant::Hzccl => 2,
+            Variant::Auto => 3,
         },
         mode.threads(),
     );
@@ -89,8 +90,10 @@ pub fn timing_for(variant: Variant, mode: Mode, sample: &[f32], eb: f64) -> Comp
     let cache = guard.get_or_insert_with(HashMap::new);
     let model = *cache.entry(key).or_insert_with(|| match variant {
         Variant::CColl => hzccl::calibrate_doc(sample, &cfg),
-        // MPI only exercises Cpt/Other; the hz calibration covers those
-        Variant::Mpi | Variant::Hzccl => hzccl::calibrate_hz(sample, &cfg),
+        // MPI only exercises Cpt/Other; the hz calibration covers those.
+        // Auto may dispatch to any flavour — time it against the hz table
+        // (the conservative choice for its headline path).
+        Variant::Mpi | Variant::Hzccl | Variant::Auto => hzccl::calibrate_hz(sample, &cfg),
     });
     ComputeTiming::Modeled(model)
 }

@@ -1,0 +1,500 @@
+//! The auto-selecting front-end ([`Variant::Auto`](crate::Variant)): one
+//! rank consults the [`tuner::Engine`], every rank executes the agreed plan.
+//!
+//! A collective only works if *all* ranks run the same algorithm — a rank
+//! doing a compressed ring while its neighbour does recursive doubling
+//! deadlocks on mismatched tags. But the inputs that drive the decision
+//! (most importantly the probed compression ratio) are rank-local. The
+//! protocol here is the standard one:
+//!
+//! 1. a fixed **decider** rank (rank 0, or the root for rooted ops) probes
+//!    its own data, asks the engine for a [`Decision`], and
+//! 2. broadcasts the winning [`Plan`] in its fixed 8-byte wire encoding
+//!    ([`Plan::encode`]) on the reserved [`TAG_PLAN`] tag, then
+//! 3. every rank dispatches to the chosen static implementation
+//!    ([`crate::mpi`] / [`crate::ccoll`] / [`crate::hz`] / [`crate::rd`]).
+//!
+//! The probe compression is charged to the virtual clock as
+//! [`OpKind::Other`] (label `auto:probe`) and the plan broadcast is a real
+//! simulated message, so auto's overhead is visible in breakdowns and
+//! timelines instead of being smuggled in for free.
+
+use crate::config::{CollectiveConfig, Mode};
+use crate::{ccoll, hz, mpi, rd};
+use fzlight::{Config as FzConfig, ErrorBound, Result};
+use netsim::{Comm, OpKind};
+use tuner::{Algo, Decision, Engine, Flavor, Op, Plan, ScenarioSpec, ThreadMode};
+
+/// Reserved tag namespace for the plan broadcast (ring uses `0/1<<32`,
+/// gather/scatter `2..=4 <<32`, rd `5/6<<32`).
+pub const TAG_PLAN: u64 = 7 << 32;
+
+/// Elements probe-compressed to estimate the scenario's compression ratio.
+/// 16 Ki `f32` (64 KiB) keeps the probe ~1% of a megabyte-class message
+/// while spanning thousands of compressor blocks.
+pub const PROBE_ELEMS: usize = 1 << 14;
+
+/// What an auto collective returns: the reduced/broadcast value plus the
+/// plan every rank agreed on — and, on the decider rank only, the scenario
+/// it saw and the engine's full ranked decision (for `hzc sim`'s "why"
+/// output and for feeding measurements back via
+/// [`tuner::Engine::observe_measurement`]).
+#[derive(Debug, Clone)]
+pub struct AutoOutcome<T> {
+    /// The collective's result (same shape as the static flavour returns).
+    pub value: T,
+    /// The plan all ranks executed.
+    pub plan: Plan,
+    /// Decider-rank extras: `(scenario, decision)`; `None` elsewhere.
+    pub detail: Option<(ScenarioSpec, Decision)>,
+}
+
+/// The [`Mode`] a plan's thread mode maps to.
+fn mode_of(plan: &Plan) -> Mode {
+    match plan.mode {
+        ThreadMode::St => Mode::SingleThread,
+        ThreadMode::Mt(k) => Mode::MultiThread(k),
+    }
+}
+
+/// The per-call config the plan implies: caller's error bound, plan's block
+/// length and thread mode.
+fn cfg_for(plan: &Plan, base: &CollectiveConfig) -> CollectiveConfig {
+    CollectiveConfig { eb: base.eb, block_len: plan.block_len, mode: mode_of(plan) }
+}
+
+/// Probe-compress a sample of `data` at each candidate block length and
+/// return `(block_len, ratio)` estimates. Empty data (non-root ranks of a
+/// bcast never call this) or failing compression degrade to ratio 1.0 —
+/// "incompressible" is the safe direction, it can only steer the engine
+/// toward plain MPI.
+fn probe_ratios(
+    comm: &mut Comm,
+    data: &[f32],
+    eb: f64,
+    blocks: &[usize],
+    threads: usize,
+) -> Vec<(usize, f64)> {
+    if data.is_empty() {
+        return blocks.iter().map(|&b| (b, 1.0)).collect();
+    }
+    let sample = &data[..data.len().min(PROBE_ELEMS)];
+    let logical = sample.len() * 4;
+    blocks
+        .iter()
+        .map(|&b| {
+            let fz = FzConfig::new(ErrorBound::Abs(eb)).with_block_len(b).with_threads(threads);
+            let ratio = comm.compute_labeled(OpKind::Other, logical, "auto:probe", || {
+                fzlight::compress(sample, &fz)
+                    .map(|s| logical as f64 / s.compressed_size().max(1) as f64)
+                    .unwrap_or(1.0)
+            });
+            (b, ratio.max(1.0))
+        })
+        .collect()
+}
+
+/// Build the scenario the engine is asked about, probing `data` for its
+/// compressibility at every candidate block length.
+pub fn scenario(
+    comm: &mut Comm,
+    engine: &Engine,
+    op: Op,
+    elems: usize,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+) -> ScenarioSpec {
+    let ratios = probe_ratios(comm, data, cfg.eb, &engine.block_candidates, cfg.mode.threads());
+    ScenarioSpec { op, elems, nranks: comm.size(), eb: cfg.eb, ratios }
+}
+
+/// Decide on `decider`, broadcast the 8-byte plan down a binomial tree
+/// (`ceil(log2 N)` latency rounds instead of the linear `N-1` a naive
+/// send-to-all would cost — at 64 ranks that is 6 alpha charges, not 63),
+/// decode everywhere. Returns the agreed plan plus the decider's
+/// `(scenario, decision)`.
+pub fn agree_on_plan(
+    comm: &mut Comm,
+    engine: &Engine,
+    op: Op,
+    elems: usize,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+    decider: usize,
+) -> (Plan, Option<(ScenarioSpec, Decision)>) {
+    let n = comm.size();
+    let r = comm.rank();
+    // Position in the tree, relative to the decider (which sits at 0).
+    let rel = (r + n - decider) % n;
+    let (wire, detail) = if rel == 0 {
+        let spec = scenario(comm, engine, op, elems, data, cfg);
+        let decision = engine.decide(&spec);
+        (decision.plan.encode().to_vec(), Some((spec, decision)))
+    } else {
+        // parent strips the highest set bit of our relative id
+        let parent_rel = rel - (1 << rel.ilog2());
+        let parent = (parent_rel + decider) % n;
+        (comm.recv(parent, TAG_PLAN), None)
+    };
+    // forward to children: rel + 2^k for every k above our own highest bit
+    let mut k = if rel == 0 { 0 } else { rel.ilog2() + 1 };
+    loop {
+        let child_rel = rel + (1usize << k);
+        if child_rel >= n {
+            break;
+        }
+        comm.send((child_rel + decider) % n, TAG_PLAN, wire.clone());
+        k += 1;
+    }
+    let plan = Plan::decode(&wire).expect("auto: malformed plan broadcast");
+    (plan, detail)
+}
+
+/// Execute an already-agreed `Allreduce` plan (the zero-overhead path for
+/// iterative workloads that decided once and reuse the plan; see
+/// [`Session`]). Every rank must pass the *same* plan.
+pub fn allreduce_planned(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+    plan: &Plan,
+) -> Result<Vec<f32>> {
+    let pcfg = cfg_for(plan, cfg);
+    Ok(match (plan.flavor, plan.algo) {
+        (Flavor::Mpi, Algo::Ring) => mpi::allreduce(comm, data, pcfg.mode.threads()),
+        (Flavor::Mpi, Algo::Rd) => rd::allreduce_rd(comm, data, pcfg.mode.threads()),
+        (Flavor::CColl, _) => ccoll::allreduce(comm, data, &pcfg)?,
+        (Flavor::Hzccl, Algo::Ring) => hz::allreduce(comm, data, &pcfg)?,
+        (Flavor::Hzccl, Algo::Rd) => rd::allreduce_rd_hz(comm, data, &pcfg)?,
+    })
+}
+
+/// Execute an already-agreed `Reduce_scatter` plan. Returns the own chunk.
+pub fn reduce_scatter_planned(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+    plan: &Plan,
+) -> Result<Vec<f32>> {
+    let pcfg = cfg_for(plan, cfg);
+    Ok(match plan.flavor {
+        Flavor::Mpi => mpi::reduce_scatter(comm, data, pcfg.mode.threads()),
+        Flavor::CColl => ccoll::reduce_scatter(comm, data, &pcfg)?,
+        Flavor::Hzccl => hz::reduce_scatter(comm, data, &pcfg)?,
+    })
+}
+
+/// Execute an already-agreed `Reduce` plan.
+pub fn reduce_planned(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    cfg: &CollectiveConfig,
+    plan: &Plan,
+) -> Result<Option<Vec<f32>>> {
+    let pcfg = cfg_for(plan, cfg);
+    Ok(match plan.flavor {
+        Flavor::Mpi => mpi::reduce(comm, data, root, pcfg.mode.threads()),
+        Flavor::CColl => ccoll::reduce(comm, data, root, &pcfg)?,
+        Flavor::Hzccl => hz::reduce(comm, data, root, &pcfg)?,
+    })
+}
+
+/// Execute an already-agreed `Bcast` plan.
+pub fn bcast_planned(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    total_len: usize,
+    cfg: &CollectiveConfig,
+    plan: &Plan,
+) -> Result<Vec<f32>> {
+    let pcfg = cfg_for(plan, cfg);
+    Ok(match plan.flavor {
+        Flavor::Mpi => mpi::bcast(comm, data, root, total_len),
+        Flavor::CColl => ccoll::bcast(comm, data, root, total_len, &pcfg)?,
+        Flavor::Hzccl => hz::bcast(comm, data, root, total_len, &pcfg)?,
+    })
+}
+
+/// Auto ring/rd `Allreduce(sum)`: rank 0 decides.
+pub fn allreduce(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+    engine: &Engine,
+) -> Result<AutoOutcome<Vec<f32>>> {
+    let (plan, detail) = agree_on_plan(comm, engine, Op::Allreduce, data.len(), data, cfg, 0);
+    let value = allreduce_planned(comm, data, cfg, &plan)?;
+    Ok(AutoOutcome { value, plan, detail })
+}
+
+/// Auto ring `Reduce_scatter(sum)`: rank 0 decides. Returns the own chunk.
+pub fn reduce_scatter(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+    engine: &Engine,
+) -> Result<AutoOutcome<Vec<f32>>> {
+    let (plan, detail) = agree_on_plan(comm, engine, Op::ReduceScatter, data.len(), data, cfg, 0);
+    let value = reduce_scatter_planned(comm, data, cfg, &plan)?;
+    Ok(AutoOutcome { value, plan, detail })
+}
+
+/// Auto `Reduce(sum)` to `root`: the root decides (it holds the result, and
+/// with it the strongest interest in the plan). Returns `Some(sum)` on the
+/// root, `None` elsewhere.
+pub fn reduce(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    cfg: &CollectiveConfig,
+    engine: &Engine,
+) -> Result<AutoOutcome<Option<Vec<f32>>>> {
+    let (plan, detail) = agree_on_plan(comm, engine, Op::Reduce, data.len(), data, cfg, root);
+    let value = reduce_planned(comm, data, root, cfg, &plan)?;
+    Ok(AutoOutcome { value, plan, detail })
+}
+
+/// Auto long-message `Bcast` from `root`: the root decides (only it holds
+/// the data to probe). `data` is the root's full vector (ignored elsewhere);
+/// every rank receives the whole `total_len` vector back.
+pub fn bcast(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    total_len: usize,
+    cfg: &CollectiveConfig,
+    engine: &Engine,
+) -> Result<AutoOutcome<Vec<f32>>> {
+    let (plan, detail) = agree_on_plan(comm, engine, Op::Bcast, total_len, data, cfg, root);
+    let value = bcast_planned(comm, data, root, total_len, cfg, &plan)?;
+    Ok(AutoOutcome { value, plan, detail })
+}
+
+/// Per-rank plan memo for iterative workloads: the first call for a scenario
+/// bucket pays the probe + agreement; repeats hit the memo and dispatch with
+/// **zero** extra traffic. Correct because [`ScenarioSpec::bucket_key`]
+/// depends only on rank-identical quantities (op, size, rank count, error
+/// bound) — every rank hits or misses the memo in lockstep, so no rank
+/// blocks in an agreement round its peers skipped.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    plans: std::collections::BTreeMap<String, Plan>,
+}
+
+impl Session {
+    /// An empty session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Bucket key for a call shape (rank-identical by construction).
+    fn key(op: Op, elems: usize, nranks: usize, eb: f64) -> String {
+        ScenarioSpec::new(op, elems, nranks, eb, 1, 1.0).bucket_key()
+    }
+
+    /// Memoized auto `Allreduce`: agreement on first use per bucket only.
+    pub fn allreduce(
+        &mut self,
+        comm: &mut Comm,
+        data: &[f32],
+        cfg: &CollectiveConfig,
+        engine: &Engine,
+    ) -> Result<AutoOutcome<Vec<f32>>> {
+        let key = Session::key(Op::Allreduce, data.len(), comm.size(), cfg.eb);
+        if let Some(&plan) = self.plans.get(&key) {
+            let value = allreduce_planned(comm, data, cfg, &plan)?;
+            return Ok(AutoOutcome { value, plan, detail: None });
+        }
+        let out = allreduce(comm, data, cfg, engine)?;
+        self.plans.insert(key, out.plan);
+        Ok(out)
+    }
+
+    /// Memoized auto `Reduce_scatter`.
+    pub fn reduce_scatter(
+        &mut self,
+        comm: &mut Comm,
+        data: &[f32],
+        cfg: &CollectiveConfig,
+        engine: &Engine,
+    ) -> Result<AutoOutcome<Vec<f32>>> {
+        let key = Session::key(Op::ReduceScatter, data.len(), comm.size(), cfg.eb);
+        if let Some(&plan) = self.plans.get(&key) {
+            let value = reduce_scatter_planned(comm, data, cfg, &plan)?;
+            return Ok(AutoOutcome { value, plan, detail: None });
+        }
+        let out = reduce_scatter(comm, data, cfg, engine)?;
+        self.plans.insert(key, out.plan);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{Cluster, ComputeTiming};
+    use tuner::DecisionSource;
+
+    fn engine() -> Engine {
+        Engine::paper()
+    }
+
+    fn modeled() -> ComputeTiming {
+        ComputeTiming::Modeled(tuner::paper_prior(Flavor::Hzccl, false))
+    }
+
+    fn field(rank: usize, n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.003).sin() * (1.0 + rank as f32 * 0.01)).collect()
+    }
+
+    fn exact_sum(nranks: usize, n: usize) -> Vec<f32> {
+        let mut acc = vec![0f32; n];
+        for r in 0..nranks {
+            for (a, b) in acc.iter_mut().zip(field(r, n)) {
+                *a += b;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn auto_allreduce_agrees_and_is_correct() {
+        let nranks = 4;
+        let n = 1 << 14;
+        let eb = 1e-3;
+        let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+        let eng = engine();
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            allreduce(comm, &data, &cfg, &eng).expect("auto allreduce")
+        });
+        // every rank executed the same plan …
+        let plan = outcomes[0].value.plan;
+        assert!(outcomes.iter().all(|o| o.value.plan == plan), "plan mismatch across ranks");
+        // … only the decider carries the explanation …
+        assert!(outcomes[0].value.detail.is_some());
+        assert!(outcomes[1..].iter().all(|o| o.value.detail.is_none()));
+        // … and the result is the error-bounded sum on every rank.
+        let exact = exact_sum(nranks, n);
+        for o in &outcomes {
+            let max_err = o
+                .value
+                .value
+                .iter()
+                .zip(&exact)
+                .map(|(a, b)| (a - b).abs() as f64)
+                .fold(0.0, f64::max);
+            assert!(max_err <= nranks as f64 * eb + 1e-9, "err {max_err}");
+        }
+    }
+
+    #[test]
+    fn small_allreduce_takes_the_rd_shortcut() {
+        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+        let eng = engine();
+        let cluster = Cluster::new(4).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), 256); // 1 KiB << small_message_bytes
+            allreduce(comm, &data, &cfg, &eng).expect("auto allreduce")
+        });
+        assert_eq!(outcomes[0].value.plan.algo, Algo::Rd);
+        let (_, d) = outcomes[0].value.detail.as_ref().unwrap();
+        assert_eq!(d.source, DecisionSource::SmallMessage);
+    }
+
+    #[test]
+    fn auto_reduce_and_bcast_use_the_root_as_decider() {
+        let nranks = 4;
+        let n = 4096;
+        let root = 2;
+        let eb = 1e-3;
+        let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+        let eng = engine();
+
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            reduce(comm, &data, root, &cfg, &eng).expect("auto reduce")
+        });
+        let exact = exact_sum(nranks, n);
+        for (r, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.value.detail.is_some(), r == root, "only the root explains");
+            match (&o.value.value, r == root) {
+                (Some(sum), true) => {
+                    let max_err = sum
+                        .iter()
+                        .zip(&exact)
+                        .map(|(a, b)| (a - b).abs() as f64)
+                        .fold(0.0, f64::max);
+                    assert!(max_err <= nranks as f64 * eb + 1e-9, "err {max_err}");
+                }
+                (None, false) => {}
+                other => panic!("reduce value/root mismatch at rank {r}: {:?}", other.1),
+            }
+        }
+
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = if comm.rank() == root { field(root, n) } else { Vec::new() };
+            bcast(comm, &data, root, n, &cfg, &eng).expect("auto bcast")
+        });
+        let want = field(root, n);
+        for o in &outcomes {
+            let max_err = o
+                .value
+                .value
+                .iter()
+                .zip(&want)
+                .map(|(a, b)| (a - b).abs() as f64)
+                .fold(0.0, f64::max);
+            assert!(max_err <= eb + 1e-9, "bcast err {max_err}");
+        }
+    }
+
+    #[test]
+    fn session_amortizes_the_agreement() {
+        let nranks = 8;
+        let n = 1 << 14;
+        let cfg = CollectiveConfig::new(1e-3, Mode::SingleThread);
+        let eng = engine();
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            let mut session = Session::new();
+            let cold = session.allreduce(comm, &data, &cfg, &eng).expect("cold");
+            let cold_elapsed = comm.elapsed();
+            comm.reset_clock();
+            let warm = session.allreduce(comm, &data, &cfg, &eng).expect("warm");
+            (cold, cold_elapsed, warm, comm.elapsed())
+        });
+        for o in &outcomes {
+            let (cold, cold_elapsed, warm, warm_elapsed) = &o.value;
+            assert_eq!(cold.plan, warm.plan, "memo must replay the agreed plan");
+            assert!(warm.detail.is_none(), "warm calls never re-decide");
+            assert!(
+                warm_elapsed < cold_elapsed,
+                "warm {warm_elapsed} must undercut cold {cold_elapsed} (no probe, no broadcast)"
+            );
+        }
+        // decider's detail only on the cold call of rank 0
+        assert!(outcomes[0].value.0.detail.is_some());
+    }
+
+    #[test]
+    fn auto_reduce_scatter_matches_static_result_shape() {
+        let nranks = 4;
+        let n = 4096;
+        let cfg = CollectiveConfig::new(1e-3, Mode::SingleThread);
+        let eng = engine();
+        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            reduce_scatter(comm, &data, &cfg, &eng).expect("auto reduce_scatter")
+        });
+        let total: usize = outcomes.iter().map(|o| o.value.value.len()).sum();
+        assert_eq!(total, n, "chunks tile the vector");
+    }
+}

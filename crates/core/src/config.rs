@@ -33,6 +33,42 @@ pub enum Variant {
     CColl,
     /// hZCCL with fZ-light + hZ-dynamic.
     Hzccl,
+    /// Let the tuner pick per call (see [`crate::auto`]): one rank ranks the
+    /// static flavours with `tuner::Engine` and broadcasts the winning plan.
+    Auto,
+}
+
+impl Variant {
+    /// Stable lowercase name (CLI, cache keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Mpi => "mpi",
+            Variant::CColl => "ccoll",
+            Variant::Hzccl => "hz",
+            Variant::Auto => "auto",
+        }
+    }
+
+    /// Parse the stable name back.
+    pub fn parse(name: &str) -> Option<Variant> {
+        Some(match name {
+            "mpi" => Variant::Mpi,
+            "ccoll" => Variant::CColl,
+            "hz" => Variant::Hzccl,
+            "auto" => Variant::Auto,
+            _ => return None,
+        })
+    }
+
+    /// The `tuner` flavour this variant corresponds to ([`Variant::Auto`]
+    /// maps to hZCCL, its prior before any evidence arrives).
+    pub fn flavor(self) -> tuner::Flavor {
+        match self {
+            Variant::Mpi => tuner::Flavor::Mpi,
+            Variant::CColl => tuner::Flavor::CColl,
+            Variant::Hzccl | Variant::Auto => tuner::Flavor::Hzccl,
+        }
+    }
 }
 
 /// Parameters shared by every rank of a compression-accelerated collective.
@@ -140,16 +176,13 @@ fn calibrate_common(sample: &[f32], threads: usize, out: &mut [f32]) -> (f64, f6
 /// compressor, which matches fZ-light single-threaded but scales far worse
 /// (Fig. 2's 52% MT DOC share). `HZ_PAPER_MODEL=1` selects these in the
 /// benches, reproducing the paper's operating regime on any host.
+///
+/// The constants themselves live in [`tuner::paper_prior`] — the tuner's
+/// calibration tables seed from the same source of truth — and this function
+/// merely translates [`Variant`]/[`Mode`] into the tuner's vocabulary.
+/// [`Variant::Auto`] reports the hZCCL table (its prior before evidence).
 pub fn paper_model(variant: Variant, mode: Mode) -> ThroughputModel {
-    match (variant, mode) {
-        (Variant::Mpi, _) => ThroughputModel::new(1.0, 1.0, 1.0, 50.0, 108.0),
-        (Variant::CColl, Mode::SingleThread) => ThroughputModel::new(1.7, 3.0, 3.0, 2.8, 6.0),
-        (Variant::CColl, Mode::MultiThread(_)) => ThroughputModel::new(4.0, 7.0, 7.0, 50.0, 108.0),
-        (Variant::Hzccl, Mode::SingleThread) => ThroughputModel::new(1.7, 3.3, 9.7, 2.8, 6.0),
-        (Variant::Hzccl, Mode::MultiThread(_)) => {
-            ThroughputModel::new(30.0, 60.0, 175.0, 50.0, 108.0)
-        }
-    }
+    tuner::paper_prior(variant.flavor(), matches!(mode, Mode::MultiThread(_)))
 }
 
 #[cfg(test)]
@@ -181,6 +214,27 @@ mod tests {
         assert!(doc.gbps.iter().all(|&g| g > 0.0), "{doc:?}");
         // the co-designed homomorphic path must beat the DOC pipeline
         assert!(hz.gbps[2] > 1.0 / (1.0 / doc.gbps[0] + 1.0 / doc.gbps[1]));
+    }
+
+    #[test]
+    fn variant_names_roundtrip_and_auto_maps_to_hz_prior() {
+        for v in [Variant::Mpi, Variant::CColl, Variant::Hzccl, Variant::Auto] {
+            assert_eq!(Variant::parse(v.name()), Some(v));
+        }
+        assert_eq!(Variant::parse("warp"), None);
+        // Auto's prior is the hZCCL table in both modes.
+        for mode in [Mode::SingleThread, Mode::MultiThread(18)] {
+            assert_eq!(paper_model(Variant::Auto, mode), paper_model(Variant::Hzccl, mode));
+        }
+        // and the delegation preserves the paper's literal ST constants
+        assert_eq!(
+            paper_model(Variant::Hzccl, Mode::SingleThread),
+            ThroughputModel::new(1.7, 3.3, 9.7, 2.8, 6.0)
+        );
+        assert_eq!(
+            paper_model(Variant::Mpi, Mode::SingleThread),
+            ThroughputModel::new(1.0, 1.0, 1.0, 50.0, 108.0)
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! assert!(outcomes.iter().all(|o| o.value == outcomes[0].value));
 //! ```
 
+pub mod auto;
 pub mod ccoll;
 pub mod chunks;
 pub mod config;

@@ -332,6 +332,43 @@ mod tests {
         assert_eq!(cum.last().unwrap().1, 6);
     }
 
+    /// Edge-bucket regression: the bucket invariant is `2^(e-1) < v <= 2^e`,
+    /// so exact powers of two must land in their *own* bucket (not the next
+    /// one up), `2^k + 1` must spill into bucket `k+1`, zero stays out of the
+    /// exponent map entirely, and extremes clamp to ±64 instead of wrapping.
+    #[test]
+    fn histogram_edge_buckets_zero_one_and_power_boundaries() {
+        let mut h = Histogram::default();
+        h.observe(0.0);
+        assert_eq!(h.zeros, 1, "zero is the underflow bucket, not an exponent");
+        assert!(h.buckets.is_empty(), "zero must not create an exponent bucket");
+
+        h.observe(1.0);
+        assert_eq!(h.buckets.get(&0), Some(&1), "1 = 2^0 belongs to bucket 0");
+
+        for k in [1i32, 3, 10, 20] {
+            let pow = 2f64.powi(k);
+            let mut hk = Histogram::default();
+            hk.observe(pow);
+            hk.observe(pow + 1.0);
+            assert_eq!(hk.buckets.get(&k), Some(&1), "2^{k} stays in bucket {k}");
+            assert_eq!(hk.buckets.get(&(k + 1)), Some(&1), "2^{k}+1 spills into bucket {}", k + 1);
+        }
+
+        // Clamping: denormal-small and astronomically-large observations fold
+        // into the ±64 edge buckets rather than overflowing the exponent.
+        let mut hc = Histogram::default();
+        hc.observe(1e-300);
+        hc.observe(1e300);
+        assert_eq!(hc.buckets.get(&-64), Some(&1));
+        assert_eq!(hc.buckets.get(&64), Some(&1));
+
+        // Cumulative rendering stays monotone and terminates at +Inf = count.
+        let cum = hc.cumulative();
+        assert!(cum.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1), "{cum:?}");
+        assert_eq!(cum.last().unwrap(), &(f64::INFINITY, 2));
+    }
+
     #[test]
     fn merge_accumulates_and_makespan_takes_max() {
         let mut a = Registry::new();

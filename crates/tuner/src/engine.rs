@@ -1,0 +1,437 @@
+//! The decision engine: enumerate candidate plans for a scenario, rank them
+//! by predicted cost from the analytical model (`costmodel` with this
+//! engine's calibrated constants), and prefer measured winners from the
+//! tuning cache when the scenario bucket has been seen before.
+//!
+//! Decision precedence:
+//!
+//! 1. **Cache** — the bucket has a measured winner: trust the measurement.
+//! 2. **Small-message short-circuit** — tiny `Allreduce`s are latency-bound;
+//!    the ring's `2(N-1)` alpha charges can never beat recursive doubling's
+//!    `ceil(log2 N)`, so only `rd` candidates are ranked.
+//! 3. **Model** — rank every candidate by the Sec. III-C closed forms.
+//!
+//! Decisions are pure functions of the engine state and the spec
+//! (`tests/properties.rs` pins determinism), so every rank of a collective
+//! that evaluates the same spec against the same engine picks the same plan.
+
+use crate::cache::TuningCache;
+use crate::calibration::Calibration;
+use crate::plan::{Algo, Flavor, Op, Plan, ScenarioSpec, ThreadMode};
+use netsim::cluster::RankOutcome;
+use netsim::Json;
+
+/// Where a decision came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionSource {
+    /// A measured winner from the tuning cache.
+    Cache,
+    /// The latency-bound small-message short-circuit (rd candidates only).
+    SmallMessage,
+    /// Full analytical ranking.
+    Model,
+}
+
+impl DecisionSource {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionSource::Cache => "cache",
+            DecisionSource::SmallMessage => "small-message",
+            DecisionSource::Model => "model",
+        }
+    }
+}
+
+/// One candidate with its predicted completion time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// The candidate plan.
+    pub plan: Plan,
+    /// Predicted completion time in seconds.
+    pub secs: f64,
+}
+
+/// The engine's answer: the chosen plan, why, and the full ranking (for the
+/// CLI's "why" print-out and for drift diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// The plan to execute.
+    pub plan: Plan,
+    /// How the plan was chosen.
+    pub source: DecisionSource,
+    /// All candidates, best first, with model predictions.
+    pub ranked: Vec<Prediction>,
+    /// Human-readable explanation.
+    pub why: String,
+}
+
+/// Cost-model-guided autotuner with online calibration and a persistent
+/// cache. See the crate docs for the full architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Engine {
+    /// Calibrated model constants (throughputs + network law).
+    pub calib: Calibration,
+    /// Measured winners per scenario bucket.
+    pub cache: TuningCache,
+    /// `Allreduce` messages at or below this many bytes short-circuit to
+    /// recursive doubling.
+    pub small_message_bytes: usize,
+    /// Thread modes to consider (default: ST only — inside the virtual-time
+    /// simulator ST and MT charge identically, so offering both would just
+    /// create fake ties; the CLI adds an MT candidate when asked).
+    pub mode_candidates: Vec<ThreadMode>,
+    /// Compressor block lengths to consider.
+    pub block_candidates: Vec<usize>,
+}
+
+impl Engine {
+    /// Engine seeded from the paper calibration with an empty cache.
+    pub fn paper() -> Engine {
+        Engine {
+            calib: Calibration::paper(),
+            cache: TuningCache::new(),
+            small_message_bytes: 64 << 10,
+            mode_candidates: vec![ThreadMode::St],
+            block_candidates: vec![32],
+        }
+    }
+
+    /// Enumerate every executable candidate for `spec` (before the
+    /// small-message short-circuit). Stable order: flavour, algorithm,
+    /// mode, block length.
+    pub fn candidates(&self, spec: &ScenarioSpec) -> Vec<Plan> {
+        let mut out = Vec::new();
+        for flavor in [Flavor::Mpi, Flavor::CColl, Flavor::Hzccl] {
+            let algos: &[Algo] = if spec.op == Op::Allreduce && flavor != Flavor::CColl {
+                &[Algo::Ring, Algo::Rd]
+            } else {
+                &[Algo::Ring]
+            };
+            for &algo in algos {
+                for &mode in &self.mode_candidates {
+                    // block length only matters for compressed flavours
+                    let blocks: &[usize] = if flavor == Flavor::Mpi {
+                        &self.block_candidates[..1]
+                    } else {
+                        &self.block_candidates
+                    };
+                    for &block_len in blocks {
+                        out.push(Plan { flavor, algo, mode, block_len });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Predicted completion time of `plan` on `spec` from the analytical
+    /// model with this engine's calibrated constants.
+    pub fn predict(&self, spec: &ScenarioSpec, plan: &Plan) -> f64 {
+        let ratio = if plan.flavor == Flavor::Mpi { 1.0 } else { spec.ratio_for(plan.block_len) };
+        let s = costmodel::Scenario {
+            nranks: spec.nranks.max(1),
+            message_bytes: spec.message_bytes().max(1),
+            ratio,
+            net: self.calib.net(),
+            thr: self.calib.model(plan.flavor, plan.mode),
+        };
+        match (spec.op, plan.flavor, plan.algo) {
+            (Op::Allreduce, Flavor::Mpi, Algo::Ring) => costmodel::allreduce_mpi(&s),
+            (Op::Allreduce, Flavor::CColl, _) => costmodel::allreduce_ccoll(&s),
+            (Op::Allreduce, Flavor::Hzccl, Algo::Ring) => costmodel::allreduce_hzccl(&s),
+            (Op::Allreduce, Flavor::Mpi, Algo::Rd) => costmodel::allreduce_rd_mpi(&s),
+            (Op::Allreduce, Flavor::Hzccl, Algo::Rd) => costmodel::allreduce_rd_hzccl(&s),
+            (Op::ReduceScatter, Flavor::Mpi, _) => costmodel::reduce_scatter_mpi(&s),
+            (Op::ReduceScatter, Flavor::CColl, _) => costmodel::reduce_scatter_ccoll(&s),
+            (Op::ReduceScatter, Flavor::Hzccl, _) => costmodel::reduce_scatter_hzccl(&s),
+            (Op::Reduce, Flavor::Mpi, _) => costmodel::reduce_mpi(&s),
+            (Op::Reduce, Flavor::CColl, _) => costmodel::reduce_ccoll(&s),
+            (Op::Reduce, Flavor::Hzccl, _) => costmodel::reduce_hzccl(&s),
+            (Op::Bcast, Flavor::Mpi, _) => costmodel::bcast_mpi(&s),
+            (Op::Bcast, Flavor::CColl, _) => costmodel::bcast_ccoll(&s),
+            (Op::Bcast, Flavor::Hzccl, _) => costmodel::bcast_hzccl(&s),
+        }
+    }
+
+    /// Rank `plans` by prediction, best first; ties break on the plan's
+    /// stable ordering so the result is deterministic.
+    fn rank(&self, spec: &ScenarioSpec, plans: &[Plan]) -> Vec<Prediction> {
+        let mut ranked: Vec<Prediction> = plans
+            .iter()
+            .map(|&plan| Prediction { plan, secs: self.predict(spec, &plan) })
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.secs
+                .partial_cmp(&b.secs)
+                .expect("cost predictions are finite")
+                .then_with(|| a.plan.cmp(&b.plan))
+        });
+        ranked
+    }
+
+    /// Decide the plan for `spec`. Pure: identical engine state + spec give
+    /// an identical decision.
+    pub fn decide(&self, spec: &ScenarioSpec) -> Decision {
+        let key = spec.bucket_key();
+        let all = self.candidates(spec);
+        if let Some(entry) = self.cache.get(&key) {
+            // a cached winner must still be executable for this op
+            if all.contains(&entry.plan) || spec.op != Op::Allreduce {
+                let ranked = self.rank(spec, &all);
+                let why = format!(
+                    "cache hit for bucket {key}: {} measured at {:.3} ms over {} sample(s) \
+                     (model now predicts {:.3} ms)",
+                    entry.plan.label(),
+                    entry.measured_secs * 1e3,
+                    entry.samples,
+                    self.predict(spec, &entry.plan) * 1e3,
+                );
+                return Decision { plan: entry.plan, source: DecisionSource::Cache, ranked, why };
+            }
+        }
+        let small = spec.op == Op::Allreduce && spec.message_bytes() <= self.small_message_bytes;
+        let (pool, source) = if small {
+            let rd: Vec<Plan> = all.iter().copied().filter(|p| p.algo == Algo::Rd).collect();
+            if rd.is_empty() {
+                (all, DecisionSource::Model)
+            } else {
+                (rd, DecisionSource::SmallMessage)
+            }
+        } else {
+            (all, DecisionSource::Model)
+        };
+        let ranked = self.rank(spec, &pool);
+        let best = ranked.first().expect("candidate pool is never empty");
+        let why = match source {
+            DecisionSource::SmallMessage => format!(
+                "message {} B <= {} B: latency-bound, short-circuit to recursive doubling; \
+                 model picks {} at {:.3} ms",
+                spec.message_bytes(),
+                self.small_message_bytes,
+                best.plan.label(),
+                best.secs * 1e3,
+            ),
+            _ => {
+                let runner_up = ranked
+                    .get(1)
+                    .map(|p| format!("; runner-up {} at {:.3} ms", p.plan.label(), p.secs * 1e3))
+                    .unwrap_or_default();
+                format!(
+                    "no measurement for bucket {key}: analytical model picks {} at {:.3} ms{}",
+                    best.plan.label(),
+                    best.secs * 1e3,
+                    runner_up,
+                )
+            }
+        };
+        Decision { plan: best.plan, source, ranked, why }
+    }
+
+    /// Absorb one simulated/measured run: feed the flight-recorder outcomes
+    /// to the calibration loop and record the makespan in the cache.
+    /// Returns the makespan it recorded.
+    pub fn observe_run<R>(
+        &mut self,
+        spec: &ScenarioSpec,
+        plan: &Plan,
+        outcomes: &[RankOutcome<R>],
+    ) -> f64 {
+        let makespan = outcomes.iter().fold(0f64, |m, o| m.max(o.elapsed));
+        self.calib.absorb_run(plan.flavor, plan.mode, outcomes);
+        self.observe_measurement(spec, plan, makespan);
+        makespan
+    }
+
+    /// Record a bare completion-time measurement (no traces to calibrate
+    /// from) in the tuning cache.
+    pub fn observe_measurement(&mut self, spec: &ScenarioSpec, plan: &Plan, secs: f64) {
+        let model = self.predict(spec, plan);
+        self.cache.record(&spec.bucket_key(), *plan, secs, model);
+    }
+
+    /// Serialize engine state (calibration + cache + knobs) to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("version", Json::Num(1.0)),
+            ("small_message_bytes", Json::Num(self.small_message_bytes as f64)),
+            (
+                "block_candidates",
+                Json::Arr(self.block_candidates.iter().map(|&b| Json::Num(b as f64)).collect()),
+            ),
+            (
+                "mode_candidates",
+                Json::Arr(
+                    self.mode_candidates
+                        .iter()
+                        .map(|m| Json::Num(if m.is_mt() { m.threads() as f64 } else { 1.0 }))
+                        .collect(),
+                ),
+            ),
+            ("calibration", self.calib.to_json()),
+            ("cache", self.cache.to_json()),
+        ])
+    }
+
+    /// Parse [`Engine::to_json`]'s output back.
+    pub fn from_json(doc: &Json) -> Result<Engine, String> {
+        let version = doc.get("version").and_then(Json::as_f64).unwrap_or(0.0);
+        if version != 1.0 {
+            return Err(format!("unsupported tuner state version {version}"));
+        }
+        let small_message_bytes =
+            doc.get("small_message_bytes")
+                .and_then(Json::as_f64)
+                .ok_or("tuner state: missing small_message_bytes")? as usize;
+        let block_candidates: Vec<usize> = doc
+            .get("block_candidates")
+            .and_then(Json::as_arr)
+            .ok_or("tuner state: missing block_candidates")?
+            .iter()
+            .filter_map(|v| v.as_f64().map(|b| b as usize))
+            .filter(|&b| b > 0)
+            .collect();
+        if block_candidates.is_empty() {
+            return Err("tuner state: empty block_candidates".into());
+        }
+        let mode_candidates: Vec<ThreadMode> = doc
+            .get("mode_candidates")
+            .and_then(Json::as_arr)
+            .ok_or("tuner state: missing mode_candidates")?
+            .iter()
+            .filter_map(|v| v.as_f64())
+            .map(|t| if t <= 1.0 { ThreadMode::St } else { ThreadMode::Mt(t as usize) })
+            .collect();
+        if mode_candidates.is_empty() {
+            return Err("tuner state: empty mode_candidates".into());
+        }
+        let calib = Calibration::from_json(
+            doc.get("calibration").ok_or("tuner state: missing calibration")?,
+        )?;
+        let cache = TuningCache::from_json(doc.get("cache").ok_or("tuner state: missing cache")?)?;
+        Ok(Engine { calib, cache, small_message_bytes, mode_candidates, block_candidates })
+    }
+
+    /// Write the engine state to `path` (compact JSON).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().render())
+    }
+
+    /// Load an engine saved with [`Engine::save`].
+    pub fn load(path: &std::path::Path) -> Result<Engine, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Engine::from_json(&Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?)
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(elems: usize, nranks: usize, ratio: f64) -> ScenarioSpec {
+        ScenarioSpec::new(Op::Allreduce, elems, nranks, 1e-4, 32, ratio)
+    }
+
+    #[test]
+    fn small_messages_short_circuit_to_rd() {
+        let engine = Engine::paper();
+        let d = engine.decide(&spec(256, 64, 6.0)); // 1 KiB
+        assert_eq!(d.source, DecisionSource::SmallMessage);
+        assert_eq!(d.plan.algo, Algo::Rd);
+        assert!(d.why.contains("short-circuit"), "{}", d.why);
+    }
+
+    #[test]
+    fn large_compressible_messages_pick_the_homomorphic_ring() {
+        let engine = Engine::paper();
+        let d = engine.decide(&spec(1 << 22, 64, 7.0)); // 16 MiB, ratio 7
+        assert_eq!(d.source, DecisionSource::Model);
+        assert_eq!(d.plan.flavor, Flavor::Hzccl);
+        assert_eq!(d.plan.algo, Algo::Ring);
+    }
+
+    #[test]
+    fn incompressible_large_messages_fall_back_to_mpi() {
+        let mut engine = Engine::paper();
+        // make compression cost real but useless: ratio ~1, slow compressor
+        engine.calib.thr.insert(Calibration::key(Flavor::Hzccl, false), [0.05, 0.1, 0.3, 2.8, 6.0]);
+        engine.calib.thr.insert(Calibration::key(Flavor::CColl, false), [0.05, 0.1, 0.3, 2.8, 6.0]);
+        let d = engine.decide(&spec(1 << 22, 64, 1.02));
+        assert_eq!(d.plan.flavor, Flavor::Mpi, "{}", d.why);
+    }
+
+    #[test]
+    fn cache_overrides_the_model() {
+        let mut engine = Engine::paper();
+        let s = spec(1 << 20, 8, 7.0);
+        let slow_plan =
+            Plan { flavor: Flavor::CColl, algo: Algo::Ring, mode: ThreadMode::St, block_len: 32 };
+        engine.observe_measurement(&s, &slow_plan, 0.001);
+        let d = engine.decide(&s);
+        assert_eq!(d.source, DecisionSource::Cache);
+        assert_eq!(d.plan, slow_plan, "{}", d.why);
+        assert!(d.why.contains("cache hit"), "{}", d.why);
+    }
+
+    #[test]
+    fn candidates_exclude_unimplemented_combinations() {
+        let engine = Engine::paper();
+        for op in [Op::ReduceScatter, Op::Reduce, Op::Bcast] {
+            let plans = engine.candidates(&ScenarioSpec::new(op, 1 << 16, 8, 1e-4, 32, 5.0));
+            assert!(plans.iter().all(|p| p.algo == Algo::Ring), "{op:?} is ring-only");
+        }
+        let ar = engine.candidates(&spec(1 << 16, 8, 5.0));
+        assert!(!ar.iter().any(|p| p.flavor == Flavor::CColl && p.algo == Algo::Rd));
+        assert!(ar.iter().any(|p| p.flavor == Flavor::Hzccl && p.algo == Algo::Rd));
+        assert!(ar.iter().any(|p| p.flavor == Flavor::Mpi && p.algo == Algo::Rd));
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let engine = Engine::paper();
+        let s = spec(1 << 20, 16, 6.0);
+        let d = engine.decide(&s);
+        assert_eq!(d.ranked.len(), engine.candidates(&s).len());
+        for w in d.ranked.windows(2) {
+            assert!(w[0].secs <= w[1].secs);
+        }
+        assert_eq!(d.ranked[0].plan, d.plan);
+    }
+
+    #[test]
+    fn predictions_scale_with_message_size() {
+        let engine = Engine::paper();
+        let p =
+            Plan { flavor: Flavor::Hzccl, algo: Algo::Ring, mode: ThreadMode::St, block_len: 32 };
+        let small = engine.predict(&spec(1 << 14, 8, 5.0), &p);
+        let big = engine.predict(&spec(1 << 20, 8, 5.0), &p);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn engine_state_roundtrips_through_json() {
+        let mut engine = Engine::paper();
+        engine.block_candidates = vec![32, 128];
+        engine.mode_candidates = vec![ThreadMode::St, ThreadMode::Mt(18)];
+        let s = spec(1 << 18, 8, 6.5);
+        let plan = engine.decide(&s).plan;
+        engine.observe_measurement(&s, &plan, 0.0025);
+        let text = engine.to_json().render();
+        let back = Engine::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, engine);
+        assert_eq!(back.to_json().render(), text);
+    }
+
+    #[test]
+    fn load_rejects_missing_and_bad_files() {
+        assert!(Engine::load(std::path::Path::new("/nonexistent/tuner.json")).is_err());
+        let doc = Json::parse("{\"version\":99}").unwrap();
+        assert!(Engine::from_json(&doc).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! # tuner — the hZCCL auto-selection subsystem
+//!
+//! The paper's headline result (hZCCL beating both plain MPI and
+//! compress-operate-decompress C-Coll) only holds in the right regime: large,
+//! compressible messages. Elsewhere — tiny latency-bound vectors,
+//! incompressible data, slow compressors — a different flavour wins. This
+//! crate turns the closed-form cost equations of `costmodel` into an online
+//! decision system so callers never have to pick by hand:
+//!
+//! * [`plan`] — the vocabulary: [`Op`], [`Plan`] (flavour x algorithm x
+//!   thread mode x block length, wire-encodable so one rank can decide and
+//!   broadcast), and [`ScenarioSpec`] (what a decision is about).
+//! * [`engine`] — the [`Engine`]: ranks every candidate plan by predicted
+//!   cost, short-circuits small allreduces to recursive doubling, and
+//!   prefers a cached measured winner over the model when one exists.
+//! * [`calibration`] — [`Calibration`]: per-flavour throughput tables
+//!   (CPR/DPR/HPR/CPT) plus the network alpha/beta, refined from `netsim`
+//!   flight-recorder outcomes by exponentially-weighted updates. Also home
+//!   of [`paper_prior`], the single source of truth for the paper's Table
+//!   II calibration (the `hzccl` crate delegates here).
+//! * [`cache`] — [`TuningCache`]: persistent scenario-bucket -> best
+//!   measured plan store, JSON round-trippable bit-for-bit through
+//!   [`netsim::Json`].
+//!
+//! Layering: `tuner` sits *below* the collective crate (`hzccl` depends on
+//! it, not vice versa), so the types here mirror `hzccl::Variant` /
+//! `hzccl::Mode` as [`Flavor`] / [`ThreadMode`] rather than importing them.
+
+pub mod cache;
+pub mod calibration;
+pub mod engine;
+pub mod plan;
+
+pub use cache::{CacheEntry, TuningCache};
+pub use calibration::{paper_prior, Calibration};
+pub use engine::{Decision, DecisionSource, Engine, Prediction};
+pub use plan::{Algo, Flavor, Op, Plan, ScenarioSpec, ThreadMode};

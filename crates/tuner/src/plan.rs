@@ -1,0 +1,329 @@
+//! The tuner's vocabulary: which collective is being run ([`Op`]), what a
+//! candidate configuration looks like ([`Plan`]), and the scenario the
+//! decision engine is asked about ([`ScenarioSpec`]).
+//!
+//! Plans are tiny and wire-encodable ([`Plan::encode`]) so the `hzccl::auto`
+//! front-end can have one rank decide and broadcast the result — every rank
+//! of a collective must execute the *same* plan or the exchange deadlocks.
+
+/// Which collective operation a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Op {
+    /// Ring `Allreduce(sum)` (or recursive doubling, per plan).
+    Allreduce,
+    /// Ring `Reduce_scatter(sum)`.
+    ReduceScatter,
+    /// `Reduce(sum)` to a root.
+    Reduce,
+    /// Long-message `Bcast` from a root.
+    Bcast,
+}
+
+impl Op {
+    /// Stable lowercase name (cache keys, CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Allreduce => "allreduce",
+            Op::ReduceScatter => "reduce_scatter",
+            Op::Reduce => "reduce",
+            Op::Bcast => "bcast",
+        }
+    }
+
+    /// Parse the stable name back.
+    pub fn parse(name: &str) -> Option<Op> {
+        Some(match name {
+            "allreduce" => Op::Allreduce,
+            "reduce_scatter" => Op::ReduceScatter,
+            "reduce" => Op::Reduce,
+            "bcast" => Op::Bcast,
+            _ => return None,
+        })
+    }
+
+    /// All ops, in stable order.
+    pub const ALL: [Op; 4] = [Op::Allreduce, Op::ReduceScatter, Op::Reduce, Op::Bcast];
+}
+
+/// Collective framework flavour (paper Table II; mirrors `hzccl::Variant`
+/// minus the auto-selector itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Flavor {
+    /// Plain MPI, no compression.
+    Mpi,
+    /// C-Coll: compress-operate-decompress on every hop.
+    CColl,
+    /// hZCCL: homomorphic reduction on compressed data.
+    Hzccl,
+}
+
+impl Flavor {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Flavor::Mpi => "mpi",
+            Flavor::CColl => "ccoll",
+            Flavor::Hzccl => "hz",
+        }
+    }
+
+    /// Parse the stable name back.
+    pub fn parse(name: &str) -> Option<Flavor> {
+        Some(match name {
+            "mpi" => Flavor::Mpi,
+            "ccoll" => Flavor::CColl,
+            "hz" => Flavor::Hzccl,
+            _ => return None,
+        })
+    }
+}
+
+/// Ring vs recursive-doubling topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Algo {
+    /// Bandwidth-optimal ring (2(N-1) chunk rounds).
+    Ring,
+    /// Latency-optimal recursive doubling (ceil(log2 N) full-vector rounds);
+    /// only implemented for `Allreduce`.
+    Rd,
+}
+
+impl Algo {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Ring => "ring",
+            Algo::Rd => "rd",
+        }
+    }
+
+    /// Parse the stable name back.
+    pub fn parse(name: &str) -> Option<Algo> {
+        Some(match name {
+            "ring" => Algo::Ring,
+            "rd" => Algo::Rd,
+            _ => return None,
+        })
+    }
+}
+
+/// Single- vs multi-thread compression mode (mirrors `hzccl::Mode` without
+/// depending on the collective crate — the tuner sits *below* it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ThreadMode {
+    /// One compression thread per rank.
+    St,
+    /// `k` compression threads per rank.
+    Mt(usize),
+}
+
+impl ThreadMode {
+    /// True for the multi-thread mode.
+    pub fn is_mt(self) -> bool {
+        matches!(self, ThreadMode::Mt(_))
+    }
+
+    /// Thread count (1 for ST, at least 2 for MT — same floor as
+    /// `hzccl::Mode`).
+    pub fn threads(self) -> usize {
+        match self {
+            ThreadMode::St => 1,
+            ThreadMode::Mt(k) => k.max(2),
+        }
+    }
+
+    /// Stable short name (`st` / `mt`).
+    pub fn name(self) -> &'static str {
+        if self.is_mt() {
+            "mt"
+        } else {
+            "st"
+        }
+    }
+}
+
+/// One executable collective configuration: flavour x algorithm x thread
+/// mode x compression chunking (the small-block length the compressors
+/// quantize over, which trades ratio against error-control granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Plan {
+    /// Collective framework.
+    pub flavor: Flavor,
+    /// Ring or recursive doubling.
+    pub algo: Algo,
+    /// Compression thread mode.
+    pub mode: ThreadMode,
+    /// Compressor small-block length (ignored by [`Flavor::Mpi`]).
+    pub block_len: usize,
+}
+
+impl Plan {
+    /// Compact human label, e.g. `hz/ring/st/b32`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/b{}",
+            self.flavor.name(),
+            self.algo.name(),
+            self.mode.name(),
+            self.block_len
+        )
+    }
+
+    /// Fixed-size wire encoding (for the one-rank-decides broadcast).
+    pub fn encode(&self) -> [u8; 8] {
+        let flavor = match self.flavor {
+            Flavor::Mpi => 0u8,
+            Flavor::CColl => 1,
+            Flavor::Hzccl => 2,
+        };
+        let algo = match self.algo {
+            Algo::Ring => 0u8,
+            Algo::Rd => 1,
+        };
+        let (mt, threads) = match self.mode {
+            ThreadMode::St => (0u8, 1u8),
+            ThreadMode::Mt(k) => (1, k.clamp(2, 255) as u8),
+        };
+        let bl = (self.block_len as u32).to_le_bytes();
+        [flavor, algo, mt, threads, bl[0], bl[1], bl[2], bl[3]]
+    }
+
+    /// Decode [`Plan::encode`]'s output; `None` on malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Option<Plan> {
+        if bytes.len() != 8 {
+            return None;
+        }
+        let flavor = match bytes[0] {
+            0 => Flavor::Mpi,
+            1 => Flavor::CColl,
+            2 => Flavor::Hzccl,
+            _ => return None,
+        };
+        let algo = match bytes[1] {
+            0 => Algo::Ring,
+            1 => Algo::Rd,
+            _ => return None,
+        };
+        let mode = match bytes[2] {
+            0 => ThreadMode::St,
+            1 => ThreadMode::Mt(bytes[3] as usize),
+            _ => return None,
+        };
+        let block_len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+        if block_len == 0 {
+            return None;
+        }
+        Some(Plan { flavor, algo, mode, block_len })
+    }
+}
+
+/// What the decision engine is asked about: the collective, its size and
+/// shape, the error bound, and the compressibility of the data at that bound
+/// (estimated per candidate block length, usually by probe-compressing a
+/// small sample).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Collective operation.
+    pub op: Op,
+    /// Per-rank vector length in `f32` elements (full vector for rooted ops).
+    pub elems: usize,
+    /// Ranks participating.
+    pub nranks: usize,
+    /// Absolute error bound.
+    pub eb: f64,
+    /// `(block_len, estimated compression ratio)` pairs; must contain at
+    /// least one entry. Ratio 1.0 means incompressible.
+    pub ratios: Vec<(usize, f64)>,
+}
+
+impl ScenarioSpec {
+    /// Convenience constructor with a single `(block_len, ratio)` estimate.
+    pub fn new(op: Op, elems: usize, nranks: usize, eb: f64, block_len: usize, ratio: f64) -> Self {
+        ScenarioSpec { op, elems, nranks, eb, ratios: vec![(block_len, ratio)] }
+    }
+
+    /// Per-rank message size in bytes.
+    pub fn message_bytes(&self) -> usize {
+        self.elems * 4
+    }
+
+    /// Estimated ratio at `block_len` (falls back to the first entry, then
+    /// to 1.0 — a safe "incompressible" default).
+    pub fn ratio_for(&self, block_len: usize) -> f64 {
+        self.ratios
+            .iter()
+            .find(|(b, _)| *b == block_len)
+            .or_else(|| self.ratios.first())
+            .map(|&(_, r)| r.max(1.0))
+            .unwrap_or(1.0)
+    }
+
+    /// The scenario bucket this spec falls into: cache entries are shared by
+    /// all scenarios with the same op, rank count, power-of-two size bucket
+    /// and error-bound decade. Deterministic and human-readable, e.g.
+    /// `allreduce:b20:r64:e-4`.
+    pub fn bucket_key(&self) -> String {
+        let bytes = self.message_bytes().max(1);
+        // ceil(log2(bytes)): 1 byte -> 0, 2 -> 1, 3..4 -> 2, ...
+        let exp = usize::BITS - (bytes - 1).leading_zeros();
+        let decade = self.eb.max(f64::MIN_POSITIVE).log10().round() as i64;
+        format!("{}:b{}:r{}:e{}", self.op.name(), exp, self.nranks, decade)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_encoding_roundtrips() {
+        for flavor in [Flavor::Mpi, Flavor::CColl, Flavor::Hzccl] {
+            for algo in [Algo::Ring, Algo::Rd] {
+                for mode in [ThreadMode::St, ThreadMode::Mt(18)] {
+                    for block_len in [32usize, 64, 256] {
+                        let plan = Plan { flavor, algo, mode, block_len };
+                        assert_eq!(Plan::decode(&plan.encode()), Some(plan), "{}", plan.label());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_decode_rejects_garbage() {
+        assert_eq!(Plan::decode(&[]), None);
+        assert_eq!(Plan::decode(&[9, 0, 0, 1, 32, 0, 0, 0]), None, "bad flavor");
+        assert_eq!(Plan::decode(&[0, 7, 0, 1, 32, 0, 0, 0]), None, "bad algo");
+        assert_eq!(Plan::decode(&[0, 0, 0, 1, 0, 0, 0, 0]), None, "zero block");
+    }
+
+    #[test]
+    fn bucket_key_buckets_by_size_and_decade() {
+        let spec = |elems: usize, eb: f64| ScenarioSpec::new(Op::Allreduce, elems, 64, eb, 32, 5.0);
+        // same power-of-two byte bucket -> same key
+        assert_eq!(spec(1 << 18, 1e-4).bucket_key(), spec((1 << 18) - 7, 1e-4).bucket_key());
+        // different size bucket or eb decade -> different key
+        assert_ne!(spec(1 << 18, 1e-4).bucket_key(), spec(1 << 19, 1e-4).bucket_key());
+        assert_ne!(spec(1 << 18, 1e-4).bucket_key(), spec(1 << 18, 1e-3).bucket_key());
+        assert_eq!(spec(1 << 18, 1e-4).bucket_key(), "allreduce:b20:r64:e-4");
+    }
+
+    #[test]
+    fn ratio_lookup_falls_back_sanely() {
+        let mut spec = ScenarioSpec::new(Op::Bcast, 100, 4, 1e-3, 32, 6.0);
+        spec.ratios.push((128, 7.5));
+        assert_eq!(spec.ratio_for(128), 7.5);
+        assert_eq!(spec.ratio_for(32), 6.0);
+        assert_eq!(spec.ratio_for(999), 6.0, "unknown block falls back to first");
+        spec.ratios.clear();
+        assert_eq!(spec.ratio_for(32), 1.0, "no estimate means incompressible");
+    }
+
+    #[test]
+    fn op_names_roundtrip() {
+        for op in Op::ALL {
+            assert_eq!(Op::parse(op.name()), Some(op));
+        }
+        assert_eq!(Op::parse("gathermax"), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-style tests for the tuner (std-only, xorshift-randomized):
+//!
+//! 1. **Decision determinism** — given a fixed engine state (calibration +
+//!    cache) and a fixed scenario, `Engine::decide` is a pure function: the
+//!    same plan, source, ranking and why-string every time, including across
+//!    a JSON round-trip of the engine.
+//! 2. **Cache round-trip** — `TuningCache` and full `Engine` state serialize
+//!    to JSON that parses back to an equal value AND re-renders to the
+//!    bit-identical byte string (so a resumed `hzc tune` run never churns
+//!    the file it just wrote).
+
+use tuner::{Engine, Op, Plan, ScenarioSpec, TuningCache};
+
+/// Deterministic xorshift64* PRNG — no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[(self.next() % xs.len() as u64) as usize]
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+}
+
+fn random_scenario(rng: &mut Rng) -> ScenarioSpec {
+    let op = rng.pick(&[Op::Allreduce, Op::ReduceScatter, Op::Reduce, Op::Bcast]);
+    let elems = rng.range(16, 4 << 20);
+    let nranks = rng.pick(&[2usize, 4, 8, 16, 64, 200]);
+    let eb = rng.pick(&[1e-3, 1e-4, 1e-5]);
+    let ratio = 1.0 + (rng.next() % 1000) as f64 / 50.0;
+    ScenarioSpec::new(op, elems, nranks, eb, 32, ratio)
+}
+
+/// A populated engine: paper priors plus a cache seeded from model winners
+/// of a few scenarios (pretending those were measured slightly faster).
+fn populated_engine(rng: &mut Rng) -> Engine {
+    let mut engine = Engine::paper();
+    for _ in 0..12 {
+        let spec = random_scenario(rng);
+        let d = engine.decide(&spec);
+        let model = d.ranked.first().map(|p| p.secs).unwrap_or(1e-3);
+        engine.observe_measurement(&spec, &d.plan, model * 0.9);
+    }
+    engine
+}
+
+#[test]
+fn decisions_are_deterministic_given_fixed_state() {
+    let mut rng = Rng::new(0xA11CE);
+    let engine = populated_engine(&mut rng);
+
+    // The same engine must answer identically across repeats and across a
+    // serialization round-trip (a reloaded cache file decides the same way).
+    let reloaded = Engine::from_json(&engine.to_json()).expect("engine round-trips");
+    for _ in 0..200 {
+        let spec = random_scenario(&mut rng);
+        let a = engine.decide(&spec);
+        let b = engine.decide(&spec);
+        let c = reloaded.decide(&spec);
+        for other in [&b, &c] {
+            assert_eq!(a.plan, other.plan, "plan drifted for {}", spec.bucket_key());
+            assert_eq!(a.source, other.source, "source drifted for {}", spec.bucket_key());
+            assert_eq!(a.why, other.why, "why drifted for {}", spec.bucket_key());
+            assert_eq!(a.ranked.len(), other.ranked.len());
+            for (x, y) in a.ranked.iter().zip(&other.ranked) {
+                assert_eq!(x.plan, y.plan);
+                assert!(
+                    (x.secs - y.secs).abs() < 1e-15,
+                    "prediction drifted: {} vs {}",
+                    x.secs,
+                    y.secs
+                );
+            }
+        }
+        // And the chosen plan is always one of the enumerated candidates.
+        assert!(
+            engine.candidates(&spec).contains(&a.plan),
+            "decision {} outside the candidate set",
+            a.plan.label()
+        );
+    }
+}
+
+#[test]
+fn scenarios_in_the_same_bucket_get_the_same_decision() {
+    // bucket_key quantizes (op, ceil-log2 bytes, ranks, eb decade); any two
+    // scenarios sharing a bucket must resolve to the same cached plan — this
+    // is what makes the runtime Session memo safe.
+    let mut rng = Rng::new(7);
+    let mut engine = Engine::paper();
+    let spec = ScenarioSpec::new(Op::Allreduce, 200_000, 64, 1e-4, 32, 8.0);
+    let d = engine.decide(&spec);
+    engine.observe_measurement(&spec, &d.plan, 1e-3);
+
+    for _ in 0..50 {
+        // Same byte bucket (ceil log2 of 800_000 covers (2^19, 2^20]).
+        let elems = rng.range((1 << 19) / 4 + 1, (1 << 20) / 4 + 1);
+        let twin = ScenarioSpec::new(Op::Allreduce, elems, 64, 1e-4, 32, 4.0);
+        assert_eq!(twin.bucket_key(), spec.bucket_key());
+        let e = engine.decide(&twin);
+        assert_eq!(e.plan, d.plan);
+        assert_eq!(e.source, tuner::DecisionSource::Cache);
+    }
+}
+
+#[test]
+fn cache_json_round_trips_bit_for_bit() {
+    let mut rng = Rng::new(0xBEEF);
+    let mut cache = TuningCache::new();
+    let mut engine = Engine::paper();
+    for _ in 0..64 {
+        let spec = random_scenario(&mut rng);
+        let plan = rng.pick(&engine.candidates(&spec));
+        let secs = (1 + rng.next() % 10_000) as f64 * 1e-6;
+        let model = (1 + rng.next() % 10_000) as f64 * 1e-6;
+        cache.record(&spec.bucket_key(), plan, secs, model);
+        engine.observe_measurement(&spec, &plan, secs);
+    }
+
+    // Value-level equality after a parse…
+    let text = cache.to_json().render();
+    let parsed =
+        TuningCache::from_json(&netsim::Json::parse(&text).expect("parses")).expect("loads");
+    assert_eq!(parsed, cache);
+
+    // …and byte-level stability of the rendering (the file never churns).
+    assert_eq!(parsed.to_json().render(), text, "cache rendering not bit-stable");
+
+    // The same holds for the whole engine state (calibration + cache + knobs).
+    let etext = engine.to_json().render();
+    let eback = Engine::from_json(&netsim::Json::parse(&etext).expect("parses")).expect("loads");
+    assert_eq!(eback.to_json().render(), etext, "engine rendering not bit-stable");
+}
+
+#[test]
+fn plan_encode_decode_is_the_identity_on_valid_plans() {
+    let mut rng = Rng::new(42);
+    let engine = Engine::paper();
+    for _ in 0..100 {
+        let spec = random_scenario(&mut rng);
+        for plan in engine.candidates(&spec) {
+            let wire = plan.encode();
+            assert_eq!(Plan::decode(&wire), Some(plan), "wire round-trip failed");
+        }
+    }
+    // Garbage must not decode.
+    assert_eq!(Plan::decode(&[0xFF; 8]), None);
+    assert_eq!(Plan::decode(&[1, 2]), None);
+}

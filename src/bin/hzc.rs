@@ -9,6 +9,7 @@
 //! hzc diff <a.fzl> <b.fzl> <out.fzl>               homomorphic a - b
 //! hzc check <in.f32> <stream.fzl>                  verify the error bound
 //! hzc sim <op> [--ranks N] [--mb M] [--variant V]  run a simulated collective
+//! hzc tune [--ranks L] [--sizes-kb L] [--out F]    offline autotune sweep
 //! ```
 //!
 //! `.f32` files are raw little-endian floats (the SDRBench layout); `<app>`
@@ -40,9 +41,12 @@ const USAGE: &str = "usage:
   hzc sum <a.fzl> <b.fzl> <out.fzl>
   hzc diff <a.fzl> <b.fzl> <out.fzl>
   hzc check <in.f32> <stream.fzl>
-  hzc sim <allreduce|reduce_scatter|reduce|bcast> [--ranks N] [--mb M]
-          [--variant hz|ccoll|mpi] [--eb E] [--threads T] [--app A] [--seed S]
-          [--trace out.json] [--metrics] [--width W]";
+  hzc sim <allreduce|reduce_scatter|reduce|bcast> [--ranks N] [--mb M | --kb K]
+          [--variant hz|ccoll|mpi|rd|auto] [--eb E] [--threads T] [--app A]
+          [--seed S] [--cache state.json] [--trace out.json] [--metrics]
+          [--width W]
+  hzc tune [--ops L] [--ranks L] [--sizes-kb L] [--eb E] [--app A] [--seed S]
+          [--out state.json]   (L = comma-separated list, e.g. 8,64)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -56,6 +60,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "diff" => reduce(rest, hzdyn::ReduceOp::Diff),
         "check" => check(rest),
         "sim" => sim(rest),
+        "tune" => tune(rest),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -243,12 +248,67 @@ fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
+/// How `hzc sim` interprets `--variant`: the three static flavours, the
+/// recursive-doubling hZCCL allreduce, or the tuner-driven auto front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimVariant {
+    Static(hzccl::Variant),
+    Rd,
+    Auto,
+}
+
+impl SimVariant {
+    fn parse(name: &str) -> Result<SimVariant, String> {
+        Ok(match name {
+            "rd" => SimVariant::Rd,
+            "auto" => SimVariant::Auto,
+            other => SimVariant::Static(
+                hzccl::Variant::parse(other)
+                    .filter(|v| *v != hzccl::Variant::Auto)
+                    .ok_or_else(|| format!("unknown variant '{other}' (hz|ccoll|mpi|rd|auto)"))?,
+            ),
+        })
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            SimVariant::Static(v) => v.name(),
+            SimVariant::Rd => "rd",
+            SimVariant::Auto => "auto",
+        }
+    }
+
+    /// Which variant's paper throughput table times the run.
+    fn timing_variant(self) -> hzccl::Variant {
+        match self {
+            SimVariant::Static(v) => v,
+            // rd is the hZCCL recursive-doubling kernel; auto may dispatch
+            // anywhere but its headline path is hZCCL, so both borrow the
+            // hz table.
+            SimVariant::Rd | SimVariant::Auto => hzccl::Variant::Hzccl,
+        }
+    }
+}
+
+fn parse_app(name: &str) -> Result<App, String> {
+    Ok(match name {
+        "sim1" => App::SimSet1,
+        "sim2" => App::SimSet2,
+        "nyx" => App::Nyx,
+        "cesm" => App::CesmAtm,
+        "hurricane" => App::Hurricane,
+        other => return Err(format!("unknown app '{other}'")),
+    })
+}
+
 /// `hzc sim`: run one collective on the virtual cluster with the flight
 /// recorder on, then print the paper-style cost breakdown, an ASCII
 /// timeline, and (optionally) Prometheus-style metrics; `--trace` writes a
-/// Chrome/Perfetto trace-event JSON file.
+/// Chrome/Perfetto trace-event JSON file. With `--variant auto`, one rank
+/// consults the tuner (optionally persisted via `--cache`) and the chosen
+/// plan plus the engine's full ranking are printed.
 fn sim(args: &[String]) -> Result<(), String> {
-    use hzccl::{CollectiveConfig, Mode, Variant};
+    use hzccl::{CollectiveConfig, Mode};
     use netsim::{trace, Cluster, ComputeTiming, TraceConfig};
 
     let op = args.first().map(|s| s.as_str()).ok_or("missing collective op")?;
@@ -261,31 +321,31 @@ fn sim(args: &[String]) -> Result<(), String> {
         return Err("--ranks must be at least 1".into());
     }
     let mb: usize = flag(rest, "--mb")?.unwrap_or(4);
-    let variant = match flag::<String>(rest, "--variant")?.as_deref().unwrap_or("hz") {
-        "hz" => Variant::Hzccl,
-        "ccoll" => Variant::CColl,
-        "mpi" => Variant::Mpi,
-        other => return Err(format!("unknown variant '{other}' (hz|ccoll|mpi)")),
-    };
+    let kb: Option<usize> = flag(rest, "--kb")?;
+    let variant = SimVariant::parse(flag::<String>(rest, "--variant")?.as_deref().unwrap_or("hz"))?;
+    if variant == SimVariant::Rd && op != "allreduce" {
+        return Err(format!("variant 'rd' implements allreduce only, not '{op}'"));
+    }
     let eb: f64 = flag(rest, "--eb")?.unwrap_or(1e-4);
     let threads: usize = flag(rest, "--threads")?.unwrap_or(1);
     let mode = if threads > 1 { Mode::MultiThread(threads) } else { Mode::SingleThread };
-    let app = match flag::<String>(rest, "--app")?.as_deref().unwrap_or("sim2") {
-        "sim1" => App::SimSet1,
-        "sim2" => App::SimSet2,
-        "nyx" => App::Nyx,
-        "cesm" => App::CesmAtm,
-        "hurricane" => App::Hurricane,
-        other => return Err(format!("unknown app '{other}'")),
-    };
+    let app = parse_app(flag::<String>(rest, "--app")?.as_deref().unwrap_or("sim2"))?;
     let seed: u64 = flag(rest, "--seed")?.unwrap_or(0);
+    let cache_path: Option<String> = flag(rest, "--cache")?;
     let trace_out: Option<String> = flag(rest, "--trace")?;
     let want_metrics = has_flag(rest, "--metrics");
     let width: usize = flag(rest, "--width")?.unwrap_or(100);
 
+    // The tuner engine for --variant auto: loaded from --cache when the file
+    // exists, else seeded from the paper calibration.
+    let engine = match &cache_path {
+        Some(p) if Path::new(p).exists() => tuner::Engine::load(Path::new(p))?,
+        _ => tuner::Engine::paper(),
+    };
+
     // Per-rank fields: one base field, slightly rescaled per rank (same
     // compressibility profile, distinct values).
-    let elems = mb * (1 << 20) / 4;
+    let elems = kb.map(|k| (k << 10) / 4).unwrap_or(mb * (1 << 20) / 4).max(ranks);
     let base = app.generate(elems, seed);
     let fields: Vec<Vec<f32>> = (0..ranks)
         .map(|r| {
@@ -295,7 +355,7 @@ fn sim(args: &[String]) -> Result<(), String> {
         .collect();
 
     let cfg = CollectiveConfig::new(eb, mode);
-    let timing = ComputeTiming::Modeled(hzccl::paper_model(variant, mode));
+    let timing = ComputeTiming::Modeled(hzccl::paper_model(variant.timing_variant(), mode));
     let cluster = Cluster::new(ranks)
         .with_net(netsim::NetConfig::default())
         .with_timing(timing)
@@ -304,47 +364,55 @@ fn sim(args: &[String]) -> Result<(), String> {
         let data = &fields[comm.rank()];
         let cpt_threads = mode.threads();
         match (variant, op) {
-            (Variant::Mpi, "allreduce") => {
+            (SimVariant::Auto, _) => {
+                let tuner_op = tuner::Op::parse(op).expect("op validated above");
+                return run_auto(comm, tuner_op, data, &cfg, &engine);
+            }
+            (SimVariant::Rd, "allreduce") => {
+                hzccl::rd::allreduce_rd_hz(comm, data, &cfg).expect("rd allreduce");
+            }
+            (SimVariant::Static(hzccl::Variant::Mpi), "allreduce") => {
                 hzccl::mpi::allreduce(comm, data, cpt_threads);
             }
-            (Variant::Mpi, "reduce_scatter") => {
+            (SimVariant::Static(hzccl::Variant::Mpi), "reduce_scatter") => {
                 hzccl::mpi::reduce_scatter(comm, data, cpt_threads);
             }
-            (Variant::Mpi, "reduce") => {
+            (SimVariant::Static(hzccl::Variant::Mpi), "reduce") => {
                 hzccl::mpi::reduce(comm, data, 0, cpt_threads);
             }
-            (Variant::Mpi, "bcast") => {
+            (SimVariant::Static(hzccl::Variant::Mpi), "bcast") => {
                 let full = if comm.rank() == 0 { data.as_slice() } else { &[] };
                 hzccl::mpi::bcast(comm, full, 0, data.len());
             }
-            (Variant::CColl, "allreduce") => {
+            (SimVariant::Static(hzccl::Variant::CColl), "allreduce") => {
                 hzccl::ccoll::allreduce(comm, data, &cfg).expect("ccoll allreduce");
             }
-            (Variant::CColl, "reduce_scatter") => {
+            (SimVariant::Static(hzccl::Variant::CColl), "reduce_scatter") => {
                 hzccl::ccoll::reduce_scatter(comm, data, &cfg).expect("ccoll rs");
             }
-            (Variant::CColl, "reduce") => {
+            (SimVariant::Static(hzccl::Variant::CColl), "reduce") => {
                 hzccl::ccoll::reduce(comm, data, 0, &cfg).expect("ccoll reduce");
             }
-            (Variant::CColl, "bcast") => {
+            (SimVariant::Static(hzccl::Variant::CColl), "bcast") => {
                 let full = if comm.rank() == 0 { data.as_slice() } else { &[] };
                 hzccl::ccoll::bcast(comm, full, 0, data.len(), &cfg).expect("ccoll bcast");
             }
-            (Variant::Hzccl, "allreduce") => {
+            (SimVariant::Static(hzccl::Variant::Hzccl), "allreduce") => {
                 hzccl::hz::allreduce(comm, data, &cfg).expect("hz allreduce");
             }
-            (Variant::Hzccl, "reduce_scatter") => {
+            (SimVariant::Static(hzccl::Variant::Hzccl), "reduce_scatter") => {
                 hzccl::hz::reduce_scatter(comm, data, &cfg).expect("hz rs");
             }
-            (Variant::Hzccl, "reduce") => {
+            (SimVariant::Static(hzccl::Variant::Hzccl), "reduce") => {
                 hzccl::hz::reduce(comm, data, 0, &cfg).expect("hz reduce");
             }
-            (Variant::Hzccl, "bcast") => {
+            (SimVariant::Static(hzccl::Variant::Hzccl), "bcast") => {
                 let full = if comm.rank() == 0 { data.as_slice() } else { &[] };
                 hzccl::hz::bcast(comm, full, 0, data.len(), &cfg).expect("hz bcast");
             }
-            _ => unreachable!("op validated above"),
+            _ => unreachable!("op and variant validated above"),
         }
+        None
     });
 
     // --- breakdown table ---------------------------------------------------
@@ -355,8 +423,28 @@ fn sim(args: &[String]) -> Result<(), String> {
         makespan = makespan.max(o.elapsed);
     }
     println!(
-        "sim {op}: variant={variant:?} ranks={ranks} field={mb} MiB/rank eb={eb:e} mode={mode:?}"
+        "sim {op}: variant={} ranks={ranks} field={mb} MiB/rank eb={eb:e} mode={mode:?}",
+        variant.label()
     );
+
+    // --- the tuner's explanation (auto only) -------------------------------
+    let auto_detail = outcomes[0].value.clone();
+    if let Some((spec, decision)) = &auto_detail {
+        println!();
+        println!("auto plan: {} (source: {})", decision.plan.label(), decision.source.name());
+        println!("why: {}", decision.why);
+        println!("ranked predictions for bucket {}:", spec.bucket_key());
+        for p in &decision.ranked {
+            let marker = if p.plan == decision.plan { "->" } else { "  " };
+            println!("  {marker} {:<16} {:>12.6} s", p.plan.label(), p.secs);
+        }
+        if let Some(p) = &cache_path {
+            let mut engine = engine.clone();
+            engine.observe_run(spec, &decision.plan, &outcomes);
+            engine.save(Path::new(p)).map_err(|e| format!("{p}: {e}"))?;
+            println!("recorded {:.6} s into {p}", makespan);
+        }
+    }
     println!("makespan: {:.6} s (slowest rank)", makespan);
     println!();
     println!("{:<10} {:>14} {:>8}", "bucket", "seconds", "share");
@@ -395,6 +483,229 @@ fn sim(args: &[String]) -> Result<(), String> {
     if let Some(path) = trace_out {
         std::fs::write(&path, trace::chrome_trace(&traces)).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote Chrome trace to {path} (load in Perfetto / chrome://tracing)");
+    }
+    Ok(())
+}
+
+/// Run one auto collective on a rank and return the decider's detail.
+fn run_auto(
+    comm: &mut netsim::Comm,
+    op: tuner::Op,
+    data: &[f32],
+    cfg: &hzccl::CollectiveConfig,
+    engine: &tuner::Engine,
+) -> Option<(tuner::ScenarioSpec, tuner::Decision)> {
+    match op {
+        tuner::Op::Allreduce => {
+            hzccl::auto::allreduce(comm, data, cfg, engine).expect("auto allreduce").detail
+        }
+        tuner::Op::ReduceScatter => {
+            hzccl::auto::reduce_scatter(comm, data, cfg, engine).expect("auto rs").detail
+        }
+        tuner::Op::Reduce => {
+            hzccl::auto::reduce(comm, data, 0, cfg, engine).expect("auto reduce").detail
+        }
+        tuner::Op::Bcast => {
+            let full = if comm.rank() == 0 { data } else { &[] };
+            hzccl::auto::bcast(comm, full, 0, data.len(), cfg, engine).expect("auto bcast").detail
+        }
+    }
+}
+
+/// Parse a comma-separated list of positive integers.
+fn parse_list(s: &str, what: &str) -> Result<Vec<usize>, String> {
+    let out: Vec<usize> = s
+        .split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| t.trim().parse::<usize>().map_err(|_| format!("invalid {what} entry '{t}'")))
+        .collect::<Result<_, _>>()?;
+    if out.is_empty() {
+        return Err(format!("empty {what} list"));
+    }
+    if out.contains(&0) {
+        return Err(format!("{what} entries must be positive"));
+    }
+    Ok(out)
+}
+
+/// Run one static plan over the simulated cluster (used by `hzc tune`).
+fn run_tune_plan(
+    comm: &mut netsim::Comm,
+    op: tuner::Op,
+    plan: &tuner::Plan,
+    data: &[f32],
+    eb: f64,
+) {
+    use tuner::{Algo, Flavor, ThreadMode};
+    let mode = match plan.mode {
+        ThreadMode::St => hzccl::Mode::SingleThread,
+        ThreadMode::Mt(k) => hzccl::Mode::MultiThread(k),
+    };
+    let cfg = hzccl::CollectiveConfig { eb, block_len: plan.block_len, mode };
+    let threads = mode.threads();
+    match (op, plan.flavor, plan.algo) {
+        (tuner::Op::Allreduce, Flavor::Mpi, Algo::Ring) => {
+            hzccl::mpi::allreduce(comm, data, threads);
+        }
+        (tuner::Op::Allreduce, Flavor::Mpi, Algo::Rd) => {
+            hzccl::rd::allreduce_rd(comm, data, threads);
+        }
+        (tuner::Op::Allreduce, Flavor::CColl, _) => {
+            hzccl::ccoll::allreduce(comm, data, &cfg).expect("tune ccoll allreduce");
+        }
+        (tuner::Op::Allreduce, Flavor::Hzccl, Algo::Ring) => {
+            hzccl::hz::allreduce(comm, data, &cfg).expect("tune hz allreduce");
+        }
+        (tuner::Op::Allreduce, Flavor::Hzccl, Algo::Rd) => {
+            hzccl::rd::allreduce_rd_hz(comm, data, &cfg).expect("tune hz rd");
+        }
+        (tuner::Op::ReduceScatter, Flavor::Mpi, _) => {
+            hzccl::mpi::reduce_scatter(comm, data, threads);
+        }
+        (tuner::Op::ReduceScatter, Flavor::CColl, _) => {
+            hzccl::ccoll::reduce_scatter(comm, data, &cfg).expect("tune ccoll rs");
+        }
+        (tuner::Op::ReduceScatter, Flavor::Hzccl, _) => {
+            hzccl::hz::reduce_scatter(comm, data, &cfg).expect("tune hz rs");
+        }
+        (tuner::Op::Reduce, Flavor::Mpi, _) => {
+            hzccl::mpi::reduce(comm, data, 0, threads);
+        }
+        (tuner::Op::Reduce, Flavor::CColl, _) => {
+            hzccl::ccoll::reduce(comm, data, 0, &cfg).expect("tune ccoll reduce");
+        }
+        (tuner::Op::Reduce, Flavor::Hzccl, _) => {
+            hzccl::hz::reduce(comm, data, 0, &cfg).expect("tune hz reduce");
+        }
+        (tuner::Op::Bcast, flavor, _) => {
+            let full = if comm.rank() == 0 { data } else { &[] };
+            match flavor {
+                Flavor::Mpi => {
+                    hzccl::mpi::bcast(comm, full, 0, data.len());
+                }
+                Flavor::CColl => {
+                    hzccl::ccoll::bcast(comm, full, 0, data.len(), &cfg).expect("tune ccoll bcast");
+                }
+                Flavor::Hzccl => {
+                    hzccl::hz::bcast(comm, full, 0, data.len(), &cfg).expect("tune hz bcast");
+                }
+            }
+        }
+    }
+}
+
+/// `hzc tune`: offline sweep. For every `(op, rank count, size)` scenario,
+/// measure every candidate static plan on the virtual cluster, feed each
+/// run's flight-recorder traces to the calibration loop, record winners in
+/// the tuning cache, and persist the engine state to `--out` — ready for
+/// `hzc sim --variant auto --cache <out>`.
+fn tune(args: &[String]) -> Result<(), String> {
+    use netsim::{Cluster, ComputeTiming, TraceConfig};
+
+    let ops: Vec<tuner::Op> = flag::<String>(args, "--ops")?
+        .unwrap_or_else(|| "allreduce".into())
+        .split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| tuner::Op::parse(t.trim()).ok_or_else(|| format!("unknown op '{t}'")))
+        .collect::<Result<_, _>>()?;
+    if ops.is_empty() {
+        return Err("empty --ops list".into());
+    }
+    let ranks_list =
+        parse_list(flag::<String>(args, "--ranks")?.as_deref().unwrap_or("8"), "--ranks")?;
+    let sizes_kb = parse_list(
+        flag::<String>(args, "--sizes-kb")?.as_deref().unwrap_or("16,256,1024"),
+        "--sizes-kb",
+    )?;
+    let eb: f64 = flag(args, "--eb")?.unwrap_or(1e-4);
+    let app = parse_app(flag::<String>(args, "--app")?.as_deref().unwrap_or("sim2"))?;
+    let seed: u64 = flag(args, "--seed")?.unwrap_or(0);
+    let out: String = flag(args, "--out")?.unwrap_or_else(|| "hz_tune.json".into());
+
+    // Resume an existing state file, otherwise start from the paper prior.
+    let mut engine = if Path::new(&out).exists() {
+        tuner::Engine::load(Path::new(&out))?
+    } else {
+        tuner::Engine::paper()
+    };
+
+    println!(
+        "tune: ops={:?} ranks={ranks_list:?} sizes_kb={sizes_kb:?} eb={eb:e} app={} -> {out}",
+        ops.iter().map(|o| o.name()).collect::<Vec<_>>(),
+        app.name(),
+    );
+    println!();
+    println!(
+        "{:<16} {:<26} {:<16} {:>12} {:>12}",
+        "scenario", "bucket", "plan", "measured", "model"
+    );
+
+    for &op in &ops {
+        for &nranks in &ranks_list {
+            for &kb in &sizes_kb {
+                let elems = (kb * 1024 / 4).max(1);
+                let base = app.generate(elems, seed);
+                let fields: Vec<Vec<f32>> = (0..nranks)
+                    .map(|r| {
+                        let k = 1.0 + 0.001 * r as f32;
+                        base.iter().map(|&v| v * k).collect()
+                    })
+                    .collect();
+
+                // Offline ratio probe per candidate block length.
+                let sample = &base[..base.len().min(hzccl::auto::PROBE_ELEMS)];
+                let ratios: Vec<(usize, f64)> = engine
+                    .block_candidates
+                    .iter()
+                    .map(|&b| {
+                        let fz = fzlight::Config::new(ErrorBound::Abs(eb)).with_block_len(b);
+                        let ratio = fzlight::compress(sample, &fz)
+                            .map(|s| (sample.len() * 4) as f64 / s.compressed_size().max(1) as f64)
+                            .unwrap_or(1.0);
+                        (b, ratio.max(1.0))
+                    })
+                    .collect();
+                let spec = tuner::ScenarioSpec { op, elems, nranks, eb, ratios };
+                let scenario_label = format!("{}:{}r:{}K", op.name(), nranks, kb);
+
+                for plan in engine.candidates(&spec) {
+                    let timing = ComputeTiming::Modeled(engine.calib.model(plan.flavor, plan.mode));
+                    let cluster = Cluster::new(nranks)
+                        .with_net(netsim::NetConfig::default())
+                        .with_timing(timing)
+                        .with_trace(TraceConfig::default());
+                    let outcomes = cluster.run(|comm| {
+                        run_tune_plan(comm, op, &plan, &fields[comm.rank()], eb);
+                    });
+                    let model = engine.predict(&spec, &plan);
+                    let measured = engine.observe_run(&spec, &plan, &outcomes);
+                    println!(
+                        "{:<16} {:<26} {:<16} {:>10.6}s {:>10.6}s",
+                        scenario_label,
+                        spec.bucket_key(),
+                        plan.label(),
+                        measured,
+                        model,
+                    );
+                }
+            }
+        }
+    }
+
+    engine.save(Path::new(&out)).map_err(|e| format!("{out}: {e}"))?;
+    println!();
+    println!(
+        "saved tuner state to {out}: {} bucket(s), {} calibration run(s) absorbed",
+        engine.cache.len(),
+        engine.calib.samples,
+    );
+    for (key, e) in &engine.cache.entries {
+        println!(
+            "  {key}: {} at {:.6} s ({} sample(s))",
+            e.plan.label(),
+            e.measured_secs,
+            e.samples
+        );
     }
     Ok(())
 }

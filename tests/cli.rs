@@ -173,3 +173,116 @@ fn corrupt_stream_is_rejected_by_info() {
     assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn sim_supports_rd_and_auto_variants() {
+    // recursive-doubling variant runs an allreduce end to end
+    let out = hzc()
+        .args(["sim", "allreduce", "--ranks", "4", "--mb", "1", "--variant", "rd"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("makespan"));
+
+    // …but only an allreduce: every other op must be rejected with a message
+    let out = hzc()
+        .args(["sim", "reduce_scatter", "--ranks", "4", "--mb", "1", "--variant", "rd"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("allreduce only"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // auto (cacheless) decides from the analytical model and explains itself
+    let out = hzc()
+        .args(["sim", "allreduce", "--ranks", "4", "--mb", "1", "--variant", "auto"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("auto plan:"), "{stdout}");
+    assert!(stdout.contains("why:"), "{stdout}");
+    assert!(stdout.contains("->"), "ranked table missing its chosen-plan marker: {stdout}");
+}
+
+#[test]
+fn sim_variant_error_advertises_every_variant() {
+    let out = hzc().args(["sim", "allreduce", "--variant", "nccl"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for v in ["hz", "ccoll", "mpi", "rd", "auto"] {
+        assert!(stderr.contains(v), "error message must advertise '{v}': {stderr}");
+    }
+}
+
+#[test]
+fn tune_writes_a_cache_that_auto_then_uses() {
+    let dir = tmpdir("tune");
+    let cache = dir.join("tune.json");
+
+    // tiny offline sweep -> non-empty, parseable engine state
+    let out = hzc()
+        .args([
+            "tune",
+            "--ops",
+            "allreduce",
+            "--ranks",
+            "4",
+            "--sizes-kb",
+            "64,256",
+            "--out",
+            cache.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&cache).unwrap();
+    assert!(!text.is_empty());
+    let engine = tuner::Engine::from_json(&netsim::Json::parse(&text).expect("cache parses"))
+        .expect("cache loads as engine state");
+    assert!(!engine.cache.is_empty(), "tune recorded no buckets");
+
+    // the auto variant now decides from the cache for a size inside the
+    // tuned bucket, and records its own measurement back into the file
+    let out = hzc()
+        .args([
+            "sim",
+            "allreduce",
+            "--ranks",
+            "4",
+            "--kb",
+            "256",
+            "--variant",
+            "auto",
+            "--cache",
+            cache.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let combined =
+        format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
+    assert!(out.status.success(), "{combined}");
+    assert!(combined.contains("source: cache"), "{combined}");
+    assert!(combined.contains("recorded"), "{combined}");
+
+    // resuming the sweep re-parses the file it just wrote (round-trip)
+    let out = hzc()
+        .args([
+            "tune",
+            "--ops",
+            "allreduce",
+            "--ranks",
+            "4",
+            "--sizes-kb",
+            "16",
+            "--out",
+            cache.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(&dir).ok();
+}
