@@ -5,7 +5,8 @@
 //! fabric) to expose where the compression-acceleration crossover sits.
 
 use datasets::App;
-use hzccl::{ccoll, hz, mpi, paper_model, CollectiveConfig, Mode, Variant};
+use hzccl::collectives::{self, CollectiveOpts};
+use hzccl::{paper_model, Mode, Variant};
 use hzccl_bench::{banner, env_usize, scaled_rank_fields, Table};
 use netsim::{Cluster, ComputeTiming, NetConfig};
 
@@ -17,7 +18,6 @@ fn main() {
     let base = App::SimSet1.generate(n, 0);
     let fields = scaled_rank_fields(&base, nranks);
     let mode = Mode::MultiThread(18);
-    let cfg = CollectiveConfig::new(eb, mode);
 
     let nets: [(&str, NetConfig); 3] = [
         ("effective goodput (default)", NetConfig::default()),
@@ -32,21 +32,12 @@ fn main() {
     for (label, net) in nets {
         let run = |which: usize| -> f64 {
             let variant = [Variant::Mpi, Variant::CColl, Variant::Hzccl][which];
+            let opts = CollectiveOpts::for_variant(variant, eb).with_mode(mode);
             let timing = ComputeTiming::Modeled(paper_model(variant, mode));
             let cluster = Cluster::new(nranks).with_net(net).with_timing(timing);
             let (_, stats) = cluster.run_stats(|comm| {
                 let data = &fields[comm.rank()];
-                match which {
-                    0 => {
-                        mpi::allreduce(comm, data, 1);
-                    }
-                    1 => {
-                        ccoll::allreduce(comm, data, &cfg).expect("ccoll");
-                    }
-                    _ => {
-                        hz::allreduce(comm, data, &cfg).expect("hz");
-                    }
-                }
+                collectives::allreduce(comm, data, &opts).expect("allreduce");
             });
             stats.makespan
         };

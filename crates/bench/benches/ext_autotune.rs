@@ -12,6 +12,7 @@
 //! static.
 
 use datasets::App;
+use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{auto, CollectiveConfig, Mode};
 use hzccl_bench::{banner, env_usize, Table};
 use netsim::{Cluster, ComputeTiming, NetConfig, TraceConfig};
@@ -30,7 +31,6 @@ fn run_static(
         ThreadMode::St => Mode::SingleThread,
         ThreadMode::Mt(k) => Mode::MultiThread(k),
     };
-    let cfg = CollectiveConfig { eb, block_len: plan.block_len, mode };
     let cluster = Cluster::new(nranks)
         .with_net(NetConfig::default())
         .with_timing(timing)
@@ -38,20 +38,25 @@ fn run_static(
     let outcomes = cluster.run(|comm| {
         let data = &fields[comm.rank()];
         match (plan.flavor, plan.algo) {
-            (Flavor::Mpi, Algo::Ring) => {
-                hzccl::mpi::allreduce(comm, data, mode.threads());
-            }
             (Flavor::Mpi, Algo::Rd) => {
                 hzccl::rd::allreduce_rd(comm, data, mode.threads());
             }
-            (Flavor::CColl, _) => {
-                hzccl::ccoll::allreduce(comm, data, &cfg).expect("ccoll");
-            }
-            (Flavor::Hzccl, Algo::Ring) => {
-                hzccl::hz::allreduce(comm, data, &cfg).expect("hz");
-            }
             (Flavor::Hzccl, Algo::Rd) => {
+                let cfg = CollectiveConfig { eb, block_len: plan.block_len, mode };
                 hzccl::rd::allreduce_rd_hz(comm, data, &cfg).expect("hz rd");
+            }
+            (flavor, _) => {
+                let variant = match flavor {
+                    Flavor::Mpi => hzccl::Variant::Mpi,
+                    Flavor::CColl => hzccl::Variant::CColl,
+                    Flavor::Hzccl => hzccl::Variant::Hzccl,
+                };
+                // honour the full plan, including its segment count
+                let opts = CollectiveOpts::for_variant(variant, eb)
+                    .with_mode(mode)
+                    .with_block_len(plan.block_len)
+                    .with_segments(plan.segments);
+                collectives::allreduce(comm, data, &opts).expect("static plan");
             }
         }
     });

@@ -3,7 +3,8 @@
 //! all collective computation operations; these are the next two most used).
 
 use datasets::App;
-use hzccl::{ccoll, hz, mpi, paper_model, CollectiveConfig, Mode, Variant};
+use hzccl::collectives::{self, CollectiveOpts};
+use hzccl::{paper_model, Mode, Variant};
 use hzccl_bench::{banner, env_usize, scaled_rank_fields, Table};
 use netsim::{Cluster, ComputeTiming};
 
@@ -15,35 +16,19 @@ fn main() {
     let base = App::SimSet1.generate(n, 0);
     let fields = scaled_rank_fields(&base, nranks);
     let mode = Mode::MultiThread(18);
-    let cfg = CollectiveConfig::new(eb, mode);
 
     let timing = |v: Variant| ComputeTiming::Modeled(paper_model(v, mode));
     let run = |which: usize, op: usize| -> f64 {
         let variant = [Variant::Mpi, Variant::CColl, Variant::Hzccl][which];
+        let opts = CollectiveOpts::for_variant(variant, eb).with_mode(mode);
         let cluster = Cluster::new(nranks).with_timing(timing(variant));
         let (_, stats) = cluster.run_stats(|comm| {
             let data = &fields[comm.rank()];
-            match (op, which) {
-                (0, 0) => {
-                    mpi::reduce(comm, data, 0, 1);
-                }
-                (0, 1) => {
-                    ccoll::reduce(comm, data, 0, &cfg).expect("ccoll reduce");
-                }
-                (0, _) => {
-                    hz::reduce(comm, data, 0, &cfg).expect("hz reduce");
-                }
-                (_, 0) => {
-                    mpi::bcast(comm, if comm.rank() == 0 { data } else { &[] }, 0, n);
-                }
-                (_, 1) => {
-                    ccoll::bcast(comm, if comm.rank() == 0 { data } else { &[] }, 0, n, &cfg)
-                        .expect("ccoll bcast");
-                }
-                (_, _) => {
-                    hz::bcast(comm, if comm.rank() == 0 { data } else { &[] }, 0, n, &cfg)
-                        .expect("hz bcast");
-                }
+            if op == 0 {
+                collectives::reduce(comm, data, &opts).expect("reduce");
+            } else {
+                // the unified API takes a full-length buffer on every rank
+                collectives::bcast(comm, data, &opts).expect("bcast");
             }
         });
         stats.makespan

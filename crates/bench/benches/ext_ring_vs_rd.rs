@@ -5,7 +5,8 @@
 //! messages).
 
 use datasets::App;
-use hzccl::{hz, paper_model, rd, CollectiveConfig, Mode, Variant};
+use hzccl::collectives::{self, CollectiveOpts};
+use hzccl::{paper_model, rd, CollectiveConfig, Mode, Variant};
 use hzccl_bench::{banner, env_usize, Table};
 use netsim::{Cluster, ComputeTiming};
 
@@ -15,6 +16,7 @@ fn main() {
     let eb = 1e-4;
     let mode = Mode::MultiThread(18);
     let cfg = CollectiveConfig::new(eb, mode);
+    let ring_opts = CollectiveOpts::hz(eb).with_mode(mode);
     let timing = ComputeTiming::Modeled(paper_model(Variant::Hzccl, mode));
 
     println!("{nranks} ranks, hZCCL compression, RTM data\n");
@@ -35,7 +37,7 @@ fn main() {
             let (_, stats) = cluster.run_stats(|comm| {
                 let data = &fields[comm.rank()];
                 if ring {
-                    hz::allreduce(comm, data, &cfg).expect("ring");
+                    collectives::allreduce(comm, data, &ring_opts).expect("ring");
                 } else {
                     rd::allreduce_rd_hz(comm, data, &cfg).expect("rd");
                 }

@@ -3,7 +3,8 @@
 //! (DESIGN.md ablation 4: the Sec. III-C.2 stage fusion).
 
 use datasets::App;
-use hzccl::{ccoll, hz, CollectiveConfig, Kernel, Mode, Variant};
+use hzccl::collectives::{self, CollectiveOpts};
+use hzccl::{ccoll, CollectiveConfig, Kernel, Mode, Variant};
 use hzccl_bench::{
     banner, env_usize, mt_threads, net, ranks, scaled_rank_fields, timing_for, CollOp, Table,
 };
@@ -44,9 +45,10 @@ fn main() {
             let timing = timing_for(Variant::Hzccl, mode, &fields[0][..n.min(1 << 21)], eb);
             let cluster = Cluster::new(nranks).with_net(net()).with_timing(timing);
             let cfg = CollectiveConfig::new(eb, mode);
+            let opts = CollectiveOpts::hz(eb).with_mode(mode);
             let (_, stats) = cluster.run_stats(|comm| {
                 let data = &fields[comm.rank()];
-                let own = hz::reduce_scatter(comm, data, &cfg).expect("rs");
+                let own = collectives::reduce_scatter(comm, data, &opts).expect("rs");
                 ccoll::allgather(comm, &own, data.len(), &cfg).expect("ag");
             });
             let h_unfused = stats.makespan;

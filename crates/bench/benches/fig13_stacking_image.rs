@@ -3,7 +3,7 @@
 //! to `target/fig13/` and prints the numerical quality metrics.
 
 use datasets::{save_pgm, App, Quality};
-use hzccl::{CollectiveConfig, Mode};
+use hzccl::collectives::{self, CollectiveOpts};
 use hzccl_bench::{banner, env_usize};
 use netsim::{Cluster, ComputeTiming, ThroughputModel};
 use std::path::Path;
@@ -34,9 +34,9 @@ fn main() {
 
     let timing = ComputeTiming::Modeled(ThroughputModel::new(2.0, 4.0, 20.0, 10.0, 20.0));
     let cluster = Cluster::new(nranks).with_timing(timing);
-    let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+    let opts = CollectiveOpts::hz(eb);
     let outcomes = cluster.run(|comm| {
-        hzccl::hz::allreduce(comm, &fields[comm.rank()], &cfg).expect("stacking allreduce")
+        collectives::allreduce(comm, &fields[comm.rank()], &opts).expect("stacking allreduce")
     });
     let stacked = &outcomes[0].value;
 

@@ -4,6 +4,7 @@
 //! C-Coll in both modes, plus the stacked image's PSNR/NRMSE.
 
 use datasets::{App, Quality};
+use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::Kernel;
 use hzccl_bench::{banner, env_usize, run_collective, CollOp, Table};
 
@@ -61,9 +62,9 @@ fn main() {
         eb,
     );
     let cluster = netsim::Cluster::new(nranks).with_net(hzccl_bench::net()).with_timing(timing);
+    let opts = CollectiveOpts::hz(eb);
     let outcomes = cluster.run(|comm| {
-        let cfg = hzccl::CollectiveConfig::new(eb, hzccl::Mode::SingleThread);
-        hzccl::hz::allreduce(comm, &fields[comm.rank()], &cfg).expect("stacking allreduce")
+        collectives::allreduce(comm, &fields[comm.rank()], &opts).expect("stacking allreduce")
     });
     let q = Quality::compare(&exact, &outcomes[0].value);
     println!("\nhZCCL stacked-image quality: PSNR = {:.2} dB, NRMSE = {:.1e}", q.psnr, q.nrmse);

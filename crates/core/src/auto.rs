@@ -9,7 +9,7 @@
 //!
 //! 1. a fixed **decider** rank (rank 0, or the root for rooted ops) probes
 //!    its own data, asks the engine for a [`Decision`], and
-//! 2. broadcasts the winning [`Plan`] in its fixed 8-byte wire encoding
+//! 2. broadcasts the winning [`Plan`] in its fixed 12-byte wire encoding
 //!    ([`Plan::encode`]) on the reserved [`TAG_PLAN`] tag, then
 //! 3. every rank dispatches to the chosen static implementation
 //!    ([`crate::mpi`] / [`crate::ccoll`] / [`crate::hz`] / [`crate::rd`]).
@@ -108,7 +108,7 @@ pub fn scenario(
     ScenarioSpec { op, elems, nranks: comm.size(), eb: cfg.eb, ratios }
 }
 
-/// Decide on `decider`, broadcast the 8-byte plan down a binomial tree
+/// Decide on `decider`, broadcast the 12-byte plan down a binomial tree
 /// (`ceil(log2 N)` latency rounds instead of the linear `N-1` a naive
 /// send-to-all would cost — at 64 ranks that is 6 alpha charges, not 63),
 /// decode everywhere. Returns the agreed plan plus the decider's
@@ -161,10 +161,12 @@ pub fn allreduce_planned(
 ) -> Result<Vec<f32>> {
     let pcfg = cfg_for(plan, cfg);
     Ok(match (plan.flavor, plan.algo) {
-        (Flavor::Mpi, Algo::Ring) => mpi::allreduce(comm, data, pcfg.mode.threads()),
+        (Flavor::Mpi, Algo::Ring) => {
+            mpi::allreduce_impl(comm, data, pcfg.mode.threads(), plan.segments)
+        }
         (Flavor::Mpi, Algo::Rd) => rd::allreduce_rd(comm, data, pcfg.mode.threads()),
-        (Flavor::CColl, _) => ccoll::allreduce(comm, data, &pcfg)?,
-        (Flavor::Hzccl, Algo::Ring) => hz::allreduce(comm, data, &pcfg)?,
+        (Flavor::CColl, _) => ccoll::allreduce_impl(comm, data, &pcfg, plan.segments)?,
+        (Flavor::Hzccl, Algo::Ring) => hz::allreduce_impl(comm, data, &pcfg, plan.segments)?,
         (Flavor::Hzccl, Algo::Rd) => rd::allreduce_rd_hz(comm, data, &pcfg)?,
     })
 }
@@ -178,9 +180,9 @@ pub fn reduce_scatter_planned(
 ) -> Result<Vec<f32>> {
     let pcfg = cfg_for(plan, cfg);
     Ok(match plan.flavor {
-        Flavor::Mpi => mpi::reduce_scatter(comm, data, pcfg.mode.threads()),
-        Flavor::CColl => ccoll::reduce_scatter(comm, data, &pcfg)?,
-        Flavor::Hzccl => hz::reduce_scatter(comm, data, &pcfg)?,
+        Flavor::Mpi => mpi::reduce_scatter_impl(comm, data, pcfg.mode.threads(), plan.segments),
+        Flavor::CColl => ccoll::reduce_scatter_impl(comm, data, &pcfg, plan.segments)?,
+        Flavor::Hzccl => hz::reduce_scatter_impl(comm, data, &pcfg, plan.segments)?,
     })
 }
 
@@ -194,9 +196,9 @@ pub fn reduce_planned(
 ) -> Result<Option<Vec<f32>>> {
     let pcfg = cfg_for(plan, cfg);
     Ok(match plan.flavor {
-        Flavor::Mpi => mpi::reduce(comm, data, root, pcfg.mode.threads()),
-        Flavor::CColl => ccoll::reduce(comm, data, root, &pcfg)?,
-        Flavor::Hzccl => hz::reduce(comm, data, root, &pcfg)?,
+        Flavor::Mpi => mpi::reduce_impl(comm, data, root, pcfg.mode.threads(), plan.segments),
+        Flavor::CColl => ccoll::reduce_impl(comm, data, root, &pcfg, plan.segments)?,
+        Flavor::Hzccl => hz::reduce_impl(comm, data, root, &pcfg, plan.segments)?,
     })
 }
 
@@ -211,9 +213,9 @@ pub fn bcast_planned(
 ) -> Result<Vec<f32>> {
     let pcfg = cfg_for(plan, cfg);
     Ok(match plan.flavor {
-        Flavor::Mpi => mpi::bcast(comm, data, root, total_len),
-        Flavor::CColl => ccoll::bcast(comm, data, root, total_len, &pcfg)?,
-        Flavor::Hzccl => hz::bcast(comm, data, root, total_len, &pcfg)?,
+        Flavor::Mpi => mpi::bcast_impl(comm, data, root, total_len, plan.segments),
+        Flavor::CColl => ccoll::bcast_impl(comm, data, root, total_len, &pcfg, plan.segments)?,
+        Flavor::Hzccl => hz::bcast_impl(comm, data, root, total_len, &pcfg, plan.segments)?,
     })
 }
 

@@ -11,16 +11,24 @@
 //! especially in multi-thread mode, exactly as the published C-Coll's
 //! SZx-class compressor trails `hZCCL`'s co-designed stack. This keeps the
 //! framework comparison faithful to what the paper measured.
+//!
+//! With `segments > 1` every ring step is *pipelined*: the forwarded chunk
+//! is split at compressor-block boundaries and within a step segment `k`'s
+//! send is posted before segment `k-1`'s DOC triple (DPR + CPT; the CPR of
+//! segment `k` rides just after its own send post) runs, so the DOC compute
+//! hides behind the wire. Because `ompszp` blocks are independent and the
+//! segment boundaries are block-aligned, the pipelined result is
+//! bit-identical to the phase-serial one.
 
 use crate::chunks::node_chunks;
 use crate::config::CollectiveConfig;
-use crate::ring::ring_forward_logical;
+use crate::mpi::{TAG_GATHER, TAG_RS, TAG_SCATTER};
+use crate::pipeline::{chunk_seg_plan, seg_tag};
+use crate::ring::{ring_forward_logical, ring_forward_segmented};
 use fzlight::Result;
 use hzdyn::{doc::reduce_in_place, ReduceOp};
 use netsim::{Comm, OpKind};
 use ompszp::OszpStream;
-
-use crate::mpi::TAG_RS;
 
 fn oszp_config(cfg: &CollectiveConfig) -> ompszp::Config {
     ompszp::Config::new(ompszp::ErrorBound::Abs(cfg.eb))
@@ -29,47 +37,40 @@ fn oszp_config(cfg: &CollectiveConfig) -> ompszp::Config {
 }
 
 /// C-Coll ring `Reduce_scatter(sum)`: returns the reduced node-chunk `rank`.
+#[deprecated(note = "use hzccl::collectives::reduce_scatter with CollectiveOpts::ccoll(eb)")]
 pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
-    let n = comm.size();
-    let r = comm.rank();
-    let chunks = node_chunks(data.len(), n);
-    if n == 1 {
-        return Ok(data.to_vec());
-    }
-    let right = (r + 1) % n;
-    let left = (r + n - 1) % n;
-    let threads = cfg.mode.threads();
-    let ocfg = oszp_config(cfg);
+    reduce_scatter_impl(comm, data, cfg, 1)
+}
 
-    let mut acc: Vec<f32> = data[chunks[(r + n - 1) % n].clone()].to_vec();
-    for s in 0..n - 1 {
-        // CPR: compress the chunk we are about to forward
-        let stream = comm.compute_labeled(OpKind::Cpr, acc.len() * 4, "ccoll:compress", || {
-            ompszp::compress(&acc, &ocfg)
-        })?;
-        let logical = acc.len() * 4;
-        let got = comm.sendrecv_compressed(
-            right,
-            TAG_RS + s as u64,
-            stream.as_bytes().to_vec(),
-            logical,
-            left,
-        );
-        let received = OszpStream::from_bytes(got)?;
-        // DPR: fully decompress before any arithmetic (the DOC bottleneck)
-        let mut tmp =
-            comm.compute_labeled(OpKind::Dpr, received.n() * 4, "ccoll:decompress", || {
-                ompszp::decompress(&received)
-            })?;
-        let local_idx = (r + 2 * n - s - 2) % n;
-        let local = &data[chunks[local_idx].clone()];
-        // CPT: reduce on raw values
-        comm.compute_labeled(OpKind::Cpt, tmp.len() * 4, "ccoll:reduce", || {
-            reduce_in_place(&mut tmp, local, ReduceOp::Sum, threads)
-        });
-        acc = tmp;
-    }
-    Ok(acc)
+/// C-Coll ring `Allreduce(sum)` = DOC Reduce_scatter + compressed Allgather.
+#[deprecated(note = "use hzccl::collectives::allreduce with CollectiveOpts::ccoll(eb)")]
+pub fn allreduce(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
+    allreduce_impl(comm, data, cfg, 1)
+}
+
+/// C-Coll `Reduce(sum)` to `root`. Returns `Some(full sum)` on the root,
+/// `None` elsewhere.
+#[deprecated(note = "use hzccl::collectives::reduce with CollectiveOpts::ccoll(eb) \
+                     (returns `Ok(vec![])` on non-root ranks instead of `Option`)")]
+pub fn reduce(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    cfg: &CollectiveConfig,
+) -> Result<Option<Vec<f32>>> {
+    reduce_impl(comm, data, root, cfg, 1)
+}
+
+/// C-Coll long-message `Bcast`.
+#[deprecated(note = "use hzccl::collectives::bcast with CollectiveOpts::ccoll(eb)")]
+pub fn bcast(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    total_len: usize,
+    cfg: &CollectiveConfig,
+) -> Result<Vec<f32>> {
+    bcast_impl(comm, data, root, total_len, cfg, 1)
 }
 
 /// C-Coll ring `Allgather`: compress the owned chunk once, forward
@@ -80,6 +81,125 @@ pub fn allgather(
     own: &[f32],
     total_len: usize,
     cfg: &CollectiveConfig,
+) -> Result<Vec<f32>> {
+    allgather_impl(comm, own, total_len, cfg, 1)
+}
+
+/// DOC Reduce_scatter, phase-serial (`segments <= 1`) or segment-pipelined.
+pub(crate) fn reduce_scatter_impl(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+    segments: usize,
+) -> Result<Vec<f32>> {
+    let n = comm.size();
+    let r = comm.rank();
+    if n == 1 {
+        return Ok(data.to_vec());
+    }
+    let right = (r + 1) % n;
+    let left = (r + n - 1) % n;
+    let threads = cfg.mode.threads();
+    let ocfg = oszp_config(cfg);
+
+    if segments <= 1 {
+        let chunks = node_chunks(data.len(), n);
+        let mut acc: Vec<f32> = data[chunks[(r + n - 1) % n].clone()].to_vec();
+        for s in 0..n - 1 {
+            // CPR: compress the chunk we are about to forward
+            let stream =
+                comm.compute_labeled(OpKind::Cpr, acc.len() * 4, "ccoll:compress", || {
+                    ompszp::compress(&acc, &ocfg)
+                })?;
+            let logical = acc.len() * 4;
+            let got = comm.sendrecv_compressed(
+                right,
+                TAG_RS + s as u64,
+                stream.as_bytes().to_vec(),
+                logical,
+                left,
+            );
+            let received = OszpStream::from_bytes(got)?;
+            // DPR: fully decompress before any arithmetic (the DOC bottleneck)
+            let mut tmp =
+                comm.compute_labeled(OpKind::Dpr, received.n() * 4, "ccoll:decompress", || {
+                    ompszp::decompress(&received)
+                })?;
+            let local_idx = (r + 2 * n - s - 2) % n;
+            let local = &data[chunks[local_idx].clone()];
+            // CPT: reduce on raw values
+            comm.compute_labeled(OpKind::Cpt, tmp.len() * 4, "ccoll:reduce", || {
+                reduce_in_place(&mut tmp, local, ReduceOp::Sum, threads)
+            });
+            acc = tmp;
+        }
+        return Ok(acc);
+    }
+
+    // Pipelined: segment every chunk at compressor-block boundaries; within
+    // a step, segment k's CPR+send is posted before segment k-1's DPR+CPT
+    // runs, so the DOC triple of one segment hides behind the wire time of
+    // the next.
+    let plan = chunk_seg_plan(data.len(), n, segments, cfg.block_len);
+    let first = (r + n - 1) % n;
+    let mut acc_segs: Vec<Vec<f32>> =
+        plan[first].iter().map(|rng| data[rng.clone()].to_vec()).collect();
+    for s in 0..n - 1 {
+        let fwd_idx = (r + 2 * n - 1 - s) % n; // chunk acc_segs currently holds
+        let recv_idx = (r + 2 * n - 2 - s) % n;
+        let s_send = acc_segs.len();
+        let s_recv = plan[recv_idx].len();
+        debug_assert_eq!(s_send, plan[fwd_idx].len());
+        let mut got: Vec<Vec<u8>> = Vec::with_capacity(s_recv);
+        let mut next: Vec<Vec<f32>> = Vec::with_capacity(s_recv);
+        // the DOC triple's DPR + CPT half, deferred by one segment
+        let consume = |comm: &mut Comm, k: usize, payload: &[u8]| -> Result<Vec<f32>> {
+            let received = OszpStream::from_bytes(payload.to_vec())?;
+            let mut tmp =
+                comm.compute_labeled(OpKind::Dpr, received.n() * 4, "ccoll:decompress", || {
+                    ompszp::decompress(&received)
+                })?;
+            let local = &data[plan[recv_idx][k].clone()];
+            comm.compute_labeled(OpKind::Cpt, tmp.len() * 4, "ccoll:reduce", || {
+                reduce_in_place(&mut tmp, local, ReduceOp::Sum, threads)
+            });
+            Ok(tmp)
+        };
+        for k in 0..s_send.max(s_recv) {
+            if k < s_send {
+                let seg = std::mem::take(&mut acc_segs[k]);
+                let stream =
+                    comm.compute_labeled(OpKind::Cpr, seg.len() * 4, "ccoll:compress", || {
+                        ompszp::compress(&seg, &ocfg)
+                    })?;
+                comm.send_compressed(
+                    right,
+                    seg_tag(TAG_RS, s, k),
+                    stream.as_bytes().to_vec(),
+                    seg.len() * 4,
+                );
+            }
+            if k < s_recv {
+                if k > 0 {
+                    next.push(consume(comm, k - 1, &got[k - 1])?);
+                }
+                got.push(comm.recv(left, seg_tag(TAG_RS, s, k)));
+            }
+        }
+        next.push(consume(comm, s_recv - 1, &got[s_recv - 1])?);
+        acc_segs = next;
+    }
+    Ok(acc_segs.concat())
+}
+
+/// Compressed ring Allgather, phase-serial or segment-pipelined (received
+/// segments decompress while the next segment is on the wire).
+pub(crate) fn allgather_impl(
+    comm: &mut Comm,
+    own: &[f32],
+    total_len: usize,
+    cfg: &CollectiveConfig,
+    segments: usize,
 ) -> Result<Vec<f32>> {
     let n = comm.size();
     let r = comm.rank();
@@ -92,86 +212,153 @@ pub fn allgather(
         return Ok(out);
     }
 
-    // CPR (once): compress our own chunk
-    let own_stream = comm.compute_labeled(OpKind::Cpr, own.len() * 4, "ccoll:compress", || {
-        ompszp::compress(own, &ocfg)
-    })?;
-    let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
-    let slots = ring_forward_logical(comm, own_stream.as_bytes().to_vec(), &logical);
-    for (idx, payload) in slots.into_iter().enumerate() {
-        if idx == r {
-            continue;
+    if segments <= 1 {
+        // CPR (once): compress our own chunk
+        let own_stream =
+            comm.compute_labeled(OpKind::Cpr, own.len() * 4, "ccoll:compress", || {
+                ompszp::compress(own, &ocfg)
+            })?;
+        let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
+        let slots = ring_forward_logical(comm, own_stream.as_bytes().to_vec(), &logical);
+        for (idx, payload) in slots.into_iter().enumerate() {
+            if idx == r {
+                continue;
+            }
+            let stream = OszpStream::from_bytes(payload)?;
+            let dst = &mut out[chunks[idx].clone()];
+            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
+                ompszp::decompress_into(&stream, dst)
+            })?;
         }
-        let stream = OszpStream::from_bytes(payload)?;
-        let dst = &mut out[chunks[idx].clone()];
+        return Ok(out);
+    }
+
+    let plan = chunk_seg_plan(total_len, n, segments, cfg.block_len);
+    let base = chunks[r].start;
+    let mut own_bytes: Vec<Vec<u8>> = Vec::with_capacity(plan[r].len());
+    for rng in &plan[r] {
+        let seg = &own[rng.start - base..rng.end - base];
+        let stream = comm.compute_labeled(OpKind::Cpr, seg.len() * 4, "ccoll:compress", || {
+            ompszp::compress(seg, &ocfg)
+        })?;
+        own_bytes.push(stream.as_bytes().to_vec());
+    }
+    ring_forward_segmented(comm, own_bytes, &plan, |comm, idx, k, payload| {
+        let stream = OszpStream::from_bytes(payload.to_vec())?;
+        let dst = &mut out[plan[idx][k].clone()];
         comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
             ompszp::decompress_into(&stream, dst)
-        })?;
-    }
+        })
+    })?;
     Ok(out)
 }
 
-/// C-Coll ring `Allreduce(sum)` = DOC Reduce_scatter + compressed Allgather.
-pub fn allreduce(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
-    let own = reduce_scatter(comm, data, cfg)?;
-    allgather(comm, &own, data.len(), cfg)
+/// DOC Allreduce = Reduce_scatter + compressed Allgather, both phase-serial
+/// or both pipelined.
+pub(crate) fn allreduce_impl(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+    segments: usize,
+) -> Result<Vec<f32>> {
+    let own = reduce_scatter_impl(comm, data, cfg, segments)?;
+    allgather_impl(comm, &own, data.len(), cfg, segments)
 }
 
-/// C-Coll `Reduce(sum)` to `root`: DOC Reduce_scatter, then every rank
-/// compresses its reduced chunk and the root decompresses the gathered
-/// chunks. Returns `Some(full sum)` on the root, `None` elsewhere.
-pub fn reduce(
+/// DOC Reduce-to-root: Reduce_scatter, then every rank compresses its
+/// reduced chunk (per segment when pipelined) and the root decompresses the
+/// gathered chunks.
+pub(crate) fn reduce_impl(
     comm: &mut Comm,
     data: &[f32],
     root: usize,
     cfg: &CollectiveConfig,
+    segments: usize,
 ) -> Result<Option<Vec<f32>>> {
     let n = comm.size();
     let r = comm.rank();
-    let own = reduce_scatter(comm, data, cfg)?;
+    let own = reduce_scatter_impl(comm, data, cfg, segments)?;
     if n == 1 {
         return Ok(Some(own));
     }
     let chunks = node_chunks(data.len(), n);
     let ocfg = oszp_config(cfg);
-    if r == root {
-        let mut out = vec![0f32; data.len()];
-        out[chunks[r].clone()].copy_from_slice(&own);
-        for src in 0..n {
-            if src == root {
-                continue;
+    if segments <= 1 {
+        if r == root {
+            let mut out = vec![0f32; data.len()];
+            out[chunks[r].clone()].copy_from_slice(&own);
+            for src in 0..n {
+                if src == root {
+                    continue;
+                }
+                let got = comm.recv(src, TAG_GATHER + src as u64);
+                let stream = OszpStream::from_bytes(got)?;
+                let dst = &mut out[chunks[src].clone()];
+                comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
+                    ompszp::decompress_into(&stream, dst)
+                })?;
             }
-            let got = comm.recv(src, crate::mpi::TAG_GATHER + src as u64);
-            let stream = OszpStream::from_bytes(got)?;
-            let dst = &mut out[chunks[src].clone()];
-            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
-                ompszp::decompress_into(&stream, dst)
-            })?;
+            return Ok(Some(out));
         }
-        Ok(Some(out))
-    } else {
         let stream = comm.compute_labeled(OpKind::Cpr, own.len() * 4, "ccoll:compress", || {
             ompszp::compress(&own, &ocfg)
         })?;
         comm.send_compressed(
             root,
-            crate::mpi::TAG_GATHER + r as u64,
+            TAG_GATHER + r as u64,
             stream.as_bytes().to_vec(),
             own.len() * 4,
         );
+        return Ok(None);
+    }
+
+    let plan = chunk_seg_plan(data.len(), n, segments, cfg.block_len);
+    if r == root {
+        let mut out = vec![0f32; data.len()];
+        out[chunks[r].clone()].copy_from_slice(&own);
+        for (src, segs) in plan.iter().enumerate() {
+            if src == root {
+                continue;
+            }
+            for (k, rng) in segs.iter().enumerate() {
+                let got = comm.recv(src, seg_tag(TAG_GATHER, src, k));
+                let stream = OszpStream::from_bytes(got)?;
+                let dst = &mut out[rng.clone()];
+                comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
+                    ompszp::decompress_into(&stream, dst)
+                })?;
+            }
+        }
+        Ok(Some(out))
+    } else {
+        let base = chunks[r].start;
+        for (k, rng) in plan[r].iter().enumerate() {
+            let seg = &own[rng.start - base..rng.end - base];
+            let stream =
+                comm.compute_labeled(OpKind::Cpr, seg.len() * 4, "ccoll:compress", || {
+                    ompszp::compress(seg, &ocfg)
+                })?;
+            comm.send_compressed(
+                root,
+                seg_tag(TAG_GATHER, r, k),
+                stream.as_bytes().to_vec(),
+                seg.len() * 4,
+            );
+        }
         Ok(None)
     }
 }
 
-/// C-Coll long-message `Bcast`: the root compresses its chunks once and
-/// scatters them compressed; a compressed ring-Allgather distributes the
-/// rest; every rank decompresses at the end.
-pub fn bcast(
+/// DOC long-message Bcast: the root compresses its chunks once and scatters
+/// them compressed; a compressed ring-Allgather distributes the rest; every
+/// rank decompresses at the end (per segment, overlapped, when pipelined).
+pub(crate) fn bcast_impl(
     comm: &mut Comm,
     data: &[f32],
     root: usize,
     total_len: usize,
     cfg: &CollectiveConfig,
+    segments: usize,
 ) -> Result<Vec<f32>> {
     let n = comm.size();
     let r = comm.rank();
@@ -181,41 +368,88 @@ pub fn bcast(
         return Ok(data.to_vec());
     }
     let chunks = node_chunks(total_len, n);
-    // the compressed bytes of this rank's chunk
-    let own_bytes: Vec<u8> = if r == root {
+    if segments <= 1 {
+        // the compressed bytes of this rank's chunk
+        let own_bytes: Vec<u8> = if r == root {
+            assert_eq!(data.len(), total_len, "bcast root must hold the full vector");
+            let mut mine = Vec::new();
+            for dst in 0..n {
+                let chunk = &data[chunks[dst].clone()];
+                let stream =
+                    comm.compute_labeled(OpKind::Cpr, chunk.len() * 4, "ccoll:compress", || {
+                        ompszp::compress(chunk, &ocfg)
+                    })?;
+                if dst == root {
+                    mine = stream.as_bytes().to_vec();
+                } else {
+                    comm.send_compressed(
+                        dst,
+                        TAG_SCATTER + dst as u64,
+                        stream.as_bytes().to_vec(),
+                        chunk.len() * 4,
+                    );
+                }
+            }
+            mine
+        } else {
+            comm.recv(root, TAG_SCATTER + r as u64)
+        };
+        let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
+        let slots = ring_forward_logical(comm, own_bytes, &logical);
+        let mut out = vec![0f32; total_len];
+        for (idx, payload) in slots.into_iter().enumerate() {
+            let stream = OszpStream::from_bytes(payload)?;
+            let dst = &mut out[chunks[idx].clone()];
+            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
+                ompszp::decompress_into(&stream, dst)
+            })?;
+        }
+        return Ok(out);
+    }
+
+    let plan = chunk_seg_plan(total_len, n, segments, cfg.block_len);
+    let own_bytes: Vec<Vec<u8>> = if r == root {
         assert_eq!(data.len(), total_len, "bcast root must hold the full vector");
         let mut mine = Vec::new();
-        for dst in 0..n {
-            let chunk = &data[chunks[dst].clone()];
-            let stream =
-                comm.compute_labeled(OpKind::Cpr, chunk.len() * 4, "ccoll:compress", || {
-                    ompszp::compress(chunk, &ocfg)
-                })?;
-            if dst == root {
-                mine = stream.as_bytes().to_vec();
-            } else {
-                comm.send_compressed(
-                    dst,
-                    crate::mpi::TAG_SCATTER + dst as u64,
-                    stream.as_bytes().to_vec(),
-                    chunk.len() * 4,
-                );
+        for (dst, segs) in plan.iter().enumerate() {
+            for (k, rng) in segs.iter().enumerate() {
+                let seg = &data[rng.clone()];
+                let stream =
+                    comm.compute_labeled(OpKind::Cpr, seg.len() * 4, "ccoll:compress", || {
+                        ompszp::compress(seg, &ocfg)
+                    })?;
+                if dst == root {
+                    mine.push(stream.as_bytes().to_vec());
+                } else {
+                    comm.send_compressed(
+                        dst,
+                        seg_tag(TAG_SCATTER, dst, k),
+                        stream.as_bytes().to_vec(),
+                        seg.len() * 4,
+                    );
+                }
             }
         }
         mine
     } else {
-        comm.recv(root, crate::mpi::TAG_SCATTER + r as u64)
+        (0..plan[r].len()).map(|k| comm.recv(root, seg_tag(TAG_SCATTER, r, k))).collect()
     };
-    let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
-    let slots = ring_forward_logical(comm, own_bytes, &logical);
     let mut out = vec![0f32; total_len];
-    for (idx, payload) in slots.into_iter().enumerate() {
-        let stream = OszpStream::from_bytes(payload)?;
-        let dst = &mut out[chunks[idx].clone()];
+    // decompress the own chunk up front; the ring callback fills the rest
+    for (k, rng) in plan[r].iter().enumerate() {
+        let stream = OszpStream::from_bytes(own_bytes[k].clone())?;
+        let dst = &mut out[rng.clone()];
         comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
             ompszp::decompress_into(&stream, dst)
         })?;
     }
+    ring_forward_segmented(comm, own_bytes, &plan, |comm, idx, k, payload| {
+        let stream = OszpStream::from_bytes(payload.to_vec())?;
+        let dst = &mut out[plan[idx][k].clone()];
+        comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
+            ompszp::decompress_into(&stream, dst)
+        })
+    })?;
     Ok(out)
 }
 
@@ -248,19 +482,45 @@ mod tests {
         let n = 2048;
         let eb = 1e-4;
         for nranks in [2usize, 4, 6] {
-            let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), n);
-                allreduce(comm, &data, &cfg).expect("ccoll allreduce")
-            });
-            let expect = direct_sum(nranks, n);
-            // DOC error: each round re-quantizes, so worst case grows with N
-            let tol = (2.0 * nranks as f64) * eb + 1e-6;
-            for o in outcomes {
-                for (i, (a, b)) in o.value.iter().zip(&expect).enumerate() {
-                    assert!(((a - b).abs() as f64) <= tol, "nranks={nranks} at {i}: {a} vs {b}");
+            for segments in [1usize, 4] {
+                let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+                let cluster = Cluster::new(nranks).with_timing(modeled());
+                let outcomes = cluster.run(|comm| {
+                    let data = field(comm.rank(), n);
+                    allreduce_impl(comm, &data, &cfg, segments).expect("ccoll allreduce")
+                });
+                let expect = direct_sum(nranks, n);
+                // DOC error: each round re-quantizes, so worst case grows with N
+                let tol = (2.0 * nranks as f64) * eb + 1e-6;
+                for o in outcomes {
+                    for (i, (a, b)) in o.value.iter().zip(&expect).enumerate() {
+                        assert!(
+                            ((a - b).abs() as f64) <= tol,
+                            "nranks={nranks} segments={segments} at {i}: {a} vs {b}"
+                        );
+                    }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_allreduce_is_bit_identical_to_serial() {
+        let n = 4096;
+        let nranks = 4;
+        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+        let run = |segments: usize| {
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            cluster.run(|comm| {
+                let data = field(comm.rank(), n);
+                allreduce_impl(comm, &data, &cfg, segments).expect("ccoll allreduce")
+            })
+        };
+        let serial = run(1);
+        for segments in [2usize, 4, 64] {
+            let piped = run(segments);
+            for (a, b) in serial.iter().zip(&piped) {
+                assert_eq!(a.value, b.value, "segments={segments}");
             }
         }
     }
@@ -269,36 +529,40 @@ mod tests {
     fn ccoll_reduce_scatter_chunk_matches_direct_sum() {
         let n = 999;
         let nranks = 3;
-        let cfg = CollectiveConfig::new(1e-4, Mode::MultiThread(2));
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            reduce_scatter(comm, &data, &cfg).expect("rs")
-        });
-        let expect = direct_sum(nranks, n);
-        let chunks = node_chunks(n, nranks);
-        for (r, o) in outcomes.iter().enumerate() {
-            let want = &expect[chunks[r].clone()];
-            assert_eq!(o.value.len(), want.len());
-            for (a, b) in o.value.iter().zip(want) {
-                assert!((a - b).abs() <= 8.0 * 1e-4, "{a} vs {b}");
+        for segments in [1usize, 3] {
+            let cfg = CollectiveConfig::new(1e-4, Mode::MultiThread(2));
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(comm.rank(), n);
+                reduce_scatter_impl(comm, &data, &cfg, segments).expect("rs")
+            });
+            let expect = direct_sum(nranks, n);
+            let chunks = node_chunks(n, nranks);
+            for (r, o) in outcomes.iter().enumerate() {
+                let want = &expect[chunks[r].clone()];
+                assert_eq!(o.value.len(), want.len());
+                for (a, b) in o.value.iter().zip(want) {
+                    assert!((a - b).abs() <= 8.0 * 1e-4, "segments={segments}: {a} vs {b}");
+                }
             }
         }
     }
 
     #[test]
     fn ccoll_charges_doc_costs_every_round() {
-        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
-        let cluster = Cluster::new(4).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), 4096);
-            reduce_scatter(comm, &data, &cfg).expect("rs");
-            comm.breakdown()
-        });
-        for o in outcomes {
-            let b = o.value;
-            assert!(b.cpr > 0.0 && b.dpr > 0.0 && b.cpt > 0.0, "{b:?}");
-            assert_eq!(b.hpr, 0.0, "C-Coll never uses homomorphic processing");
+        for segments in [1usize, 4] {
+            let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+            let cluster = Cluster::new(4).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(comm.rank(), 4096);
+                reduce_scatter_impl(comm, &data, &cfg, segments).expect("rs");
+                comm.breakdown()
+            });
+            for o in outcomes {
+                let b = o.value;
+                assert!(b.cpr > 0.0 && b.dpr > 0.0 && b.cpt > 0.0, "{b:?}");
+                assert_eq!(b.hpr, 0.0, "C-Coll never uses homomorphic processing");
+            }
         }
     }
 
@@ -307,18 +571,20 @@ mod tests {
         let n = 900;
         let nranks = 4;
         let eb = 1e-4;
-        let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            reduce(comm, &data, 0, &cfg).expect("reduce")
-        });
-        let expect = direct_sum(nranks, n);
-        let got = outcomes[0].value.as_ref().expect("root result");
-        for (a, b) in got.iter().zip(&expect) {
-            assert!(((a - b).abs() as f64) <= (2.0 * nranks as f64 + 1.0) * eb, "{a} vs {b}");
+        for segments in [1usize, 2] {
+            let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(comm.rank(), n);
+                reduce_impl(comm, &data, 0, &cfg, segments).expect("reduce")
+            });
+            let expect = direct_sum(nranks, n);
+            let got = outcomes[0].value.as_ref().expect("root result");
+            for (a, b) in got.iter().zip(&expect) {
+                assert!(((a - b).abs() as f64) <= (2.0 * nranks as f64 + 1.0) * eb, "{a} vs {b}");
+            }
+            assert!(outcomes[1..].iter().all(|o| o.value.is_none()));
         }
-        assert!(outcomes[1..].iter().all(|o| o.value.is_none()));
     }
 
     #[test]
@@ -327,15 +593,17 @@ mod tests {
         let nranks = 5;
         let eb = 1e-3;
         let base = field(3, n);
-        let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = if comm.rank() == 0 { base.clone() } else { Vec::new() };
-            bcast(comm, &data, 0, n, &cfg).expect("bcast")
-        });
-        for o in &outcomes {
-            for (a, b) in o.value.iter().zip(&base) {
-                assert!((a - b).abs() as f64 <= eb + 1e-9, "{a} vs {b}");
+        for segments in [1usize, 2] {
+            let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = if comm.rank() == 0 { base.clone() } else { Vec::new() };
+                bcast_impl(comm, &data, 0, n, &cfg, segments).expect("bcast")
+            });
+            for o in &outcomes {
+                for (a, b) in o.value.iter().zip(&base) {
+                    assert!((a - b).abs() as f64 <= eb + 1e-9, "segments={segments}: {a} vs {b}");
+                }
             }
         }
     }
@@ -345,16 +613,18 @@ mod tests {
         let n = 500;
         let nranks = 5;
         let base: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
-        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let chunks = node_chunks(n, comm.size());
-            let own = base[chunks[comm.rank()].clone()].to_vec();
-            allgather(comm, &own, n, &cfg).expect("ag")
-        });
-        for o in outcomes {
-            for (a, b) in o.value.iter().zip(&base) {
-                assert!((a - b).abs() <= 1e-4 + 1e-7, "{a} vs {b}");
+        for segments in [1usize, 4] {
+            let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let chunks = node_chunks(n, comm.size());
+                let own = base[chunks[comm.rank()].clone()].to_vec();
+                allgather_impl(comm, &own, n, &cfg, segments).expect("ag")
+            });
+            for o in outcomes {
+                for (a, b) in o.value.iter().zip(&base) {
+                    assert!((a - b).abs() <= 1e-4 + 1e-7, "segments={segments}: {a} vs {b}");
+                }
             }
         }
     }

@@ -1,0 +1,519 @@
+//! The unified collectives front-end: one options builder, four verbs,
+//! every flavour.
+//!
+//! Historically each flavour module ([`crate::mpi`], [`crate::ccoll`],
+//! [`crate::hz`], [`crate::auto`]) exposed its own free functions with
+//! subtly different shapes — `mpi::reduce` returned `Option<Vec<f32>>`
+//! where `ccoll::reduce` returned `Result<Option<Vec<f32>>>`, `bcast`
+//! wanted an explicit `total_len`, and undersized inputs panicked inside
+//! `node_chunks`. This module is the single supported entry point:
+//!
+//! | verb | signature | non-root behaviour |
+//! |---|---|---|
+//! | [`allreduce`] | `(&mut Comm, &[f32], &CollectiveOpts) -> Result<Vec<f32>>` | n/a |
+//! | [`reduce_scatter`] | same | n/a (returns the own chunk) |
+//! | [`reduce`] | same (`opts.root`) | returns `Ok(vec![])` |
+//! | [`bcast`] | same (`opts.root`) | returns the full vector |
+//!
+//! Conventions:
+//!
+//! * **Every rank passes a full-length buffer to [`bcast`]** (MPI
+//!   semantics); non-root contents are ignored. The old `total_len`
+//!   parameter is gone — the buffer length *is* the total length.
+//! * **Input-dependent panics became typed errors**: fewer elements than
+//!   ranks is [`Error::TooFewElements`], an out-of-range root is
+//!   [`Error::InvalidRoot`].
+//! * **Pipelining is an option, not an API fork**:
+//!   [`CollectiveOpts::with_segments`] selects the segmented pipelined ring
+//!   schedule (see [`crate::pipeline`]); `1` (the default) is the
+//!   phase-serial ring. Results are bit-identical either way. Under
+//!   [`Variant::Auto`] the tuner-agreed plan's segment count overrides this
+//!   knob.
+//!
+//! ```
+//! use hzccl::collectives::{self, CollectiveOpts};
+//! use netsim::Cluster;
+//!
+//! let opts = CollectiveOpts::hz(1e-4).with_segments(4);
+//! let outcomes = Cluster::new(4).run(move |comm| {
+//!     let data: Vec<f32> = (0..256).map(|i| (i + comm.rank()) as f32 * 0.1).collect();
+//!     collectives::allreduce(comm, &data, &opts).unwrap()
+//! });
+//! assert!(outcomes.iter().all(|o| o.value == outcomes[0].value));
+//! ```
+
+use crate::auto;
+use crate::config::{CollectiveConfig, Mode, Variant};
+use crate::{ccoll, hz, mpi};
+use netsim::Comm;
+use std::fmt;
+use tuner::Engine;
+
+/// What can go wrong in a collective call.
+#[derive(Debug)]
+pub enum Error {
+    /// A compressor/decompressor failure bubbled up from the flavour.
+    Compression(fzlight::Error),
+    /// Ring collectives need at least one element per rank.
+    TooFewElements {
+        /// Elements in the caller's buffer.
+        elems: usize,
+        /// Ranks in the communicator.
+        nranks: usize,
+    },
+    /// The rooted collective named a rank outside the communicator.
+    InvalidRoot {
+        /// The requested root.
+        root: usize,
+        /// Ranks in the communicator.
+        nranks: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Compression(e) => write!(f, "compression error: {e}"),
+            Error::TooFewElements { elems, nranks } => write!(
+                f,
+                "ring collectives need at least one element per rank \
+                 (elems={elems}, nranks={nranks})"
+            ),
+            Error::InvalidRoot { root, nranks } => {
+                write!(f, "root rank {root} is outside the communicator (nranks={nranks})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Compression(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fzlight::Error> for Error {
+    fn from(e: fzlight::Error) -> Error {
+        Error::Compression(e)
+    }
+}
+
+/// Result alias of this module.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Options of one collective call: flavour, compression parameters, thread
+/// mode, pipeline segment count, and (for rooted verbs) the root rank.
+///
+/// Construct with a flavour constructor ([`CollectiveOpts::mpi`],
+/// [`CollectiveOpts::ccoll`], [`CollectiveOpts::hz`],
+/// [`CollectiveOpts::auto`]) and refine with the `with_*` builders.
+#[derive(Debug, Clone)]
+pub struct CollectiveOpts {
+    variant: Variant,
+    eb: f64,
+    block_len: usize,
+    mode: Mode,
+    segments: usize,
+    root: usize,
+    engine: Option<Engine>,
+}
+
+impl CollectiveOpts {
+    fn new(variant: Variant, eb: f64, engine: Option<Engine>) -> CollectiveOpts {
+        CollectiveOpts {
+            variant,
+            eb,
+            block_len: fzlight::DEFAULT_BLOCK_LEN,
+            mode: Mode::SingleThread,
+            segments: 1,
+            root: 0,
+            engine,
+        }
+    }
+
+    /// Plain MPI (no compression). The error bound is irrelevant and kept
+    /// at 0 for cache-key purposes.
+    pub fn mpi() -> CollectiveOpts {
+        CollectiveOpts::new(Variant::Mpi, 0.0, None)
+    }
+
+    /// C-Coll's DOC workflow at absolute error bound `eb`.
+    pub fn ccoll(eb: f64) -> CollectiveOpts {
+        CollectiveOpts::new(Variant::CColl, eb, None)
+    }
+
+    /// hZCCL's homomorphic workflow at absolute error bound `eb`.
+    pub fn hz(eb: f64) -> CollectiveOpts {
+        CollectiveOpts::new(Variant::Hzccl, eb, None)
+    }
+
+    /// Let the tuner pick per call ([`crate::auto`]) with the
+    /// paper-calibrated [`Engine`]; override it with
+    /// [`CollectiveOpts::with_engine`].
+    pub fn auto(eb: f64) -> CollectiveOpts {
+        CollectiveOpts::new(Variant::Auto, eb, Some(Engine::paper()))
+    }
+
+    /// Parse-driven constructor (CLI): flavour by [`Variant`], paper engine
+    /// when `Auto`.
+    pub fn for_variant(variant: Variant, eb: f64) -> CollectiveOpts {
+        let engine = matches!(variant, Variant::Auto).then(Engine::paper);
+        CollectiveOpts::new(variant, eb, engine)
+    }
+
+    /// Compressor block length (default [`fzlight::DEFAULT_BLOCK_LEN`]).
+    pub fn with_block_len(mut self, block_len: usize) -> CollectiveOpts {
+        self.block_len = block_len.max(1);
+        self
+    }
+
+    /// Single- or multi-thread compression/reduction mode.
+    pub fn with_mode(mut self, mode: Mode) -> CollectiveOpts {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand: `1` thread is [`Mode::SingleThread`], more is
+    /// [`Mode::MultiThread`].
+    pub fn with_threads(mut self, threads: usize) -> CollectiveOpts {
+        self.mode = if threads <= 1 { Mode::SingleThread } else { Mode::MultiThread(threads) };
+        self
+    }
+
+    /// Pipeline segment count per ring step. `1` (default) is the
+    /// phase-serial schedule; larger counts overlap per-segment compute
+    /// with the wire, clamped to [`crate::pipeline::MAX_SEGMENTS`] and the
+    /// chunk's block count. `0` is treated as `1`.
+    pub fn with_segments(mut self, segments: usize) -> CollectiveOpts {
+        self.segments = segments.max(1);
+        self
+    }
+
+    /// Root rank of the rooted verbs ([`reduce`], [`bcast`]); default 0.
+    pub fn with_root(mut self, root: usize) -> CollectiveOpts {
+        self.root = root;
+        self
+    }
+
+    /// Replace the [`Variant::Auto`] decision engine (ignored by the static
+    /// flavours).
+    pub fn with_engine(mut self, engine: Engine) -> CollectiveOpts {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// The flavour this call dispatches to.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Absolute error bound.
+    pub fn eb(&self) -> f64 {
+        self.eb
+    }
+
+    /// Thread mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Pipeline segment count (pre-clamp).
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Root rank of the rooted verbs.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The [`Variant::Auto`] engine, when one is attached.
+    pub fn engine(&self) -> Option<&Engine> {
+        self.engine.as_ref()
+    }
+
+    /// The per-flavour config these options imply.
+    fn cfg(&self) -> CollectiveConfig {
+        CollectiveConfig { eb: self.eb, block_len: self.block_len, mode: self.mode }
+    }
+
+    fn engine_ref(&self) -> &Engine {
+        self.engine.as_ref().expect("Variant::Auto options always carry an engine")
+    }
+}
+
+fn check_elems(comm: &Comm, elems: usize) -> Result<()> {
+    let nranks = comm.size();
+    if elems < nranks {
+        return Err(Error::TooFewElements { elems, nranks });
+    }
+    Ok(())
+}
+
+fn check_root(comm: &Comm, root: usize) -> Result<()> {
+    let nranks = comm.size();
+    if root >= nranks {
+        return Err(Error::InvalidRoot { root, nranks });
+    }
+    Ok(())
+}
+
+/// `Allreduce(sum)`: every rank contributes `data`, every rank receives the
+/// (error-bounded, for compressed flavours) element-wise sum.
+pub fn allreduce(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec<f32>> {
+    check_elems(comm, data.len())?;
+    let cfg = opts.cfg();
+    Ok(match opts.variant {
+        Variant::Mpi => mpi::allreduce_impl(comm, data, cfg.mode.threads(), opts.segments),
+        Variant::CColl => ccoll::allreduce_impl(comm, data, &cfg, opts.segments)?,
+        Variant::Hzccl => hz::allreduce_impl(comm, data, &cfg, opts.segments)?,
+        Variant::Auto => auto::allreduce(comm, data, &cfg, opts.engine_ref())?.value,
+    })
+}
+
+/// `Reduce_scatter(sum)`: every rank receives its own reduced node chunk
+/// (chunk layout [`crate::chunks::node_chunks`]).
+pub fn reduce_scatter(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec<f32>> {
+    check_elems(comm, data.len())?;
+    let cfg = opts.cfg();
+    Ok(match opts.variant {
+        Variant::Mpi => mpi::reduce_scatter_impl(comm, data, cfg.mode.threads(), opts.segments),
+        Variant::CColl => ccoll::reduce_scatter_impl(comm, data, &cfg, opts.segments)?,
+        Variant::Hzccl => hz::reduce_scatter_impl(comm, data, &cfg, opts.segments)?,
+        Variant::Auto => auto::reduce_scatter(comm, data, &cfg, opts.engine_ref())?.value,
+    })
+}
+
+/// `Reduce(sum)` to `opts.root`: the root receives the full sum, every
+/// other rank receives `Ok(vec![])` (no more `Option` vs `Result<Option>`
+/// split between flavours).
+pub fn reduce(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec<f32>> {
+    check_elems(comm, data.len())?;
+    check_root(comm, opts.root)?;
+    let cfg = opts.cfg();
+    let got = match opts.variant {
+        Variant::Mpi => mpi::reduce_impl(comm, data, opts.root, cfg.mode.threads(), opts.segments),
+        Variant::CColl => ccoll::reduce_impl(comm, data, opts.root, &cfg, opts.segments)?,
+        Variant::Hzccl => hz::reduce_impl(comm, data, opts.root, &cfg, opts.segments)?,
+        Variant::Auto => auto::reduce(comm, data, opts.root, &cfg, opts.engine_ref())?.value,
+    };
+    Ok(got.unwrap_or_default())
+}
+
+/// Long-message `Bcast` from `opts.root`: **every rank passes a full-length
+/// buffer** (MPI semantics — the length is the broadcast size; non-root
+/// contents are ignored) and receives the root's vector back.
+pub fn bcast(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec<f32>> {
+    check_elems(comm, data.len())?;
+    check_root(comm, opts.root)?;
+    let total_len = data.len();
+    let payload: &[f32] = if comm.rank() == opts.root { data } else { &[] };
+    let cfg = opts.cfg();
+    Ok(match opts.variant {
+        Variant::Mpi => mpi::bcast_impl(comm, payload, opts.root, total_len, opts.segments),
+        Variant::CColl => {
+            ccoll::bcast_impl(comm, payload, opts.root, total_len, &cfg, opts.segments)?
+        }
+        Variant::Hzccl => hz::bcast_impl(comm, payload, opts.root, total_len, &cfg, opts.segments)?,
+        Variant::Auto => {
+            auto::bcast(comm, payload, opts.root, total_len, &cfg, opts.engine_ref())?.value
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunks::node_chunks;
+    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+
+    fn modeled() -> ComputeTiming {
+        ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
+    }
+
+    fn field(rank: usize, n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.01).sin() * (rank + 1) as f32).collect()
+    }
+
+    fn direct_sum(nranks: usize, n: usize) -> Vec<f32> {
+        let mut acc = vec![0f32; n];
+        for r in 0..nranks {
+            for (a, b) in acc.iter_mut().zip(field(r, n)) {
+                *a += b;
+            }
+        }
+        acc
+    }
+
+    fn all_opts() -> Vec<CollectiveOpts> {
+        vec![
+            CollectiveOpts::mpi(),
+            CollectiveOpts::ccoll(1e-4),
+            CollectiveOpts::hz(1e-4),
+            CollectiveOpts::auto(1e-4),
+        ]
+    }
+
+    #[test]
+    fn allreduce_is_correct_for_every_variant_and_segment_count() {
+        let n = 2000;
+        let nranks = 4;
+        let expect = direct_sum(nranks, n);
+        for opts in all_opts() {
+            for segments in [1usize, 4] {
+                let opts = opts.clone().with_segments(segments);
+                let cluster = Cluster::new(nranks).with_timing(modeled());
+                let outcomes = cluster.run(|comm| {
+                    let data = field(comm.rank(), n);
+                    allreduce(comm, &data, &opts).expect("allreduce")
+                });
+                let tol = if opts.variant() == Variant::Mpi { 1e-4 } else { 0.01 };
+                for o in &outcomes {
+                    // C-Coll's Allgather keeps the own chunk raw (no
+                    // quantization roundtrip), so its ranks agree only
+                    // within the error bound, not bitwise
+                    if opts.variant() != Variant::CColl {
+                        assert_eq!(o.value, outcomes[0].value, "{:?}", opts.variant());
+                    }
+                    for (a, b) in o.value.iter().zip(&expect) {
+                        assert!(
+                            (a - b).abs() <= tol,
+                            "{:?} segments={segments}: {a} vs {b}",
+                            opts.variant()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_returns_empty_on_non_roots_for_every_variant() {
+        let n = 1200;
+        let nranks = 4;
+        let root = 2;
+        let expect = direct_sum(nranks, n);
+        for opts in all_opts() {
+            let opts = opts.with_root(root);
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(comm.rank(), n);
+                reduce(comm, &data, &opts).expect("reduce")
+            });
+            for (r, o) in outcomes.iter().enumerate() {
+                if r == root {
+                    assert_eq!(o.value.len(), n, "{:?}", opts.variant());
+                    for (a, b) in o.value.iter().zip(&expect) {
+                        assert!((a - b).abs() <= 0.01, "{:?}: {a} vs {b}", opts.variant());
+                    }
+                } else {
+                    assert!(o.value.is_empty(), "{:?}: non-root must get vec![]", opts.variant());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_takes_full_length_buffers_everywhere() {
+        let n = 900;
+        let nranks = 3;
+        let root = 1;
+        let base = field(root, n);
+        for opts in all_opts() {
+            let opts = opts.with_root(root);
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                // non-roots pass garbage of the right length — MPI semantics
+                let data = if comm.rank() == root { base.clone() } else { vec![f32::NAN; n] };
+                bcast(comm, &data, &opts).expect("bcast")
+            });
+            for o in &outcomes {
+                for (a, b) in o.value.iter().zip(&base) {
+                    assert!((a - b).abs() <= 1e-3 + 1e-6, "{:?}: {a} vs {b}", opts.variant());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_returns_the_own_chunk() {
+        let n = 1000;
+        let nranks = 4;
+        let expect = direct_sum(nranks, n);
+        let chunks = node_chunks(n, nranks);
+        for opts in [CollectiveOpts::mpi(), CollectiveOpts::hz(1e-4).with_segments(2)] {
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(comm.rank(), n);
+                reduce_scatter(comm, &data, &opts).expect("rs")
+            });
+            for (r, o) in outcomes.iter().enumerate() {
+                assert_eq!(o.value.len(), chunks[r].len());
+                for (a, b) in o.value.iter().zip(&expect[chunks[r].clone()]) {
+                    assert!((a - b).abs() <= 0.01, "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn undersized_input_is_a_typed_error_not_a_panic() {
+        let cluster = Cluster::new(4).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let opts = CollectiveOpts::hz(1e-4);
+            allreduce(comm, &[1.0, 2.0], &opts).map_err(|e| e.to_string())
+        });
+        for o in outcomes {
+            let msg = o.value.expect_err("2 elements over 4 ranks must fail");
+            assert!(msg.contains("elems=2"), "{msg}");
+            assert!(msg.contains("nranks=4"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_root_is_a_typed_error() {
+        let cluster = Cluster::new(2).with_timing(modeled());
+        let outcomes = cluster.run(|comm| {
+            let opts = CollectiveOpts::mpi().with_root(7);
+            let data = vec![1.0f32; 16];
+            (
+                matches!(reduce(comm, &data, &opts), Err(Error::InvalidRoot { root: 7, .. })),
+                matches!(bcast(comm, &data, &opts), Err(Error::InvalidRoot { root: 7, .. })),
+            )
+        });
+        for o in outcomes {
+            assert_eq!(o.value, (true, true));
+        }
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let opts = CollectiveOpts::hz(1e-3)
+            .with_segments(8)
+            .with_threads(18)
+            .with_block_len(64)
+            .with_root(3);
+        assert_eq!(opts.variant(), Variant::Hzccl);
+        assert_eq!(opts.segments(), 8);
+        assert_eq!(opts.mode(), Mode::MultiThread(18));
+        assert_eq!(opts.root(), 3);
+        assert!(opts.engine().is_none());
+        assert!(CollectiveOpts::auto(1e-4).engine().is_some());
+        // zero segments degrades to the serial schedule, threads=1 to ST
+        assert_eq!(CollectiveOpts::mpi().with_segments(0).segments(), 1);
+        assert_eq!(CollectiveOpts::mpi().with_threads(1).mode(), Mode::SingleThread);
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = Error::TooFewElements { elems: 3, nranks: 8 };
+        assert!(e.to_string().contains("elems=3"));
+        let e = Error::InvalidRoot { root: 9, nranks: 4 };
+        assert!(e.to_string().contains("root rank 9"));
+        use std::error::Error as _;
+        assert!(e.source().is_none());
+    }
+}

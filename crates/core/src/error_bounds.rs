@@ -89,6 +89,7 @@ mod tests {
     /// measured worst-case error respects the analytic bound (with the f32
     /// ULP slack of the final store).
     #[test]
+    #[allow(deprecated)] // deliberately exercises the per-flavour internals
     fn measured_errors_respect_the_bounds() {
         let n = 2048;
         let nranks = 6;

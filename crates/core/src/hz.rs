@@ -12,20 +12,80 @@
 //! Allgather stage, which in turn skips its compression; chunks travel
 //! compressed and are decompressed once at the end. (We charge `N` DPRs —
 //! the paper's accounting lists `N-1`, eliding the own-chunk decompression.)
+//!
+//! Every collective also has a **segmented pipelined** schedule
+//! (`segments > 1` through [`crate::collectives`]): each ring step's chunk
+//! is split into block-aligned segments ([`crate::pipeline::seg_ranges`])
+//! and the per-segment compute — just-in-time compression plus the
+//! homomorphic sum — is interleaved with the next segment's wire time.
+//! Compression turns lazy: instead of the serial `N·CPR` sweep before round
+//! 0, only the first send chunk is compressed up front and each later chunk
+//! is compressed inside the step that consumes it, where its cost hides
+//! behind the in-flight segment. Totals are unchanged (same `N·CPR`,
+//! `(N-1)·HPR`, `N·DPR` volumes) and the result is **bit-identical** to the
+//! phase-serial path: quantization is per-element (`round(v/2eb)`), all
+//! integer sums are exact, so segment boundaries cannot change a single
+//! output bit.
 
 use crate::chunks::node_chunks;
 use crate::config::CollectiveConfig;
-use crate::mpi::TAG_RS;
-use crate::ring::ring_forward_logical;
+use crate::mpi::{TAG_GATHER, TAG_RS, TAG_SCATTER};
+use crate::pipeline::{chunk_seg_plan, seg_tag};
+use crate::ring::{ring_forward_logical, ring_forward_segmented};
 use fzlight::{compress_resolved, decompress, CompressedStream, Result};
 use hzdyn::homomorphic_sum;
 use netsim::{Comm, OpKind};
+use std::ops::Range;
 
 /// hZCCL ring `Reduce_scatter(sum)`: returns the reduced node-chunk `rank`.
+#[deprecated(note = "use `hzccl::collectives::reduce_scatter` with `CollectiveOpts::hz()`")]
 pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
-    let stream = reduce_scatter_compressed(comm, data, cfg)?;
-    // the single final decompression of the workflow
-    comm.compute_labeled(OpKind::Dpr, stream.n() * 4, "hz:final-decompress", || decompress(&stream))
+    reduce_scatter_impl(comm, data, cfg, 1)
+}
+
+/// hZCCL ring `Allreduce(sum)` with the fused Reduce_scatter/Allgather
+/// optimization.
+#[deprecated(note = "use `hzccl::collectives::allreduce` with `CollectiveOpts::hz()`")]
+pub fn allreduce(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
+    allreduce_impl(comm, data, cfg, 1)
+}
+
+/// hZCCL `Reduce(sum)` to `root`. Returns `Some(full sum)` on the root,
+/// `None` elsewhere.
+#[deprecated(note = "use `hzccl::collectives::reduce` with `CollectiveOpts::hz()`")]
+pub fn reduce(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    cfg: &CollectiveConfig,
+) -> Result<Option<Vec<f32>>> {
+    reduce_impl(comm, data, root, cfg, 1)
+}
+
+/// hZCCL long-message `Bcast` from `root`.
+#[deprecated(note = "use `hzccl::collectives::bcast` with `CollectiveOpts::hz()`")]
+pub fn bcast(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    total_len: usize,
+    cfg: &CollectiveConfig,
+) -> Result<Vec<f32>> {
+    bcast_impl(comm, data, root, total_len, cfg, 1)
+}
+
+/// Compress one segment of `data` just in time, charging CPR for exactly the
+/// bytes it covers.
+fn compress_seg(
+    comm: &mut Comm,
+    data: &[f32],
+    rng: &Range<usize>,
+    cfg: &CollectiveConfig,
+) -> Result<CompressedStream> {
+    let threads = cfg.mode.threads();
+    comm.compute_labeled(OpKind::Cpr, rng.len() * 4, "hz:compress-segment", || {
+        compress_resolved(&data[rng.clone()], cfg.eb, cfg.block_len, threads)
+    })
 }
 
 /// The homomorphic Reduce_scatter core, returning the reduced chunk still in
@@ -80,93 +140,285 @@ pub(crate) fn reduce_scatter_compressed(
     Ok(send)
 }
 
-/// hZCCL ring `Allreduce(sum)` with the fused Reduce_scatter/Allgather
-/// optimization.
-pub fn allreduce(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
+/// The segmented pipelined Reduce_scatter core: returns the own chunk's
+/// reduced segments, still compressed (layout `seg_plan(...)[rank]`).
+///
+/// Schedule per ring step, per segment `k`:
+///
+/// 1. send segment `k` of the outgoing chunk (all ready at step start —
+///    they are step `s-1`'s homomorphic sums);
+/// 2. **JIT-compress** segment `k` of the local operand chunk;
+/// 3. homomorphic-sum segment `k-1` (deferred by one slot, so it too hides
+///    behind segment `k`'s wire time);
+/// 4. receive segment `k` — by now steps 2–3 have advanced the virtual
+///    clock, so the blocking wait shrinks by exactly the overlapped compute.
+///
+/// Steady-state step cost is `S·α + max(W, CPR+HPR)` against the serial
+/// `α + W + HPR` (plus its share of the upfront `N·CPR` sweep) — the
+/// closed form [`costmodel::reduce_scatter_hzccl_pipelined`] models.
+pub(crate) fn reduce_scatter_segments(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+    segments: usize,
+) -> Result<Vec<CompressedStream>> {
     let n = comm.size();
-    let own_stream = reduce_scatter_compressed(comm, data, cfg)?;
-    let chunks = node_chunks(data.len(), n);
-    let mut out = vec![0f32; data.len()];
-    // Allgather stage: no compression — the already-compressed chunks are
-    // forwarded verbatim around the ring...
-    let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
-    let slots = ring_forward_logical(comm, own_stream.into_bytes(), &logical);
-    // ...and everything is decompressed once at the very end.
-    for (idx, payload) in slots.into_iter().enumerate() {
-        let stream = CompressedStream::from_bytes(payload)?;
-        let dst = &mut out[chunks[idx].clone()];
-        comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:final-decompress", || {
-            fzlight::decompress_into(&stream, dst)
+    let r = comm.rank();
+    let plan = chunk_seg_plan(data.len(), n, segments, cfg.block_len);
+    if n == 1 {
+        return plan[0].iter().map(|rng| compress_seg(comm, data, rng, cfg)).collect();
+    }
+    let right = (r + 1) % n;
+    let left = (r + n - 1) % n;
+
+    // JIT compression: only the round-0 send chunk is compressed up front.
+    let first = (r + n - 1) % n;
+    let mut send_segs: Vec<CompressedStream> =
+        plan[first].iter().map(|rng| compress_seg(comm, data, rng, cfg)).collect::<Result<_>>()?;
+
+    for s in 0..n - 1 {
+        let send_idx = (r + 2 * n - s - 1) % n;
+        // received chunk == local operand chunk at this step
+        let idx = (r + 2 * n - s - 2) % n;
+        debug_assert_eq!(send_segs.len(), plan[send_idx].len());
+        let mut outgoing: Vec<Option<CompressedStream>> = send_segs.into_iter().map(Some).collect();
+        let s_send = outgoing.len();
+        let o_ranges = &plan[idx];
+        let s_recv = o_ranges.len();
+        let mut local: Vec<Option<CompressedStream>> = (0..s_recv).map(|_| None).collect();
+        let mut got: Vec<Option<CompressedStream>> = (0..s_recv).map(|_| None).collect();
+        let mut acc: Vec<Option<CompressedStream>> = (0..s_recv).map(|_| None).collect();
+        let hpr = |comm: &mut Comm,
+                   k: usize,
+                   got: &mut Vec<Option<CompressedStream>>,
+                   local: &mut Vec<Option<CompressedStream>>|
+         -> Result<CompressedStream> {
+            let a = got[k].take().expect("segment not yet received");
+            let b = local[k].take().expect("segment not yet compressed");
+            comm.compute_labeled(OpKind::Hpr, o_ranges[k].len() * 4, "hz:homomorphic-sum", || {
+                homomorphic_sum(&a, &b)
+            })
+        };
+        for k in 0..s_send.max(s_recv) {
+            if k < s_send {
+                let stream = outgoing[k].take().expect("segment already sent");
+                comm.send_compressed(
+                    right,
+                    seg_tag(TAG_RS, s, k),
+                    stream.into_bytes(),
+                    plan[send_idx][k].len() * 4,
+                );
+            }
+            if k < s_recv {
+                // JIT CPR + the deferred HPR both overlap segment k's wire
+                local[k] = Some(compress_seg(comm, data, &o_ranges[k], cfg)?);
+                if k > 0 {
+                    acc[k - 1] = Some(hpr(comm, k - 1, &mut got, &mut local)?);
+                }
+                let bytes = comm.recv(left, seg_tag(TAG_RS, s, k));
+                got[k] = Some(CompressedStream::from_bytes(bytes)?);
+            }
+        }
+        // drain: the last segment's homomorphic sum is exposed
+        acc[s_recv - 1] = Some(hpr(comm, s_recv - 1, &mut got, &mut local)?);
+        send_segs = acc.into_iter().map(|x| x.expect("segment left unreduced")).collect();
+    }
+    Ok(send_segs)
+}
+
+/// `Reduce_scatter` dispatcher: `segments <= 1` runs the phase-serial path,
+/// larger counts the pipelined schedule. Results are bit-identical.
+pub(crate) fn reduce_scatter_impl(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+    segments: usize,
+) -> Result<Vec<f32>> {
+    if segments <= 1 {
+        let stream = reduce_scatter_compressed(comm, data, cfg)?;
+        // the single final decompression of the workflow
+        return comm.compute_labeled(OpKind::Dpr, stream.n() * 4, "hz:final-decompress", || {
+            decompress(&stream)
+        });
+    }
+    let segs = reduce_scatter_segments(comm, data, cfg, segments)?;
+    let total: usize = segs.iter().map(|s| s.n()).sum();
+    let mut out = vec![0f32; total];
+    let mut off = 0;
+    for stream in &segs {
+        let len = stream.n();
+        let dst = &mut out[off..off + len];
+        comm.compute_labeled(OpKind::Dpr, len * 4, "hz:final-decompress", || {
+            fzlight::decompress_into(stream, dst)
         })?;
+        off += len;
     }
     Ok(out)
 }
 
-/// hZCCL `Reduce(sum)` to `root`: the homomorphic Reduce_scatter keeps every
+/// Fused `Allreduce` dispatcher (see [`reduce_scatter_impl`] for the
+/// serial/pipelined split).
+pub(crate) fn allreduce_impl(
+    comm: &mut Comm,
+    data: &[f32],
+    cfg: &CollectiveConfig,
+    segments: usize,
+) -> Result<Vec<f32>> {
+    let n = comm.size();
+    let r = comm.rank();
+    if segments <= 1 {
+        let own_stream = reduce_scatter_compressed(comm, data, cfg)?;
+        let chunks = node_chunks(data.len(), n);
+        let mut out = vec![0f32; data.len()];
+        // Allgather stage: no compression — the already-compressed chunks are
+        // forwarded verbatim around the ring...
+        let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
+        let slots = ring_forward_logical(comm, own_stream.into_bytes(), &logical);
+        // ...and everything is decompressed once at the very end.
+        for (idx, payload) in slots.into_iter().enumerate() {
+            let stream = CompressedStream::from_bytes(payload)?;
+            let dst = &mut out[chunks[idx].clone()];
+            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:final-decompress", || {
+                fzlight::decompress_into(&stream, dst)
+            })?;
+        }
+        return Ok(out);
+    }
+    let own_segs = reduce_scatter_segments(comm, data, cfg, segments)?;
+    let plan = chunk_seg_plan(data.len(), n, segments, cfg.block_len);
+    let mut out = vec![0f32; data.len()];
+    // Own chunk first (its DPR cannot overlap anything anyway), which frees
+    // the streams' bytes for forwarding without a copy.
+    let mut own_bytes = Vec::with_capacity(own_segs.len());
+    for (k, stream) in own_segs.into_iter().enumerate() {
+        let rng = plan[r][k].clone();
+        let dst = &mut out[rng];
+        comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:final-decompress", || {
+            fzlight::decompress_into(&stream, dst)
+        })?;
+        own_bytes.push(stream.into_bytes());
+    }
+    // Segmented fused Allgather: still no recompression; each received
+    // segment is decompressed *early*, while the next one is on the wire.
+    ring_forward_segmented(comm, own_bytes, &plan, |comm, idx, k, payload| {
+        let stream = CompressedStream::from_bytes(payload.to_vec())?;
+        let rng = plan[idx][k].clone();
+        let dst = &mut out[rng];
+        comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:final-decompress", || {
+            fzlight::decompress_into(&stream, dst)
+        })
+    })?;
+    Ok(out)
+}
+
+/// `Reduce`-to-root dispatcher: the homomorphic Reduce_scatter keeps every
 /// rank's reduced chunk compressed, so the gather forwards compressed bytes
 /// verbatim and **only the root decompresses** — `N·CPR + (N-1)·HPR` per
-/// rank plus `N·DPR` on the root, versus C-Coll's extra per-rank
-/// recompression. Returns `Some(full sum)` on the root, `None` elsewhere.
-pub fn reduce(
+/// rank plus `N·DPR` on the root.
+pub(crate) fn reduce_impl(
     comm: &mut Comm,
     data: &[f32],
     root: usize,
     cfg: &CollectiveConfig,
+    segments: usize,
 ) -> Result<Option<Vec<f32>>> {
     let n = comm.size();
     let r = comm.rank();
-    let own_stream = reduce_scatter_compressed(comm, data, cfg)?;
-    if n == 1 {
-        return Ok(Some(comm.compute_labeled(
-            OpKind::Dpr,
-            data.len() * 4,
-            "hz:final-decompress",
-            || decompress(&own_stream),
-        )?));
+    if segments <= 1 {
+        let own_stream = reduce_scatter_compressed(comm, data, cfg)?;
+        if n == 1 {
+            return Ok(Some(comm.compute_labeled(
+                OpKind::Dpr,
+                data.len() * 4,
+                "hz:final-decompress",
+                || decompress(&own_stream),
+            )?));
+        }
+        let chunks = node_chunks(data.len(), n);
+        if r == root {
+            let mut out = vec![0f32; data.len()];
+            {
+                let dst = &mut out[chunks[r].clone()];
+                comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:root-decompress", || {
+                    fzlight::decompress_into(&own_stream, dst)
+                })?;
+            }
+            for src in 0..n {
+                if src == root {
+                    continue;
+                }
+                let got = comm.recv(src, TAG_GATHER + src as u64);
+                let stream = CompressedStream::from_bytes(got)?;
+                let dst = &mut out[chunks[src].clone()];
+                comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:root-decompress", || {
+                    fzlight::decompress_into(&stream, dst)
+                })?;
+            }
+            return Ok(Some(out));
+        }
+        // no recompression: the chunk is already compressed
+        comm.send_compressed(
+            root,
+            TAG_GATHER + r as u64,
+            own_stream.into_bytes(),
+            chunks[r].len() * 4,
+        );
+        return Ok(None);
     }
-    let chunks = node_chunks(data.len(), n);
+    let own_segs = reduce_scatter_segments(comm, data, cfg, segments)?;
+    let plan = chunk_seg_plan(data.len(), n, segments, cfg.block_len);
+    if n == 1 {
+        let mut out = vec![0f32; data.len()];
+        for (k, stream) in own_segs.iter().enumerate() {
+            let dst = &mut out[plan[0][k].clone()];
+            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:final-decompress", || {
+                fzlight::decompress_into(stream, dst)
+            })?;
+        }
+        return Ok(Some(out));
+    }
     if r == root {
         let mut out = vec![0f32; data.len()];
-        {
-            let dst = &mut out[chunks[r].clone()];
+        for (k, stream) in own_segs.iter().enumerate() {
+            let dst = &mut out[plan[r][k].clone()];
             comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:root-decompress", || {
-                fzlight::decompress_into(&own_stream, dst)
+                fzlight::decompress_into(stream, dst)
             })?;
         }
         for src in 0..n {
             if src == root {
                 continue;
             }
-            let got = comm.recv(src, crate::mpi::TAG_GATHER + src as u64);
-            let stream = CompressedStream::from_bytes(got)?;
-            let dst = &mut out[chunks[src].clone()];
-            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:root-decompress", || {
-                fzlight::decompress_into(&stream, dst)
-            })?;
+            for k in 0..plan[src].len() {
+                let got = comm.recv(src, seg_tag(TAG_GATHER, src, k));
+                let stream = CompressedStream::from_bytes(got)?;
+                let dst = &mut out[plan[src][k].clone()];
+                comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:root-decompress", || {
+                    fzlight::decompress_into(&stream, dst)
+                })?;
+            }
         }
         Ok(Some(out))
     } else {
-        // no recompression: the chunk is already compressed
-        comm.send_compressed(
-            root,
-            crate::mpi::TAG_GATHER + r as u64,
-            own_stream.into_bytes(),
-            chunks[r].len() * 4,
-        );
+        for (k, stream) in own_segs.into_iter().enumerate() {
+            let logical = plan[r][k].len() * 4;
+            comm.send_compressed(root, seg_tag(TAG_GATHER, r, k), stream.into_bytes(), logical);
+        }
         Ok(None)
     }
 }
 
-/// hZCCL long-message `Bcast`. Broadcast moves data without reducing, so no
-/// homomorphic operation applies; the gain over MPI is the compressed wire
-/// (the root compresses each chunk once with fZ-light, everyone decompresses
-/// at the end).
-pub fn bcast(
+/// Long-message `Bcast` dispatcher. Broadcast moves data without reducing,
+/// so no homomorphic operation applies; the gain over MPI is the compressed
+/// wire (the root compresses each chunk once with fZ-light, everyone
+/// decompresses at the end — early, per segment, in the pipelined schedule).
+pub(crate) fn bcast_impl(
     comm: &mut Comm,
     data: &[f32],
     root: usize,
     total_len: usize,
     cfg: &CollectiveConfig,
+    segments: usize,
 ) -> Result<Vec<f32>> {
     let n = comm.size();
     let r = comm.rank();
@@ -175,41 +427,91 @@ pub fn bcast(
         assert_eq!(data.len(), total_len);
         return Ok(data.to_vec());
     }
-    let chunks = node_chunks(total_len, n);
-    let own_bytes: Vec<u8> = if r == root {
+    if segments <= 1 {
+        let chunks = node_chunks(total_len, n);
+        let own_bytes: Vec<u8> = if r == root {
+            assert_eq!(data.len(), total_len, "bcast root must hold the full vector");
+            let mut mine = Vec::new();
+            for dst in 0..n {
+                let chunk = &data[chunks[dst].clone()];
+                let stream = comm.compute_labeled(
+                    OpKind::Cpr,
+                    chunk.len() * 4,
+                    "hz:bcast-compress",
+                    || compress_resolved(chunk, cfg.eb, cfg.block_len, threads),
+                )?;
+                if dst == root {
+                    mine = stream.into_bytes();
+                } else {
+                    comm.send_compressed(
+                        dst,
+                        TAG_SCATTER + dst as u64,
+                        stream.into_bytes(),
+                        chunk.len() * 4,
+                    );
+                }
+            }
+            mine
+        } else {
+            comm.recv(root, TAG_SCATTER + r as u64)
+        };
+        let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
+        let slots = ring_forward_logical(comm, own_bytes, &logical);
+        let mut out = vec![0f32; total_len];
+        for (idx, payload) in slots.into_iter().enumerate() {
+            let stream = CompressedStream::from_bytes(payload)?;
+            let dst = &mut out[chunks[idx].clone()];
+            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:bcast-decompress", || {
+                fzlight::decompress_into(&stream, dst)
+            })?;
+        }
+        return Ok(out);
+    }
+    let plan = chunk_seg_plan(total_len, n, segments, cfg.block_len);
+    let own_bytes: Vec<Vec<u8>> = if r == root {
         assert_eq!(data.len(), total_len, "bcast root must hold the full vector");
         let mut mine = Vec::new();
-        for dst in 0..n {
-            let chunk = &data[chunks[dst].clone()];
-            let stream =
-                comm.compute_labeled(OpKind::Cpr, chunk.len() * 4, "hz:bcast-compress", || {
-                    compress_resolved(chunk, cfg.eb, cfg.block_len, threads)
-                })?;
-            if dst == root {
-                mine = stream.into_bytes();
-            } else {
-                comm.send_compressed(
-                    dst,
-                    crate::mpi::TAG_SCATTER + dst as u64,
-                    stream.into_bytes(),
-                    chunk.len() * 4,
-                );
+        for (dst, segs) in plan.iter().enumerate() {
+            for (k, rng) in segs.iter().enumerate() {
+                let seg = &data[rng.clone()];
+                let stream =
+                    comm.compute_labeled(OpKind::Cpr, seg.len() * 4, "hz:bcast-compress", || {
+                        compress_resolved(seg, cfg.eb, cfg.block_len, threads)
+                    })?;
+                if dst == root {
+                    mine.push(stream.into_bytes());
+                } else {
+                    comm.send_compressed(
+                        dst,
+                        seg_tag(TAG_SCATTER, dst, k),
+                        stream.into_bytes(),
+                        seg.len() * 4,
+                    );
+                }
             }
         }
         mine
     } else {
-        comm.recv(root, crate::mpi::TAG_SCATTER + r as u64)
+        (0..plan[r].len()).map(|k| comm.recv(root, seg_tag(TAG_SCATTER, r, k))).collect()
     };
-    let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
-    let slots = ring_forward_logical(comm, own_bytes, &logical);
     let mut out = vec![0f32; total_len];
-    for (idx, payload) in slots.into_iter().enumerate() {
-        let stream = CompressedStream::from_bytes(payload)?;
-        let dst = &mut out[chunks[idx].clone()];
+    // own chunk: parse, decompress, and recover the bytes for forwarding
+    let mut own_forward = Vec::with_capacity(own_bytes.len());
+    for (k, bytes) in own_bytes.into_iter().enumerate() {
+        let stream = CompressedStream::from_bytes(bytes)?;
+        let dst = &mut out[plan[r][k].clone()];
         comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:bcast-decompress", || {
             fzlight::decompress_into(&stream, dst)
         })?;
+        own_forward.push(stream.into_bytes());
     }
+    ring_forward_segmented(comm, own_forward, &plan, |comm, idx, k, payload| {
+        let stream = CompressedStream::from_bytes(payload.to_vec())?;
+        let dst = &mut out[plan[idx][k].clone()];
+        comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:bcast-decompress", || {
+            fzlight::decompress_into(&stream, dst)
+        })
+    })?;
     Ok(out)
 }
 
@@ -221,7 +523,7 @@ pub fn allreduce_unfused(
     data: &[f32],
     cfg: &CollectiveConfig,
 ) -> Result<Vec<f32>> {
-    let own = reduce_scatter(comm, data, cfg)?;
+    let own = reduce_scatter_impl(comm, data, cfg, 1)?;
     crate::ccoll::allgather(comm, &own, data.len(), cfg)
 }
 
@@ -259,7 +561,7 @@ mod tests {
                 let cluster = Cluster::new(nranks).with_timing(modeled());
                 let outcomes = cluster.run(|comm| {
                     let data = field(comm.rank(), n);
-                    allreduce(comm, &data, &cfg).expect("hzccl allreduce")
+                    allreduce_impl(comm, &data, &cfg, 1).expect("hzccl allreduce")
                 });
                 let expect = direct_sum(nranks, n);
                 // each rank's single quantization contributes <= eb; the
@@ -280,13 +582,15 @@ mod tests {
     #[test]
     fn all_ranks_agree_bitwise() {
         let cfg = CollectiveConfig::new(1e-4, Mode::MultiThread(2));
-        let cluster = Cluster::new(5).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), 1000);
-            allreduce(comm, &data, &cfg).expect("allreduce")
-        });
-        for o in &outcomes[1..] {
-            assert_eq!(o.value, outcomes[0].value);
+        for segments in [1usize, 4] {
+            let cluster = Cluster::new(5).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(comm.rank(), 1000);
+                allreduce_impl(comm, &data, &cfg, segments).expect("allreduce")
+            });
+            for o in &outcomes[1..] {
+                assert_eq!(o.value, outcomes[0].value);
+            }
         }
     }
 
@@ -299,7 +603,7 @@ mod tests {
         let cluster = Cluster::new(nranks).with_timing(modeled());
         let outcomes = cluster.run(|comm| {
             let data = field(comm.rank(), n);
-            reduce_scatter(comm, &data, &cfg).expect("rs")
+            reduce_scatter_impl(comm, &data, &cfg, 1).expect("rs")
         });
         let expect = direct_sum(nranks, n);
         let chunks = node_chunks(n, nranks);
@@ -313,19 +617,43 @@ mod tests {
     #[test]
     fn hzccl_charges_hpr_not_per_round_doc() {
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
-        let cluster = Cluster::new(4).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), 4096);
-            reduce_scatter(comm, &data, &cfg).expect("rs");
-            comm.breakdown()
-        });
-        for o in outcomes {
-            let b = o.value;
-            assert!(b.hpr > 0.0, "{b:?}");
-            assert_eq!(b.cpt, 0.0, "hZCCL never reduces on raw values");
-            // exactly one decompression (the final chunk)
-            assert!(b.dpr > 0.0);
-            assert!(b.dpr < b.cpr, "single DPR must be far below N×CPR: {b:?}");
+        for segments in [1usize, 4] {
+            let cluster = Cluster::new(4).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(comm.rank(), 4096);
+                reduce_scatter_impl(comm, &data, &cfg, segments).expect("rs");
+                comm.breakdown()
+            });
+            for o in outcomes {
+                let b = o.value;
+                assert!(b.hpr > 0.0, "{b:?}");
+                assert_eq!(b.cpt, 0.0, "hZCCL never reduces on raw values");
+                // exactly one chunk's decompression (the final chunk)
+                assert!(b.dpr > 0.0);
+                assert!(b.dpr < b.cpr, "single DPR must be far below N×CPR: {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_reduce_scatter_is_bit_identical_and_same_compute_totals() {
+        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+        let run = |segments: usize| {
+            let cluster = Cluster::new(4).with_timing(modeled());
+            cluster.run(|comm| {
+                let data = field(comm.rank(), 4096);
+                let v = reduce_scatter_impl(comm, &data, &cfg, segments).expect("rs");
+                (v, comm.breakdown())
+            })
+        };
+        let serial = run(1);
+        let piped = run(4);
+        for (a, b) in serial.iter().zip(&piped) {
+            assert_eq!(a.value.0, b.value.0, "bit-identical results");
+            // same CPR/HPR/DPR volumes -> same modeled compute seconds
+            assert!((a.value.1.cpr - b.value.1.cpr).abs() < 1e-12, "CPR totals differ");
+            assert!((a.value.1.hpr - b.value.1.hpr).abs() < 1e-12, "HPR totals differ");
+            assert!((a.value.1.dpr - b.value.1.dpr).abs() < 1e-12, "DPR totals differ");
         }
     }
 
@@ -337,7 +665,7 @@ mod tests {
             let (_, stats) = cluster.run_stats(|comm| {
                 let data = field(comm.rank(), 60_000);
                 if fused {
-                    allreduce(comm, &data, &cfg).expect("fused")
+                    allreduce_impl(comm, &data, &cfg, 1).expect("fused")
                 } else {
                     allreduce_unfused(comm, &data, &cfg).expect("unfused")
                 };
@@ -356,7 +684,7 @@ mod tests {
         let cluster = Cluster::new(nranks).with_timing(modeled());
         let fused = cluster.run(|comm| {
             let data = field(comm.rank(), n);
-            allreduce(comm, &data, &cfg).expect("fused")
+            allreduce_impl(comm, &data, &cfg, 1).expect("fused")
         });
         let unfused = cluster.run(|comm| {
             let data = field(comm.rank(), n);
@@ -375,20 +703,22 @@ mod tests {
         let eb = 1e-4;
         let root = 2;
         let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            reduce(comm, &data, root, &cfg).expect("reduce")
-        });
-        let expect = direct_sum(nranks, n);
-        for (r, o) in outcomes.iter().enumerate() {
-            if r == root {
-                let got = o.value.as_ref().expect("root must hold the result");
-                for (a, b) in got.iter().zip(&expect) {
-                    assert!(((a - b).abs() as f64) <= nranks as f64 * eb + 1e-6, "{a} vs {b}");
+        for segments in [1usize, 3] {
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(comm.rank(), n);
+                reduce_impl(comm, &data, root, &cfg, segments).expect("reduce")
+            });
+            let expect = direct_sum(nranks, n);
+            for (r, o) in outcomes.iter().enumerate() {
+                if r == root {
+                    let got = o.value.as_ref().expect("root must hold the result");
+                    for (a, b) in got.iter().zip(&expect) {
+                        assert!(((a - b).abs() as f64) <= nranks as f64 * eb + 1e-6, "{a} vs {b}");
+                    }
+                } else {
+                    assert!(o.value.is_none());
                 }
-            } else {
-                assert!(o.value.is_none());
             }
         }
     }
@@ -396,15 +726,17 @@ mod tests {
     #[test]
     fn reduce_leaves_non_roots_without_decompression_cost() {
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
-        let cluster = Cluster::new(4).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), 2048);
-            reduce(comm, &data, 0, &cfg).expect("reduce");
-            comm.breakdown()
-        });
-        assert!(outcomes[0].value.dpr > 0.0, "root decompresses");
-        for o in &outcomes[1..] {
-            assert_eq!(o.value.dpr, 0.0, "non-roots never decompress: {:?}", o.value);
+        for segments in [1usize, 4] {
+            let cluster = Cluster::new(4).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(comm.rank(), 2048);
+                reduce_impl(comm, &data, 0, &cfg, segments).expect("reduce");
+                comm.breakdown()
+            });
+            assert!(outcomes[0].value.dpr > 0.0, "root decompresses");
+            for o in &outcomes[1..] {
+                assert_eq!(o.value.dpr, 0.0, "non-roots never decompress: {:?}", o.value);
+            }
         }
     }
 
@@ -416,15 +748,17 @@ mod tests {
         let root = 1;
         let base = field(7, n);
         let cfg = CollectiveConfig::new(eb, Mode::MultiThread(2));
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = if comm.rank() == root { base.clone() } else { Vec::new() };
-            bcast(comm, &data, root, n, &cfg).expect("bcast")
-        });
-        for o in &outcomes {
-            assert_eq!(o.value, outcomes[0].value, "all ranks identical");
-            for (a, b) in o.value.iter().zip(&base) {
-                assert!((a - b).abs() as f64 <= eb + 1e-9, "{a} vs {b}");
+        for segments in [1usize, 2] {
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = if comm.rank() == root { base.clone() } else { Vec::new() };
+                bcast_impl(comm, &data, root, n, &cfg, segments).expect("bcast")
+            });
+            for o in &outcomes {
+                assert_eq!(o.value, outcomes[0].value, "all ranks identical");
+                for (a, b) in o.value.iter().zip(&base) {
+                    assert!((a - b).abs() as f64 <= eb + 1e-9, "{a} vs {b}");
+                }
             }
         }
     }
@@ -432,13 +766,15 @@ mod tests {
     #[test]
     fn single_rank_allreduce_is_quantized_identity() {
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
-        let cluster = Cluster::new(1).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(0, 256);
-            allreduce(comm, &data, &cfg).expect("allreduce")
-        });
-        for (a, b) in outcomes[0].value.iter().zip(field(0, 256)) {
-            assert!((a - b).abs() <= 1e-4 + 1e-9);
+        for segments in [1usize, 4] {
+            let cluster = Cluster::new(1).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = field(0, 256);
+                allreduce_impl(comm, &data, &cfg, segments).expect("allreduce")
+            });
+            for (a, b) in outcomes[0].value.iter().zip(field(0, 256)) {
+                assert!((a - b).abs() <= 1e-4 + 1e-9);
+            }
         }
     }
 }

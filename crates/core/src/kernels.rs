@@ -2,9 +2,8 @@
 //! a single dispatcher so benches sweep kernels exactly like the paper's
 //! `different_sizes.sh` / `different_nodes.sh` scripts.
 
-use crate::config::{CollectiveConfig, Mode, Variant};
-use crate::{ccoll, hz, mpi};
-use fzlight::Result;
+use crate::collectives::{self, CollectiveOpts, Result};
+use crate::config::{Mode, Variant};
 use netsim::Comm;
 
 /// Kernel ids as used by the paper's artifact outputs.
@@ -74,6 +73,15 @@ impl Kernel {
         }
     }
 
+    /// The [`CollectiveOpts`] this kernel dispatches with (plain MPI runs
+    /// single-threaded CPT, matching the artifact's `MPI_Allreduce`).
+    pub fn opts(&self, eb: f64, mt_threads: usize) -> CollectiveOpts {
+        match self.mode(mt_threads) {
+            None => CollectiveOpts::mpi(),
+            Some(mode) => CollectiveOpts::for_variant(self.variant(), eb).with_mode(mode),
+        }
+    }
+
     /// Run this kernel's `Allreduce` on one rank.
     pub fn allreduce(
         &self,
@@ -82,18 +90,7 @@ impl Kernel {
         eb: f64,
         mt_threads: usize,
     ) -> Result<Vec<f32>> {
-        match self.mode(mt_threads) {
-            None => Ok(mpi::allreduce(comm, data, 1)),
-            Some(mode) => {
-                let cfg = CollectiveConfig::new(eb, mode);
-                match self {
-                    Kernel::CCollMultiThread | Kernel::CCollSingleThread => {
-                        ccoll::allreduce(comm, data, &cfg)
-                    }
-                    _ => hz::allreduce(comm, data, &cfg),
-                }
-            }
-        }
+        collectives::allreduce(comm, data, &self.opts(eb, mt_threads))
     }
 
     /// Run this kernel's `Reduce_scatter` on one rank.
@@ -104,18 +101,7 @@ impl Kernel {
         eb: f64,
         mt_threads: usize,
     ) -> Result<Vec<f32>> {
-        match self.mode(mt_threads) {
-            None => Ok(mpi::reduce_scatter(comm, data, 1)),
-            Some(mode) => {
-                let cfg = CollectiveConfig::new(eb, mode);
-                match self {
-                    Kernel::CCollMultiThread | Kernel::CCollSingleThread => {
-                        ccoll::reduce_scatter(comm, data, &cfg)
-                    }
-                    _ => hz::reduce_scatter(comm, data, &cfg),
-                }
-            }
-        }
+        collectives::reduce_scatter(comm, data, &self.opts(eb, mt_threads))
     }
 }
 

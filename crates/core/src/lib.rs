@@ -23,16 +23,21 @@
 //! for the latency-bound small-message regime, and [`error_bounds`] states
 //! the analytic worst-case error of each workflow.
 //!
+//! The supported entry point is the unified [`collectives`] API — one
+//! options builder ([`CollectiveOpts`]), four verbs, every flavour (plus
+//! the segmented pipelined ring schedule via
+//! [`CollectiveOpts::with_segments`]):
+//!
 //! ```
-//! use hzccl::{CollectiveConfig, Mode};
+//! use hzccl::collectives::{self, CollectiveOpts};
 //! use netsim::Cluster;
 //!
-//! let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+//! let opts = CollectiveOpts::hz(1e-4);
 //! let cluster = Cluster::new(4);
-//! let outcomes = cluster.run(|comm| {
+//! let outcomes = cluster.run(move |comm| {
 //!     let rank = comm.rank();
 //!     let data: Vec<f32> = (0..256).map(|i| (i + rank) as f32 * 0.1).collect();
-//!     hzccl::hz::allreduce(comm, &data, &cfg).unwrap()
+//!     collectives::allreduce(comm, &data, &opts).unwrap()
 //! });
 //! // every rank holds the same error-bounded sum
 //! assert!(outcomes.iter().all(|o| o.value == outcomes[0].value));
@@ -41,15 +46,18 @@
 pub mod auto;
 pub mod ccoll;
 pub mod chunks;
+pub mod collectives;
 pub mod config;
 pub mod error_bounds;
 pub mod hz;
 pub mod kernels;
 pub mod mpi;
 pub mod p2p;
+pub mod pipeline;
 pub mod rd;
 pub(crate) mod ring;
 
+pub use collectives::CollectiveOpts;
 pub use config::{calibrate_doc, calibrate_hz, paper_model, CollectiveConfig, Mode, Variant};
 pub use kernels::Kernel;
 
@@ -75,29 +83,18 @@ mod tests {
     fn virtual_time_ordering_hzccl_ccoll_mpi() {
         let n = 1 << 18; // 1 MiB of f32 per rank
         let nranks = 8;
-        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
-        let time_of = |which: usize| {
+        let time_of = |opts: CollectiveOpts| {
             let cluster =
                 Cluster::new(nranks).with_timing(modeled()).with_net(NetConfig::default());
             let (_, stats) = cluster.run_stats(|comm| {
                 let data = smooth_field(comm.rank(), n);
-                match which {
-                    0 => {
-                        mpi::allreduce(comm, &data, 1);
-                    }
-                    1 => {
-                        ccoll::allreduce(comm, &data, &cfg).expect("ccoll");
-                    }
-                    _ => {
-                        hz::allreduce(comm, &data, &cfg).expect("hz");
-                    }
-                };
+                collectives::allreduce(comm, &data, &opts).expect("allreduce");
             });
             stats.makespan
         };
-        let t_mpi = time_of(0);
-        let t_ccoll = time_of(1);
-        let t_hz = time_of(2);
+        let t_mpi = time_of(CollectiveOpts::mpi());
+        let t_ccoll = time_of(CollectiveOpts::ccoll(1e-4));
+        let t_hz = time_of(CollectiveOpts::hz(1e-4));
         assert!(
             t_hz < t_ccoll && t_ccoll < t_mpi,
             "expected hz < ccoll < mpi, got {t_hz:.6} {t_ccoll:.6} {t_mpi:.6}"
@@ -109,22 +106,17 @@ mod tests {
     #[test]
     fn hzccl_reduces_doc_share_vs_ccoll() {
         let n = 1 << 16;
-        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
-        let share = |hz_mode: bool| {
+        let share = |opts: CollectiveOpts| {
             let cluster = Cluster::new(4).with_timing(modeled());
             let (_, stats) = cluster.run_stats(|comm| {
                 let data = smooth_field(comm.rank(), n);
-                if hz_mode {
-                    hz::allreduce(comm, &data, &cfg).expect("hz");
-                } else {
-                    ccoll::allreduce(comm, &data, &cfg).expect("ccoll");
-                }
+                collectives::allreduce(comm, &data, &opts).expect("allreduce");
             });
             let (doc, _, _) = stats.total.percentages();
             doc
         };
-        let ccoll_doc = share(false);
-        let hz_doc = share(true);
+        let ccoll_doc = share(CollectiveOpts::ccoll(1e-4));
+        let hz_doc = share(CollectiveOpts::hz(1e-4));
         assert!(
             hz_doc < ccoll_doc,
             "hZCCL DOC share {hz_doc:.1}% should undercut C-Coll {ccoll_doc:.1}%"
@@ -138,7 +130,6 @@ mod tests {
         let n = 4096;
         let nranks = 6;
         let eb = 1e-3;
-        let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
         let cluster = Cluster::new(nranks).with_timing(modeled());
         let exact: Vec<f32> = {
             let mut acc = vec![0f32; n];
@@ -149,14 +140,10 @@ mod tests {
             }
             acc
         };
-        let max_err = |hz_mode: bool| {
+        let max_err = |opts: CollectiveOpts| {
             let outcomes = cluster.run(|comm| {
                 let data = smooth_field(comm.rank(), n);
-                if hz_mode {
-                    hz::allreduce(comm, &data, &cfg).expect("hz")
-                } else {
-                    ccoll::allreduce(comm, &data, &cfg).expect("ccoll")
-                }
+                collectives::allreduce(comm, &data, &opts).expect("allreduce")
             });
             outcomes[0]
                 .value
@@ -165,8 +152,8 @@ mod tests {
                 .map(|(a, b)| (a - b).abs() as f64)
                 .fold(0.0f64, f64::max)
         };
-        let e_hz = max_err(true);
-        let e_ccoll = max_err(false);
+        let e_hz = max_err(CollectiveOpts::hz(eb));
+        let e_ccoll = max_err(CollectiveOpts::ccoll(eb));
         assert!(
             e_hz <= e_ccoll + eb,
             "hZCCL error {e_hz:.6} should not exceed C-Coll {e_ccoll:.6} materially"

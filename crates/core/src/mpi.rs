@@ -1,8 +1,19 @@
 //! Uncompressed ring collectives — the "Original Collectives (MPI)" baseline
 //! of Table II, implementing the same large-message ring algorithms as
 //! MPICH [28] that both C-Coll and hZCCL build on.
+//!
+//! The segmented pipelined schedules (`segments > 1`, reached through
+//! [`crate::collectives`]) split each ring step's chunk with
+//! [`crate::pipeline::seg_ranges`] (`block_len = 1`: raw traffic has no
+//! compressor blocks) and defer each segment's unpack + reduce by one slot
+//! so it overlaps the next segment's wire time. For the uncompressed
+//! baseline the overlappable compute (CPT + byte shuffling) is small next
+//! to the full-size wire traffic, so the expected gain is modest — exactly
+//! why the tuner never proposes segmented MPI plans on its own.
 
 use crate::chunks::{bytes_to_f32, f32_to_bytes, node_chunks};
+use crate::pipeline::{chunk_seg_plan, seg_tag};
+use crate::ring::ring_forward_segmented;
 use hzdyn::{doc::reduce_in_place, ReduceOp};
 use netsim::{Comm, OpKind};
 
@@ -14,10 +25,51 @@ pub(crate) const TAG_SCATTER: u64 = 4 << 32;
 
 /// Ring `Reduce_scatter(sum)`: every rank contributes `data` (equal length
 /// on all ranks) and receives the fully reduced node-chunk `rank`.
-///
-/// `cpt_threads` parallelizes the local reduction arithmetic (the paper's
-/// multi-thread mode also threads CPT).
+#[deprecated(note = "use `hzccl::collectives::reduce_scatter` with `CollectiveOpts::mpi()`")]
 pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f32> {
+    reduce_scatter_impl(comm, data, cpt_threads, 1)
+}
+
+/// Ring `Allgather`: rank `r` contributes `own` (node-chunk `r` of a vector
+/// of `total_len` elements) and receives the concatenation of all chunks.
+pub fn allgather(comm: &mut Comm, own: &[f32], total_len: usize) -> Vec<f32> {
+    allgather_impl(comm, own, total_len, 1)
+}
+
+/// Ring `Allreduce(sum)` = `Reduce_scatter` + `Allgather` (the widely used
+/// large-message algorithm [28], [8]).
+#[deprecated(note = "use `hzccl::collectives::allreduce` with `CollectiveOpts::mpi()`")]
+pub fn allreduce(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f32> {
+    allreduce_impl(comm, data, cpt_threads, 1)
+}
+
+/// Ring `Reduce(sum)` to `root`. Returns `Some(full sum)` on the root,
+/// `None` elsewhere.
+#[deprecated(
+    note = "use `hzccl::collectives::reduce` with `CollectiveOpts::mpi()`, which returns \
+            `Result` with `Ok(vec![])` on non-root ranks instead of `Option`"
+)]
+pub fn reduce(comm: &mut Comm, data: &[f32], root: usize, cpt_threads: usize) -> Option<Vec<f32>> {
+    reduce_impl(comm, data, root, cpt_threads, 1)
+}
+
+/// Long-message `Bcast`: scatter the root's chunks, then ring-Allgather
+/// (MPICH's scatter+allgather broadcast). `data` is read on the root only;
+/// every rank returns the full vector.
+#[deprecated(note = "use `hzccl::collectives::bcast` with `CollectiveOpts::mpi()`")]
+pub fn bcast(comm: &mut Comm, data: &[f32], root: usize, total_len: usize) -> Vec<f32> {
+    bcast_impl(comm, data, root, total_len, 1)
+}
+
+/// `cpt_threads` parallelizes the local reduction arithmetic (the paper's
+/// multi-thread mode also threads CPT). `segments <= 1` is the phase-serial
+/// ring; larger counts pipeline each step per the module docs.
+pub(crate) fn reduce_scatter_impl(
+    comm: &mut Comm,
+    data: &[f32],
+    cpt_threads: usize,
+    segments: usize,
+) -> Vec<f32> {
     let n = comm.size();
     let r = comm.rank();
     let chunks = node_chunks(data.len(), n);
@@ -27,27 +79,77 @@ pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<
     let right = (r + 1) % n;
     let left = (r + n - 1) % n;
 
-    // step s sends chunk (r - s - 1) mod n; the first send is our local copy
-    let mut acc: Vec<f32> = data[chunks[(r + n - 1) % n].clone()].to_vec();
-    for s in 0..n - 1 {
-        let payload =
-            comm.compute_labeled(OpKind::Other, acc.len() * 4, "mpi:pack", || f32_to_bytes(&acc));
-        let got = comm.sendrecv(right, TAG_RS + s as u64, payload, left);
-        let mut tmp =
-            comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
-        let local_idx = (r + 2 * n - s - 2) % n;
-        let local = &data[chunks[local_idx].clone()];
-        comm.compute_labeled(OpKind::Cpt, tmp.len() * 4, "mpi:reduce", || {
-            reduce_in_place(&mut tmp, local, ReduceOp::Sum, cpt_threads)
-        });
-        acc = tmp;
+    if segments <= 1 {
+        // step s sends chunk (r - s - 1) mod n; the first send is our local copy
+        let mut acc: Vec<f32> = data[chunks[(r + n - 1) % n].clone()].to_vec();
+        for s in 0..n - 1 {
+            let payload = comm
+                .compute_labeled(OpKind::Other, acc.len() * 4, "mpi:pack", || f32_to_bytes(&acc));
+            let got = comm.sendrecv(right, TAG_RS + s as u64, payload, left);
+            let mut tmp =
+                comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
+            let local_idx = (r + 2 * n - s - 2) % n;
+            let local = &data[chunks[local_idx].clone()];
+            comm.compute_labeled(OpKind::Cpt, tmp.len() * 4, "mpi:reduce", || {
+                reduce_in_place(&mut tmp, local, ReduceOp::Sum, cpt_threads)
+            });
+            acc = tmp;
+        }
+        return acc;
     }
-    acc
+
+    let plan = chunk_seg_plan(data.len(), n, segments, 1);
+    let first = (r + n - 1) % n;
+    let mut acc: Vec<Vec<f32>> = plan[first].iter().map(|rng| data[rng.clone()].to_vec()).collect();
+    for s in 0..n - 1 {
+        let idx = (r + 2 * n - s - 2) % n; // received chunk == local operand
+        let s_send = acc.len();
+        let o_ranges = &plan[idx];
+        let s_recv = o_ranges.len();
+        let mut outgoing: Vec<Vec<f32>> = std::mem::take(&mut acc);
+        let mut got: Vec<Vec<u8>> = Vec::with_capacity(s_recv);
+        let mut next: Vec<Vec<f32>> = Vec::with_capacity(s_recv);
+        let consume = |comm: &mut Comm, k: usize, bytes: &[u8]| -> Vec<f32> {
+            let mut tmp = comm
+                .compute_labeled(OpKind::Other, bytes.len(), "mpi:unpack", || bytes_to_f32(bytes));
+            let local = &data[o_ranges[k].clone()];
+            comm.compute_labeled(OpKind::Cpt, tmp.len() * 4, "mpi:reduce", || {
+                reduce_in_place(&mut tmp, local, ReduceOp::Sum, cpt_threads)
+            });
+            tmp
+        };
+        for k in 0..s_send.max(s_recv) {
+            if k < s_send {
+                let seg = std::mem::take(&mut outgoing[k]);
+                let payload =
+                    comm.compute_labeled(OpKind::Other, seg.len() * 4, "mpi:pack", || {
+                        f32_to_bytes(&seg)
+                    });
+                comm.send(right, seg_tag(TAG_RS, s, k), payload);
+            }
+            if k < s_recv {
+                // deferred unpack + reduce: hides behind segment k's wire
+                if k > 0 {
+                    let reduced = consume(comm, k - 1, &got[k - 1]);
+                    next.push(reduced);
+                }
+                got.push(comm.recv(left, seg_tag(TAG_RS, s, k)));
+            }
+        }
+        let reduced = consume(comm, s_recv - 1, &got[s_recv - 1]);
+        next.push(reduced);
+        acc = next;
+    }
+    acc.concat()
 }
 
-/// Ring `Allgather`: rank `r` contributes `own` (node-chunk `r` of a vector
-/// of `total_len` elements) and receives the concatenation of all chunks.
-pub fn allgather(comm: &mut Comm, own: &[f32], total_len: usize) -> Vec<f32> {
+/// `Allgather` dispatcher (see [`reduce_scatter_impl`] for the split).
+pub(crate) fn allgather_impl(
+    comm: &mut Comm,
+    own: &[f32],
+    total_len: usize,
+    segments: usize,
+) -> Vec<f32> {
     let n = comm.size();
     let r = comm.rank();
     let chunks = node_chunks(total_len, n);
@@ -57,66 +159,131 @@ pub fn allgather(comm: &mut Comm, own: &[f32], total_len: usize) -> Vec<f32> {
     if n == 1 {
         return out;
     }
-    let right = (r + 1) % n;
-    let left = (r + n - 1) % n;
-    for s in 0..n - 1 {
-        let send_idx = (r + n - s) % n;
-        let recv_idx = (r + 2 * n - s - 1) % n;
-        let payload =
-            comm.compute_labeled(OpKind::Other, chunks[send_idx].len() * 4, "mpi:pack", || {
-                f32_to_bytes(&out[chunks[send_idx].clone()])
-            });
-        let got = comm.sendrecv(right, TAG_AG + s as u64, payload, left);
-        let vals =
-            comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
-        out[chunks[recv_idx].clone()].copy_from_slice(&vals);
+    if segments <= 1 {
+        let right = (r + 1) % n;
+        let left = (r + n - 1) % n;
+        for s in 0..n - 1 {
+            let send_idx = (r + n - s) % n;
+            let recv_idx = (r + 2 * n - s - 1) % n;
+            let payload =
+                comm.compute_labeled(OpKind::Other, chunks[send_idx].len() * 4, "mpi:pack", || {
+                    f32_to_bytes(&out[chunks[send_idx].clone()])
+                });
+            let got = comm.sendrecv(right, TAG_AG + s as u64, payload, left);
+            let vals =
+                comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
+            out[chunks[recv_idx].clone()].copy_from_slice(&vals);
+        }
+        return out;
     }
+    let plan = chunk_seg_plan(total_len, n, segments, 1);
+    let own_bytes: Vec<Vec<u8>> = plan[r]
+        .iter()
+        .map(|rng| {
+            comm.compute_labeled(OpKind::Other, rng.len() * 4, "mpi:pack", || {
+                f32_to_bytes(&out[rng.clone()])
+            })
+        })
+        .collect();
+    ring_forward_segmented::<std::convert::Infallible>(
+        comm,
+        own_bytes,
+        &plan,
+        |comm, idx, k, payload| {
+            let vals = comm.compute_labeled(OpKind::Other, payload.len(), "mpi:unpack", || {
+                bytes_to_f32(payload)
+            });
+            out[plan[idx][k].clone()].copy_from_slice(&vals);
+            Ok(())
+        },
+    )
+    .unwrap_or_else(|e| match e {});
     out
 }
 
-/// Ring `Allreduce(sum)` = `Reduce_scatter` + `Allgather` (the widely used
-/// large-message algorithm [28], [8]).
-pub fn allreduce(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f32> {
-    let own = reduce_scatter(comm, data, cpt_threads);
-    allgather(comm, &own, data.len())
+/// `Allreduce` dispatcher: pipelined Reduce_scatter + pipelined Allgather.
+pub(crate) fn allreduce_impl(
+    comm: &mut Comm,
+    data: &[f32],
+    cpt_threads: usize,
+    segments: usize,
+) -> Vec<f32> {
+    let own = reduce_scatter_impl(comm, data, cpt_threads, segments);
+    allgather_impl(comm, &own, data.len(), segments)
 }
 
-/// Ring `Reduce(sum)` to `root`: Reduce_scatter followed by a gather of the
-/// reduced chunks (MPICH's large-message Reduce). Returns `Some(full sum)`
-/// on the root, `None` elsewhere.
-pub fn reduce(comm: &mut Comm, data: &[f32], root: usize, cpt_threads: usize) -> Option<Vec<f32>> {
+/// `Reduce`-to-root dispatcher: Reduce_scatter followed by a gather of the
+/// reduced chunks (MPICH's large-message Reduce).
+pub(crate) fn reduce_impl(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    cpt_threads: usize,
+    segments: usize,
+) -> Option<Vec<f32>> {
     let n = comm.size();
     let r = comm.rank();
-    let own = reduce_scatter(comm, data, cpt_threads);
+    let own = reduce_scatter_impl(comm, data, cpt_threads, segments);
     if n == 1 {
         return Some(own);
     }
     let chunks = node_chunks(data.len(), n);
-    if r == root {
-        let mut out = vec![0f32; data.len()];
-        out[chunks[r].clone()].copy_from_slice(&own);
-        for src in 0..n {
-            if src == root {
-                continue;
+    if segments <= 1 {
+        if r == root {
+            let mut out = vec![0f32; data.len()];
+            out[chunks[r].clone()].copy_from_slice(&own);
+            for src in 0..n {
+                if src == root {
+                    continue;
+                }
+                let got = comm.recv(src, TAG_GATHER + src as u64);
+                let vals = comm
+                    .compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
+                out[chunks[src].clone()].copy_from_slice(&vals);
             }
-            let got = comm.recv(src, TAG_GATHER + src as u64);
-            let vals =
-                comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
-            out[chunks[src].clone()].copy_from_slice(&vals);
+            return Some(out);
         }
-        Some(out)
-    } else {
         let payload =
             comm.compute_labeled(OpKind::Other, own.len() * 4, "mpi:pack", || f32_to_bytes(&own));
         comm.send(root, TAG_GATHER + r as u64, payload);
+        return None;
+    }
+    let plan = chunk_seg_plan(data.len(), n, segments, 1);
+    if r == root {
+        let mut out = vec![0f32; data.len()];
+        out[chunks[r].clone()].copy_from_slice(&own);
+        for (src, segs) in plan.iter().enumerate() {
+            if src == root {
+                continue;
+            }
+            for (k, rng) in segs.iter().enumerate() {
+                let got = comm.recv(src, seg_tag(TAG_GATHER, src, k));
+                let vals = comm
+                    .compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
+                out[rng.clone()].copy_from_slice(&vals);
+            }
+        }
+        Some(out)
+    } else {
+        let base = chunks[r].start;
+        for (k, rng) in plan[r].iter().enumerate() {
+            let seg = &own[rng.start - base..rng.end - base];
+            let payload = comm
+                .compute_labeled(OpKind::Other, seg.len() * 4, "mpi:pack", || f32_to_bytes(seg));
+            comm.send(root, seg_tag(TAG_GATHER, r, k), payload);
+        }
         None
     }
 }
 
-/// Long-message `Bcast`: scatter the root's chunks, then ring-Allgather
-/// (MPICH's scatter+allgather broadcast). `data` is read on the root only;
-/// every rank returns the full vector.
-pub fn bcast(comm: &mut Comm, data: &[f32], root: usize, total_len: usize) -> Vec<f32> {
+/// `Bcast` dispatcher: scatter the root's chunks, then ring-Allgather.
+pub(crate) fn bcast_impl(
+    comm: &mut Comm,
+    data: &[f32],
+    root: usize,
+    total_len: usize,
+    segments: usize,
+) -> Vec<f32> {
     let n = comm.size();
     let r = comm.rank();
     if n == 1 {
@@ -124,24 +291,53 @@ pub fn bcast(comm: &mut Comm, data: &[f32], root: usize, total_len: usize) -> Ve
         return data.to_vec();
     }
     let chunks = node_chunks(total_len, n);
+    if segments <= 1 {
+        let own: Vec<f32> = if r == root {
+            assert_eq!(data.len(), total_len, "bcast root must hold the full vector");
+            for dst in 0..n {
+                if dst == root {
+                    continue;
+                }
+                let payload =
+                    comm.compute_labeled(OpKind::Other, chunks[dst].len() * 4, "mpi:pack", || {
+                        f32_to_bytes(&data[chunks[dst].clone()])
+                    });
+                comm.send(dst, TAG_SCATTER + dst as u64, payload);
+            }
+            data[chunks[root].clone()].to_vec()
+        } else {
+            let got = comm.recv(root, TAG_SCATTER + r as u64);
+            comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got))
+        };
+        return allgather_impl(comm, &own, total_len, 1);
+    }
+    let plan = chunk_seg_plan(total_len, n, segments, 1);
     let own: Vec<f32> = if r == root {
         assert_eq!(data.len(), total_len, "bcast root must hold the full vector");
-        for dst in 0..n {
+        for (dst, segs) in plan.iter().enumerate() {
             if dst == root {
                 continue;
             }
-            let payload =
-                comm.compute_labeled(OpKind::Other, chunks[dst].len() * 4, "mpi:pack", || {
-                    f32_to_bytes(&data[chunks[dst].clone()])
-                });
-            comm.send(dst, TAG_SCATTER + dst as u64, payload);
+            for (k, rng) in segs.iter().enumerate() {
+                let payload =
+                    comm.compute_labeled(OpKind::Other, rng.len() * 4, "mpi:pack", || {
+                        f32_to_bytes(&data[rng.clone()])
+                    });
+                comm.send(dst, seg_tag(TAG_SCATTER, dst, k), payload);
+            }
         }
         data[chunks[root].clone()].to_vec()
     } else {
-        let got = comm.recv(root, TAG_SCATTER + r as u64);
-        comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got))
+        let mut own = Vec::with_capacity(chunks[r].len());
+        for (k, _) in plan[r].iter().enumerate() {
+            let got = comm.recv(root, seg_tag(TAG_SCATTER, r, k));
+            let vals =
+                comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
+            own.extend_from_slice(&vals);
+        }
+        own
     };
-    allgather(comm, &own, total_len)
+    allgather_impl(comm, &own, total_len, segments)
 }
 
 #[cfg(test)]
@@ -170,16 +366,22 @@ mod tests {
     #[test]
     fn reduce_scatter_matches_direct_sum() {
         for nranks in [2usize, 3, 5, 8] {
-            let n = 1000;
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), n);
-                reduce_scatter(comm, &data, 1)
-            });
-            let expect = expected_sum(nranks, n);
-            let chunks = node_chunks(n, nranks);
-            for (r, o) in outcomes.iter().enumerate() {
-                assert_eq!(o.value, &expect[chunks[r].clone()], "rank {r} of {nranks}");
+            for segments in [1usize, 4] {
+                let n = 1000;
+                let cluster = Cluster::new(nranks).with_timing(modeled());
+                let outcomes = cluster.run(|comm| {
+                    let data = field(comm.rank(), n);
+                    reduce_scatter_impl(comm, &data, 1, segments)
+                });
+                let expect = expected_sum(nranks, n);
+                let chunks = node_chunks(n, nranks);
+                for (r, o) in outcomes.iter().enumerate() {
+                    assert_eq!(
+                        o.value,
+                        &expect[chunks[r].clone()],
+                        "rank {r} of {nranks} (segments={segments})"
+                    );
+                }
             }
         }
     }
@@ -189,29 +391,53 @@ mod tests {
         let n = 100;
         let nranks = 4;
         let base: Vec<f32> = (0..n).map(|i| i as f32).collect();
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let chunks = node_chunks(n, comm.size());
-            let own = base[chunks[comm.rank()].clone()].to_vec();
-            allgather(comm, &own, n)
-        });
-        for o in outcomes {
-            assert_eq!(o.value, base);
+        for segments in [1usize, 3] {
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let chunks = node_chunks(n, comm.size());
+                let own = base[chunks[comm.rank()].clone()].to_vec();
+                allgather_impl(comm, &own, n, segments)
+            });
+            for o in outcomes {
+                assert_eq!(o.value, base);
+            }
         }
     }
 
     #[test]
     fn allreduce_matches_direct_sum_everywhere() {
         for nranks in [2usize, 4, 7] {
-            let n = 777;
+            for segments in [1usize, 2] {
+                let n = 777;
+                let cluster = Cluster::new(nranks).with_timing(modeled());
+                let outcomes = cluster.run(|comm| {
+                    let data = field(comm.rank(), n);
+                    allreduce_impl(comm, &data, 1, segments)
+                });
+                let expect = expected_sum(nranks, n);
+                for (r, o) in outcomes.iter().enumerate() {
+                    assert_eq!(o.value, expect, "rank {r} segments={segments}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_allreduce_is_bit_identical_to_serial() {
+        let n = 2000;
+        let nranks = 5;
+        let run = |segments: usize| {
             let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
+            cluster.run(|comm| {
                 let data = field(comm.rank(), n);
-                allreduce(comm, &data, 1)
-            });
-            let expect = expected_sum(nranks, n);
-            for (r, o) in outcomes.iter().enumerate() {
-                assert_eq!(o.value, expect, "rank {r}");
+                allreduce_impl(comm, &data, 1, segments)
+            })
+        };
+        let serial = run(1);
+        for segments in [2usize, 8, 64] {
+            let piped = run(segments);
+            for (a, b) in serial.iter().zip(&piped) {
+                assert_eq!(a.value, b.value, "segments={segments}");
             }
         }
     }
@@ -221,7 +447,7 @@ mod tests {
         let cluster = Cluster::new(1).with_timing(modeled());
         let outcomes = cluster.run(|comm| {
             let data = field(0, 64);
-            allreduce(comm, &data, 1)
+            allreduce_impl(comm, &data, 1, 1)
         });
         assert_eq!(outcomes[0].value, field(0, 64));
     }
@@ -229,19 +455,21 @@ mod tests {
     #[test]
     fn reduce_to_root_matches_direct_sum() {
         for root in [0usize, 2] {
-            let nranks = 5;
-            let n = 500;
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), n);
-                reduce(comm, &data, root, 1)
-            });
-            let expect = expected_sum(nranks, n);
-            for (r, o) in outcomes.iter().enumerate() {
-                if r == root {
-                    assert_eq!(o.value.as_ref().unwrap(), &expect);
-                } else {
-                    assert!(o.value.is_none(), "rank {r} should not hold the result");
+            for segments in [1usize, 4] {
+                let nranks = 5;
+                let n = 500;
+                let cluster = Cluster::new(nranks).with_timing(modeled());
+                let outcomes = cluster.run(|comm| {
+                    let data = field(comm.rank(), n);
+                    reduce_impl(comm, &data, root, 1, segments)
+                });
+                let expect = expected_sum(nranks, n);
+                for (r, o) in outcomes.iter().enumerate() {
+                    if r == root {
+                        assert_eq!(o.value.as_ref().unwrap(), &expect);
+                    } else {
+                        assert!(o.value.is_none(), "rank {r} should not hold the result");
+                    }
                 }
             }
         }
@@ -253,13 +481,15 @@ mod tests {
         let n = 700;
         let root = 3;
         let base = field(9, n);
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = if comm.rank() == root { base.clone() } else { Vec::new() };
-            bcast(comm, &data, root, n)
-        });
-        for o in outcomes {
-            assert_eq!(o.value, base);
+        for segments in [1usize, 4] {
+            let cluster = Cluster::new(nranks).with_timing(modeled());
+            let outcomes = cluster.run(|comm| {
+                let data = if comm.rank() == root { base.clone() } else { Vec::new() };
+                bcast_impl(comm, &data, root, n, segments)
+            });
+            for o in outcomes {
+                assert_eq!(o.value, base);
+            }
         }
     }
 
@@ -268,8 +498,8 @@ mod tests {
         let cluster = Cluster::new(1).with_timing(modeled());
         let outcomes = cluster.run(|comm| {
             let data = field(0, 32);
-            let red = reduce(comm, &data, 0, 1).unwrap();
-            let bc = bcast(comm, &data, 0, 32);
+            let red = reduce_impl(comm, &data, 0, 1, 1).unwrap();
+            let bc = bcast_impl(comm, &data, 0, 32, 1);
             (red, bc)
         });
         assert_eq!(outcomes[0].value.0, field(0, 32));
@@ -282,7 +512,7 @@ mod tests {
         let cluster = Cluster::new(4).with_timing(modeled());
         let outcomes = cluster.run(|comm| {
             let data = field(comm.rank(), 1 << 20);
-            allreduce(comm, &data, 1);
+            allreduce_impl(comm, &data, 1, 1);
             comm.breakdown()
         });
         for o in &outcomes[1..] {

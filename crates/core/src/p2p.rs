@@ -191,6 +191,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // deliberately exercises the per-flavour internals
     fn comparison_chain_p2p_ccoll_hzccl() {
         // the paper's lineage: hZCCL < C-Coll < CPR-P2P in virtual time
         let n = 1 << 16;

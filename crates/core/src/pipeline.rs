@@ -1,0 +1,129 @@
+//! Segmentation plumbing for the pipelined ring collectives.
+//!
+//! A phase-serial ring step moves one whole node-chunk and only then runs
+//! the compute that consumes it (HPR / DOC / CPT). The pipelined schedule
+//! splits every chunk into `S` *segments* and interleaves, so segment `s`'s
+//! compute overlaps segment `s+1`'s wire time — the closed form lives in
+//! [`costmodel::pipelined_step`]. This module owns the two pieces every
+//! flavour shares:
+//!
+//! * [`seg_ranges`] — the deterministic, block-aligned segment split that
+//!   all ranks must agree on (a rank segmenting differently from its
+//!   neighbour deadlocks on mismatched tags);
+//! * [`seg_tag`] — the tag sub-space `base + step·4096 + seg`, keeping each
+//!   `(step, segment)` pair's messages disjoint.
+
+use std::ops::Range;
+
+/// Per-step tag stride: segments live in `base + step*SEG_TAG_STRIDE + seg`,
+/// so a ring supports up to 4096 segments per step (far above
+/// [`MAX_SEGMENTS`]) and `2^32 / 4096 = 2^20` steps per tag base.
+pub(crate) const SEG_TAG_STRIDE: u64 = 4096;
+
+/// Hard cap on the segment count, mirroring `costmodel::MAX_SEGMENTS`:
+/// past this, per-segment latency `S·α` swamps any overlap gain.
+pub const MAX_SEGMENTS: usize = 64;
+
+/// The wire tag of segment `seg` of ring step `step` under `base`
+/// (`TAG_RS`, `TAG_AG`, …).
+pub(crate) fn seg_tag(base: u64, step: usize, seg: usize) -> u64 {
+    debug_assert!((seg as u64) < SEG_TAG_STRIDE, "segment id overflows its tag sub-space");
+    base + (step as u64) * SEG_TAG_STRIDE + seg as u64
+}
+
+/// Split an absolute element `range` into at most `segments` contiguous
+/// sub-ranges whose boundaries fall on `block_len` multiples (relative to
+/// the range start), distributing blocks as evenly as possible.
+///
+/// The effective count is clamped to
+/// `min(segments, ceil(len / block_len), MAX_SEGMENTS)` and floored at 1 —
+/// a segment shorter than one compressor block would only add per-message
+/// latency, never overlap. Pass `block_len = 1` for uncompressed traffic.
+/// Deterministic in its inputs, so every rank derives the identical split.
+pub fn seg_ranges(range: Range<usize>, segments: usize, block_len: usize) -> Vec<Range<usize>> {
+    let len = range.len();
+    assert!(len > 0, "cannot segment an empty chunk");
+    let bl = block_len.max(1);
+    let nblocks = len.div_ceil(bl);
+    let k = segments.clamp(1, MAX_SEGMENTS).min(nblocks);
+    let base_blocks = nblocks / k;
+    let extra = nblocks % k; // the first `extra` segments carry one more block
+    let mut out = Vec::with_capacity(k);
+    let mut start = range.start;
+    for i in 0..k {
+        let blocks = base_blocks + usize::from(i < extra);
+        let end = (start + blocks * bl).min(range.end);
+        out.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, range.end, "segments must tile the chunk");
+    out
+}
+
+/// The full segment plan of a ring collective over `total` elements:
+/// `plan[chunk][seg]` is the absolute element range of segment `seg` of node
+/// chunk `chunk` (chunk layout [`crate::chunks::node_chunks`], segment split
+/// [`seg_ranges`]). Deterministic, so every rank derives the identical plan.
+pub(crate) fn chunk_seg_plan(
+    total: usize,
+    nranks: usize,
+    segments: usize,
+    block_len: usize,
+) -> Vec<Vec<Range<usize>>> {
+    crate::chunks::node_chunks(total, nranks)
+        .iter()
+        .map(|c| seg_ranges(c.clone(), segments, block_len))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_tile_the_range_and_align_to_blocks() {
+        for (lo, hi, s, bl) in
+            [(0usize, 1000, 4, 32), (100, 1123, 7, 32), (5, 6, 3, 32), (0, 64, 2, 32)]
+        {
+            let ranges = seg_ranges(lo..hi, s, bl);
+            assert_eq!(ranges.first().unwrap().start, lo);
+            assert_eq!(ranges.last().unwrap().end, hi);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+                assert_eq!((w[0].end - lo) % bl, 0, "interior boundaries block-aligned");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+    }
+
+    #[test]
+    fn clamp_caps_at_block_count_and_max() {
+        // 40 elements = 2 blocks of 32 -> at most 2 segments however many asked
+        assert_eq!(seg_ranges(0..40, 16, 32).len(), 2);
+        // one block -> degenerate single segment
+        assert_eq!(seg_ranges(0..10, 8, 32), vec![0..10]);
+        // zero requested behaves as serial
+        assert_eq!(seg_ranges(0..100, 0, 32).len(), 1);
+        // uncompressed traffic segments at element granularity, capped at MAX
+        assert_eq!(seg_ranges(0..1_000_000, 1000, 1).len(), MAX_SEGMENTS);
+    }
+
+    #[test]
+    fn even_distribution_of_blocks() {
+        // 10 blocks over 4 segments -> 3,3,2,2 blocks
+        let r = seg_ranges(0..320, 4, 32);
+        let lens: Vec<usize> = r.iter().map(|x| x.len()).collect();
+        assert_eq!(lens, vec![96, 96, 64, 64]);
+    }
+
+    #[test]
+    fn tags_are_disjoint_across_steps_and_segments() {
+        let base = 1u64 << 32;
+        let mut seen = std::collections::BTreeSet::new();
+        for step in 0..8 {
+            for seg in 0..MAX_SEGMENTS {
+                assert!(seen.insert(seg_tag(base, step, seg)));
+            }
+        }
+    }
+}

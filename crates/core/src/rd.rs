@@ -256,6 +256,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // compares against the ring internals directly
     fn rd_hz_agrees_with_ring_hz_on_integers() {
         let eb = 1e-4;
         let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
@@ -276,6 +277,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // compares against the ring internals directly
     fn rd_beats_ring_for_tiny_messages_in_virtual_time() {
         // latency-bound regime: log2(N) rounds beat 2(N-1) rounds
         let nranks = 16;

@@ -3,7 +3,9 @@
 //! streams): the wire layer is payload-agnostic.
 
 use crate::mpi::TAG_AG;
+use crate::pipeline::seg_tag;
 use netsim::Comm;
+use std::ops::Range;
 
 /// Ring-forward opaque per-chunk payloads: rank `r` contributes
 /// `own_payload` as chunk `r`; after `N-1` rounds every rank holds every
@@ -43,6 +45,69 @@ pub(crate) fn ring_forward_logical(
     slots.into_iter().map(|s| s.expect("ring left a hole")).collect()
 }
 
+/// Segmented, pipelined ring-Allgather forwarding: rank `r` contributes its
+/// own chunk as per-segment payloads `own_segs` (segment layout
+/// `seg_plan[r]`); after `N-1` rounds every *received* segment has been
+/// handed to `on_seg(comm, chunk_idx, seg_idx, payload)` exactly once —
+/// the own chunk is never called back (the caller already holds it).
+///
+/// The schedule overlaps `on_seg`'s compute with the wire: within a step,
+/// segment `k`'s send is posted, then segment `k-1`'s callback runs (its
+/// cost hides behind segment `k`'s in-flight serialization), then segment
+/// `k` is received. Received payloads are retained verbatim so step `s+1`
+/// can forward what step `s` delivered. With one segment per chunk this
+/// degenerates to [`ring_forward_logical`]'s phase-serial schedule plus a
+/// per-chunk callback.
+///
+/// `seg_plan[idx]` holds the absolute element ranges of chunk `idx`'s
+/// segments; all ranks must derive the identical plan
+/// (see [`crate::pipeline::seg_ranges`]).
+pub(crate) fn ring_forward_segmented<E>(
+    comm: &mut Comm,
+    own_segs: Vec<Vec<u8>>,
+    seg_plan: &[Vec<Range<usize>>],
+    mut on_seg: impl FnMut(&mut Comm, usize, usize, &[u8]) -> Result<(), E>,
+) -> Result<(), E> {
+    let n = comm.size();
+    let r = comm.rank();
+    assert_eq!(seg_plan.len(), n, "seg_plan must cover every chunk");
+    assert_eq!(own_segs.len(), seg_plan[r].len(), "own chunk segmented differently from the plan");
+    if n == 1 {
+        return Ok(());
+    }
+    let right = (r + 1) % n;
+    let left = (r + n - 1) % n;
+    let mut slots: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+    slots[r] = own_segs;
+    for s in 0..n - 1 {
+        let send_idx = (r + n - s) % n;
+        let recv_idx = (r + 2 * n - s - 1) % n;
+        // each chunk is forwarded exactly once, so sending consumes the slot
+        let mut outgoing = std::mem::take(&mut slots[send_idx]);
+        let s_send = outgoing.len();
+        let s_recv = seg_plan[recv_idx].len();
+        let mut got: Vec<Vec<u8>> = Vec::with_capacity(s_recv);
+        for k in 0..s_send.max(s_recv) {
+            if k < s_send {
+                let payload = std::mem::take(&mut outgoing[k]);
+                let logical = seg_plan[send_idx][k].len() * 4;
+                comm.send_compressed(right, seg_tag(TAG_AG, s, k), payload, logical);
+            }
+            if k < s_recv {
+                // deferred callback: segment k-1's compute hides behind
+                // segment k's wire time
+                if k > 0 {
+                    on_seg(comm, recv_idx, k - 1, &got[k - 1])?;
+                }
+                got.push(comm.recv(left, seg_tag(TAG_AG, s, k)));
+            }
+        }
+        on_seg(comm, recv_idx, s_recv - 1, &got[s_recv - 1])?;
+        slots[recv_idx] = got;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use netsim::{Cluster, ComputeTiming, ThroughputModel};
@@ -59,6 +124,54 @@ mod tests {
             for o in outcomes {
                 for (idx, payload) in o.value.iter().enumerate() {
                     assert_eq!(payload, &vec![idx as u8; idx + 1], "nranks={nranks}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_forward_delivers_every_foreign_segment_once() {
+        let timing = ComputeTiming::Modeled(ThroughputModel::new(1.0, 1.0, 1.0, 1.0, 1.0));
+        for nranks in [2usize, 3, 5] {
+            for segments in [1usize, 2, 4] {
+                let elems_per_chunk = 96;
+                let seg_plan: Vec<Vec<std::ops::Range<usize>>> = (0..nranks)
+                    .map(|c| {
+                        crate::pipeline::seg_ranges(
+                            c * elems_per_chunk..(c + 1) * elems_per_chunk,
+                            segments,
+                            32,
+                        )
+                    })
+                    .collect();
+                let plan = seg_plan.clone();
+                let cluster = Cluster::new(nranks).with_timing(timing);
+                let outcomes = cluster.run(move |comm| {
+                    let r = comm.rank();
+                    let own: Vec<Vec<u8>> =
+                        plan[r].iter().enumerate().map(|(k, _)| vec![r as u8, k as u8]).collect();
+                    let mut seen: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+                    super::ring_forward_segmented::<()>(comm, own, &plan, |_c, idx, k, p| {
+                        seen.push((idx, k, p.to_vec()));
+                        Ok(())
+                    })
+                    .unwrap();
+                    seen
+                });
+                for (r, o) in outcomes.iter().enumerate() {
+                    let mut want: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+                    for (idx, segs) in seg_plan.iter().enumerate() {
+                        if idx == r {
+                            continue;
+                        }
+                        for k in 0..segs.len() {
+                            want.push((idx, k, vec![idx as u8, k as u8]));
+                        }
+                    }
+                    let mut got = o.value.clone();
+                    got.sort();
+                    want.sort();
+                    assert_eq!(got, want, "nranks={nranks} segments={segments}");
                 }
             }
         }

@@ -43,6 +43,22 @@ impl Scenario {
         self.net.transfer_time(bytes.round() as usize, self.nranks)
     }
 
+    /// Serialization-only (β) wire time — the overlappable part of a
+    /// transfer; α is charged per segment by the pipelined forms.
+    fn ser(&self, bytes: f64) -> f64 {
+        self.net.serialization_time(bytes.round() as usize, self.nranks)
+    }
+
+    /// β time of one ring round's uncompressed chunk.
+    fn round_ser_raw(&self) -> f64 {
+        self.ser(self.chunk())
+    }
+
+    /// β time of one ring round's compressed chunk.
+    fn round_ser_compressed(&self) -> f64 {
+        self.ser(self.chunk() / self.ratio)
+    }
+
     fn cost(&self, kind: OpKind, bytes: f64) -> f64 {
         bytes / (self.thr.gbps[kind.index()] * 1e9)
     }
@@ -201,6 +217,166 @@ pub fn bcast_ccoll(s: &Scenario) -> f64 {
 /// `T^Bcast` for hZCCL (see [`bcast_compressed`]).
 pub fn bcast_hzccl(s: &Scenario) -> f64 {
     bcast_compressed(s)
+}
+
+// ---------------------------------------------------------------------------
+// Segmented pipelined ring forms
+//
+// Splitting each ring-step block into `S` segments lets the (de)compression
+// / homomorphic work on segment `s` overlap the in-flight wire time of
+// segment `s+1`. With `W` the β (serialization) wire time of the whole
+// chunk, `C` its overlappable compute, and α the per-message injection
+// latency, the classic pipelined step time is
+//
+// ```text
+// T_step(S) = S·α + (W + C)/S + ((S-1)/S)·max(W, C)
+// ```
+//
+// (first segment pays its full wire+compute, every later segment hides the
+// smaller of the two behind the larger). At `S = 1` this is exactly the
+// phase-serial `α + W + C`, so every pipelined form below reduces to its
+// serial sibling at one segment. Differentiating in `S` gives the predicted
+// optimum `S* = sqrt(min(W, C)/α)` — more segments amortize overlap until
+// the extra α-injections outweigh the hidden time.
+// ---------------------------------------------------------------------------
+
+/// Upper bound on segment counts the model (and the tuner) will consider.
+pub const MAX_SEGMENTS: usize = 64;
+
+/// One pipelined ring-step: `S·α + (W+C)/S + ((S-1)/S)·max(W, C)` where
+/// `wire_ser` is the β-only wire time of the whole block and `compute` its
+/// overlappable compute. `segments = 1` degenerates to `α + W + C`.
+pub fn pipelined_step(s: &Scenario, segments: usize, wire_ser: f64, compute: f64) -> f64 {
+    let k = segments.clamp(1, MAX_SEGMENTS) as f64;
+    k * s.net.latency_s + (wire_ser + compute) / k + (k - 1.0) / k * wire_ser.max(compute)
+}
+
+/// The integer `S` minimizing [`pipelined_step`] — the analytical
+/// `sqrt(min(W, C)/α)`, rounded to whichever neighbour prices cheaper and
+/// clamped to `[1, MAX_SEGMENTS]`.
+pub fn optimal_segments(s: &Scenario, wire_ser: f64, compute: f64) -> usize {
+    let alpha = s.net.latency_s.max(1e-12);
+    let star = (wire_ser.min(compute) / alpha).sqrt();
+    let lo = (star.floor() as usize).clamp(1, MAX_SEGMENTS);
+    let hi = (star.ceil() as usize).clamp(1, MAX_SEGMENTS);
+    if pipelined_step(s, lo, wire_ser, compute) <= pipelined_step(s, hi, wire_ser, compute) {
+        lo
+    } else {
+        hi
+    }
+}
+
+/// Predicted optimal segment count for the pipelined hZCCL ring (its
+/// reduce-scatter phase: compressed wire vs just-in-time CPR + HPR).
+pub fn optimal_segments_hzccl(s: &Scenario) -> usize {
+    let c = s.chunk();
+    optimal_segments(s, s.round_ser_compressed(), s.cost(OpKind::Cpr, c) + s.cost(OpKind::Hpr, c))
+}
+
+/// `T^RS` for the pipelined MPI ring: each round's raw wire overlaps the
+/// reduction arithmetic of the previous segment.
+pub fn reduce_scatter_mpi_pipelined(s: &Scenario, segments: usize) -> f64 {
+    let rounds = (s.nranks - 1) as f64;
+    rounds * pipelined_step(s, segments, s.round_ser_raw(), s.cost(OpKind::Cpt, s.chunk()))
+}
+
+/// `T^AR` for the pipelined MPI ring (allgather has no compute to hide, so
+/// its rounds stay phase-serial).
+pub fn allreduce_mpi_pipelined(s: &Scenario, segments: usize) -> f64 {
+    reduce_scatter_mpi_pipelined(s, segments) + (s.nranks - 1) as f64 * s.round_wire_raw()
+}
+
+/// `T^RS` for the pipelined C-Coll ring: the per-round DOC chain
+/// (CPR + DPR + CPT) overlaps the compressed wire.
+pub fn reduce_scatter_ccoll_pipelined(s: &Scenario, segments: usize) -> f64 {
+    let rounds = (s.nranks - 1) as f64;
+    let c = s.chunk();
+    let doc = s.cost(OpKind::Cpr, c) + s.cost(OpKind::Dpr, c) + s.cost(OpKind::Cpt, c);
+    rounds * pipelined_step(s, segments, s.round_ser_compressed(), doc)
+}
+
+/// `T^AR` for the pipelined C-Coll ring: pipelined RS, then an allgather
+/// whose per-round decompression overlaps the compressed wire.
+pub fn allreduce_ccoll_pipelined(s: &Scenario, segments: usize) -> f64 {
+    let rounds = (s.nranks - 1) as f64;
+    let c = s.chunk();
+    reduce_scatter_ccoll_pipelined(s, segments)
+        + s.cost(OpKind::Cpr, c)
+        + rounds * pipelined_step(s, segments, s.round_ser_compressed(), s.cost(OpKind::Dpr, c))
+}
+
+/// `T^RS` for the pipelined hZCCL ring with *just-in-time* compression: one
+/// upfront CPR for the chunk sent in round 0, then every round's
+/// CPR (of the next local chunk) + HPR overlaps the compressed wire, and a
+/// single final DPR. Same total compute as the serial form — `(N-1)` of the
+/// `N` CPRs have simply moved into the overlappable per-round term.
+pub fn reduce_scatter_hzccl_pipelined(s: &Scenario, segments: usize) -> f64 {
+    let rounds = (s.nranks - 1) as f64;
+    let c = s.chunk();
+    let per_round = s.cost(OpKind::Cpr, c) + s.cost(OpKind::Hpr, c);
+    s.cost(OpKind::Cpr, c)
+        + rounds * pipelined_step(s, segments, s.round_ser_compressed(), per_round)
+        + s.cost(OpKind::Dpr, c)
+}
+
+/// `T^AR` for the pipelined fused hZCCL ring: JIT-compressed pipelined RS
+/// (no RS-final DPR — fusion), then an allgather whose early per-round
+/// decompression overlaps the compressed wire, plus the own-chunk DPR.
+pub fn allreduce_hzccl_pipelined(s: &Scenario, segments: usize) -> f64 {
+    let rounds = (s.nranks - 1) as f64;
+    let c = s.chunk();
+    let per_round = s.cost(OpKind::Cpr, c) + s.cost(OpKind::Hpr, c);
+    s.cost(OpKind::Cpr, c)
+        + rounds * pipelined_step(s, segments, s.round_ser_compressed(), per_round)
+        + rounds * pipelined_step(s, segments, s.round_ser_compressed(), s.cost(OpKind::Dpr, c))
+        + s.cost(OpKind::Dpr, c)
+}
+
+/// `T^Reduce` for the pipelined MPI ring (the gather to the root moves raw
+/// bytes with no compute to hide — it stays serial).
+pub fn reduce_mpi_pipelined(s: &Scenario, segments: usize) -> f64 {
+    reduce_scatter_mpi_pipelined(s, segments) + (s.nranks - 1) as f64 * s.round_wire_raw()
+}
+
+/// `T^Reduce` for pipelined C-Coll: pipelined RS, re-compression, and a
+/// root-side gather whose decompression overlaps arrivals.
+pub fn reduce_ccoll_pipelined(s: &Scenario, segments: usize) -> f64 {
+    let rounds = (s.nranks - 1) as f64;
+    let c = s.chunk();
+    reduce_scatter_ccoll_pipelined(s, segments)
+        + s.cost(OpKind::Cpr, c)
+        + rounds * pipelined_step(s, segments, s.round_ser_compressed(), s.cost(OpKind::Dpr, c))
+        + s.cost(OpKind::Dpr, c)
+}
+
+/// `T^Reduce` for pipelined hZCCL: JIT-compressed pipelined RS (compressed
+/// result, no re-compression), root-side gather with overlapped DPR.
+pub fn reduce_hzccl_pipelined(s: &Scenario, segments: usize) -> f64 {
+    let rounds = (s.nranks - 1) as f64;
+    let c = s.chunk();
+    let per_round = s.cost(OpKind::Cpr, c) + s.cost(OpKind::Hpr, c);
+    s.cost(OpKind::Cpr, c)
+        + rounds * pipelined_step(s, segments, s.round_ser_compressed(), per_round)
+        + rounds * pipelined_step(s, segments, s.round_ser_compressed(), s.cost(OpKind::Dpr, c))
+        + s.cost(OpKind::Dpr, c)
+}
+
+/// `T^Bcast` for the pipelined compressed variants (C-Coll and hZCCL
+/// coincide — no reduction): the root's per-chunk compression overlaps the
+/// scatter wire, receivers' decompression overlaps the allgather wire.
+pub fn bcast_compressed_pipelined(s: &Scenario, segments: usize) -> f64 {
+    let rounds = (s.nranks - 1) as f64;
+    let c = s.chunk();
+    s.cost(OpKind::Cpr, c)
+        + rounds * pipelined_step(s, segments, s.round_ser_compressed(), s.cost(OpKind::Cpr, c))
+        + rounds * pipelined_step(s, segments, s.round_ser_compressed(), s.cost(OpKind::Dpr, c))
+        + s.cost(OpKind::Dpr, c)
+}
+
+/// `T^Bcast` for the pipelined MPI ring: no compute anywhere, so extra
+/// segments only add α — the model will (correctly) never prefer `S > 1`.
+pub fn bcast_mpi_pipelined(s: &Scenario, segments: usize) -> f64 {
+    2.0 * (s.nranks - 1) as f64 * pipelined_step(s, segments, s.round_ser_raw(), 0.0)
 }
 
 /// Largest power of two `<= n` (for the recursive-doubling fold).
@@ -470,6 +646,90 @@ mod tests {
         // A reduce costs at least its embedded reduce-scatter.
         assert!(reduce_mpi(&m) > reduce_scatter_mpi(&m));
         assert!(reduce_hzccl(&s) > reduce_scatter_hzccl(&s));
+    }
+
+    #[test]
+    fn pipelined_forms_reduce_to_serial_at_one_segment() {
+        let s = scenario();
+        let m = Scenario { thr: mpi_thr(), ..s };
+        let c = Scenario { thr: ccoll_thr(), ..s };
+        let pairs: [(f64, f64); 10] = [
+            (reduce_scatter_mpi_pipelined(&m, 1), reduce_scatter_mpi(&m)),
+            (allreduce_mpi_pipelined(&m, 1), allreduce_mpi(&m)),
+            (reduce_scatter_ccoll_pipelined(&c, 1), reduce_scatter_ccoll(&c)),
+            (allreduce_ccoll_pipelined(&c, 1), allreduce_ccoll(&c)),
+            (reduce_scatter_hzccl_pipelined(&s, 1), reduce_scatter_hzccl(&s)),
+            (allreduce_hzccl_pipelined(&s, 1), allreduce_hzccl(&s)),
+            (reduce_mpi_pipelined(&m, 1), reduce_mpi(&m)),
+            (reduce_ccoll_pipelined(&c, 1), reduce_ccoll(&c)),
+            (reduce_hzccl_pipelined(&s, 1), reduce_hzccl(&s)),
+            (bcast_compressed_pipelined(&s, 1), bcast_compressed(&s)),
+        ];
+        for (i, (pipe, serial)) in pairs.iter().enumerate() {
+            assert!(
+                (pipe - serial).abs() <= 1e-12 * serial.max(1.0),
+                "form {i}: pipelined(S=1) {pipe} != serial {serial}"
+            );
+        }
+        assert!(
+            (bcast_mpi_pipelined(&m, 1) - bcast_mpi(&m)).abs() <= 1e-12 * bcast_mpi(&m),
+            "mpi bcast S=1"
+        );
+    }
+
+    #[test]
+    fn pipelining_helps_compute_bound_hz_ring_and_never_below_overlap_floor() {
+        let s = scenario(); // paper-calibrated: CPR+HPR dominate the wire
+        let serial = allreduce_hzccl(&s);
+        let s_star = optimal_segments_hzccl(&s);
+        assert!(s_star > 1, "compute-bound hz ring must want segmentation: S*={s_star}");
+        let best = allreduce_hzccl_pipelined(&s, s_star);
+        assert!(
+            best < serial * 0.85,
+            "pipelined at S*={s_star} should shave >=15%: {best} vs {serial}"
+        );
+        // lower bound: pipelining can hide min(W,C), never more
+        let c = s.chunk();
+        let rounds = (s.nranks - 1) as f64;
+        let floor = serial
+            - 2.0
+                * rounds
+                * s.round_ser_compressed().min(s.cost(OpKind::Cpr, c) + s.cost(OpKind::Hpr, c));
+        assert!(best >= floor, "{best} under the overlap floor {floor}");
+    }
+
+    #[test]
+    fn optimal_segments_sits_at_the_step_minimum() {
+        let s = scenario();
+        let c = s.chunk();
+        let (w, cpt) = (s.round_ser_compressed(), s.cost(OpKind::Cpr, c) + s.cost(OpKind::Hpr, c));
+        let star = optimal_segments(&s, w, cpt);
+        let t_star = pipelined_step(&s, star, w, cpt);
+        for k in 1..=MAX_SEGMENTS {
+            assert!(
+                t_star <= pipelined_step(&s, k, w, cpt) + 1e-15,
+                "S={k} undercuts the predicted optimum S*={star}"
+            );
+        }
+        // analytical sanity: S* tracks sqrt(min(W,C)/alpha) within a step
+        let analytic = (w.min(cpt) / s.net.latency_s).sqrt();
+        assert!(
+            (star as f64 - analytic).abs() <= 1.0 + analytic * 0.5,
+            "S*={star} far from sqrt form {analytic}"
+        );
+    }
+
+    #[test]
+    fn excess_segments_pay_alpha_without_gain() {
+        // tiny message: wire and compute are dwarfed by alpha, so more
+        // segments only add injections and S*=1
+        let mut s = scenario();
+        s.message_bytes = 1 << 10;
+        assert_eq!(optimal_segments_hzccl(&s), 1);
+        assert!(allreduce_hzccl_pipelined(&s, 16) > allreduce_hzccl_pipelined(&s, 1));
+        // and an mpi bcast never benefits: zero overlappable compute
+        let m = Scenario { thr: mpi_thr(), ..scenario() };
+        assert!(bcast_mpi_pipelined(&m, 8) > bcast_mpi_pipelined(&m, 1));
     }
 
     #[test]

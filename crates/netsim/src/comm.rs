@@ -164,6 +164,32 @@ impl Comm {
         msg.payload
     }
 
+    /// Non-blocking probe (`MPI_Iprobe`): would a [`Comm::recv`] of
+    /// `(from, tag)` complete without advancing the virtual clock?
+    ///
+    /// Drains the channel without blocking, files everything into the
+    /// pending map (exactly the structures `recv` consumes, so probing never
+    /// reorders or drops messages), and reports whether the head matching
+    /// message has an `arrival` at or before the current clock.
+    ///
+    /// **Attribution only, never control flow.** The underlying channel is a
+    /// wall-clock artifact: a message another rank has already posted in
+    /// *virtual* time may not be observable here yet in *wall* time, so a
+    /// `false` is conservative rather than authoritative. Deterministic
+    /// pipelines must still issue an unconditional `recv` (whose FIFO
+    /// drain-and-match is deterministic); `recv_ready` exists so schedules
+    /// can attribute *whether a wait is expected* — e.g. deciding which
+    /// bucket absorbs overlap slack — without perturbing the simulation.
+    pub fn recv_ready(&mut self, from: usize, tag: u64) -> bool {
+        while let Ok(m) = self.rx.try_recv() {
+            self.pending.entry((m.from, m.tag)).or_default().push_back(m);
+        }
+        self.pending
+            .get(&(from, tag))
+            .and_then(|q| q.front())
+            .is_some_and(|m| m.arrival <= self.clock)
+    }
+
     /// Concurrent exchange: send to `to`, receive from `from` (the classic
     /// ring-step `MPI_Sendrecv`).
     pub fn sendrecv(&mut self, to: usize, tag: u64, payload: Vec<u8>, from: usize) -> Vec<u8> {

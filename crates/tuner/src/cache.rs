@@ -100,6 +100,7 @@ impl TuningCache {
                             ("mode", Json::Str(e.plan.mode.name().into())),
                             ("threads", Json::Num(e.plan.mode.threads() as f64)),
                             ("block_len", Json::Num(e.plan.block_len as f64)),
+                            ("segments", Json::Num(e.plan.segments.max(1) as f64)),
                             ("measured_secs", Json::Num(e.measured_secs)),
                             ("model_secs", Json::Num(e.model_secs)),
                             ("samples", Json::Num(e.samples as f64)),
@@ -138,10 +139,24 @@ impl TuningCache {
             if block_len == 0 {
                 return Err(format!("cache entry '{key}': zero block_len"));
             }
+            // schema v1 entries predate segmentation: default to the
+            // phase-serial 1-segment plan they actually measured
+            let segments = match v.get("segments") {
+                None => 1,
+                Some(s) => {
+                    let s =
+                        s.as_f64().ok_or_else(|| format!("cache entry '{key}': bad 'segments'"))?
+                            as usize;
+                    if s == 0 {
+                        return Err(format!("cache entry '{key}': zero segments"));
+                    }
+                    s
+                }
+            };
             entries.insert(
                 key.clone(),
                 CacheEntry {
-                    plan: Plan { flavor, algo, mode, block_len },
+                    plan: Plan { flavor, algo, mode, block_len, segments },
                     measured_secs: num_field("measured_secs")?,
                     model_secs: num_field("model_secs")?,
                     samples: num_field("samples")? as u64,
@@ -157,7 +172,7 @@ mod tests {
     use super::*;
 
     fn plan(flavor: Flavor, algo: Algo) -> Plan {
-        Plan { flavor, algo, mode: ThreadMode::St, block_len: 32 }
+        Plan::serial(flavor, algo, ThreadMode::St, 32)
     }
 
     #[test]
@@ -202,6 +217,7 @@ mod tests {
                 algo: Algo::Ring,
                 mode: ThreadMode::Mt(18),
                 block_len: 32,
+                segments: 4,
             },
             0.001234,
             0.0011,
@@ -211,6 +227,20 @@ mod tests {
         let back = TuningCache::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, cache);
         assert_eq!(back.to_json().render(), text, "render -> parse -> render is stable");
+    }
+
+    #[test]
+    fn v1_entries_without_segments_load_as_serial() {
+        // a cache file written before the segment dimension existed
+        let v1 = "{\"allreduce:b18:r8:e-4\":{\"flavor\":\"hz\",\"algo\":\"ring\",\"mode\":\"st\",\
+                  \"threads\":1,\"block_len\":32,\"measured_secs\":0.002,\"model_secs\":0.0018,\
+                  \"samples\":3}}";
+        let cache = TuningCache::from_json(&Json::parse(v1).unwrap()).unwrap();
+        let e = cache.get("allreduce:b18:r8:e-4").unwrap();
+        assert_eq!(e.plan.segments, 1, "v1 entries measured the phase-serial path");
+        assert_eq!(e.samples, 3);
+        // and re-rendering writes the v2 shape (explicit segments field)
+        assert!(cache.to_json().render().contains("\"segments\":1"));
     }
 
     #[test]

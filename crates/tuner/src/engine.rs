@@ -83,6 +83,13 @@ pub struct Engine {
     pub mode_candidates: Vec<ThreadMode>,
     /// Compressor block lengths to consider.
     pub block_candidates: Vec<usize>,
+    /// Ring-step segment counts to consider for *compressed ring* plans
+    /// (1 = phase-serial; `S > 1` = pipelined, overlapping (de)compression /
+    /// homomorphic work with the wire). Plain-MPI rings and recursive
+    /// doubling only get the serial entry — their overlappable compute is
+    /// too small (mpi) or the schedule has no ring steps (rd) for
+    /// segmentation to pay for its extra α-injections.
+    pub segment_candidates: Vec<usize>,
 }
 
 impl Engine {
@@ -94,12 +101,13 @@ impl Engine {
             small_message_bytes: 64 << 10,
             mode_candidates: vec![ThreadMode::St],
             block_candidates: vec![32],
+            segment_candidates: vec![1, 2, 4, 8],
         }
     }
 
     /// Enumerate every executable candidate for `spec` (before the
     /// small-message short-circuit). Stable order: flavour, algorithm,
-    /// mode, block length.
+    /// mode, block length, segments.
     pub fn candidates(&self, spec: &ScenarioSpec) -> Vec<Plan> {
         let mut out = Vec::new();
         for flavor in [Flavor::Mpi, Flavor::CColl, Flavor::Hzccl] {
@@ -117,7 +125,15 @@ impl Engine {
                         &self.block_candidates
                     };
                     for &block_len in blocks {
-                        out.push(Plan { flavor, algo, mode, block_len });
+                        // segmentation only exists on compressed ring plans
+                        let segs: &[usize] = if algo == Algo::Ring && flavor != Flavor::Mpi {
+                            &self.segment_candidates
+                        } else {
+                            &[1]
+                        };
+                        for &segments in segs {
+                            out.push(Plan { flavor, algo, mode, block_len, segments });
+                        }
                     }
                 }
             }
@@ -136,6 +152,29 @@ impl Engine {
             net: self.calib.net(),
             thr: self.calib.model(plan.flavor, plan.mode),
         };
+        let seg = plan.segments.max(1);
+        if seg > 1 && plan.algo == Algo::Ring {
+            // pipelined closed forms: T_step = S·α + (W+C)/S + (S-1)/S·max(W,C)
+            return match (spec.op, plan.flavor) {
+                (Op::Allreduce, Flavor::Mpi) => costmodel::allreduce_mpi_pipelined(&s, seg),
+                (Op::Allreduce, Flavor::CColl) => costmodel::allreduce_ccoll_pipelined(&s, seg),
+                (Op::Allreduce, Flavor::Hzccl) => costmodel::allreduce_hzccl_pipelined(&s, seg),
+                (Op::ReduceScatter, Flavor::Mpi) => {
+                    costmodel::reduce_scatter_mpi_pipelined(&s, seg)
+                }
+                (Op::ReduceScatter, Flavor::CColl) => {
+                    costmodel::reduce_scatter_ccoll_pipelined(&s, seg)
+                }
+                (Op::ReduceScatter, Flavor::Hzccl) => {
+                    costmodel::reduce_scatter_hzccl_pipelined(&s, seg)
+                }
+                (Op::Reduce, Flavor::Mpi) => costmodel::reduce_mpi_pipelined(&s, seg),
+                (Op::Reduce, Flavor::CColl) => costmodel::reduce_ccoll_pipelined(&s, seg),
+                (Op::Reduce, Flavor::Hzccl) => costmodel::reduce_hzccl_pipelined(&s, seg),
+                (Op::Bcast, Flavor::Mpi) => costmodel::bcast_mpi_pipelined(&s, seg),
+                (Op::Bcast, _) => costmodel::bcast_compressed_pipelined(&s, seg),
+            };
+        }
         match (spec.op, plan.flavor, plan.algo) {
             (Op::Allreduce, Flavor::Mpi, Algo::Ring) => costmodel::allreduce_mpi(&s),
             (Op::Allreduce, Flavor::CColl, _) => costmodel::allreduce_ccoll(&s),
@@ -251,13 +290,21 @@ impl Engine {
     }
 
     /// Serialize engine state (calibration + cache + knobs) to JSON.
+    ///
+    /// Schema version 2: adds `segment_candidates` and per-cache-entry
+    /// `segments`. Version-1 documents (pre-segmentation) are still
+    /// accepted by [`Engine::from_json`].
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("version", Json::Num(1.0)),
+            ("version", Json::Num(2.0)),
             ("small_message_bytes", Json::Num(self.small_message_bytes as f64)),
             (
                 "block_candidates",
                 Json::Arr(self.block_candidates.iter().map(|&b| Json::Num(b as f64)).collect()),
+            ),
+            (
+                "segment_candidates",
+                Json::Arr(self.segment_candidates.iter().map(|&s| Json::Num(s as f64)).collect()),
             ),
             (
                 "mode_candidates",
@@ -273,10 +320,13 @@ impl Engine {
         ])
     }
 
-    /// Parse [`Engine::to_json`]'s output back.
+    /// Parse [`Engine::to_json`]'s output back. Accepts the current v2
+    /// schema and migrates v1 documents (written before ring segmentation
+    /// existed): their caches hold serial plans and they gain the default
+    /// segment-candidate grid, so a re-tune can discover pipelined winners.
     pub fn from_json(doc: &Json) -> Result<Engine, String> {
         let version = doc.get("version").and_then(Json::as_f64).unwrap_or(0.0);
-        if version != 1.0 {
+        if version != 1.0 && version != 2.0 {
             return Err(format!("unsupported tuner state version {version}"));
         }
         let small_message_bytes =
@@ -305,11 +355,35 @@ impl Engine {
         if mode_candidates.is_empty() {
             return Err("tuner state: empty mode_candidates".into());
         }
+        let segment_candidates: Vec<usize> = match doc.get("segment_candidates") {
+            Some(v) => {
+                let segs: Vec<usize> = v
+                    .as_arr()
+                    .ok_or("tuner state: segment_candidates must be an array")?
+                    .iter()
+                    .filter_map(|v| v.as_f64().map(|s| s as usize))
+                    .filter(|&s| s > 0)
+                    .collect();
+                if segs.is_empty() {
+                    return Err("tuner state: empty segment_candidates".into());
+                }
+                segs
+            }
+            // v1 migration: pre-segmentation states gain the default grid
+            None => Engine::paper().segment_candidates,
+        };
         let calib = Calibration::from_json(
             doc.get("calibration").ok_or("tuner state: missing calibration")?,
         )?;
         let cache = TuningCache::from_json(doc.get("cache").ok_or("tuner state: missing cache")?)?;
-        Ok(Engine { calib, cache, small_message_bytes, mode_candidates, block_candidates })
+        Ok(Engine {
+            calib,
+            cache,
+            small_message_bytes,
+            mode_candidates,
+            block_candidates,
+            segment_candidates,
+        })
     }
 
     /// Write the engine state to `path` (compact JSON).
@@ -370,8 +444,7 @@ mod tests {
     fn cache_overrides_the_model() {
         let mut engine = Engine::paper();
         let s = spec(1 << 20, 8, 7.0);
-        let slow_plan =
-            Plan { flavor: Flavor::CColl, algo: Algo::Ring, mode: ThreadMode::St, block_len: 32 };
+        let slow_plan = Plan::serial(Flavor::CColl, Algo::Ring, ThreadMode::St, 32);
         engine.observe_measurement(&s, &slow_plan, 0.001);
         let d = engine.decide(&s);
         assert_eq!(d.source, DecisionSource::Cache);
@@ -407,11 +480,73 @@ mod tests {
     #[test]
     fn predictions_scale_with_message_size() {
         let engine = Engine::paper();
-        let p =
-            Plan { flavor: Flavor::Hzccl, algo: Algo::Ring, mode: ThreadMode::St, block_len: 32 };
+        let p = Plan::serial(Flavor::Hzccl, Algo::Ring, ThreadMode::St, 32);
         let small = engine.predict(&spec(1 << 14, 8, 5.0), &p);
         let big = engine.predict(&spec(1 << 20, 8, 5.0), &p);
         assert!(big > small);
+    }
+
+    #[test]
+    fn segmented_candidates_exist_only_on_compressed_rings() {
+        let engine = Engine::paper();
+        let plans = engine.candidates(&spec(1 << 20, 8, 6.0));
+        assert!(
+            plans
+                .iter()
+                .any(|p| p.flavor == Flavor::Hzccl && p.algo == Algo::Ring && p.segments > 1),
+            "hz ring must offer pipelined candidates"
+        );
+        assert!(
+            plans.iter().any(|p| p.flavor == Flavor::CColl && p.segments > 1),
+            "ccoll ring must offer pipelined candidates"
+        );
+        for p in &plans {
+            if p.flavor == Flavor::Mpi || p.algo == Algo::Rd {
+                assert_eq!(p.segments, 1, "{} must stay serial", p.label());
+            }
+        }
+    }
+
+    #[test]
+    fn compute_bound_scenarios_decide_on_a_segmented_plan() {
+        // 4 MiB/rank at 64 ranks, paper ST calibration, compressible: the
+        // pipelined closed form predicts segmentation hides the wire behind
+        // the JIT CPR + HPR chain, so the model must pick S > 1 — and the
+        // prediction must agree with calling the costmodel directly.
+        let engine = Engine::paper();
+        let s = spec(1 << 20, 64, 7.0); // 4 MiB
+        let d = engine.decide(&s);
+        assert_eq!(d.source, DecisionSource::Model);
+        assert_eq!(d.plan.flavor, Flavor::Hzccl, "{}", d.why);
+        assert_eq!(d.plan.algo, Algo::Ring, "{}", d.why);
+        assert!(d.plan.segments > 1, "compute-bound run must pipeline: {}", d.why);
+        let serial = engine.predict(&s, &Plan { segments: 1, ..d.plan });
+        let best = engine.predict(&s, &d.plan);
+        assert!(best < serial, "pipelined prediction must undercut serial");
+    }
+
+    #[test]
+    fn v1_engine_state_migrates_with_default_segment_grid() {
+        // a v2 document stripped back to the v1 shape: version 1, no
+        // segment_candidates, cache entries without a segments field
+        let mut engine = Engine::paper();
+        let s = spec(1 << 18, 8, 6.5);
+        engine.observe_measurement(
+            &s,
+            &Plan::serial(Flavor::Hzccl, Algo::Ring, ThreadMode::St, 32),
+            0.002,
+        );
+        let v2 = engine.to_json().render();
+        let v1 = v2
+            .replacen("\"version\":2", "\"version\":1", 1)
+            .replace("\"segment_candidates\":[1,2,4,8],", "")
+            .replace(",\"segments\":1", "");
+        assert_ne!(v1, v2, "the v1 fixture must actually differ");
+        let back = Engine::from_json(&Json::parse(&v1).unwrap()).unwrap();
+        assert_eq!(back.segment_candidates, Engine::paper().segment_candidates);
+        assert_eq!(back.cache, engine.cache, "v1 cache entries load as serial plans");
+        // and the migrated engine re-saves as v2
+        assert!(back.to_json().render().contains("\"version\":2"));
     }
 
     #[test]

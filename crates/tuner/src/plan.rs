@@ -144,7 +144,9 @@ impl ThreadMode {
 
 /// One executable collective configuration: flavour x algorithm x thread
 /// mode x compression chunking (the small-block length the compressors
-/// quantize over, which trades ratio against error-control granularity).
+/// quantize over, which trades ratio against error-control granularity) x
+/// ring-step segmentation (1 = phase-serial, >1 = pipelined segments whose
+/// compute overlaps the next segment's wire time).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Plan {
     /// Collective framework.
@@ -155,22 +157,40 @@ pub struct Plan {
     pub mode: ThreadMode,
     /// Compressor small-block length (ignored by [`Flavor::Mpi`]).
     pub block_len: usize,
+    /// Ring-step segment count: 1 runs the phase-serial ring, `S > 1`
+    /// splits each ring-step block into `S` pipelined segments (ignored by
+    /// [`Algo::Rd`], clamped to the block count at execution time).
+    pub segments: usize,
 }
 
 impl Plan {
-    /// Compact human label, e.g. `hz/ring/st/b32`.
+    /// A phase-serial (one-segment) plan — the pre-segmentation shape.
+    pub fn serial(flavor: Flavor, algo: Algo, mode: ThreadMode, block_len: usize) -> Plan {
+        Plan { flavor, algo, mode, block_len, segments: 1 }
+    }
+
+    /// Compact human label, e.g. `hz/ring/st/b32` (serial) or
+    /// `hz/ring/st/b32/s4` (pipelined with 4 segments).
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}/b{}",
             self.flavor.name(),
             self.algo.name(),
             self.mode.name(),
             self.block_len
-        )
+        );
+        if self.segments > 1 {
+            format!("{base}/s{}", self.segments)
+        } else {
+            base
+        }
     }
 
-    /// Fixed-size wire encoding (for the one-rank-decides broadcast).
-    pub fn encode(&self) -> [u8; 8] {
+    /// Fixed-size wire encoding v2 (for the one-rank-decides broadcast):
+    /// 12 bytes `[flavor, algo, mt, threads, block_len·LE4, segments·LE4]`.
+    /// v1 encodings were 8 bytes without the segment word; [`Plan::decode`]
+    /// still accepts them (segments = 1).
+    pub fn encode(&self) -> [u8; 12] {
         let flavor = match self.flavor {
             Flavor::Mpi => 0u8,
             Flavor::CColl => 1,
@@ -185,12 +205,15 @@ impl Plan {
             ThreadMode::Mt(k) => (1, k.clamp(2, 255) as u8),
         };
         let bl = (self.block_len as u32).to_le_bytes();
-        [flavor, algo, mt, threads, bl[0], bl[1], bl[2], bl[3]]
+        let sg = (self.segments.max(1) as u32).to_le_bytes();
+        [flavor, algo, mt, threads, bl[0], bl[1], bl[2], bl[3], sg[0], sg[1], sg[2], sg[3]]
     }
 
-    /// Decode [`Plan::encode`]'s output; `None` on malformed bytes.
+    /// Decode [`Plan::encode`]'s output — 12-byte v2, or the legacy 8-byte
+    /// v1 layout (which predates segmentation and means `segments = 1`);
+    /// `None` on malformed bytes.
     pub fn decode(bytes: &[u8]) -> Option<Plan> {
-        if bytes.len() != 8 {
+        if bytes.len() != 12 && bytes.len() != 8 {
             return None;
         }
         let flavor = match bytes[0] {
@@ -213,7 +236,15 @@ impl Plan {
         if block_len == 0 {
             return None;
         }
-        Some(Plan { flavor, algo, mode, block_len })
+        let segments = if bytes.len() == 12 {
+            u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize
+        } else {
+            1
+        };
+        if segments == 0 {
+            return None;
+        }
+        Some(Plan { flavor, algo, mode, block_len, segments })
     }
 }
 
@@ -281,12 +312,29 @@ mod tests {
             for algo in [Algo::Ring, Algo::Rd] {
                 for mode in [ThreadMode::St, ThreadMode::Mt(18)] {
                     for block_len in [32usize, 64, 256] {
-                        let plan = Plan { flavor, algo, mode, block_len };
-                        assert_eq!(Plan::decode(&plan.encode()), Some(plan), "{}", plan.label());
+                        for segments in [1usize, 4, 16] {
+                            let plan = Plan { flavor, algo, mode, block_len, segments };
+                            assert_eq!(
+                                Plan::decode(&plan.encode()),
+                                Some(plan),
+                                "{}",
+                                plan.label()
+                            );
+                        }
                     }
                 }
             }
         }
+    }
+
+    #[test]
+    fn plan_decode_accepts_legacy_v1_bytes_as_serial() {
+        // the pre-segmentation 8-byte layout decodes with segments = 1
+        let v1 = [2u8, 0, 0, 1, 32, 0, 0, 0];
+        assert_eq!(
+            Plan::decode(&v1),
+            Some(Plan::serial(Flavor::Hzccl, Algo::Ring, ThreadMode::St, 32))
+        );
     }
 
     #[test]
@@ -295,6 +343,16 @@ mod tests {
         assert_eq!(Plan::decode(&[9, 0, 0, 1, 32, 0, 0, 0]), None, "bad flavor");
         assert_eq!(Plan::decode(&[0, 7, 0, 1, 32, 0, 0, 0]), None, "bad algo");
         assert_eq!(Plan::decode(&[0, 0, 0, 1, 0, 0, 0, 0]), None, "zero block");
+        assert_eq!(Plan::decode(&[0, 0, 0, 1, 32, 0, 0, 0, 0, 0, 0, 0]), None, "zero segments");
+        assert_eq!(Plan::decode(&[0, 0, 0, 1, 32, 0, 0, 0, 4, 0]), None, "odd length");
+    }
+
+    #[test]
+    fn plan_label_marks_segmented_plans() {
+        let serial = Plan::serial(Flavor::Hzccl, Algo::Ring, ThreadMode::St, 32);
+        assert_eq!(serial.label(), "hz/ring/st/b32");
+        let piped = Plan { segments: 4, ..serial };
+        assert_eq!(piped.label(), "hz/ring/st/b32/s4");
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! ```
 
 use datasets::App;
-use hzccl::{ccoll, hz, mpi, CollectiveConfig, Mode};
+use hzccl::collectives::{self, CollectiveOpts};
+use hzccl::{CollectiveConfig, Mode};
 use netsim::Cluster;
 
 const RANKS: usize = 16;
@@ -43,29 +44,38 @@ fn main() {
     println!("(whether compression pays off depends on ratio x throughput vs the wire;");
     println!(" see the costmodel crate for the closed-form crossover)\n");
 
-    let run = |label: &str, timing: netsim::ComputeTiming, which: usize| {
+    let run = |label: &str, timing: netsim::ComputeTiming, opts: &CollectiveOpts| {
         let cluster = Cluster::new(RANKS).with_timing(timing);
         let (results, stats) = cluster.run_stats(|comm| {
             let data = &fields[comm.rank()];
-            match which {
-                0 => mpi::allreduce(comm, data, 1),
-                1 => ccoll::allreduce(comm, data, &cfg).expect("ccoll"),
-                _ => hz::allreduce(comm, data, &cfg).expect("hzccl"),
-            }
+            collectives::allreduce(comm, data, opts).expect(label)
         });
         let (doc, mpi_pct, other) = stats.total.percentages();
         println!(
-            "{label:<22} {:>9.3} ms | DOC-related {doc:5.1}% MPI {mpi_pct:5.1}% OTHER {other:4.1}%",
+            "{label:<26} {:>9.3} ms | DOC-related {doc:5.1}% MPI {mpi_pct:5.1}% OTHER {other:4.1}%",
             stats.makespan * 1e3
         );
         (results[0].clone(), stats.makespan)
     };
 
-    let (exact, t_mpi) = run("MPI (no compression)", hz_timing, 0);
-    let (ccoll_out, t_ccoll) = run("C-Coll (DOC)", doc_timing, 1);
-    let (hz_out, t_hz) = run("hZCCL (homomorphic)", hz_timing, 2);
+    let (exact, t_mpi) = run("MPI (no compression)", hz_timing, &CollectiveOpts::mpi());
+    let (ccoll_out, t_ccoll) =
+        run("C-Coll (DOC)", doc_timing, &CollectiveOpts::ccoll(EB).with_mode(mode));
+    let (hz_out, t_hz) =
+        run("hZCCL (homomorphic)", hz_timing, &CollectiveOpts::hz(EB).with_mode(mode));
+    // the segmented pipelined ring overlaps compression with the wire
+    let (_, t_hz_pipe) = run(
+        "hZCCL (pipelined, S=4)",
+        hz_timing,
+        &CollectiveOpts::hz(EB).with_mode(mode).with_segments(4),
+    );
 
-    println!("\nspeedups over MPI: C-Coll {:.2}x, hZCCL {:.2}x", t_mpi / t_ccoll, t_mpi / t_hz);
+    println!(
+        "\nspeedups over MPI: C-Coll {:.2}x, hZCCL {:.2}x, hZCCL/S=4 {:.2}x",
+        t_mpi / t_ccoll,
+        t_mpi / t_hz,
+        t_mpi / t_hz_pipe
+    );
 
     // accuracy: both compressed paths stay within their analytic bounds
     let max_err = |out: &[f32]| {

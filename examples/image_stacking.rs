@@ -9,7 +9,8 @@
 //! ```
 
 use datasets::{save_pgm, App, Quality};
-use hzccl::{hz, mpi, CollectiveConfig, Mode};
+use hzccl::collectives::{self, CollectiveOpts};
+use hzccl::Mode;
 use netsim::{Cluster, ComputeTiming, ThroughputModel};
 use std::path::Path;
 
@@ -38,17 +39,19 @@ fn main() {
 
     // modeled compute timing so the virtual-time comparison is deterministic
     let timing = ComputeTiming::Modeled(ThroughputModel::new(2.0, 4.0, 20.0, 10.0, 20.0));
-    let cfg = CollectiveConfig::new(EB, Mode::MultiThread(2));
+    let hz_opts = CollectiveOpts::hz(EB).with_mode(Mode::MultiThread(2));
 
     // --- baseline: uncompressed MPI stacking
     let cluster = Cluster::new(RANKS).with_timing(timing);
-    let (mpi_results, mpi_stats) =
-        cluster.run_stats(|comm| mpi::allreduce(comm, &observations[comm.rank()], 1));
+    let (mpi_results, mpi_stats) = cluster.run_stats(|comm| {
+        collectives::allreduce(comm, &observations[comm.rank()], &CollectiveOpts::mpi())
+            .expect("mpi stacking")
+    });
     let mpi_image = &mpi_results[0];
 
     // --- hZCCL-accelerated stacking
     let (hz_results, hz_stats) = cluster.run_stats(|comm| {
-        hz::allreduce(comm, &observations[comm.rank()], &cfg).expect("hzccl stacking")
+        collectives::allreduce(comm, &observations[comm.rank()], &hz_opts).expect("hzccl stacking")
     });
     let hz_image = &hz_results[0];
 

@@ -8,7 +8,9 @@
 
 use datasets::{App, Quality};
 use fzlight::{compress, decompress, Config, ErrorBound};
+use hzccl::collectives::{self, CollectiveOpts};
 use hzdyn::homomorphic_sum;
+use netsim::Cluster;
 
 fn main() {
     // 1. Two snapshots of a scientific field (synthetic Hurricane data).
@@ -53,6 +55,19 @@ fn main() {
     );
     let ulp = q.max.abs().max(q.min.abs()) * f32::EPSILON as f64;
     assert!(q.max_abs_err <= 2.0 * eb + ulp);
+
+    // 5. The same idea scaled to a cluster: one call against the unified
+    //    collectives API runs the homomorphic ring Allreduce on a simulated
+    //    8-rank machine (add `.with_segments(4)` to pipeline it).
+    let opts = CollectiveOpts::hz(eb);
+    let cluster = Cluster::new(8);
+    let m = 1 << 12;
+    let outcomes = cluster.run(|comm| {
+        let data = App::Hurricane.generate(m, comm.rank() as u64);
+        collectives::allreduce(comm, &data, &opts).expect("allreduce")
+    });
+    assert!(outcomes.iter().all(|o| o.value == outcomes[0].value));
+    println!("cluster allreduce: 8 ranks agree bit-for-bit on the error-bounded sum");
 
     println!("quickstart OK");
 }

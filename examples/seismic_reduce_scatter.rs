@@ -9,7 +9,8 @@
 
 use datasets::App;
 use fzlight::{Config, ErrorBound};
-use hzccl::{ccoll, hz, mpi, CollectiveConfig, Mode};
+use hzccl::collectives::{self, CollectiveOpts};
+use hzccl::{CollectiveConfig, Mode};
 use netsim::{Cluster, ComputeTiming};
 
 const RANKS: usize = 32;
@@ -35,42 +36,39 @@ fn main() {
     let hz_timing = ComputeTiming::Modeled(hzccl::calibrate_hz(sample, &cfg));
     let doc_timing = ComputeTiming::Modeled(hzccl::calibrate_doc(sample, &cfg));
 
-    let run = |label: &str, timing: ComputeTiming, which: usize| -> f64 {
+    let run = |label: &str, timing: ComputeTiming, opts: &CollectiveOpts| -> f64 {
         let cluster = Cluster::new(RANKS).with_timing(timing);
         let (_, stats) = cluster.run_stats(|comm| {
             let data = &fields[comm.rank()];
-            match which {
-                0 => {
-                    mpi::reduce_scatter(comm, data, 1);
-                }
-                1 => {
-                    ccoll::reduce_scatter(comm, data, &cfg).expect("ccoll");
-                }
-                _ => {
-                    hz::reduce_scatter(comm, data, &cfg).expect("hzccl");
-                }
-            }
+            collectives::reduce_scatter(comm, data, opts).expect(label);
         });
-        println!("{label:<22} {:>9.3} ms", stats.makespan * 1e3);
+        println!("{label:<26} {:>9.3} ms", stats.makespan * 1e3);
         stats.makespan
     };
 
     println!("\nReduce_scatter of {} MiB per rank across {RANKS} ranks:", (ELEMS * 4) >> 20);
-    let t_mpi = run("MPI (no compression)", hz_timing, 0);
-    let t_ccoll = run("C-Coll (DOC)", doc_timing, 1);
-    let t_hz = run("hZCCL (homomorphic)", hz_timing, 2);
+    let t_mpi = run("MPI (no compression)", hz_timing, &CollectiveOpts::mpi());
+    let t_ccoll = run("C-Coll (DOC)", doc_timing, &CollectiveOpts::ccoll(EB).with_mode(mode));
+    let hz_opts = CollectiveOpts::hz(EB).with_mode(mode);
+    let t_hz = run("hZCCL (homomorphic)", hz_timing, &hz_opts);
+    let t_hz_pipe = run("hZCCL (pipelined, S=4)", hz_timing, &hz_opts.clone().with_segments(4));
     println!(
-        "\nspeedups over MPI: C-Coll {:.2}x, hZCCL {:.2}x (hZCCL vs C-Coll {:.2}x)",
+        "\nspeedups over MPI: C-Coll {:.2}x, hZCCL {:.2}x (pipelined {:.2}x, vs C-Coll {:.2}x)",
         t_mpi / t_ccoll,
         t_mpi / t_hz,
+        t_mpi / t_hz_pipe,
         t_ccoll / t_hz
     );
 
     // 3. Correctness: hZCCL's chunk equals MPI's within N*eb.
     let cluster = Cluster::new(RANKS).with_timing(hz_timing);
-    let exact = cluster.run(|comm| mpi::reduce_scatter(comm, &fields[comm.rank()], 1));
-    let approx =
-        cluster.run(|comm| hz::reduce_scatter(comm, &fields[comm.rank()], &cfg).expect("hzccl"));
+    let exact = cluster.run(|comm| {
+        collectives::reduce_scatter(comm, &fields[comm.rank()], &CollectiveOpts::mpi())
+            .expect("mpi")
+    });
+    let approx = cluster.run(|comm| {
+        collectives::reduce_scatter(comm, &fields[comm.rank()], &hz_opts).expect("hzccl")
+    });
     let mut worst = 0f64;
     for (e, a) in exact.iter().zip(&approx) {
         for (x, y) in e.value.iter().zip(&a.value) {

@@ -42,9 +42,9 @@ const USAGE: &str = "usage:
   hzc diff <a.fzl> <b.fzl> <out.fzl>
   hzc check <in.f32> <stream.fzl>
   hzc sim <allreduce|reduce_scatter|reduce|bcast> [--ranks N] [--mb M | --kb K]
-          [--variant hz|ccoll|mpi|rd|auto] [--eb E] [--threads T] [--app A]
-          [--seed S] [--cache state.json] [--trace out.json] [--metrics]
-          [--width W]
+          [--variant hz|ccoll|mpi|rd|auto] [--eb E] [--threads T] [--segments S]
+          [--app A] [--seed S] [--cache state.json] [--trace out.json]
+          [--metrics] [--width W]
   hzc tune [--ops L] [--ranks L] [--sizes-kb L] [--eb E] [--app A] [--seed S]
           [--out state.json]   (L = comma-separated list, e.g. 8,64)";
 
@@ -329,6 +329,12 @@ fn sim(args: &[String]) -> Result<(), String> {
     let eb: f64 = flag(rest, "--eb")?.unwrap_or(1e-4);
     let threads: usize = flag(rest, "--threads")?.unwrap_or(1);
     let mode = if threads > 1 { Mode::MultiThread(threads) } else { Mode::SingleThread };
+    // pipeline segment count for the static ring flavours; auto lets the
+    // tuner's plan decide
+    let segments: usize = flag(rest, "--segments")?.unwrap_or(1);
+    if segments == 0 {
+        return Err("--segments must be at least 1".into());
+    }
     let app = parse_app(flag::<String>(rest, "--app")?.as_deref().unwrap_or("sim2"))?;
     let seed: u64 = flag(rest, "--seed")?.unwrap_or(0);
     let cache_path: Option<String> = flag(rest, "--cache")?;
@@ -362,55 +368,35 @@ fn sim(args: &[String]) -> Result<(), String> {
         .with_trace(TraceConfig::default());
     let outcomes = cluster.run(|comm| {
         let data = &fields[comm.rank()];
-        let cpt_threads = mode.threads();
-        match (variant, op) {
-            (SimVariant::Auto, _) => {
+        match variant {
+            SimVariant::Auto => {
                 let tuner_op = tuner::Op::parse(op).expect("op validated above");
                 return run_auto(comm, tuner_op, data, &cfg, &engine);
             }
-            (SimVariant::Rd, "allreduce") => {
+            SimVariant::Rd => {
                 hzccl::rd::allreduce_rd_hz(comm, data, &cfg).expect("rd allreduce");
             }
-            (SimVariant::Static(hzccl::Variant::Mpi), "allreduce") => {
-                hzccl::mpi::allreduce(comm, data, cpt_threads);
+            SimVariant::Static(v) => {
+                let opts = hzccl::collectives::CollectiveOpts::for_variant(v, eb)
+                    .with_mode(mode)
+                    .with_segments(segments);
+                match op {
+                    "allreduce" => {
+                        hzccl::collectives::allreduce(comm, data, &opts).expect("allreduce");
+                    }
+                    "reduce_scatter" => {
+                        hzccl::collectives::reduce_scatter(comm, data, &opts)
+                            .expect("reduce_scatter");
+                    }
+                    "reduce" => {
+                        hzccl::collectives::reduce(comm, data, &opts).expect("reduce");
+                    }
+                    "bcast" => {
+                        hzccl::collectives::bcast(comm, data, &opts).expect("bcast");
+                    }
+                    _ => unreachable!("op validated above"),
+                }
             }
-            (SimVariant::Static(hzccl::Variant::Mpi), "reduce_scatter") => {
-                hzccl::mpi::reduce_scatter(comm, data, cpt_threads);
-            }
-            (SimVariant::Static(hzccl::Variant::Mpi), "reduce") => {
-                hzccl::mpi::reduce(comm, data, 0, cpt_threads);
-            }
-            (SimVariant::Static(hzccl::Variant::Mpi), "bcast") => {
-                let full = if comm.rank() == 0 { data.as_slice() } else { &[] };
-                hzccl::mpi::bcast(comm, full, 0, data.len());
-            }
-            (SimVariant::Static(hzccl::Variant::CColl), "allreduce") => {
-                hzccl::ccoll::allreduce(comm, data, &cfg).expect("ccoll allreduce");
-            }
-            (SimVariant::Static(hzccl::Variant::CColl), "reduce_scatter") => {
-                hzccl::ccoll::reduce_scatter(comm, data, &cfg).expect("ccoll rs");
-            }
-            (SimVariant::Static(hzccl::Variant::CColl), "reduce") => {
-                hzccl::ccoll::reduce(comm, data, 0, &cfg).expect("ccoll reduce");
-            }
-            (SimVariant::Static(hzccl::Variant::CColl), "bcast") => {
-                let full = if comm.rank() == 0 { data.as_slice() } else { &[] };
-                hzccl::ccoll::bcast(comm, full, 0, data.len(), &cfg).expect("ccoll bcast");
-            }
-            (SimVariant::Static(hzccl::Variant::Hzccl), "allreduce") => {
-                hzccl::hz::allreduce(comm, data, &cfg).expect("hz allreduce");
-            }
-            (SimVariant::Static(hzccl::Variant::Hzccl), "reduce_scatter") => {
-                hzccl::hz::reduce_scatter(comm, data, &cfg).expect("hz rs");
-            }
-            (SimVariant::Static(hzccl::Variant::Hzccl), "reduce") => {
-                hzccl::hz::reduce(comm, data, 0, &cfg).expect("hz reduce");
-            }
-            (SimVariant::Static(hzccl::Variant::Hzccl), "bcast") => {
-                let full = if comm.rank() == 0 { data.as_slice() } else { &[] };
-                hzccl::hz::bcast(comm, full, 0, data.len(), &cfg).expect("hz bcast");
-            }
-            _ => unreachable!("op and variant validated above"),
         }
         None
     });
@@ -423,7 +409,7 @@ fn sim(args: &[String]) -> Result<(), String> {
         makespan = makespan.max(o.elapsed);
     }
     println!(
-        "sim {op}: variant={} ranks={ranks} field={mb} MiB/rank eb={eb:e} mode={mode:?}",
+        "sim {op}: variant={} ranks={ranks} field={mb} MiB/rank eb={eb:e} mode={mode:?} segments={segments}",
         variant.label()
     );
 
@@ -536,60 +522,48 @@ fn run_tune_plan(
     data: &[f32],
     eb: f64,
 ) {
+    use hzccl::collectives::{self, CollectiveOpts};
     use tuner::{Algo, Flavor, ThreadMode};
     let mode = match plan.mode {
         ThreadMode::St => hzccl::Mode::SingleThread,
         ThreadMode::Mt(k) => hzccl::Mode::MultiThread(k),
     };
-    let cfg = hzccl::CollectiveConfig { eb, block_len: plan.block_len, mode };
-    let threads = mode.threads();
+    // Recursive doubling stays on its dedicated entry points; everything
+    // else routes through the unified collectives front-end so the plan's
+    // segment count is honoured.
     match (op, plan.flavor, plan.algo) {
-        (tuner::Op::Allreduce, Flavor::Mpi, Algo::Ring) => {
-            hzccl::mpi::allreduce(comm, data, threads);
-        }
         (tuner::Op::Allreduce, Flavor::Mpi, Algo::Rd) => {
-            hzccl::rd::allreduce_rd(comm, data, threads);
-        }
-        (tuner::Op::Allreduce, Flavor::CColl, _) => {
-            hzccl::ccoll::allreduce(comm, data, &cfg).expect("tune ccoll allreduce");
-        }
-        (tuner::Op::Allreduce, Flavor::Hzccl, Algo::Ring) => {
-            hzccl::hz::allreduce(comm, data, &cfg).expect("tune hz allreduce");
+            hzccl::rd::allreduce_rd(comm, data, mode.threads());
+            return;
         }
         (tuner::Op::Allreduce, Flavor::Hzccl, Algo::Rd) => {
+            let cfg = hzccl::CollectiveConfig { eb, block_len: plan.block_len, mode };
             hzccl::rd::allreduce_rd_hz(comm, data, &cfg).expect("tune hz rd");
+            return;
         }
-        (tuner::Op::ReduceScatter, Flavor::Mpi, _) => {
-            hzccl::mpi::reduce_scatter(comm, data, threads);
+        _ => {}
+    }
+    let variant = match plan.flavor {
+        Flavor::Mpi => hzccl::Variant::Mpi,
+        Flavor::CColl => hzccl::Variant::CColl,
+        Flavor::Hzccl => hzccl::Variant::Hzccl,
+    };
+    let opts = CollectiveOpts::for_variant(variant, eb)
+        .with_mode(mode)
+        .with_block_len(plan.block_len)
+        .with_segments(plan.segments);
+    match op {
+        tuner::Op::Allreduce => {
+            collectives::allreduce(comm, data, &opts).expect("tune allreduce");
         }
-        (tuner::Op::ReduceScatter, Flavor::CColl, _) => {
-            hzccl::ccoll::reduce_scatter(comm, data, &cfg).expect("tune ccoll rs");
+        tuner::Op::ReduceScatter => {
+            collectives::reduce_scatter(comm, data, &opts).expect("tune reduce_scatter");
         }
-        (tuner::Op::ReduceScatter, Flavor::Hzccl, _) => {
-            hzccl::hz::reduce_scatter(comm, data, &cfg).expect("tune hz rs");
+        tuner::Op::Reduce => {
+            collectives::reduce(comm, data, &opts).expect("tune reduce");
         }
-        (tuner::Op::Reduce, Flavor::Mpi, _) => {
-            hzccl::mpi::reduce(comm, data, 0, threads);
-        }
-        (tuner::Op::Reduce, Flavor::CColl, _) => {
-            hzccl::ccoll::reduce(comm, data, 0, &cfg).expect("tune ccoll reduce");
-        }
-        (tuner::Op::Reduce, Flavor::Hzccl, _) => {
-            hzccl::hz::reduce(comm, data, 0, &cfg).expect("tune hz reduce");
-        }
-        (tuner::Op::Bcast, flavor, _) => {
-            let full = if comm.rank() == 0 { data } else { &[] };
-            match flavor {
-                Flavor::Mpi => {
-                    hzccl::mpi::bcast(comm, full, 0, data.len());
-                }
-                Flavor::CColl => {
-                    hzccl::ccoll::bcast(comm, full, 0, data.len(), &cfg).expect("tune ccoll bcast");
-                }
-                Flavor::Hzccl => {
-                    hzccl::hz::bcast(comm, full, 0, data.len(), &cfg).expect("tune hz bcast");
-                }
-            }
+        tuner::Op::Bcast => {
+            collectives::bcast(comm, data, &opts).expect("tune bcast");
         }
     }
 }

@@ -6,6 +6,7 @@
 //! constant toward the value the simulator actually exhibits.
 
 use datasets::App;
+use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{auto, CollectiveConfig, Mode};
 use netsim::{cluster::RankOutcome, Cluster, ComputeTiming, NetConfig, OpKind, TraceConfig};
 use tuner::{Algo, Calibration, Engine, Flavor, Op, Plan, ScenarioSpec, ThreadMode};
@@ -43,7 +44,6 @@ fn run_static(
         ThreadMode::St => Mode::SingleThread,
         ThreadMode::Mt(k) => Mode::MultiThread(k),
     };
-    let cfg = CollectiveConfig { eb, block_len: plan.block_len, mode };
     let cluster = Cluster::new(nranks)
         .with_net(NetConfig::default())
         .with_timing(timing)
@@ -51,20 +51,24 @@ fn run_static(
     let outcomes = cluster.run(|comm| {
         let data = &fields[comm.rank()];
         match (plan.flavor, plan.algo) {
-            (Flavor::Mpi, Algo::Ring) => {
-                hzccl::mpi::allreduce(comm, data, mode.threads());
-            }
             (Flavor::Mpi, Algo::Rd) => {
                 hzccl::rd::allreduce_rd(comm, data, mode.threads());
             }
-            (Flavor::CColl, _) => {
-                hzccl::ccoll::allreduce(comm, data, &cfg).expect("ccoll");
-            }
-            (Flavor::Hzccl, Algo::Ring) => {
-                hzccl::hz::allreduce(comm, data, &cfg).expect("hz");
-            }
             (Flavor::Hzccl, Algo::Rd) => {
+                let cfg = CollectiveConfig { eb, block_len: plan.block_len, mode };
                 hzccl::rd::allreduce_rd_hz(comm, data, &cfg).expect("hz rd");
+            }
+            (flavor, _) => {
+                let variant = match flavor {
+                    Flavor::Mpi => hzccl::Variant::Mpi,
+                    Flavor::CColl => hzccl::Variant::CColl,
+                    Flavor::Hzccl => hzccl::Variant::Hzccl,
+                };
+                let opts = CollectiveOpts::for_variant(variant, eb)
+                    .with_mode(mode)
+                    .with_block_len(plan.block_len)
+                    .with_segments(plan.segments);
+                collectives::allreduce(comm, data, &opts).expect("static plan");
             }
         }
     });
@@ -173,8 +177,7 @@ fn calibration_converges_from_a_mis_seeded_constant() {
     let key = Calibration::key(Flavor::Hzccl, false);
     engine.calib.thr.get_mut(&key).expect("hz:st table")[OpKind::Hpr.index()] = 0.5;
 
-    let plan =
-        Plan { flavor: Flavor::Hzccl, algo: Algo::Ring, mode: ThreadMode::St, block_len: 32 };
+    let plan = Plan::serial(Flavor::Hzccl, Algo::Ring, ThreadMode::St, 32);
     let ratio = probe_ratio(&fields[0], eb);
     let spec = ScenarioSpec::new(Op::Allreduce, elems, nranks, eb, 32, ratio);
     // The simulator times kernels with the TRUE paper model — that is the

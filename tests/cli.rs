@@ -140,6 +140,47 @@ fn sim_rejects_bad_arguments() {
     assert!(!out.status.success());
     let out = hzc().args(["sim", "allreduce", "--variant", "nccl"]).output().unwrap();
     assert!(!out.status.success());
+    let out = hzc().args(["sim", "allreduce", "--segments", "0"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--segments"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// The pipeline smoke check CI runs: a segmented hz ring must complete, echo
+/// its segment count, and not be slower than the phase-serial schedule.
+#[test]
+fn sim_segmented_ring_is_no_slower_than_serial() {
+    let makespan_of = |segments: &str| -> f64 {
+        let out = hzc()
+            .args([
+                "sim",
+                "allreduce",
+                "--ranks",
+                "4",
+                "--mb",
+                "1",
+                "--variant",
+                "hz",
+                "--segments",
+                segments,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(&format!("segments={segments}")), "{stdout}");
+        let line = stdout.lines().find(|l| l.starts_with("makespan:")).expect("makespan line");
+        line.split_whitespace().nth(1).unwrap().parse::<f64>().expect("makespan parses")
+    };
+    let serial = makespan_of("1");
+    let pipelined = makespan_of("4");
+    assert!(
+        pipelined <= serial * (1.0 + 1e-9),
+        "pipelined {pipelined} must not exceed serial {serial}"
+    );
 }
 
 #[test]

@@ -2,7 +2,8 @@
 //! breakdown accounting, and the virtual-time orderings the paper reports.
 
 use datasets::App;
-use hzccl::{ccoll, hz, mpi, CollectiveConfig, Kernel, Mode};
+use hzccl::collectives::{self, CollectiveOpts};
+use hzccl::{Kernel, Mode};
 use netsim::{Cluster, ComputeTiming, ThroughputModel};
 
 fn modeled() -> ComputeTiming {
@@ -19,10 +20,10 @@ fn sixty_four_rank_allreduce_is_consistent_everywhere() {
     let nranks = 64;
     let n = 64 * 200 + 13; // uneven: last chunk bigger
     let data = fields(nranks, n);
-    let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    let opts = CollectiveOpts::hz(1e-4);
     let cluster = Cluster::new(nranks).with_timing(modeled());
-    let outcomes =
-        cluster.run(|comm| hz::allreduce(comm, &data[comm.rank()], &cfg).expect("allreduce"));
+    let outcomes = cluster
+        .run(|comm| collectives::allreduce(comm, &data[comm.rank()], &opts).expect("allreduce"));
     // all ranks identical, and error-bounded against the exact sum
     let exact: Vec<f64> = (0..n).map(|i| data.iter().map(|f| f[i] as f64).sum()).collect();
     let tol = nranks as f64 * 1e-4 + 1e-6;
@@ -42,10 +43,10 @@ fn sixty_four_rank_allreduce_is_consistent_everywhere() {
 fn breakdown_totals_are_consistent_with_makespan() {
     let nranks = 16;
     let data = fields(nranks, 16 * 512);
-    let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    let opts = CollectiveOpts::hz(1e-4);
     let cluster = Cluster::new(nranks).with_timing(modeled());
     let outcomes = cluster.run(|comm| {
-        hz::allreduce(comm, &data[comm.rank()], &cfg).expect("allreduce");
+        collectives::allreduce(comm, &data[comm.rank()], &opts).expect("allreduce");
         (comm.elapsed(), comm.breakdown())
     });
     for o in &outcomes {
@@ -64,26 +65,19 @@ fn hzccl_beats_ccoll_beats_mpi_at_scale() {
     let nranks = 32;
     let n = 1 << 17;
     let data = fields(nranks, n);
-    let run = |which: usize| -> f64 {
-        let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    let run = |opts: &CollectiveOpts| -> f64 {
         let cluster = Cluster::new(nranks).with_timing(modeled());
         let (_, stats) = cluster.run_stats(|comm| {
             let d = &data[comm.rank()];
-            match which {
-                0 => {
-                    mpi::allreduce(comm, d, 1);
-                }
-                1 => {
-                    ccoll::allreduce(comm, d, &cfg).expect("ccoll");
-                }
-                _ => {
-                    hz::allreduce(comm, d, &cfg).expect("hz");
-                }
-            }
+            collectives::allreduce(comm, d, opts).expect("allreduce");
         });
         stats.makespan
     };
-    let (t_mpi, t_ccoll, t_hz) = (run(0), run(1), run(2));
+    let (t_mpi, t_ccoll, t_hz) = (
+        run(&CollectiveOpts::mpi()),
+        run(&CollectiveOpts::ccoll(1e-4)),
+        run(&CollectiveOpts::hz(1e-4)),
+    );
     assert!(t_hz < t_ccoll, "hz {t_hz} vs ccoll {t_ccoll}");
     assert!(t_ccoll < t_mpi, "ccoll {t_ccoll} vs mpi {t_mpi}");
 }
@@ -93,10 +87,10 @@ fn reduce_scatter_chunks_reassemble_to_the_full_sum() {
     let nranks = 9;
     let n = 1000; // 9 chunks of 111 + last 112
     let data = fields(nranks, n);
-    let cfg = CollectiveConfig::new(1e-4, Mode::MultiThread(2));
+    let opts = CollectiveOpts::hz(1e-4).with_mode(Mode::MultiThread(2));
     let cluster = Cluster::new(nranks).with_timing(modeled());
-    let outcomes =
-        cluster.run(|comm| hz::reduce_scatter(comm, &data[comm.rank()], &cfg).expect("rs"));
+    let outcomes = cluster
+        .run(|comm| collectives::reduce_scatter(comm, &data[comm.rank()], &opts).expect("rs"));
     let gathered: Vec<f32> = outcomes.iter().flat_map(|o| o.value.clone()).collect();
     assert_eq!(gathered.len(), n);
     let exact: Vec<f64> = (0..n).map(|i| data.iter().map(|f| f[i] as f64).sum()).collect();

@@ -4,7 +4,8 @@
 
 use datasets::{App, Quality};
 use fzlight::{Config, ErrorBound};
-use hzccl::{CollectiveConfig, Kernel, Mode};
+use hzccl::collectives::{self, CollectiveOpts};
+use hzccl::Kernel;
 use netsim::{Cluster, ComputeTiming, ThroughputModel};
 
 fn q_ulp(data: &[f32]) -> f64 {
@@ -101,12 +102,12 @@ fn reduce_scatter_then_allgather_equals_allreduce_for_hzccl() {
     let base = App::SimSet2.generate(n, 1);
     let fields: Vec<Vec<f32>> =
         (0..nranks).map(|r| base.iter().map(|&v| v + r as f32 * 0.01).collect()).collect();
-    let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+    let opts = CollectiveOpts::hz(eb);
     let cluster = Cluster::new(nranks).with_timing(modeled());
-    let fused =
-        cluster.run(|comm| hzccl::hz::allreduce(comm, &fields[comm.rank()], &cfg).expect("fused"));
+    let fused = cluster
+        .run(|comm| collectives::allreduce(comm, &fields[comm.rank()], &opts).expect("fused"));
     let staged = cluster.run(|comm| {
-        let own = hzccl::hz::reduce_scatter(comm, &fields[comm.rank()], &cfg).expect("rs");
+        let own = collectives::reduce_scatter(comm, &fields[comm.rank()], &opts).expect("rs");
         hzccl::mpi::allgather(comm, &own, n)
     });
     for (f, s) in fused.iter().zip(&staged) {
@@ -153,23 +154,25 @@ fn costmodel_and_simulation_agree_on_the_winner() {
 
     let thr = ThroughputModel::new(2.0, 4.0, 20.0, 10.0, 20.0);
     let timing = ComputeTiming::Modeled(thr);
-    let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+    let hz_opts = CollectiveOpts::hz(eb);
     let cluster = Cluster::new(nranks).with_timing(timing);
 
     let t_mpi = {
         let (_, s) = cluster.run_stats(|comm| {
-            hzccl::mpi::allreduce(comm, &fields[comm.rank()], 1);
+            collectives::allreduce(comm, &fields[comm.rank()], &CollectiveOpts::mpi())
+                .expect("mpi");
         });
         s.makespan
     };
     let t_hz = {
         let (_, s) = cluster.run_stats(|comm| {
-            hzccl::hz::allreduce(comm, &fields[comm.rank()], &cfg).expect("hz");
+            collectives::allreduce(comm, &fields[comm.rank()], &hz_opts).expect("hz");
         });
         s.makespan
     };
 
-    let ratio = fzlight::compress(&base, &cfg.fz()).unwrap().ratio();
+    let fz_cfg = Config::new(ErrorBound::Abs(eb));
+    let ratio = fzlight::compress(&base, &fz_cfg).unwrap().ratio();
     let scen = costmodel::Scenario {
         nranks,
         message_bytes: n * 4,

@@ -2,6 +2,7 @@
 //! event stream must reconcile exactly with the live breakdown accounting,
 //! event times must be monotone, and the exporters must round-trip.
 
+use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{CollectiveConfig, Mode};
 use netsim::{trace, Cluster, ComputeTiming, Event, Json, OpKind, ThroughputModel, TraceConfig};
 
@@ -70,28 +71,43 @@ where
 
 #[test]
 fn mpi_allreduce_trace_reconciles() {
+    let opts = CollectiveOpts::mpi();
     assert_trace_reconciles(5, "mpi", |comm| {
         let data = field(comm.rank(), 1200);
-        hzccl::mpi::allreduce(comm, &data, 1);
+        collectives::allreduce(comm, &data, &opts).expect("mpi");
     });
 }
 
 #[test]
 fn ccoll_allreduce_trace_reconciles() {
-    let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    let opts = CollectiveOpts::ccoll(1e-4);
     assert_trace_reconciles(4, "ccoll", |comm| {
         let data = field(comm.rank(), 1500);
-        hzccl::ccoll::allreduce(comm, &data, &cfg).expect("ccoll");
+        collectives::allreduce(comm, &data, &opts).expect("ccoll");
     });
 }
 
 #[test]
 fn hz_allreduce_trace_reconciles_st_and_mt() {
     for mode in [Mode::SingleThread, Mode::MultiThread(2)] {
-        let cfg = CollectiveConfig::new(1e-4, mode);
+        let opts = CollectiveOpts::hz(1e-4).with_mode(mode);
         assert_trace_reconciles(4, "hz", |comm| {
             let data = field(comm.rank(), 2000);
-            hzccl::hz::allreduce(comm, &data, &cfg).expect("hz");
+            collectives::allreduce(comm, &data, &opts).expect("hz");
+        });
+    }
+}
+
+#[test]
+fn pipelined_rings_trace_reconciles_every_flavour() {
+    for (what, opts) in [
+        ("mpi-pipe", CollectiveOpts::mpi().with_segments(3)),
+        ("ccoll-pipe", CollectiveOpts::ccoll(1e-4).with_segments(3)),
+        ("hz-pipe", CollectiveOpts::hz(1e-4).with_segments(3)),
+    ] {
+        assert_trace_reconciles(4, what, |comm| {
+            let data = field(comm.rank(), 2400);
+            collectives::allreduce(comm, &data, &opts).expect(what);
         });
     }
 }
@@ -107,24 +123,26 @@ fn rd_hz_trace_reconciles_non_power_of_two() {
 
 #[test]
 fn hz_reduce_and_bcast_traces_reconcile() {
-    let cfg = CollectiveConfig::new(1e-3, Mode::SingleThread);
+    let opts = CollectiveOpts::hz(1e-3);
     assert_trace_reconciles(5, "hz-reduce", |comm| {
         let data = field(comm.rank(), 900);
-        hzccl::hz::reduce(comm, &data, 0, &cfg).expect("reduce");
+        collectives::reduce(comm, &data, &opts).expect("reduce");
     });
     let base = field(7, 900);
+    let bopts = opts.clone().with_root(1);
     assert_trace_reconciles(5, "hz-bcast", |comm| {
-        let data = if comm.rank() == 1 { base.clone() } else { Vec::new() };
-        hzccl::hz::bcast(comm, &data, 1, 900, &cfg).expect("bcast");
+        // every rank passes a full-length buffer; non-root contents ignored
+        let data = if comm.rank() == 1 { base.clone() } else { vec![0.0; 900] };
+        collectives::bcast(comm, &data, &bopts).expect("bcast");
     });
 }
 
 #[test]
 fn compressed_sends_carry_logical_bytes() {
-    let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    let opts = CollectiveOpts::hz(1e-4);
     let traces = assert_trace_reconciles(4, "hz-ratio", |comm| {
         let data = field(comm.rank(), 4096);
-        hzccl::hz::allreduce(comm, &data, &cfg).expect("hz");
+        collectives::allreduce(comm, &data, &opts).expect("hz");
     });
     let mut compressed_sends = 0usize;
     for t in &traces {
@@ -142,10 +160,10 @@ fn compressed_sends_carry_logical_bytes() {
 
 #[test]
 fn chrome_export_round_trips_every_event() {
-    let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    let opts = CollectiveOpts::hz(1e-4);
     let traces = assert_trace_reconciles(3, "chrome", |comm| {
         let data = field(comm.rank(), 600);
-        hzccl::hz::allreduce(comm, &data, &cfg).expect("hz");
+        collectives::allreduce(comm, &data, &opts).expect("hz");
     });
     let text = trace::chrome_trace(&traces);
     let doc = Json::parse(&text).expect("chrome trace is valid JSON");
@@ -168,10 +186,10 @@ fn chrome_export_round_trips_every_event() {
 
 #[test]
 fn ascii_timeline_renders_all_ranks() {
-    let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    let opts = CollectiveOpts::hz(1e-4);
     let traces = assert_trace_reconciles(4, "ascii", |comm| {
         let data = field(comm.rank(), 3000);
-        hzccl::hz::allreduce(comm, &data, &cfg).expect("hz");
+        collectives::allreduce(comm, &data, &opts).expect("hz");
     });
     let art = trace::ascii_timeline(&traces, 80);
     for r in 0..4 {
@@ -186,7 +204,7 @@ fn untraced_runs_carry_no_trace() {
     let cluster = Cluster::new(2).with_timing(modeled());
     let outcomes = cluster.run(|comm| {
         let data = field(comm.rank(), 256);
-        hzccl::mpi::allreduce(comm, &data, 1);
+        collectives::allreduce(comm, &data, &CollectiveOpts::mpi()).expect("mpi");
     });
     for o in outcomes {
         assert!(o.trace.is_none(), "tracing must be off by default");
@@ -195,11 +213,11 @@ fn untraced_runs_carry_no_trace() {
 
 #[test]
 fn registry_record_run_matches_trace_sums() {
-    let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
+    let opts = CollectiveOpts::hz(1e-4);
     let cluster = Cluster::new(4).with_timing(modeled()).with_trace(TraceConfig::default());
     let outcomes = cluster.run(|comm| {
         let data = field(comm.rank(), 2000);
-        hzccl::hz::allreduce(comm, &data, &cfg).expect("hz");
+        collectives::allreduce(comm, &data, &opts).expect("hz");
     });
     let mut reg = netsim::Registry::new();
     reg.record_run(&outcomes);
