@@ -60,7 +60,9 @@ fn mode_of(plan: &Plan) -> Mode {
 /// The per-call config the plan implies: caller's error bound, plan's block
 /// length and thread mode.
 fn cfg_for(plan: &Plan, base: &CollectiveConfig) -> CollectiveConfig {
-    CollectiveConfig { eb: base.eb, block_len: plan.block_len, mode: mode_of(plan) }
+    // the tuner's cost model knows nothing about retry/backoff time, so
+    // Auto always plans (and runs) without the resilient transport
+    CollectiveConfig { eb: base.eb, block_len: plan.block_len, mode: mode_of(plan), res: None }
 }
 
 /// Probe-compress a sample of `data` at each candidate block length and
@@ -162,7 +164,7 @@ pub fn allreduce_planned(
     let pcfg = cfg_for(plan, cfg);
     Ok(match (plan.flavor, plan.algo) {
         (Flavor::Mpi, Algo::Ring) => {
-            mpi::allreduce_impl(comm, data, pcfg.mode.threads(), plan.segments)
+            mpi::allreduce_impl(comm, data, pcfg.mode.threads(), plan.segments, None)
         }
         (Flavor::Mpi, Algo::Rd) => rd::allreduce_rd(comm, data, pcfg.mode.threads()),
         (Flavor::CColl, _) => ccoll::allreduce_impl(comm, data, &pcfg, plan.segments)?,
@@ -180,7 +182,9 @@ pub fn reduce_scatter_planned(
 ) -> Result<Vec<f32>> {
     let pcfg = cfg_for(plan, cfg);
     Ok(match plan.flavor {
-        Flavor::Mpi => mpi::reduce_scatter_impl(comm, data, pcfg.mode.threads(), plan.segments),
+        Flavor::Mpi => {
+            mpi::reduce_scatter_impl(comm, data, pcfg.mode.threads(), plan.segments, None)
+        }
         Flavor::CColl => ccoll::reduce_scatter_impl(comm, data, &pcfg, plan.segments)?,
         Flavor::Hzccl => hz::reduce_scatter_impl(comm, data, &pcfg, plan.segments)?,
     })
@@ -196,7 +200,7 @@ pub fn reduce_planned(
 ) -> Result<Option<Vec<f32>>> {
     let pcfg = cfg_for(plan, cfg);
     Ok(match plan.flavor {
-        Flavor::Mpi => mpi::reduce_impl(comm, data, root, pcfg.mode.threads(), plan.segments),
+        Flavor::Mpi => mpi::reduce_impl(comm, data, root, pcfg.mode.threads(), plan.segments, None),
         Flavor::CColl => ccoll::reduce_impl(comm, data, root, &pcfg, plan.segments)?,
         Flavor::Hzccl => hz::reduce_impl(comm, data, root, &pcfg, plan.segments)?,
     })
@@ -213,7 +217,7 @@ pub fn bcast_planned(
 ) -> Result<Vec<f32>> {
     let pcfg = cfg_for(plan, cfg);
     Ok(match plan.flavor {
-        Flavor::Mpi => mpi::bcast_impl(comm, data, root, total_len, plan.segments),
+        Flavor::Mpi => mpi::bcast_impl(comm, data, root, total_len, plan.segments, None),
         Flavor::CColl => ccoll::bcast_impl(comm, data, root, total_len, &pcfg, plan.segments)?,
         Flavor::Hzccl => hz::bcast_impl(comm, data, root, total_len, &pcfg, plan.segments)?,
     })

@@ -20,11 +20,12 @@
 //! segment boundaries are block-aligned, the pipelined result is
 //! bit-identical to the phase-serial one.
 
-use crate::chunks::node_chunks;
+use crate::chunks::{bytes_to_f32, f32_to_bytes, node_chunks};
 use crate::config::CollectiveConfig;
 use crate::mpi::{TAG_GATHER, TAG_RS, TAG_SCATTER};
 use crate::pipeline::{chunk_seg_plan, seg_tag};
-use crate::ring::{ring_forward_logical, ring_forward_segmented};
+use crate::resilient::{recv_resilient, send_resilient, sendrecv_resilient, PayloadKind};
+use crate::ring::{ring_forward_resilient, ring_forward_segmented};
 use fzlight::Result;
 use hzdyn::{doc::reduce_in_place, ReduceOp};
 use netsim::{Comm, OpKind};
@@ -34,6 +35,18 @@ fn oszp_config(cfg: &CollectiveConfig) -> ompszp::Config {
     ompszp::Config::new(ompszp::ErrorBound::Abs(cfg.eb))
         .with_block_len(cfg.block_len)
         .with_threads(cfg.mode.threads())
+}
+
+/// Ring degradation hook (see [`crate::hz`]'s twin): decompress the ompSZp
+/// stream we were forwarding and ship raw f32 bytes instead.
+fn degrade_oszp_to_raw(comm: &mut Comm, _idx: usize, bytes: &[u8]) -> Vec<u8> {
+    let stream = OszpStream::from_bytes(bytes.to_vec()).expect("forwarded stream must parse");
+    let vals = comm
+        .compute_labeled(OpKind::Dpr, stream.n() * 4, "res:degrade-decompress", || {
+            ompszp::decompress(&stream)
+        })
+        .expect("forwarded stream must decompress");
+    f32_to_bytes(&vals)
 }
 
 /// C-Coll ring `Reduce_scatter(sum)`: returns the reduced node-chunk `rank`.
@@ -112,19 +125,31 @@ pub(crate) fn reduce_scatter_impl(
                     ompszp::compress(&acc, &ocfg)
                 })?;
             let logical = acc.len() * 4;
-            let got = comm.sendrecv_compressed(
+            let acc_ref = &acc;
+            let (got, kind) = sendrecv_resilient(
+                comm,
+                cfg.res.as_ref(),
                 right,
                 TAG_RS + s as u64,
                 stream.as_bytes().to_vec(),
+                PayloadKind::Opaque,
                 logical,
                 left,
+                // degrade: the raw accumulator is the last good state
+                |_| f32_to_bytes(acc_ref),
             );
-            let received = OszpStream::from_bytes(got)?;
-            // DPR: fully decompress before any arithmetic (the DOC bottleneck)
-            let mut tmp =
-                comm.compute_labeled(OpKind::Dpr, received.n() * 4, "ccoll:decompress", || {
-                    ompszp::decompress(&received)
-                })?;
+            let mut tmp = match kind {
+                PayloadKind::Opaque => {
+                    let received = OszpStream::from_bytes(got)?;
+                    // DPR: fully decompress before any arithmetic (the DOC
+                    // bottleneck)
+                    comm.compute_labeled(OpKind::Dpr, received.n() * 4, "ccoll:decompress", || {
+                        ompszp::decompress(&received)
+                    })?
+                }
+                // a degraded hop delivered raw f32s — no DPR needed
+                PayloadKind::RawF32 => bytes_to_f32(&got),
+            };
             let local_idx = (r + 2 * n - s - 2) % n;
             let local = &data[chunks[local_idx].clone()];
             // CPT: reduce on raw values
@@ -219,16 +244,28 @@ pub(crate) fn allgather_impl(
                 ompszp::compress(own, &ocfg)
             })?;
         let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
-        let slots = ring_forward_logical(comm, own_stream.as_bytes().to_vec(), &logical);
-        for (idx, payload) in slots.into_iter().enumerate() {
+        let slots = ring_forward_resilient(
+            comm,
+            cfg.res.as_ref(),
+            own_stream.as_bytes().to_vec(),
+            PayloadKind::Opaque,
+            &logical,
+            degrade_oszp_to_raw,
+        );
+        for (idx, (payload, kind)) in slots.into_iter().enumerate() {
             if idx == r {
                 continue;
             }
-            let stream = OszpStream::from_bytes(payload)?;
             let dst = &mut out[chunks[idx].clone()];
-            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
-                ompszp::decompress_into(&stream, dst)
-            })?;
+            match kind {
+                PayloadKind::Opaque => {
+                    let stream = OszpStream::from_bytes(payload)?;
+                    comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
+                        ompszp::decompress_into(&stream, dst)
+                    })?;
+                }
+                PayloadKind::RawF32 => dst.copy_from_slice(&bytes_to_f32(&payload)),
+            }
         }
         return Ok(out);
     }
@@ -291,23 +328,38 @@ pub(crate) fn reduce_impl(
                 if src == root {
                     continue;
                 }
-                let got = comm.recv(src, TAG_GATHER + src as u64);
-                let stream = OszpStream::from_bytes(got)?;
+                let (got, kind) =
+                    recv_resilient(comm, cfg.res.as_ref(), src, TAG_GATHER + src as u64);
                 let dst = &mut out[chunks[src].clone()];
-                comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
-                    ompszp::decompress_into(&stream, dst)
-                })?;
+                match kind {
+                    PayloadKind::Opaque => {
+                        let stream = OszpStream::from_bytes(got)?;
+                        comm.compute_labeled(
+                            OpKind::Dpr,
+                            dst.len() * 4,
+                            "ccoll:decompress",
+                            || ompszp::decompress_into(&stream, dst),
+                        )?;
+                    }
+                    PayloadKind::RawF32 => dst.copy_from_slice(&bytes_to_f32(&got)),
+                }
             }
             return Ok(Some(out));
         }
         let stream = comm.compute_labeled(OpKind::Cpr, own.len() * 4, "ccoll:compress", || {
             ompszp::compress(&own, &ocfg)
         })?;
-        comm.send_compressed(
+        let own_ref = &own;
+        send_resilient(
+            comm,
+            cfg.res.as_ref(),
             root,
             TAG_GATHER + r as u64,
             stream.as_bytes().to_vec(),
+            PayloadKind::Opaque,
             own.len() * 4,
+            // degrade: the raw reduced chunk is still in hand
+            |_| f32_to_bytes(own_ref),
         );
         return Ok(None);
     }
@@ -370,7 +422,7 @@ pub(crate) fn bcast_impl(
     let chunks = node_chunks(total_len, n);
     if segments <= 1 {
         // the compressed bytes of this rank's chunk
-        let own_bytes: Vec<u8> = if r == root {
+        let (own_bytes, own_kind) = if r == root {
             assert_eq!(data.len(), total_len, "bcast root must hold the full vector");
             let mut mine = Vec::new();
             for dst in 0..n {
@@ -382,27 +434,44 @@ pub(crate) fn bcast_impl(
                 if dst == root {
                     mine = stream.as_bytes().to_vec();
                 } else {
-                    comm.send_compressed(
+                    send_resilient(
+                        comm,
+                        cfg.res.as_ref(),
                         dst,
                         TAG_SCATTER + dst as u64,
                         stream.as_bytes().to_vec(),
+                        PayloadKind::Opaque,
                         chunk.len() * 4,
+                        // the root still holds the raw chunk
+                        |_| f32_to_bytes(chunk),
                     );
                 }
             }
-            mine
+            (mine, PayloadKind::Opaque)
         } else {
-            comm.recv(root, TAG_SCATTER + r as u64)
+            recv_resilient(comm, cfg.res.as_ref(), root, TAG_SCATTER + r as u64)
         };
         let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
-        let slots = ring_forward_logical(comm, own_bytes, &logical);
+        let slots = ring_forward_resilient(
+            comm,
+            cfg.res.as_ref(),
+            own_bytes,
+            own_kind,
+            &logical,
+            degrade_oszp_to_raw,
+        );
         let mut out = vec![0f32; total_len];
-        for (idx, payload) in slots.into_iter().enumerate() {
-            let stream = OszpStream::from_bytes(payload)?;
+        for (idx, (payload, kind)) in slots.into_iter().enumerate() {
             let dst = &mut out[chunks[idx].clone()];
-            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
-                ompszp::decompress_into(&stream, dst)
-            })?;
+            match kind {
+                PayloadKind::Opaque => {
+                    let stream = OszpStream::from_bytes(payload)?;
+                    comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "ccoll:decompress", || {
+                        ompszp::decompress_into(&stream, dst)
+                    })?;
+                }
+                PayloadKind::RawF32 => dst.copy_from_slice(&bytes_to_f32(&payload)),
+            }
         }
         return Ok(out);
     }

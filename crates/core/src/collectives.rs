@@ -44,6 +44,7 @@
 
 use crate::auto;
 use crate::config::{CollectiveConfig, Mode, Variant};
+use crate::resilient::Resilience;
 use crate::{ccoll, hz, mpi};
 use netsim::Comm;
 use std::fmt;
@@ -119,6 +120,7 @@ pub struct CollectiveOpts {
     segments: usize,
     root: usize,
     engine: Option<Engine>,
+    resilience: Option<Resilience>,
 }
 
 impl CollectiveOpts {
@@ -131,6 +133,7 @@ impl CollectiveOpts {
             segments: 1,
             root: 0,
             engine,
+            resilience: None,
         }
     }
 
@@ -205,6 +208,17 @@ impl CollectiveOpts {
         self
     }
 
+    /// Route the serial schedules through the resilient transport
+    /// ([`crate::resilient`]): checksummed frames, NACK/retransmit, and
+    /// graceful degradation to raw f32 after `max_retries`. Forces the
+    /// phase-serial schedule (the segmented pipelined ring is not made
+    /// resilient), and is stripped by [`Variant::Auto`] (the tuner's cost
+    /// model knows nothing about retry time).
+    pub fn with_resilience(mut self, res: Resilience) -> CollectiveOpts {
+        self.resilience = Some(res);
+        self
+    }
+
     /// The flavour this call dispatches to.
     pub fn variant(&self) -> Variant {
         self.variant
@@ -235,9 +249,29 @@ impl CollectiveOpts {
         self.engine.as_ref()
     }
 
+    /// The resilient-transport policy, when one is attached.
+    pub fn resilience(&self) -> Option<&Resilience> {
+        self.resilience.as_ref()
+    }
+
     /// The per-flavour config these options imply.
     fn cfg(&self) -> CollectiveConfig {
-        CollectiveConfig { eb: self.eb, block_len: self.block_len, mode: self.mode }
+        CollectiveConfig {
+            eb: self.eb,
+            block_len: self.block_len,
+            mode: self.mode,
+            res: self.resilience,
+        }
+    }
+
+    /// The effective segment count: the resilient transport only covers the
+    /// phase-serial schedules, so resilience forces `segments == 1`.
+    fn eff_segments(&self) -> usize {
+        if self.resilience.is_some() {
+            1
+        } else {
+            self.segments
+        }
     }
 
     fn engine_ref(&self) -> &Engine {
@@ -267,9 +301,15 @@ pub fn allreduce(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result
     check_elems(comm, data.len())?;
     let cfg = opts.cfg();
     Ok(match opts.variant {
-        Variant::Mpi => mpi::allreduce_impl(comm, data, cfg.mode.threads(), opts.segments),
-        Variant::CColl => ccoll::allreduce_impl(comm, data, &cfg, opts.segments)?,
-        Variant::Hzccl => hz::allreduce_impl(comm, data, &cfg, opts.segments)?,
+        Variant::Mpi => mpi::allreduce_impl(
+            comm,
+            data,
+            cfg.mode.threads(),
+            opts.eff_segments(),
+            cfg.res.as_ref(),
+        ),
+        Variant::CColl => ccoll::allreduce_impl(comm, data, &cfg, opts.eff_segments())?,
+        Variant::Hzccl => hz::allreduce_impl(comm, data, &cfg, opts.eff_segments())?,
         Variant::Auto => auto::allreduce(comm, data, &cfg, opts.engine_ref())?.value,
     })
 }
@@ -280,9 +320,15 @@ pub fn reduce_scatter(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> R
     check_elems(comm, data.len())?;
     let cfg = opts.cfg();
     Ok(match opts.variant {
-        Variant::Mpi => mpi::reduce_scatter_impl(comm, data, cfg.mode.threads(), opts.segments),
-        Variant::CColl => ccoll::reduce_scatter_impl(comm, data, &cfg, opts.segments)?,
-        Variant::Hzccl => hz::reduce_scatter_impl(comm, data, &cfg, opts.segments)?,
+        Variant::Mpi => mpi::reduce_scatter_impl(
+            comm,
+            data,
+            cfg.mode.threads(),
+            opts.eff_segments(),
+            cfg.res.as_ref(),
+        ),
+        Variant::CColl => ccoll::reduce_scatter_impl(comm, data, &cfg, opts.eff_segments())?,
+        Variant::Hzccl => hz::reduce_scatter_impl(comm, data, &cfg, opts.eff_segments())?,
         Variant::Auto => auto::reduce_scatter(comm, data, &cfg, opts.engine_ref())?.value,
     })
 }
@@ -295,9 +341,16 @@ pub fn reduce(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Ve
     check_root(comm, opts.root)?;
     let cfg = opts.cfg();
     let got = match opts.variant {
-        Variant::Mpi => mpi::reduce_impl(comm, data, opts.root, cfg.mode.threads(), opts.segments),
-        Variant::CColl => ccoll::reduce_impl(comm, data, opts.root, &cfg, opts.segments)?,
-        Variant::Hzccl => hz::reduce_impl(comm, data, opts.root, &cfg, opts.segments)?,
+        Variant::Mpi => mpi::reduce_impl(
+            comm,
+            data,
+            opts.root,
+            cfg.mode.threads(),
+            opts.eff_segments(),
+            cfg.res.as_ref(),
+        ),
+        Variant::CColl => ccoll::reduce_impl(comm, data, opts.root, &cfg, opts.eff_segments())?,
+        Variant::Hzccl => hz::reduce_impl(comm, data, opts.root, &cfg, opts.eff_segments())?,
         Variant::Auto => auto::reduce(comm, data, opts.root, &cfg, opts.engine_ref())?.value,
     };
     Ok(got.unwrap_or_default())
@@ -313,11 +366,20 @@ pub fn bcast(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec
     let payload: &[f32] = if comm.rank() == opts.root { data } else { &[] };
     let cfg = opts.cfg();
     Ok(match opts.variant {
-        Variant::Mpi => mpi::bcast_impl(comm, payload, opts.root, total_len, opts.segments),
+        Variant::Mpi => mpi::bcast_impl(
+            comm,
+            payload,
+            opts.root,
+            total_len,
+            opts.eff_segments(),
+            cfg.res.as_ref(),
+        ),
         Variant::CColl => {
-            ccoll::bcast_impl(comm, payload, opts.root, total_len, &cfg, opts.segments)?
+            ccoll::bcast_impl(comm, payload, opts.root, total_len, &cfg, opts.eff_segments())?
         }
-        Variant::Hzccl => hz::bcast_impl(comm, payload, opts.root, total_len, &cfg, opts.segments)?,
+        Variant::Hzccl => {
+            hz::bcast_impl(comm, payload, opts.root, total_len, &cfg, opts.eff_segments())?
+        }
         Variant::Auto => {
             auto::bcast(comm, payload, opts.root, total_len, &cfg, opts.engine_ref())?.value
         }

@@ -27,11 +27,12 @@
 //! integer sums are exact, so segment boundaries cannot change a single
 //! output bit.
 
-use crate::chunks::node_chunks;
+use crate::chunks::{bytes_to_f32, f32_to_bytes, node_chunks};
 use crate::config::CollectiveConfig;
 use crate::mpi::{TAG_GATHER, TAG_RS, TAG_SCATTER};
 use crate::pipeline::{chunk_seg_plan, seg_tag};
-use crate::ring::{ring_forward_logical, ring_forward_segmented};
+use crate::resilient::{recv_resilient, send_resilient, sendrecv_resilient, PayloadKind};
+use crate::ring::{ring_forward_resilient, ring_forward_segmented};
 use fzlight::{compress_resolved, decompress, CompressedStream, Result};
 use hzdyn::homomorphic_sum;
 use netsim::{Comm, OpKind};
@@ -88,6 +89,20 @@ fn compress_seg(
     })
 }
 
+/// Ring degradation hook: when forwarding a compressed chunk exhausts its
+/// retries, decompress the stream we hold (DPR) and ship the raw f32 bytes
+/// instead — the hZCCL allgather forwards streams verbatim, so the stream
+/// in hand *is* the last good state.
+fn degrade_stream_to_raw(comm: &mut Comm, _idx: usize, bytes: &[u8]) -> Vec<u8> {
+    let stream = CompressedStream::from_bytes(bytes.to_vec()).expect("forwarded stream must parse");
+    let vals = comm
+        .compute_labeled(OpKind::Dpr, stream.n() * 4, "res:degrade-decompress", || {
+            decompress(&stream)
+        })
+        .expect("forwarded stream must decompress");
+    f32_to_bytes(&vals)
+}
+
 /// The homomorphic Reduce_scatter core, returning the reduced chunk still in
 /// compressed form (the handle the fused Allreduce consumes).
 pub(crate) fn reduce_scatter_compressed(
@@ -122,15 +137,42 @@ pub(crate) fn reduce_scatter_compressed(
         // the chunk being forwarded at step s (its uncompressed size is the
         // logical volume this compressed message represents)
         let send_idx = (r + 2 * n - s - 1) % n;
-        let got = comm.sendrecv_compressed(
+        let send_ref = &send;
+        let (got, kind) = sendrecv_resilient(
+            comm,
+            cfg.res.as_ref(),
             right,
             TAG_RS + s as u64,
             send.as_bytes().to_vec(),
+            PayloadKind::Opaque,
             chunks[send_idx].len() * 4,
             left,
+            |c| {
+                // degrade: recompute raw values from the last good state —
+                // the partial sum we were trying to forward
+                let vals = c
+                    .compute_labeled(
+                        OpKind::Dpr,
+                        send_ref.n() * 4,
+                        "res:degrade-decompress",
+                        || decompress(send_ref),
+                    )
+                    .expect("own partial-sum stream must decompress");
+                f32_to_bytes(&vals)
+            },
         );
-        let received = CompressedStream::from_bytes(got)?;
         let idx = (r + 2 * n - s - 2) % n;
+        let received = match kind {
+            PayloadKind::Opaque => CompressedStream::from_bytes(got)?,
+            // a degraded hop delivered raw f32s: recompress (at most one
+            // extra quantization of error) so the homomorphic sum proceeds
+            PayloadKind::RawF32 => {
+                let vals = bytes_to_f32(&got);
+                comm.compute_labeled(OpKind::Cpr, vals.len() * 4, "res:recompress", || {
+                    compress_resolved(&vals, cfg.eb, cfg.block_len, threads)
+                })?
+            }
+        };
         // HPR: reduce two compressed chunks directly, no decompression
         send =
             comm.compute_labeled(OpKind::Hpr, chunks[idx].len() * 4, "hz:homomorphic-sum", || {
@@ -273,14 +315,30 @@ pub(crate) fn allreduce_impl(
         // Allgather stage: no compression — the already-compressed chunks are
         // forwarded verbatim around the ring...
         let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
-        let slots = ring_forward_logical(comm, own_stream.into_bytes(), &logical);
+        let slots = ring_forward_resilient(
+            comm,
+            cfg.res.as_ref(),
+            own_stream.into_bytes(),
+            PayloadKind::Opaque,
+            &logical,
+            degrade_stream_to_raw,
+        );
         // ...and everything is decompressed once at the very end.
-        for (idx, payload) in slots.into_iter().enumerate() {
-            let stream = CompressedStream::from_bytes(payload)?;
+        for (idx, (payload, kind)) in slots.into_iter().enumerate() {
             let dst = &mut out[chunks[idx].clone()];
-            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:final-decompress", || {
-                fzlight::decompress_into(&stream, dst)
-            })?;
+            match kind {
+                PayloadKind::Opaque => {
+                    let stream = CompressedStream::from_bytes(payload)?;
+                    comm.compute_labeled(
+                        OpKind::Dpr,
+                        dst.len() * 4,
+                        "hz:final-decompress",
+                        || fzlight::decompress_into(&stream, dst),
+                    )?;
+                }
+                // the chunk arrived degraded — already raw, copy it in
+                PayloadKind::RawF32 => dst.copy_from_slice(&bytes_to_f32(&payload)),
+            }
         }
         return Ok(out);
     }
@@ -347,21 +405,42 @@ pub(crate) fn reduce_impl(
                 if src == root {
                     continue;
                 }
-                let got = comm.recv(src, TAG_GATHER + src as u64);
-                let stream = CompressedStream::from_bytes(got)?;
+                let (got, kind) =
+                    recv_resilient(comm, cfg.res.as_ref(), src, TAG_GATHER + src as u64);
                 let dst = &mut out[chunks[src].clone()];
-                comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:root-decompress", || {
-                    fzlight::decompress_into(&stream, dst)
-                })?;
+                match kind {
+                    PayloadKind::Opaque => {
+                        let stream = CompressedStream::from_bytes(got)?;
+                        comm.compute_labeled(
+                            OpKind::Dpr,
+                            dst.len() * 4,
+                            "hz:root-decompress",
+                            || fzlight::decompress_into(&stream, dst),
+                        )?;
+                    }
+                    PayloadKind::RawF32 => dst.copy_from_slice(&bytes_to_f32(&got)),
+                }
             }
             return Ok(Some(out));
         }
         // no recompression: the chunk is already compressed
-        comm.send_compressed(
+        let own_ref = &own_stream;
+        send_resilient(
+            comm,
+            cfg.res.as_ref(),
             root,
             TAG_GATHER + r as u64,
-            own_stream.into_bytes(),
+            own_stream.as_bytes().to_vec(),
+            PayloadKind::Opaque,
             chunks[r].len() * 4,
+            |c| {
+                let vals = c
+                    .compute_labeled(OpKind::Dpr, own_ref.n() * 4, "res:degrade-decompress", || {
+                        decompress(own_ref)
+                    })
+                    .expect("own reduced stream must decompress");
+                f32_to_bytes(&vals)
+            },
         );
         return Ok(None);
     }
@@ -429,7 +508,7 @@ pub(crate) fn bcast_impl(
     }
     if segments <= 1 {
         let chunks = node_chunks(total_len, n);
-        let own_bytes: Vec<u8> = if r == root {
+        let (own_bytes, own_kind) = if r == root {
             assert_eq!(data.len(), total_len, "bcast root must hold the full vector");
             let mut mine = Vec::new();
             for dst in 0..n {
@@ -443,27 +522,47 @@ pub(crate) fn bcast_impl(
                 if dst == root {
                     mine = stream.into_bytes();
                 } else {
-                    comm.send_compressed(
+                    send_resilient(
+                        comm,
+                        cfg.res.as_ref(),
                         dst,
                         TAG_SCATTER + dst as u64,
                         stream.into_bytes(),
+                        PayloadKind::Opaque,
                         chunk.len() * 4,
+                        // the root still holds the raw chunk — no DPR needed
+                        |_| f32_to_bytes(chunk),
                     );
                 }
             }
-            mine
+            (mine, PayloadKind::Opaque)
         } else {
-            comm.recv(root, TAG_SCATTER + r as u64)
+            recv_resilient(comm, cfg.res.as_ref(), root, TAG_SCATTER + r as u64)
         };
         let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
-        let slots = ring_forward_logical(comm, own_bytes, &logical);
+        let slots = ring_forward_resilient(
+            comm,
+            cfg.res.as_ref(),
+            own_bytes,
+            own_kind,
+            &logical,
+            degrade_stream_to_raw,
+        );
         let mut out = vec![0f32; total_len];
-        for (idx, payload) in slots.into_iter().enumerate() {
-            let stream = CompressedStream::from_bytes(payload)?;
+        for (idx, (payload, kind)) in slots.into_iter().enumerate() {
             let dst = &mut out[chunks[idx].clone()];
-            comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "hz:bcast-decompress", || {
-                fzlight::decompress_into(&stream, dst)
-            })?;
+            match kind {
+                PayloadKind::Opaque => {
+                    let stream = CompressedStream::from_bytes(payload)?;
+                    comm.compute_labeled(
+                        OpKind::Dpr,
+                        dst.len() * 4,
+                        "hz:bcast-decompress",
+                        || fzlight::decompress_into(&stream, dst),
+                    )?;
+                }
+                PayloadKind::RawF32 => dst.copy_from_slice(&bytes_to_f32(&payload)),
+            }
         }
         return Ok(out);
     }

@@ -55,11 +55,13 @@ pub mod mpi;
 pub mod p2p;
 pub mod pipeline;
 pub mod rd;
+pub mod resilient;
 pub(crate) mod ring;
 
 pub use collectives::CollectiveOpts;
 pub use config::{calibrate_doc, calibrate_hz, paper_model, CollectiveConfig, Mode, Variant};
 pub use kernels::Kernel;
+pub use resilient::{PayloadKind, Resilience};
 
 #[cfg(test)]
 mod tests {

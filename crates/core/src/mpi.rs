@@ -13,9 +13,19 @@
 
 use crate::chunks::{bytes_to_f32, f32_to_bytes, node_chunks};
 use crate::pipeline::{chunk_seg_plan, seg_tag};
+use crate::resilient::{
+    recv_resilient, send_resilient, sendrecv_resilient, PayloadKind, Resilience,
+};
 use crate::ring::ring_forward_segmented;
 use hzdyn::{doc::reduce_in_place, ReduceOp};
 use netsim::{Comm, OpKind};
+
+/// MPI payloads are already raw f32 bytes, so the resilient transport never
+/// needs a degradation fallback: an exhausted retry budget just resends the
+/// same bytes on the reliable channel.
+fn no_fallback(_: &mut Comm) -> Vec<u8> {
+    unreachable!("raw payloads degrade by reliable resend, never via fallback")
+}
 
 /// Tag bases keep the message spaces of different phases disjoint.
 pub(crate) const TAG_RS: u64 = 1 << 32;
@@ -27,20 +37,20 @@ pub(crate) const TAG_SCATTER: u64 = 4 << 32;
 /// on all ranks) and receives the fully reduced node-chunk `rank`.
 #[deprecated(note = "use `hzccl::collectives::reduce_scatter` with `CollectiveOpts::mpi()`")]
 pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f32> {
-    reduce_scatter_impl(comm, data, cpt_threads, 1)
+    reduce_scatter_impl(comm, data, cpt_threads, 1, None)
 }
 
 /// Ring `Allgather`: rank `r` contributes `own` (node-chunk `r` of a vector
 /// of `total_len` elements) and receives the concatenation of all chunks.
 pub fn allgather(comm: &mut Comm, own: &[f32], total_len: usize) -> Vec<f32> {
-    allgather_impl(comm, own, total_len, 1)
+    allgather_impl(comm, own, total_len, 1, None)
 }
 
 /// Ring `Allreduce(sum)` = `Reduce_scatter` + `Allgather` (the widely used
 /// large-message algorithm [28], [8]).
 #[deprecated(note = "use `hzccl::collectives::allreduce` with `CollectiveOpts::mpi()`")]
 pub fn allreduce(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f32> {
-    allreduce_impl(comm, data, cpt_threads, 1)
+    allreduce_impl(comm, data, cpt_threads, 1, None)
 }
 
 /// Ring `Reduce(sum)` to `root`. Returns `Some(full sum)` on the root,
@@ -50,7 +60,7 @@ pub fn allreduce(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f32> 
             `Result` with `Ok(vec![])` on non-root ranks instead of `Option`"
 )]
 pub fn reduce(comm: &mut Comm, data: &[f32], root: usize, cpt_threads: usize) -> Option<Vec<f32>> {
-    reduce_impl(comm, data, root, cpt_threads, 1)
+    reduce_impl(comm, data, root, cpt_threads, 1, None)
 }
 
 /// Long-message `Bcast`: scatter the root's chunks, then ring-Allgather
@@ -58,17 +68,21 @@ pub fn reduce(comm: &mut Comm, data: &[f32], root: usize, cpt_threads: usize) ->
 /// every rank returns the full vector.
 #[deprecated(note = "use `hzccl::collectives::bcast` with `CollectiveOpts::mpi()`")]
 pub fn bcast(comm: &mut Comm, data: &[f32], root: usize, total_len: usize) -> Vec<f32> {
-    bcast_impl(comm, data, root, total_len, 1)
+    bcast_impl(comm, data, root, total_len, 1, None)
 }
 
 /// `cpt_threads` parallelizes the local reduction arithmetic (the paper's
 /// multi-thread mode also threads CPT). `segments <= 1` is the phase-serial
-/// ring; larger counts pipeline each step per the module docs.
+/// ring; larger counts pipeline each step per the module docs. `res` routes
+/// the serial schedule's hops through the resilient transport
+/// ([`crate::resilient`]); uncompressed payloads are already raw f32s, so a
+/// degraded hop is just a reliable resend of the same bytes.
 pub(crate) fn reduce_scatter_impl(
     comm: &mut Comm,
     data: &[f32],
     cpt_threads: usize,
     segments: usize,
+    res: Option<&Resilience>,
 ) -> Vec<f32> {
     let n = comm.size();
     let r = comm.rank();
@@ -85,7 +99,18 @@ pub(crate) fn reduce_scatter_impl(
         for s in 0..n - 1 {
             let payload = comm
                 .compute_labeled(OpKind::Other, acc.len() * 4, "mpi:pack", || f32_to_bytes(&acc));
-            let got = comm.sendrecv(right, TAG_RS + s as u64, payload, left);
+            let logical = payload.len();
+            let (got, _) = sendrecv_resilient(
+                comm,
+                res,
+                right,
+                TAG_RS + s as u64,
+                payload,
+                PayloadKind::RawF32,
+                logical,
+                left,
+                no_fallback,
+            );
             let mut tmp =
                 comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
             let local_idx = (r + 2 * n - s - 2) % n;
@@ -149,6 +174,7 @@ pub(crate) fn allgather_impl(
     own: &[f32],
     total_len: usize,
     segments: usize,
+    res: Option<&Resilience>,
 ) -> Vec<f32> {
     let n = comm.size();
     let r = comm.rank();
@@ -169,7 +195,18 @@ pub(crate) fn allgather_impl(
                 comm.compute_labeled(OpKind::Other, chunks[send_idx].len() * 4, "mpi:pack", || {
                     f32_to_bytes(&out[chunks[send_idx].clone()])
                 });
-            let got = comm.sendrecv(right, TAG_AG + s as u64, payload, left);
+            let logical = payload.len();
+            let (got, _) = sendrecv_resilient(
+                comm,
+                res,
+                right,
+                TAG_AG + s as u64,
+                payload,
+                PayloadKind::RawF32,
+                logical,
+                left,
+                no_fallback,
+            );
             let vals =
                 comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
             out[chunks[recv_idx].clone()].copy_from_slice(&vals);
@@ -207,9 +244,10 @@ pub(crate) fn allreduce_impl(
     data: &[f32],
     cpt_threads: usize,
     segments: usize,
+    res: Option<&Resilience>,
 ) -> Vec<f32> {
-    let own = reduce_scatter_impl(comm, data, cpt_threads, segments);
-    allgather_impl(comm, &own, data.len(), segments)
+    let own = reduce_scatter_impl(comm, data, cpt_threads, segments, res);
+    allgather_impl(comm, &own, data.len(), segments, res)
 }
 
 /// `Reduce`-to-root dispatcher: Reduce_scatter followed by a gather of the
@@ -220,10 +258,11 @@ pub(crate) fn reduce_impl(
     root: usize,
     cpt_threads: usize,
     segments: usize,
+    res: Option<&Resilience>,
 ) -> Option<Vec<f32>> {
     let n = comm.size();
     let r = comm.rank();
-    let own = reduce_scatter_impl(comm, data, cpt_threads, segments);
+    let own = reduce_scatter_impl(comm, data, cpt_threads, segments, res);
     if n == 1 {
         return Some(own);
     }
@@ -236,7 +275,7 @@ pub(crate) fn reduce_impl(
                 if src == root {
                     continue;
                 }
-                let got = comm.recv(src, TAG_GATHER + src as u64);
+                let (got, _) = recv_resilient(comm, res, src, TAG_GATHER + src as u64);
                 let vals = comm
                     .compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
                 out[chunks[src].clone()].copy_from_slice(&vals);
@@ -245,7 +284,17 @@ pub(crate) fn reduce_impl(
         }
         let payload =
             comm.compute_labeled(OpKind::Other, own.len() * 4, "mpi:pack", || f32_to_bytes(&own));
-        comm.send(root, TAG_GATHER + r as u64, payload);
+        let logical = payload.len();
+        send_resilient(
+            comm,
+            res,
+            root,
+            TAG_GATHER + r as u64,
+            payload,
+            PayloadKind::RawF32,
+            logical,
+            no_fallback,
+        );
         return None;
     }
     let plan = chunk_seg_plan(data.len(), n, segments, 1);
@@ -283,6 +332,7 @@ pub(crate) fn bcast_impl(
     root: usize,
     total_len: usize,
     segments: usize,
+    res: Option<&Resilience>,
 ) -> Vec<f32> {
     let n = comm.size();
     let r = comm.rank();
@@ -302,14 +352,24 @@ pub(crate) fn bcast_impl(
                     comm.compute_labeled(OpKind::Other, chunks[dst].len() * 4, "mpi:pack", || {
                         f32_to_bytes(&data[chunks[dst].clone()])
                     });
-                comm.send(dst, TAG_SCATTER + dst as u64, payload);
+                let logical = payload.len();
+                send_resilient(
+                    comm,
+                    res,
+                    dst,
+                    TAG_SCATTER + dst as u64,
+                    payload,
+                    PayloadKind::RawF32,
+                    logical,
+                    no_fallback,
+                );
             }
             data[chunks[root].clone()].to_vec()
         } else {
-            let got = comm.recv(root, TAG_SCATTER + r as u64);
+            let (got, _) = recv_resilient(comm, res, root, TAG_SCATTER + r as u64);
             comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got))
         };
-        return allgather_impl(comm, &own, total_len, 1);
+        return allgather_impl(comm, &own, total_len, 1, res);
     }
     let plan = chunk_seg_plan(total_len, n, segments, 1);
     let own: Vec<f32> = if r == root {
@@ -337,7 +397,7 @@ pub(crate) fn bcast_impl(
         }
         own
     };
-    allgather_impl(comm, &own, total_len, segments)
+    allgather_impl(comm, &own, total_len, segments, res)
 }
 
 #[cfg(test)]
@@ -371,7 +431,7 @@ mod tests {
                 let cluster = Cluster::new(nranks).with_timing(modeled());
                 let outcomes = cluster.run(|comm| {
                     let data = field(comm.rank(), n);
-                    reduce_scatter_impl(comm, &data, 1, segments)
+                    reduce_scatter_impl(comm, &data, 1, segments, None)
                 });
                 let expect = expected_sum(nranks, n);
                 let chunks = node_chunks(n, nranks);
@@ -396,7 +456,7 @@ mod tests {
             let outcomes = cluster.run(|comm| {
                 let chunks = node_chunks(n, comm.size());
                 let own = base[chunks[comm.rank()].clone()].to_vec();
-                allgather_impl(comm, &own, n, segments)
+                allgather_impl(comm, &own, n, segments, None)
             });
             for o in outcomes {
                 assert_eq!(o.value, base);
@@ -412,7 +472,7 @@ mod tests {
                 let cluster = Cluster::new(nranks).with_timing(modeled());
                 let outcomes = cluster.run(|comm| {
                     let data = field(comm.rank(), n);
-                    allreduce_impl(comm, &data, 1, segments)
+                    allreduce_impl(comm, &data, 1, segments, None)
                 });
                 let expect = expected_sum(nranks, n);
                 for (r, o) in outcomes.iter().enumerate() {
@@ -430,7 +490,7 @@ mod tests {
             let cluster = Cluster::new(nranks).with_timing(modeled());
             cluster.run(|comm| {
                 let data = field(comm.rank(), n);
-                allreduce_impl(comm, &data, 1, segments)
+                allreduce_impl(comm, &data, 1, segments, None)
             })
         };
         let serial = run(1);
@@ -447,7 +507,7 @@ mod tests {
         let cluster = Cluster::new(1).with_timing(modeled());
         let outcomes = cluster.run(|comm| {
             let data = field(0, 64);
-            allreduce_impl(comm, &data, 1, 1)
+            allreduce_impl(comm, &data, 1, 1, None)
         });
         assert_eq!(outcomes[0].value, field(0, 64));
     }
@@ -461,7 +521,7 @@ mod tests {
                 let cluster = Cluster::new(nranks).with_timing(modeled());
                 let outcomes = cluster.run(|comm| {
                     let data = field(comm.rank(), n);
-                    reduce_impl(comm, &data, root, 1, segments)
+                    reduce_impl(comm, &data, root, 1, segments, None)
                 });
                 let expect = expected_sum(nranks, n);
                 for (r, o) in outcomes.iter().enumerate() {
@@ -485,7 +545,7 @@ mod tests {
             let cluster = Cluster::new(nranks).with_timing(modeled());
             let outcomes = cluster.run(|comm| {
                 let data = if comm.rank() == root { base.clone() } else { Vec::new() };
-                bcast_impl(comm, &data, root, n, segments)
+                bcast_impl(comm, &data, root, n, segments, None)
             });
             for o in outcomes {
                 assert_eq!(o.value, base);
@@ -498,8 +558,8 @@ mod tests {
         let cluster = Cluster::new(1).with_timing(modeled());
         let outcomes = cluster.run(|comm| {
             let data = field(0, 32);
-            let red = reduce_impl(comm, &data, 0, 1, 1).unwrap();
-            let bc = bcast_impl(comm, &data, 0, 32, 1);
+            let red = reduce_impl(comm, &data, 0, 1, 1, None).unwrap();
+            let bc = bcast_impl(comm, &data, 0, 32, 1, None);
             (red, bc)
         });
         assert_eq!(outcomes[0].value.0, field(0, 32));
@@ -512,7 +572,7 @@ mod tests {
         let cluster = Cluster::new(4).with_timing(modeled());
         let outcomes = cluster.run(|comm| {
             let data = field(comm.rank(), 1 << 20);
-            allreduce_impl(comm, &data, 1, 1);
+            allreduce_impl(comm, &data, 1, 1, None);
             comm.breakdown()
         });
         for o in &outcomes[1..] {

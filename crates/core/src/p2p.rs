@@ -10,9 +10,10 @@
 //! (Sec. III-C.2's `CPR + (N-1)·DPR`), and hZCCL eliminates the reduction
 //! DOC altogether.
 
-use crate::chunks::node_chunks;
+use crate::chunks::{bytes_to_f32, f32_to_bytes, node_chunks};
 use crate::config::CollectiveConfig;
 use crate::mpi::{TAG_AG, TAG_RS};
+use crate::resilient::{sendrecv_resilient, PayloadKind};
 use fzlight::Result;
 use hzdyn::{doc::reduce_in_place, ReduceOp};
 use netsim::{Comm, OpKind};
@@ -45,18 +46,28 @@ pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> 
             ompszp::compress(&acc, &ocfg)
         })?;
         let logical = acc.len() * 4;
-        let got = comm.sendrecv_compressed(
+        let acc_ref = &acc;
+        let (got, kind) = sendrecv_resilient(
+            comm,
+            cfg.res.as_ref(),
             right,
             TAG_RS + s as u64,
             stream.as_bytes().to_vec(),
+            PayloadKind::Opaque,
             logical,
             left,
+            // degrade: the raw accumulator is the last good state
+            |_| f32_to_bytes(acc_ref),
         );
-        let received = OszpStream::from_bytes(got)?;
-        let mut tmp =
-            comm.compute_labeled(OpKind::Dpr, received.n() * 4, "p2p:decompress", || {
-                ompszp::decompress(&received)
-            })?;
+        let mut tmp = match kind {
+            PayloadKind::Opaque => {
+                let received = OszpStream::from_bytes(got)?;
+                comm.compute_labeled(OpKind::Dpr, received.n() * 4, "p2p:decompress", || {
+                    ompszp::decompress(&received)
+                })?
+            }
+            PayloadKind::RawF32 => bytes_to_f32(&got),
+        };
         let local_idx = (r + 2 * n - s - 2) % n;
         let local = &data[chunks[local_idx].clone()];
         comm.compute_labeled(OpKind::Cpt, tmp.len() * 4, "p2p:reduce", || {
@@ -97,18 +108,28 @@ pub fn allgather(
             ompszp::compress(chunk, &ocfg)
         })?;
         let logical = chunk.len() * 4;
-        let got = comm.sendrecv_compressed(
+        let (got, kind) = sendrecv_resilient(
+            comm,
+            cfg.res.as_ref(),
             right,
             TAG_AG + s as u64,
             stream.as_bytes().to_vec(),
+            PayloadKind::Opaque,
             logical,
             left,
+            // degrade: re-serialize the raw chunk we were forwarding
+            |_| f32_to_bytes(chunk),
         );
-        let received = OszpStream::from_bytes(got)?;
         let dst = &mut out[chunks[recv_idx].clone()];
-        comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "p2p:decompress", || {
-            ompszp::decompress_into(&received, dst)
-        })?;
+        match kind {
+            PayloadKind::Opaque => {
+                let received = OszpStream::from_bytes(got)?;
+                comm.compute_labeled(OpKind::Dpr, dst.len() * 4, "p2p:decompress", || {
+                    ompszp::decompress_into(&received, dst)
+                })?;
+            }
+            PayloadKind::RawF32 => dst.copy_from_slice(&bytes_to_f32(&got)),
+        }
     }
     Ok(out)
 }

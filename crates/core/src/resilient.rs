@@ -1,0 +1,487 @@
+//! Self-healing transport: checksummed message frames with
+//! NACK/retransmit and graceful degradation, layered over `netsim`'s
+//! fault-injectable point-to-point primitives.
+//!
+//! ## Frame format (25-byte header + payload)
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "HZFR"
+//!      4     1  kind: 0 = data/opaque, 1 = data/raw-f32, 2 = ACK, 3 = NACK
+//!      5     4  seq  (u32 LE; the sender's attempt number, 1-based)
+//!      9     8  tag  (u64 LE; must match the channel tag)
+//!     17     4  payload_len (u32 LE)
+//!     21     4  CRC32 (IEEE, over header-sans-crc + payload)
+//!     25     …  payload
+//! ```
+//!
+//! ## Protocol: stop-and-wait ARQ with bounded backoff
+//!
+//! Each logical transfer is one data frame per attempt, answered by exactly
+//! one control frame (ACK or NACK) — strict alternation, so a control frame
+//! is never ambiguous about which attempt it answers. The receiver NACKs a
+//! frame that the fault plan dropped (detected by the receive timeout) or
+//! that fails CRC/shape validation; the sender backs off exponentially
+//! (`backoff_base_s · 2^(retry-1)`, capped at `backoff_max_s`) and
+//! retransmits. Control frames travel on `ctrl_tag(tag)` (bit 63 set — the
+//! collective tag bases stay far below it) via [`Comm::send_reliable`],
+//! modelling link-level-protected control traffic; this sidesteps the
+//! lost-ACK ambiguity a full end-to-end protocol would need sequence-window
+//! state to resolve.
+//!
+//! ## Graceful degradation
+//!
+//! After `max_retries` failed retransmissions the sender stops insisting on
+//! the compressed representation: for an [`PayloadKind::Opaque`] payload it
+//! invokes the schedule-supplied fallback (e.g. "decompress my own stream"
+//! or "re-serialize the raw accumulator"), sends the raw f32 bytes as a
+//! [`PayloadKind::RawF32`] frame on the reliable channel, and marks the
+//! segment degraded (`hz_degraded_segments_total`). A payload that is
+//! already raw is simply resent reliably. Either way the collective
+//! completes instead of aborting — at worst one extra quantization step of
+//! error on the degraded segment (see DESIGN.md "Fault model and
+//! resilience").
+//!
+//! With `res == None` every wrapper below compiles down to exactly the
+//! pre-existing unframed `Comm` call, so fault-free runs are bit-identical
+//! to the unresilient build.
+
+use netsim::{Comm, OpKind};
+
+/// Retry/timeout policy of the resilient transport. `Copy` so it can ride
+/// inside [`crate::CollectiveConfig`] without breaking its `Copy`-ness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resilience {
+    /// Retransmissions before degrading to an uncompressed reliable resend.
+    pub max_retries: u32,
+    /// Loss-detection timeout charged (virtual seconds) when a frame never
+    /// arrives.
+    pub timeout_s: f64,
+    /// First-retry backoff; doubles per retry.
+    pub backoff_base_s: f64,
+    /// Backoff ceiling.
+    pub backoff_max_s: f64,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Resilience { max_retries: 4, timeout_s: 50e-6, backoff_base_s: 5e-6, backoff_max_s: 80e-6 }
+    }
+}
+
+impl Resilience {
+    /// Override the retransmission budget.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Override the loss-detection timeout (seconds).
+    pub fn with_timeout(mut self, secs: f64) -> Self {
+        self.timeout_s = secs.max(0.0);
+        self
+    }
+
+    /// Override the backoff base and ceiling (seconds).
+    pub fn with_backoff(mut self, base_s: f64, max_s: f64) -> Self {
+        self.backoff_base_s = base_s.max(0.0);
+        self.backoff_max_s = max_s.max(base_s.max(0.0));
+        self
+    }
+
+    fn backoff(&self, retry: u32) -> f64 {
+        let exp = retry.saturating_sub(1).min(30);
+        (self.backoff_base_s * f64::from(1u32 << exp)).min(self.backoff_max_s)
+    }
+}
+
+/// What a data frame's payload contains, so a receiver knows how to
+/// interpret a degraded (fallback) delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Schedule-native bytes (a compressed stream, packed floats, …).
+    Opaque,
+    /// Raw little-endian `f32`s — the degradation format.
+    RawF32,
+}
+
+const KIND_DATA_OPAQUE: u8 = 0;
+const KIND_DATA_RAW_F32: u8 = 1;
+const KIND_ACK: u8 = 2;
+const KIND_NACK: u8 = 3;
+
+const FRAME_MAGIC: [u8; 4] = *b"HZFR";
+/// Frame header length in bytes (see the module docs for the layout).
+pub(crate) const HEADER_LEN: usize = 25;
+
+/// Control frames travel on the data tag with bit 63 set; the collective
+/// tag bases (`TAG_RS`…`TAG_SCATTER`, segment stride 4096) never reach it.
+pub(crate) fn ctrl_tag(tag: u64) -> u64 {
+    tag | 1 << 63
+}
+
+/// Why a frame failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the fixed header.
+    TooShort { len: usize },
+    /// Magic bytes do not match.
+    BadMagic,
+    /// Unknown kind byte.
+    BadKind(u8),
+    /// Header payload length disagrees with the buffer.
+    LengthMismatch { header: usize, actual: usize },
+    /// CRC32 over header+payload failed.
+    Checksum { expect: u32, got: u32 },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FrameError::TooShort { len } => write!(f, "frame too short ({len} < {HEADER_LEN})"),
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::LengthMismatch { header, actual } => {
+                write!(f, "payload length mismatch (header says {header}, buffer has {actual})")
+            }
+            FrameError::Checksum { expect, got } => {
+                write!(f, "frame checksum mismatch ({got:#010x} != {expect:#010x})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A validated frame.
+#[derive(Debug)]
+struct Frame {
+    kind: u8,
+    #[allow(dead_code)] // diagnostic field; the strict-alternation protocol needs no seq matching
+    seq: u32,
+    payload: Vec<u8>,
+}
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut b = 0;
+        while b < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            b += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// CRC32 (IEEE 802.3) over a sequence of byte slices.
+fn crc32(parts: &[&[u8]]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for p in parts {
+        crc = crc32_update(crc, p);
+    }
+    !crc
+}
+
+fn encode_frame(kind: u8, seq: u32, tag: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.push(kind);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&tag.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let crc = crc32(&[&buf, payload]);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+fn decode_frame(bytes: &[u8]) -> Result<Frame, FrameError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(FrameError::TooShort { len: bytes.len() });
+    }
+    if bytes[0..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let kind = bytes[4];
+    if kind > KIND_NACK {
+        return Err(FrameError::BadKind(kind));
+    }
+    let seq = u32::from_le_bytes(bytes[5..9].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(bytes[17..21].try_into().unwrap()) as usize;
+    let actual = bytes.len() - HEADER_LEN;
+    if payload_len != actual {
+        return Err(FrameError::LengthMismatch { header: payload_len, actual });
+    }
+    let expect = u32::from_le_bytes(bytes[21..25].try_into().unwrap());
+    let got = crc32(&[&bytes[0..21], &bytes[HEADER_LEN..]]);
+    if got != expect {
+        return Err(FrameError::Checksum { expect, got });
+    }
+    Ok(Frame { kind, seq, payload: bytes[HEADER_LEN..].to_vec() })
+}
+
+fn data_kind_byte(kind: PayloadKind) -> u8 {
+    match kind {
+        PayloadKind::Opaque => KIND_DATA_OPAQUE,
+        PayloadKind::RawF32 => KIND_DATA_RAW_F32,
+    }
+}
+
+fn payload_kind(kind_byte: u8) -> Option<PayloadKind> {
+    match kind_byte {
+        KIND_DATA_OPAQUE => Some(PayloadKind::Opaque),
+        KIND_DATA_RAW_F32 => Some(PayloadKind::RawF32),
+        _ => None,
+    }
+}
+
+/// The outgoing half of an exchange, carried through the ARQ engine.
+struct OutHalf<'a> {
+    to: usize,
+    payload: Vec<u8>,
+    kind: PayloadKind,
+    logical_bytes: usize,
+    /// Produces the raw-f32 replacement of an opaque payload when the
+    /// transfer degrades. Only invoked for [`PayloadKind::Opaque`].
+    fallback: &'a mut dyn FnMut(&mut Comm) -> Vec<u8>,
+}
+
+/// The framed stop-and-wait engine. Runs the outgoing transfer (`out`),
+/// the incoming transfer (`from`), or both interleaved; returns the
+/// received `(payload, kind)` when `from` is given.
+///
+/// Deadlock-freedom: the fault plan delivers dropped frames *marked* rather
+/// than withholding them, so every blocking receive here is matched by a
+/// message that provably arrives; and every data attempt is answered by
+/// exactly one control frame (strict alternation), so neither side can wait
+/// on a frame the other will never send. Degraded resends travel the
+/// reliable channel and therefore always terminate the retry loop.
+fn engine(
+    comm: &mut Comm,
+    res: &Resilience,
+    tag: u64,
+    mut out: Option<OutHalf<'_>>,
+    from: Option<usize>,
+) -> Option<(Vec<u8>, PayloadKind)> {
+    let ctrl = ctrl_tag(tag);
+    let mut attempts: u32 = 0;
+    if let Some(o) = &mut out {
+        attempts = 1;
+        let frame = encode_frame(data_kind_byte(o.kind), attempts, tag, &o.payload);
+        comm.send_compressed(o.to, tag, frame, o.logical_bytes);
+    }
+    let mut result = None;
+    let mut in_done = from.is_none();
+    let mut out_done = out.is_none();
+    while !(in_done && out_done) {
+        if !in_done {
+            let src = from.expect("in half active");
+            let got = comm.recv_msg(src, tag);
+            let frame = if got.dropped {
+                // the receiver only learns of the loss when its timeout
+                // fires; charge that wait before NACKing
+                comm.advance(OpKind::Other, res.timeout_s);
+                comm.mark("res:timeout");
+                None
+            } else {
+                decode_frame(&got.payload)
+                    .ok()
+                    .and_then(|f| payload_kind(f.kind).map(|k| (f.seq, f.payload, k)))
+            };
+            match frame {
+                Some((seq, payload, kind)) => {
+                    comm.send_reliable(src, ctrl, encode_frame(KIND_ACK, seq, ctrl, &[]), 0);
+                    result = Some((payload, kind));
+                    in_done = true;
+                }
+                None => {
+                    comm.send_reliable(src, ctrl, encode_frame(KIND_NACK, attempts, ctrl, &[]), 0);
+                }
+            }
+        }
+        if !out_done {
+            let o = out.as_mut().expect("out half active");
+            let got = comm.recv_msg(o.to, ctrl);
+            assert!(!got.dropped, "control frames travel the reliable channel");
+            let frame =
+                decode_frame(&got.payload).expect("control frame corrupted on reliable channel");
+            if frame.kind == KIND_ACK {
+                out_done = true;
+                continue;
+            }
+            if attempts > res.max_retries {
+                // out of retries: degrade to raw f32 on the reliable
+                // channel — guaranteed valid, so this NACK was the last
+                comm.mark("res:degraded-segment");
+                if o.kind == PayloadKind::Opaque {
+                    o.payload = (o.fallback)(comm);
+                    o.kind = PayloadKind::RawF32;
+                }
+                attempts += 1;
+                let frame = encode_frame(data_kind_byte(o.kind), attempts, tag, &o.payload);
+                comm.send_reliable(o.to, tag, frame, 0);
+            } else {
+                let backoff = res.backoff(attempts);
+                attempts += 1;
+                if backoff > 0.0 {
+                    comm.advance(OpKind::Other, backoff);
+                }
+                comm.mark("res:retransmit");
+                let frame = encode_frame(data_kind_byte(o.kind), attempts, tag, &o.payload);
+                // retransmits count as wire bytes but never as logical
+                // bytes — the recorder invariant tests/chaos.rs pins
+                comm.send_compressed(o.to, tag, frame, 0);
+            }
+        }
+    }
+    result
+}
+
+/// Resilient `sendrecv`: exchange `payload` with the ring neighbours under
+/// the ARQ protocol. With `res == None` this is exactly
+/// [`Comm::sendrecv_compressed`] — bit-identical events, no framing.
+#[allow(clippy::too_many_arguments)] // mirrors Comm::sendrecv_compressed plus the resilience trio
+pub(crate) fn sendrecv_resilient(
+    comm: &mut Comm,
+    res: Option<&Resilience>,
+    to: usize,
+    tag: u64,
+    payload: Vec<u8>,
+    kind: PayloadKind,
+    logical_bytes: usize,
+    from: usize,
+    mut fallback: impl FnMut(&mut Comm) -> Vec<u8>,
+) -> (Vec<u8>, PayloadKind) {
+    match res {
+        None => (comm.sendrecv_compressed(to, tag, payload, logical_bytes, from), kind),
+        Some(res) => {
+            let out = OutHalf { to, payload, kind, logical_bytes, fallback: &mut fallback };
+            engine(comm, res, tag, Some(out), Some(from)).expect("incoming half yields a payload")
+        }
+    }
+}
+
+/// Resilient one-directional send (gather/scatter hops). With `res == None`
+/// this is exactly [`Comm::send_compressed`].
+#[allow(clippy::too_many_arguments)] // mirrors Comm::send_compressed plus the resilience trio
+pub(crate) fn send_resilient(
+    comm: &mut Comm,
+    res: Option<&Resilience>,
+    to: usize,
+    tag: u64,
+    payload: Vec<u8>,
+    kind: PayloadKind,
+    logical_bytes: usize,
+    mut fallback: impl FnMut(&mut Comm) -> Vec<u8>,
+) {
+    match res {
+        None => comm.send_compressed(to, tag, payload, logical_bytes),
+        Some(res) => {
+            let out = OutHalf { to, payload, kind, logical_bytes, fallback: &mut fallback };
+            engine(comm, res, tag, Some(out), None);
+        }
+    }
+}
+
+/// Resilient one-directional receive. With `res == None` this is exactly
+/// [`Comm::recv`] (the payload is reported [`PayloadKind::Opaque`]: the
+/// schedule's native wire format).
+pub(crate) fn recv_resilient(
+    comm: &mut Comm,
+    res: Option<&Resilience>,
+    from: usize,
+    tag: u64,
+) -> (Vec<u8>, PayloadKind) {
+    match res {
+        None => (comm.recv(from, tag), PayloadKind::Opaque),
+        Some(res) => {
+            engine(comm, res, tag, None, Some(from)).expect("incoming half yields a payload")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload: Vec<u8> = (0..200).map(|i| (i * 7 % 251) as u8).collect();
+        let buf = encode_frame(KIND_DATA_OPAQUE, 3, 0xDEAD_BEEF, &payload);
+        assert_eq!(buf.len(), HEADER_LEN + payload.len());
+        let frame = decode_frame(&buf).expect("roundtrip");
+        assert_eq!(frame.kind, KIND_DATA_OPAQUE);
+        assert_eq!(frame.seq, 3);
+        assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn empty_payload_frames_work() {
+        let buf = encode_frame(KIND_ACK, 1, 42, &[]);
+        let frame = decode_frame(&buf).expect("ack frame");
+        assert_eq!(frame.kind, KIND_ACK);
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let payload: Vec<u8> = (0..64).collect();
+        let buf = encode_frame(KIND_DATA_RAW_F32, 9, 7, &payload);
+        for bit in 0..buf.len() * 8 {
+            let mut mutated = buf.clone();
+            mutated[bit / 8] ^= 1 << (bit % 8);
+            assert!(decode_frame(&mutated).is_err(), "flip of bit {bit} must not decode as valid");
+        }
+    }
+
+    #[test]
+    fn truncations_are_typed_errors() {
+        let buf = encode_frame(KIND_DATA_OPAQUE, 1, 1, &[5; 32]);
+        for len in 0..buf.len() {
+            let err = decode_frame(&buf[..len]).unwrap_err();
+            match err {
+                FrameError::TooShort { .. } | FrameError::LengthMismatch { .. } => {}
+                other => panic!("truncation to {len} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC32 of "123456789" is the classic check value
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926, "chunking must not matter");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let res = Resilience::default();
+        assert_eq!(res.backoff(1), 5e-6);
+        assert_eq!(res.backoff(2), 10e-6);
+        assert_eq!(res.backoff(3), 20e-6);
+        assert_eq!(res.backoff(10), 80e-6, "capped at backoff_max_s");
+    }
+
+    #[test]
+    fn ctrl_tag_cannot_collide_with_data_tags() {
+        for base in [crate::mpi::TAG_RS, crate::mpi::TAG_SCATTER] {
+            let t = crate::pipeline::seg_tag(base, 63, 4095);
+            assert!(t < 1 << 62, "data tags stay far below bit 63");
+            assert_ne!(ctrl_tag(t), t);
+        }
+    }
+}

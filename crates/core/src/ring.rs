@@ -4,31 +4,42 @@
 
 use crate::mpi::TAG_AG;
 use crate::pipeline::seg_tag;
+use crate::resilient::{sendrecv_resilient, PayloadKind, Resilience};
 use netsim::Comm;
 use std::ops::Range;
 
 /// Ring-forward opaque per-chunk payloads: rank `r` contributes
 /// `own_payload` as chunk `r`; after `N-1` rounds every rank holds every
-/// chunk's payload. Returns the payloads indexed by chunk.
+/// chunk's payload. Returns the payloads indexed by chunk, each tagged with
+/// the [`PayloadKind`] it arrived as.
 ///
-/// `logical_sizes[idx]` is the
-/// uncompressed-equivalent byte count of chunk `idx`, attached to each
-/// forwarded message so the flight recorder can observe per-step achieved
-/// compression ratios. An empty slice means "wire bytes == logical bytes"
-/// (uncompressed traffic).
-pub(crate) fn ring_forward_logical(
+/// `logical_sizes[idx]` is the uncompressed-equivalent byte count of chunk
+/// `idx`, attached to each forwarded message so the flight recorder can
+/// observe per-step achieved compression ratios. An empty slice means
+/// "wire bytes == logical bytes" (uncompressed traffic).
+///
+/// With `res == Some(..)` each hop travels as a checksummed frame with
+/// NACK/retransmit, and a hop that exhausts its retries degrades to raw f32
+/// bytes produced by `raw_of(comm, chunk_idx, payload)` (e.g. "decompress
+/// this stream I am forwarding"). A degraded chunk stays raw for the rest
+/// of its trip around the ring. With `res == None` the wire schedule (and
+/// the recorded event stream) is exactly the historical unframed one.
+pub(crate) fn ring_forward_resilient(
     comm: &mut Comm,
+    res: Option<&Resilience>,
     own_payload: Vec<u8>,
+    own_kind: PayloadKind,
     logical_sizes: &[usize],
-) -> Vec<Vec<u8>> {
+    mut raw_of: impl FnMut(&mut Comm, usize, &[u8]) -> Vec<u8>,
+) -> Vec<(Vec<u8>, PayloadKind)> {
     let n = comm.size();
     let r = comm.rank();
     assert!(
         logical_sizes.is_empty() || logical_sizes.len() == n,
         "logical_sizes must be empty or one entry per chunk"
     );
-    let mut slots: Vec<Option<Vec<u8>>> = vec![None; n];
-    slots[r] = Some(own_payload);
+    let mut slots: Vec<Option<(Vec<u8>, PayloadKind)>> = vec![None; n];
+    slots[r] = Some((own_payload, own_kind));
     if n == 1 {
         return slots.into_iter().map(|s| s.unwrap()).collect();
     }
@@ -37,9 +48,23 @@ pub(crate) fn ring_forward_logical(
     for s in 0..n - 1 {
         let send_idx = (r + n - s) % n;
         let recv_idx = (r + 2 * n - s - 1) % n;
-        let payload = slots[send_idx].clone().expect("chunk to forward not yet received");
+        let (payload, kind) = slots[send_idx].clone().expect("chunk to forward not yet received");
         let logical = logical_sizes.get(send_idx).copied().unwrap_or(payload.len());
-        let got = comm.sendrecv_compressed(right, TAG_AG + s as u64, payload, logical, left);
+        let slots_ref = &slots;
+        let got = sendrecv_resilient(
+            comm,
+            res,
+            right,
+            TAG_AG + s as u64,
+            payload,
+            kind,
+            logical,
+            left,
+            |c| {
+                let (bytes, _) = slots_ref[send_idx].as_ref().expect("degrading a chunk we hold");
+                raw_of(c, send_idx, bytes)
+            },
+        );
         slots[recv_idx] = Some(got);
     }
     slots.into_iter().map(|s| s.expect("ring left a hole")).collect()
@@ -119,11 +144,19 @@ mod tests {
             let cluster = Cluster::new(nranks).with_timing(timing);
             let outcomes = cluster.run(|comm| {
                 let own = vec![comm.rank() as u8; comm.rank() + 1]; // ragged sizes
-                super::ring_forward_logical(comm, own, &[])
+                super::ring_forward_resilient(
+                    comm,
+                    None,
+                    own,
+                    crate::resilient::PayloadKind::Opaque,
+                    &[],
+                    |_, _, _| unreachable!("the unresilient ring never degrades"),
+                )
             });
             for o in outcomes {
-                for (idx, payload) in o.value.iter().enumerate() {
+                for (idx, (payload, kind)) in o.value.iter().enumerate() {
                     assert_eq!(payload, &vec![idx as u8; idx + 1], "nranks={nranks}");
+                    assert_eq!(*kind, crate::resilient::PayloadKind::Opaque);
                 }
             }
         }

@@ -5,6 +5,7 @@
 use crate::breakdown::Breakdown;
 use crate::comm::Comm;
 use crate::config::{ComputeTiming, NetConfig};
+use crate::faults::FaultPlan;
 use crate::trace::{RankTrace, TraceConfig};
 use std::collections::HashMap;
 use std::sync::mpsc::channel;
@@ -21,6 +22,20 @@ pub struct RankOutcome<R> {
     /// The rank's flight-recorder event stream — `Some` iff the cluster was
     /// configured with [`Cluster::with_trace`].
     pub trace: Option<RankTrace>,
+}
+
+/// A rank thread that died, with the panic message it died with.
+///
+/// [`Cluster::try_run`] surfaces these instead of re-panicking, so chaos
+/// tests can assert *which* rank crashed and *why* (e.g. a fault-plan crash
+/// vs. a cascading crash notice on a peer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankPanic {
+    /// The rank whose thread panicked.
+    pub rank: usize,
+    /// The panic payload, if it was a string (the overwhelmingly common
+    /// case: `panic!`/`assert!` messages); a description otherwise.
+    pub message: String,
 }
 
 /// Aggregate view over all ranks of one run.
@@ -40,6 +55,7 @@ pub struct Cluster {
     net: NetConfig,
     timing: ComputeTiming,
     trace: Option<TraceConfig>,
+    faults: Option<FaultPlan>,
 }
 
 impl Cluster {
@@ -47,7 +63,13 @@ impl Cluster {
     /// network, measured compute timing, and tracing disabled.
     pub fn new(nprocs: usize) -> Self {
         assert!(nprocs > 0, "cluster needs at least one rank");
-        Cluster { nprocs, net: NetConfig::default(), timing: ComputeTiming::Measured, trace: None }
+        Cluster {
+            nprocs,
+            net: NetConfig::default(),
+            timing: ComputeTiming::Measured,
+            trace: None,
+            faults: None,
+        }
     }
 
     /// Replace the network model.
@@ -71,6 +93,15 @@ impl Cluster {
         self
     }
 
+    /// Inject faults: every rank's sends and compute run under the plan's
+    /// seeded, deterministic chaos decisions (drops, corruption, jitter,
+    /// stragglers, crashes). Off by default; `None`-equivalent plans (no
+    /// probabilities set) leave behaviour bit-identical to a fault-free run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Number of ranks.
     pub fn nprocs(&self) -> usize {
         self.nprocs
@@ -78,7 +109,29 @@ impl Cluster {
 
     /// Run `f` on every rank concurrently; returns per-rank outcomes in rank
     /// order. Real data flows through real channels; time is virtual.
+    ///
+    /// Panics if any rank thread panicked, naming the rank and propagating
+    /// its panic message. Use [`Cluster::try_run`] to observe crashes as
+    /// values instead (chaos tests with `FaultPlan::with_crash`).
     pub fn run<F, R>(&self, f: F) -> Vec<RankOutcome<R>>
+    where
+        F: Fn(&mut Comm) -> R + Sync,
+        R: Send,
+    {
+        self.try_run(f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(o) => o,
+                Err(RankPanic { rank, message }) => panic!("rank {rank} panicked: {message}"),
+            })
+            .collect()
+    }
+
+    /// [`Cluster::run`] that reports each rank's fate instead of unwinding:
+    /// `Ok(outcome)` for ranks that completed, `Err(RankPanic)` with the
+    /// rank id and panic message for ranks that died (a crash injected by
+    /// the fault plan, or a cascading failure on a peer).
+    pub fn try_run<F, R>(&self, f: F) -> Vec<Result<RankOutcome<R>, RankPanic>>
     where
         F: Fn(&mut Comm) -> R + Sync,
         R: Send,
@@ -91,7 +144,8 @@ impl Cluster {
             txs.push(tx);
             rxs.push(rx);
         }
-        let mut outcomes: Vec<Option<RankOutcome<R>>> = (0..n).map(|_| None).collect();
+        let mut outcomes: Vec<Option<Result<RankOutcome<R>, RankPanic>>> =
+            (0..n).map(|_| None).collect();
         std::thread::scope(|s| {
             let handles: Vec<_> = rxs
                 .into_iter()
@@ -100,7 +154,10 @@ impl Cluster {
                     let txs = txs.clone();
                     let f = &f;
                     let (net, timing, trace) = (self.net, self.timing, self.trace);
+                    let faults = self.faults.clone();
                     s.spawn(move || {
+                        let compute_scale =
+                            faults.as_ref().map_or(1.0, |p| p.straggler_scale(rank));
                         let mut comm = Comm {
                             rank,
                             size: n,
@@ -112,8 +169,21 @@ impl Cluster {
                             rx,
                             pending: HashMap::new(),
                             trace: trace.map(|cfg| Vec::with_capacity(cfg.capacity)),
+                            faults,
+                            send_seq: vec![0; n],
+                            sends_total: 0,
+                            compute_scale,
                         };
-                        let value = f(&mut comm);
+                        // catch the closure's panic so the dying rank can
+                        // poison its peers' inboxes first — a rank blocked
+                        // on a recv involving this rank must unwind too, or
+                        // the scope would deadlock on join
+                        let value =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)))
+                                .unwrap_or_else(|payload| {
+                                    comm.broadcast_crash_notice();
+                                    std::panic::resume_unwind(payload);
+                                });
                         RankOutcome {
                             value,
                             elapsed: comm.elapsed(),
@@ -124,8 +194,15 @@ impl Cluster {
                 })
                 .collect();
             drop(txs); // ranks hold their own clones
-            for (slot, h) in outcomes.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("rank thread panicked"));
+            for (rank, (slot, h)) in outcomes.iter_mut().zip(handles).enumerate() {
+                *slot = Some(h.join().map_err(|payload| {
+                    let message = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&'static str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "(non-string panic payload)".to_string());
+                    RankPanic { rank, message }
+                }));
             }
         });
         outcomes.into_iter().map(|o| o.expect("rank outcome missing")).collect()

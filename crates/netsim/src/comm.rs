@@ -3,10 +3,28 @@
 
 use crate::breakdown::Breakdown;
 use crate::config::{ComputeTiming, NetConfig, OpKind};
+use crate::faults::{FaultKind, FaultPlan};
 use crate::trace::Event;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 use std::time::Instant;
+
+/// Delivery status of a message, as decided by the cluster's [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MsgStatus {
+    /// Delivered intact (possibly corrupted — a bit flip is invisible here,
+    /// exactly as on a real wire; checksums live a layer above).
+    Ok,
+    /// Lost in transit. The message still crosses the channel so the
+    /// receiver can account the arrival time it *would* have had, but its
+    /// payload never becomes visible: [`Comm::recv_msg`] reports the loss,
+    /// plain [`Comm::recv`] panics.
+    Dropped,
+    /// Poison pill broadcast by a crashing rank; any receiver touching it
+    /// panics, cascading the crash so the run terminates instead of
+    /// deadlocking.
+    CrashNotice,
+}
 
 /// A message in flight: payload plus the virtual time at which it reaches
 /// the receiver.
@@ -15,6 +33,18 @@ pub(crate) struct Message {
     pub tag: u64,
     pub payload: Vec<u8>,
     pub arrival: f64,
+    pub status: MsgStatus,
+}
+
+/// What [`Comm::recv_msg`] saw: the payload plus whether the fault plan
+/// dropped the message in transit (in which case `payload` is what was
+/// sent but must be treated as never having arrived).
+pub struct RecvMsg {
+    /// The received bytes (the sent payload even when `dropped`, so the
+    /// simulation can keep flowing; resilient callers must ignore it).
+    pub payload: Vec<u8>,
+    /// True iff the fault plan marked this message lost.
+    pub dropped: bool,
 }
 
 /// The per-rank handle passed to the closure run on every simulated node.
@@ -61,6 +91,17 @@ pub struct Comm {
     /// makes every record site a single branch with no event construction
     /// and no allocation.
     pub(crate) trace: Option<Vec<Event>>,
+    /// Chaos plan shared by the whole cluster; `None` (the default) keeps
+    /// every send/recv on the exact pre-fault code path.
+    pub(crate) faults: Option<FaultPlan>,
+    /// Per-destination count of fault-eligible sends — the `k` fed to
+    /// [`FaultPlan::decide`], so fault decisions are a pure function of the
+    /// schedule and never of thread interleaving.
+    pub(crate) send_seq: Vec<u64>,
+    /// Count of *all* sends posted by this rank (crash-at-step trigger).
+    pub(crate) sends_total: u64,
+    /// Straggler multiplier applied to compute durations (1.0 = healthy).
+    pub(crate) compute_scale: f64,
 }
 
 impl Comm {
@@ -126,20 +167,138 @@ impl Comm {
     /// recorder can observe the per-step achieved compression ratio
     /// (`logical_bytes / wire_bytes`). Identical timing to `send`.
     pub fn send_compressed(&mut self, to: usize, tag: u64, payload: Vec<u8>, logical_bytes: usize) {
+        self.send_inner(to, tag, payload, logical_bytes, false);
+    }
+
+    /// [`Comm::send_compressed`] on a fault-exempt channel: the cluster's
+    /// [`FaultPlan`] never drops, corrupts or jitters this message. Models
+    /// link-level-protected control traffic (ACK/NACK frames); timing and
+    /// accounting are identical to a regular send. A crashing rank still
+    /// crashes — reliability protects the wire, not the endpoint.
+    pub fn send_reliable(&mut self, to: usize, tag: u64, payload: Vec<u8>, logical_bytes: usize) {
+        self.send_inner(to, tag, payload, logical_bytes, true);
+    }
+
+    fn send_inner(
+        &mut self,
+        to: usize,
+        tag: u64,
+        payload: Vec<u8>,
+        logical_bytes: usize,
+        reliable: bool,
+    ) {
         assert!(to != self.rank, "self-send in a collective is a bug");
+        if let Some(step) = self.faults.as_ref().and_then(|p| p.crash_step(self.rank)) {
+            if self.sends_total == step {
+                self.crash(step);
+            }
+        }
+        self.sends_total += 1;
+        let mut payload = payload;
         let wire_bytes = payload.len();
         let t = self.clock;
         let inject = self.net.latency_s;
         self.clock += inject;
         self.breakdown.charge(OpKind::Other, inject);
         self.record(|| Event::Send { t, to, tag, wire_bytes, logical_bytes, inject_secs: inject });
-        let arrival = self.clock + self.net.serialization_time(wire_bytes, self.size);
-        let msg = Message { from: self.rank, tag, payload, arrival };
+        let mut arrival = self.clock + self.net.serialization_time(wire_bytes, self.size);
+        let mut status = MsgStatus::Ok;
+        if !reliable {
+            if let Some(plan) = &self.faults {
+                let k = self.send_seq[to];
+                self.send_seq[to] += 1;
+                let d = plan.decide(self.rank, to, k, wire_bytes * 8);
+                if d.drop {
+                    status = MsgStatus::Dropped;
+                    self.record(|| Event::Fault { t, kind: FaultKind::Drop, to, tag, detail: 0.0 });
+                } else {
+                    if let Some(bit) = d.corrupt_bit {
+                        payload[bit / 8] ^= 1 << (bit % 8);
+                        self.record(|| Event::Fault {
+                            t,
+                            kind: FaultKind::Corrupt,
+                            to,
+                            tag,
+                            detail: bit as f64,
+                        });
+                    }
+                    if d.jitter_s > 0.0 {
+                        arrival += d.jitter_s;
+                        self.record(|| Event::Fault {
+                            t,
+                            kind: FaultKind::Jitter,
+                            to,
+                            tag,
+                            detail: d.jitter_s,
+                        });
+                    }
+                }
+            }
+        }
+        let msg = Message { from: self.rank, tag, payload, arrival, status };
         self.txs[to].send(msg).expect("receiver rank hung up");
     }
 
+    /// One-shot fault-plan crash. The panic unwinds into the cluster's
+    /// per-rank harness, which broadcasts a crash notice to every peer (see
+    /// [`Comm::broadcast_crash_notice`]) so blocked receivers panic in turn
+    /// instead of deadlocking.
+    fn crash(&mut self, step: u64) -> ! {
+        let t = self.clock;
+        let rank = self.rank;
+        self.record(|| Event::Fault {
+            t,
+            kind: FaultKind::Crash,
+            to: rank,
+            tag: 0,
+            detail: step as f64,
+        });
+        panic!("rank {rank} crashed by fault plan at send step {step}");
+    }
+
+    /// Poison every peer's inbox with a crash notice. Called by the cluster
+    /// harness when this rank's closure panics (fault-plan crash or any
+    /// other bug), so ranks blocked — now or later — on a `recv` involving
+    /// this rank observe the crash and unwind instead of deadlocking, and
+    /// [`crate::Cluster::try_run`] can report every casualty.
+    pub(crate) fn broadcast_crash_notice(&self) {
+        for (to, tx) in self.txs.iter().enumerate() {
+            if to == self.rank {
+                continue;
+            }
+            // a peer that already finished has dropped its receiver; that
+            // is fine — it no longer needs the notice
+            let _ = tx.send(Message {
+                from: self.rank,
+                tag: 0,
+                payload: Vec::new(),
+                arrival: self.clock,
+                status: MsgStatus::CrashNotice,
+            });
+        }
+    }
+
     /// Receive the message with matching `(from, tag)`, blocking as needed.
+    ///
+    /// Panics if the fault plan dropped the message: a plain `recv` has no
+    /// recovery protocol, so silent loss would hang the collective — chaos
+    /// runs must use the resilient transport (see [`Comm::recv_msg`]).
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<u8> {
+        let got = self.recv_msg(from, tag);
+        assert!(
+            !got.dropped,
+            "message (from={from}, tag={tag:#x}) was dropped by the fault plan; \
+             plain recv cannot recover — use the resilient transport"
+        );
+        got.payload
+    }
+
+    /// [`Comm::recv`] that surfaces transit loss instead of panicking: the
+    /// building block of the resilient transport. Accounting is identical to
+    /// `recv` — the clock still advances to the (would-be) arrival and the
+    /// wait is charged to the `MPI` bucket, modelling a receiver that blocks
+    /// until its loss-detection timeout fires.
+    pub fn recv_msg(&mut self, from: usize, tag: u64) -> RecvMsg {
         let key = (from, tag);
         let msg = loop {
             if let Some(q) = self.pending.get_mut(&key) {
@@ -148,6 +307,9 @@ impl Comm {
                 }
             }
             let m = self.rx.recv().expect("sender ranks hung up");
+            if m.status == MsgStatus::CrashNotice {
+                panic!("rank {} observed crash of rank {}", self.rank, m.from);
+            }
             if m.from == from && m.tag == tag {
                 break m;
             }
@@ -161,7 +323,7 @@ impl Comm {
         }
         let wire_bytes = msg.payload.len();
         self.record(|| Event::Recv { t, from, tag, wire_bytes, wait_secs: wait });
-        msg.payload
+        RecvMsg { payload: msg.payload, dropped: msg.status == MsgStatus::Dropped }
     }
 
     /// Non-blocking probe (`MPI_Iprobe`): would a [`Comm::recv`] of
@@ -182,6 +344,9 @@ impl Comm {
     /// bucket absorbs overlap slack — without perturbing the simulation.
     pub fn recv_ready(&mut self, from: usize, tag: u64) -> bool {
         while let Ok(m) = self.rx.try_recv() {
+            if m.status == MsgStatus::CrashNotice {
+                panic!("rank {} observed crash of rank {}", self.rank, m.from);
+            }
             self.pending.entry((m.from, m.tag)).or_default().push_back(m);
         }
         self.pending
@@ -229,7 +394,7 @@ impl Comm {
         f: impl FnOnce() -> T,
     ) -> T {
         let t = self.clock;
-        let (r, dt) = match self.timing {
+        let (r, mut dt) = match self.timing {
             ComputeTiming::Measured => {
                 let t0 = Instant::now();
                 let r = f();
@@ -237,6 +402,11 @@ impl Comm {
             }
             ComputeTiming::Modeled(model) => (f(), model.duration(kind, bytes)),
         };
+        // straggler ranks run the same kernel, just slower; scale == 1.0 is
+        // bit-exact identity so healthy runs are untouched
+        if self.compute_scale != 1.0 {
+            dt *= self.compute_scale;
+        }
         self.clock += dt;
         self.breakdown.charge(kind, dt);
         self.record(|| Event::Compute { t, kind, bytes, secs: dt, label });
@@ -250,5 +420,13 @@ impl Comm {
         self.clock += secs;
         self.breakdown.charge(kind, secs);
         self.record(|| Event::Compute { t, kind, bytes: 0, secs, label: "advance" });
+    }
+
+    /// Drop a zero-duration marker on the flight recorder (e.g.
+    /// `"res:retransmit"`). Costs nothing on the virtual clock or breakdown;
+    /// the metrics registry turns well-known labels into counters.
+    pub fn mark(&mut self, label: &'static str) {
+        let t = self.clock;
+        self.record(|| Event::Compute { t, kind: OpKind::Other, bytes: 0, secs: 0.0, label });
     }
 }

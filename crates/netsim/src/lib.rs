@@ -41,14 +41,16 @@ pub mod breakdown;
 pub mod cluster;
 pub mod comm;
 pub mod config;
+pub mod faults;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
 pub use breakdown::Breakdown;
-pub use cluster::{Cluster, RankOutcome, RunStats};
-pub use comm::Comm;
+pub use cluster::{Cluster, RankOutcome, RankPanic, RunStats};
+pub use comm::{Comm, RecvMsg};
 pub use config::{ComputeTiming, NetConfig, OpKind, ThroughputModel};
+pub use faults::{FaultKind, FaultPlan, LinkFault};
 pub use json::Json;
 pub use metrics::Registry;
 pub use trace::{Event, RankTrace, TraceConfig};
@@ -412,11 +414,158 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
+    #[should_panic(expected = "self-send in a collective is a bug")]
     fn self_send_panics_the_rank() {
         // the self-send assert fires inside the rank thread; the cluster
-        // surfaces it by panicking on join
+        // surfaces it by re-panicking on join with the original message
         let cluster = Cluster::new(1);
         cluster.run(|comm| comm.send(0, 0, vec![]));
+    }
+
+    #[test]
+    fn try_run_reports_which_rank_died_and_why() {
+        let cluster = Cluster::new(2).with_timing(modeled());
+        let fates = cluster.try_run(|comm| {
+            if comm.rank() == 1 {
+                panic!("injected failure on rank 1");
+            }
+            comm.recv(1, 0); // blocks; must unwind, not deadlock
+        });
+        assert!(fates[0].is_err(), "rank 0 dies on the hung-up channel cascade");
+        let p = fates[1].as_ref().unwrap_err();
+        assert_eq!(p.rank, 1);
+        assert_eq!(p.message, "injected failure on rank 1");
+    }
+
+    #[test]
+    fn fault_plan_crash_cascades_and_is_attributed() {
+        let cluster =
+            Cluster::new(3).with_timing(modeled()).with_faults(FaultPlan::new(1).with_crash(1, 0));
+        let fates = cluster.try_run(|comm| {
+            let n = comm.size();
+            let to = (comm.rank() + 1) % n;
+            let from = (comm.rank() + n - 1) % n;
+            for round in 0..3u64 {
+                comm.sendrecv(to, round, vec![comm.rank() as u8; 64], from);
+            }
+        });
+        let p1 = fates[1].as_ref().unwrap_err();
+        assert_eq!(p1.rank, 1);
+        assert!(p1.message.contains("crashed by fault plan at send step 0"), "{}", p1.message);
+        for r in [0, 2] {
+            let p = fates[r].as_ref().unwrap_err();
+            assert!(p.message.contains("observed crash of rank 1"), "rank {r}: {}", p.message);
+        }
+    }
+
+    #[test]
+    fn dropped_message_panics_plain_recv() {
+        let cluster =
+            Cluster::new(2).with_timing(modeled()).with_faults(FaultPlan::new(0).with_drop(1.0));
+        let fates = cluster.try_run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![1, 2, 3]);
+            } else {
+                comm.recv(0, 5);
+            }
+        });
+        let p = fates[1].as_ref().unwrap_err();
+        assert!(p.message.contains("dropped by the fault plan"), "{}", p.message);
+    }
+
+    #[test]
+    fn recv_msg_surfaces_drops_and_send_reliable_bypasses_them() {
+        let cluster =
+            Cluster::new(2).with_timing(modeled()).with_faults(FaultPlan::new(0).with_drop(1.0));
+        let outcomes = cluster.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![9; 16]);
+                comm.send_reliable(1, 2, vec![8; 16], 16);
+                (true, true)
+            } else {
+                let lossy = comm.recv_msg(0, 1);
+                let safe = comm.recv_msg(0, 2);
+                (lossy.dropped, !safe.dropped && safe.payload == vec![8; 16])
+            }
+        });
+        assert_eq!(outcomes[1].value, (true, true));
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let sent: Vec<u8> = (0..64).collect();
+        let expect = sent.clone();
+        let cluster =
+            Cluster::new(2).with_timing(modeled()).with_faults(FaultPlan::new(3).with_corrupt(1.0));
+        let outcomes = cluster.run(move |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, sent.clone());
+                0
+            } else {
+                let got = comm.recv(0, 0);
+                got.iter().zip(&expect).map(|(a, b)| (a ^ b).count_ones()).sum::<u32>()
+            }
+        });
+        assert_eq!(outcomes[1].value, 1);
+    }
+
+    #[test]
+    fn straggler_scales_modeled_compute() {
+        let run_with = |plan: Option<FaultPlan>| {
+            let mut cluster = Cluster::new(2).with_timing(modeled());
+            if let Some(p) = plan {
+                cluster = cluster.with_faults(p);
+            }
+            let outcomes = cluster.run(|comm| {
+                comm.compute(OpKind::Cpt, 30_000_000_000, || ());
+                comm.elapsed()
+            });
+            (outcomes[0].value, outcomes[1].value)
+        };
+        let (h0, h1) = run_with(None);
+        let (s0, s1) = run_with(Some(FaultPlan::new(0).with_straggler(1, 4.0)));
+        assert_eq!(h0, s0, "healthy rank untouched");
+        assert!((s1 - h1 * 4.0).abs() < 1e-12, "straggler runs 4x slower: {s1} vs {h1}");
+    }
+
+    #[test]
+    fn jitter_delays_arrivals_deterministically() {
+        let run_once = |plan: FaultPlan| {
+            let cluster = Cluster::new(2).with_timing(modeled()).with_faults(plan);
+            let outcomes = cluster.run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, vec![0u8; 100]);
+                } else {
+                    comm.recv(0, 0);
+                }
+                comm.elapsed()
+            });
+            outcomes[1].value
+        };
+        let healthy = run_once(FaultPlan::new(7));
+        let jittered = run_once(FaultPlan::new(7).with_jitter(1e-3));
+        assert!(jittered > healthy, "jitter must delay the receiver");
+        assert_eq!(jittered, run_once(FaultPlan::new(7).with_jitter(1e-3)), "and replay exactly");
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        let run = |faulted: bool| {
+            let mut cluster = Cluster::new(4).with_timing(modeled());
+            if faulted {
+                cluster = cluster.with_faults(FaultPlan::new(99));
+            }
+            let (_, stats) = cluster.run_stats(|comm| {
+                let n = comm.size();
+                let to = (comm.rank() + 1) % n;
+                let from = (comm.rank() + n - 1) % n;
+                for round in 0..4u64 {
+                    let got = comm.sendrecv(to, round, vec![comm.rank() as u8; 2048], from);
+                    comm.compute(OpKind::Cpt, got.len(), || ());
+                }
+            });
+            (stats.makespan, stats.total.total())
+        };
+        assert_eq!(run(false), run(true));
     }
 }

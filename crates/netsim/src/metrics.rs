@@ -189,9 +189,24 @@ impl Registry {
                         self.observe("hz_recv_wait_seconds", wait_secs);
                     }
                     Event::Compute { kind, secs, label, .. } => {
-                        let label = if label.is_empty() { kind.name() } else { label };
-                        self.add(&format!("hz_step_seconds{{label=\"{label}\"}}"), secs);
-                        self.inc(&format!("hz_step_calls_total{{label=\"{label}\"}}"), 1);
+                        // zero-duration resilience markers become dedicated
+                        // counters; everything else is a per-label timing
+                        match label {
+                            "res:retransmit" => self.inc("hz_retransmits_total", 1),
+                            "res:timeout" => self.inc("hz_timeouts_total", 1),
+                            "res:degraded-segment" => self.inc("hz_degraded_segments_total", 1),
+                            _ => {
+                                let label = if label.is_empty() { kind.name() } else { label };
+                                self.add(&format!("hz_step_seconds{{label=\"{label}\"}}"), secs);
+                                self.inc(&format!("hz_step_calls_total{{label=\"{label}\"}}"), 1);
+                            }
+                        }
+                    }
+                    Event::Fault { kind, .. } => {
+                        self.inc(
+                            &format!("hz_faults_injected_total{{kind=\"{}\"}}", kind.name()),
+                            1,
+                        );
                     }
                 }
             }

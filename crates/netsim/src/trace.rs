@@ -17,6 +17,7 @@
 use crate::breakdown::Breakdown;
 use crate::cluster::RankOutcome;
 use crate::config::OpKind;
+use crate::faults::FaultKind;
 use crate::json::Json;
 
 /// Configuration for the flight recorder.
@@ -85,13 +86,33 @@ pub enum Event {
         /// call site did not label itself.
         label: &'static str,
     },
+    /// A fault injected by the cluster's [`crate::FaultPlan`], recorded on
+    /// the *sending* rank at zero duration (the fault itself costs nothing;
+    /// its consequences — waits, retransmits — show up as ordinary events).
+    Fault {
+        /// Virtual time of the affected send.
+        t: f64,
+        /// What was injected.
+        kind: FaultKind,
+        /// Destination rank of the affected message (the crashing rank
+        /// itself for [`FaultKind::Crash`]).
+        to: usize,
+        /// Tag of the affected message (0 for a crash).
+        tag: u64,
+        /// Kind-specific detail: flipped bit index (corrupt), extra delay in
+        /// seconds (jitter), crash send-step (crash), 0 (drop).
+        detail: f64,
+    },
 }
 
 impl Event {
     /// Virtual start time of the event.
     pub fn start(&self) -> f64 {
         match *self {
-            Event::Send { t, .. } | Event::Recv { t, .. } | Event::Compute { t, .. } => t,
+            Event::Send { t, .. }
+            | Event::Recv { t, .. }
+            | Event::Compute { t, .. }
+            | Event::Fault { t, .. } => t,
         }
     }
 
@@ -101,6 +122,7 @@ impl Event {
             Event::Send { inject_secs, .. } => inject_secs,
             Event::Recv { wait_secs, .. } => wait_secs,
             Event::Compute { secs, .. } => secs,
+            Event::Fault { .. } => 0.0,
         }
     }
 
@@ -130,6 +152,7 @@ impl RankTrace {
                 Event::Compute { kind, secs, .. } => b.charge(kind, secs),
                 Event::Send { inject_secs, .. } => b.charge(OpKind::Other, inject_secs),
                 Event::Recv { wait_secs, .. } => b.mpi += wait_secs,
+                Event::Fault { .. } => {} // zero-cost annotation
             }
         }
         b
@@ -219,6 +242,15 @@ pub fn chrome_trace(traces: &[RankTrace]) -> String {
                     kind.name(),
                     Json::obj(vec![("bytes", Json::Num(bytes as f64))]),
                 ),
+                Event::Fault { kind, to, tag, detail, .. } => (
+                    format!("fault:{}", kind.name()),
+                    "fault",
+                    Json::obj(vec![
+                        ("to", Json::Num(to as f64)),
+                        ("tag", Json::Num(tag as f64)),
+                        ("detail", Json::Num(detail)),
+                    ]),
+                ),
             };
             events.push(Json::obj(vec![
                 ("name", Json::Str(name)),
@@ -265,6 +297,7 @@ pub fn ascii_timeline(traces: &[RankTrace], width: usize) -> String {
                 Event::Compute { kind, .. } => kind.index().min(4),
                 Event::Send { .. } => 4, // injection is charged to `other`
                 Event::Recv { .. } => 5,
+                Event::Fault { .. } => continue, // zero-duration, nothing to draw
             };
             let (start, end) = (ev.start(), ev.end());
             if end <= start {
@@ -366,6 +399,27 @@ mod tests {
         assert!(art.contains("rank   1 |"), "{art}");
         assert!(art.contains('C') && art.contains('H') && art.contains('.'), "{art}");
         assert!(art.contains("legend:"), "{art}");
+    }
+
+    #[test]
+    fn fault_events_are_zero_cost_annotations() {
+        let mut t = sample_trace();
+        let base = t.reconstructed_breakdown();
+        t.events.push(Event::Fault { t: 1.2, kind: FaultKind::Drop, to: 0, tag: 7, detail: 0.0 });
+        t.events.push(Event::Fault {
+            t: 1.3,
+            kind: FaultKind::Corrupt,
+            to: 0,
+            tag: 7,
+            detail: 13.0,
+        });
+        assert_eq!(t.events[4].duration(), 0.0);
+        assert_eq!(t.reconstructed_breakdown(), base, "faults never charge a bucket");
+        assert_eq!(t.end_time(), 2.0, "zero-duration faults do not extend the timeline");
+        let text = chrome_trace(&[t.clone()]);
+        assert!(text.contains("fault:drop") && text.contains("fault:corrupt"), "{text}");
+        Json::parse(&text).expect("chrome trace with faults parses");
+        assert!(ascii_timeline(&[t], 20).contains("legend:"));
     }
 
     #[test]

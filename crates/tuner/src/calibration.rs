@@ -166,6 +166,8 @@ impl Calibration {
                                 .push((wait_secs - self.latency_s) / wire_bytes as f64);
                         }
                     }
+                    // fault annotations carry no timing signal
+                    Event::Fault { .. } => {}
                 }
             }
         }

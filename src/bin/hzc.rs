@@ -46,7 +46,10 @@ const USAGE: &str = "usage:
           [--app A] [--seed S] [--cache state.json] [--trace out.json]
           [--metrics] [--width W]
   hzc tune [--ops L] [--ranks L] [--sizes-kb L] [--eb E] [--app A] [--seed S]
-          [--out state.json]   (L = comma-separated list, e.g. 8,64)";
+          [--out state.json]   (L = comma-separated list, e.g. 8,64)
+  hzc chaos [--seed S] [--ranks N] [--kb K] [--eb E] [--drop P[,P..]]
+          [--corrupt P] [--jitter SECS] [--app A]
+          soak the resilient collectives under injected faults";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -61,6 +64,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "check" => check(rest),
         "sim" => sim(rest),
         "tune" => tune(rest),
+        "chaos" => chaos(rest),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -499,6 +503,149 @@ fn run_auto(
 }
 
 /// Parse a comma-separated list of positive integers.
+/// `hzc chaos`: soak the resilient collectives under injected faults. For
+/// every drop rate × variant × op the sweep runs a fault-free baseline on
+/// the stock (unframed) path, then the same collective under a seeded
+/// [`FaultPlan`] with the resilient transport enabled, and checks the
+/// results agree — bit-for-bit for `mpi` (retransmission is exact on raw
+/// floats), within the compression error budget for `ccoll`/`hz` (a
+/// degraded segment may re-quantize once). Retransmit/timeout/degraded
+/// counters come from the flight recorder; exits nonzero if any run
+/// diverges or if faults were injected but the transport never retried.
+fn chaos(args: &[String]) -> Result<(), String> {
+    use hzccl::{CollectiveOpts, Mode, Resilience, Variant};
+    use netsim::{Cluster, ComputeTiming, FaultPlan, TraceConfig};
+
+    let seed: u64 = flag(args, "--seed")?.unwrap_or(7);
+    let ranks: usize = flag(args, "--ranks")?.unwrap_or(8);
+    if ranks == 0 {
+        return Err("--ranks must be at least 1".into());
+    }
+    let kb: usize = flag(args, "--kb")?.unwrap_or(64);
+    let eb: f64 = flag(args, "--eb")?.unwrap_or(1e-4);
+    let drops = parse_f64_list(
+        flag::<String>(args, "--drop")?.as_deref().unwrap_or("0.01,0.05"),
+        "--drop",
+    )?;
+    let corrupt: f64 = flag(args, "--corrupt")?.unwrap_or(0.01);
+    let jitter: f64 = flag(args, "--jitter")?.unwrap_or(0.0);
+    let app = parse_app(flag::<String>(args, "--app")?.as_deref().unwrap_or("sim2"))?;
+
+    let elems = ((kb << 10) / 4).max(ranks);
+    let base = app.generate(elems, seed);
+    let fields: Vec<Vec<f32>> = (0..ranks)
+        .map(|r| {
+            let k = 1.0 + 0.001 * r as f32;
+            base.iter().map(|&v| v * k).collect()
+        })
+        .collect();
+
+    let variants = [("mpi", Variant::Mpi), ("ccoll", Variant::CColl), ("hz", Variant::Hzccl)];
+    let ops = ["allreduce", "reduce_scatter"];
+    println!(
+        "chaos soak: ranks={ranks} field={kb} KiB/rank eb={eb:e} seed={seed} corrupt={corrupt} jitter={jitter}"
+    );
+    println!(
+        "{:<6} {:<15} {:<8} {:>10} {:>9} {:>9} {:>7} {:>12} {:>10}",
+        "drop", "op", "variant", "retrans", "timeouts", "degraded", "faults", "makespan", "max_err"
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut total_retrans = 0u64;
+    let mut any_fault_rate = false;
+    for &drop in &drops {
+        any_fault_rate |= drop > 0.0 || corrupt > 0.0;
+        for (vname, variant) in variants {
+            let mode = Mode::SingleThread;
+            let timing = ComputeTiming::Modeled(hzccl::paper_model(variant, mode));
+            for op in ops {
+                let opts = CollectiveOpts::for_variant(variant, eb).with_mode(mode);
+                let run_one = |cluster: &Cluster, opts: &CollectiveOpts| {
+                    cluster.run(|comm| {
+                        let data = &fields[comm.rank()];
+                        match op {
+                            "allreduce" => {
+                                hzccl::collectives::allreduce(comm, data, opts).expect("allreduce")
+                            }
+                            _ => hzccl::collectives::reduce_scatter(comm, data, opts)
+                                .expect("reduce_scatter"),
+                        }
+                    })
+                };
+                // fault-free baseline on the stock (unframed) path
+                let baseline = run_one(&Cluster::new(ranks).with_timing(timing), &opts);
+                let plan =
+                    FaultPlan::new(seed).with_drop(drop).with_corrupt(corrupt).with_jitter(jitter);
+                let cluster = Cluster::new(ranks)
+                    .with_timing(timing)
+                    .with_trace(TraceConfig::default())
+                    .with_faults(plan);
+                let faulty =
+                    run_one(&cluster, &opts.clone().with_resilience(Resilience::default()));
+
+                let makespan = faulty.iter().map(|o| o.elapsed).fold(0f64, f64::max);
+                let mut max_err = 0f64;
+                for (b, f) in baseline.iter().zip(&faulty) {
+                    for (x, y) in b.value.iter().zip(&f.value) {
+                        max_err = max_err.max((x - y).abs() as f64);
+                    }
+                }
+                // mpi retransmits raw floats verbatim; the compressed
+                // flavours may re-quantize each degraded segment once
+                let tol = if vname == "mpi" { 0.0 } else { (2.0 * ranks as f64 + 2.0) * eb };
+                let mut registry = netsim::Registry::new();
+                registry.record_run(&faulty);
+                let retrans = registry.counter("hz_retransmits_total").unwrap_or(0);
+                let timeouts = registry.counter("hz_timeouts_total").unwrap_or(0);
+                let degraded = registry.counter("hz_degraded_segments_total").unwrap_or(0);
+                let faults: u64 = ["drop", "corrupt", "jitter"]
+                    .iter()
+                    .filter_map(|k| {
+                        registry.counter(&format!("hz_faults_injected_total{{kind=\"{k}\"}}"))
+                    })
+                    .sum();
+                total_retrans += retrans;
+                let ok = max_err <= tol;
+                println!(
+                    "{:<6} {:<15} {:<8} {:>10} {:>9} {:>9} {:>7} {:>12.6} {:>10.3e}{}",
+                    drop,
+                    op,
+                    vname,
+                    retrans,
+                    timeouts,
+                    degraded,
+                    faults,
+                    makespan,
+                    max_err,
+                    if ok { "" } else { "  DIVERGED" }
+                );
+                if !ok {
+                    failures.push(format!(
+                        "{op}/{vname} drop={drop}: max_err {max_err:e} exceeds tol {tol:e}"
+                    ));
+                }
+            }
+        }
+    }
+    if any_fault_rate && total_retrans == 0 {
+        failures
+            .push("faults were injected but the resilient transport never retransmitted".into());
+    }
+    if failures.is_empty() {
+        println!("chaos soak passed ({} retransmits across the sweep)", total_retrans);
+        Ok(())
+    } else {
+        Err(format!("chaos soak failed:\n  {}", failures.join("\n  ")))
+    }
+}
+
+/// Comma-separated f64 list, e.g. `0.01,0.05`.
+fn parse_f64_list(s: &str, what: &str) -> Result<Vec<f64>, String> {
+    s.split(',')
+        .map(|t| t.trim().parse::<f64>().map_err(|_| format!("invalid value '{t}' in {what}")))
+        .collect()
+}
+
 fn parse_list(s: &str, what: &str) -> Result<Vec<usize>, String> {
     let out: Vec<usize> = s
         .split(',')
@@ -537,7 +684,7 @@ fn run_tune_plan(
             return;
         }
         (tuner::Op::Allreduce, Flavor::Hzccl, Algo::Rd) => {
-            let cfg = hzccl::CollectiveConfig { eb, block_len: plan.block_len, mode };
+            let cfg = hzccl::CollectiveConfig { eb, block_len: plan.block_len, mode, res: None };
             hzccl::rd::allreduce_rd_hz(comm, data, &cfg).expect("tune hz rd");
             return;
         }

@@ -55,7 +55,7 @@ fn run_static(
                 hzccl::rd::allreduce_rd(comm, data, mode.threads());
             }
             (Flavor::Hzccl, Algo::Rd) => {
-                let cfg = CollectiveConfig { eb, block_len: plan.block_len, mode };
+                let cfg = CollectiveConfig { eb, block_len: plan.block_len, mode, res: None };
                 hzccl::rd::allreduce_rd_hz(comm, data, &cfg).expect("hz rd");
             }
             (flavor, _) => {

@@ -1,0 +1,226 @@
+//! Chaos-layer properties: deterministic fault replay, recorder invariants
+//! under retransmission, soak coverage of every collective flavour under
+//! drop + corruption, forced degradation, and crash propagation.
+
+use hzccl::collectives::{allreduce, reduce_scatter, CollectiveOpts};
+use hzccl::{Mode, Resilience, Variant};
+use netsim::{
+    Cluster, ComputeTiming, FaultPlan, LinkFault, Registry, ThroughputModel, TraceConfig,
+};
+
+fn modeled() -> ComputeTiming {
+    ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
+}
+
+fn field(rank: usize, n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i as f32) * 0.013).sin() * (1.0 + 0.001 * rank as f32)).collect()
+}
+
+fn opts_for(variant: Variant, eb: f64) -> CollectiveOpts {
+    CollectiveOpts::for_variant(variant, eb).with_mode(Mode::SingleThread)
+}
+
+/// Same-seed fault plans replay bit-identically: two runs of the same
+/// collective under the same `FaultPlan` produce byte-for-byte equal results
+/// *and* bit-identical virtual-time traces (every event, timestamp included).
+#[test]
+fn same_seed_fault_plan_replays_bit_identically() {
+    let n = 4096;
+    let nranks = 6;
+    let plan = FaultPlan::new(42).with_drop(0.05).with_corrupt(0.02).with_jitter(2e-6);
+    let run = || {
+        let cluster = Cluster::new(nranks)
+            .with_timing(modeled())
+            .with_trace(TraceConfig::default())
+            .with_faults(plan.clone());
+        cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            let opts = opts_for(Variant::Hzccl, 1e-4).with_resilience(Resilience::default());
+            allreduce(comm, &data, &opts).expect("resilient allreduce")
+        })
+    };
+    let (a, b) = (run(), run());
+    for (oa, ob) in a.iter().zip(&b) {
+        assert_eq!(oa.value, ob.value, "rank {} values differ across replays", oa.breakdown.mpi);
+        assert_eq!(oa.elapsed, ob.elapsed, "virtual makespan differs across replays");
+        assert_eq!(oa.trace, ob.trace, "virtual-time traces differ across replays");
+    }
+}
+
+/// Recorder invariant: retransmitted frames are real wire traffic but not
+/// logical payload — under drops the wire-byte total grows while the
+/// logical-byte total stays exactly what the fault-free resilient run
+/// reported.
+#[test]
+fn retransmits_count_as_wire_bytes_not_logical_bytes() {
+    let n = 4096;
+    let nranks = 4;
+    let run = |plan: Option<FaultPlan>| {
+        let mut cluster =
+            Cluster::new(nranks).with_timing(modeled()).with_trace(TraceConfig::default());
+        if let Some(p) = plan {
+            cluster = cluster.with_faults(p);
+        }
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            let opts = opts_for(Variant::Hzccl, 1e-4).with_resilience(Resilience::default());
+            allreduce(comm, &data, &opts).expect("resilient allreduce")
+        });
+        let mut reg = Registry::new();
+        reg.record_run(&outcomes);
+        reg
+    };
+    let clean = run(None);
+    let faulty = run(Some(FaultPlan::new(9).with_drop(0.08)));
+    let retrans = faulty.counter("hz_retransmits_total").unwrap_or(0);
+    assert!(retrans > 0, "8% drop at 4 ranks must force at least one retransmit");
+    assert_eq!(
+        faulty.counter("hz_logical_bytes_total"),
+        clean.counter("hz_logical_bytes_total"),
+        "retransmits must not inflate the logical-byte total"
+    );
+    assert!(
+        faulty.counter("hz_wire_bytes_total").unwrap()
+            > clean.counter("hz_wire_bytes_total").unwrap(),
+        "retransmitted frames must appear in the wire-byte total"
+    );
+}
+
+/// Soak: {1%, 5%} drop plus corruption across all three flavours and both
+/// reduction collectives. Every run completes; `mpi` matches its fault-free
+/// baseline bit-for-bit (raw floats retransmit verbatim), the compressed
+/// flavours stay within the error budget; the sweep as a whole observes
+/// nonzero retransmits and reports the degraded-segment counter.
+#[test]
+fn soak_drop_and_corruption_across_flavours() {
+    let n = 4096;
+    let nranks = 8;
+    let eb = 1e-4;
+    let mut total_retrans = 0u64;
+    for drop in [0.01, 0.05] {
+        for variant in [Variant::Mpi, Variant::CColl, Variant::Hzccl] {
+            for op in ["allreduce", "reduce_scatter"] {
+                let opts = opts_for(variant, eb);
+                let run_one = |cluster: &Cluster, opts: &CollectiveOpts| {
+                    cluster.run(|comm| {
+                        let data = field(comm.rank(), n);
+                        match op {
+                            "allreduce" => allreduce(comm, &data, opts).expect("allreduce"),
+                            _ => reduce_scatter(comm, &data, opts).expect("reduce_scatter"),
+                        }
+                    })
+                };
+                let baseline = run_one(&Cluster::new(nranks).with_timing(modeled()), &opts);
+                let plan = FaultPlan::new(7).with_drop(drop).with_corrupt(0.01);
+                let cluster = Cluster::new(nranks)
+                    .with_timing(modeled())
+                    .with_trace(TraceConfig::default())
+                    .with_faults(plan);
+                let faulty =
+                    run_one(&cluster, &opts.clone().with_resilience(Resilience::default()));
+                let tol = match variant {
+                    Variant::Mpi => 0.0,
+                    _ => (2.0 * nranks as f64 + 2.0) * eb,
+                };
+                for (b, f) in baseline.iter().zip(&faulty) {
+                    assert_eq!(b.value.len(), f.value.len());
+                    for (x, y) in b.value.iter().zip(&f.value) {
+                        assert!(
+                            ((x - y).abs() as f64) <= tol,
+                            "{op}/{variant:?} drop={drop}: {x} vs {y} (tol {tol:e})"
+                        );
+                    }
+                }
+                let mut reg = Registry::new();
+                reg.record_run(&faulty);
+                total_retrans += reg.counter("hz_retransmits_total").unwrap_or(0);
+                // the counter must exist (reported), even when zero
+                let _degraded = reg.counter("hz_degraded_segments_total").unwrap_or(0);
+            }
+        }
+    }
+    assert!(total_retrans > 0, "the sweep must observe at least one retransmit");
+}
+
+/// A link that drops everything forces graceful degradation: after
+/// `max_retries` the sender falls back to an uncompressed reliable resend,
+/// the collective still completes within the (loosened) error budget, and
+/// `hz_degraded_segments_total` is nonzero.
+#[test]
+fn dead_link_degrades_gracefully_instead_of_aborting() {
+    let n = 2048;
+    let nranks = 4;
+    let eb = 1e-4;
+    for variant in [Variant::Mpi, Variant::CColl, Variant::Hzccl] {
+        let opts = opts_for(variant, eb);
+        let run_one = |cluster: &Cluster, opts: &CollectiveOpts| {
+            cluster.run(|comm| {
+                let data = field(comm.rank(), n);
+                allreduce(comm, &data, opts).expect("allreduce")
+            })
+        };
+        let baseline = run_one(&Cluster::new(nranks).with_timing(modeled()), &opts);
+        let dead = LinkFault { drop_p: 1.0, corrupt_p: 0.0, jitter_s: 0.0 };
+        let plan = FaultPlan::new(3).with_link(0, 1, dead);
+        let cluster = Cluster::new(nranks)
+            .with_timing(modeled())
+            .with_trace(TraceConfig::default())
+            .with_faults(plan);
+        let faulty = run_one(&cluster, &opts.clone().with_resilience(Resilience::default()));
+        let mut reg = Registry::new();
+        reg.record_run(&faulty);
+        assert!(
+            reg.counter("hz_degraded_segments_total").unwrap_or(0) > 0,
+            "{variant:?}: a 100%-loss link must exhaust retries and degrade"
+        );
+        // every degraded hop may re-quantize once on the compressed flavours
+        let tol = match variant {
+            Variant::Mpi => 0.0,
+            _ => (2.0 * nranks as f64 + 2.0) * eb,
+        };
+        for (b, f) in baseline.iter().zip(&faulty) {
+            for (x, y) in b.value.iter().zip(&f.value) {
+                assert!(
+                    ((x - y).abs() as f64) <= tol,
+                    "{variant:?}: degraded result {y} strayed from {x} (tol {tol:e})"
+                );
+            }
+        }
+    }
+}
+
+/// An injected crash takes down its rank with a named panic and cascades to
+/// the peers blocked on it; `try_run` reports every fate as a value.
+#[test]
+fn injected_crash_propagates_with_named_payloads() {
+    let n = 2048;
+    let nranks = 4;
+    let plan = FaultPlan::new(1).with_crash(2, 1);
+    let cluster = Cluster::new(nranks).with_timing(modeled()).with_faults(plan);
+    let fates = cluster.try_run(|comm| {
+        let data = field(comm.rank(), n);
+        let opts = opts_for(Variant::Mpi, 1e-4);
+        allreduce(comm, &data, &opts).expect("allreduce")
+    });
+    let crashed = fates[2].as_ref().expect_err("rank 2 must die");
+    assert_eq!(crashed.rank, 2);
+    assert!(
+        crashed.message.contains("crashed by fault plan"),
+        "unexpected crash payload: {}",
+        crashed.message
+    );
+    for (r, fate) in fates.iter().enumerate() {
+        if r == 2 {
+            continue;
+        }
+        // cascades re-broadcast: a peer may name the original crash or a
+        // secondary casualty, but never an unrelated panic
+        if let Err(p) = fate {
+            assert!(
+                p.message.contains("observed crash of rank"),
+                "rank {r} died for the wrong reason: {}",
+                p.message
+            );
+        }
+    }
+}

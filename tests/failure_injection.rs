@@ -98,3 +98,50 @@ fn ompszp_corruption_never_panics() {
         }
     }
 }
+
+/// Parse-then-decompress one mutated codec byte string.
+type Poke = fn(Vec<u8>) -> fzlight::Result<()>;
+
+fn poke_fz(bytes: Vec<u8>) -> fzlight::Result<()> {
+    let stream = CompressedStream::from_bytes(bytes)?;
+    fzlight::decompress(&stream).map(|_| ())
+}
+
+/// Parse-then-decompress one mutated ompSZp byte string.
+fn poke_oszp(bytes: Vec<u8>) -> fzlight::Result<()> {
+    let stream = ompszp::OszpStream::from_bytes(bytes)?;
+    ompszp::decompress(&stream).map(|_| ())
+}
+
+/// Fuzz-style table over both codecs × {truncation, single-bit flip}: every
+/// truncation must surface as a *typed* error (`Truncated`/`Corrupt` — the
+/// variants the resilient transport reacts to with a NACK), and every
+/// single-bit flip must end in a clean `Ok`/`Err` — never a panic or an
+/// out-of-bounds read.
+#[test]
+fn codec_fuzz_table_truncation_and_bitflips() {
+    let fz = valid_stream_bytes();
+    let data = App::CesmAtm.generate(4096, 2);
+    let ocfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(2);
+    let oz = ompszp::compress(&data, &ocfg).unwrap().as_bytes().to_vec();
+    let table: [(&str, &[u8], Poke); 2] = [("fzlight", &fz, poke_fz), ("ompszp", &oz, poke_oszp)];
+    for (name, bytes, poke) in table {
+        let step = (bytes.len() / 64).max(1);
+        for cut in (0..bytes.len()).step_by(step) {
+            let err = poke(bytes[..cut].to_vec())
+                .expect_err(&format!("{name}: truncation at {cut} must be rejected"));
+            assert!(
+                matches!(err, fzlight::Error::Truncated { .. } | fzlight::Error::Corrupt(_)),
+                "{name}: truncation at {cut} surfaced unexpected error {err:?}"
+            );
+        }
+        for at in (0..bytes.len()).step_by(step) {
+            for bit in 0..8 {
+                let mut mutated = bytes.to_vec();
+                mutated[at] ^= 1 << bit;
+                // any typed outcome is acceptable; panics/OOB are not
+                let _ = poke(mutated);
+            }
+        }
+    }
+}
