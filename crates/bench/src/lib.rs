@@ -22,6 +22,9 @@ use hzccl::{CollectiveConfig, Mode, Variant};
 use netsim::{ComputeTiming, NetConfig};
 use std::time::Instant;
 
+pub mod snapshot;
+pub mod suite;
+
 /// Read a `usize` env knob.
 pub fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)

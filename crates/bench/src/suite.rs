@@ -1,0 +1,315 @@
+//! The deterministic `hzc bench` suite.
+//!
+//! Every case runs entirely on the virtual clock with paper-calibrated
+//! compute models ([`hzccl::paper_model`]), seeded synthetic fields, and the
+//! default network model — so two runs of the same suite on any host produce
+//! bit-identical numbers. That determinism is what makes the snapshot diff
+//! ([`crate::snapshot`]) a regression gate instead of a noise detector.
+//!
+//! A case is a point in `(op, variant, ranks, KiB/rank, segments, faulted)`
+//! space; [`canonical_cases`] is the checked-in baseline sweep (the
+//! `BENCH_results.json` at the repo root), [`quick_cases`] a strict subset
+//! for CI smoke, and [`build_cases`] the CLI's constructive override.
+
+use crate::{scaled_rank_fields, CollOp};
+use hzccl::{Mode, Resilience, Variant};
+use netsim::{Cluster, ComputeTiming, CriticalPath, FaultPlan, NetConfig, TraceConfig};
+
+/// Shared inputs of every case in a suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Seed for the synthetic field generator and the fault plan.
+    pub seed: u64,
+    /// Absolute error bound of the compressed flavours.
+    pub eb: f64,
+    /// Synthetic application generating the per-rank fields.
+    pub app: datasets::App,
+    /// Network model (defaults to the paper calibration).
+    pub net: NetConfig,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> SuiteConfig {
+        SuiteConfig { seed: 0, eb: 1e-4, app: datasets::App::SimSet2, net: NetConfig::default() }
+    }
+}
+
+/// One point of the bench sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseSpec {
+    /// Which collective the case runs.
+    pub op: CollOp,
+    /// Which flavour runs it.
+    pub variant: Variant,
+    /// Rank count of the virtual cluster.
+    pub ranks: usize,
+    /// Per-rank field size in KiB.
+    pub kb: usize,
+    /// Pipeline segment count (1 = phase-serial).
+    pub segments: usize,
+    /// Runs under a seeded fault plan with the resilient transport on.
+    pub faulted: bool,
+}
+
+impl CaseSpec {
+    /// Stable case identity — the diff key of the snapshot format.
+    pub fn id(&self) -> String {
+        let mut id = format!(
+            "{}/{}/r{}/kb{}/s{}",
+            self.op_name(),
+            self.variant.name(),
+            self.ranks,
+            self.kb,
+            self.segments
+        );
+        if self.faulted {
+            id.push_str("-faulted");
+        }
+        id
+    }
+
+    /// Stable op name used in ids and snapshots.
+    pub fn op_name(&self) -> &'static str {
+        match self.op {
+            CollOp::Allreduce => "allreduce",
+            CollOp::ReduceScatter => "reduce_scatter",
+        }
+    }
+
+    /// Which variant's paper throughput table times the case (auto borrows
+    /// the hz table — its headline dispatch target).
+    fn timing_variant(&self) -> Variant {
+        match self.variant {
+            Variant::Auto => Variant::Hzccl,
+            v => v,
+        }
+    }
+}
+
+/// The measured outcome of one case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The case that ran.
+    pub spec: CaseSpec,
+    /// End-to-end virtual seconds (slowest rank).
+    pub virtual_secs: f64,
+    /// Total bytes that crossed the virtual wire.
+    pub wire_bytes: u64,
+    /// Total uncompressed bytes those messages represented.
+    pub logical_bytes: u64,
+    /// Aggregated per-rank cost buckets.
+    pub breakdown: netsim::Breakdown,
+    /// Causal critical-path analysis of the run.
+    pub critpath: CriticalPath,
+    /// Median per-rank end-to-end latency (log2-bucket interpolation).
+    pub latency_p50: f64,
+    /// 99th-percentile per-rank end-to-end latency.
+    pub latency_p99: f64,
+}
+
+/// The canonical paper-calibrated sweep backing `BENCH_results.json`:
+/// {allreduce, reduce_scatter} × {8, 64} ranks × {16, 256, 1024} KiB ×
+/// ({mpi, ccoll, hz} × {serial, S=8} + auto), plus one faulted resilient
+/// case. 85 cases.
+pub fn canonical_cases() -> Vec<CaseSpec> {
+    build_cases(
+        &[CollOp::Allreduce, CollOp::ReduceScatter],
+        &[Variant::Mpi, Variant::CColl, Variant::Hzccl, Variant::Auto],
+        &[8, 64],
+        &[16, 256, 1024],
+        &[1, 8],
+        true,
+    )
+}
+
+/// The CI smoke subset: 8 ranks, {16, 256} KiB, every variant, plus the
+/// faulted case. A strict subset of [`canonical_cases`] by id, so
+/// `--against` the canonical baseline compares every quick case.
+pub fn quick_cases() -> Vec<CaseSpec> {
+    build_cases(
+        &[CollOp::Allreduce, CollOp::ReduceScatter],
+        &[Variant::Mpi, Variant::CColl, Variant::Hzccl, Variant::Auto],
+        &[8],
+        &[16, 256],
+        &[1, 8],
+        true,
+    )
+}
+
+/// Constructive case enumeration (the CLI's `--ops/--variants/--ranks-list/
+/// --sizes-kb/--segments-list` overrides). [`Variant::Auto`] always runs
+/// serially (the tuner's plan owns the segment knob), so it contributes one
+/// case per `(op, ranks, kb)` regardless of `segments_list`. When
+/// `include_fault` is set, one fixed faulted case (hz allreduce, 8 ranks,
+/// 64 KiB, serial, drop 2% + corrupt 1%, resilient transport) is appended
+/// if `hz` and `allreduce` are in the sweep.
+pub fn build_cases(
+    ops: &[CollOp],
+    variants: &[Variant],
+    ranks_list: &[usize],
+    sizes_kb: &[usize],
+    segments_list: &[usize],
+    include_fault: bool,
+) -> Vec<CaseSpec> {
+    let mut out = Vec::new();
+    for &op in ops {
+        for &variant in variants {
+            for &ranks in ranks_list {
+                for &kb in sizes_kb {
+                    if variant == Variant::Auto {
+                        out.push(CaseSpec { op, variant, ranks, kb, segments: 1, faulted: false });
+                        continue;
+                    }
+                    for &segments in segments_list {
+                        out.push(CaseSpec { op, variant, ranks, kb, segments, faulted: false });
+                    }
+                }
+            }
+        }
+    }
+    if include_fault && ops.contains(&CollOp::Allreduce) && variants.contains(&Variant::Hzccl) {
+        out.push(CaseSpec {
+            op: CollOp::Allreduce,
+            variant: Variant::Hzccl,
+            ranks: 8,
+            kb: 64,
+            segments: 1,
+            faulted: true,
+        });
+    }
+    out
+}
+
+/// Run one case on the virtual cluster and analyze it.
+pub fn run_case(spec: &CaseSpec, cfg: &SuiteConfig) -> CaseResult {
+    let elems = ((spec.kb << 10) / 4).max(spec.ranks);
+    let base = cfg.app.generate(elems, cfg.seed);
+    let fields = scaled_rank_fields(&base, spec.ranks);
+
+    let timing =
+        ComputeTiming::Modeled(hzccl::paper_model(spec.timing_variant(), Mode::SingleThread));
+    let mut cluster = Cluster::new(spec.ranks)
+        .with_net(cfg.net)
+        .with_timing(timing)
+        .with_trace(TraceConfig::default());
+    if spec.faulted {
+        cluster = cluster.with_faults(FaultPlan::new(cfg.seed).with_drop(0.02).with_corrupt(0.01));
+    }
+
+    let mut opts = hzccl::collectives::CollectiveOpts::for_variant(spec.variant, cfg.eb)
+        .with_mode(Mode::SingleThread)
+        .with_segments(spec.segments);
+    if spec.faulted {
+        opts = opts.with_resilience(Resilience::default());
+    }
+    let op = spec.op;
+    let outcomes = cluster.run(|comm| {
+        let data = &fields[comm.rank()];
+        match op {
+            CollOp::Allreduce => {
+                hzccl::collectives::allreduce(comm, data, &opts).expect("bench allreduce");
+            }
+            CollOp::ReduceScatter => {
+                hzccl::collectives::reduce_scatter(comm, data, &opts).expect("bench rs");
+            }
+        }
+    });
+
+    let mut virtual_secs = 0f64;
+    let mut breakdown = netsim::Breakdown::default();
+    for o in &outcomes {
+        virtual_secs = virtual_secs.max(o.elapsed);
+        breakdown += o.breakdown;
+    }
+    let mut registry = netsim::Registry::new();
+    registry.record_run(&outcomes);
+    let (latency_p50, latency_p99) = registry
+        .histogram("hz_collective_latency_seconds")
+        .map(|h| (h.quantile(0.5), h.quantile(0.99)))
+        .unwrap_or((0.0, 0.0));
+
+    let (_, traces) = netsim::trace::take_traces(outcomes);
+    let mut wire_bytes = 0u64;
+    let mut logical_bytes = 0u64;
+    for t in &traces {
+        for ev in &t.events {
+            if let netsim::Event::Send { wire_bytes: w, logical_bytes: l, .. } = *ev {
+                wire_bytes += w as u64;
+                logical_bytes += l as u64;
+            }
+        }
+    }
+    let critpath = CriticalPath::analyze(&traces, &cfg.net);
+
+    CaseResult {
+        spec: spec.clone(),
+        virtual_secs,
+        wire_bytes,
+        logical_bytes,
+        breakdown,
+        critpath,
+        latency_p50,
+        latency_p99,
+    }
+}
+
+/// Run every case, invoking `progress` after each one (the CLI's live
+/// table row).
+pub fn run_suite(
+    cases: &[CaseSpec],
+    cfg: &SuiteConfig,
+    mut progress: impl FnMut(&CaseResult),
+) -> Vec<CaseResult> {
+    let mut out = Vec::with_capacity(cases.len());
+    for spec in cases {
+        let result = run_case(spec, cfg);
+        progress(&result);
+        out.push(result);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_ids_are_a_subset_of_canonical_ids() {
+        let canon: std::collections::BTreeSet<String> =
+            canonical_cases().iter().map(|c| c.id()).collect();
+        assert_eq!(canon.len(), canonical_cases().len(), "canonical ids unique");
+        for c in quick_cases() {
+            assert!(canon.contains(&c.id()), "{} missing from canonical", c.id());
+        }
+    }
+
+    #[test]
+    fn case_counts_match_the_documented_sweep() {
+        // 2 ops x (3 static variants x 2 segment counts + auto) x 2 ranks x
+        // 3 sizes + 1 faulted
+        assert_eq!(canonical_cases().len(), 2 * 7 * 2 * 3 + 1);
+        assert_eq!(quick_cases().len(), 2 * 7 * 2 + 1);
+    }
+
+    #[test]
+    fn run_case_is_deterministic_and_self_consistent() {
+        let cfg = SuiteConfig::default();
+        let spec = CaseSpec {
+            op: CollOp::Allreduce,
+            variant: Variant::Hzccl,
+            ranks: 4,
+            kb: 8,
+            segments: 2,
+            faulted: false,
+        };
+        let a = run_case(&spec, &cfg);
+        let b = run_case(&spec, &cfg);
+        assert_eq!(a.virtual_secs.to_bits(), b.virtual_secs.to_bits(), "bit-stable time");
+        assert_eq!(a.wire_bytes, b.wire_bytes);
+        assert!(a.wire_bytes > 0 && a.logical_bytes >= a.wire_bytes);
+        // the analyzer's tiling invariant holds on a real collective
+        let rel = (a.critpath.length - a.virtual_secs).abs() / a.virtual_secs;
+        assert!(rel <= 1e-9, "path {} vs makespan {}", a.critpath.length, a.virtual_secs);
+        assert!(a.latency_p99 >= a.latency_p50 && a.latency_p50 > 0.0);
+    }
+}

@@ -130,7 +130,7 @@ pub(crate) fn reduce_scatter_impl(
                 comm,
                 cfg.res.as_ref(),
                 right,
-                TAG_RS + s as u64,
+                seg_tag(TAG_RS, s, 0),
                 stream.as_bytes().to_vec(),
                 PayloadKind::Opaque,
                 logical,
@@ -329,7 +329,7 @@ pub(crate) fn reduce_impl(
                     continue;
                 }
                 let (got, kind) =
-                    recv_resilient(comm, cfg.res.as_ref(), src, TAG_GATHER + src as u64);
+                    recv_resilient(comm, cfg.res.as_ref(), src, seg_tag(TAG_GATHER, src, 0));
                 let dst = &mut out[chunks[src].clone()];
                 match kind {
                     PayloadKind::Opaque => {
@@ -354,7 +354,7 @@ pub(crate) fn reduce_impl(
             comm,
             cfg.res.as_ref(),
             root,
-            TAG_GATHER + r as u64,
+            seg_tag(TAG_GATHER, r, 0),
             stream.as_bytes().to_vec(),
             PayloadKind::Opaque,
             own.len() * 4,
@@ -438,7 +438,7 @@ pub(crate) fn bcast_impl(
                         comm,
                         cfg.res.as_ref(),
                         dst,
-                        TAG_SCATTER + dst as u64,
+                        seg_tag(TAG_SCATTER, dst, 0),
                         stream.as_bytes().to_vec(),
                         PayloadKind::Opaque,
                         chunk.len() * 4,
@@ -449,7 +449,7 @@ pub(crate) fn bcast_impl(
             }
             (mine, PayloadKind::Opaque)
         } else {
-            recv_resilient(comm, cfg.res.as_ref(), root, TAG_SCATTER + r as u64)
+            recv_resilient(comm, cfg.res.as_ref(), root, seg_tag(TAG_SCATTER, r, 0))
         };
         let logical: Vec<usize> = chunks.iter().map(|c| c.len() * 4).collect();
         let slots = ring_forward_resilient(

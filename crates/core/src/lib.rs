@@ -61,6 +61,7 @@ pub(crate) mod ring;
 pub use collectives::CollectiveOpts;
 pub use config::{calibrate_doc, calibrate_hz, paper_model, CollectiveConfig, Mode, Variant};
 pub use kernels::Kernel;
+pub use pipeline::{decode_tag, TagInfo};
 pub use resilient::{PayloadKind, Resilience};
 
 #[cfg(test)]

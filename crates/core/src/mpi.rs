@@ -104,7 +104,7 @@ pub(crate) fn reduce_scatter_impl(
                 comm,
                 res,
                 right,
-                TAG_RS + s as u64,
+                seg_tag(TAG_RS, s, 0),
                 payload,
                 PayloadKind::RawF32,
                 logical,
@@ -200,7 +200,7 @@ pub(crate) fn allgather_impl(
                 comm,
                 res,
                 right,
-                TAG_AG + s as u64,
+                seg_tag(TAG_AG, s, 0),
                 payload,
                 PayloadKind::RawF32,
                 logical,
@@ -275,7 +275,7 @@ pub(crate) fn reduce_impl(
                 if src == root {
                     continue;
                 }
-                let (got, _) = recv_resilient(comm, res, src, TAG_GATHER + src as u64);
+                let (got, _) = recv_resilient(comm, res, src, seg_tag(TAG_GATHER, src, 0));
                 let vals = comm
                     .compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got));
                 out[chunks[src].clone()].copy_from_slice(&vals);
@@ -289,7 +289,7 @@ pub(crate) fn reduce_impl(
             comm,
             res,
             root,
-            TAG_GATHER + r as u64,
+            seg_tag(TAG_GATHER, r, 0),
             payload,
             PayloadKind::RawF32,
             logical,
@@ -357,7 +357,7 @@ pub(crate) fn bcast_impl(
                     comm,
                     res,
                     dst,
-                    TAG_SCATTER + dst as u64,
+                    seg_tag(TAG_SCATTER, dst, 0),
                     payload,
                     PayloadKind::RawF32,
                     logical,
@@ -366,7 +366,7 @@ pub(crate) fn bcast_impl(
             }
             data[chunks[root].clone()].to_vec()
         } else {
-            let (got, _) = recv_resilient(comm, res, root, TAG_SCATTER + r as u64);
+            let (got, _) = recv_resilient(comm, res, root, seg_tag(TAG_SCATTER, r, 0));
             comm.compute_labeled(OpKind::Other, got.len(), "mpi:unpack", || bytes_to_f32(&got))
         };
         return allgather_impl(comm, &own, total_len, 1, res);

@@ -13,6 +13,7 @@
 use crate::chunks::{bytes_to_f32, f32_to_bytes, node_chunks};
 use crate::config::CollectiveConfig;
 use crate::mpi::{TAG_AG, TAG_RS};
+use crate::pipeline::seg_tag;
 use crate::resilient::{sendrecv_resilient, PayloadKind};
 use fzlight::Result;
 use hzdyn::{doc::reduce_in_place, ReduceOp};
@@ -51,7 +52,7 @@ pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> 
             comm,
             cfg.res.as_ref(),
             right,
-            TAG_RS + s as u64,
+            seg_tag(TAG_RS, s, 0),
             stream.as_bytes().to_vec(),
             PayloadKind::Opaque,
             logical,
@@ -112,7 +113,7 @@ pub fn allgather(
             comm,
             cfg.res.as_ref(),
             right,
-            TAG_AG + s as u64,
+            seg_tag(TAG_AG, s, 0),
             stream.as_bytes().to_vec(),
             PayloadKind::Opaque,
             logical,

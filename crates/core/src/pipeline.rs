@@ -31,6 +31,50 @@ pub(crate) fn seg_tag(base: u64, step: usize, seg: usize) -> u64 {
     base + (step as u64) * SEG_TAG_STRIDE + seg as u64
 }
 
+/// Decoded coordinates of a collective wire tag (the inverse of
+/// [`seg_tag`] plus the phase base and the resilient transport's
+/// control-channel bit). Powers the per-phase/step/segment views of
+/// `netsim::CriticalPath::by_tag` in `hzc sim --critical-path` and
+/// `hzc bench`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagInfo {
+    /// Collective phase the tag base encodes (`rs`, `ag`, `gather`,
+    /// `scatter`, `rd`, `fold`, `plan`).
+    pub phase: &'static str,
+    /// Ring step (or recursive-doubling round) within the phase.
+    pub step: usize,
+    /// Pipeline segment within the step (0 for serial schedules).
+    pub seg: usize,
+    /// True for the resilient transport's ACK/NACK control channel
+    /// (bit 63 set on the data tag).
+    pub ctrl: bool,
+}
+
+/// Decode a wire tag into its `(phase, step, segment)` coordinates.
+/// Returns `None` for tags outside the collective tag bases (e.g. ad-hoc
+/// tags used by tests or examples).
+pub fn decode_tag(tag: u64) -> Option<TagInfo> {
+    let ctrl = tag & (1 << 63) != 0;
+    let tag = tag & !(1u64 << 63);
+    let phase = match tag >> 32 {
+        1 => "rs",
+        2 => "ag",
+        3 => "gather",
+        4 => "scatter",
+        5 => "rd",
+        6 => "fold",
+        7 => "plan",
+        _ => return None,
+    };
+    let rem = tag & 0xFFFF_FFFF;
+    Some(TagInfo {
+        phase,
+        step: (rem / SEG_TAG_STRIDE) as usize,
+        seg: (rem % SEG_TAG_STRIDE) as usize,
+        ctrl,
+    })
+}
+
 /// Split an absolute element `range` into at most `segments` contiguous
 /// sub-ranges whose boundaries fall on `block_len` multiples (relative to
 /// the range start), distributing blocks as evenly as possible.

@@ -294,7 +294,7 @@ fn engine(
             let frame = if got.dropped {
                 // the receiver only learns of the loss when its timeout
                 // fires; charge that wait before NACKing
-                comm.advance(OpKind::Other, res.timeout_s);
+                comm.advance_labeled(OpKind::Other, res.timeout_s, "res:timeout-wait");
                 comm.mark("res:timeout");
                 None
             } else {
@@ -338,7 +338,7 @@ fn engine(
                 let backoff = res.backoff(attempts);
                 attempts += 1;
                 if backoff > 0.0 {
-                    comm.advance(OpKind::Other, backoff);
+                    comm.advance_labeled(OpKind::Other, backoff, "res:backoff");
                 }
                 comm.mark("res:retransmit");
                 let frame = encode_frame(data_kind_byte(o.kind), attempts, tag, &o.payload);

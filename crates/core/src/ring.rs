@@ -55,7 +55,7 @@ pub(crate) fn ring_forward_resilient(
             comm,
             res,
             right,
-            TAG_AG + s as u64,
+            seg_tag(TAG_AG, s, 0),
             payload,
             kind,
             logical,

@@ -416,10 +416,18 @@ impl Comm {
     /// Advance the virtual clock without running anything (e.g. a cost known
     /// analytically).
     pub fn advance(&mut self, kind: OpKind, secs: f64) {
+        self.advance_labeled(kind, secs, "advance");
+    }
+
+    /// [`Comm::advance`] with an explicit flight-recorder label, so analytic
+    /// charges stay distinguishable in traces and the critical-path report
+    /// (e.g. `"res:timeout-wait"` vs a generic `"advance"`). Labels must be
+    /// static so the disabled-tracing path stays allocation-free.
+    pub fn advance_labeled(&mut self, kind: OpKind, secs: f64, label: &'static str) {
         let t = self.clock;
         self.clock += secs;
         self.breakdown.charge(kind, secs);
-        self.record(|| Event::Compute { t, kind, bytes: 0, secs, label: "advance" });
+        self.record(|| Event::Compute { t, kind, bytes: 0, secs, label });
     }
 
     /// Drop a zero-duration marker on the flight recorder (e.g.

@@ -20,6 +20,9 @@
 //! Chrome-trace/Perfetto and ASCII Gantt exporters, and [`metrics`] turns a
 //! run into counters + log2-bucketed histograms with Prometheus-text and
 //! JSON renderings ([`json`] is the hand-rolled JSON layer both use).
+//! [`critpath`] reconstructs the causal DAG of a traced run and extracts
+//! the end-to-end critical path with per-event slack, so breakdowns can be
+//! read as "what actually gated the makespan" rather than mere totals.
 //!
 //! ```
 //! use netsim::{Cluster, OpKind};
@@ -41,6 +44,7 @@ pub mod breakdown;
 pub mod cluster;
 pub mod comm;
 pub mod config;
+pub mod critpath;
 pub mod faults;
 pub mod json;
 pub mod metrics;
@@ -50,6 +54,7 @@ pub use breakdown::Breakdown;
 pub use cluster::{Cluster, RankOutcome, RankPanic, RunStats};
 pub use comm::{Comm, RecvMsg};
 pub use config::{ComputeTiming, NetConfig, OpKind, ThroughputModel};
+pub use critpath::{CriticalPath, PathBuckets, PathElement, SpanKind, TagTime};
 pub use faults::{FaultKind, FaultPlan, LinkFault};
 pub use json::Json;
 pub use metrics::Registry;
@@ -452,9 +457,13 @@ mod tests {
         let p1 = fates[1].as_ref().unwrap_err();
         assert_eq!(p1.rank, 1);
         assert!(p1.message.contains("crashed by fault plan at send step 0"), "{}", p1.message);
+        // The survivors die observing the cascade. Which dead neighbour each
+        // one trips over first (the crashed rank or a fellow casualty) depends
+        // on thread scheduling, so only the fact of a crash observation is
+        // asserted here.
         for r in [0, 2] {
             let p = fates[r].as_ref().unwrap_err();
-            assert!(p.message.contains("observed crash of rank 1"), "rank {r}: {}", p.message);
+            assert!(p.message.contains("observed crash of rank"), "rank {r}: {}", p.message);
         }
     }
 

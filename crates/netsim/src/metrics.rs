@@ -54,6 +54,37 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `p`-quantile (`p` in `[0, 1]`) by linear interpolation
+    /// inside the owning log2 bucket: bucket `e` holds observations in
+    /// `(2^(e-1), 2^e]`, so the estimate walks the cumulative counts to the
+    /// target rank `p·count` and interpolates between the bucket bounds.
+    /// Exact for the zeros bucket; within one octave otherwise — the right
+    /// fidelity for "did p99 regress" questions. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = p.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = self.zeros as f64;
+        if target <= seen {
+            return 0.0;
+        }
+        for (e, c) in &self.buckets {
+            let next = seen + *c as f64;
+            if target <= next {
+                let lo = if *e <= -64 { 0.0 } else { 2f64.powi(e - 1) };
+                let hi = 2f64.powi(*e);
+                let frac = (target - seen) / *c as f64;
+                return lo + (hi - lo) * frac;
+            }
+            seen = next;
+        }
+        // numerically unreachable unless rounding pushed the target past the
+        // last bucket; clamp to its upper bound
+        self.buckets.keys().next_back().map_or(0.0, |e| 2f64.powi(*e))
+    }
+
     /// Cumulative `(le, count)` pairs in Prometheus order (upper bound of
     /// each occupied power-of-two bucket, then `+Inf` = `count`).
     pub fn cumulative(&self) -> Vec<(f64, u64)> {
@@ -170,6 +201,8 @@ impl Registry {
                 self.add(&format!("hz_op_seconds{{kind=\"{}\"}}", kind.name()), secs);
             }
             self.add("hz_mpi_wait_seconds", b.mpi);
+            // per-rank end-to-end latency distribution (p50/p99 source)
+            self.observe("hz_collective_latency_seconds", o.elapsed);
             let Some(trace) = &o.trace else { continue };
             for ev in &trace.events {
                 match *ev {
@@ -244,6 +277,10 @@ impl Registry {
             }
             out.push_str(&format!("{base}_sum {}\n", h.sum));
             out.push_str(&format!("{base}_count {}\n", h.count));
+            // interpolated quantiles as derived samples (see
+            // [`Histogram::quantile`] for the fidelity contract)
+            out.push_str(&format!("{base}_p50 {}\n", h.quantile(0.5)));
+            out.push_str(&format!("{base}_p99 {}\n", h.quantile(0.99)));
         }
         out
     }
@@ -281,6 +318,8 @@ impl Registry {
                         Json::obj(vec![
                             ("count", Json::Num(h.count as f64)),
                             ("sum", Json::Num(h.sum)),
+                            ("p50", Json::Num(h.quantile(0.5))),
+                            ("p99", Json::Num(h.quantile(0.99))),
                             ("buckets", Json::Arr(buckets)),
                         ]),
                     )
@@ -382,6 +421,31 @@ mod tests {
         let cum = hc.cumulative();
         assert!(cum.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1), "{cum:?}");
         assert_eq!(cum.last().unwrap(), &(f64::INFINITY, 2));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile(0.5), 0.0);
+
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.observe(v); // one observation per bucket e = 0..=3
+        }
+        // rank 2 of 4 lands on the upper edge of bucket e=1
+        assert!((h.quantile(0.5) - 2.0).abs() < 1e-12);
+        assert!((h.quantile(1.0) - 8.0).abs() < 1e-12);
+        // monotone in p
+        let q: Vec<f64> = (0..=10).map(|i| h.quantile(i as f64 / 10.0)).collect();
+        assert!(q.windows(2).all(|w| w[0] <= w[1]), "{q:?}");
+
+        // zeros dominate the median but not the tail
+        let mut z = Histogram::default();
+        z.observe(0.0);
+        z.observe(0.0);
+        z.observe(4.0);
+        assert_eq!(z.quantile(0.5), 0.0);
+        assert!(z.quantile(0.99) > 2.0);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::breakdown::Breakdown;
 use crate::cluster::RankOutcome;
 use crate::config::OpKind;
+use crate::critpath::{CriticalPath, SpanKind};
 use crate::faults::FaultKind;
 use crate::json::Json;
 
@@ -202,9 +203,20 @@ pub fn take_traces<R>(outcomes: Vec<RankOutcome<R>>) -> (Vec<R>, Vec<RankTrace>)
 
 /// Export traces as Chrome trace-event JSON (the format `chrome://tracing`
 /// and [Perfetto](https://ui.perfetto.dev) load). One *pid* per rank; every
-/// recorded event becomes one `traceEvents` entry ("X" complete events),
-/// plus one `process_name` metadata entry per rank.
+/// recorded duration becomes one `traceEvents` entry ("X" complete events),
+/// plus one `process_name` metadata entry per rank. [`Event::Fault`]s and the
+/// resilient transport's zero-duration `res:*` markers render as **instant
+/// events** (`ph: "i"`) under their own `fault` / `resilience` categories,
+/// so chaos runs are visually debuggable rather than merely countable.
 pub fn chrome_trace(traces: &[RankTrace]) -> String {
+    chrome_trace_with(traces, None)
+}
+
+/// [`chrome_trace`] with an optional critical-path overlay: every rank event
+/// gains a `slack` argument (seconds it could slip without growing the
+/// makespan) and the extracted path is rendered as a synthetic extra process
+/// so the binding chain reads left-to-right across ranks in the viewer.
+pub fn chrome_trace_with(traces: &[RankTrace], critpath: Option<&CriticalPath>) -> String {
     let us = |secs: f64| Json::Num(secs * 1e6);
     let mut events = Vec::new();
     for trace in traces {
@@ -216,8 +228,38 @@ pub fn chrome_trace(traces: &[RankTrace]) -> String {
             ("tid", Json::Num(0.0)),
             ("args", Json::obj(vec![("name", Json::Str(format!("rank {}", trace.rank)))])),
         ]));
-        for ev in &trace.events {
-            let (name, cat, args) = match *ev {
+        for (idx, ev) in trace.events.iter().enumerate() {
+            // zero-cost annotations (injected faults, res:* markers) become
+            // instant events with a dedicated category
+            let instant = match *ev {
+                Event::Fault { kind, to, tag, detail, .. } => Some((
+                    format!("fault:{}", kind.name()),
+                    "fault",
+                    Json::obj(vec![
+                        ("to", Json::Num(to as f64)),
+                        ("tag", Json::Num(tag as f64)),
+                        ("detail", Json::Num(detail)),
+                    ]),
+                )),
+                Event::Compute { secs, label, .. } if secs == 0.0 && label.starts_with("res:") => {
+                    Some((label.to_string(), "resilience", Json::obj(vec![])))
+                }
+                _ => None,
+            };
+            if let Some((name, cat, args)) = instant {
+                events.push(Json::obj(vec![
+                    ("name", Json::Str(name)),
+                    ("cat", Json::Str(cat.into())),
+                    ("ph", Json::Str("i".into())),
+                    ("ts", us(ev.start())),
+                    ("s", Json::Str("t".into())),
+                    ("pid", Json::Num(pid)),
+                    ("tid", Json::Num(0.0)),
+                    ("args", args),
+                ]));
+                continue;
+            }
+            let (name, cat, mut args) = match *ev {
                 Event::Send { to, tag, wire_bytes, logical_bytes, .. } => (
                     format!("send\u{2192}{to}"),
                     "send",
@@ -242,22 +284,71 @@ pub fn chrome_trace(traces: &[RankTrace]) -> String {
                     kind.name(),
                     Json::obj(vec![("bytes", Json::Num(bytes as f64))]),
                 ),
-                Event::Fault { kind, to, tag, detail, .. } => (
-                    format!("fault:{}", kind.name()),
-                    "fault",
-                    Json::obj(vec![
-                        ("to", Json::Num(to as f64)),
-                        ("tag", Json::Num(tag as f64)),
-                        ("detail", Json::Num(detail)),
-                    ]),
-                ),
+                Event::Fault { .. } => unreachable!("faults render as instant events"),
             };
+            if let Some(cp) = critpath {
+                let slack =
+                    cp.slack.get(trace.rank).and_then(|s| s.get(idx)).copied().unwrap_or(0.0);
+                if let Json::Obj(fields) = &mut args {
+                    fields.push(("slack".into(), Json::Num(slack)));
+                }
+            }
             events.push(Json::obj(vec![
                 ("name", Json::Str(name)),
                 ("cat", Json::Str(cat.into())),
                 ("ph", Json::Str("X".into())),
                 ("ts", us(ev.start())),
                 ("dur", us(ev.duration())),
+                ("pid", Json::Num(pid)),
+                ("tid", Json::Num(0.0)),
+                ("args", args),
+            ]));
+        }
+    }
+    if let Some(cp) = critpath {
+        let pid = traces.len() as f64;
+        events.push(Json::obj(vec![
+            ("name", Json::Str("process_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::Num(pid)),
+            ("tid", Json::Num(0.0)),
+            ("args", Json::obj(vec![("name", Json::Str("critical path".into()))])),
+        ]));
+        for el in &cp.elements {
+            let (name, args) = match el.span {
+                SpanKind::Compute { rank, kind, label } => (
+                    if label.is_empty() { kind.name().to_string() } else { label.to_string() },
+                    Json::obj(vec![("rank", Json::Num(rank as f64))]),
+                ),
+                SpanKind::Inject { rank, to, tag } => (
+                    format!("alpha\u{2192}{to}"),
+                    Json::obj(vec![
+                        ("rank", Json::Num(rank as f64)),
+                        ("tag", Json::Num(tag as f64)),
+                    ]),
+                ),
+                SpanKind::Wire { from, to, tag, ser_secs, jitter_secs } => (
+                    format!("wire {from}\u{2192}{to}"),
+                    Json::obj(vec![
+                        ("tag", Json::Num(tag as f64)),
+                        ("ser_secs", Json::Num(ser_secs)),
+                        ("jitter_secs", Json::Num(jitter_secs)),
+                    ]),
+                ),
+                SpanKind::Wait { rank, from, tag } => (
+                    format!("wait\u{2190}{from}"),
+                    Json::obj(vec![
+                        ("rank", Json::Num(rank as f64)),
+                        ("tag", Json::Num(tag as f64)),
+                    ]),
+                ),
+            };
+            events.push(Json::obj(vec![
+                ("name", Json::Str(name)),
+                ("cat", Json::Str("critical".into())),
+                ("ph", Json::Str("X".into())),
+                ("ts", us(el.start)),
+                ("dur", us(el.secs())),
                 ("pid", Json::Num(pid)),
                 ("tid", Json::Num(0.0)),
                 ("args", args),

@@ -10,6 +10,7 @@
 //! hzc check <in.f32> <stream.fzl>                  verify the error bound
 //! hzc sim <op> [--ranks N] [--mb M] [--variant V]  run a simulated collective
 //! hzc tune [--ranks L] [--sizes-kb L] [--out F]    offline autotune sweep
+//! hzc bench [--quick] [--against baseline.json]    deterministic perf suite
 //! ```
 //!
 //! `.f32` files are raw little-endian floats (the SDRBench layout); `<app>`
@@ -19,6 +20,8 @@ use datasets::{App, Quality};
 use fzlight::{CompressedStream, Config, ErrorBound, StreamStats};
 use std::path::Path;
 use std::process::ExitCode;
+
+mod bench_cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,7 +47,11 @@ const USAGE: &str = "usage:
   hzc sim <allreduce|reduce_scatter|reduce|bcast> [--ranks N] [--mb M | --kb K]
           [--variant hz|ccoll|mpi|rd|auto] [--eb E] [--threads T] [--segments S]
           [--app A] [--seed S] [--cache state.json] [--trace out.json]
-          [--metrics] [--width W]
+          [--metrics] [--width W] [--critical-path] [--slack]
+  hzc bench [--quick] [--out F] [--against baseline.json] [--tol-time R]
+          [--tol-bytes R] [--seed S] [--eb E] [--app A] [--ops L] [--variants L]
+          [--ranks-list L] [--sizes-kb L] [--segments-list L] [--no-fault]
+          deterministic perf suite; nonzero exit on regression vs baseline
   hzc tune [--ops L] [--ranks L] [--sizes-kb L] [--eb E] [--app A] [--seed S]
           [--out state.json]   (L = comma-separated list, e.g. 8,64)
   hzc chaos [--seed S] [--ranks N] [--kb K] [--eb E] [--drop P[,P..]]
@@ -65,6 +72,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "sim" => sim(rest),
         "tune" => tune(rest),
         "chaos" => chaos(rest),
+        "bench" => bench_cmd::bench(rest),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -344,6 +352,8 @@ fn sim(args: &[String]) -> Result<(), String> {
     let cache_path: Option<String> = flag(rest, "--cache")?;
     let trace_out: Option<String> = flag(rest, "--trace")?;
     let want_metrics = has_flag(rest, "--metrics");
+    let want_critpath = has_flag(rest, "--critical-path");
+    let want_slack = has_flag(rest, "--slack");
     let width: usize = flag(rest, "--width")?.unwrap_or(100);
 
     // The tuner engine for --variant auto: loaded from --cache when the file
@@ -366,10 +376,9 @@ fn sim(args: &[String]) -> Result<(), String> {
 
     let cfg = CollectiveConfig::new(eb, mode);
     let timing = ComputeTiming::Modeled(hzccl::paper_model(variant.timing_variant(), mode));
-    let cluster = Cluster::new(ranks)
-        .with_net(netsim::NetConfig::default())
-        .with_timing(timing)
-        .with_trace(TraceConfig::default());
+    let net = netsim::NetConfig::default();
+    let cluster =
+        Cluster::new(ranks).with_net(net).with_timing(timing).with_trace(TraceConfig::default());
     let outcomes = cluster.run(|comm| {
         let data = &fields[comm.rank()];
         match variant {
@@ -412,8 +421,12 @@ fn sim(args: &[String]) -> Result<(), String> {
         total += o.breakdown;
         makespan = makespan.max(o.elapsed);
     }
+    let field_desc = match kb {
+        Some(k) => format!("{k} KiB/rank"),
+        None => format!("{mb} MiB/rank"),
+    };
     println!(
-        "sim {op}: variant={} ranks={ranks} field={mb} MiB/rank eb={eb:e} mode={mode:?} segments={segments}",
+        "sim {op}: variant={} ranks={ranks} field={field_desc} eb={eb:e} mode={mode:?} segments={segments}",
         variant.label()
     );
 
@@ -459,6 +472,16 @@ fn sim(args: &[String]) -> Result<(), String> {
     println!();
     println!("{}", trace::ascii_timeline(&traces, width));
 
+    // --- causal critical-path analysis --------------------------------------
+    let critpath =
+        (want_critpath || want_slack).then(|| netsim::CriticalPath::analyze(&traces, &net));
+    if let Some(cp) = critpath.as_ref().filter(|_| want_critpath) {
+        print_critical_path(cp, makespan);
+    }
+    if let Some(cp) = critpath.as_ref().filter(|_| want_slack) {
+        print_slack(cp, &traces);
+    }
+
     if want_metrics {
         println!(
             "{}",
@@ -471,10 +494,147 @@ fn sim(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = trace_out {
-        std::fs::write(&path, trace::chrome_trace(&traces)).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote Chrome trace to {path} (load in Perfetto / chrome://tracing)");
+        let json = trace::chrome_trace_with(&traces, critpath.as_ref());
+        std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote Chrome trace to {path} (load in Perfetto / chrome://tracing{})",
+            if critpath.is_some() { "; includes the critical-path overlay" } else { "" }
+        );
     }
     Ok(())
+}
+
+/// Render the critical-path composition: cost buckets, per-rank share, and
+/// the communication time folded per collective phase/step via
+/// [`hzccl::decode_tag`].
+fn print_critical_path(cp: &netsim::CriticalPath, makespan: f64) {
+    println!();
+    println!(
+        "critical path: {:.6} s over {} span(s) (makespan {:.6} s, residual {:.1e})",
+        cp.length,
+        cp.elements.len(),
+        makespan,
+        (cp.length - makespan).abs()
+    );
+    println!();
+    println!("{:<14} {:>14} {:>8}", "path bucket", "seconds", "share");
+    for (name, secs) in cp.buckets.entries() {
+        if secs == 0.0 {
+            continue;
+        }
+        println!("{name:<14} {secs:>14.6} {:>7.2}%", secs * 100.0 / cp.length);
+    }
+    println!("{:<14} {:>14.6} {:>7.2}%", "total", cp.buckets.total(), 100.0);
+
+    println!();
+    println!("{:<8} {:>14} {:>8}", "rank", "path s", "share");
+    for (rank, secs) in cp.per_rank.iter().enumerate() {
+        if *secs == 0.0 {
+            continue;
+        }
+        println!("r{rank:<7} {secs:>14.6} {:>7.2}%", secs * 100.0 / cp.length);
+    }
+
+    // communication on the path, folded per collective phase/step/segment
+    use std::collections::BTreeMap;
+    let mut by_phase: BTreeMap<String, (u64, f64, f64, f64)> = BTreeMap::new();
+    for (tag, t) in &cp.by_tag {
+        let key = match hzccl::decode_tag(*tag) {
+            Some(info) => {
+                let ctrl = if info.ctrl { " (ctrl)" } else { "" };
+                format!("{} step {:>3} seg {:>2}{ctrl}", info.phase, info.step, info.seg)
+            }
+            None => format!("tag {tag}"),
+        };
+        let e = by_phase.entry(key).or_default();
+        e.0 += t.hops;
+        e.1 += t.alpha;
+        e.2 += t.wire;
+        e.3 += t.jitter;
+    }
+    if !by_phase.is_empty() {
+        println!();
+        println!(
+            "{:<26} {:>5} {:>12} {:>12} {:>12}",
+            "phase/step/segment", "hops", "alpha s", "wire s", "jitter s"
+        );
+        for (key, (hops, alpha, wire, jitter)) in &by_phase {
+            println!("{key:<26} {hops:>5} {alpha:>12.6} {wire:>12.6} {jitter:>12.6}");
+        }
+    }
+
+    // compute on the path, by pipeline-step label
+    if !cp.by_label.is_empty() {
+        println!();
+        println!("{:<26} {:>14}", "compute label", "path s");
+        for (label, secs) in &cp.by_label {
+            println!("{label:<26} {secs:>14.6}");
+        }
+    }
+}
+
+/// Render the slack view: how far each rank's schedule is from the path,
+/// and which off-path events are nearly critical.
+fn print_slack(cp: &netsim::CriticalPath, traces: &[netsim::RankTrace]) {
+    println!();
+    println!(
+        "slack: {:.1}% of events within 1 µs of critical ({:.1}% within 1 ns)",
+        cp.critical_fraction(1e-6) * 100.0,
+        cp.critical_fraction(1e-9) * 100.0
+    );
+    println!();
+    println!(
+        "{:<8} {:>8} {:>10} {:>14} {:>14}",
+        "rank", "events", "critical", "min>0 slack", "max slack"
+    );
+    for (rank, slacks) in cp.slack.iter().enumerate() {
+        let critical = slacks.iter().filter(|&&s| s <= 1e-9).count();
+        let min_pos = slacks.iter().copied().filter(|&s| s > 1e-9).fold(f64::INFINITY, f64::min);
+        let max = slacks.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "r{rank:<7} {:>8} {:>10} {:>14} {:>14}",
+            slacks.len(),
+            critical,
+            if min_pos.is_finite() { format!("{min_pos:.3e}") } else { "-".into() },
+            format!("{max:.3e}"),
+        );
+    }
+    // the nearest-miss events: smallest positive slack across all ranks
+    let mut near: Vec<(f64, usize, usize)> = Vec::new();
+    for (rank, slacks) in cp.slack.iter().enumerate() {
+        for (idx, &s) in slacks.iter().enumerate() {
+            if s > 1e-9 {
+                near.push((s, rank, idx));
+            }
+        }
+    }
+    near.sort_by(|a, b| a.0.total_cmp(&b.0));
+    if !near.is_empty() {
+        println!();
+        println!("nearest to critical:");
+        for &(s, rank, idx) in near.iter().take(8) {
+            println!(
+                "  r{rank} event {idx} ({}) slack {s:.3e} s",
+                event_name(&traces[rank].events[idx])
+            );
+        }
+    }
+}
+
+/// Short human label for one trace event (slack listing).
+fn event_name(ev: &netsim::Event) -> String {
+    match ev {
+        netsim::Event::Compute { kind, label, .. } => {
+            if label.is_empty() {
+                kind.name().to_string()
+            } else {
+                (*label).to_string()
+            }
+        }
+        netsim::Event::Send { to, tag, .. } => format!("send->r{to} tag {tag}"),
+        netsim::Event::Recv { from, tag, .. } => format!("recv<-r{from} tag {tag}"),
+        netsim::Event::Fault { kind, .. } => format!("fault:{}", kind.name()),
+    }
 }
 
 /// Run one auto collective on a rank and return the decider's detail.

@@ -1,0 +1,150 @@
+//! Integration tests for `hzc bench`, driving the real binary end to end:
+//! deterministic snapshots, clean self-diffs, and nonzero exit on a doctored
+//! baseline.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hzc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hzc"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hzc_bench_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A deliberately tiny sweep so the binary-level tests stay fast: one op,
+/// two variants, 4 ranks, 16 KiB, serial only, no fault case.
+const TINY: [&str; 10] = [
+    "bench",
+    "--ops",
+    "allreduce",
+    "--variants",
+    "mpi,hz",
+    "--ranks-list",
+    "4",
+    "--sizes-kb",
+    "16",
+    "--no-fault",
+];
+
+fn tiny_args(out: &std::path::Path) -> Vec<String> {
+    let mut v: Vec<String> = TINY.iter().map(|s| s.to_string()).collect();
+    v.push("--segments-list".into());
+    v.push("1".into());
+    v.push("--out".into());
+    v.push(out.to_str().unwrap().into());
+    v
+}
+
+#[test]
+fn bench_is_bit_deterministic_across_runs() {
+    let dir = tmpdir("determinism");
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    for out in [&a, &b] {
+        let res = hzc().args(tiny_args(out)).output().unwrap();
+        assert!(res.status.success(), "{}", String::from_utf8_lossy(&res.stderr));
+    }
+    let bytes_a = std::fs::read(&a).unwrap();
+    let bytes_b = std::fs::read(&b).unwrap();
+    assert!(!bytes_a.is_empty());
+    assert_eq!(bytes_a, bytes_b, "two runs of the same suite must be byte-identical");
+}
+
+#[test]
+fn self_diff_is_clean_and_doctored_baseline_regresses() {
+    let dir = tmpdir("diff");
+    let base = dir.join("base.json");
+    let res = hzc().args(tiny_args(&base)).output().unwrap();
+    assert!(res.status.success(), "{}", String::from_utf8_lossy(&res.stderr));
+
+    // Same suite against its own snapshot: zero regressions, exit 0.
+    let rerun = dir.join("rerun.json");
+    let mut args = tiny_args(&rerun);
+    args.push("--against".into());
+    args.push(base.to_str().unwrap().into());
+    let res = hzc().args(&args).output().unwrap();
+    assert!(res.status.success(), "{}", String::from_utf8_lossy(&res.stderr));
+    let stdout = String::from_utf8_lossy(&res.stdout);
+    assert!(stdout.contains("no regressions"), "{stdout}");
+
+    // Shrink every baseline time by 10x: every case now "regresses" and the
+    // exit code must be nonzero with the offenders listed.
+    let doctored_text = std::fs::read_to_string(&base)
+        .unwrap()
+        .lines()
+        .map(|line| match line.find("\"virtual_secs\":") {
+            Some(i) if line.contains("\"id\"") => {
+                let tail = &line[i + "\"virtual_secs\":".len()..];
+                let end = tail.find(',').unwrap();
+                let v: f64 = tail[..end].parse().unwrap();
+                format!("{}\"virtual_secs\":{:e}{}", &line[..i], v / 10.0, &tail[end..])
+            }
+            _ => line.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let doctored = dir.join("doctored.json");
+    std::fs::write(&doctored, doctored_text).unwrap();
+
+    let rerun2 = dir.join("rerun2.json");
+    let mut args = tiny_args(&rerun2);
+    args.push("--against".into());
+    args.push(doctored.to_str().unwrap().into());
+    let res = hzc().args(&args).output().unwrap();
+    assert!(!res.status.success(), "a 10x slowdown vs baseline must fail the check");
+    assert_eq!(res.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&res.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("regression(s)"), "{stdout}");
+}
+
+#[test]
+fn bench_refuses_future_schema_baselines() {
+    let dir = tmpdir("schema");
+    let base = dir.join("base.json");
+    let res = hzc().args(tiny_args(&base)).output().unwrap();
+    assert!(res.status.success(), "{}", String::from_utf8_lossy(&res.stderr));
+    let future = std::fs::read_to_string(&base)
+        .unwrap()
+        .replace("\"schema_version\":1,", "\"schema_version\":999,");
+    let future_path = dir.join("future.json");
+    std::fs::write(&future_path, future).unwrap();
+
+    let rerun = dir.join("rerun.json");
+    let mut args = tiny_args(&rerun);
+    args.push("--against".into());
+    args.push(future_path.to_str().unwrap().into());
+    let res = hzc().args(&args).output().unwrap();
+    assert!(!res.status.success(), "an unknown baseline schema must be refused");
+    let stderr = String::from_utf8_lossy(&res.stderr);
+    assert!(stderr.contains("schema"), "{stderr}");
+}
+
+#[test]
+fn sim_critical_path_reports_a_tiled_path() {
+    let out = hzc()
+        .args([
+            "sim",
+            "allreduce",
+            "--variant",
+            "hz",
+            "--ranks",
+            "4",
+            "--kb",
+            "64",
+            "--critical-path",
+            "--slack",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("critical path"), "{stdout}");
+    assert!(stdout.contains("residual"), "{stdout}");
+    assert!(stdout.contains("path bucket"), "{stdout}");
+    assert!(stdout.contains("slack"), "{stdout}");
+}

@@ -271,6 +271,8 @@ hz_message_wire_bytes_bucket{le=\"4\"} 3
 hz_message_wire_bytes_bucket{le=\"+Inf\"} 3
 hz_message_wire_bytes_sum 7
 hz_message_wire_bytes_count 3
+hz_message_wire_bytes_p50 2.5
+hz_message_wire_bytes_p99 3.9699999999999998
 ";
     assert_eq!(r.render_prometheus(), expect);
 
