@@ -321,6 +321,7 @@ mod tests {
                 kb: 4,
                 segments: 1,
                 faulted: false,
+                topology: None,
             },
             CaseSpec {
                 op: CollOp::ReduceScatter,
@@ -329,6 +330,7 @@ mod tests {
                 kb: 4,
                 segments: 2,
                 faulted: false,
+                topology: None,
             },
         ];
         let results = run_suite(&cases, &cfg, |_| {});

@@ -13,7 +13,7 @@
 
 use crate::{scaled_rank_fields, CollOp};
 use hzccl::{Mode, Resilience, Variant};
-use netsim::{Cluster, ComputeTiming, CriticalPath, FaultPlan, NetConfig, TraceConfig};
+use netsim::{Cluster, ComputeTiming, CriticalPath, FaultPlan, NetConfig, Topology, TraceConfig};
 
 /// Shared inputs of every case in a suite run.
 #[derive(Debug, Clone)]
@@ -49,6 +49,11 @@ pub struct CaseSpec {
     pub segments: usize,
     /// Runs under a seeded fault plan with the resilient transport on.
     pub faulted: bool,
+    /// `(nodes, ranks-per-node)` of a paper two-tier fabric
+    /// ([`Topology::paper`]): the cluster and the collective both see it, so
+    /// hierarchical schedules engage. `None` = the flat single-tier network
+    /// (every pre-existing case, whose numbers must stay bit-identical).
+    pub topology: Option<(usize, usize)>,
 }
 
 impl CaseSpec {
@@ -62,6 +67,9 @@ impl CaseSpec {
             self.kb,
             self.segments
         );
+        if let Some((nodes, ppn)) = self.topology {
+            id.push_str(&format!("/t{nodes}x{ppn}"));
+        }
         if self.faulted {
             id.push_str("-faulted");
         }
@@ -109,31 +117,85 @@ pub struct CaseResult {
 
 /// The canonical paper-calibrated sweep backing `BENCH_results.json`:
 /// {allreduce, reduce_scatter} × {8, 64} ranks × {16, 256, 1024} KiB ×
-/// ({mpi, ccoll, hz} × {serial, S=8} + auto), plus one faulted resilient
-/// case. 85 cases.
+/// ({mpi, ccoll, hz} × {serial, S=8} + auto), then the two-tier topology
+/// cases ([`hierarchical_cases`]), plus one faulted resilient case.
+/// 97 cases. New case families are appended *before* the faulted closer so
+/// pre-existing snapshot lines stay byte-identical across suite growth.
 pub fn canonical_cases() -> Vec<CaseSpec> {
-    build_cases(
+    let mut cases = build_cases(
         &[CollOp::Allreduce, CollOp::ReduceScatter],
         &[Variant::Mpi, Variant::CColl, Variant::Hzccl, Variant::Auto],
         &[8, 64],
         &[16, 256, 1024],
         &[1, 8],
-        true,
-    )
+        false,
+    );
+    cases.extend(hierarchical_cases(false));
+    cases.push(fault_case());
+    cases
 }
 
-/// The CI smoke subset: 8 ranks, {16, 256} KiB, every variant, plus the
-/// faulted case. A strict subset of [`canonical_cases`] by id, so
-/// `--against` the canonical baseline compares every quick case.
+/// The CI smoke subset: 8 ranks, {16, 256} KiB, every variant, the small
+/// two-tier fabric, plus the faulted case. A strict subset of
+/// [`canonical_cases`] by id, so `--against` the canonical baseline
+/// compares every quick case.
 pub fn quick_cases() -> Vec<CaseSpec> {
-    build_cases(
+    let mut cases = build_cases(
         &[CollOp::Allreduce, CollOp::ReduceScatter],
         &[Variant::Mpi, Variant::CColl, Variant::Hzccl, Variant::Auto],
         &[8],
         &[16, 256],
         &[1, 8],
-        true,
-    )
+        false,
+    );
+    cases.extend(hierarchical_cases(true));
+    cases.push(fault_case());
+    cases
+}
+
+/// The two-tier topology sweep: hierarchical allreduce on paper fabrics
+/// ([`Topology::paper`]: intra-node links 10× faster than inter-node).
+/// The quick subset covers a small 4×2 fabric; the canonical sweep adds the
+/// paper-scale 8×8 fabric across every flavour (there the hierarchical hz
+/// schedule beats the flat hz ring — the headline win this suite pins).
+fn hierarchical_cases(quick: bool) -> Vec<CaseSpec> {
+    let mk = |variant, nodes: usize, ppn: usize, kb| CaseSpec {
+        op: CollOp::Allreduce,
+        variant,
+        ranks: nodes * ppn,
+        kb,
+        segments: 1,
+        faulted: false,
+        topology: Some((nodes, ppn)),
+    };
+    let mut out = Vec::new();
+    for kb in [16, 256] {
+        for v in [Variant::Hzccl, Variant::Auto] {
+            out.push(mk(v, 4, 2, kb));
+        }
+    }
+    if !quick {
+        for kb in [256, 1024] {
+            for v in [Variant::Mpi, Variant::CColl, Variant::Hzccl, Variant::Auto] {
+                out.push(mk(v, 8, 8, kb));
+            }
+        }
+    }
+    out
+}
+
+/// The fixed faulted closer of every suite: hz allreduce, 8 ranks, 64 KiB,
+/// serial, drop 2% + corrupt 1%, resilient transport on.
+fn fault_case() -> CaseSpec {
+    CaseSpec {
+        op: CollOp::Allreduce,
+        variant: Variant::Hzccl,
+        ranks: 8,
+        kb: 64,
+        segments: 1,
+        faulted: true,
+        topology: None,
+    }
 }
 
 /// Constructive case enumeration (the CLI's `--ops/--variants/--ranks-list/
@@ -157,25 +219,34 @@ pub fn build_cases(
             for &ranks in ranks_list {
                 for &kb in sizes_kb {
                     if variant == Variant::Auto {
-                        out.push(CaseSpec { op, variant, ranks, kb, segments: 1, faulted: false });
+                        out.push(CaseSpec {
+                            op,
+                            variant,
+                            ranks,
+                            kb,
+                            segments: 1,
+                            faulted: false,
+                            topology: None,
+                        });
                         continue;
                     }
                     for &segments in segments_list {
-                        out.push(CaseSpec { op, variant, ranks, kb, segments, faulted: false });
+                        out.push(CaseSpec {
+                            op,
+                            variant,
+                            ranks,
+                            kb,
+                            segments,
+                            faulted: false,
+                            topology: None,
+                        });
                     }
                 }
             }
         }
     }
     if include_fault && ops.contains(&CollOp::Allreduce) && variants.contains(&Variant::Hzccl) {
-        out.push(CaseSpec {
-            op: CollOp::Allreduce,
-            variant: Variant::Hzccl,
-            ranks: 8,
-            kb: 64,
-            segments: 1,
-            faulted: true,
-        });
+        out.push(fault_case());
     }
     out
 }
@@ -188,6 +259,7 @@ pub fn run_case(spec: &CaseSpec, cfg: &SuiteConfig) -> CaseResult {
 
     let timing =
         ComputeTiming::Modeled(hzccl::paper_model(spec.timing_variant(), Mode::SingleThread));
+    let topo = spec.topology.map(|(nodes, ppn)| Topology::paper(nodes, ppn));
     let mut cluster = Cluster::new(spec.ranks)
         .with_net(cfg.net)
         .with_timing(timing)
@@ -195,12 +267,18 @@ pub fn run_case(spec: &CaseSpec, cfg: &SuiteConfig) -> CaseResult {
     if spec.faulted {
         cluster = cluster.with_faults(FaultPlan::new(cfg.seed).with_drop(0.02).with_corrupt(0.01));
     }
+    if let Some(t) = topo {
+        cluster = cluster.with_topology(t);
+    }
 
     let mut opts = hzccl::collectives::CollectiveOpts::for_variant(spec.variant, cfg.eb)
         .with_mode(Mode::SingleThread)
         .with_segments(spec.segments);
     if spec.faulted {
         opts = opts.with_resilience(Resilience::default());
+    }
+    if let Some(t) = topo {
+        opts = opts.with_topology(t);
     }
     let op = spec.op;
     let outcomes = cluster.run(|comm| {
@@ -239,7 +317,7 @@ pub fn run_case(spec: &CaseSpec, cfg: &SuiteConfig) -> CaseResult {
             }
         }
     }
-    let critpath = CriticalPath::analyze(&traces, &cfg.net);
+    let critpath = CriticalPath::analyze_with_topology(&traces, &cfg.net, topo.as_ref());
 
     CaseResult {
         spec: spec.clone(),
@@ -286,9 +364,20 @@ mod tests {
     #[test]
     fn case_counts_match_the_documented_sweep() {
         // 2 ops x (3 static variants x 2 segment counts + auto) x 2 ranks x
-        // 3 sizes + 1 faulted
-        assert_eq!(canonical_cases().len(), 2 * 7 * 2 * 3 + 1);
-        assert_eq!(quick_cases().len(), 2 * 7 * 2 + 1);
+        // 3 sizes + 12 two-tier topology cases + 1 faulted
+        assert_eq!(canonical_cases().len(), 2 * 7 * 2 * 3 + 12 + 1);
+        assert_eq!(quick_cases().len(), 2 * 7 * 2 + 4 + 1);
+        // the faulted closer stays last, so pre-topology snapshot lines
+        // (including the final-line comma) never move
+        assert!(canonical_cases().last().unwrap().faulted);
+        assert!(quick_cases().last().unwrap().faulted);
+    }
+
+    #[test]
+    fn topology_cases_carry_the_tier_suffix_in_their_id() {
+        let cases = canonical_cases();
+        assert!(cases.iter().any(|c| c.id() == "allreduce/hz/r64/kb1024/s1/t8x8"));
+        assert!(cases.iter().any(|c| c.id() == "allreduce/auto/r8/kb16/s1/t4x2"));
     }
 
     #[test]
@@ -301,6 +390,7 @@ mod tests {
             kb: 8,
             segments: 2,
             faulted: false,
+            topology: None,
         };
         let a = run_case(&spec, &cfg);
         let b = run_case(&spec, &cfg);
@@ -311,5 +401,27 @@ mod tests {
         let rel = (a.critpath.length - a.virtual_secs).abs() / a.virtual_secs;
         assert!(rel <= 1e-9, "path {} vs makespan {}", a.critpath.length, a.virtual_secs);
         assert!(a.latency_p99 >= a.latency_p50 && a.latency_p50 > 0.0);
+    }
+
+    #[test]
+    fn hierarchical_case_attributes_both_tiers_and_tiles_the_run() {
+        use netsim::LinkTier;
+        let cfg = SuiteConfig::default();
+        let spec = CaseSpec {
+            op: CollOp::Allreduce,
+            variant: Variant::Hzccl,
+            ranks: 8,
+            kb: 16,
+            segments: 1,
+            faulted: false,
+            topology: Some((4, 2)),
+        };
+        let r = run_case(&spec, &cfg);
+        let intra = r.critpath.by_tier[LinkTier::Intra.index()];
+        let inter = r.critpath.by_tier[LinkTier::Inter.index()];
+        assert!(intra.hops > 0 && inter.hops > 0, "path crosses both tiers");
+        assert_eq!(r.critpath.by_tier[LinkTier::Flat.index()].hops, 0);
+        let rel = (r.critpath.length - r.virtual_secs).abs() / r.virtual_secs;
+        assert!(rel <= 1e-9, "path {} vs makespan {}", r.critpath.length, r.virtual_secs);
     }
 }

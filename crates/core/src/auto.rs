@@ -9,10 +9,11 @@
 //!
 //! 1. a fixed **decider** rank (rank 0, or the root for rooted ops) probes
 //!    its own data, asks the engine for a [`Decision`], and
-//! 2. broadcasts the winning [`Plan`] in its fixed 12-byte wire encoding
+//! 2. broadcasts the winning [`Plan`] in its fixed 13-byte wire encoding
 //!    ([`Plan::encode`]) on the reserved [`TAG_PLAN`] tag, then
 //! 3. every rank dispatches to the chosen static implementation
-//!    ([`crate::mpi`] / [`crate::ccoll`] / [`crate::hz`] / [`crate::rd`]).
+//!    ([`crate::mpi`] / [`crate::ccoll`] / [`crate::hz`] / [`crate::rd`] /
+//!    [`crate::hierarchy`]).
 //!
 //! The probe compression is charged to the virtual clock as
 //! [`OpKind::Other`] (label `auto:probe`) and the plan broadcast is a real
@@ -20,9 +21,9 @@
 //! timelines instead of being smuggled in for free.
 
 use crate::config::{CollectiveConfig, Mode};
-use crate::{ccoll, hz, mpi, rd};
+use crate::{ccoll, hierarchy, hz, mpi, rd};
 use fzlight::{Config as FzConfig, ErrorBound, Result};
-use netsim::{Comm, OpKind};
+use netsim::{Comm, OpKind, Topology};
 use tuner::{Algo, Decision, Engine, Flavor, Op, Plan, ScenarioSpec, ThreadMode};
 
 /// Reserved tag namespace for the plan broadcast (ring uses `0/1<<32`,
@@ -97,7 +98,9 @@ fn probe_ratios(
 }
 
 /// Build the scenario the engine is asked about, probing `data` for its
-/// compressibility at every candidate block length.
+/// compressibility at every candidate block length. A `topology` puts the
+/// scenario in its own cache bucket and lets the engine offer hierarchical
+/// candidates.
 pub fn scenario(
     comm: &mut Comm,
     engine: &Engine,
@@ -105,16 +108,18 @@ pub fn scenario(
     elems: usize,
     data: &[f32],
     cfg: &CollectiveConfig,
+    topology: Option<&Topology>,
 ) -> ScenarioSpec {
     let ratios = probe_ratios(comm, data, cfg.eb, &engine.block_candidates, cfg.mode.threads());
-    ScenarioSpec { op, elems, nranks: comm.size(), eb: cfg.eb, ratios }
+    ScenarioSpec { op, elems, nranks: comm.size(), eb: cfg.eb, ratios, topology: topology.copied() }
 }
 
-/// Decide on `decider`, broadcast the 12-byte plan down a binomial tree
-/// (`ceil(log2 N)` latency rounds instead of the linear `N-1` a naive
-/// send-to-all would cost — at 64 ranks that is 6 alpha charges, not 63),
-/// decode everywhere. Returns the agreed plan plus the decider's
-/// `(scenario, decision)`.
+/// Decide on `decider`, broadcast the encoded plan (12 bytes, 13 for
+/// hierarchical plans) down a binomial tree (`ceil(log2 N)` latency rounds
+/// instead of the linear `N-1` a naive send-to-all would cost — at 64 ranks
+/// that is 6 alpha charges, not 63), decode everywhere. Returns the agreed
+/// plan plus the decider's `(scenario, decision)`.
+#[allow(clippy::too_many_arguments)] // the scenario probe's inputs plus decider + topology
 pub fn agree_on_plan(
     comm: &mut Comm,
     engine: &Engine,
@@ -123,15 +128,16 @@ pub fn agree_on_plan(
     data: &[f32],
     cfg: &CollectiveConfig,
     decider: usize,
+    topology: Option<&Topology>,
 ) -> (Plan, Option<(ScenarioSpec, Decision)>) {
     let n = comm.size();
     let r = comm.rank();
     // Position in the tree, relative to the decider (which sits at 0).
     let rel = (r + n - decider) % n;
     let (wire, detail) = if rel == 0 {
-        let spec = scenario(comm, engine, op, elems, data, cfg);
+        let spec = scenario(comm, engine, op, elems, data, cfg, topology);
         let decision = engine.decide(&spec);
-        (decision.plan.encode().to_vec(), Some((spec, decision)))
+        (decision.plan.encode(), Some((spec, decision)))
     } else {
         // parent strips the highest set bit of our relative id
         let parent_rel = rel - (1 << rel.ilog2());
@@ -154,14 +160,23 @@ pub fn agree_on_plan(
 
 /// Execute an already-agreed `Allreduce` plan (the zero-overhead path for
 /// iterative workloads that decided once and reuse the plan; see
-/// [`Session`]). Every rank must pass the *same* plan.
+/// [`Session`]). Every rank must pass the *same* plan. A hierarchical plan
+/// needs the `topology` it was decided for; without one it falls back to
+/// the flat schedule of the same flavour (correct, just not
+/// topology-shaped).
 pub fn allreduce_planned(
     comm: &mut Comm,
     data: &[f32],
     cfg: &CollectiveConfig,
     plan: &Plan,
+    topology: Option<&Topology>,
 ) -> Result<Vec<f32>> {
     let pcfg = cfg_for(plan, cfg);
+    if plan.hierarchical {
+        if let Some(topo) = topology.filter(|t| t.nranks() == comm.size()) {
+            return hierarchy::allreduce_hier(comm, data, plan.flavor, topo, &pcfg);
+        }
+    }
     Ok(match (plan.flavor, plan.algo) {
         (Flavor::Mpi, Algo::Ring) => {
             mpi::allreduce_impl(comm, data, pcfg.mode.threads(), plan.segments, None)
@@ -223,15 +238,19 @@ pub fn bcast_planned(
     })
 }
 
-/// Auto ring/rd `Allreduce(sum)`: rank 0 decides.
+/// Auto ring/rd `Allreduce(sum)`: rank 0 decides. On a two-tier `topology`
+/// the candidate pool additionally holds the hierarchical schedules, so the
+/// agreed plan may come back with [`Plan::hierarchical`] set.
 pub fn allreduce(
     comm: &mut Comm,
     data: &[f32],
     cfg: &CollectiveConfig,
     engine: &Engine,
+    topology: Option<&Topology>,
 ) -> Result<AutoOutcome<Vec<f32>>> {
-    let (plan, detail) = agree_on_plan(comm, engine, Op::Allreduce, data.len(), data, cfg, 0);
-    let value = allreduce_planned(comm, data, cfg, &plan)?;
+    let (plan, detail) =
+        agree_on_plan(comm, engine, Op::Allreduce, data.len(), data, cfg, 0, topology);
+    let value = allreduce_planned(comm, data, cfg, &plan, topology)?;
     Ok(AutoOutcome { value, plan, detail })
 }
 
@@ -242,7 +261,8 @@ pub fn reduce_scatter(
     cfg: &CollectiveConfig,
     engine: &Engine,
 ) -> Result<AutoOutcome<Vec<f32>>> {
-    let (plan, detail) = agree_on_plan(comm, engine, Op::ReduceScatter, data.len(), data, cfg, 0);
+    let (plan, detail) =
+        agree_on_plan(comm, engine, Op::ReduceScatter, data.len(), data, cfg, 0, None);
     let value = reduce_scatter_planned(comm, data, cfg, &plan)?;
     Ok(AutoOutcome { value, plan, detail })
 }
@@ -257,7 +277,7 @@ pub fn reduce(
     cfg: &CollectiveConfig,
     engine: &Engine,
 ) -> Result<AutoOutcome<Option<Vec<f32>>>> {
-    let (plan, detail) = agree_on_plan(comm, engine, Op::Reduce, data.len(), data, cfg, root);
+    let (plan, detail) = agree_on_plan(comm, engine, Op::Reduce, data.len(), data, cfg, root, None);
     let value = reduce_planned(comm, data, root, cfg, &plan)?;
     Ok(AutoOutcome { value, plan, detail })
 }
@@ -273,7 +293,7 @@ pub fn bcast(
     cfg: &CollectiveConfig,
     engine: &Engine,
 ) -> Result<AutoOutcome<Vec<f32>>> {
-    let (plan, detail) = agree_on_plan(comm, engine, Op::Bcast, total_len, data, cfg, root);
+    let (plan, detail) = agree_on_plan(comm, engine, Op::Bcast, total_len, data, cfg, root, None);
     let value = bcast_planned(comm, data, root, total_len, cfg, &plan)?;
     Ok(AutoOutcome { value, plan, detail })
 }
@@ -310,10 +330,10 @@ impl Session {
     ) -> Result<AutoOutcome<Vec<f32>>> {
         let key = Session::key(Op::Allreduce, data.len(), comm.size(), cfg.eb);
         if let Some(&plan) = self.plans.get(&key) {
-            let value = allreduce_planned(comm, data, cfg, &plan)?;
+            let value = allreduce_planned(comm, data, cfg, &plan, None)?;
             return Ok(AutoOutcome { value, plan, detail: None });
         }
-        let out = allreduce(comm, data, cfg, engine)?;
+        let out = allreduce(comm, data, cfg, engine, None)?;
         self.plans.insert(key, out.plan);
         Ok(out)
     }
@@ -375,7 +395,7 @@ mod tests {
         let cluster = Cluster::new(nranks).with_timing(modeled());
         let outcomes = cluster.run(|comm| {
             let data = field(comm.rank(), n);
-            allreduce(comm, &data, &cfg, &eng).expect("auto allreduce")
+            allreduce(comm, &data, &cfg, &eng, None).expect("auto allreduce")
         });
         // every rank executed the same plan …
         let plan = outcomes[0].value.plan;
@@ -404,11 +424,46 @@ mod tests {
         let cluster = Cluster::new(4).with_timing(modeled());
         let outcomes = cluster.run(|comm| {
             let data = field(comm.rank(), 256); // 1 KiB << small_message_bytes
-            allreduce(comm, &data, &cfg, &eng).expect("auto allreduce")
+            allreduce(comm, &data, &cfg, &eng, None).expect("auto allreduce")
         });
         assert_eq!(outcomes[0].value.plan.algo, Algo::Rd);
         let (_, d) = outcomes[0].value.detail.as_ref().unwrap();
         assert_eq!(d.source, DecisionSource::SmallMessage);
+    }
+
+    #[test]
+    fn auto_agrees_on_the_hierarchical_plan_on_a_two_tier_fabric() {
+        // paper 8x8 topology at 1 MiB: the engine's two-tier forms must win,
+        // every rank must execute the same hierarchical plan, and the result
+        // stays the error-bounded sum
+        let topo = Topology::paper(8, 8);
+        let n = 1 << 18;
+        let eb = 1e-4;
+        let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+        let eng = engine();
+        let cluster = Cluster::new(topo.nranks()).with_timing(modeled()).with_topology(topo);
+        let outcomes = cluster.run(|comm| {
+            let data = field(comm.rank(), n);
+            allreduce(comm, &data, &cfg, &eng, Some(&topo)).expect("auto allreduce")
+        });
+        let plan = outcomes[0].value.plan;
+        // the model is free to pick whichever flavour's hierarchy prices
+        // cheapest (at single-thread paper calibration the raw-summation
+        // table makes mpi's intra phases nearly free), but the schedule
+        // itself must be two-tier
+        assert!(plan.hierarchical, "expected a hierarchical plan, got {}", plan.label());
+        assert!(outcomes.iter().all(|o| o.value.plan == plan), "plan mismatch across ranks");
+        let exact = exact_sum(topo.nranks(), n);
+        for o in &outcomes {
+            let max_err = o
+                .value
+                .value
+                .iter()
+                .zip(&exact)
+                .map(|(a, b)| (a - b).abs() as f64)
+                .fold(0.0, f64::max);
+            assert!(max_err <= topo.nranks() as f64 * eb + 1e-3, "err {max_err}");
+        }
     }
 
     #[test]

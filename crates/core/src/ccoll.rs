@@ -31,7 +31,7 @@ use hzdyn::{doc::reduce_in_place, ReduceOp};
 use netsim::{Comm, OpKind};
 use ompszp::OszpStream;
 
-fn oszp_config(cfg: &CollectiveConfig) -> ompszp::Config {
+pub(crate) fn oszp_config(cfg: &CollectiveConfig) -> ompszp::Config {
     ompszp::Config::new(ompszp::ErrorBound::Abs(cfg.eb))
         .with_block_len(cfg.block_len)
         .with_threads(cfg.mode.threads())
@@ -47,43 +47,6 @@ fn degrade_oszp_to_raw(comm: &mut Comm, _idx: usize, bytes: &[u8]) -> Vec<u8> {
         })
         .expect("forwarded stream must decompress");
     f32_to_bytes(&vals)
-}
-
-/// C-Coll ring `Reduce_scatter(sum)`: returns the reduced node-chunk `rank`.
-#[deprecated(note = "use hzccl::collectives::reduce_scatter with CollectiveOpts::ccoll(eb)")]
-pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
-    reduce_scatter_impl(comm, data, cfg, 1)
-}
-
-/// C-Coll ring `Allreduce(sum)` = DOC Reduce_scatter + compressed Allgather.
-#[deprecated(note = "use hzccl::collectives::allreduce with CollectiveOpts::ccoll(eb)")]
-pub fn allreduce(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
-    allreduce_impl(comm, data, cfg, 1)
-}
-
-/// C-Coll `Reduce(sum)` to `root`. Returns `Some(full sum)` on the root,
-/// `None` elsewhere.
-#[deprecated(note = "use hzccl::collectives::reduce with CollectiveOpts::ccoll(eb) \
-                     (returns `Ok(vec![])` on non-root ranks instead of `Option`)")]
-pub fn reduce(
-    comm: &mut Comm,
-    data: &[f32],
-    root: usize,
-    cfg: &CollectiveConfig,
-) -> Result<Option<Vec<f32>>> {
-    reduce_impl(comm, data, root, cfg, 1)
-}
-
-/// C-Coll long-message `Bcast`.
-#[deprecated(note = "use hzccl::collectives::bcast with CollectiveOpts::ccoll(eb)")]
-pub fn bcast(
-    comm: &mut Comm,
-    data: &[f32],
-    root: usize,
-    total_len: usize,
-    cfg: &CollectiveConfig,
-) -> Result<Vec<f32>> {
-    bcast_impl(comm, data, root, total_len, cfg, 1)
 }
 
 /// C-Coll ring `Allgather`: compress the owned chunk once, forward

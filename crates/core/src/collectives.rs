@@ -45,8 +45,8 @@
 use crate::auto;
 use crate::config::{CollectiveConfig, Mode, Variant};
 use crate::resilient::Resilience;
-use crate::{ccoll, hz, mpi};
-use netsim::Comm;
+use crate::{ccoll, hierarchy, hz, mpi};
+use netsim::{Comm, Topology};
 use std::fmt;
 use tuner::Engine;
 
@@ -69,6 +69,14 @@ pub enum Error {
         /// Ranks in the communicator.
         nranks: usize,
     },
+    /// The attached [`Topology`] describes a different rank count than the
+    /// communicator has.
+    TopologyMismatch {
+        /// Ranks the topology describes (`nodes * ppn`).
+        topology: usize,
+        /// Ranks in the communicator.
+        nranks: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -82,6 +90,9 @@ impl fmt::Display for Error {
             ),
             Error::InvalidRoot { root, nranks } => {
                 write!(f, "root rank {root} is outside the communicator (nranks={nranks})")
+            }
+            Error::TopologyMismatch { topology, nranks } => {
+                write!(f, "topology describes {topology} ranks but the communicator has {nranks}")
             }
         }
     }
@@ -121,6 +132,7 @@ pub struct CollectiveOpts {
     root: usize,
     engine: Option<Engine>,
     resilience: Option<Resilience>,
+    topology: Option<Topology>,
 }
 
 impl CollectiveOpts {
@@ -134,6 +146,7 @@ impl CollectiveOpts {
             root: 0,
             engine,
             resilience: None,
+            topology: None,
         }
     }
 
@@ -219,6 +232,22 @@ impl CollectiveOpts {
         self
     }
 
+    /// Attach a two-tier fabric shape: [`allreduce`] runs the hierarchical
+    /// schedule ([`crate::hierarchy`]) when the topology is genuinely
+    /// two-level (`nodes > 1 && ppn > 1`) — intra-node reduce-scatter,
+    /// compressed inter-node ring, intra-node allgather. Under
+    /// [`Variant::Auto`] the tuner decides between the flat and the
+    /// hierarchical plan from its two-tier cost model. The other verbs keep
+    /// their flat schedules. `topology.nranks()` must equal the
+    /// communicator size at call time or the verb returns
+    /// [`Error::TopologyMismatch`]. Pair with
+    /// [`netsim::Cluster::with_topology`] so the simulated fabric matches
+    /// the schedule's assumptions.
+    pub fn with_topology(mut self, topology: Topology) -> CollectiveOpts {
+        self.topology = Some(topology);
+        self
+    }
+
     /// The flavour this call dispatches to.
     pub fn variant(&self) -> Variant {
         self.variant
@@ -252,6 +281,23 @@ impl CollectiveOpts {
     /// The resilient-transport policy, when one is attached.
     pub fn resilience(&self) -> Option<&Resilience> {
         self.resilience.as_ref()
+    }
+
+    /// The attached fabric shape, when one is attached.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// The topology to run a hierarchical schedule over: `Ok(Some(_))` when
+    /// one is attached, matches the communicator, and is genuinely
+    /// two-level; `Ok(None)` when flat is the right answer (no topology, or
+    /// a degenerate one with a single node or a single rank per node).
+    fn hier_topology(&self, comm: &Comm) -> Result<Option<Topology>> {
+        let Some(topo) = self.topology else { return Ok(None) };
+        if topo.nranks() != comm.size() {
+            return Err(Error::TopologyMismatch { topology: topo.nranks(), nranks: comm.size() });
+        }
+        Ok((topo.nodes > 1 && topo.ppn > 1).then_some(topo))
     }
 
     /// The per-flavour config these options imply.
@@ -300,6 +346,21 @@ fn check_root(comm: &Comm, root: usize) -> Result<()> {
 pub fn allreduce(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec<f32>> {
     check_elems(comm, data.len())?;
     let cfg = opts.cfg();
+    let topo = opts.hier_topology(comm)?;
+    if let Some(topo) = topo {
+        // Static flavours always take the hierarchical schedule on a
+        // two-level fabric; Auto lets the tuner weigh it against the flat
+        // plans from the two-tier cost model (below).
+        let flavor = match opts.variant {
+            Variant::Mpi => Some(tuner::Flavor::Mpi),
+            Variant::CColl => Some(tuner::Flavor::CColl),
+            Variant::Hzccl => Some(tuner::Flavor::Hzccl),
+            Variant::Auto => None,
+        };
+        if let Some(flavor) = flavor {
+            return Ok(hierarchy::allreduce_hier(comm, data, flavor, &topo, &cfg)?);
+        }
+    }
     Ok(match opts.variant {
         Variant::Mpi => mpi::allreduce_impl(
             comm,
@@ -310,7 +371,7 @@ pub fn allreduce(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result
         ),
         Variant::CColl => ccoll::allreduce_impl(comm, data, &cfg, opts.eff_segments())?,
         Variant::Hzccl => hz::allreduce_impl(comm, data, &cfg, opts.eff_segments())?,
-        Variant::Auto => auto::allreduce(comm, data, &cfg, opts.engine_ref())?.value,
+        Variant::Auto => auto::allreduce(comm, data, &cfg, opts.engine_ref(), topo.as_ref())?.value,
     })
 }
 
@@ -318,6 +379,7 @@ pub fn allreduce(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result
 /// (chunk layout [`crate::chunks::node_chunks`]).
 pub fn reduce_scatter(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec<f32>> {
     check_elems(comm, data.len())?;
+    opts.hier_topology(comm)?; // only Allreduce has a hierarchical schedule
     let cfg = opts.cfg();
     Ok(match opts.variant {
         Variant::Mpi => mpi::reduce_scatter_impl(
@@ -339,6 +401,7 @@ pub fn reduce_scatter(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> R
 pub fn reduce(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec<f32>> {
     check_elems(comm, data.len())?;
     check_root(comm, opts.root)?;
+    opts.hier_topology(comm)?; // only Allreduce has a hierarchical schedule
     let cfg = opts.cfg();
     let got = match opts.variant {
         Variant::Mpi => mpi::reduce_impl(
@@ -362,6 +425,7 @@ pub fn reduce(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Ve
 pub fn bcast(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec<f32>> {
     check_elems(comm, data.len())?;
     check_root(comm, opts.root)?;
+    opts.hier_topology(comm)?; // only Allreduce has a hierarchical schedule
     let total_len = data.len();
     let payload: &[f32] = if comm.rank() == opts.root { data } else { &[] };
     let cfg = opts.cfg();

@@ -89,7 +89,6 @@ mod tests {
     /// measured worst-case error respects the analytic bound (with the f32
     /// ULP slack of the final store).
     #[test]
-    #[allow(deprecated)] // deliberately exercises the per-flavour internals
     fn measured_errors_respect_the_bounds() {
         let n = 2048;
         let nranks = 6;
@@ -108,8 +107,8 @@ mod tests {
             let outcomes = cluster.run(|comm| {
                 let data = &fields[comm.rank()];
                 match which {
-                    0 => crate::hz::allreduce(comm, data, &cfg).expect("hz"),
-                    1 => crate::ccoll::allreduce(comm, data, &cfg).expect("ccoll"),
+                    0 => crate::hz::allreduce_impl(comm, data, &cfg, 1).expect("hz"),
+                    1 => crate::ccoll::allreduce_impl(comm, data, &cfg, 1).expect("ccoll"),
                     _ => crate::p2p::allreduce(comm, data, &cfg).expect("p2p"),
                 }
             });

@@ -38,43 +38,6 @@ use hzdyn::homomorphic_sum;
 use netsim::{Comm, OpKind};
 use std::ops::Range;
 
-/// hZCCL ring `Reduce_scatter(sum)`: returns the reduced node-chunk `rank`.
-#[deprecated(note = "use `hzccl::collectives::reduce_scatter` with `CollectiveOpts::hz()`")]
-pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
-    reduce_scatter_impl(comm, data, cfg, 1)
-}
-
-/// hZCCL ring `Allreduce(sum)` with the fused Reduce_scatter/Allgather
-/// optimization.
-#[deprecated(note = "use `hzccl::collectives::allreduce` with `CollectiveOpts::hz()`")]
-pub fn allreduce(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Result<Vec<f32>> {
-    allreduce_impl(comm, data, cfg, 1)
-}
-
-/// hZCCL `Reduce(sum)` to `root`. Returns `Some(full sum)` on the root,
-/// `None` elsewhere.
-#[deprecated(note = "use `hzccl::collectives::reduce` with `CollectiveOpts::hz()`")]
-pub fn reduce(
-    comm: &mut Comm,
-    data: &[f32],
-    root: usize,
-    cfg: &CollectiveConfig,
-) -> Result<Option<Vec<f32>>> {
-    reduce_impl(comm, data, root, cfg, 1)
-}
-
-/// hZCCL long-message `Bcast` from `root`.
-#[deprecated(note = "use `hzccl::collectives::bcast` with `CollectiveOpts::hz()`")]
-pub fn bcast(
-    comm: &mut Comm,
-    data: &[f32],
-    root: usize,
-    total_len: usize,
-    cfg: &CollectiveConfig,
-) -> Result<Vec<f32>> {
-    bcast_impl(comm, data, root, total_len, cfg, 1)
-}
-
 /// Compress one segment of `data` just in time, charging CPR for exactly the
 /// bytes it covers.
 fn compress_seg(

@@ -49,6 +49,7 @@ pub mod chunks;
 pub mod collectives;
 pub mod config;
 pub mod error_bounds;
+pub mod hierarchy;
 pub mod hz;
 pub mod kernels;
 pub mod mpi;

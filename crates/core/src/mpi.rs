@@ -33,42 +33,10 @@ pub(crate) const TAG_AG: u64 = 2 << 32;
 pub(crate) const TAG_GATHER: u64 = 3 << 32;
 pub(crate) const TAG_SCATTER: u64 = 4 << 32;
 
-/// Ring `Reduce_scatter(sum)`: every rank contributes `data` (equal length
-/// on all ranks) and receives the fully reduced node-chunk `rank`.
-#[deprecated(note = "use `hzccl::collectives::reduce_scatter` with `CollectiveOpts::mpi()`")]
-pub fn reduce_scatter(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f32> {
-    reduce_scatter_impl(comm, data, cpt_threads, 1, None)
-}
-
 /// Ring `Allgather`: rank `r` contributes `own` (node-chunk `r` of a vector
 /// of `total_len` elements) and receives the concatenation of all chunks.
 pub fn allgather(comm: &mut Comm, own: &[f32], total_len: usize) -> Vec<f32> {
     allgather_impl(comm, own, total_len, 1, None)
-}
-
-/// Ring `Allreduce(sum)` = `Reduce_scatter` + `Allgather` (the widely used
-/// large-message algorithm [28], [8]).
-#[deprecated(note = "use `hzccl::collectives::allreduce` with `CollectiveOpts::mpi()`")]
-pub fn allreduce(comm: &mut Comm, data: &[f32], cpt_threads: usize) -> Vec<f32> {
-    allreduce_impl(comm, data, cpt_threads, 1, None)
-}
-
-/// Ring `Reduce(sum)` to `root`. Returns `Some(full sum)` on the root,
-/// `None` elsewhere.
-#[deprecated(
-    note = "use `hzccl::collectives::reduce` with `CollectiveOpts::mpi()`, which returns \
-            `Result` with `Ok(vec![])` on non-root ranks instead of `Option`"
-)]
-pub fn reduce(comm: &mut Comm, data: &[f32], root: usize, cpt_threads: usize) -> Option<Vec<f32>> {
-    reduce_impl(comm, data, root, cpt_threads, 1, None)
-}
-
-/// Long-message `Bcast`: scatter the root's chunks, then ring-Allgather
-/// (MPICH's scatter+allgather broadcast). `data` is read on the root only;
-/// every rank returns the full vector.
-#[deprecated(note = "use `hzccl::collectives::bcast` with `CollectiveOpts::mpi()`")]
-pub fn bcast(comm: &mut Comm, data: &[f32], root: usize, total_len: usize) -> Vec<f32> {
-    bcast_impl(comm, data, root, total_len, 1, None)
 }
 
 /// `cpt_threads` parallelizes the local reduction arithmetic (the paper's

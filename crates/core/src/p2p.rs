@@ -213,7 +213,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // deliberately exercises the per-flavour internals
     fn comparison_chain_p2p_ccoll_hzccl() {
         // the paper's lineage: hZCCL < C-Coll < CPR-P2P in virtual time
         let n = 1 << 16;
@@ -232,10 +231,10 @@ mod tests {
                         allreduce(comm, data, &cfg).expect("p2p");
                     }
                     1 => {
-                        crate::ccoll::allreduce(comm, data, &cfg).expect("ccoll");
+                        crate::ccoll::allreduce_impl(comm, data, &cfg, 1).expect("ccoll");
                     }
                     _ => {
-                        crate::hz::allreduce(comm, data, &cfg).expect("hz");
+                        crate::hz::allreduce_impl(comm, data, &cfg, 1).expect("hz");
                     }
                 }
             });

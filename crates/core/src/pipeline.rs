@@ -39,7 +39,8 @@ pub(crate) fn seg_tag(base: u64, step: usize, seg: usize) -> u64 {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TagInfo {
     /// Collective phase the tag base encodes (`rs`, `ag`, `gather`,
-    /// `scatter`, `rd`, `fold`, `plan`).
+    /// `scatter`, `rd`, `fold`, `plan`, or the hierarchical tiers
+    /// `h-rs`, `h-ring`, `h-ag`).
     pub phase: &'static str,
     /// Ring step (or recursive-doubling round) within the phase.
     pub step: usize,
@@ -64,6 +65,9 @@ pub fn decode_tag(tag: u64) -> Option<TagInfo> {
         5 => "rd",
         6 => "fold",
         7 => "plan",
+        8 => "h-rs",
+        9 => "h-ring",
+        10 => "h-ag",
         _ => return None,
     };
     let rem = tag & 0xFFFF_FFFF;
@@ -169,5 +173,36 @@ mod tests {
                 assert!(seen.insert(seg_tag(base, step, seg)));
             }
         }
+    }
+
+    #[test]
+    fn decode_round_trips_every_phase_base_including_hierarchical() {
+        let bases: [(u64, &str); 10] = [
+            (1, "rs"),
+            (2, "ag"),
+            (3, "gather"),
+            (4, "scatter"),
+            (5, "rd"),
+            (6, "fold"),
+            (7, "plan"),
+            (8, "h-rs"),
+            (9, "h-ring"),
+            (10, "h-ag"),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for (base, phase) in bases {
+            for step in [0usize, 1, 7, 63] {
+                for seg in [0usize, 1, MAX_SEGMENTS - 1] {
+                    let tag = seg_tag(base << 32, step, seg);
+                    assert!(seen.insert(tag), "tag collision across phase bases");
+                    let info = decode_tag(tag).expect("collective tags decode");
+                    assert_eq!(info, TagInfo { phase, step, seg, ctrl: false });
+                    // the resilient ctrl bit round-trips orthogonally
+                    let ctrl = decode_tag(tag | 1 << 63).unwrap();
+                    assert_eq!(ctrl, TagInfo { phase, step, seg, ctrl: true });
+                }
+            }
+        }
+        assert_eq!(decode_tag(11 << 32), None, "bases above the hierarchy are unassigned");
     }
 }

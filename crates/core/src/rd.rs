@@ -256,7 +256,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // compares against the ring internals directly
     fn rd_hz_agrees_with_ring_hz_on_integers() {
         let eb = 1e-4;
         let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
@@ -265,7 +264,7 @@ mod tests {
         let cluster = Cluster::new(nranks).with_timing(modeled());
         let ring = cluster.run(|comm| {
             let data = field(comm.rank(), n);
-            crate::hz::allreduce(comm, &data, &cfg).expect("ring")
+            crate::hz::allreduce_impl(comm, &data, &cfg, 1).expect("ring")
         });
         let rd = cluster.run(|comm| {
             let data = field(comm.rank(), n);
@@ -277,7 +276,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // compares against the ring internals directly
     fn rd_beats_ring_for_tiny_messages_in_virtual_time() {
         // latency-bound regime: log2(N) rounds beat 2(N-1) rounds
         let nranks = 16;
@@ -287,7 +285,7 @@ mod tests {
         let t_ring = {
             let (_, s) = cluster.run_stats(|comm| {
                 let data = field(comm.rank(), n);
-                crate::hz::allreduce(comm, &data, &cfg).expect("ring");
+                crate::hz::allreduce_impl(comm, &data, &cfg, 1).expect("ring");
             });
             s.makespan
         };

@@ -6,6 +6,7 @@ use crate::breakdown::Breakdown;
 use crate::comm::Comm;
 use crate::config::{ComputeTiming, NetConfig};
 use crate::faults::FaultPlan;
+use crate::topology::Topology;
 use crate::trace::{RankTrace, TraceConfig};
 use std::collections::HashMap;
 use std::sync::mpsc::channel;
@@ -56,6 +57,7 @@ pub struct Cluster {
     timing: ComputeTiming,
     trace: Option<TraceConfig>,
     faults: Option<FaultPlan>,
+    topology: Option<Topology>,
 }
 
 impl Cluster {
@@ -69,6 +71,7 @@ impl Cluster {
             timing: ComputeTiming::Measured,
             trace: None,
             faults: None,
+            topology: None,
         }
     }
 
@@ -90,6 +93,24 @@ impl Cluster {
     /// record sites compile down to a `None` branch with zero allocation.
     pub fn with_trace(mut self, cfg: TraceConfig) -> Self {
         self.trace = Some(cfg);
+        self
+    }
+
+    /// Shape the fabric: every `(src, dst)` pair resolves to its
+    /// [`crate::topology::LinkTier`]'s link model instead of the flat
+    /// [`NetConfig`], and sends are stamped with the tier they crossed.
+    /// `topology.nranks()` must equal the cluster's rank count. Off by
+    /// default; without a topology every send takes the exact flat-model
+    /// arithmetic path, so untopologized runs stay bit-identical.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert!(
+            topology.nranks() == self.nprocs,
+            "topology is {} ranks ({}), cluster has {}",
+            topology.nranks(),
+            topology.describe(),
+            self.nprocs
+        );
+        self.topology = Some(topology);
         self
     }
 
@@ -154,6 +175,7 @@ impl Cluster {
                     let txs = txs.clone();
                     let f = &f;
                     let (net, timing, trace) = (self.net, self.timing, self.trace);
+                    let topology = self.topology;
                     let faults = self.faults.clone();
                     s.spawn(move || {
                         let compute_scale =
@@ -169,6 +191,7 @@ impl Cluster {
                             rx,
                             pending: HashMap::new(),
                             trace: trace.map(|cfg| Vec::with_capacity(cfg.capacity)),
+                            topology,
                             faults,
                             send_seq: vec![0; n],
                             sends_total: 0,

@@ -4,6 +4,7 @@
 use crate::breakdown::Breakdown;
 use crate::config::{ComputeTiming, NetConfig, OpKind};
 use crate::faults::{FaultKind, FaultPlan};
+use crate::topology::{LinkTier, Topology};
 use crate::trace::Event;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
@@ -91,6 +92,9 @@ pub struct Comm {
     /// makes every record site a single branch with no event construction
     /// and no allocation.
     pub(crate) trace: Option<Vec<Event>>,
+    /// Two-tier fabric shape; `None` (the default) keeps every send on the
+    /// exact flat-model arithmetic path (bit-identical to pre-topology runs).
+    pub(crate) topology: Option<Topology>,
     /// Chaos plan shared by the whole cluster; `None` (the default) keeps
     /// every send/recv on the exact pre-fault code path.
     pub(crate) faults: Option<FaultPlan>,
@@ -128,6 +132,12 @@ impl Comm {
     /// Whether the flight recorder is active on this rank.
     pub fn tracing_enabled(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// The cluster's topology, if one was configured with
+    /// [`crate::Cluster::with_topology`].
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
     }
 
     /// Reset the virtual clock, breakdown and recorded events (e.g. after a
@@ -197,11 +207,29 @@ impl Comm {
         let mut payload = payload;
         let wire_bytes = payload.len();
         let t = self.clock;
-        let inject = self.net.latency_s;
+        // Resolve the pair's link. Without a topology this reproduces the
+        // flat model with the identical operands in the identical order, so
+        // untopologized runs stay bit-for-bit unchanged.
+        let (link, population, tier) = match &self.topology {
+            Some(topo) => {
+                let tier = topo.tier(self.rank, to);
+                (topo.link(tier), topo.population(tier), tier)
+            }
+            None => (self.net, self.size, LinkTier::Flat),
+        };
+        let inject = link.latency_s;
         self.clock += inject;
         self.breakdown.charge(OpKind::Other, inject);
-        self.record(|| Event::Send { t, to, tag, wire_bytes, logical_bytes, inject_secs: inject });
-        let mut arrival = self.clock + self.net.serialization_time(wire_bytes, self.size);
+        self.record(|| Event::Send {
+            t,
+            to,
+            tag,
+            wire_bytes,
+            logical_bytes,
+            inject_secs: inject,
+            tier,
+        });
+        let mut arrival = self.clock + link.serialization_time(wire_bytes, population);
         let mut status = MsgStatus::Ok;
         if !reliable {
             if let Some(plan) = &self.faults {

@@ -27,6 +27,7 @@
 
 use crate::config::{NetConfig, OpKind};
 use crate::faults::FaultKind;
+use crate::topology::{LinkTier, Topology};
 use crate::trace::{Event, RankTrace};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -50,6 +51,8 @@ pub enum SpanKind {
         to: usize,
         /// Message tag.
         tag: u64,
+        /// Fabric tier the message crossed.
+        tier: LinkTier,
     },
     /// Time on the wire between a matched send/recv pair.
     Wire {
@@ -63,6 +66,8 @@ pub enum SpanKind {
         ser_secs: f64,
         /// Fault-injected jitter share of the span.
         jitter_secs: f64,
+        /// Fabric tier the message crossed.
+        tier: LinkTier,
     },
     /// A blocking wait whose send could not be matched (e.g. the sender's
     /// trace is missing after a crash); healthy runs never produce this.
@@ -176,6 +181,29 @@ impl TagTime {
     }
 }
 
+/// Critical-path communication time spent on one fabric tier (α + wire +
+/// jitter of the path's hops that crossed that tier). Indexed by
+/// [`LinkTier::index`]; untopologized runs put everything under
+/// [`LinkTier::Flat`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TierTime {
+    /// Injection overhead of on-path sends on this tier.
+    pub alpha: f64,
+    /// Serialization time of on-path hops on this tier.
+    pub wire: f64,
+    /// Injected jitter of on-path hops on this tier.
+    pub jitter: f64,
+    /// Number of on-path wire hops on this tier.
+    pub hops: u64,
+}
+
+impl TierTime {
+    /// Total seconds on this tier.
+    pub fn total(&self) -> f64 {
+        self.alpha + self.wire + self.jitter
+    }
+}
+
 /// The result of [`CriticalPath::analyze`]: the end-to-end binding chain of
 /// a traced run, its composition, and per-event slack.
 #[derive(Debug, Clone, PartialEq)]
@@ -192,6 +220,10 @@ pub struct CriticalPath {
     pub per_rank: Vec<f64>,
     /// Communication path seconds per message tag.
     pub by_tag: BTreeMap<u64, TagTime>,
+    /// Communication path seconds per fabric tier, indexed by
+    /// [`LinkTier::index`]. Untopologized runs land entirely on
+    /// [`LinkTier::Flat`].
+    pub by_tier: [TierTime; LinkTier::COUNT],
     /// Compute path seconds per step label (unlabelled charges fall under
     /// their bucket name).
     pub by_label: BTreeMap<String, f64>,
@@ -240,6 +272,18 @@ impl CriticalPath {
     /// timing residue in the trace, so their weight is recomputed from the
     /// model for the slack pass.
     pub fn analyze(traces: &[RankTrace], net: &NetConfig) -> CriticalPath {
+        CriticalPath::analyze_with_topology(traces, net, None)
+    }
+
+    /// [`CriticalPath::analyze`] for a topologized run: `topology` must be
+    /// the [`Topology`] the cluster ran with, so non-binding wire edges are
+    /// recomputed from the *tier's* link model (the tier itself is read off
+    /// each recorded send). With `None` this is exactly `analyze`.
+    pub fn analyze_with_topology(
+        traces: &[RankTrace],
+        net: &NetConfig,
+        topology: Option<&Topology>,
+    ) -> CriticalPath {
         let nranks = traces.len();
         let flat = Flat::new(traces);
         let mut end = vec![0.0f64; flat.total];
@@ -247,6 +291,7 @@ impl CriticalPath {
         // send injection; zero for recv/fault)
         let mut intrinsic = vec![0.0f64; flat.total];
         let mut jitter = vec![0.0f64; flat.total]; // per send event
+        let mut tier_of = vec![LinkTier::Flat; flat.total]; // per send event
         let mut wire_pred: Vec<Option<usize>> = vec![None; flat.total]; // recv -> send
         let mut wire_succ: Vec<Option<usize>> = vec![None; flat.total]; // send -> recv
         let mut wire_w = vec![0.0f64; flat.total]; // weight of recv's wire edge
@@ -260,8 +305,9 @@ impl CriticalPath {
                 end[f] = ev.end();
                 match *ev {
                     Event::Compute { secs, .. } => intrinsic[f] = secs,
-                    Event::Send { to, tag, inject_secs, .. } => {
+                    Event::Send { to, tag, inject_secs, tier, .. } => {
                         intrinsic[f] = inject_secs;
+                        tier_of[f] = tier;
                         sends.entry((rank, to, tag)).or_default().push_back(f);
                         last_send.insert((to, tag), f);
                     }
@@ -290,11 +336,18 @@ impl CriticalPath {
                 wire_succ[s] = Some(f);
                 // A blocking receive observed the arrival directly; an
                 // already-arrived message leaves no residue, so recompute
-                // its wire time from the model.
+                // its wire time from the model (the *tier's* model when the
+                // run was topologized).
                 wire_w[f] = if wait_secs > 0.0 {
                     end[f] - end[s]
                 } else {
-                    net.serialization_time(wire_bytes, nranks) + jitter[s]
+                    let ser = match topology {
+                        Some(topo) => topo
+                            .link(tier_of[s])
+                            .serialization_time(wire_bytes, topo.population(tier_of[s])),
+                        None => net.serialization_time(wire_bytes, nranks),
+                    };
+                    ser + jitter[s]
                 };
             }
         }
@@ -388,6 +441,7 @@ impl CriticalPath {
                                 tag,
                                 ser_secs: span - j,
                                 jitter_secs: j,
+                                tier: tier_of[s],
                             },
                             start: end[s],
                             end: ev.end(),
@@ -404,7 +458,7 @@ impl CriticalPath {
             } else if ev.duration() > 0.0 {
                 let span = match *ev {
                     Event::Compute { kind, label, .. } => SpanKind::Compute { rank, kind, label },
-                    Event::Send { to, tag, .. } => SpanKind::Inject { rank, to, tag },
+                    Event::Send { to, tag, tier, .. } => SpanKind::Inject { rank, to, tag, tier },
                     _ => unreachable!("recv handled above; faults have zero duration"),
                 };
                 elements.push(PathElement { span, start: ev.start(), end: ev.end() });
@@ -417,6 +471,7 @@ impl CriticalPath {
         let mut buckets = PathBuckets::default();
         let mut per_rank = vec![0.0f64; nranks];
         let mut by_tag: BTreeMap<u64, TagTime> = BTreeMap::new();
+        let mut by_tier = [TierTime::default(); LinkTier::COUNT];
         let mut by_label: BTreeMap<String, f64> = BTreeMap::new();
         let mut length = 0.0f64;
         for el in &elements {
@@ -439,12 +494,13 @@ impl CriticalPath {
                     *by_label.entry(key.to_string()).or_insert(0.0) += secs;
                     per_rank[rank] += secs;
                 }
-                SpanKind::Inject { rank, tag, .. } => {
+                SpanKind::Inject { rank, tag, tier, .. } => {
                     buckets.alpha += secs;
                     per_rank[rank] += secs;
                     by_tag.entry(tag).or_default().alpha += secs;
+                    by_tier[tier.index()].alpha += secs;
                 }
-                SpanKind::Wire { to, tag, ser_secs, jitter_secs, .. } => {
+                SpanKind::Wire { to, tag, ser_secs, jitter_secs, tier, .. } => {
                     buckets.wire += ser_secs;
                     buckets.jitter += jitter_secs;
                     per_rank[to] += secs;
@@ -452,6 +508,10 @@ impl CriticalPath {
                     t.wire += ser_secs;
                     t.jitter += jitter_secs;
                     t.hops += 1;
+                    let tt = &mut by_tier[tier.index()];
+                    tt.wire += ser_secs;
+                    tt.jitter += jitter_secs;
+                    tt.hops += 1;
                 }
                 SpanKind::Wait { rank, .. } => {
                     buckets.blocked_wait += secs;
@@ -468,7 +528,17 @@ impl CriticalPath {
             }
         }
 
-        CriticalPath { length, makespan, buckets, per_rank, by_tag, by_label, elements, slack }
+        CriticalPath {
+            length,
+            makespan,
+            buckets,
+            per_rank,
+            by_tag,
+            by_tier,
+            by_label,
+            elements,
+            slack,
+        }
     }
 
     /// Fraction of events (across all ranks) whose slack is below
@@ -606,6 +676,72 @@ mod tests {
         let cp = CriticalPath::analyze(&traces, &net());
         assert!(cp.buckets.blocked_wait > 0.0, "{:?}", cp.buckets);
         assert!((cp.buckets.total() - cp.length).abs() <= 1e-12);
+    }
+
+    /// On a two-tier run the path's communication time must split cleanly
+    /// into intra- and inter-node tier buckets that tile the α/wire/jitter
+    /// totals.
+    #[test]
+    fn tier_attribution_splits_intra_and_inter_wire() {
+        use crate::topology::{LinkTier, Topology};
+        let topo = Topology::paper(2, 2);
+        let cluster = Cluster::new(4)
+            .with_topology(topo)
+            .with_timing(modeled())
+            .with_trace(TraceConfig::default());
+        // causal chain 0 -> 1 (intra) -> 2 (inter): both hops bind the path
+        let outcomes = cluster.run(|comm| match comm.rank() {
+            0 => comm.send(1, 1, vec![0u8; 100_000]),
+            1 => {
+                let got = comm.recv(0, 1);
+                comm.send(2, 2, got);
+            }
+            2 => drop(comm.recv(1, 2)),
+            _ => {}
+        });
+        let (_, traces) = take_traces(outcomes);
+        let cp = CriticalPath::analyze_with_topology(&traces, &NetConfig::default(), Some(&topo));
+        assert!((cp.length - cp.makespan).abs() <= 1e-9 * cp.makespan.max(1.0));
+        let intra = cp.by_tier[LinkTier::Intra.index()];
+        let inter = cp.by_tier[LinkTier::Inter.index()];
+        assert_eq!((intra.hops, inter.hops), (1, 1), "{:?}", cp.by_tier);
+        assert!(inter.total() > intra.total(), "{:?}", cp.by_tier);
+        assert_eq!(cp.by_tier[LinkTier::Flat.index()], TierTime::default());
+        let comm_total = cp.buckets.alpha + cp.buckets.wire + cp.buckets.jitter;
+        let tier_total: f64 = cp.by_tier.iter().map(|t| t.total()).sum();
+        assert!((comm_total - tier_total).abs() < 1e-12, "tiers tile the comm share");
+        // the exact tier wire times come from the tier links
+        for (tt, tier) in [(intra, LinkTier::Intra), (inter, LinkTier::Inter)] {
+            let link = topo.link(tier);
+            let ser = link.serialization_time(100_000, topo.population(tier));
+            assert!((tt.wire - ser).abs() < 1e-12, "{tier:?}: {} vs {ser}", tt.wire);
+            assert!((tt.alpha - link.latency_s).abs() < 1e-12);
+        }
+    }
+
+    /// Untopologized analysis lands every hop on the flat tier and is
+    /// unchanged by the new per-tier table.
+    #[test]
+    fn flat_runs_attribute_to_the_flat_tier() {
+        use crate::topology::LinkTier;
+        let cluster = Cluster::new(2)
+            .with_net(net())
+            .with_timing(modeled())
+            .with_trace(TraceConfig::default());
+        let outcomes = cluster.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![0u8; 1000]);
+            } else {
+                comm.recv(0, 7);
+            }
+        });
+        let (_, traces) = take_traces(outcomes);
+        let cp = CriticalPath::analyze(&traces, &net());
+        let flat = cp.by_tier[LinkTier::Flat.index()];
+        assert_eq!(flat.hops, 1);
+        assert!((flat.total() - (cp.buckets.alpha + cp.buckets.wire)).abs() < 1e-12);
+        assert_eq!(cp.by_tier[LinkTier::Intra.index()], TierTime::default());
+        assert_eq!(cp.by_tier[LinkTier::Inter.index()], TierTime::default());
     }
 
     #[test]

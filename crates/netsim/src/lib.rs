@@ -48,16 +48,18 @@ pub mod critpath;
 pub mod faults;
 pub mod json;
 pub mod metrics;
+pub mod topology;
 pub mod trace;
 
 pub use breakdown::Breakdown;
 pub use cluster::{Cluster, RankOutcome, RankPanic, RunStats};
 pub use comm::{Comm, RecvMsg};
 pub use config::{ComputeTiming, NetConfig, OpKind, ThroughputModel};
-pub use critpath::{CriticalPath, PathBuckets, PathElement, SpanKind, TagTime};
+pub use critpath::{CriticalPath, PathBuckets, PathElement, SpanKind, TagTime, TierTime};
 pub use faults::{FaultKind, FaultPlan, LinkFault};
 pub use json::Json;
 pub use metrics::Registry;
+pub use topology::{LinkTier, Topology};
 pub use trace::{Event, RankTrace, TraceConfig};
 
 #[cfg(test)]
@@ -305,6 +307,64 @@ mod tests {
         // end-to-end unloaded latency is still alpha + beta*s
         let expect = 5e-4 + 1000.0 * 8.0 / 100e9;
         assert!((outcomes[1].value.mpi - expect).abs() < 1e-12, "{:?}", outcomes[1].value);
+    }
+
+    #[test]
+    fn topology_routes_pairs_through_their_tier_link() {
+        let topo = Topology::paper(2, 2); // ranks {0,1} on node 0, {2,3} on node 1
+        let run_pair = |src: usize, dst: usize| {
+            let cluster = Cluster::new(4).with_timing(modeled()).with_topology(topo);
+            let outcomes = cluster.run(move |comm| {
+                if comm.rank() == src {
+                    comm.send(dst, 0, vec![0u8; 1_000_000]);
+                }
+                if comm.rank() == dst {
+                    comm.recv(src, 0);
+                }
+                comm.elapsed()
+            });
+            outcomes[dst].value
+        };
+        let intra = run_pair(0, 1);
+        let inter = run_pair(1, 2);
+        assert!(inter > 5.0 * intra, "inter-node must be much slower: {inter} vs {intra}");
+        for (measured, tier) in [(intra, LinkTier::Intra), (inter, LinkTier::Inter)] {
+            let link = topo.link(tier);
+            let expect = link.latency_s + link.serialization_time(1_000_000, topo.population(tier));
+            assert!((measured - expect).abs() < 1e-12, "{tier:?}: {measured} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn topology_stamps_tiers_on_sends() {
+        let topo = Topology::paper(2, 2);
+        let cluster = Cluster::new(4)
+            .with_timing(modeled())
+            .with_topology(topo)
+            .with_trace(TraceConfig::default());
+        let outcomes = cluster.run(|comm| match comm.rank() {
+            0 => comm.send(1, 1, vec![1u8; 64]),
+            1 => {
+                comm.recv(0, 1);
+                comm.send(2, 2, vec![2u8; 64]);
+            }
+            2 => drop(comm.recv(1, 2)),
+            _ => {}
+        });
+        let tier_of_send = |rank: usize| {
+            outcomes[rank].trace.as_ref().unwrap().events.iter().find_map(|e| match *e {
+                Event::Send { tier, .. } => Some(tier),
+                _ => None,
+            })
+        };
+        assert_eq!(tier_of_send(0), Some(LinkTier::Intra));
+        assert_eq!(tier_of_send(1), Some(LinkTier::Inter));
+    }
+
+    #[test]
+    #[should_panic(expected = "topology is 4 ranks")]
+    fn topology_rank_count_must_match_the_cluster() {
+        let _ = Cluster::new(8).with_topology(Topology::paper(2, 2));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::config::OpKind;
 use crate::critpath::{CriticalPath, SpanKind};
 use crate::faults::FaultKind;
 use crate::json::Json;
+use crate::topology::LinkTier;
 
 /// Configuration for the flight recorder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +58,9 @@ pub enum Event {
         logical_bytes: usize,
         /// Sender-side injection overhead charged at this event.
         inject_secs: f64,
+        /// Fabric tier the message crossed ([`LinkTier::Flat`] when the
+        /// cluster has no topology).
+        tier: LinkTier,
     },
     /// A message receipt. `t` is the clock when the receive was posted;
     /// `wait_secs` is the blocking time until the message's arrival
@@ -260,16 +264,20 @@ pub fn chrome_trace_with(traces: &[RankTrace], critpath: Option<&CriticalPath>) 
                 continue;
             }
             let (name, cat, mut args) = match *ev {
-                Event::Send { to, tag, wire_bytes, logical_bytes, .. } => (
-                    format!("send\u{2192}{to}"),
-                    "send",
-                    Json::obj(vec![
+                Event::Send { to, tag, wire_bytes, logical_bytes, tier, .. } => {
+                    let mut fields = vec![
                         ("to", Json::Num(to as f64)),
                         ("tag", Json::Num(tag as f64)),
                         ("wire_bytes", Json::Num(wire_bytes as f64)),
                         ("logical_bytes", Json::Num(logical_bytes as f64)),
-                    ]),
-                ),
+                    ];
+                    // only topologized runs grow the extra arg, so flat
+                    // chrome exports stay byte-identical
+                    if tier != LinkTier::Flat {
+                        fields.push(("tier", Json::Str(tier.name().into())));
+                    }
+                    (format!("send\u{2192}{to}"), "send", Json::obj(fields))
+                }
                 Event::Recv { from, tag, wire_bytes, .. } => (
                     format!("recv\u{2190}{from}"),
                     "wait",
@@ -320,21 +328,25 @@ pub fn chrome_trace_with(traces: &[RankTrace], critpath: Option<&CriticalPath>) 
                     if label.is_empty() { kind.name().to_string() } else { label.to_string() },
                     Json::obj(vec![("rank", Json::Num(rank as f64))]),
                 ),
-                SpanKind::Inject { rank, to, tag } => (
-                    format!("alpha\u{2192}{to}"),
-                    Json::obj(vec![
-                        ("rank", Json::Num(rank as f64)),
-                        ("tag", Json::Num(tag as f64)),
-                    ]),
-                ),
-                SpanKind::Wire { from, to, tag, ser_secs, jitter_secs } => (
-                    format!("wire {from}\u{2192}{to}"),
-                    Json::obj(vec![
+                SpanKind::Inject { rank, to, tag, tier } => {
+                    let mut fields =
+                        vec![("rank", Json::Num(rank as f64)), ("tag", Json::Num(tag as f64))];
+                    if tier != LinkTier::Flat {
+                        fields.push(("tier", Json::Str(tier.name().into())));
+                    }
+                    (format!("alpha\u{2192}{to}"), Json::obj(fields))
+                }
+                SpanKind::Wire { from, to, tag, ser_secs, jitter_secs, tier } => {
+                    let mut fields = vec![
                         ("tag", Json::Num(tag as f64)),
                         ("ser_secs", Json::Num(ser_secs)),
                         ("jitter_secs", Json::Num(jitter_secs)),
-                    ]),
-                ),
+                    ];
+                    if tier != LinkTier::Flat {
+                        fields.push(("tier", Json::Str(tier.name().into())));
+                    }
+                    (format!("wire {from}\u{2192}{to}"), Json::obj(fields))
+                }
                 SpanKind::Wait { rank, from, tag } => (
                     format!("wait\u{2190}{from}"),
                     Json::obj(vec![
@@ -449,6 +461,7 @@ mod tests {
                     wire_bytes: 40,
                     logical_bytes: 100,
                     inject_secs: 0.1,
+                    tier: LinkTier::Flat,
                 },
                 Event::Recv { t: 0.5, from: 0, tag: 7, wire_bytes: 30, wait_secs: 0.5 },
                 Event::Compute { t: 1.0, kind: OpKind::Hpr, bytes: 100, secs: 1.0, label: "" },

@@ -101,6 +101,7 @@ impl TuningCache {
                             ("threads", Json::Num(e.plan.mode.threads() as f64)),
                             ("block_len", Json::Num(e.plan.block_len as f64)),
                             ("segments", Json::Num(e.plan.segments.max(1) as f64)),
+                            ("hierarchical", Json::Bool(e.plan.hierarchical)),
                             ("measured_secs", Json::Num(e.measured_secs)),
                             ("model_secs", Json::Num(e.model_secs)),
                             ("samples", Json::Num(e.samples as f64)),
@@ -153,10 +154,17 @@ impl TuningCache {
                     s
                 }
             };
+            // schema v1/v2 entries predate the hierarchical schedule: they
+            // measured the flat path
+            let hierarchical = match v.get("hierarchical") {
+                None => false,
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err(format!("cache entry '{key}': bad 'hierarchical'")),
+            };
             entries.insert(
                 key.clone(),
                 CacheEntry {
-                    plan: Plan { flavor, algo, mode, block_len, segments },
+                    plan: Plan { flavor, algo, mode, block_len, segments, hierarchical },
                     measured_secs: num_field("measured_secs")?,
                     model_secs: num_field("model_secs")?,
                     samples: num_field("samples")? as u64,
@@ -218,6 +226,7 @@ mod tests {
                 mode: ThreadMode::Mt(18),
                 block_len: 32,
                 segments: 4,
+                hierarchical: true,
             },
             0.001234,
             0.0011,

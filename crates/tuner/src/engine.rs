@@ -132,8 +132,40 @@ impl Engine {
                             &[1]
                         };
                         for &segments in segs {
-                            out.push(Plan { flavor, algo, mode, block_len, segments });
+                            out.push(Plan {
+                                flavor,
+                                algo,
+                                mode,
+                                block_len,
+                                segments,
+                                hierarchical: false,
+                            });
                         }
+                    }
+                }
+            }
+        }
+        // Two-tier fabrics additionally offer the hierarchical Allreduce
+        // schedule (intra RS → inter ring → intra AG) per flavour. Serial
+        // only: the inter ring moves 1/ppn-size slices, too small for
+        // segmentation to pay for its α-injections.
+        if spec.op == Op::Allreduce && spec.two_tier_topology().is_some() {
+            for flavor in [Flavor::Mpi, Flavor::CColl, Flavor::Hzccl] {
+                for &mode in &self.mode_candidates {
+                    let blocks: &[usize] = if flavor == Flavor::Mpi {
+                        &self.block_candidates[..1]
+                    } else {
+                        &self.block_candidates
+                    };
+                    for &block_len in blocks {
+                        out.push(Plan {
+                            flavor,
+                            algo: Algo::Ring,
+                            mode,
+                            block_len,
+                            segments: 1,
+                            hierarchical: true,
+                        });
                     }
                 }
             }
@@ -152,6 +184,18 @@ impl Engine {
             net: self.calib.net(),
             thr: self.calib.model(plan.flavor, plan.mode),
         };
+        if plan.hierarchical {
+            // two-tier closed forms; a hierarchical plan without a topology
+            // cannot happen via candidates(), but price it as flat to keep
+            // predict() total
+            if let Some(topo) = spec.two_tier_topology() {
+                return match plan.flavor {
+                    Flavor::Mpi => costmodel::allreduce_hier_mpi(&s, topo),
+                    Flavor::CColl => costmodel::allreduce_hier_ccoll(&s, topo),
+                    Flavor::Hzccl => costmodel::allreduce_hier_hzccl(&s, topo),
+                };
+            }
+        }
         let seg = plan.segments.max(1);
         if seg > 1 && plan.algo == Algo::Ring {
             // pipelined closed forms: T_step = S·α + (W+C)/S + (S-1)/S·max(W,C)
@@ -291,12 +335,12 @@ impl Engine {
 
     /// Serialize engine state (calibration + cache + knobs) to JSON.
     ///
-    /// Schema version 2: adds `segment_candidates` and per-cache-entry
-    /// `segments`. Version-1 documents (pre-segmentation) are still
-    /// accepted by [`Engine::from_json`].
+    /// Schema version 3: adds per-cache-entry `hierarchical`. Version 2
+    /// added `segment_candidates` and per-cache-entry `segments`; v1 and v2
+    /// documents are still accepted by [`Engine::from_json`].
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("version", Json::Num(2.0)),
+            ("version", Json::Num(3.0)),
             ("small_message_bytes", Json::Num(self.small_message_bytes as f64)),
             (
                 "block_candidates",
@@ -320,13 +364,13 @@ impl Engine {
         ])
     }
 
-    /// Parse [`Engine::to_json`]'s output back. Accepts the current v2
-    /// schema and migrates v1 documents (written before ring segmentation
-    /// existed): their caches hold serial plans and they gain the default
-    /// segment-candidate grid, so a re-tune can discover pipelined winners.
+    /// Parse [`Engine::to_json`]'s output back. Accepts the current v3
+    /// schema and migrates v1/v2 documents: v1 caches (pre-segmentation)
+    /// hold serial plans and gain the default segment-candidate grid, v2
+    /// caches (pre-hierarchy) load every entry as a flat plan.
     pub fn from_json(doc: &Json) -> Result<Engine, String> {
         let version = doc.get("version").and_then(Json::as_f64).unwrap_or(0.0);
-        if version != 1.0 && version != 2.0 {
+        if version != 1.0 && version != 2.0 && version != 3.0 {
             return Err(format!("unsupported tuner state version {version}"));
         }
         let small_message_bytes =
@@ -526,9 +570,65 @@ mod tests {
     }
 
     #[test]
+    fn hierarchical_candidates_appear_only_on_two_tier_topologies() {
+        let engine = Engine::paper();
+        let flat = spec(1 << 18, 64, 7.0);
+        assert!(engine.candidates(&flat).iter().all(|p| !p.hierarchical));
+        let topo = spec(1 << 18, 64, 7.0).with_topology(netsim::Topology::paper(8, 8));
+        let plans = engine.candidates(&topo);
+        assert!(plans.iter().any(|p| p.hierarchical && p.flavor == Flavor::Hzccl));
+        assert!(
+            plans.iter().filter(|p| p.hierarchical).all(|p| p.segments == 1),
+            "hierarchical plans stay serial"
+        );
+        // degenerate shapes (one node, or one rank per node) offer none
+        for degenerate in [netsim::Topology::paper(1, 64), netsim::Topology::paper(64, 1)] {
+            let d = spec(1 << 18, 64, 7.0).with_topology(degenerate);
+            assert!(engine.candidates(&d).iter().all(|p| !p.hierarchical));
+        }
+        // and non-allreduce ops never get the hierarchical schedule
+        let rs = ScenarioSpec::new(Op::ReduceScatter, 1 << 18, 64, 1e-4, 32, 7.0)
+            .with_topology(netsim::Topology::paper(8, 8));
+        assert!(engine.candidates(&rs).iter().all(|p| !p.hierarchical));
+    }
+
+    /// Golden crossover: at the paper calibration on 8 nodes x 8 ranks/node
+    /// (inter-node links 10x slower than node-local), a 1 MiB Allreduce must
+    /// decide on a *hierarchical* plan — the flavour is the model's call
+    /// (the single-thread raw-summation table makes mpi's intra phases
+    /// nearly free, so mpi-hier may out-price hz-hier) — and the model must
+    /// price the hierarchical hz ring at least 30% under the flat hz ring.
+    /// On the same scenario without a topology the flat plans are all that
+    /// exist.
+    #[test]
+    fn golden_auto_picks_hierarchy_on_the_paper_topology() {
+        let engine = Engine::paper();
+        let topo = netsim::Topology::paper(8, 8);
+        let s = spec(1 << 18, 64, 7.0).with_topology(topo); // 1 MiB
+        let d = engine.decide(&s);
+        assert_eq!(d.source, DecisionSource::Model);
+        assert!(d.plan.hierarchical, "must pick the hierarchical schedule: {}", d.why);
+        let flat_hz =
+            engine.predict(&s, &Plan::serial(Flavor::Hzccl, Algo::Ring, ThreadMode::St, 32));
+        let hier_hz = engine.predict(
+            &s,
+            &Plan {
+                hierarchical: true,
+                ..Plan::serial(Flavor::Hzccl, Algo::Ring, ThreadMode::St, 32)
+            },
+        );
+        assert!(hier_hz <= 0.7 * flat_hz, "hier {hier_hz} must undercut flat {flat_hz} by >=30%");
+        // and the winner prices at or under the hz hierarchy
+        assert!(engine.predict(&s, &d.plan) <= hier_hz);
+        // stripped of the topology, the same scenario decides flat
+        let d_flat = engine.decide(&spec(1 << 18, 64, 7.0));
+        assert!(!d_flat.plan.hierarchical);
+    }
+
+    #[test]
     fn v1_engine_state_migrates_with_default_segment_grid() {
-        // a v2 document stripped back to the v1 shape: version 1, no
-        // segment_candidates, cache entries without a segments field
+        // a v3 document stripped back to the v1 shape: version 1, no
+        // segment_candidates, cache entries without segments/hierarchical
         let mut engine = Engine::paper();
         let s = spec(1 << 18, 8, 6.5);
         engine.observe_measurement(
@@ -536,17 +636,18 @@ mod tests {
             &Plan::serial(Flavor::Hzccl, Algo::Ring, ThreadMode::St, 32),
             0.002,
         );
-        let v2 = engine.to_json().render();
-        let v1 = v2
-            .replacen("\"version\":2", "\"version\":1", 1)
+        let v3 = engine.to_json().render();
+        let v1 = v3
+            .replacen("\"version\":3", "\"version\":1", 1)
             .replace("\"segment_candidates\":[1,2,4,8],", "")
-            .replace(",\"segments\":1", "");
-        assert_ne!(v1, v2, "the v1 fixture must actually differ");
+            .replace(",\"segments\":1", "")
+            .replace(",\"hierarchical\":false", "");
+        assert_ne!(v1, v3, "the v1 fixture must actually differ");
         let back = Engine::from_json(&Json::parse(&v1).unwrap()).unwrap();
         assert_eq!(back.segment_candidates, Engine::paper().segment_candidates);
-        assert_eq!(back.cache, engine.cache, "v1 cache entries load as serial plans");
-        // and the migrated engine re-saves as v2
-        assert!(back.to_json().render().contains("\"version\":2"));
+        assert_eq!(back.cache, engine.cache, "v1 cache entries load as serial flat plans");
+        // and the migrated engine re-saves as v3
+        assert!(back.to_json().render().contains("\"version\":3"));
     }
 
     #[test]

@@ -161,18 +161,26 @@ pub struct Plan {
     /// splits each ring-step block into `S` pipelined segments (ignored by
     /// [`Algo::Rd`], clamped to the block count at execution time).
     pub segments: usize,
+    /// Run the two-tier hierarchical schedule (intra-node reduce-scatter →
+    /// inter-node ring of the chosen flavour → intra-node allgather) instead
+    /// of the flat one. Only meaningful for `Allreduce` on a scenario that
+    /// carries a genuinely two-level [`ScenarioSpec::topology`]; executors
+    /// fall back to the flat schedule when no topology is available at run
+    /// time.
+    pub hierarchical: bool,
 }
 
 impl Plan {
-    /// A phase-serial (one-segment) plan — the pre-segmentation shape.
+    /// A phase-serial (one-segment, flat) plan — the pre-segmentation shape.
     pub fn serial(flavor: Flavor, algo: Algo, mode: ThreadMode, block_len: usize) -> Plan {
-        Plan { flavor, algo, mode, block_len, segments: 1 }
+        Plan { flavor, algo, mode, block_len, segments: 1, hierarchical: false }
     }
 
-    /// Compact human label, e.g. `hz/ring/st/b32` (serial) or
-    /// `hz/ring/st/b32/s4` (pipelined with 4 segments).
+    /// Compact human label, e.g. `hz/ring/st/b32` (serial),
+    /// `hz/ring/st/b32/s4` (pipelined with 4 segments), or
+    /// `hz/ring/st/b32/hier` (two-tier hierarchical schedule).
     pub fn label(&self) -> String {
-        let base = format!(
+        let mut base = format!(
             "{}/{}/{}/b{}",
             self.flavor.name(),
             self.algo.name(),
@@ -180,17 +188,22 @@ impl Plan {
             self.block_len
         );
         if self.segments > 1 {
-            format!("{base}/s{}", self.segments)
-        } else {
-            base
+            base = format!("{base}/s{}", self.segments);
         }
+        if self.hierarchical {
+            base = format!("{base}/hier");
+        }
+        base
     }
 
-    /// Fixed-size wire encoding v2 (for the one-rank-decides broadcast):
-    /// 12 bytes `[flavor, algo, mt, threads, block_len·LE4, segments·LE4]`.
-    /// v1 encodings were 8 bytes without the segment word; [`Plan::decode`]
-    /// still accepts them (segments = 1).
-    pub fn encode(&self) -> [u8; 12] {
+    /// Wire encoding v3 (for the one-rank-decides broadcast):
+    /// `[flavor, algo, mt, threads, block_len·LE4, segments·LE4]` plus a
+    /// trailing `1` byte **only for hierarchical plans** — flat plans keep
+    /// the 12-byte v2 form, so every pre-topology trace and bench number
+    /// stays bit-identical. v1 encodings were 8 bytes without the segment
+    /// word; [`Plan::decode`] accepts all three (hierarchical = false,
+    /// segments = 1 where absent).
+    pub fn encode(&self) -> Vec<u8> {
         let flavor = match self.flavor {
             Flavor::Mpi => 0u8,
             Flavor::CColl => 1,
@@ -206,14 +219,20 @@ impl Plan {
         };
         let bl = (self.block_len as u32).to_le_bytes();
         let sg = (self.segments.max(1) as u32).to_le_bytes();
-        [flavor, algo, mt, threads, bl[0], bl[1], bl[2], bl[3], sg[0], sg[1], sg[2], sg[3]]
+        let mut out =
+            vec![flavor, algo, mt, threads, bl[0], bl[1], bl[2], bl[3], sg[0], sg[1], sg[2], sg[3]];
+        if self.hierarchical {
+            out.push(1);
+        }
+        out
     }
 
-    /// Decode [`Plan::encode`]'s output — 12-byte v2, or the legacy 8-byte
-    /// v1 layout (which predates segmentation and means `segments = 1`);
-    /// `None` on malformed bytes.
+    /// Decode [`Plan::encode`]'s output — 13-byte v3, 12-byte v2 (which
+    /// predates the hierarchy byte and means `hierarchical = false`), or the
+    /// legacy 8-byte v1 layout (pre-segmentation, `segments = 1`); `None` on
+    /// malformed bytes.
     pub fn decode(bytes: &[u8]) -> Option<Plan> {
-        if bytes.len() != 12 && bytes.len() != 8 {
+        if bytes.len() != 13 && bytes.len() != 12 && bytes.len() != 8 {
             return None;
         }
         let flavor = match bytes[0] {
@@ -236,7 +255,7 @@ impl Plan {
         if block_len == 0 {
             return None;
         }
-        let segments = if bytes.len() == 12 {
+        let segments = if bytes.len() >= 12 {
             u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize
         } else {
             1
@@ -244,7 +263,13 @@ impl Plan {
         if segments == 0 {
             return None;
         }
-        Some(Plan { flavor, algo, mode, block_len, segments })
+        let hierarchical = match bytes.get(12) {
+            None => false,
+            Some(0) => false,
+            Some(1) => true,
+            Some(_) => return None,
+        };
+        Some(Plan { flavor, algo, mode, block_len, segments, hierarchical })
     }
 }
 
@@ -265,12 +290,30 @@ pub struct ScenarioSpec {
     /// `(block_len, estimated compression ratio)` pairs; must contain at
     /// least one entry. Ratio 1.0 means incompressible.
     pub ratios: Vec<(usize, f64)>,
+    /// Two-tier fabric shape the collective runs on, when known. `None`
+    /// (the default) is the flat single-tier fabric; `Some` lets the engine
+    /// offer hierarchical candidates and price them with the two-tier cost
+    /// forms.
+    pub topology: Option<netsim::Topology>,
 }
 
 impl ScenarioSpec {
     /// Convenience constructor with a single `(block_len, ratio)` estimate.
     pub fn new(op: Op, elems: usize, nranks: usize, eb: f64, block_len: usize, ratio: f64) -> Self {
-        ScenarioSpec { op, elems, nranks, eb, ratios: vec![(block_len, ratio)] }
+        ScenarioSpec { op, elems, nranks, eb, ratios: vec![(block_len, ratio)], topology: None }
+    }
+
+    /// Attach the two-tier fabric shape this scenario runs on.
+    pub fn with_topology(mut self, topology: netsim::Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The topology, when it is genuinely two-level (`nodes > 1 && ppn > 1`
+    /// — degenerate shapes collapse to the flat fabric and never justify
+    /// hierarchical plans).
+    pub fn two_tier_topology(&self) -> Option<&netsim::Topology> {
+        self.topology.as_ref().filter(|t| t.nodes > 1 && t.ppn > 1)
     }
 
     /// Per-rank message size in bytes.
@@ -292,13 +335,24 @@ impl ScenarioSpec {
     /// The scenario bucket this spec falls into: cache entries are shared by
     /// all scenarios with the same op, rank count, power-of-two size bucket
     /// and error-bound decade. Deterministic and human-readable, e.g.
-    /// `allreduce:b20:r64:e-4`.
+    /// `allreduce:b20:r64:e-4`. Topologized scenarios get their own buckets
+    /// (`…:t8x8`, plus `:o2` under oversubscription) — a winner measured on
+    /// a flat fabric says nothing about a two-tier one — while flat
+    /// scenarios keep the historical key shape, so existing caches stay
+    /// valid.
     pub fn bucket_key(&self) -> String {
         let bytes = self.message_bytes().max(1);
         // ceil(log2(bytes)): 1 byte -> 0, 2 -> 1, 3..4 -> 2, ...
         let exp = usize::BITS - (bytes - 1).leading_zeros();
         let decade = self.eb.max(f64::MIN_POSITIVE).log10().round() as i64;
-        format!("{}:b{}:r{}:e{}", self.op.name(), exp, self.nranks, decade)
+        let mut key = format!("{}:b{}:r{}:e{}", self.op.name(), exp, self.nranks, decade);
+        if let Some(t) = &self.topology {
+            key.push_str(&format!(":t{}x{}", t.nodes, t.ppn));
+            if t.oversub != 1.0 {
+                key.push_str(&format!(":o{}", t.oversub));
+            }
+        }
+        key
     }
 }
 
@@ -313,13 +367,16 @@ mod tests {
                 for mode in [ThreadMode::St, ThreadMode::Mt(18)] {
                     for block_len in [32usize, 64, 256] {
                         for segments in [1usize, 4, 16] {
-                            let plan = Plan { flavor, algo, mode, block_len, segments };
-                            assert_eq!(
-                                Plan::decode(&plan.encode()),
-                                Some(plan),
-                                "{}",
-                                plan.label()
-                            );
+                            for hierarchical in [false, true] {
+                                let plan =
+                                    Plan { flavor, algo, mode, block_len, segments, hierarchical };
+                                assert_eq!(
+                                    Plan::decode(&plan.encode()),
+                                    Some(plan),
+                                    "{}",
+                                    plan.label()
+                                );
+                            }
                         }
                     }
                 }
@@ -328,12 +385,21 @@ mod tests {
     }
 
     #[test]
-    fn plan_decode_accepts_legacy_v1_bytes_as_serial() {
+    fn plan_decode_accepts_legacy_v1_and_v2_bytes() {
         // the pre-segmentation 8-byte layout decodes with segments = 1
         let v1 = [2u8, 0, 0, 1, 32, 0, 0, 0];
         assert_eq!(
             Plan::decode(&v1),
             Some(Plan::serial(Flavor::Hzccl, Algo::Ring, ThreadMode::St, 32))
+        );
+        // the pre-hierarchy 12-byte layout decodes as a flat plan
+        let v2 = [2u8, 0, 0, 1, 32, 0, 0, 0, 4, 0, 0, 0];
+        assert_eq!(
+            Plan::decode(&v2),
+            Some(Plan {
+                segments: 4,
+                ..Plan::serial(Flavor::Hzccl, Algo::Ring, ThreadMode::St, 32)
+            })
         );
     }
 
@@ -345,14 +411,21 @@ mod tests {
         assert_eq!(Plan::decode(&[0, 0, 0, 1, 0, 0, 0, 0]), None, "zero block");
         assert_eq!(Plan::decode(&[0, 0, 0, 1, 32, 0, 0, 0, 0, 0, 0, 0]), None, "zero segments");
         assert_eq!(Plan::decode(&[0, 0, 0, 1, 32, 0, 0, 0, 4, 0]), None, "odd length");
+        assert_eq!(
+            Plan::decode(&[0, 0, 0, 1, 32, 0, 0, 0, 4, 0, 0, 0, 9]),
+            None,
+            "bad hierarchy byte"
+        );
     }
 
     #[test]
-    fn plan_label_marks_segmented_plans() {
+    fn plan_label_marks_segmented_and_hierarchical_plans() {
         let serial = Plan::serial(Flavor::Hzccl, Algo::Ring, ThreadMode::St, 32);
         assert_eq!(serial.label(), "hz/ring/st/b32");
         let piped = Plan { segments: 4, ..serial };
         assert_eq!(piped.label(), "hz/ring/st/b32/s4");
+        let hier = Plan { hierarchical: true, ..serial };
+        assert_eq!(hier.label(), "hz/ring/st/b32/hier");
     }
 
     #[test]
@@ -364,6 +437,16 @@ mod tests {
         assert_ne!(spec(1 << 18, 1e-4).bucket_key(), spec(1 << 19, 1e-4).bucket_key());
         assert_ne!(spec(1 << 18, 1e-4).bucket_key(), spec(1 << 18, 1e-3).bucket_key());
         assert_eq!(spec(1 << 18, 1e-4).bucket_key(), "allreduce:b20:r64:e-4");
+        // topologized scenarios bucket separately (and keep oversub apart)
+        let topo = netsim::Topology::paper(8, 8);
+        let t = spec(1 << 18, 1e-4).with_topology(topo);
+        assert_eq!(t.bucket_key(), "allreduce:b20:r64:e-4:t8x8");
+        let o = spec(1 << 18, 1e-4).with_topology(topo.with_oversub(2.0));
+        assert_eq!(o.bucket_key(), "allreduce:b20:r64:e-4:t8x8:o2");
+        // degenerate shapes are still two-tier-ineligible but keyed apart
+        let flat = spec(1 << 18, 1e-4).with_topology(netsim::Topology::paper(64, 1));
+        assert!(flat.two_tier_topology().is_none());
+        assert!(t.two_tier_topology().is_some());
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! hzc sum <a.fzl> <b.fzl> <out.fzl>                homomorphic a + b
 //! hzc diff <a.fzl> <b.fzl> <out.fzl>               homomorphic a - b
 //! hzc check <in.f32> <stream.fzl>                  verify the error bound
-//! hzc sim <op> [--ranks N] [--mb M] [--variant V]  run a simulated collective
+//! hzc sim <op> [--ranks N] [--mb M] [--variant V] [--topology NxP[:oversub]]
+//!                                                  run a simulated collective
 //! hzc tune [--ranks L] [--sizes-kb L] [--out F]    offline autotune sweep
 //! hzc bench [--quick] [--against baseline.json]    deterministic perf suite
 //! ```
@@ -46,8 +47,8 @@ const USAGE: &str = "usage:
   hzc check <in.f32> <stream.fzl>
   hzc sim <allreduce|reduce_scatter|reduce|bcast> [--ranks N] [--mb M | --kb K]
           [--variant hz|ccoll|mpi|rd|auto] [--eb E] [--threads T] [--segments S]
-          [--app A] [--seed S] [--cache state.json] [--trace out.json]
-          [--metrics] [--width W] [--critical-path] [--slack]
+          [--topology NxP[:oversub]] [--app A] [--seed S] [--cache state.json]
+          [--trace out.json] [--metrics] [--width W] [--critical-path] [--slack]
   hzc bench [--quick] [--out F] [--against baseline.json] [--tol-time R]
           [--tol-bytes R] [--seed S] [--eb E] [--app A] [--ops L] [--variants L]
           [--ranks-list L] [--sizes-kb L] [--segments-list L] [--no-fault]
@@ -328,7 +329,24 @@ fn sim(args: &[String]) -> Result<(), String> {
         return Err(format!("unknown collective '{op}'"));
     }
     let rest = &args[1..];
-    let ranks: usize = flag(rest, "--ranks")?.unwrap_or(8);
+    // A two-tier fabric: ranks are placed block-wise on nodes, intra-node
+    // links use the fast paper calibration, inter-node links the default
+    // one (optionally oversubscribed). Fixes the rank count to nodes*ppn.
+    let topology = match flag::<String>(rest, "--topology")? {
+        Some(spec) => Some(netsim::Topology::parse(&spec)?),
+        None => None,
+    };
+    let ranks = match (topology, flag::<usize>(rest, "--ranks")?) {
+        (Some(t), Some(r)) if t.nranks() != r => {
+            return Err(format!(
+                "--ranks {r} contradicts --topology ({} = {} ranks)",
+                t.describe(),
+                t.nranks()
+            ));
+        }
+        (Some(t), _) => t.nranks(),
+        (None, r) => r.unwrap_or(8),
+    };
     if ranks == 0 {
         return Err("--ranks must be at least 1".into());
     }
@@ -377,22 +395,28 @@ fn sim(args: &[String]) -> Result<(), String> {
     let cfg = CollectiveConfig::new(eb, mode);
     let timing = ComputeTiming::Modeled(hzccl::paper_model(variant.timing_variant(), mode));
     let net = netsim::NetConfig::default();
-    let cluster =
+    let mut cluster =
         Cluster::new(ranks).with_net(net).with_timing(timing).with_trace(TraceConfig::default());
+    if let Some(t) = topology {
+        cluster = cluster.with_topology(t);
+    }
     let outcomes = cluster.run(|comm| {
         let data = &fields[comm.rank()];
         match variant {
             SimVariant::Auto => {
                 let tuner_op = tuner::Op::parse(op).expect("op validated above");
-                return run_auto(comm, tuner_op, data, &cfg, &engine);
+                return run_auto(comm, tuner_op, data, &cfg, &engine, topology.as_ref());
             }
             SimVariant::Rd => {
                 hzccl::rd::allreduce_rd_hz(comm, data, &cfg).expect("rd allreduce");
             }
             SimVariant::Static(v) => {
-                let opts = hzccl::collectives::CollectiveOpts::for_variant(v, eb)
+                let mut opts = hzccl::collectives::CollectiveOpts::for_variant(v, eb)
                     .with_mode(mode)
                     .with_segments(segments);
+                if let Some(t) = topology {
+                    opts = opts.with_topology(t);
+                }
                 match op {
                     "allreduce" => {
                         hzccl::collectives::allreduce(comm, data, &opts).expect("allreduce");
@@ -429,6 +453,14 @@ fn sim(args: &[String]) -> Result<(), String> {
         "sim {op}: variant={} ranks={ranks} field={field_desc} eb={eb:e} mode={mode:?} segments={segments}",
         variant.label()
     );
+    if let Some(t) = &topology {
+        println!(
+            "topology: {} (intra {} Gb/s, inter {} Gb/s effective)",
+            t.describe(),
+            t.link(netsim::LinkTier::Intra).bandwidth_gbps,
+            t.link(netsim::LinkTier::Inter).bandwidth_gbps,
+        );
+    }
 
     // --- the tuner's explanation (auto only) -------------------------------
     let auto_detail = outcomes[0].value.clone();
@@ -473,8 +505,8 @@ fn sim(args: &[String]) -> Result<(), String> {
     println!("{}", trace::ascii_timeline(&traces, width));
 
     // --- causal critical-path analysis --------------------------------------
-    let critpath =
-        (want_critpath || want_slack).then(|| netsim::CriticalPath::analyze(&traces, &net));
+    let critpath = (want_critpath || want_slack)
+        .then(|| netsim::CriticalPath::analyze_with_topology(&traces, &net, topology.as_ref()));
     if let Some(cp) = critpath.as_ref().filter(|_| want_critpath) {
         print_critical_path(cp, makespan);
     }
@@ -525,6 +557,34 @@ fn print_critical_path(cp: &netsim::CriticalPath, makespan: f64) {
         println!("{name:<14} {secs:>14.6} {:>7.2}%", secs * 100.0 / cp.length);
     }
     println!("{:<14} {:>14.6} {:>7.2}%", "total", cp.buckets.total(), 100.0);
+
+    // per-tier communication attribution (two-tier runs only: flat runs
+    // charge every hop to the Flat pseudo-tier, which this table elides)
+    if netsim::LinkTier::ALL
+        .iter()
+        .any(|t| *t != netsim::LinkTier::Flat && cp.by_tier[t.index()].hops > 0)
+    {
+        println!();
+        println!(
+            "{:<10} {:>6} {:>12} {:>12} {:>12} {:>8}",
+            "tier", "hops", "alpha s", "wire s", "jitter s", "share"
+        );
+        for t in netsim::LinkTier::ALL {
+            let tt = cp.by_tier[t.index()];
+            if tt.hops == 0 {
+                continue;
+            }
+            println!(
+                "{:<10} {:>6} {:>12.6} {:>12.6} {:>12.6} {:>7.2}%",
+                t.name(),
+                tt.hops,
+                tt.alpha,
+                tt.wire,
+                tt.jitter,
+                tt.total() * 100.0 / cp.length
+            );
+        }
+    }
 
     println!();
     println!("{:<8} {:>14} {:>8}", "rank", "path s", "share");
@@ -644,10 +704,13 @@ fn run_auto(
     data: &[f32],
     cfg: &hzccl::CollectiveConfig,
     engine: &tuner::Engine,
+    topology: Option<&netsim::Topology>,
 ) -> Option<(tuner::ScenarioSpec, tuner::Decision)> {
     match op {
         tuner::Op::Allreduce => {
-            hzccl::auto::allreduce(comm, data, cfg, engine).expect("auto allreduce").detail
+            hzccl::auto::allreduce(comm, data, cfg, engine, topology)
+                .expect("auto allreduce")
+                .detail
         }
         tuner::Op::ReduceScatter => {
             hzccl::auto::reduce_scatter(comm, data, cfg, engine).expect("auto rs").detail
@@ -946,7 +1009,7 @@ fn tune(args: &[String]) -> Result<(), String> {
                         (b, ratio.max(1.0))
                     })
                     .collect();
-                let spec = tuner::ScenarioSpec { op, elems, nranks, eb, ratios };
+                let spec = tuner::ScenarioSpec { op, elems, nranks, eb, ratios, topology: None };
                 let scenario_label = format!("{}:{}r:{}K", op.name(), nranks, kb);
 
                 for plan in engine.candidates(&spec) {

@@ -146,8 +146,9 @@ fn auto_picks_a_segmented_plan_where_the_model_predicts_one() {
     let cfg = hzccl::CollectiveConfig::new(1e-4, Mode::SingleThread);
     let timing = ComputeTiming::Modeled(paper_model(Variant::Hzccl, Mode::SingleThread));
     let cluster = Cluster::new(nranks).with_net(NetConfig::default()).with_timing(timing);
-    let outcomes = cluster
-        .run(|comm| hzccl::auto::allreduce(comm, &data[comm.rank()], &cfg, &engine).expect("auto"));
+    let outcomes = cluster.run(|comm| {
+        hzccl::auto::allreduce(comm, &data[comm.rank()], &cfg, &engine, None).expect("auto")
+    });
     let plan = outcomes[0].value.plan;
     assert!(
         plan.segments > 1,
