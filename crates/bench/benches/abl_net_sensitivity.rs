@@ -8,7 +8,7 @@ use datasets::App;
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{paper_model, Mode, Variant};
 use hzccl_bench::{banner, env_usize, scaled_rank_fields, Table};
-use netsim::{Cluster, ComputeTiming, NetConfig};
+use netsim::{ComputeTiming, NetConfig, SimBuilder};
 
 fn main() {
     banner("ABL4", "ablation — network-model sensitivity of the Allreduce comparison");
@@ -34,11 +34,14 @@ fn main() {
             let variant = [Variant::Mpi, Variant::CColl, Variant::Hzccl][which];
             let opts = CollectiveOpts::for_variant(variant, eb).with_mode(mode);
             let timing = ComputeTiming::Modeled(paper_model(variant, mode));
-            let cluster = Cluster::new(nranks).with_net(net).with_timing(timing);
-            let (_, stats) = cluster.run_stats(|comm| {
-                let data = &fields[comm.rank()];
-                collectives::allreduce(comm, data, &opts).expect("allreduce");
-            });
+            let cluster = SimBuilder::new(nranks).net(net).timing(timing);
+            let stats = cluster
+                .run(|comm| {
+                    let data = &fields[comm.rank()];
+                    collectives::allreduce(comm, data, &opts).expect("allreduce");
+                })
+                .expect_clean()
+                .stats;
             stats.makespan
         };
         let t_mpi = run(0);

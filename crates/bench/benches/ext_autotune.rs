@@ -15,7 +15,7 @@ use datasets::App;
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{auto, CollectiveConfig, Mode};
 use hzccl_bench::{banner, env_usize, Table};
-use netsim::{Cluster, ComputeTiming, NetConfig, TraceConfig};
+use netsim::{ComputeTiming, NetConfig, SimBuilder, TraceConfig};
 use tuner::{Engine, Op, Plan, ScenarioSpec, ThreadMode};
 
 /// Execute one static allreduce plan; returns the cluster outcomes.
@@ -25,43 +25,44 @@ fn run_static(
     plan: &Plan,
     eb: f64,
     timing: ComputeTiming,
-) -> (f64, Vec<netsim::cluster::RankOutcome<()>>) {
+) -> (f64, netsim::RunReport<()>) {
     use tuner::{Algo, Flavor};
     let mode = match plan.mode {
         ThreadMode::St => Mode::SingleThread,
         ThreadMode::Mt(k) => Mode::MultiThread(k),
     };
-    let cluster = Cluster::new(nranks)
-        .with_net(NetConfig::default())
-        .with_timing(timing)
-        .with_trace(TraceConfig::default());
-    let outcomes = cluster.run(|comm| {
-        let data = &fields[comm.rank()];
-        match (plan.flavor, plan.algo) {
-            (Flavor::Mpi, Algo::Rd) => {
-                hzccl::rd::allreduce_rd(comm, data, mode.threads());
+    let cluster = SimBuilder::new(nranks)
+        .net(NetConfig::default())
+        .timing(timing)
+        .trace(TraceConfig::default());
+    let report = cluster
+        .run(|comm| {
+            let data = &fields[comm.rank()];
+            match (plan.flavor, plan.algo) {
+                (Flavor::Mpi, Algo::Rd) => {
+                    hzccl::rd::allreduce_rd(comm, data, mode.threads());
+                }
+                (Flavor::Hzccl, Algo::Rd) => {
+                    let cfg = CollectiveConfig { eb, block_len: plan.block_len, mode, res: None };
+                    hzccl::rd::allreduce_rd_hz(comm, data, &cfg).expect("hz rd");
+                }
+                (flavor, _) => {
+                    let variant = match flavor {
+                        Flavor::Mpi => hzccl::Variant::Mpi,
+                        Flavor::CColl => hzccl::Variant::CColl,
+                        Flavor::Hzccl => hzccl::Variant::Hzccl,
+                    };
+                    // honour the full plan, including its segment count
+                    let opts = CollectiveOpts::for_variant(variant, eb)
+                        .with_mode(mode)
+                        .with_block_len(plan.block_len)
+                        .with_segments(plan.segments);
+                    collectives::allreduce(comm, data, &opts).expect("static plan");
+                }
             }
-            (Flavor::Hzccl, Algo::Rd) => {
-                let cfg = CollectiveConfig { eb, block_len: plan.block_len, mode, res: None };
-                hzccl::rd::allreduce_rd_hz(comm, data, &cfg).expect("hz rd");
-            }
-            (flavor, _) => {
-                let variant = match flavor {
-                    Flavor::Mpi => hzccl::Variant::Mpi,
-                    Flavor::CColl => hzccl::Variant::CColl,
-                    Flavor::Hzccl => hzccl::Variant::Hzccl,
-                };
-                // honour the full plan, including its segment count
-                let opts = CollectiveOpts::for_variant(variant, eb)
-                    .with_mode(mode)
-                    .with_block_len(plan.block_len)
-                    .with_segments(plan.segments);
-                collectives::allreduce(comm, data, &opts).expect("static plan");
-            }
-        }
-    });
-    let makespan = outcomes.iter().fold(0f64, |m, o| m.max(o.elapsed));
-    (makespan, outcomes)
+        })
+        .expect_clean();
+    (report.stats.makespan, report)
 }
 
 fn main() {
@@ -105,8 +106,8 @@ fn main() {
         let mut worst = 0f64;
         for plan in engine.candidates(&spec) {
             let timing = ComputeTiming::Modeled(engine.calib.model(plan.flavor, plan.mode));
-            let (makespan, outcomes) = run_static(nranks, &fields, &plan, eb, timing);
-            engine.observe_run(&spec, &plan, &outcomes);
+            let (makespan, report) = run_static(nranks, &fields, &plan, eb, timing);
+            engine.observe_run(&spec, &plan, &report);
             best = best.min(makespan);
             worst = worst.max(makespan);
         }
@@ -118,13 +119,16 @@ fn main() {
         let decision = engine.decide(&spec);
         let timing =
             ComputeTiming::Modeled(engine.calib.model(decision.plan.flavor, decision.plan.mode));
-        let cluster = Cluster::new(nranks).with_net(NetConfig::default()).with_timing(timing);
-        let (_, stats) = cluster.run_stats(|comm| {
-            let mut session = auto::Session::new();
-            session.allreduce(comm, &fields[comm.rank()], &cfg, &engine).expect("auto cold");
-            comm.reset_clock();
-            session.allreduce(comm, &fields[comm.rank()], &cfg, &engine).expect("auto warm");
-        });
+        let cluster = SimBuilder::new(nranks).net(NetConfig::default()).timing(timing);
+        let stats = cluster
+            .run(|comm| {
+                let mut session = auto::Session::new();
+                session.allreduce(comm, &fields[comm.rank()], &cfg, &engine).expect("auto cold");
+                comm.reset_clock();
+                session.allreduce(comm, &fields[comm.rank()], &cfg, &engine).expect("auto warm");
+            })
+            .expect_clean()
+            .stats;
         let t_auto = stats.makespan;
 
         table.row(&[

@@ -9,7 +9,7 @@ use datasets::App;
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{paper_model, Mode, Variant};
 use hzccl_bench::{banner, env_usize, net, scaled_rank_fields, Table};
-use netsim::{Cluster, ComputeTiming};
+use netsim::{ComputeTiming, SimBuilder};
 
 fn main() {
     banner("EXT4", "extension — segmented pipelined ring vs phase-serial");
@@ -38,11 +38,13 @@ fn main() {
     let run = |variant: Variant, segments: usize| -> (f64, Vec<f32>) {
         let opts = CollectiveOpts::for_variant(variant, eb).with_mode(mode).with_segments(segments);
         let timing = ComputeTiming::Modeled(paper_model(variant, mode));
-        let cluster = Cluster::new(nranks).with_net(net()).with_timing(timing);
-        let (results, stats) = cluster.run_stats(|comm| {
-            collectives::allreduce(comm, &fields[comm.rank()], &opts).expect("allreduce")
-        });
-        (stats.makespan, results.into_iter().next().unwrap())
+        let cluster = SimBuilder::new(nranks).net(net()).timing(timing);
+        let report = cluster
+            .run(|comm| {
+                collectives::allreduce(comm, &fields[comm.rank()], &opts).expect("allreduce")
+            })
+            .expect_clean();
+        (report.stats.makespan, report.values().into_iter().next().unwrap())
     };
 
     for variant in [Variant::Mpi, Variant::CColl, Variant::Hzccl] {

@@ -6,7 +6,7 @@ use datasets::App;
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{paper_model, Mode, Variant};
 use hzccl_bench::{banner, env_usize, scaled_rank_fields, Table};
-use netsim::{Cluster, ComputeTiming};
+use netsim::{ComputeTiming, SimBuilder};
 
 fn main() {
     banner("EXT1", "extension — Reduce-to-root and Bcast across flavours");
@@ -21,16 +21,19 @@ fn main() {
     let run = |which: usize, op: usize| -> f64 {
         let variant = [Variant::Mpi, Variant::CColl, Variant::Hzccl][which];
         let opts = CollectiveOpts::for_variant(variant, eb).with_mode(mode);
-        let cluster = Cluster::new(nranks).with_timing(timing(variant));
-        let (_, stats) = cluster.run_stats(|comm| {
-            let data = &fields[comm.rank()];
-            if op == 0 {
-                collectives::reduce(comm, data, &opts).expect("reduce");
-            } else {
-                // the unified API takes a full-length buffer on every rank
-                collectives::bcast(comm, data, &opts).expect("bcast");
-            }
-        });
+        let cluster = SimBuilder::new(nranks).timing(timing(variant));
+        let stats = cluster
+            .run(|comm| {
+                let data = &fields[comm.rank()];
+                if op == 0 {
+                    collectives::reduce(comm, data, &opts).expect("reduce");
+                } else {
+                    // the unified API takes a full-length buffer on every rank
+                    collectives::bcast(comm, data, &opts).expect("bcast");
+                }
+            })
+            .expect_clean()
+            .stats;
         stats.makespan
     };
 

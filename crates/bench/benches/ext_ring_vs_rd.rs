@@ -8,7 +8,7 @@ use datasets::App;
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{paper_model, rd, CollectiveConfig, Mode, Variant};
 use hzccl_bench::{banner, env_usize, Table};
-use netsim::{Cluster, ComputeTiming};
+use netsim::{ComputeTiming, SimBuilder};
 
 fn main() {
     banner("EXT2", "extension — ring vs recursive-doubling Allreduce crossover");
@@ -33,15 +33,18 @@ fn main() {
         let fields: Vec<Vec<f32>> =
             (0..nranks).map(|r| App::SimSet1.generate(n, r as u64)).collect();
         let run = |ring: bool| -> f64 {
-            let cluster = Cluster::new(nranks).with_timing(timing);
-            let (_, stats) = cluster.run_stats(|comm| {
-                let data = &fields[comm.rank()];
-                if ring {
-                    collectives::allreduce(comm, data, &ring_opts).expect("ring");
-                } else {
-                    rd::allreduce_rd_hz(comm, data, &cfg).expect("rd");
-                }
-            });
+            let cluster = SimBuilder::new(nranks).timing(timing);
+            let stats = cluster
+                .run(|comm| {
+                    let data = &fields[comm.rank()];
+                    if ring {
+                        collectives::allreduce(comm, data, &ring_opts).expect("ring");
+                    } else {
+                        rd::allreduce_rd_hz(comm, data, &cfg).expect("rd");
+                    }
+                })
+                .expect_clean()
+                .stats;
             stats.makespan
         };
         let t_ring = run(true);

@@ -8,7 +8,7 @@ use hzccl::{ccoll, CollectiveConfig, Kernel, Mode, Variant};
 use hzccl_bench::{
     banner, env_usize, mt_threads, net, ranks, scaled_rank_fields, timing_for, CollOp, Table,
 };
-use netsim::Cluster;
+use netsim::SimBuilder;
 
 fn main() {
     banner("FIG8", "Fig. 8 — Allreduce: hZCCL vs C-Coll (+ unfused ablation)");
@@ -43,14 +43,17 @@ fn main() {
             // unfused ablation (MT): hZCCL RS + C-Coll-style Allgather
             let mode = Mode::MultiThread(mt);
             let timing = timing_for(Variant::Hzccl, mode, &fields[0][..n.min(1 << 21)], eb);
-            let cluster = Cluster::new(nranks).with_net(net()).with_timing(timing);
+            let cluster = SimBuilder::new(nranks).net(net()).timing(timing);
             let cfg = CollectiveConfig::new(eb, mode);
             let opts = CollectiveOpts::hz(eb).with_mode(mode);
-            let (_, stats) = cluster.run_stats(|comm| {
-                let data = &fields[comm.rank()];
-                let own = collectives::reduce_scatter(comm, data, &opts).expect("rs");
-                ccoll::allgather(comm, &own, data.len(), &cfg).expect("ag");
-            });
+            let stats = cluster
+                .run(|comm| {
+                    let data = &fields[comm.rank()];
+                    let own = collectives::reduce_scatter(comm, data, &opts).expect("rs");
+                    ccoll::allgather(comm, &own, data.len(), &cfg).expect("ag");
+                })
+                .expect_clean()
+                .stats;
             let h_unfused = stats.makespan;
 
             table.row(&[

@@ -5,7 +5,7 @@
 use datasets::{save_pgm, App, Quality};
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl_bench::{banner, env_usize};
-use netsim::{Cluster, ComputeTiming, ThroughputModel};
+use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 use std::path::Path;
 
 fn observation(base: &[f32], rank: usize) -> Vec<f32> {
@@ -33,11 +33,14 @@ fn main() {
     let exact: Vec<f32> = (0..n).map(|i| fields.iter().map(|f| f[i]).sum::<f32>()).collect();
 
     let timing = ComputeTiming::Modeled(ThroughputModel::new(2.0, 4.0, 20.0, 10.0, 20.0));
-    let cluster = Cluster::new(nranks).with_timing(timing);
+    let cluster = SimBuilder::new(nranks).timing(timing);
     let opts = CollectiveOpts::hz(eb);
-    let outcomes = cluster.run(|comm| {
-        collectives::allreduce(comm, &fields[comm.rank()], &opts).expect("stacking allreduce")
-    });
+    let outcomes = cluster
+        .run(|comm| {
+            collectives::allreduce(comm, &fields[comm.rank()], &opts).expect("stacking allreduce")
+        })
+        .expect_clean()
+        .outcomes;
     let stacked = &outcomes[0].value;
 
     let dir = Path::new("target/fig13");

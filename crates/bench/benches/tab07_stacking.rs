@@ -61,11 +61,14 @@ fn main() {
         &fields[0][..n.min(1 << 21)],
         eb,
     );
-    let cluster = netsim::Cluster::new(nranks).with_net(hzccl_bench::net()).with_timing(timing);
+    let cluster = netsim::SimBuilder::new(nranks).net(hzccl_bench::net()).timing(timing);
     let opts = CollectiveOpts::hz(eb);
-    let outcomes = cluster.run(|comm| {
-        collectives::allreduce(comm, &fields[comm.rank()], &opts).expect("stacking allreduce")
-    });
+    let outcomes = cluster
+        .run(|comm| {
+            collectives::allreduce(comm, &fields[comm.rank()], &opts).expect("stacking allreduce")
+        })
+        .expect_clean()
+        .outcomes;
     let q = Quality::compare(&exact, &outcomes[0].value);
     println!("\nhZCCL stacked-image quality: PSNR = {:.2} dB, NRMSE = {:.1e}", q.psnr, q.nrmse);
     println!("(paper: PSNR 62.00, NRMSE 8.0e-4 at abs eb 1e-4)");

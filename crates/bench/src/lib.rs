@@ -145,29 +145,25 @@ pub fn run_collective(
     let mt = mt_threads();
     let mode = kernel.mode(mt).unwrap_or(Mode::SingleThread);
     let timing = timing_for(kernel.variant(), mode, calibration_sample(&fields[0]), eb);
-    let mut cluster = netsim::Cluster::new(nranks).with_net(net()).with_timing(timing);
+    let mut cluster = netsim::SimBuilder::new(nranks).net(net()).timing(timing);
     if metrics_out_dir().is_some() {
-        cluster = cluster.with_trace(netsim::TraceConfig::default());
+        cluster = cluster.trace(netsim::TraceConfig::default());
     }
-    let outcomes = cluster.run(|comm| {
-        let data = &fields[comm.rank()];
-        match op {
-            CollOp::Allreduce => {
-                kernel.allreduce(comm, data, eb, mt).expect("kernel allreduce");
+    let report = cluster
+        .run(|comm| {
+            let data = &fields[comm.rank()];
+            match op {
+                CollOp::Allreduce => {
+                    kernel.allreduce(comm, data, eb, mt).expect("kernel allreduce");
+                }
+                CollOp::ReduceScatter => {
+                    kernel.reduce_scatter(comm, data, eb, mt).expect("kernel reduce_scatter");
+                }
             }
-            CollOp::ReduceScatter => {
-                kernel.reduce_scatter(comm, data, eb, mt).expect("kernel reduce_scatter");
-            }
-        }
-    });
-    let mut makespan = 0f64;
-    let mut total = netsim::Breakdown::default();
-    for o in &outcomes {
-        makespan = makespan.max(o.elapsed);
-        total += o.breakdown;
-    }
-    record_metrics(&outcomes);
-    (makespan, total)
+        })
+        .expect_clean();
+    record_metrics(&report);
+    (report.stats.makespan, report.stats.total)
 }
 
 /// Where metric snapshots go, if requested via `HZ_METRICS_OUT`.
@@ -196,14 +192,14 @@ fn bench_name() -> String {
     }
 }
 
-/// Fold one run's outcomes into the global registry and (re)write the
+/// Fold one run's report into the global registry and (re)write the
 /// `BENCH_<name>.json` snapshot. No-op unless `HZ_METRICS_OUT` is set.
-pub fn record_metrics<R>(outcomes: &[netsim::RankOutcome<R>]) {
+pub fn record_metrics<R>(report: &netsim::RunReport<R>) {
     let Some(dir) = metrics_out_dir() else {
         return;
     };
     let mut guard = global_registry().lock().expect("metrics registry poisoned");
-    guard.record_run(outcomes);
+    guard.record_report(report);
     let path = dir.join(format!("BENCH_{}.json", bench_name()));
     let _ = std::fs::create_dir_all(&dir);
     if let Err(e) = std::fs::write(&path, guard.to_json().render()) {

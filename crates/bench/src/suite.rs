@@ -13,7 +13,9 @@
 
 use crate::{scaled_rank_fields, CollOp};
 use hzccl::{Mode, Resilience, Variant};
-use netsim::{Cluster, ComputeTiming, CriticalPath, FaultPlan, NetConfig, Topology, TraceConfig};
+use netsim::{
+    ComputeTiming, CriticalPath, FaultPlan, NetConfig, SimBuilder, SimEngine, Topology, TraceConfig,
+};
 
 /// Shared inputs of every case in a suite run.
 #[derive(Debug, Clone)]
@@ -26,11 +28,21 @@ pub struct SuiteConfig {
     pub app: datasets::App,
     /// Network model (defaults to the paper calibration).
     pub net: NetConfig,
+    /// Execution engine driving the virtual cluster. Both engines produce
+    /// byte-identical suite results; the knob exists so CI can pin exactly
+    /// that (`hzc bench --engine`).
+    pub engine: SimEngine,
 }
 
 impl Default for SuiteConfig {
     fn default() -> SuiteConfig {
-        SuiteConfig { seed: 0, eb: 1e-4, app: datasets::App::SimSet2, net: NetConfig::default() }
+        SuiteConfig {
+            seed: 0,
+            eb: 1e-4,
+            app: datasets::App::SimSet2,
+            net: NetConfig::default(),
+            engine: SimEngine::default(),
+        }
     }
 }
 
@@ -153,6 +165,32 @@ pub fn quick_cases() -> Vec<CaseSpec> {
     cases
 }
 
+/// The `--scale` family: the regime the event-driven engine exists for.
+/// Ring allreduce at {512, 2048, 4096} ranks — far past what a
+/// thread-per-rank scheduler could sensibly host — at a small per-rank
+/// field so the sweep stays wall-clock-friendly. Kept out of
+/// [`canonical_cases`] so the committed `BENCH_results.json` is unchanged;
+/// CI covers the regime with an untraced 4096-rank smoke
+/// (`tests/engine_equivalence.rs`) because fully-traced r4096 cases cost
+/// minutes apiece — `hzc bench --scale` is the manual/nightly sweep.
+pub fn scale_cases() -> Vec<CaseSpec> {
+    let mut out = Vec::new();
+    for ranks in [512usize, 2048, 4096] {
+        for variant in [Variant::Mpi, Variant::Hzccl] {
+            out.push(CaseSpec {
+                op: CollOp::Allreduce,
+                variant,
+                ranks,
+                kb: 4,
+                segments: 1,
+                faulted: false,
+                topology: None,
+            });
+        }
+    }
+    out
+}
+
 /// The two-tier topology sweep: hierarchical allreduce on paper fabrics
 /// ([`Topology::paper`]: intra-node links 10× faster than inter-node).
 /// The quick subset covers a small 4×2 fabric; the canonical sweep adds the
@@ -260,15 +298,16 @@ pub fn run_case(spec: &CaseSpec, cfg: &SuiteConfig) -> CaseResult {
     let timing =
         ComputeTiming::Modeled(hzccl::paper_model(spec.timing_variant(), Mode::SingleThread));
     let topo = spec.topology.map(|(nodes, ppn)| Topology::paper(nodes, ppn));
-    let mut cluster = Cluster::new(spec.ranks)
-        .with_net(cfg.net)
-        .with_timing(timing)
-        .with_trace(TraceConfig::default());
+    let mut cluster = SimBuilder::new(spec.ranks)
+        .net(cfg.net)
+        .timing(timing)
+        .trace(TraceConfig::default())
+        .engine(cfg.engine);
     if spec.faulted {
-        cluster = cluster.with_faults(FaultPlan::new(cfg.seed).with_drop(0.02).with_corrupt(0.01));
+        cluster = cluster.faults(FaultPlan::new(cfg.seed).with_drop(0.02).with_corrupt(0.01));
     }
     if let Some(t) = topo {
-        cluster = cluster.with_topology(t);
+        cluster = cluster.topology(t);
     }
 
     let mut opts = hzccl::collectives::CollectiveOpts::for_variant(spec.variant, cfg.eb)
@@ -281,35 +320,32 @@ pub fn run_case(spec: &CaseSpec, cfg: &SuiteConfig) -> CaseResult {
         opts = opts.with_topology(t);
     }
     let op = spec.op;
-    let outcomes = cluster.run(|comm| {
-        let data = &fields[comm.rank()];
-        match op {
-            CollOp::Allreduce => {
-                hzccl::collectives::allreduce(comm, data, &opts).expect("bench allreduce");
+    let report = cluster
+        .run(|comm| {
+            let data = &fields[comm.rank()];
+            match op {
+                CollOp::Allreduce => {
+                    hzccl::collectives::allreduce(comm, data, &opts).expect("bench allreduce");
+                }
+                CollOp::ReduceScatter => {
+                    hzccl::collectives::reduce_scatter(comm, data, &opts).expect("bench rs");
+                }
             }
-            CollOp::ReduceScatter => {
-                hzccl::collectives::reduce_scatter(comm, data, &opts).expect("bench rs");
-            }
-        }
-    });
+        })
+        .expect_clean();
 
-    let mut virtual_secs = 0f64;
-    let mut breakdown = netsim::Breakdown::default();
-    for o in &outcomes {
-        virtual_secs = virtual_secs.max(o.elapsed);
-        breakdown += o.breakdown;
-    }
+    let virtual_secs = report.stats.makespan;
+    let breakdown = report.stats.total;
     let mut registry = netsim::Registry::new();
-    registry.record_run(&outcomes);
+    registry.record_report(&report);
     let (latency_p50, latency_p99) = registry
         .histogram("hz_collective_latency_seconds")
         .map(|h| (h.quantile(0.5), h.quantile(0.99)))
         .unwrap_or((0.0, 0.0));
 
-    let (_, traces) = netsim::trace::take_traces(outcomes);
     let mut wire_bytes = 0u64;
     let mut logical_bytes = 0u64;
-    for t in &traces {
+    for t in &report.traces {
         for ev in &t.events {
             if let netsim::Event::Send { wire_bytes: w, logical_bytes: l, .. } = *ev {
                 wire_bytes += w as u64;
@@ -317,7 +353,7 @@ pub fn run_case(spec: &CaseSpec, cfg: &SuiteConfig) -> CaseResult {
             }
         }
     }
-    let critpath = CriticalPath::analyze_with_topology(&traces, &cfg.net, topo.as_ref());
+    let critpath = CriticalPath::analyze_with_topology(&report.traces, &cfg.net, topo.as_ref());
 
     CaseResult {
         spec: spec.clone(),
@@ -371,6 +407,20 @@ mod tests {
         // (including the final-line comma) never move
         assert!(canonical_cases().last().unwrap().faulted);
         assert!(quick_cases().last().unwrap().faulted);
+    }
+
+    #[test]
+    fn scale_family_is_disjoint_from_the_committed_baseline() {
+        let cases = scale_cases();
+        assert_eq!(cases.len(), 3 * 2, "{{512,2048,4096}} x {{mpi,hz}}");
+        assert!(cases.iter().any(|c| c.id() == "allreduce/hz/r4096/kb4/s1"));
+        // No id overlap with canonical: a --scale run can never be diffed
+        // against (or mistaken for) the committed baseline's cases.
+        let canon: std::collections::BTreeSet<String> =
+            canonical_cases().iter().map(|c| c.id()).collect();
+        for c in &cases {
+            assert!(!canon.contains(&c.id()), "{} collides with canonical", c.id());
+        }
     }
 
     #[test]

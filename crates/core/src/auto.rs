@@ -360,7 +360,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::{Cluster, ComputeTiming};
+    use netsim::{ComputeTiming, SimBuilder};
     use tuner::DecisionSource;
 
     fn engine() -> Engine {
@@ -392,11 +392,14 @@ mod tests {
         let eb = 1e-3;
         let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
         let eng = engine();
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            allreduce(comm, &data, &cfg, &eng, None).expect("auto allreduce")
-        });
+        let cluster = SimBuilder::new(nranks).timing(modeled());
+        let outcomes = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                allreduce(comm, &data, &cfg, &eng, None).expect("auto allreduce")
+            })
+            .expect_clean()
+            .outcomes;
         // every rank executed the same plan …
         let plan = outcomes[0].value.plan;
         assert!(outcomes.iter().all(|o| o.value.plan == plan), "plan mismatch across ranks");
@@ -421,11 +424,14 @@ mod tests {
     fn small_allreduce_takes_the_rd_shortcut() {
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
         let eng = engine();
-        let cluster = Cluster::new(4).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), 256); // 1 KiB << small_message_bytes
-            allreduce(comm, &data, &cfg, &eng, None).expect("auto allreduce")
-        });
+        let cluster = SimBuilder::new(4).timing(modeled());
+        let outcomes = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), 256); // 1 KiB << small_message_bytes
+                allreduce(comm, &data, &cfg, &eng, None).expect("auto allreduce")
+            })
+            .expect_clean()
+            .outcomes;
         assert_eq!(outcomes[0].value.plan.algo, Algo::Rd);
         let (_, d) = outcomes[0].value.detail.as_ref().unwrap();
         assert_eq!(d.source, DecisionSource::SmallMessage);
@@ -441,11 +447,14 @@ mod tests {
         let eb = 1e-4;
         let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
         let eng = engine();
-        let cluster = Cluster::new(topo.nranks()).with_timing(modeled()).with_topology(topo);
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            allreduce(comm, &data, &cfg, &eng, Some(&topo)).expect("auto allreduce")
-        });
+        let cluster = SimBuilder::new(topo.nranks()).timing(modeled()).topology(topo);
+        let outcomes = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                allreduce(comm, &data, &cfg, &eng, Some(&topo)).expect("auto allreduce")
+            })
+            .expect_clean()
+            .outcomes;
         let plan = outcomes[0].value.plan;
         // the model is free to pick whichever flavour's hierarchy prices
         // cheapest (at single-thread paper calibration the raw-summation
@@ -475,11 +484,14 @@ mod tests {
         let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
         let eng = engine();
 
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            reduce(comm, &data, root, &cfg, &eng).expect("auto reduce")
-        });
+        let cluster = SimBuilder::new(nranks).timing(modeled());
+        let outcomes = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                reduce(comm, &data, root, &cfg, &eng).expect("auto reduce")
+            })
+            .expect_clean()
+            .outcomes;
         let exact = exact_sum(nranks, n);
         for (r, o) in outcomes.iter().enumerate() {
             assert_eq!(o.value.detail.is_some(), r == root, "only the root explains");
@@ -497,11 +509,14 @@ mod tests {
             }
         }
 
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = if comm.rank() == root { field(root, n) } else { Vec::new() };
-            bcast(comm, &data, root, n, &cfg, &eng).expect("auto bcast")
-        });
+        let cluster = SimBuilder::new(nranks).timing(modeled());
+        let outcomes = cluster
+            .run(|comm| {
+                let data = if comm.rank() == root { field(root, n) } else { Vec::new() };
+                bcast(comm, &data, root, n, &cfg, &eng).expect("auto bcast")
+            })
+            .expect_clean()
+            .outcomes;
         let want = field(root, n);
         for o in &outcomes {
             let max_err = o
@@ -521,16 +536,19 @@ mod tests {
         let n = 1 << 14;
         let cfg = CollectiveConfig::new(1e-3, Mode::SingleThread);
         let eng = engine();
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            let mut session = Session::new();
-            let cold = session.allreduce(comm, &data, &cfg, &eng).expect("cold");
-            let cold_elapsed = comm.elapsed();
-            comm.reset_clock();
-            let warm = session.allreduce(comm, &data, &cfg, &eng).expect("warm");
-            (cold, cold_elapsed, warm, comm.elapsed())
-        });
+        let cluster = SimBuilder::new(nranks).timing(modeled());
+        let outcomes = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                let mut session = Session::new();
+                let cold = session.allreduce(comm, &data, &cfg, &eng).expect("cold");
+                let cold_elapsed = comm.elapsed();
+                comm.reset_clock();
+                let warm = session.allreduce(comm, &data, &cfg, &eng).expect("warm");
+                (cold, cold_elapsed, warm, comm.elapsed())
+            })
+            .expect_clean()
+            .outcomes;
         for o in &outcomes {
             let (cold, cold_elapsed, warm, warm_elapsed) = &o.value;
             assert_eq!(cold.plan, warm.plan, "memo must replay the agreed plan");
@@ -550,11 +568,14 @@ mod tests {
         let n = 4096;
         let cfg = CollectiveConfig::new(1e-3, Mode::SingleThread);
         let eng = engine();
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            reduce_scatter(comm, &data, &cfg, &eng).expect("auto reduce_scatter")
-        });
+        let cluster = SimBuilder::new(nranks).timing(modeled());
+        let outcomes = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                reduce_scatter(comm, &data, &cfg, &eng).expect("auto reduce_scatter")
+            })
+            .expect_clean()
+            .outcomes;
         let total: usize = outcomes.iter().map(|o| o.value.value.len()).sum();
         assert_eq!(total, n, "chunks tile the vector");
     }

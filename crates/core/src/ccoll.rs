@@ -489,7 +489,7 @@ pub(crate) fn bcast_impl(
 mod tests {
     use super::*;
     use crate::config::Mode;
-    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+    use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 
     fn modeled() -> ComputeTiming {
         ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
@@ -516,11 +516,14 @@ mod tests {
         for nranks in [2usize, 4, 6] {
             for segments in [1usize, 4] {
                 let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
-                let cluster = Cluster::new(nranks).with_timing(modeled());
-                let outcomes = cluster.run(|comm| {
-                    let data = field(comm.rank(), n);
-                    allreduce_impl(comm, &data, &cfg, segments).expect("ccoll allreduce")
-                });
+                let cluster = SimBuilder::new(nranks).timing(modeled());
+                let outcomes = cluster
+                    .run(|comm| {
+                        let data = field(comm.rank(), n);
+                        allreduce_impl(comm, &data, &cfg, segments).expect("ccoll allreduce")
+                    })
+                    .expect_clean()
+                    .outcomes;
                 let expect = direct_sum(nranks, n);
                 // DOC error: each round re-quantizes, so worst case grows with N
                 let tol = (2.0 * nranks as f64) * eb + 1e-6;
@@ -542,11 +545,14 @@ mod tests {
         let nranks = 4;
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
         let run = |segments: usize| {
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            cluster.run(|comm| {
-                let data = field(comm.rank(), n);
-                allreduce_impl(comm, &data, &cfg, segments).expect("ccoll allreduce")
-            })
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    allreduce_impl(comm, &data, &cfg, segments).expect("ccoll allreduce")
+                })
+                .expect_clean()
+                .outcomes
         };
         let serial = run(1);
         for segments in [2usize, 4, 64] {
@@ -563,11 +569,14 @@ mod tests {
         let nranks = 3;
         for segments in [1usize, 3] {
             let cfg = CollectiveConfig::new(1e-4, Mode::MultiThread(2));
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), n);
-                reduce_scatter_impl(comm, &data, &cfg, segments).expect("rs")
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    reduce_scatter_impl(comm, &data, &cfg, segments).expect("rs")
+                })
+                .expect_clean()
+                .outcomes;
             let expect = direct_sum(nranks, n);
             let chunks = node_chunks(n, nranks);
             for (r, o) in outcomes.iter().enumerate() {
@@ -584,12 +593,15 @@ mod tests {
     fn ccoll_charges_doc_costs_every_round() {
         for segments in [1usize, 4] {
             let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
-            let cluster = Cluster::new(4).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), 4096);
-                reduce_scatter_impl(comm, &data, &cfg, segments).expect("rs");
-                comm.breakdown()
-            });
+            let cluster = SimBuilder::new(4).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), 4096);
+                    reduce_scatter_impl(comm, &data, &cfg, segments).expect("rs");
+                    comm.breakdown()
+                })
+                .expect_clean()
+                .outcomes;
             for o in outcomes {
                 let b = o.value;
                 assert!(b.cpr > 0.0 && b.dpr > 0.0 && b.cpt > 0.0, "{b:?}");
@@ -605,11 +617,14 @@ mod tests {
         let eb = 1e-4;
         for segments in [1usize, 2] {
             let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), n);
-                reduce_impl(comm, &data, 0, &cfg, segments).expect("reduce")
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    reduce_impl(comm, &data, 0, &cfg, segments).expect("reduce")
+                })
+                .expect_clean()
+                .outcomes;
             let expect = direct_sum(nranks, n);
             let got = outcomes[0].value.as_ref().expect("root result");
             for (a, b) in got.iter().zip(&expect) {
@@ -627,11 +642,14 @@ mod tests {
         let base = field(3, n);
         for segments in [1usize, 2] {
             let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = if comm.rank() == 0 { base.clone() } else { Vec::new() };
-                bcast_impl(comm, &data, 0, n, &cfg, segments).expect("bcast")
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = if comm.rank() == 0 { base.clone() } else { Vec::new() };
+                    bcast_impl(comm, &data, 0, n, &cfg, segments).expect("bcast")
+                })
+                .expect_clean()
+                .outcomes;
             for o in &outcomes {
                 for (a, b) in o.value.iter().zip(&base) {
                     assert!((a - b).abs() as f64 <= eb + 1e-9, "segments={segments}: {a} vs {b}");
@@ -647,12 +665,15 @@ mod tests {
         let base: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
         for segments in [1usize, 4] {
             let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let chunks = node_chunks(n, comm.size());
-                let own = base[chunks[comm.rank()].clone()].to_vec();
-                allgather_impl(comm, &own, n, &cfg, segments).expect("ag")
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let chunks = node_chunks(n, comm.size());
+                    let own = base[chunks[comm.rank()].clone()].to_vec();
+                    allgather_impl(comm, &own, n, &cfg, segments).expect("ag")
+                })
+                .expect_clean()
+                .outcomes;
             for o in outcomes {
                 for (a, b) in o.value.iter().zip(&base) {
                     assert!((a - b).abs() <= 1e-4 + 1e-7, "segments={segments}: {a} vs {b}");

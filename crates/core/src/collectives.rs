@@ -32,14 +32,16 @@
 //!
 //! ```
 //! use hzccl::collectives::{self, CollectiveOpts};
-//! use netsim::Cluster;
+//! use netsim::SimBuilder;
 //!
 //! let opts = CollectiveOpts::hz(1e-4).with_segments(4);
-//! let outcomes = Cluster::new(4).run(move |comm| {
-//!     let data: Vec<f32> = (0..256).map(|i| (i + comm.rank()) as f32 * 0.1).collect();
-//!     collectives::allreduce(comm, &data, &opts).unwrap()
-//! });
-//! assert!(outcomes.iter().all(|o| o.value == outcomes[0].value));
+//! let report = SimBuilder::new(4)
+//!     .run(move |comm| {
+//!         let data: Vec<f32> = (0..256).map(|i| (i + comm.rank()) as f32 * 0.1).collect();
+//!         collectives::allreduce(comm, &data, &opts).unwrap()
+//!     })
+//!     .expect_clean();
+//! assert!(report.outcomes.iter().all(|o| o.value == report.outcomes[0].value));
 //! ```
 
 use crate::auto;
@@ -454,7 +456,7 @@ pub fn bcast(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec
 mod tests {
     use super::*;
     use crate::chunks::node_chunks;
-    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+    use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 
     fn modeled() -> ComputeTiming {
         ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
@@ -491,11 +493,14 @@ mod tests {
         for opts in all_opts() {
             for segments in [1usize, 4] {
                 let opts = opts.clone().with_segments(segments);
-                let cluster = Cluster::new(nranks).with_timing(modeled());
-                let outcomes = cluster.run(|comm| {
-                    let data = field(comm.rank(), n);
-                    allreduce(comm, &data, &opts).expect("allreduce")
-                });
+                let cluster = SimBuilder::new(nranks).timing(modeled());
+                let outcomes = cluster
+                    .run(|comm| {
+                        let data = field(comm.rank(), n);
+                        allreduce(comm, &data, &opts).expect("allreduce")
+                    })
+                    .expect_clean()
+                    .outcomes;
                 let tol = if opts.variant() == Variant::Mpi { 1e-4 } else { 0.01 };
                 for o in &outcomes {
                     // C-Coll's Allgather keeps the own chunk raw (no
@@ -524,11 +529,14 @@ mod tests {
         let expect = direct_sum(nranks, n);
         for opts in all_opts() {
             let opts = opts.with_root(root);
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), n);
-                reduce(comm, &data, &opts).expect("reduce")
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    reduce(comm, &data, &opts).expect("reduce")
+                })
+                .expect_clean()
+                .outcomes;
             for (r, o) in outcomes.iter().enumerate() {
                 if r == root {
                     assert_eq!(o.value.len(), n, "{:?}", opts.variant());
@@ -550,12 +558,15 @@ mod tests {
         let base = field(root, n);
         for opts in all_opts() {
             let opts = opts.with_root(root);
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                // non-roots pass garbage of the right length — MPI semantics
-                let data = if comm.rank() == root { base.clone() } else { vec![f32::NAN; n] };
-                bcast(comm, &data, &opts).expect("bcast")
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    // non-roots pass garbage of the right length — MPI semantics
+                    let data = if comm.rank() == root { base.clone() } else { vec![f32::NAN; n] };
+                    bcast(comm, &data, &opts).expect("bcast")
+                })
+                .expect_clean()
+                .outcomes;
             for o in &outcomes {
                 for (a, b) in o.value.iter().zip(&base) {
                     assert!((a - b).abs() <= 1e-3 + 1e-6, "{:?}: {a} vs {b}", opts.variant());
@@ -571,11 +582,14 @@ mod tests {
         let expect = direct_sum(nranks, n);
         let chunks = node_chunks(n, nranks);
         for opts in [CollectiveOpts::mpi(), CollectiveOpts::hz(1e-4).with_segments(2)] {
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), n);
-                reduce_scatter(comm, &data, &opts).expect("rs")
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    reduce_scatter(comm, &data, &opts).expect("rs")
+                })
+                .expect_clean()
+                .outcomes;
             for (r, o) in outcomes.iter().enumerate() {
                 assert_eq!(o.value.len(), chunks[r].len());
                 for (a, b) in o.value.iter().zip(&expect[chunks[r].clone()]) {
@@ -587,11 +601,14 @@ mod tests {
 
     #[test]
     fn undersized_input_is_a_typed_error_not_a_panic() {
-        let cluster = Cluster::new(4).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let opts = CollectiveOpts::hz(1e-4);
-            allreduce(comm, &[1.0, 2.0], &opts).map_err(|e| e.to_string())
-        });
+        let cluster = SimBuilder::new(4).timing(modeled());
+        let outcomes = cluster
+            .run(|comm| {
+                let opts = CollectiveOpts::hz(1e-4);
+                allreduce(comm, &[1.0, 2.0], &opts).map_err(|e| e.to_string())
+            })
+            .expect_clean()
+            .outcomes;
         for o in outcomes {
             let msg = o.value.expect_err("2 elements over 4 ranks must fail");
             assert!(msg.contains("elems=2"), "{msg}");
@@ -601,15 +618,18 @@ mod tests {
 
     #[test]
     fn out_of_range_root_is_a_typed_error() {
-        let cluster = Cluster::new(2).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let opts = CollectiveOpts::mpi().with_root(7);
-            let data = vec![1.0f32; 16];
-            (
-                matches!(reduce(comm, &data, &opts), Err(Error::InvalidRoot { root: 7, .. })),
-                matches!(bcast(comm, &data, &opts), Err(Error::InvalidRoot { root: 7, .. })),
-            )
-        });
+        let cluster = SimBuilder::new(2).timing(modeled());
+        let outcomes = cluster
+            .run(|comm| {
+                let opts = CollectiveOpts::mpi().with_root(7);
+                let data = vec![1.0f32; 16];
+                (
+                    matches!(reduce(comm, &data, &opts), Err(Error::InvalidRoot { root: 7, .. })),
+                    matches!(bcast(comm, &data, &opts), Err(Error::InvalidRoot { root: 7, .. })),
+                )
+            })
+            .expect_clean()
+            .outcomes;
         for o in outcomes {
             assert_eq!(o.value, (true, true));
         }

@@ -68,7 +68,7 @@ mod tests {
     use super::*;
     use crate::config::{CollectiveConfig, Mode};
     use datasets::App;
-    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+    use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 
     #[test]
     fn bound_ordering_matches_workflow_quality() {
@@ -102,16 +102,19 @@ mod tests {
         let exact: Vec<f64> = (0..n).map(|i| fields.iter().map(|f| f[i] as f64).sum()).collect();
         let ulp = exact.iter().fold(0f64, |m, v| m.max(v.abs())) * f32::EPSILON as f64;
 
-        let cluster = Cluster::new(nranks).with_timing(timing);
+        let cluster = SimBuilder::new(nranks).timing(timing);
         let max_err = |which: usize| -> f64 {
-            let outcomes = cluster.run(|comm| {
-                let data = &fields[comm.rank()];
-                match which {
-                    0 => crate::hz::allreduce_impl(comm, data, &cfg, 1).expect("hz"),
-                    1 => crate::ccoll::allreduce_impl(comm, data, &cfg, 1).expect("ccoll"),
-                    _ => crate::p2p::allreduce(comm, data, &cfg).expect("p2p"),
-                }
-            });
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = &fields[comm.rank()];
+                    match which {
+                        0 => crate::hz::allreduce_impl(comm, data, &cfg, 1).expect("hz"),
+                        1 => crate::ccoll::allreduce_impl(comm, data, &cfg, 1).expect("ccoll"),
+                        _ => crate::p2p::allreduce(comm, data, &cfg).expect("p2p"),
+                    }
+                })
+                .expect_clean()
+                .outcomes;
             outcomes[0]
                 .value
                 .iter()

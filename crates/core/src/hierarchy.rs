@@ -365,7 +365,7 @@ mod tests {
     use super::*;
     use crate::config::Mode;
     use crate::pipeline::decode_tag;
-    use netsim::{Cluster, ComputeTiming, Event, LinkTier, ThroughputModel, TraceConfig};
+    use netsim::{ComputeTiming, Event, LinkTier, SimBuilder, ThroughputModel, TraceConfig};
 
     fn modeled() -> ComputeTiming {
         ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
@@ -400,11 +400,14 @@ mod tests {
             let expect = direct_sum(nranks, n);
             for flavor in [Flavor::Mpi, Flavor::CColl, Flavor::Hzccl] {
                 let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
-                let cluster = Cluster::new(nranks).with_timing(modeled()).with_topology(topo);
-                let outcomes = cluster.run(|comm| {
-                    let data = field(comm.rank(), n);
-                    allreduce_hier(comm, &data, flavor, &topo, &cfg).expect("hier allreduce")
-                });
+                let cluster = SimBuilder::new(nranks).timing(modeled()).topology(topo);
+                let outcomes = cluster
+                    .run(|comm| {
+                        let data = field(comm.rank(), n);
+                        allreduce_hier(comm, &data, flavor, &topo, &cfg).expect("hier allreduce")
+                    })
+                    .expect_clean()
+                    .outcomes;
                 // one quantization per compressed hop on the inter tier;
                 // f32 association differences add a small float slack
                 let tol = match flavor {
@@ -429,19 +432,19 @@ mod tests {
     fn intra_and_inter_phases_never_share_a_tag_or_a_tier() {
         let topo = Topology::paper(2, 3);
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
-        let cluster = Cluster::new(6)
-            .with_timing(modeled())
-            .with_topology(topo)
-            .with_trace(TraceConfig::default());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), 600);
-            allreduce_hier(comm, &data, Flavor::Hzccl, &topo, &cfg).expect("hier allreduce")
-        });
+        let cluster =
+            SimBuilder::new(6).timing(modeled()).topology(topo).trace(TraceConfig::default());
+        let report = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), 600);
+                allreduce_hier(comm, &data, Flavor::Hzccl, &topo, &cfg).expect("hier allreduce")
+            })
+            .expect_clean();
         let mut intra_tags = std::collections::BTreeSet::new();
         let mut inter_tags = std::collections::BTreeSet::new();
         let mut sends = 0usize;
-        for o in &outcomes {
-            for ev in &o.trace.as_ref().expect("traced run").events {
+        for t in &report.traces {
+            for ev in &t.events {
                 let &Event::Send { tag, tier, .. } = ev else { continue };
                 sends += 1;
                 let info = decode_tag(tag).expect("hierarchical sends use collective tags");
@@ -477,19 +480,25 @@ mod tests {
         let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
         let timing = ComputeTiming::Modeled(tuner::paper_prior(Flavor::Hzccl, false));
         let flat = {
-            let cluster = Cluster::new(topo.nranks()).with_timing(timing).with_topology(topo);
-            let (_, stats) = cluster.run_stats(|comm| {
-                let data = field(comm.rank(), n);
-                crate::hz::allreduce_impl(comm, &data, &cfg, 1).expect("flat hz");
-            });
+            let cluster = SimBuilder::new(topo.nranks()).timing(timing).topology(topo);
+            let stats = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    crate::hz::allreduce_impl(comm, &data, &cfg, 1).expect("flat hz");
+                })
+                .expect_clean()
+                .stats;
             stats.makespan
         };
         let hier = {
-            let cluster = Cluster::new(topo.nranks()).with_timing(timing).with_topology(topo);
-            let (_, stats) = cluster.run_stats(|comm| {
-                let data = field(comm.rank(), n);
-                allreduce_hier(comm, &data, Flavor::Hzccl, &topo, &cfg).expect("hier hz");
-            });
+            let cluster = SimBuilder::new(topo.nranks()).timing(timing).topology(topo);
+            let stats = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    allreduce_hier(comm, &data, Flavor::Hzccl, &topo, &cfg).expect("hier hz");
+                })
+                .expect_clean()
+                .stats;
             stats.makespan
         };
         assert!(

@@ -593,7 +593,7 @@ pub fn allreduce_unfused(
 mod tests {
     use super::*;
     use crate::config::Mode;
-    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+    use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 
     fn modeled() -> ComputeTiming {
         ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
@@ -620,11 +620,14 @@ mod tests {
         for nranks in [2usize, 4, 6] {
             for mode in [Mode::SingleThread, Mode::MultiThread(2)] {
                 let cfg = CollectiveConfig::new(eb, mode);
-                let cluster = Cluster::new(nranks).with_timing(modeled());
-                let outcomes = cluster.run(|comm| {
-                    let data = field(comm.rank(), n);
-                    allreduce_impl(comm, &data, &cfg, 1).expect("hzccl allreduce")
-                });
+                let cluster = SimBuilder::new(nranks).timing(modeled());
+                let outcomes = cluster
+                    .run(|comm| {
+                        let data = field(comm.rank(), n);
+                        allreduce_impl(comm, &data, &cfg, 1).expect("hzccl allreduce")
+                    })
+                    .expect_clean()
+                    .outcomes;
                 let expect = direct_sum(nranks, n);
                 // each rank's single quantization contributes <= eb; the
                 // homomorphic sums are exact on the integers
@@ -645,11 +648,14 @@ mod tests {
     fn all_ranks_agree_bitwise() {
         let cfg = CollectiveConfig::new(1e-4, Mode::MultiThread(2));
         for segments in [1usize, 4] {
-            let cluster = Cluster::new(5).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), 1000);
-                allreduce_impl(comm, &data, &cfg, segments).expect("allreduce")
-            });
+            let cluster = SimBuilder::new(5).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), 1000);
+                    allreduce_impl(comm, &data, &cfg, segments).expect("allreduce")
+                })
+                .expect_clean()
+                .outcomes;
             for o in &outcomes[1..] {
                 assert_eq!(o.value, outcomes[0].value);
             }
@@ -662,11 +668,14 @@ mod tests {
         let nranks = 4;
         let eb = 1e-4;
         let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            reduce_scatter_impl(comm, &data, &cfg, 1).expect("rs")
-        });
+        let cluster = SimBuilder::new(nranks).timing(modeled());
+        let outcomes = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                reduce_scatter_impl(comm, &data, &cfg, 1).expect("rs")
+            })
+            .expect_clean()
+            .outcomes;
         let expect = direct_sum(nranks, n);
         let chunks = node_chunks(n, nranks);
         for (r, o) in outcomes.iter().enumerate() {
@@ -680,12 +689,15 @@ mod tests {
     fn hzccl_charges_hpr_not_per_round_doc() {
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
         for segments in [1usize, 4] {
-            let cluster = Cluster::new(4).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), 4096);
-                reduce_scatter_impl(comm, &data, &cfg, segments).expect("rs");
-                comm.breakdown()
-            });
+            let cluster = SimBuilder::new(4).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), 4096);
+                    reduce_scatter_impl(comm, &data, &cfg, segments).expect("rs");
+                    comm.breakdown()
+                })
+                .expect_clean()
+                .outcomes;
             for o in outcomes {
                 let b = o.value;
                 assert!(b.hpr > 0.0, "{b:?}");
@@ -701,12 +713,15 @@ mod tests {
     fn pipelined_reduce_scatter_is_bit_identical_and_same_compute_totals() {
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
         let run = |segments: usize| {
-            let cluster = Cluster::new(4).with_timing(modeled());
-            cluster.run(|comm| {
-                let data = field(comm.rank(), 4096);
-                let v = reduce_scatter_impl(comm, &data, &cfg, segments).expect("rs");
-                (v, comm.breakdown())
-            })
+            let cluster = SimBuilder::new(4).timing(modeled());
+            cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), 4096);
+                    let v = reduce_scatter_impl(comm, &data, &cfg, segments).expect("rs");
+                    (v, comm.breakdown())
+                })
+                .expect_clean()
+                .outcomes
         };
         let serial = run(1);
         let piped = run(4);
@@ -723,15 +738,18 @@ mod tests {
     fn fused_allreduce_beats_unfused_in_virtual_time() {
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
         let run = |fused: bool| {
-            let cluster = Cluster::new(6).with_timing(modeled());
-            let (_, stats) = cluster.run_stats(|comm| {
-                let data = field(comm.rank(), 60_000);
-                if fused {
-                    allreduce_impl(comm, &data, &cfg, 1).expect("fused")
-                } else {
-                    allreduce_unfused(comm, &data, &cfg).expect("unfused")
-                };
-            });
+            let cluster = SimBuilder::new(6).timing(modeled());
+            let stats = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), 60_000);
+                    if fused {
+                        allreduce_impl(comm, &data, &cfg, 1).expect("fused")
+                    } else {
+                        allreduce_unfused(comm, &data, &cfg).expect("unfused")
+                    };
+                })
+                .expect_clean()
+                .stats;
             stats.makespan
         };
         assert!(run(true) < run(false));
@@ -743,15 +761,21 @@ mod tests {
         let nranks = 3;
         let eb = 1e-3;
         let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let fused = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            allreduce_impl(comm, &data, &cfg, 1).expect("fused")
-        });
-        let unfused = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            allreduce_unfused(comm, &data, &cfg).expect("unfused")
-        });
+        let cluster = SimBuilder::new(nranks).timing(modeled());
+        let fused = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                allreduce_impl(comm, &data, &cfg, 1).expect("fused")
+            })
+            .expect_clean()
+            .outcomes;
+        let unfused = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                allreduce_unfused(comm, &data, &cfg).expect("unfused")
+            })
+            .expect_clean()
+            .outcomes;
         for (a, b) in fused[0].value.iter().zip(&unfused[0].value) {
             // unfused re-quantizes once more at the stage boundary
             assert!(((a - b).abs() as f64) <= 2.0 * eb + 1e-9, "{a} vs {b}");
@@ -766,11 +790,14 @@ mod tests {
         let root = 2;
         let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
         for segments in [1usize, 3] {
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), n);
-                reduce_impl(comm, &data, root, &cfg, segments).expect("reduce")
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    reduce_impl(comm, &data, root, &cfg, segments).expect("reduce")
+                })
+                .expect_clean()
+                .outcomes;
             let expect = direct_sum(nranks, n);
             for (r, o) in outcomes.iter().enumerate() {
                 if r == root {
@@ -789,12 +816,15 @@ mod tests {
     fn reduce_leaves_non_roots_without_decompression_cost() {
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
         for segments in [1usize, 4] {
-            let cluster = Cluster::new(4).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), 2048);
-                reduce_impl(comm, &data, 0, &cfg, segments).expect("reduce");
-                comm.breakdown()
-            });
+            let cluster = SimBuilder::new(4).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), 2048);
+                    reduce_impl(comm, &data, 0, &cfg, segments).expect("reduce");
+                    comm.breakdown()
+                })
+                .expect_clean()
+                .outcomes;
             assert!(outcomes[0].value.dpr > 0.0, "root decompresses");
             for o in &outcomes[1..] {
                 assert_eq!(o.value.dpr, 0.0, "non-roots never decompress: {:?}", o.value);
@@ -811,11 +841,14 @@ mod tests {
         let base = field(7, n);
         let cfg = CollectiveConfig::new(eb, Mode::MultiThread(2));
         for segments in [1usize, 2] {
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = if comm.rank() == root { base.clone() } else { Vec::new() };
-                bcast_impl(comm, &data, root, n, &cfg, segments).expect("bcast")
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = if comm.rank() == root { base.clone() } else { Vec::new() };
+                    bcast_impl(comm, &data, root, n, &cfg, segments).expect("bcast")
+                })
+                .expect_clean()
+                .outcomes;
             for o in &outcomes {
                 assert_eq!(o.value, outcomes[0].value, "all ranks identical");
                 for (a, b) in o.value.iter().zip(&base) {
@@ -829,11 +862,14 @@ mod tests {
     fn single_rank_allreduce_is_quantized_identity() {
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
         for segments in [1usize, 4] {
-            let cluster = Cluster::new(1).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(0, 256);
-                allreduce_impl(comm, &data, &cfg, segments).expect("allreduce")
-            });
+            let cluster = SimBuilder::new(1).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = field(0, 256);
+                    allreduce_impl(comm, &data, &cfg, segments).expect("allreduce")
+                })
+                .expect_clean()
+                .outcomes;
             for (a, b) in outcomes[0].value.iter().zip(field(0, 256)) {
                 assert!((a - b).abs() <= 1e-4 + 1e-9);
             }

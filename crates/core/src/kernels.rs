@@ -114,7 +114,7 @@ impl std::fmt::Display for Kernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+    use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 
     #[test]
     fn kernel_ids_match_artifact_numbering() {
@@ -139,11 +139,14 @@ mod tests {
             }
         }
         for kernel in Kernel::ALL {
-            let cluster = Cluster::new(nranks).with_timing(timing);
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank());
-                kernel.allreduce(comm, &data, eb, 2).expect("kernel allreduce")
-            });
+            let cluster = SimBuilder::new(nranks).timing(timing);
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = field(comm.rank());
+                    kernel.allreduce(comm, &data, eb, 2).expect("kernel allreduce")
+                })
+                .expect_clean()
+                .outcomes;
             let tol = if kernel == Kernel::MpiOriginal { 1e-5 } else { 2.0 * nranks as f64 * eb };
             for o in outcomes {
                 for (a, b) in o.value.iter().zip(&expect) {

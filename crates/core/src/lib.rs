@@ -30,17 +30,18 @@
 //!
 //! ```
 //! use hzccl::collectives::{self, CollectiveOpts};
-//! use netsim::Cluster;
+//! use netsim::SimBuilder;
 //!
 //! let opts = CollectiveOpts::hz(1e-4);
-//! let cluster = Cluster::new(4);
-//! let outcomes = cluster.run(move |comm| {
-//!     let rank = comm.rank();
-//!     let data: Vec<f32> = (0..256).map(|i| (i + rank) as f32 * 0.1).collect();
-//!     collectives::allreduce(comm, &data, &opts).unwrap()
-//! });
+//! let report = SimBuilder::new(4)
+//!     .run(move |comm| {
+//!         let rank = comm.rank();
+//!         let data: Vec<f32> = (0..256).map(|i| (i + rank) as f32 * 0.1).collect();
+//!         collectives::allreduce(comm, &data, &opts).unwrap()
+//!     })
+//!     .expect_clean();
 //! // every rank holds the same error-bounded sum
-//! assert!(outcomes.iter().all(|o| o.value == outcomes[0].value));
+//! assert!(report.outcomes.iter().all(|o| o.value == report.outcomes[0].value));
 //! ```
 
 pub mod auto;
@@ -68,7 +69,7 @@ pub use resilient::{PayloadKind, Resilience};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::{Cluster, ComputeTiming, NetConfig, ThroughputModel};
+    use netsim::{ComputeTiming, NetConfig, SimBuilder, ThroughputModel};
 
     fn modeled() -> ComputeTiming {
         // DOC-class compressor ~5-20 GB/s, homomorphic processing much faster
@@ -88,12 +89,14 @@ mod tests {
         let n = 1 << 18; // 1 MiB of f32 per rank
         let nranks = 8;
         let time_of = |opts: CollectiveOpts| {
-            let cluster =
-                Cluster::new(nranks).with_timing(modeled()).with_net(NetConfig::default());
-            let (_, stats) = cluster.run_stats(|comm| {
-                let data = smooth_field(comm.rank(), n);
-                collectives::allreduce(comm, &data, &opts).expect("allreduce");
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled()).net(NetConfig::default());
+            let stats = cluster
+                .run(|comm| {
+                    let data = smooth_field(comm.rank(), n);
+                    collectives::allreduce(comm, &data, &opts).expect("allreduce");
+                })
+                .expect_clean()
+                .stats;
             stats.makespan
         };
         let t_mpi = time_of(CollectiveOpts::mpi());
@@ -111,11 +114,14 @@ mod tests {
     fn hzccl_reduces_doc_share_vs_ccoll() {
         let n = 1 << 16;
         let share = |opts: CollectiveOpts| {
-            let cluster = Cluster::new(4).with_timing(modeled());
-            let (_, stats) = cluster.run_stats(|comm| {
-                let data = smooth_field(comm.rank(), n);
-                collectives::allreduce(comm, &data, &opts).expect("allreduce");
-            });
+            let cluster = SimBuilder::new(4).timing(modeled());
+            let stats = cluster
+                .run(|comm| {
+                    let data = smooth_field(comm.rank(), n);
+                    collectives::allreduce(comm, &data, &opts).expect("allreduce");
+                })
+                .expect_clean()
+                .stats;
             let (doc, _, _) = stats.total.percentages();
             doc
         };
@@ -134,7 +140,7 @@ mod tests {
         let n = 4096;
         let nranks = 6;
         let eb = 1e-3;
-        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let cluster = SimBuilder::new(nranks).timing(modeled());
         let exact: Vec<f32> = {
             let mut acc = vec![0f32; n];
             for r in 0..nranks {
@@ -145,10 +151,13 @@ mod tests {
             acc
         };
         let max_err = |opts: CollectiveOpts| {
-            let outcomes = cluster.run(|comm| {
-                let data = smooth_field(comm.rank(), n);
-                collectives::allreduce(comm, &data, &opts).expect("allreduce")
-            });
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = smooth_field(comm.rank(), n);
+                    collectives::allreduce(comm, &data, &opts).expect("allreduce")
+                })
+                .expect_clean()
+                .outcomes;
             outcomes[0]
                 .value
                 .iter()

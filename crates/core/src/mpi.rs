@@ -371,7 +371,7 @@ pub(crate) fn bcast_impl(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+    use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 
     fn modeled() -> ComputeTiming {
         ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
@@ -396,11 +396,14 @@ mod tests {
         for nranks in [2usize, 3, 5, 8] {
             for segments in [1usize, 4] {
                 let n = 1000;
-                let cluster = Cluster::new(nranks).with_timing(modeled());
-                let outcomes = cluster.run(|comm| {
-                    let data = field(comm.rank(), n);
-                    reduce_scatter_impl(comm, &data, 1, segments, None)
-                });
+                let cluster = SimBuilder::new(nranks).timing(modeled());
+                let outcomes = cluster
+                    .run(|comm| {
+                        let data = field(comm.rank(), n);
+                        reduce_scatter_impl(comm, &data, 1, segments, None)
+                    })
+                    .expect_clean()
+                    .outcomes;
                 let expect = expected_sum(nranks, n);
                 let chunks = node_chunks(n, nranks);
                 for (r, o) in outcomes.iter().enumerate() {
@@ -420,12 +423,15 @@ mod tests {
         let nranks = 4;
         let base: Vec<f32> = (0..n).map(|i| i as f32).collect();
         for segments in [1usize, 3] {
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let chunks = node_chunks(n, comm.size());
-                let own = base[chunks[comm.rank()].clone()].to_vec();
-                allgather_impl(comm, &own, n, segments, None)
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let chunks = node_chunks(n, comm.size());
+                    let own = base[chunks[comm.rank()].clone()].to_vec();
+                    allgather_impl(comm, &own, n, segments, None)
+                })
+                .expect_clean()
+                .outcomes;
             for o in outcomes {
                 assert_eq!(o.value, base);
             }
@@ -437,11 +443,14 @@ mod tests {
         for nranks in [2usize, 4, 7] {
             for segments in [1usize, 2] {
                 let n = 777;
-                let cluster = Cluster::new(nranks).with_timing(modeled());
-                let outcomes = cluster.run(|comm| {
-                    let data = field(comm.rank(), n);
-                    allreduce_impl(comm, &data, 1, segments, None)
-                });
+                let cluster = SimBuilder::new(nranks).timing(modeled());
+                let outcomes = cluster
+                    .run(|comm| {
+                        let data = field(comm.rank(), n);
+                        allreduce_impl(comm, &data, 1, segments, None)
+                    })
+                    .expect_clean()
+                    .outcomes;
                 let expect = expected_sum(nranks, n);
                 for (r, o) in outcomes.iter().enumerate() {
                     assert_eq!(o.value, expect, "rank {r} segments={segments}");
@@ -455,11 +464,14 @@ mod tests {
         let n = 2000;
         let nranks = 5;
         let run = |segments: usize| {
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            cluster.run(|comm| {
-                let data = field(comm.rank(), n);
-                allreduce_impl(comm, &data, 1, segments, None)
-            })
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    allreduce_impl(comm, &data, 1, segments, None)
+                })
+                .expect_clean()
+                .outcomes
         };
         let serial = run(1);
         for segments in [2usize, 8, 64] {
@@ -472,11 +484,14 @@ mod tests {
 
     #[test]
     fn single_rank_is_identity() {
-        let cluster = Cluster::new(1).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(0, 64);
-            allreduce_impl(comm, &data, 1, 1, None)
-        });
+        let cluster = SimBuilder::new(1).timing(modeled());
+        let outcomes = cluster
+            .run(|comm| {
+                let data = field(0, 64);
+                allreduce_impl(comm, &data, 1, 1, None)
+            })
+            .expect_clean()
+            .outcomes;
         assert_eq!(outcomes[0].value, field(0, 64));
     }
 
@@ -486,11 +501,14 @@ mod tests {
             for segments in [1usize, 4] {
                 let nranks = 5;
                 let n = 500;
-                let cluster = Cluster::new(nranks).with_timing(modeled());
-                let outcomes = cluster.run(|comm| {
-                    let data = field(comm.rank(), n);
-                    reduce_impl(comm, &data, root, 1, segments, None)
-                });
+                let cluster = SimBuilder::new(nranks).timing(modeled());
+                let outcomes = cluster
+                    .run(|comm| {
+                        let data = field(comm.rank(), n);
+                        reduce_impl(comm, &data, root, 1, segments, None)
+                    })
+                    .expect_clean()
+                    .outcomes;
                 let expect = expected_sum(nranks, n);
                 for (r, o) in outcomes.iter().enumerate() {
                     if r == root {
@@ -510,11 +528,14 @@ mod tests {
         let root = 3;
         let base = field(9, n);
         for segments in [1usize, 4] {
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = if comm.rank() == root { base.clone() } else { Vec::new() };
-                bcast_impl(comm, &data, root, n, segments, None)
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = if comm.rank() == root { base.clone() } else { Vec::new() };
+                    bcast_impl(comm, &data, root, n, segments, None)
+                })
+                .expect_clean()
+                .outcomes;
             for o in outcomes {
                 assert_eq!(o.value, base);
             }
@@ -523,13 +544,16 @@ mod tests {
 
     #[test]
     fn single_rank_reduce_and_bcast_are_identity() {
-        let cluster = Cluster::new(1).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(0, 32);
-            let red = reduce_impl(comm, &data, 0, 1, 1, None).unwrap();
-            let bc = bcast_impl(comm, &data, 0, 32, 1, None);
-            (red, bc)
-        });
+        let cluster = SimBuilder::new(1).timing(modeled());
+        let outcomes = cluster
+            .run(|comm| {
+                let data = field(0, 32);
+                let red = reduce_impl(comm, &data, 0, 1, 1, None).unwrap();
+                let bc = bcast_impl(comm, &data, 0, 32, 1, None);
+                (red, bc)
+            })
+            .expect_clean()
+            .outcomes;
         assert_eq!(outcomes[0].value.0, field(0, 32));
         assert_eq!(outcomes[0].value.1, field(0, 32));
     }
@@ -537,12 +561,15 @@ mod tests {
     #[test]
     fn mpi_time_dominates_for_large_messages() {
         // the uncompressed baseline should be communication-bound
-        let cluster = Cluster::new(4).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), 1 << 20);
-            allreduce_impl(comm, &data, 1, 1, None);
-            comm.breakdown()
-        });
+        let cluster = SimBuilder::new(4).timing(modeled());
+        let outcomes = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), 1 << 20);
+                allreduce_impl(comm, &data, 1, 1, None);
+                comm.breakdown()
+            })
+            .expect_clean()
+            .outcomes;
         for o in &outcomes[1..] {
             assert!(o.value.mpi > o.value.cpt, "{:?}", o.value);
         }

@@ -145,7 +145,7 @@ pub fn allreduce(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) -> Resul
 mod tests {
     use super::*;
     use crate::config::Mode;
-    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+    use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 
     fn modeled() -> ComputeTiming {
         ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
@@ -161,11 +161,14 @@ mod tests {
         let nranks = 4;
         let eb = 1e-4;
         let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            allreduce(comm, &data, &cfg).expect("p2p allreduce")
-        });
+        let cluster = SimBuilder::new(nranks).timing(modeled());
+        let outcomes = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                allreduce(comm, &data, &cfg).expect("p2p allreduce")
+            })
+            .expect_clean()
+            .outcomes;
         let mut expect = vec![0f32; n];
         for r in 0..nranks {
             for (a, b) in expect.iter_mut().zip(field(r, n)) {
@@ -189,24 +192,30 @@ mod tests {
         let n = 64 * 40;
         let nranks = 8;
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
-        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let cluster = SimBuilder::new(nranks).timing(modeled());
         let base: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).sin()).collect();
         let p2p_cpr = {
-            let outcomes = cluster.run(|comm| {
-                let chunks = node_chunks(n, comm.size());
-                let own = base[chunks[comm.rank()].clone()].to_vec();
-                allgather(comm, &own, n, &cfg).expect("p2p ag");
-                comm.breakdown().cpr
-            });
+            let outcomes = cluster
+                .run(|comm| {
+                    let chunks = node_chunks(n, comm.size());
+                    let own = base[chunks[comm.rank()].clone()].to_vec();
+                    allgather(comm, &own, n, &cfg).expect("p2p ag");
+                    comm.breakdown().cpr
+                })
+                .expect_clean()
+                .outcomes;
             outcomes.iter().map(|o| o.value).sum::<f64>()
         };
         let ccoll_cpr = {
-            let outcomes = cluster.run(|comm| {
-                let chunks = node_chunks(n, comm.size());
-                let own = base[chunks[comm.rank()].clone()].to_vec();
-                crate::ccoll::allgather(comm, &own, n, &cfg).expect("ccoll ag");
-                comm.breakdown().cpr
-            });
+            let outcomes = cluster
+                .run(|comm| {
+                    let chunks = node_chunks(n, comm.size());
+                    let own = base[chunks[comm.rank()].clone()].to_vec();
+                    crate::ccoll::allgather(comm, &own, n, &cfg).expect("ccoll ag");
+                    comm.breakdown().cpr
+                })
+                .expect_clean()
+                .outcomes;
             outcomes.iter().map(|o| o.value).sum::<f64>()
         };
         assert!(p2p_cpr > 5.0 * ccoll_cpr, "p2p CPR {p2p_cpr} should dwarf C-Coll's {ccoll_cpr}");
@@ -223,21 +232,24 @@ mod tests {
             .map(|r| base.iter().map(|&v| v * (1.0 + 0.001 * r as f32)).collect())
             .collect();
         let run = |which: usize| -> f64 {
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let (_, stats) = cluster.run_stats(|comm| {
-                let data = &fields[comm.rank()];
-                match which {
-                    0 => {
-                        allreduce(comm, data, &cfg).expect("p2p");
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let stats = cluster
+                .run(|comm| {
+                    let data = &fields[comm.rank()];
+                    match which {
+                        0 => {
+                            allreduce(comm, data, &cfg).expect("p2p");
+                        }
+                        1 => {
+                            crate::ccoll::allreduce_impl(comm, data, &cfg, 1).expect("ccoll");
+                        }
+                        _ => {
+                            crate::hz::allreduce_impl(comm, data, &cfg, 1).expect("hz");
+                        }
                     }
-                    1 => {
-                        crate::ccoll::allreduce_impl(comm, data, &cfg, 1).expect("ccoll");
-                    }
-                    _ => {
-                        crate::hz::allreduce_impl(comm, data, &cfg, 1).expect("hz");
-                    }
-                }
-            });
+                })
+                .expect_clean()
+                .stats;
             stats.makespan
         };
         let (t_p2p, t_ccoll, t_hz) = (run(0), run(1), run(2));

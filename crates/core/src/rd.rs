@@ -180,7 +180,7 @@ pub fn allreduce_rd_hz(comm: &mut Comm, data: &[f32], cfg: &CollectiveConfig) ->
 mod tests {
     use super::*;
     use crate::config::Mode;
-    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+    use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 
     fn modeled() -> ComputeTiming {
         ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
@@ -220,11 +220,14 @@ mod tests {
     fn rd_matches_direct_sum_for_all_counts() {
         for nranks in [1usize, 2, 3, 4, 5, 7, 8, 11, 16] {
             let n = 300;
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), n);
-                allreduce_rd(comm, &data, 1)
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    allreduce_rd(comm, &data, 1)
+                })
+                .expect_clean()
+                .outcomes;
             let expect = direct_sum(nranks, n);
             for (r, o) in outcomes.iter().enumerate() {
                 for (i, (a, b)) in o.value.iter().zip(&expect).enumerate() {
@@ -240,11 +243,14 @@ mod tests {
         let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
         for nranks in [1usize, 2, 3, 5, 8, 13] {
             let n = 400;
-            let cluster = Cluster::new(nranks).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
-                let data = field(comm.rank(), n);
-                allreduce_rd_hz(comm, &data, &cfg).expect("rd hz")
-            });
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let outcomes = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    allreduce_rd_hz(comm, &data, &cfg).expect("rd hz")
+                })
+                .expect_clean()
+                .outcomes;
             let expect = direct_sum(nranks, n);
             let tol = nranks as f64 * eb + 1e-6;
             for o in &outcomes {
@@ -261,15 +267,21 @@ mod tests {
         let cfg = CollectiveConfig::new(eb, Mode::SingleThread);
         let nranks = 6;
         let n = 600;
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let ring = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            crate::hz::allreduce_impl(comm, &data, &cfg, 1).expect("ring")
-        });
-        let rd = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            allreduce_rd_hz(comm, &data, &cfg).expect("rd")
-        });
+        let cluster = SimBuilder::new(nranks).timing(modeled());
+        let ring = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                crate::hz::allreduce_impl(comm, &data, &cfg, 1).expect("ring")
+            })
+            .expect_clean()
+            .outcomes;
+        let rd = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                allreduce_rd_hz(comm, &data, &cfg).expect("rd")
+            })
+            .expect_clean()
+            .outcomes;
         // both sum the same quantization integers (in different orders, but
         // integer addition is associative) => identical reconstructions
         assert_eq!(ring[0].value, rd[0].value);
@@ -281,19 +293,25 @@ mod tests {
         let nranks = 16;
         let n = 64; // 256 B per rank
         let cfg = CollectiveConfig::new(1e-4, Mode::SingleThread);
-        let cluster = Cluster::new(nranks).with_timing(modeled());
+        let cluster = SimBuilder::new(nranks).timing(modeled());
         let t_ring = {
-            let (_, s) = cluster.run_stats(|comm| {
-                let data = field(comm.rank(), n);
-                crate::hz::allreduce_impl(comm, &data, &cfg, 1).expect("ring");
-            });
+            let s = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    crate::hz::allreduce_impl(comm, &data, &cfg, 1).expect("ring");
+                })
+                .expect_clean()
+                .stats;
             s.makespan
         };
         let t_rd = {
-            let (_, s) = cluster.run_stats(|comm| {
-                let data = field(comm.rank(), n);
-                allreduce_rd_hz(comm, &data, &cfg).expect("rd");
-            });
+            let s = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    allreduce_rd_hz(comm, &data, &cfg).expect("rd");
+                })
+                .expect_clean()
+                .stats;
             s.makespan
         };
         assert!(t_rd < t_ring, "rd {t_rd} vs ring {t_ring}");

@@ -46,10 +46,16 @@
 //! pre-existing unframed `Comm` call, so fault-free runs are bit-identical
 //! to the unresilient build.
 
-use netsim::{Comm, OpKind};
+use netsim::{Comm, NetConfig, OpKind};
 
 /// Retry/timeout policy of the resilient transport. `Copy` so it can ride
 /// inside [`crate::CollectiveConfig`] without breaking its `Copy`-ness.
+///
+/// Every duration here is **virtual time** — simulated seconds on the
+/// cluster's α–β clock, not wall-clock seconds of the host running the
+/// simulation. The defaults are sized for the paper fabric's 3 µs
+/// injection latency; on a different network derive a matching policy
+/// with [`Resilience::for_net`] instead of reusing the absolute numbers.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Resilience {
     /// Retransmissions before degrading to an uncompressed reliable resend.
@@ -57,9 +63,9 @@ pub struct Resilience {
     /// Loss-detection timeout charged (virtual seconds) when a frame never
     /// arrives.
     pub timeout_s: f64,
-    /// First-retry backoff; doubles per retry.
+    /// First-retry backoff (virtual seconds); doubles per retry.
     pub backoff_base_s: f64,
-    /// Backoff ceiling.
+    /// Backoff ceiling (virtual seconds).
     pub backoff_max_s: f64,
 }
 
@@ -70,6 +76,23 @@ impl Default for Resilience {
 }
 
 impl Resilience {
+    /// A policy whose virtual-time constants are scaled to `net`'s
+    /// per-message latency α: the loss-detection timeout and the backoff
+    /// window keep the same ratio to α that the defaults have to the paper
+    /// fabric's 3 µs. A 30 µs-latency WAN therefore waits 10× longer before
+    /// declaring a frame lost, instead of timing out on every in-flight
+    /// message; `Resilience::for_net(&NetConfig::default())` is exactly
+    /// [`Resilience::default`].
+    pub fn for_net(net: &NetConfig) -> Self {
+        let scale = (net.latency_s / NetConfig::default().latency_s).max(f64::MIN_POSITIVE);
+        let d = Resilience::default();
+        Resilience {
+            max_retries: d.max_retries,
+            timeout_s: d.timeout_s * scale,
+            backoff_base_s: d.backoff_base_s * scale,
+            backoff_max_s: d.backoff_max_s * scale,
+        }
+    }
     /// Override the retransmission budget.
     pub fn with_max_retries(mut self, n: u32) -> Self {
         self.max_retries = n;
@@ -474,6 +497,24 @@ mod tests {
         assert_eq!(res.backoff(2), 10e-6);
         assert_eq!(res.backoff(3), 20e-6);
         assert_eq!(res.backoff(10), 80e-6, "capped at backoff_max_s");
+    }
+
+    #[test]
+    fn for_net_on_the_paper_fabric_is_exactly_the_default() {
+        assert_eq!(Resilience::for_net(&NetConfig::default()), Resilience::default());
+    }
+
+    #[test]
+    fn for_net_scales_the_virtual_time_constants_with_alpha() {
+        let mut wan = NetConfig::default();
+        wan.latency_s *= 10.0;
+        let res = Resilience::for_net(&wan);
+        let d = Resilience::default();
+        assert_eq!(res.max_retries, d.max_retries, "the retry budget is latency-independent");
+        assert_eq!(res.timeout_s, d.timeout_s * 10.0);
+        assert_eq!(res.backoff_base_s, d.backoff_base_s * 10.0);
+        assert_eq!(res.backoff_max_s, d.backoff_max_s * 10.0);
+        assert!(res.timeout_s > wan.latency_s, "a frame still in flight must not be declared lost");
     }
 
     #[test]

@@ -135,24 +135,27 @@ pub(crate) fn ring_forward_segmented<E>(
 
 #[cfg(test)]
 mod tests {
-    use netsim::{Cluster, ComputeTiming, ThroughputModel};
+    use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 
     #[test]
     fn every_rank_collects_every_chunk() {
         let timing = ComputeTiming::Modeled(ThroughputModel::new(1.0, 1.0, 1.0, 1.0, 1.0));
         for nranks in [1usize, 2, 3, 7] {
-            let cluster = Cluster::new(nranks).with_timing(timing);
-            let outcomes = cluster.run(|comm| {
-                let own = vec![comm.rank() as u8; comm.rank() + 1]; // ragged sizes
-                super::ring_forward_resilient(
-                    comm,
-                    None,
-                    own,
-                    crate::resilient::PayloadKind::Opaque,
-                    &[],
-                    |_, _, _| unreachable!("the unresilient ring never degrades"),
-                )
-            });
+            let cluster = SimBuilder::new(nranks).timing(timing);
+            let outcomes = cluster
+                .run(|comm| {
+                    let own = vec![comm.rank() as u8; comm.rank() + 1]; // ragged sizes
+                    super::ring_forward_resilient(
+                        comm,
+                        None,
+                        own,
+                        crate::resilient::PayloadKind::Opaque,
+                        &[],
+                        |_, _, _| unreachable!("the unresilient ring never degrades"),
+                    )
+                })
+                .expect_clean()
+                .outcomes;
             for o in outcomes {
                 for (idx, (payload, kind)) in o.value.iter().enumerate() {
                     assert_eq!(payload, &vec![idx as u8; idx + 1], "nranks={nranks}");
@@ -178,19 +181,25 @@ mod tests {
                     })
                     .collect();
                 let plan = seg_plan.clone();
-                let cluster = Cluster::new(nranks).with_timing(timing);
-                let outcomes = cluster.run(move |comm| {
-                    let r = comm.rank();
-                    let own: Vec<Vec<u8>> =
-                        plan[r].iter().enumerate().map(|(k, _)| vec![r as u8, k as u8]).collect();
-                    let mut seen: Vec<(usize, usize, Vec<u8>)> = Vec::new();
-                    super::ring_forward_segmented::<()>(comm, own, &plan, |_c, idx, k, p| {
-                        seen.push((idx, k, p.to_vec()));
-                        Ok(())
+                let cluster = SimBuilder::new(nranks).timing(timing);
+                let outcomes = cluster
+                    .run(move |comm| {
+                        let r = comm.rank();
+                        let own: Vec<Vec<u8>> = plan[r]
+                            .iter()
+                            .enumerate()
+                            .map(|(k, _)| vec![r as u8, k as u8])
+                            .collect();
+                        let mut seen: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+                        super::ring_forward_segmented::<()>(comm, own, &plan, |_c, idx, k, p| {
+                            seen.push((idx, k, p.to_vec()));
+                            Ok(())
+                        })
+                        .unwrap();
+                        seen
                     })
-                    .unwrap();
-                    seen
-                });
+                    .expect_clean()
+                    .outcomes;
                 for (r, o) in outcomes.iter().enumerate() {
                     let mut want: Vec<(usize, usize, Vec<u8>)> = Vec::new();
                     for (idx, segs) in seg_plan.iter().enumerate() {

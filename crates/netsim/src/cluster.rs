@@ -1,251 +1,175 @@
-//! The simulated cluster: spawns one thread per rank and runs a closure on
-//! each, returning per-rank results with virtual-time accounting and
-//! (optionally) flight-recorder traces.
+//! Deprecated predecessor of [`crate::sim`]: the `Cluster` builder and its
+//! `run`/`try_run`/`run_stats` trio, kept for one release as thin wrappers
+//! over [`SimBuilder`]/[`RunReport`].
+//!
+//! Migration (see DESIGN.md for the full table):
+//!
+//! | old | new |
+//! |---|---|
+//! | `Cluster::new(n).with_*(..)` | `SimBuilder::new(n).net/timing/trace/faults/topology(..)` |
+//! | `cluster.run(f)` | `sim.run(f).expect_clean().outcomes` |
+//! | `cluster.try_run(f)` | `sim.run(f)` → [`RunReport::fates`] / `.panics` |
+//! | `cluster.run_stats(f)` | `sim.run(f)` → `.stats` + [`RunReport::values`] |
+//! | `RankOutcome::trace` | [`RunReport::traces`] / [`RunReport::trace_of`] |
 
-use crate::breakdown::Breakdown;
+#![allow(deprecated)]
+
 use crate::comm::Comm;
 use crate::config::{ComputeTiming, NetConfig};
 use crate::faults::FaultPlan;
+use crate::sim::SimBuilder;
 use crate::topology::Topology;
-use crate::trace::{RankTrace, TraceConfig};
-use std::collections::HashMap;
-use std::sync::mpsc::channel;
+use crate::trace::TraceConfig;
 
-/// Result of one rank's participation in a [`Cluster::run`].
-#[derive(Debug, Clone)]
-pub struct RankOutcome<R> {
-    /// Whatever the rank closure returned.
-    pub value: R,
-    /// The rank's final virtual clock, in seconds.
-    pub elapsed: f64,
-    /// The rank's cost breakdown.
-    pub breakdown: Breakdown,
-    /// The rank's flight-recorder event stream — `Some` iff the cluster was
-    /// configured with [`Cluster::with_trace`].
-    pub trace: Option<RankTrace>,
-}
+pub use crate::sim::{RankOutcome, RankPanic, RunStats};
 
-/// A rank thread that died, with the panic message it died with.
-///
-/// [`Cluster::try_run`] surfaces these instead of re-panicking, so chaos
-/// tests can assert *which* rank crashed and *why* (e.g. a fault-plan crash
-/// vs. a cascading crash notice on a peer).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RankPanic {
-    /// The rank whose thread panicked.
-    pub rank: usize,
-    /// The panic payload, if it was a string (the overwhelmingly common
-    /// case: `panic!`/`assert!` messages); a description otherwise.
-    pub message: String,
-}
-
-/// Aggregate view over all ranks of one run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RunStats {
-    /// Completion time of the slowest rank (the collective's latency).
-    pub makespan: f64,
-    /// Sum of all ranks' breakdowns.
-    pub total: Breakdown,
-}
-
-/// A virtual cluster configuration: rank count, network model, compute
-/// timing mode, and optional flight-recorder tracing.
+/// Deprecated builder for a virtual cluster; use [`SimBuilder`].
+#[deprecated(since = "0.2.0", note = "use SimBuilder, which returns a typed RunReport")]
 #[derive(Debug, Clone)]
 pub struct Cluster {
-    nprocs: usize,
-    net: NetConfig,
-    timing: ComputeTiming,
-    trace: Option<TraceConfig>,
-    faults: Option<FaultPlan>,
-    topology: Option<Topology>,
+    inner: SimBuilder,
 }
 
 impl Cluster {
-    /// A cluster of `nprocs` ranks with the default (Omni-Path-class)
-    /// network, measured compute timing, and tracing disabled.
+    /// See [`SimBuilder::new`].
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::new")]
     pub fn new(nprocs: usize) -> Self {
-        assert!(nprocs > 0, "cluster needs at least one rank");
-        Cluster {
-            nprocs,
-            net: NetConfig::default(),
-            timing: ComputeTiming::Measured,
-            trace: None,
-            faults: None,
-            topology: None,
-        }
+        Cluster { inner: SimBuilder::new(nprocs) }
     }
 
-    /// Replace the network model.
-    pub fn with_net(mut self, net: NetConfig) -> Self {
-        self.net = net;
-        self
+    /// See [`SimBuilder::net`].
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::net")]
+    pub fn with_net(self, net: NetConfig) -> Self {
+        Cluster { inner: self.inner.net(net) }
     }
 
-    /// Replace the compute-timing mode.
-    pub fn with_timing(mut self, timing: ComputeTiming) -> Self {
-        self.timing = timing;
-        self
+    /// See [`SimBuilder::timing`].
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::timing")]
+    pub fn with_timing(self, timing: ComputeTiming) -> Self {
+        Cluster { inner: self.inner.timing(timing) }
     }
 
-    /// Enable the flight recorder: every rank records structured
-    /// [`crate::trace::Event`]s on the virtual timeline, returned in
-    /// [`RankOutcome::trace`]. Off by default; when off, the per-event
-    /// record sites compile down to a `None` branch with zero allocation.
-    pub fn with_trace(mut self, cfg: TraceConfig) -> Self {
-        self.trace = Some(cfg);
-        self
+    /// See [`SimBuilder::trace`]. Traces are now returned in
+    /// [`crate::RunReport::traces`], so the old `run` entry points below
+    /// cannot surface them — migrate to [`SimBuilder::run`] to read traces.
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::trace + RunReport::traces")]
+    pub fn with_trace(self, cfg: TraceConfig) -> Self {
+        Cluster { inner: self.inner.trace(cfg) }
     }
 
-    /// Shape the fabric: every `(src, dst)` pair resolves to its
-    /// [`crate::topology::LinkTier`]'s link model instead of the flat
-    /// [`NetConfig`], and sends are stamped with the tier they crossed.
-    /// `topology.nranks()` must equal the cluster's rank count. Off by
-    /// default; without a topology every send takes the exact flat-model
-    /// arithmetic path, so untopologized runs stay bit-identical.
-    pub fn with_topology(mut self, topology: Topology) -> Self {
-        assert!(
-            topology.nranks() == self.nprocs,
-            "topology is {} ranks ({}), cluster has {}",
-            topology.nranks(),
-            topology.describe(),
-            self.nprocs
-        );
-        self.topology = Some(topology);
-        self
+    /// See [`SimBuilder::topology`].
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::topology")]
+    pub fn with_topology(self, topology: Topology) -> Self {
+        Cluster { inner: self.inner.topology(topology) }
     }
 
-    /// Inject faults: every rank's sends and compute run under the plan's
-    /// seeded, deterministic chaos decisions (drops, corruption, jitter,
-    /// stragglers, crashes). Off by default; `None`-equivalent plans (no
-    /// probabilities set) leave behaviour bit-identical to a fault-free run.
-    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
-        self.faults = Some(plan);
-        self
+    /// See [`SimBuilder::faults`].
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::faults")]
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        Cluster { inner: self.inner.faults(plan) }
     }
 
     /// Number of ranks.
     pub fn nprocs(&self) -> usize {
-        self.nprocs
+        self.inner.nprocs()
     }
 
-    /// Run `f` on every rank concurrently; returns per-rank outcomes in rank
-    /// order. Real data flows through real channels; time is virtual.
-    ///
-    /// Panics if any rank thread panicked, naming the rank and propagating
-    /// its panic message. Use [`Cluster::try_run`] to observe crashes as
-    /// values instead (chaos tests with `FaultPlan::with_crash`).
+    /// See [`SimBuilder::run`] — the report's `outcomes`, with the old
+    /// panic-on-crash contract.
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::run and RunReport::outcomes")]
     pub fn run<F, R>(&self, f: F) -> Vec<RankOutcome<R>>
     where
         F: Fn(&mut Comm) -> R + Sync,
         R: Send,
     {
-        self.try_run(f)
-            .into_iter()
-            .map(|r| match r {
-                Ok(o) => o,
-                Err(RankPanic { rank, message }) => panic!("rank {rank} panicked: {message}"),
-            })
-            .collect()
+        self.inner.run(f).expect_clean().outcomes
     }
 
-    /// [`Cluster::run`] that reports each rank's fate instead of unwinding:
-    /// `Ok(outcome)` for ranks that completed, `Err(RankPanic)` with the
-    /// rank id and panic message for ranks that died (a crash injected by
-    /// the fault plan, or a cascading failure on a peer).
+    /// See [`SimBuilder::run`] — the report's [`crate::RunReport::fates`],
+    /// owned.
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::run and RunReport::fates/panics")]
     pub fn try_run<F, R>(&self, f: F) -> Vec<Result<RankOutcome<R>, RankPanic>>
     where
         F: Fn(&mut Comm) -> R + Sync,
         R: Send,
     {
-        let n = self.nprocs;
-        let mut txs = Vec::with_capacity(n);
-        let mut rxs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = channel();
-            txs.push(tx);
-            rxs.push(rx);
-        }
-        let mut outcomes: Vec<Option<Result<RankOutcome<R>, RankPanic>>> =
+        let report = self.inner.run(f);
+        let n = self.inner.nprocs();
+        let mut fates: Vec<Option<Result<RankOutcome<R>, RankPanic>>> =
             (0..n).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = rxs
-                .into_iter()
-                .enumerate()
-                .map(|(rank, rx)| {
-                    let txs = txs.clone();
-                    let f = &f;
-                    let (net, timing, trace) = (self.net, self.timing, self.trace);
-                    let topology = self.topology;
-                    let faults = self.faults.clone();
-                    s.spawn(move || {
-                        let compute_scale =
-                            faults.as_ref().map_or(1.0, |p| p.straggler_scale(rank));
-                        let mut comm = Comm {
-                            rank,
-                            size: n,
-                            clock: 0.0,
-                            breakdown: Breakdown::default(),
-                            net,
-                            timing,
-                            txs,
-                            rx,
-                            pending: HashMap::new(),
-                            trace: trace.map(|cfg| Vec::with_capacity(cfg.capacity)),
-                            topology,
-                            faults,
-                            send_seq: vec![0; n],
-                            sends_total: 0,
-                            compute_scale,
-                        };
-                        // catch the closure's panic so the dying rank can
-                        // poison its peers' inboxes first — a rank blocked
-                        // on a recv involving this rank must unwind too, or
-                        // the scope would deadlock on join
-                        let value =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)))
-                                .unwrap_or_else(|payload| {
-                                    comm.broadcast_crash_notice();
-                                    std::panic::resume_unwind(payload);
-                                });
-                        RankOutcome {
-                            value,
-                            elapsed: comm.elapsed(),
-                            breakdown: comm.breakdown(),
-                            trace: comm.trace.take().map(|events| RankTrace { rank, events }),
-                        }
-                    })
-                })
-                .collect();
-            drop(txs); // ranks hold their own clones
-            for (rank, (slot, h)) in outcomes.iter_mut().zip(handles).enumerate() {
-                *slot = Some(h.join().map_err(|payload| {
-                    let message = payload
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| payload.downcast_ref::<&'static str>().map(|s| s.to_string()))
-                        .unwrap_or_else(|| "(non-string panic payload)".to_string());
-                    RankPanic { rank, message }
-                }));
-            }
-        });
-        outcomes.into_iter().map(|o| o.expect("rank outcome missing")).collect()
+        for p in report.panics {
+            let rank = p.rank;
+            fates[rank] = Some(Err(p));
+        }
+        for o in report.outcomes {
+            let rank = o.rank;
+            fates[rank] = Some(Ok(o));
+        }
+        fates.into_iter().map(|s| s.expect("every rank has a fate")).collect()
     }
 
-    /// Run and reduce to aggregate statistics (plus the per-rank values).
+    /// See [`SimBuilder::run`] — the report's `stats` plus its values.
+    #[deprecated(since = "0.2.0", note = "use SimBuilder::run and RunReport::{values, stats}")]
     pub fn run_stats<F, R>(&self, f: F) -> (Vec<R>, RunStats)
     where
         F: Fn(&mut Comm) -> R + Sync,
         R: Send,
     {
-        let outcomes = self.run(f);
-        let mut makespan = 0f64;
-        let mut total = Breakdown::default();
-        let mut values = Vec::with_capacity(outcomes.len());
-        for o in outcomes {
-            makespan = makespan.max(o.elapsed);
-            total += o.breakdown;
-            values.push(o.value);
+        let report = self.inner.run(f);
+        let stats = report.stats;
+        (report.values(), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{OpKind, ThroughputModel};
+
+    fn modeled() -> ComputeTiming {
+        ComputeTiming::Modeled(ThroughputModel::new(10.0, 20.0, 100.0, 30.0, 50.0))
+    }
+
+    /// The deprecated wrappers must keep their original shapes and
+    /// semantics while delegating to the new engine-backed builder.
+    #[test]
+    fn deprecated_cluster_wrappers_still_work() {
+        let cluster = Cluster::new(4).with_timing(modeled()).with_net(NetConfig::default());
+        assert_eq!(cluster.nprocs(), 4);
+        let outcomes = cluster.run(|comm| {
+            let n = comm.size();
+            let got = comm.sendrecv(
+                (comm.rank() + 1) % n,
+                0,
+                vec![comm.rank() as u8],
+                (comm.rank() + n - 1) % n,
+            );
+            got[0] as usize
+        });
+        assert_eq!(outcomes.len(), 4);
+        for (rank, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.rank, rank);
+            assert_eq!(o.value, (rank + 3) % 4);
         }
-        (values, RunStats { makespan, total })
+
+        let (values, stats) = cluster.run_stats(|comm| {
+            comm.compute(OpKind::Cpt, 30_000_000_000, || ());
+        });
+        assert_eq!(values.len(), 4);
+        assert!((stats.makespan - 1.0).abs() < 1e-9);
+
+        let fates = cluster.try_run(|comm| {
+            if comm.rank() == 2 {
+                panic!("wrapper crash");
+            }
+            comm.rank()
+        });
+        assert_eq!(fates.len(), 4);
+        let p = fates[2].as_ref().unwrap_err();
+        assert_eq!((p.rank, p.message.as_str()), (2, "wrapper crash"));
+        for rank in [0, 1, 3] {
+            let o = fates[rank].as_ref().expect("survivor");
+            assert_eq!((o.rank, o.value), (rank, rank));
+        }
     }
 }

@@ -3,9 +3,10 @@
 
 use crate::breakdown::Breakdown;
 use crate::config::{ComputeTiming, NetConfig, OpKind};
+use crate::engine::events::EventEndpoint;
 use crate::faults::{FaultKind, FaultPlan};
 use crate::topology::{LinkTier, Topology};
-use crate::trace::Event;
+use crate::trace::{Event, RankTrace, TraceConfig};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 use std::time::Instant;
@@ -35,6 +36,68 @@ pub(crate) struct Message {
     pub payload: Vec<u8>,
     pub arrival: f64,
     pub status: MsgStatus,
+}
+
+/// The transport a [`Comm`] sits on: real `mpsc` channels under the thread
+/// engine, shared inboxes under the event engine's cooperative scheduler.
+/// All the matching logic (the pending map) lives above this in `Comm`, so
+/// both engines share one deterministic match path.
+pub(crate) enum Endpoint {
+    /// One `mpsc` channel per rank; `txs[to]` reaches rank `to`.
+    Threads { txs: Vec<Sender<Message>>, rx: Receiver<Message> },
+    /// A handle onto the event engine's shared scheduler state.
+    Events(EventEndpoint),
+}
+
+impl Endpoint {
+    /// Post `msg` to rank `to`.
+    fn deliver(&self, to: usize, msg: Message) {
+        match self {
+            Endpoint::Threads { txs, .. } => txs[to].send(msg).expect("receiver rank hung up"),
+            Endpoint::Events(ep) => ep.deliver(to, msg),
+        }
+    }
+
+    /// Next inbound message, blocking (thread engine) or yielding to the
+    /// scheduler (event engine) until one exists. Panics when no live peer
+    /// can ever send again — the deadlock backstop of both engines.
+    fn recv_next(&self) -> Message {
+        match self {
+            Endpoint::Threads { rx, .. } => rx.recv().expect("sender ranks hung up"),
+            Endpoint::Events(ep) => ep.recv_next(),
+        }
+    }
+
+    /// Non-blocking variant of [`Endpoint::recv_next`] (the probe path).
+    fn try_recv_next(&self) -> Option<Message> {
+        match self {
+            Endpoint::Threads { rx, .. } => rx.try_recv().ok(),
+            Endpoint::Events(ep) => ep.try_recv_next(),
+        }
+    }
+
+    /// Poison every peer's inbox with a crash notice from `rank`.
+    fn crash_broadcast(&self, rank: usize, clock: f64) {
+        match self {
+            Endpoint::Threads { txs, .. } => {
+                for (to, tx) in txs.iter().enumerate() {
+                    if to == rank {
+                        continue;
+                    }
+                    // a peer that already finished has dropped its receiver;
+                    // that is fine — it no longer needs the notice
+                    let _ = tx.send(Message {
+                        from: rank,
+                        tag: 0,
+                        payload: Vec::new(),
+                        arrival: clock,
+                        status: MsgStatus::CrashNotice,
+                    });
+                }
+            }
+            Endpoint::Events(ep) => ep.crash_broadcast(clock),
+        }
+    }
 }
 
 /// What [`Comm::recv_msg`] saw: the payload plus whether the fault plan
@@ -85,8 +148,7 @@ pub struct Comm {
     pub(crate) breakdown: Breakdown,
     pub(crate) net: NetConfig,
     pub(crate) timing: ComputeTiming,
-    pub(crate) txs: Vec<Sender<Message>>,
-    pub(crate) rx: Receiver<Message>,
+    pub(crate) endpoint: Endpoint,
     pub(crate) pending: HashMap<(usize, u64), VecDeque<Message>>,
     /// Flight-recorder buffer; `None` (the default) disables tracing and
     /// makes every record site a single branch with no event construction
@@ -109,6 +171,44 @@ pub struct Comm {
 }
 
 impl Comm {
+    /// Build the communicator one rank runs on; called by both engines'
+    /// harnesses with their own [`Endpoint`] flavour.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn for_rank(
+        rank: usize,
+        size: usize,
+        net: NetConfig,
+        timing: ComputeTiming,
+        trace: Option<TraceConfig>,
+        topology: Option<Topology>,
+        faults: Option<FaultPlan>,
+        endpoint: Endpoint,
+    ) -> Comm {
+        let compute_scale = faults.as_ref().map_or(1.0, |p| p.straggler_scale(rank));
+        Comm {
+            rank,
+            size,
+            clock: 0.0,
+            breakdown: Breakdown::default(),
+            net,
+            timing,
+            endpoint,
+            pending: HashMap::new(),
+            trace: trace.map(|cfg| Vec::with_capacity(cfg.capacity)),
+            topology,
+            faults,
+            send_seq: vec![0; size],
+            sends_total: 0,
+            compute_scale,
+        }
+    }
+
+    /// Detach the recorded event stream (if tracing was on), rank-stamped.
+    pub(crate) fn take_trace(&mut self) -> Option<RankTrace> {
+        let rank = self.rank;
+        self.trace.take().map(|events| RankTrace { rank, events })
+    }
+
     /// This rank's id in `0..size`.
     pub fn rank(&self) -> usize {
         self.rank
@@ -135,7 +235,7 @@ impl Comm {
     }
 
     /// The cluster's topology, if one was configured with
-    /// [`crate::Cluster::with_topology`].
+    /// [`crate::SimBuilder::topology`].
     pub fn topology(&self) -> Option<&Topology> {
         self.topology.as_ref()
     }
@@ -153,7 +253,7 @@ impl Comm {
     /// Record an event if (and only if) tracing is enabled. The closure
     /// defers event construction, so the disabled path is one `Option`
     /// branch with zero allocation — the no-op contract relied on by
-    /// `Cluster` runs without `with_trace`.
+    /// runs without [`crate::SimBuilder::trace`].
     #[inline]
     fn record(&mut self, make: impl FnOnce() -> Event) {
         if let Some(buf) = &mut self.trace {
@@ -264,7 +364,7 @@ impl Comm {
             }
         }
         let msg = Message { from: self.rank, tag, payload, arrival, status };
-        self.txs[to].send(msg).expect("receiver rank hung up");
+        self.endpoint.deliver(to, msg);
     }
 
     /// One-shot fault-plan crash. The panic unwinds into the cluster's
@@ -284,26 +384,13 @@ impl Comm {
         panic!("rank {rank} crashed by fault plan at send step {step}");
     }
 
-    /// Poison every peer's inbox with a crash notice. Called by the cluster
+    /// Poison every peer's inbox with a crash notice. Called by the rank
     /// harness when this rank's closure panics (fault-plan crash or any
     /// other bug), so ranks blocked — now or later — on a `recv` involving
     /// this rank observe the crash and unwind instead of deadlocking, and
-    /// [`crate::Cluster::try_run`] can report every casualty.
+    /// [`crate::RunReport::panics`] can report every casualty.
     pub(crate) fn broadcast_crash_notice(&self) {
-        for (to, tx) in self.txs.iter().enumerate() {
-            if to == self.rank {
-                continue;
-            }
-            // a peer that already finished has dropped its receiver; that
-            // is fine — it no longer needs the notice
-            let _ = tx.send(Message {
-                from: self.rank,
-                tag: 0,
-                payload: Vec::new(),
-                arrival: self.clock,
-                status: MsgStatus::CrashNotice,
-            });
-        }
+        self.endpoint.crash_broadcast(self.rank, self.clock);
     }
 
     /// Receive the message with matching `(from, tag)`, blocking as needed.
@@ -334,7 +421,7 @@ impl Comm {
                     break m;
                 }
             }
-            let m = self.rx.recv().expect("sender ranks hung up");
+            let m = self.endpoint.recv_next();
             if m.status == MsgStatus::CrashNotice {
                 panic!("rank {} observed crash of rank {}", self.rank, m.from);
             }
@@ -371,7 +458,7 @@ impl Comm {
     /// can attribute *whether a wait is expected* — e.g. deciding which
     /// bucket absorbs overlap slack — without perturbing the simulation.
     pub fn recv_ready(&mut self, from: usize, tag: u64) -> bool {
-        while let Ok(m) = self.rx.try_recv() {
+        while let Some(m) = self.endpoint.try_recv_next() {
             if m.status == MsgStatus::CrashNotice {
                 panic!("rank {} observed crash of rank {}", self.rank, m.from);
             }

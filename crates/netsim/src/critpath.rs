@@ -265,7 +265,7 @@ impl Flat {
 
 impl CriticalPath {
     /// Analyze the traces of one complete run (every rank's trace, in rank
-    /// order — the same `Vec` [`crate::trace::take_traces`] returns).
+    /// order — the same `Vec` [`crate::RunReport::traces`] carries).
     ///
     /// `net` must be the [`NetConfig`] the run used: non-binding wire edges
     /// (messages that arrived before their receive was posted) leave no
@@ -556,9 +556,9 @@ impl CriticalPath {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cluster::Cluster;
     use crate::config::{ComputeTiming, ThroughputModel};
-    use crate::trace::{take_traces, TraceConfig};
+    use crate::sim::SimBuilder;
+    use crate::trace::TraceConfig;
 
     fn net() -> NetConfig {
         NetConfig { latency_s: 1e-5, bandwidth_gbps: 10.0, congestion: 0.0 }
@@ -568,24 +568,26 @@ mod tests {
         ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
     }
 
+    fn traced_sim(nranks: usize) -> SimBuilder {
+        SimBuilder::new(nranks).net(net()).timing(modeled()).trace(TraceConfig::default())
+    }
+
     /// Two ranks, one message: the path must be sender compute -> inject ->
     /// wire -> receiver compute, and its length the receiver's end time.
     #[test]
     fn two_rank_chain_is_fully_attributed() {
-        let cluster = Cluster::new(2)
-            .with_net(net())
-            .with_timing(modeled())
-            .with_trace(TraceConfig::default());
-        let outcomes = cluster.run(|comm| {
-            if comm.rank() == 0 {
-                comm.compute(OpKind::Cpr, 1_000_000, || ());
-                comm.send(1, 7, vec![0u8; 1000]);
-            } else {
-                let got = comm.recv(0, 7);
-                comm.compute(OpKind::Cpt, got.len(), || ());
-            }
-        });
-        let (_, traces) = take_traces(outcomes);
+        let traces = traced_sim(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.compute(OpKind::Cpr, 1_000_000, || ());
+                    comm.send(1, 7, vec![0u8; 1000]);
+                } else {
+                    let got = comm.recv(0, 7);
+                    comm.compute(OpKind::Cpt, got.len(), || ());
+                }
+            })
+            .expect_clean()
+            .traces;
         let cp = CriticalPath::analyze(&traces, &net());
         assert!((cp.length - cp.makespan).abs() <= 1e-12 * cp.makespan.max(1.0));
         assert!((cp.buckets.total() - cp.length).abs() <= 1e-12);
@@ -609,19 +611,17 @@ mod tests {
     /// The straggler's compute chain is the path; the fast rank shows slack.
     #[test]
     fn slack_exposes_the_non_critical_rank() {
-        let cluster = Cluster::new(2)
-            .with_net(net())
-            .with_timing(modeled())
-            .with_trace(TraceConfig::default());
-        let outcomes = cluster.run(|comm| {
-            let bytes = if comm.rank() == 0 { 50_000_000 } else { 1_000 };
-            comm.compute(OpKind::Cpt, bytes, || ());
-            // exchange so both ranks finish together in causal terms
-            let peer = 1 - comm.rank();
-            comm.send(peer, 1, vec![0u8; 8]);
-            comm.recv(peer, 1);
-        });
-        let (_, traces) = take_traces(outcomes);
+        let traces = traced_sim(2)
+            .run(|comm| {
+                let bytes = if comm.rank() == 0 { 50_000_000 } else { 1_000 };
+                comm.compute(OpKind::Cpt, bytes, || ());
+                // exchange so both ranks finish together in causal terms
+                let peer = 1 - comm.rank();
+                comm.send(peer, 1, vec![0u8; 8]);
+                comm.recv(peer, 1);
+            })
+            .expect_clean()
+            .traces;
         let cp = CriticalPath::analyze(&traces, &net());
         assert!((cp.length - cp.makespan).abs() <= 1e-9 * cp.makespan);
         // rank 0's big compute dominates the path
@@ -636,19 +636,17 @@ mod tests {
     #[test]
     fn jitter_is_attributed_separately() {
         let jitter_s = 5e-4;
-        let cluster = Cluster::new(2)
-            .with_net(net())
-            .with_timing(modeled())
-            .with_trace(TraceConfig::default())
-            .with_faults(crate::faults::FaultPlan::new(3).with_jitter(jitter_s));
-        let outcomes = cluster.run(|comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 2, vec![0u8; 4096]);
-            } else {
-                comm.recv(0, 2);
-            }
-        });
-        let (_, traces) = take_traces(outcomes);
+        let traces = traced_sim(2)
+            .faults(crate::faults::FaultPlan::new(3).with_jitter(jitter_s))
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 2, vec![0u8; 4096]);
+                } else {
+                    comm.recv(0, 2);
+                }
+            })
+            .expect_clean()
+            .traces;
         let cp = CriticalPath::analyze(&traces, &net());
         assert!((cp.length - cp.makespan).abs() <= 1e-12);
         assert!(cp.buckets.jitter > 0.0, "{:?}", cp.buckets);
@@ -660,18 +658,16 @@ mod tests {
     /// `blocked_wait` instead of panicking or dropping time.
     #[test]
     fn unmatched_recv_degrades_to_blocked_wait() {
-        let cluster = Cluster::new(2)
-            .with_net(net())
-            .with_timing(modeled())
-            .with_trace(TraceConfig::default());
-        let outcomes = cluster.run(|comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 9, vec![0u8; 100_000]);
-            } else {
-                comm.recv(0, 9);
-            }
-        });
-        let (_, mut traces) = take_traces(outcomes);
+        let mut traces = traced_sim(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 9, vec![0u8; 100_000]);
+                } else {
+                    comm.recv(0, 9);
+                }
+            })
+            .expect_clean()
+            .traces;
         traces[0].events.clear(); // simulate a lost sender trace
         let cp = CriticalPath::analyze(&traces, &net());
         assert!(cp.buckets.blocked_wait > 0.0, "{:?}", cp.buckets);
@@ -685,21 +681,22 @@ mod tests {
     fn tier_attribution_splits_intra_and_inter_wire() {
         use crate::topology::{LinkTier, Topology};
         let topo = Topology::paper(2, 2);
-        let cluster = Cluster::new(4)
-            .with_topology(topo)
-            .with_timing(modeled())
-            .with_trace(TraceConfig::default());
         // causal chain 0 -> 1 (intra) -> 2 (inter): both hops bind the path
-        let outcomes = cluster.run(|comm| match comm.rank() {
-            0 => comm.send(1, 1, vec![0u8; 100_000]),
-            1 => {
-                let got = comm.recv(0, 1);
-                comm.send(2, 2, got);
-            }
-            2 => drop(comm.recv(1, 2)),
-            _ => {}
-        });
-        let (_, traces) = take_traces(outcomes);
+        let traces = SimBuilder::new(4)
+            .topology(topo)
+            .timing(modeled())
+            .trace(TraceConfig::default())
+            .run(|comm| match comm.rank() {
+                0 => comm.send(1, 1, vec![0u8; 100_000]),
+                1 => {
+                    let got = comm.recv(0, 1);
+                    comm.send(2, 2, got);
+                }
+                2 => drop(comm.recv(1, 2)),
+                _ => {}
+            })
+            .expect_clean()
+            .traces;
         let cp = CriticalPath::analyze_with_topology(&traces, &NetConfig::default(), Some(&topo));
         assert!((cp.length - cp.makespan).abs() <= 1e-9 * cp.makespan.max(1.0));
         let intra = cp.by_tier[LinkTier::Intra.index()];
@@ -724,18 +721,16 @@ mod tests {
     #[test]
     fn flat_runs_attribute_to_the_flat_tier() {
         use crate::topology::LinkTier;
-        let cluster = Cluster::new(2)
-            .with_net(net())
-            .with_timing(modeled())
-            .with_trace(TraceConfig::default());
-        let outcomes = cluster.run(|comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 7, vec![0u8; 1000]);
-            } else {
-                comm.recv(0, 7);
-            }
-        });
-        let (_, traces) = take_traces(outcomes);
+        let traces = traced_sim(2)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 7, vec![0u8; 1000]);
+                } else {
+                    comm.recv(0, 7);
+                }
+            })
+            .expect_clean()
+            .traces;
         let cp = CriticalPath::analyze(&traces, &net());
         let flat = cp.by_tier[LinkTier::Flat.index()];
         assert_eq!(flat.hops, 1);

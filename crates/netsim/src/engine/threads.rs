@@ -1,0 +1,54 @@
+//! The thread engine: one OS thread per rank over `mpsc` channels — the
+//! original execution model, kept for cross-engine equivalence testing and
+//! as the fallback on targets without a fiber backend.
+
+use super::{execute_rank, RawRun};
+use crate::comm::{Comm, Endpoint};
+use crate::sim::SimBuilder;
+use std::sync::mpsc::channel;
+
+/// Run `f` on every rank in its own scoped OS thread.
+pub(crate) fn run<F, R>(b: &SimBuilder, f: &F) -> RawRun<R>
+where
+    F: Fn(&mut Comm) -> R + Sync,
+    R: Send,
+{
+    let n = b.nprocs;
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let fates = std::thread::scope(|s| {
+        let handles: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| {
+                let txs = txs.clone();
+                let faults = b.faults.clone();
+                let (net, timing, topology, trace) = (b.net, b.timing, b.topology, b.trace);
+                s.spawn(move || {
+                    let mut comm = Comm::for_rank(
+                        rank,
+                        n,
+                        net,
+                        timing,
+                        trace,
+                        topology,
+                        faults,
+                        Endpoint::Threads { txs, rx },
+                    );
+                    execute_rank(&mut comm, f)
+                })
+            })
+            .collect();
+        drop(txs); // ranks hold their own clones
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank harness catches all panics"))
+            .collect::<Vec<_>>()
+    });
+    super::collect(fates)
+}

@@ -72,7 +72,7 @@ impl FaultKind {
 /// A deterministic, seeded chaos plan for one cluster run.
 ///
 /// Built with `FaultPlan::new(seed)` plus the `with_*` builders; wired in
-/// through [`crate::Cluster::with_faults`]. All decisions derive from the
+/// through [`crate::SimBuilder::faults`]. All decisions derive from the
 /// seed — no wall clock, no shared RNG state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
@@ -137,7 +137,7 @@ impl FaultPlan {
     /// counted over every send the rank performs). One-shot: the rank
     /// broadcasts a crash notice to all peers and panics; peers blocked on
     /// it panic in turn, so the whole run terminates cleanly and
-    /// [`crate::Cluster::try_run`] reports who died and why.
+    /// [`crate::RunReport::panics`] reports who died and why.
     pub fn with_crash(mut self, rank: usize, send_step: u64) -> FaultPlan {
         self.crashes.retain(|(r, _)| *r != rank);
         self.crashes.push((rank, send_step));

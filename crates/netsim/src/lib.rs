@@ -1,10 +1,9 @@
 //! # netsim — a virtual-time multi-node cluster simulator
 //!
-//! The MPI substrate of the hZCCL reproduction (DESIGN.md §1). Ranks are OS
-//! threads exchanging **real byte buffers** over channels, so every
-//! collective's data path (compression, homomorphic reduction,
-//! decompression) runs for real and its results can be verified. Time,
-//! however, is *virtual*:
+//! The MPI substrate of the hZCCL reproduction (DESIGN.md §1). Ranks
+//! exchange **real byte buffers**, so every collective's data path
+//! (compression, homomorphic reduction, decompression) runs for real and
+//! its results can be verified. Time, however, is *virtual*:
 //!
 //! * wire time comes from an α–β(+congestion) model of the paper's 100 Gbps
 //!   Omni-Path fabric ([`NetConfig`]);
@@ -13,9 +12,16 @@
 //!   ([`ComputeTiming::Modeled`]) for rank counts that oversubscribe the
 //!   host.
 //!
+//! Execution is driven by a [`SimEngine`]: by default ranks are
+//! cooperatively-scheduled fibers under a discrete-event scheduler on one
+//! OS thread ([`SimEngine::Events`], scales past 10k ranks); the original
+//! one-OS-thread-per-rank model survives as [`SimEngine::Threads`] for
+//! cross-engine equivalence testing. Both engines produce bit-identical
+//! results (see `crate::engine::events` for the argument).
+//!
 //! Every rank carries a [`Breakdown`] so collectives report the paper's
 //! CPR/DPR/HPR/CPT vs MPI vs OTHER splits (Fig. 2, Table VII) directly.
-//! A flight recorder ([`trace`], enabled via [`Cluster::with_trace`])
+//! A flight recorder ([`trace`], enabled via [`SimBuilder::trace`])
 //! additionally captures per-event streams on the virtual timeline, with
 //! Chrome-trace/Perfetto and ASCII Gantt exporters, and [`metrics`] turns a
 //! run into counters + log2-bucketed histograms with Prometheus-text and
@@ -25,10 +31,9 @@
 //! read as "what actually gated the makespan" rather than mere totals.
 //!
 //! ```
-//! use netsim::{Cluster, OpKind};
+//! use netsim::{OpKind, SimBuilder};
 //!
-//! let cluster = Cluster::new(4);
-//! let (sums, stats) = cluster.run_stats(|comm| {
+//! let report = SimBuilder::new(4).run(|comm| {
 //!     // ring: everyone passes its rank to the right, sums what it gets
 //!     let to = (comm.rank() + 1) % comm.size();
 //!     let from = (comm.rank() + comm.size() - 1) % comm.size();
@@ -36,8 +41,8 @@
 //!     let got = comm.sendrecv(to, 0, vec![rank as u8], from);
 //!     comm.compute(OpKind::Cpt, 1, || got[0] as usize + rank)
 //! });
-//! assert_eq!(sums.len(), 4);
-//! assert!(stats.makespan > 0.0);
+//! assert_eq!(report.outcomes.len(), 4);
+//! assert!(report.stats.makespan > 0.0);
 //! ```
 
 pub mod breakdown;
@@ -45,20 +50,24 @@ pub mod cluster;
 pub mod comm;
 pub mod config;
 pub mod critpath;
+mod engine;
 pub mod faults;
 pub mod json;
 pub mod metrics;
+pub mod sim;
 pub mod topology;
 pub mod trace;
 
 pub use breakdown::Breakdown;
-pub use cluster::{Cluster, RankOutcome, RankPanic, RunStats};
+#[allow(deprecated)]
+pub use cluster::Cluster;
 pub use comm::{Comm, RecvMsg};
 pub use config::{ComputeTiming, NetConfig, OpKind, ThroughputModel};
 pub use critpath::{CriticalPath, PathBuckets, PathElement, SpanKind, TagTime, TierTime};
 pub use faults::{FaultKind, FaultPlan, LinkFault};
 pub use json::Json;
 pub use metrics::Registry;
+pub use sim::{RankOutcome, RankPanic, RunReport, RunStats, SimBuilder, SimEngine};
 pub use topology::{LinkTier, Topology};
 pub use trace::{Event, RankTrace, TraceConfig};
 
@@ -72,23 +81,25 @@ mod tests {
 
     #[test]
     fn ring_exchange_delivers_correct_payloads() {
-        let cluster = Cluster::new(8);
-        let outcomes = cluster.run(|comm| {
-            let n = comm.size();
-            let to = (comm.rank() + 1) % n;
-            let from = (comm.rank() + n - 1) % n;
-            let got = comm.sendrecv(to, 7, vec![comm.rank() as u8; 3], from);
-            got[0] as usize
-        });
+        let outcomes = SimBuilder::new(8)
+            .run(|comm| {
+                let n = comm.size();
+                let to = (comm.rank() + 1) % n;
+                let from = (comm.rank() + n - 1) % n;
+                let got = comm.sendrecv(to, 7, vec![comm.rank() as u8; 3], from);
+                got[0] as usize
+            })
+            .expect_clean()
+            .outcomes;
         for (rank, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.rank, rank);
             assert_eq!(o.value, (rank + 8 - 1) % 8);
         }
     }
 
     #[test]
     fn tags_disambiguate_messages() {
-        let cluster = Cluster::new(2);
-        let outcomes = cluster.run(|comm| {
+        let report = SimBuilder::new(2).run(|comm| {
             if comm.rank() == 0 {
                 comm.send(1, 1, vec![1]);
                 comm.send(1, 2, vec![2]);
@@ -100,15 +111,14 @@ mod tests {
                 (a[0] as usize) * 10 + b[0] as usize
             }
         });
-        assert_eq!(outcomes[1].value, 12);
+        assert_eq!(*report.value(1), 12);
     }
 
     #[test]
     fn virtual_time_reflects_message_size() {
         let net = NetConfig { latency_s: 1e-6, bandwidth_gbps: 100.0, congestion: 0.0 };
         let run_with = |bytes: usize| {
-            let cluster = Cluster::new(2).with_net(net).with_timing(modeled());
-            let outcomes = cluster.run(|comm| {
+            let report = SimBuilder::new(2).net(net).timing(modeled()).run(|comm| {
                 if comm.rank() == 0 {
                     comm.send(1, 0, vec![0u8; bytes]);
                 } else {
@@ -116,7 +126,7 @@ mod tests {
                 }
                 comm.elapsed()
             });
-            outcomes[1].value
+            *report.value(1)
         };
         let t_small = run_with(1_000);
         let t_big = run_with(10_000_000);
@@ -128,8 +138,7 @@ mod tests {
     #[test]
     fn mpi_wait_time_is_charged() {
         let net = NetConfig { latency_s: 1e-3, bandwidth_gbps: 100.0, congestion: 0.0 };
-        let cluster = Cluster::new(2).with_net(net).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
+        let report = SimBuilder::new(2).net(net).timing(modeled()).run(|comm| {
             if comm.rank() == 0 {
                 comm.send(1, 0, vec![0u8; 8]);
             } else {
@@ -137,38 +146,36 @@ mod tests {
             }
             comm.breakdown()
         });
-        assert!(outcomes[1].value.mpi >= 1e-3);
-        assert_eq!(outcomes[0].value.mpi, 0.0);
+        assert!(report.value(1).mpi >= 1e-3);
+        assert_eq!(report.value(0).mpi, 0.0);
     }
 
     #[test]
     fn modeled_compute_charges_expected_time() {
-        let cluster = Cluster::new(1).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
+        let report = SimBuilder::new(1).timing(modeled()).run(|comm| {
             comm.compute(OpKind::Cpr, 10_000_000_000, || ());
             comm.breakdown()
         });
-        assert!((outcomes[0].value.cpr - 1.0).abs() < 1e-12);
+        assert!((report.value(0).cpr - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn measured_compute_charges_wall_time() {
-        let cluster = Cluster::new(1);
-        let outcomes = cluster.run(|comm| {
+        let report = SimBuilder::new(1).run(|comm| {
             comm.compute(OpKind::Cpt, 0, || {
                 std::thread::sleep(std::time::Duration::from_millis(5));
             });
             comm.breakdown()
         });
-        assert!(outcomes[0].value.cpt >= 0.004);
+        assert!(report.value(0).cpt >= 0.004);
     }
 
     #[test]
     fn stats_aggregate_across_ranks() {
-        let cluster = Cluster::new(4).with_timing(modeled());
-        let (_, stats) = cluster.run_stats(|comm| {
+        let report = SimBuilder::new(4).timing(modeled()).run(|comm| {
             comm.compute(OpKind::Cpt, 30_000_000_000, || ());
         });
+        let stats = report.expect_clean().stats;
         assert!((stats.makespan - 1.0).abs() < 1e-9);
         assert!((stats.total.cpt - 4.0).abs() < 1e-9);
     }
@@ -176,41 +183,74 @@ mod tests {
     #[test]
     fn modeled_runs_are_deterministic() {
         let run_once = || {
-            let cluster = Cluster::new(8).with_timing(modeled());
-            let (_, stats) = cluster.run_stats(|comm| {
-                let n = comm.size();
-                let to = (comm.rank() + 1) % n;
-                let from = (comm.rank() + n - 1) % n;
-                for round in 0..5u64 {
-                    let payload = vec![comm.rank() as u8; 1000 * (round as usize + 1)];
-                    let got = comm.sendrecv(to, round, payload, from);
-                    comm.compute(OpKind::Cpt, got.len(), || ());
-                }
-            });
-            stats.makespan
+            SimBuilder::new(8)
+                .timing(modeled())
+                .run(|comm| {
+                    let n = comm.size();
+                    let to = (comm.rank() + 1) % n;
+                    let from = (comm.rank() + n - 1) % n;
+                    for round in 0..5u64 {
+                        let payload = vec![comm.rank() as u8; 1000 * (round as usize + 1)];
+                        let got = comm.sendrecv(to, round, payload, from);
+                        comm.compute(OpKind::Cpt, got.len(), || ());
+                    }
+                })
+                .expect_clean()
+                .stats
+                .makespan
         };
         assert_eq!(run_once(), run_once());
     }
 
     #[test]
+    fn engines_agree_on_a_traced_multi_round_ring() {
+        let run_under = |engine: SimEngine| {
+            SimBuilder::new(6).timing(modeled()).trace(TraceConfig::default()).engine(engine).run(
+                |comm| {
+                    let n = comm.size();
+                    let to = (comm.rank() + 1) % n;
+                    let from = (comm.rank() + n - 1) % n;
+                    let mut sum = 0usize;
+                    for round in 0..4u64 {
+                        let got = comm.sendrecv(to, round, vec![comm.rank() as u8; 4096], from);
+                        sum += comm.compute(OpKind::Cpt, got.len(), || got[0] as usize);
+                    }
+                    sum
+                },
+            )
+        };
+        let ev = run_under(SimEngine::Events);
+        let th = run_under(SimEngine::Threads);
+        assert_eq!(ev.stats.makespan, th.stats.makespan);
+        for rank in 0..6 {
+            assert_eq!(ev.value(rank), th.value(rank));
+            assert_eq!(ev.outcome(rank).unwrap().elapsed, th.outcome(rank).unwrap().elapsed);
+            assert_eq!(ev.trace_of(rank).unwrap().events, th.trace_of(rank).unwrap().events);
+        }
+    }
+
+    #[test]
     fn reset_clock_clears_accounting() {
-        let cluster = Cluster::new(1).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
+        let report = SimBuilder::new(1).timing(modeled()).run(|comm| {
             comm.compute(OpKind::Cpr, 1_000_000, || ());
             comm.reset_clock();
             (comm.elapsed(), comm.breakdown().total())
         });
-        assert_eq!(outcomes[0].value, (0.0, 0.0));
+        assert_eq!(*report.value(0), (0.0, 0.0));
     }
 
     #[test]
     fn large_rank_counts_work() {
-        let cluster = Cluster::new(128).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
-            let n = comm.size();
-            let got = comm.sendrecv((comm.rank() + 1) % n, 0, vec![1u8], (comm.rank() + n - 1) % n);
-            got[0]
-        });
+        let outcomes = SimBuilder::new(128)
+            .timing(modeled())
+            .run(|comm| {
+                let n = comm.size();
+                let got =
+                    comm.sendrecv((comm.rank() + 1) % n, 0, vec![1u8], (comm.rank() + n - 1) % n);
+                got[0]
+            })
+            .expect_clean()
+            .outcomes;
         assert_eq!(outcomes.len(), 128);
         assert!(outcomes.iter().all(|o| o.value == 1));
     }
@@ -221,8 +261,7 @@ mod tests {
         // arbitrary (rank-dependent) order: the pending-message buffer must
         // hold whatever arrives early
         let nranks = 12;
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
+        let report = SimBuilder::new(nranks).timing(modeled()).run(|comm| {
             let me = comm.rank();
             let n = comm.size();
             for dst in 0..n {
@@ -241,7 +280,7 @@ mod tests {
             sum
         });
         let expect: usize = (0..nranks).sum();
-        for (r, o) in outcomes.iter().enumerate() {
+        for (r, o) in report.expect_clean().outcomes.iter().enumerate() {
             assert_eq!(o.value, expect - r);
         }
     }
@@ -249,9 +288,8 @@ mod tests {
     #[test]
     fn large_payload_integrity() {
         let payload: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
-        let cluster = Cluster::new(2).with_timing(modeled());
         let expected = payload.clone();
-        let outcomes = cluster.run(move |comm| {
+        let report = SimBuilder::new(2).timing(modeled()).run(move |comm| {
             if comm.rank() == 0 {
                 comm.send(1, 0, payload.clone());
                 true
@@ -259,7 +297,7 @@ mod tests {
                 comm.recv(0, 0) == expected
             }
         });
-        assert!(outcomes[1].value);
+        assert!(*report.value(1));
     }
 
     #[test]
@@ -272,8 +310,7 @@ mod tests {
 
     #[test]
     fn elapsed_equals_breakdown_total() {
-        let cluster = Cluster::new(3).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
+        let report = SimBuilder::new(3).timing(modeled()).run(|comm| {
             let n = comm.size();
             let to = (comm.rank() + 1) % n;
             let from = (comm.rank() + n - 1) % n;
@@ -283,7 +320,7 @@ mod tests {
             }
             (comm.elapsed(), comm.breakdown().total())
         });
-        for o in outcomes {
+        for o in report.expect_clean().outcomes {
             let (elapsed, total) = o.value;
             assert!((elapsed - total).abs() < 1e-12, "{elapsed} vs {total}");
         }
@@ -292,8 +329,7 @@ mod tests {
     #[test]
     fn send_injection_is_charged_to_sender_other_bucket() {
         let net = NetConfig { latency_s: 5e-4, bandwidth_gbps: 100.0, congestion: 0.0 };
-        let cluster = Cluster::new(2).with_net(net).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
+        let report = SimBuilder::new(2).net(net).timing(modeled()).run(|comm| {
             if comm.rank() == 0 {
                 comm.send(1, 0, vec![0u8; 1000]);
             } else {
@@ -302,19 +338,18 @@ mod tests {
             comm.breakdown()
         });
         // sender paid exactly alpha, into OTHER (never MPI)
-        assert!((outcomes[0].value.other - 5e-4).abs() < 1e-12, "{:?}", outcomes[0].value);
-        assert_eq!(outcomes[0].value.mpi, 0.0);
+        assert!((report.value(0).other - 5e-4).abs() < 1e-12, "{:?}", report.value(0));
+        assert_eq!(report.value(0).mpi, 0.0);
         // end-to-end unloaded latency is still alpha + beta*s
         let expect = 5e-4 + 1000.0 * 8.0 / 100e9;
-        assert!((outcomes[1].value.mpi - expect).abs() < 1e-12, "{:?}", outcomes[1].value);
+        assert!((report.value(1).mpi - expect).abs() < 1e-12, "{:?}", report.value(1));
     }
 
     #[test]
     fn topology_routes_pairs_through_their_tier_link() {
         let topo = Topology::paper(2, 2); // ranks {0,1} on node 0, {2,3} on node 1
         let run_pair = |src: usize, dst: usize| {
-            let cluster = Cluster::new(4).with_timing(modeled()).with_topology(topo);
-            let outcomes = cluster.run(move |comm| {
+            let report = SimBuilder::new(4).timing(modeled()).topology(topo).run(move |comm| {
                 if comm.rank() == src {
                     comm.send(dst, 0, vec![0u8; 1_000_000]);
                 }
@@ -323,7 +358,7 @@ mod tests {
                 }
                 comm.elapsed()
             });
-            outcomes[dst].value
+            *report.value(dst)
         };
         let intra = run_pair(0, 1);
         let inter = run_pair(1, 2);
@@ -338,21 +373,20 @@ mod tests {
     #[test]
     fn topology_stamps_tiers_on_sends() {
         let topo = Topology::paper(2, 2);
-        let cluster = Cluster::new(4)
-            .with_timing(modeled())
-            .with_topology(topo)
-            .with_trace(TraceConfig::default());
-        let outcomes = cluster.run(|comm| match comm.rank() {
-            0 => comm.send(1, 1, vec![1u8; 64]),
-            1 => {
-                comm.recv(0, 1);
-                comm.send(2, 2, vec![2u8; 64]);
-            }
-            2 => drop(comm.recv(1, 2)),
-            _ => {}
-        });
+        let report =
+            SimBuilder::new(4).timing(modeled()).topology(topo).trace(TraceConfig::default()).run(
+                |comm| match comm.rank() {
+                    0 => comm.send(1, 1, vec![1u8; 64]),
+                    1 => {
+                        comm.recv(0, 1);
+                        comm.send(2, 2, vec![2u8; 64]);
+                    }
+                    2 => drop(comm.recv(1, 2)),
+                    _ => {}
+                },
+            );
         let tier_of_send = |rank: usize| {
-            outcomes[rank].trace.as_ref().unwrap().events.iter().find_map(|e| match *e {
+            report.trace_of(rank).unwrap().events.iter().find_map(|e| match *e {
                 Event::Send { tier, .. } => Some(tier),
                 _ => None,
             })
@@ -363,36 +397,35 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "topology is 4 ranks")]
-    fn topology_rank_count_must_match_the_cluster() {
-        let _ = Cluster::new(8).with_topology(Topology::paper(2, 2));
+    fn topology_rank_count_must_match_the_simulation() {
+        let _ = SimBuilder::new(8).topology(Topology::paper(2, 2));
     }
 
     #[test]
     fn tracing_is_disabled_by_default() {
-        let cluster = Cluster::new(2).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
+        let report = SimBuilder::new(2).timing(modeled()).run(|comm| {
             assert!(!comm.tracing_enabled());
             let n = comm.size();
             comm.sendrecv((comm.rank() + 1) % n, 0, vec![1u8; 64], (comm.rank() + n - 1) % n);
         });
-        assert!(outcomes.iter().all(|o| o.trace.is_none()));
+        assert!(report.expect_clean().traces.is_empty());
     }
 
     #[test]
     fn traced_run_reconciles_with_breakdown() {
-        let cluster = Cluster::new(4).with_timing(modeled()).with_trace(TraceConfig::default());
-        let outcomes = cluster.run(|comm| {
-            let n = comm.size();
-            let to = (comm.rank() + 1) % n;
-            let from = (comm.rank() + n - 1) % n;
-            for round in 0..3u64 {
-                let got = comm.sendrecv_compressed(to, round, vec![0u8; 500], 2000, from);
-                comm.compute_labeled(OpKind::Hpr, got.len() * 4, "test:hpr", || ());
-            }
-            comm.advance(OpKind::Cpt, 1e-4);
-        });
-        for o in &outcomes {
-            let trace = o.trace.as_ref().expect("traced run returns events");
+        let report =
+            SimBuilder::new(4).timing(modeled()).trace(TraceConfig::default()).run(|comm| {
+                let n = comm.size();
+                let to = (comm.rank() + 1) % n;
+                let from = (comm.rank() + n - 1) % n;
+                for round in 0..3u64 {
+                    let got = comm.sendrecv_compressed(to, round, vec![0u8; 500], 2000, from);
+                    comm.compute_labeled(OpKind::Hpr, got.len() * 4, "test:hpr", || ());
+                }
+                comm.advance(OpKind::Cpt, 1e-4);
+            });
+        for o in &report.outcomes {
+            let trace = report.trace_of(o.rank).expect("traced run returns events");
             let rebuilt = trace.reconstructed_breakdown();
             for (a, b) in [
                 (rebuilt.cpr, o.breakdown.cpr),
@@ -418,13 +451,13 @@ mod tests {
 
     #[test]
     fn reset_clock_clears_trace() {
-        let cluster = Cluster::new(1).with_timing(modeled()).with_trace(TraceConfig::default());
-        let outcomes = cluster.run(|comm| {
-            comm.compute(OpKind::Cpr, 1_000_000, || ());
-            comm.reset_clock();
-            comm.compute(OpKind::Dpr, 1_000_000, || ());
-        });
-        let trace = outcomes[0].trace.as_ref().unwrap();
+        let report =
+            SimBuilder::new(1).timing(modeled()).trace(TraceConfig::default()).run(|comm| {
+                comm.compute(OpKind::Cpr, 1_000_000, || ());
+                comm.reset_clock();
+                comm.compute(OpKind::Dpr, 1_000_000, || ());
+            });
+        let trace = report.trace_of(0).unwrap();
         assert_eq!(trace.events.len(), 1);
         assert!(matches!(trace.events[0], Event::Compute { kind: OpKind::Dpr, .. }));
     }
@@ -432,8 +465,7 @@ mod tests {
     #[test]
     fn recv_ready_tracks_arrival_without_advancing_the_clock() {
         let net = NetConfig { latency_s: 1e-5, bandwidth_gbps: 1.0, congestion: 0.0 };
-        let cluster = Cluster::new(2).with_net(net).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
+        let report = SimBuilder::new(2).net(net).timing(modeled()).run(|comm| {
             if comm.rank() == 0 {
                 comm.send(1, 3, vec![0u8; 1_000_000]); // slow: arrives late
                 comm.send(1, 4, vec![7u8]); // fast: arrives first
@@ -454,14 +486,13 @@ mod tests {
                 (not_yet, absent, clock_unchanged)
             }
         });
-        assert_eq!(outcomes[1].value, (true, true, true));
+        assert_eq!(*report.value(1), (true, true, true));
     }
 
     #[test]
     fn recv_ready_is_true_for_an_already_arrived_message() {
         let net = NetConfig { latency_s: 1e-5, bandwidth_gbps: 100.0, congestion: 0.0 };
-        let cluster = Cluster::new(2).with_net(net).with_timing(modeled());
-        let outcomes = cluster.run(|comm| {
+        let report = SimBuilder::new(2).net(net).timing(modeled()).run(|comm| {
             if comm.rank() == 0 {
                 comm.send(1, 1, vec![1u8]); // early, tiny: arrives first
                 comm.send(1, 2, vec![0u8; 1_000_000]); // late, big: arrives last
@@ -475,121 +506,127 @@ mod tests {
                 ready
             }
         });
-        assert!(outcomes[1].value, "buffered message with past arrival must probe ready");
+        assert!(*report.value(1), "buffered message with past arrival must probe ready");
     }
 
     #[test]
     #[should_panic(expected = "self-send in a collective is a bug")]
     fn self_send_panics_the_rank() {
-        // the self-send assert fires inside the rank thread; the cluster
-        // surfaces it by re-panicking on join with the original message
-        let cluster = Cluster::new(1);
-        cluster.run(|comm| comm.send(0, 0, vec![]));
+        // the self-send assert fires inside the rank; expect_clean surfaces
+        // it by re-panicking with the original message
+        let _ = SimBuilder::new(1).run(|comm| comm.send(0, 0, vec![])).expect_clean();
     }
 
     #[test]
-    fn try_run_reports_which_rank_died_and_why() {
-        let cluster = Cluster::new(2).with_timing(modeled());
-        let fates = cluster.try_run(|comm| {
+    fn report_tells_which_rank_died_and_why() {
+        let report = SimBuilder::new(2).timing(modeled()).run(|comm| {
             if comm.rank() == 1 {
                 panic!("injected failure on rank 1");
             }
             comm.recv(1, 0); // blocks; must unwind, not deadlock
         });
-        assert!(fates[0].is_err(), "rank 0 dies on the hung-up channel cascade");
-        let p = fates[1].as_ref().unwrap_err();
+        assert!(!report.is_clean());
+        assert!(report.panic_of(0).is_some(), "rank 0 dies on the crash cascade");
+        let p = report.panic_of(1).expect("rank 1 died");
         assert_eq!(p.rank, 1);
         assert_eq!(p.message, "injected failure on rank 1");
+        // the fates view interleaves survivors and casualties by rank
+        let fates = report.fates();
+        assert_eq!(fates.len(), 2);
+        assert!(fates.iter().all(|f| f.is_err()));
     }
 
     #[test]
     fn fault_plan_crash_cascades_and_is_attributed() {
-        let cluster =
-            Cluster::new(3).with_timing(modeled()).with_faults(FaultPlan::new(1).with_crash(1, 0));
-        let fates = cluster.try_run(|comm| {
-            let n = comm.size();
-            let to = (comm.rank() + 1) % n;
-            let from = (comm.rank() + n - 1) % n;
-            for round in 0..3u64 {
-                comm.sendrecv(to, round, vec![comm.rank() as u8; 64], from);
-            }
-        });
-        let p1 = fates[1].as_ref().unwrap_err();
-        assert_eq!(p1.rank, 1);
+        let report = SimBuilder::new(3)
+            .timing(modeled())
+            .faults(FaultPlan::new(1).with_crash(1, 0))
+            .run(|comm| {
+                let n = comm.size();
+                let to = (comm.rank() + 1) % n;
+                let from = (comm.rank() + n - 1) % n;
+                for round in 0..3u64 {
+                    comm.sendrecv(to, round, vec![comm.rank() as u8; 64], from);
+                }
+            });
+        let p1 = report.panic_of(1).expect("rank 1 crashed");
         assert!(p1.message.contains("crashed by fault plan at send step 0"), "{}", p1.message);
         // The survivors die observing the cascade. Which dead neighbour each
-        // one trips over first (the crashed rank or a fellow casualty) depends
-        // on thread scheduling, so only the fact of a crash observation is
-        // asserted here.
+        // one trips over first (the crashed rank or a fellow casualty) is an
+        // engine-scheduling detail, so only the fact of a crash observation
+        // is asserted here.
         for r in [0, 2] {
-            let p = fates[r].as_ref().unwrap_err();
+            let p = report.panic_of(r).expect("cascade kills the ring");
             assert!(p.message.contains("observed crash of rank"), "rank {r}: {}", p.message);
         }
     }
 
     #[test]
     fn dropped_message_panics_plain_recv() {
-        let cluster =
-            Cluster::new(2).with_timing(modeled()).with_faults(FaultPlan::new(0).with_drop(1.0));
-        let fates = cluster.try_run(|comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 5, vec![1, 2, 3]);
-            } else {
-                comm.recv(0, 5);
-            }
-        });
-        let p = fates[1].as_ref().unwrap_err();
+        let report = SimBuilder::new(2)
+            .timing(modeled())
+            .faults(FaultPlan::new(0).with_drop(1.0))
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 5, vec![1, 2, 3]);
+                } else {
+                    comm.recv(0, 5);
+                }
+            });
+        let p = report.panic_of(1).expect("the receiver starves");
         assert!(p.message.contains("dropped by the fault plan"), "{}", p.message);
     }
 
     #[test]
     fn recv_msg_surfaces_drops_and_send_reliable_bypasses_them() {
-        let cluster =
-            Cluster::new(2).with_timing(modeled()).with_faults(FaultPlan::new(0).with_drop(1.0));
-        let outcomes = cluster.run(|comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 1, vec![9; 16]);
-                comm.send_reliable(1, 2, vec![8; 16], 16);
-                (true, true)
-            } else {
-                let lossy = comm.recv_msg(0, 1);
-                let safe = comm.recv_msg(0, 2);
-                (lossy.dropped, !safe.dropped && safe.payload == vec![8; 16])
-            }
-        });
-        assert_eq!(outcomes[1].value, (true, true));
+        let report = SimBuilder::new(2)
+            .timing(modeled())
+            .faults(FaultPlan::new(0).with_drop(1.0))
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 1, vec![9; 16]);
+                    comm.send_reliable(1, 2, vec![8; 16], 16);
+                    (true, true)
+                } else {
+                    let lossy = comm.recv_msg(0, 1);
+                    let safe = comm.recv_msg(0, 2);
+                    (lossy.dropped, !safe.dropped && safe.payload == vec![8; 16])
+                }
+            });
+        assert_eq!(*report.value(1), (true, true));
     }
 
     #[test]
     fn corruption_flips_exactly_one_bit() {
         let sent: Vec<u8> = (0..64).collect();
         let expect = sent.clone();
-        let cluster =
-            Cluster::new(2).with_timing(modeled()).with_faults(FaultPlan::new(3).with_corrupt(1.0));
-        let outcomes = cluster.run(move |comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 0, sent.clone());
-                0
-            } else {
-                let got = comm.recv(0, 0);
-                got.iter().zip(&expect).map(|(a, b)| (a ^ b).count_ones()).sum::<u32>()
-            }
-        });
-        assert_eq!(outcomes[1].value, 1);
+        let report = SimBuilder::new(2)
+            .timing(modeled())
+            .faults(FaultPlan::new(3).with_corrupt(1.0))
+            .run(move |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, sent.clone());
+                    0
+                } else {
+                    let got = comm.recv(0, 0);
+                    got.iter().zip(&expect).map(|(a, b)| (a ^ b).count_ones()).sum::<u32>()
+                }
+            });
+        assert_eq!(*report.value(1), 1);
     }
 
     #[test]
     fn straggler_scales_modeled_compute() {
         let run_with = |plan: Option<FaultPlan>| {
-            let mut cluster = Cluster::new(2).with_timing(modeled());
+            let mut sim = SimBuilder::new(2).timing(modeled());
             if let Some(p) = plan {
-                cluster = cluster.with_faults(p);
+                sim = sim.faults(p);
             }
-            let outcomes = cluster.run(|comm| {
+            let report = sim.run(|comm| {
                 comm.compute(OpKind::Cpt, 30_000_000_000, || ());
                 comm.elapsed()
             });
-            (outcomes[0].value, outcomes[1].value)
+            (*report.value(0), *report.value(1))
         };
         let (h0, h1) = run_with(None);
         let (s0, s1) = run_with(Some(FaultPlan::new(0).with_straggler(1, 4.0)));
@@ -600,8 +637,7 @@ mod tests {
     #[test]
     fn jitter_delays_arrivals_deterministically() {
         let run_once = |plan: FaultPlan| {
-            let cluster = Cluster::new(2).with_timing(modeled()).with_faults(plan);
-            let outcomes = cluster.run(|comm| {
+            let report = SimBuilder::new(2).timing(modeled()).faults(plan).run(|comm| {
                 if comm.rank() == 0 {
                     comm.send(1, 0, vec![0u8; 100]);
                 } else {
@@ -609,7 +645,7 @@ mod tests {
                 }
                 comm.elapsed()
             });
-            outcomes[1].value
+            *report.value(1)
         };
         let healthy = run_once(FaultPlan::new(7));
         let jittered = run_once(FaultPlan::new(7).with_jitter(1e-3));
@@ -620,19 +656,22 @@ mod tests {
     #[test]
     fn empty_fault_plan_is_bit_identical_to_no_plan() {
         let run = |faulted: bool| {
-            let mut cluster = Cluster::new(4).with_timing(modeled());
+            let mut sim = SimBuilder::new(4).timing(modeled());
             if faulted {
-                cluster = cluster.with_faults(FaultPlan::new(99));
+                sim = sim.faults(FaultPlan::new(99));
             }
-            let (_, stats) = cluster.run_stats(|comm| {
-                let n = comm.size();
-                let to = (comm.rank() + 1) % n;
-                let from = (comm.rank() + n - 1) % n;
-                for round in 0..4u64 {
-                    let got = comm.sendrecv(to, round, vec![comm.rank() as u8; 2048], from);
-                    comm.compute(OpKind::Cpt, got.len(), || ());
-                }
-            });
+            let stats = sim
+                .run(|comm| {
+                    let n = comm.size();
+                    let to = (comm.rank() + 1) % n;
+                    let from = (comm.rank() + n - 1) % n;
+                    for round in 0..4u64 {
+                        let got = comm.sendrecv(to, round, vec![comm.rank() as u8; 2048], from);
+                        comm.compute(OpKind::Cpt, got.len(), || ());
+                    }
+                })
+                .expect_clean()
+                .stats;
             (stats.makespan, stats.total.total())
         };
         assert_eq!(run(false), run(true));

@@ -2,15 +2,15 @@
 //! Prometheus-style text rendering and a hand-rolled JSON snapshot (no
 //! `serde` — tier-1 builds run without registry access).
 //!
-//! [`Registry::record_run`] derives the standard metric set of a simulated
-//! collective from per-rank [`RankOutcome`]s: per-[`OpKind`] virtual-second
-//! totals (always available from the [`Breakdown`]s) plus — when the run was
-//! traced via [`crate::Cluster::with_trace`] — message wire-size,
+//! [`Registry::record_report`] derives the standard metric set of a
+//! simulated collective from a [`RunReport`]: per-[`OpKind`] virtual-second
+//! totals (always available from the outcomes' [`Breakdown`]s) plus — when
+//! the run was traced via [`crate::SimBuilder::trace`] — message wire-size,
 //! per-step achieved-compression-ratio and recv-wait distributions.
 
-use crate::cluster::RankOutcome;
 use crate::config::OpKind;
 use crate::json::Json;
+use crate::sim::RunReport;
 use crate::trace::Event;
 use std::collections::BTreeMap;
 
@@ -179,17 +179,16 @@ impl Registry {
         }
     }
 
-    /// Derive the standard collective-run metric set from per-rank outcomes.
+    /// Derive the standard collective-run metric set from a run's report.
     ///
-    /// Works untraced (per-kind totals from the breakdowns only); with
-    /// traces it additionally fills the message/ratio/wait histograms and
-    /// per-label compute totals.
-    pub fn record_run<R>(&mut self, outcomes: &[RankOutcome<R>]) {
+    /// Works untraced (per-kind totals from the outcomes' breakdowns only);
+    /// with traces it additionally fills the message/ratio/wait histograms
+    /// and per-label compute totals. Crashed ranks contribute nothing — the
+    /// report only carries survivors' outcomes and traces.
+    pub fn record_report<R>(&mut self, report: &RunReport<R>) {
         self.inc("hz_runs_total", 1);
-        self.inc("hz_ranks_total", outcomes.len() as u64);
-        let mut makespan = 0f64;
-        for o in outcomes {
-            makespan = makespan.max(o.elapsed);
+        self.inc("hz_ranks_total", (report.outcomes.len() + report.panics.len()) as u64);
+        for o in &report.outcomes {
             let b = &o.breakdown;
             for (kind, secs) in [
                 (OpKind::Cpr, b.cpr),
@@ -203,7 +202,8 @@ impl Registry {
             self.add("hz_mpi_wait_seconds", b.mpi);
             // per-rank end-to-end latency distribution (p50/p99 source)
             self.observe("hz_collective_latency_seconds", o.elapsed);
-            let Some(trace) = &o.trace else { continue };
+        }
+        for trace in &report.traces {
             for ev in &trace.events {
                 match *ev {
                     Event::Send { wire_bytes, logical_bytes, .. } => {
@@ -244,7 +244,7 @@ impl Registry {
                 }
             }
         }
-        self.set_max("hz_makespan_seconds", makespan);
+        self.set_max("hz_makespan_seconds", report.stats.makespan);
     }
 
     /// Render in Prometheus text exposition style. Deterministic: names are

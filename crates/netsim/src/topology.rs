@@ -11,7 +11,7 @@
 //! `nodes × ppn` rank grid with a per-tier [`NetConfig`] each, resolved per
 //! `(src, dst)` pair by [`Topology::tier`].
 //!
-//! A [`crate::Cluster`] configured with [`crate::Cluster::with_topology`]
+//! A simulation configured with [`crate::SimBuilder::topology`]
 //! routes every send through the pair's tier link and stamps the tier on the
 //! [`crate::trace::Event::Send`], so [`crate::critpath`] can attribute path
 //! time to intra- vs inter-node wire. Without a topology the simulator keeps

@@ -2,7 +2,8 @@
 //! timeline, plus Chrome-trace (Perfetto) and ASCII Gantt exporters.
 //!
 //! Tracing is **off by default** and enabled per run with
-//! [`crate::Cluster::with_trace`]. When disabled, every record site inside
+//! [`crate::SimBuilder::trace`] (traces come back in
+//! [`crate::RunReport::traces`]). When disabled, every record site inside
 //! [`crate::Comm`] reduces to a single `Option` branch — no event is
 //! constructed and nothing is allocated (the zero-overhead contract DESIGN.md
 //! §"Observability" documents and `tests/trace.rs` pins down).
@@ -15,7 +16,6 @@
 //! * `Recv.wait_secs` sums match `mpi`.
 
 use crate::breakdown::Breakdown;
-use crate::cluster::RankOutcome;
 use crate::config::OpKind;
 use crate::critpath::{CriticalPath, SpanKind};
 use crate::faults::FaultKind;
@@ -192,17 +192,6 @@ impl RankTrace {
     pub fn end_time(&self) -> f64 {
         self.events.iter().map(|e| e.end()).fold(0.0, f64::max)
     }
-}
-
-/// Extract the traces of a traced run, panicking if tracing was disabled.
-pub fn take_traces<R>(outcomes: Vec<RankOutcome<R>>) -> (Vec<R>, Vec<RankTrace>) {
-    let mut values = Vec::with_capacity(outcomes.len());
-    let mut traces = Vec::with_capacity(outcomes.len());
-    for o in outcomes {
-        values.push(o.value);
-        traces.push(o.trace.expect("run was not traced: use Cluster::with_trace"));
-    }
-    (values, traces)
 }
 
 /// Export traces as Chrome trace-event JSON (the format `chrome://tracing`

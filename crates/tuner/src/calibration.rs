@@ -24,8 +24,7 @@
 //!   median implied per-byte time, at half the usual gain.
 
 use crate::plan::{Flavor, ThreadMode};
-use netsim::cluster::RankOutcome;
-use netsim::{Event, Json, NetConfig, OpKind, ThroughputModel};
+use netsim::{Event, Json, NetConfig, OpKind, RunReport, ThroughputModel};
 use std::collections::BTreeMap;
 
 /// Throughputs calibrated to the paper's 36-thread Broadwell socket, per
@@ -128,9 +127,9 @@ impl Calibration {
 
     /// Absorb one traced run: refine the `(flavor, mode)` throughput table
     /// from its `Compute` events, alpha from `Send` injection overheads, and
-    /// (guarded) beta from receive waits. Untraced outcomes are a no-op —
+    /// (guarded) beta from receive waits. Untraced reports are a no-op —
     /// the flight recorder is the calibration signal.
-    pub fn absorb_run<R>(&mut self, flavor: Flavor, mode: ThreadMode, outcomes: &[RankOutcome<R>]) {
+    pub fn absorb_run<R>(&mut self, flavor: Flavor, mode: ThreadMode, report: &RunReport<R>) {
         let mut bytes_by_kind = [0f64; OpKind::COUNT];
         let mut secs_by_kind = [0f64; OpKind::COUNT];
         let mut inject_total = 0f64;
@@ -138,12 +137,12 @@ impl Calibration {
         let mut implied_byte_times: Vec<f64> = Vec::new();
         let mut wait_total = 0f64;
         let mut elapsed_total = 0f64;
-        let mut traced = false;
-        let nranks = outcomes.len().max(1);
-        for o in outcomes {
+        let traced = !report.traces.is_empty();
+        let nranks = report.outcomes.len().max(1);
+        for o in &report.outcomes {
             elapsed_total += o.elapsed;
-            let Some(trace) = &o.trace else { continue };
-            traced = true;
+        }
+        for trace in &report.traces {
             for ev in &trace.events {
                 match *ev {
                     Event::Compute { kind, bytes, secs, .. } => {
@@ -264,7 +263,7 @@ impl Default for Calibration {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::{Cluster, ComputeTiming};
+    use netsim::{ComputeTiming, SimBuilder};
 
     #[test]
     fn paper_prior_matches_paper_ordering() {
@@ -296,18 +295,21 @@ mod tests {
         // deliberately mis-seed CPR far below the simulator's true 5 GB/s
         c.thr.get_mut(&Calibration::key(Flavor::Hzccl, false)).unwrap()[0] = 0.05;
         let true_gbps = 5.0;
-        let cluster = Cluster::new(2)
-            .with_timing(ComputeTiming::Modeled(ThroughputModel::new(
-                true_gbps, 10.0, 50.0, 20.0, 40.0,
-            )))
-            .with_trace(netsim::TraceConfig::default());
-        let outcomes = cluster.run(|comm| {
-            comm.compute(OpKind::Cpr, 1 << 20, || ());
-            let n = comm.size();
-            comm.sendrecv((comm.rank() + 1) % n, 0, vec![0u8; 1 << 16], (comm.rank() + n - 1) % n);
-        });
+        let report = SimBuilder::new(2)
+            .timing(ComputeTiming::Modeled(ThroughputModel::new(true_gbps, 10.0, 50.0, 20.0, 40.0)))
+            .trace(netsim::TraceConfig::default())
+            .run(|comm| {
+                comm.compute(OpKind::Cpr, 1 << 20, || ());
+                let n = comm.size();
+                comm.sendrecv(
+                    (comm.rank() + 1) % n,
+                    0,
+                    vec![0u8; 1 << 16],
+                    (comm.rank() + n - 1) % n,
+                );
+            });
         let before = c.model(Flavor::Hzccl, ThreadMode::St).gbps[0];
-        c.absorb_run(Flavor::Hzccl, ThreadMode::St, &outcomes);
+        c.absorb_run(Flavor::Hzccl, ThreadMode::St, &report);
         let after = c.model(Flavor::Hzccl, ThreadMode::St).gbps[0];
         assert!(
             (after - true_gbps).abs() < (before - true_gbps).abs(),
@@ -316,7 +318,7 @@ mod tests {
         assert!(after > before);
         // repeated absorption converges
         for _ in 0..40 {
-            c.absorb_run(Flavor::Hzccl, ThreadMode::St, &outcomes);
+            c.absorb_run(Flavor::Hzccl, ThreadMode::St, &report);
         }
         let settled = c.model(Flavor::Hzccl, ThreadMode::St).gbps[0];
         assert!((settled - true_gbps).abs() < 0.05, "settled at {settled}");
@@ -327,12 +329,12 @@ mod tests {
     fn untraced_outcomes_are_ignored() {
         let mut c = Calibration::paper();
         let snapshot = c.clone();
-        let cluster = Cluster::new(2)
-            .with_timing(ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0)));
-        let outcomes = cluster.run(|comm| {
-            comm.compute(OpKind::Cpr, 1 << 20, || ());
-        });
-        c.absorb_run(Flavor::Hzccl, ThreadMode::St, &outcomes);
+        let report = SimBuilder::new(2)
+            .timing(ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0)))
+            .run(|comm| {
+                comm.compute(OpKind::Cpr, 1 << 20, || ());
+            });
+        c.absorb_run(Flavor::Hzccl, ThreadMode::St, &report);
         assert_eq!(c, snapshot, "no trace, no update");
     }
 

@@ -18,8 +18,7 @@
 use crate::cache::TuningCache;
 use crate::calibration::Calibration;
 use crate::plan::{Algo, Flavor, Op, Plan, ScenarioSpec, ThreadMode};
-use netsim::cluster::RankOutcome;
-use netsim::Json;
+use netsim::{Json, RunReport};
 
 /// Where a decision came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -311,17 +310,17 @@ impl Engine {
         Decision { plan: best.plan, source, ranked, why }
     }
 
-    /// Absorb one simulated/measured run: feed the flight-recorder outcomes
-    /// to the calibration loop and record the makespan in the cache.
+    /// Absorb one simulated/measured run: feed the report's flight-recorder
+    /// traces to the calibration loop and record the makespan in the cache.
     /// Returns the makespan it recorded.
     pub fn observe_run<R>(
         &mut self,
         spec: &ScenarioSpec,
         plan: &Plan,
-        outcomes: &[RankOutcome<R>],
+        report: &RunReport<R>,
     ) -> f64 {
-        let makespan = outcomes.iter().fold(0f64, |m, o| m.max(o.elapsed));
-        self.calib.absorb_run(plan.flavor, plan.mode, outcomes);
+        let makespan = report.stats.makespan;
+        self.calib.absorb_run(plan.flavor, plan.mode, report);
         self.observe_measurement(spec, plan, makespan);
         makespan
     }

@@ -10,7 +10,7 @@
 use datasets::App;
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{CollectiveConfig, Mode};
-use netsim::Cluster;
+use netsim::SimBuilder;
 
 const RANKS: usize = 16;
 const ELEMS: usize = 1 << 21; // 8 MiB per rank
@@ -45,17 +45,20 @@ fn main() {
     println!(" see the costmodel crate for the closed-form crossover)\n");
 
     let run = |label: &str, timing: netsim::ComputeTiming, opts: &CollectiveOpts| {
-        let cluster = Cluster::new(RANKS).with_timing(timing);
-        let (results, stats) = cluster.run_stats(|comm| {
-            let data = &fields[comm.rank()];
-            collectives::allreduce(comm, data, opts).expect(label)
-        });
+        let cluster = SimBuilder::new(RANKS).timing(timing);
+        let report = cluster
+            .run(|comm| {
+                let data = &fields[comm.rank()];
+                collectives::allreduce(comm, data, opts).expect(label)
+            })
+            .expect_clean();
+        let stats = report.stats;
         let (doc, mpi_pct, other) = stats.total.percentages();
         println!(
             "{label:<26} {:>9.3} ms | DOC-related {doc:5.1}% MPI {mpi_pct:5.1}% OTHER {other:4.1}%",
             stats.makespan * 1e3
         );
-        (results[0].clone(), stats.makespan)
+        (report.value(0).clone(), stats.makespan)
     };
 
     let (exact, t_mpi) = run("MPI (no compression)", hz_timing, &CollectiveOpts::mpi());

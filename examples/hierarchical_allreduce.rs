@@ -13,7 +13,7 @@
 use datasets::App;
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{Mode, Variant};
-use netsim::{Cluster, ComputeTiming, LinkTier, NetConfig, Topology};
+use netsim::{ComputeTiming, LinkTier, NetConfig, SimBuilder, Topology};
 
 const NODES: usize = 8;
 const PPN: usize = 8;
@@ -43,17 +43,17 @@ fn main() {
 
     // Run one flavour, return its makespan plus the per-tier critical path.
     let run = |label: &str, opts: &CollectiveOpts| -> (Vec<f32>, f64, netsim::CriticalPath) {
-        let cluster = Cluster::new(nranks)
-            .with_net(net)
-            .with_timing(timing)
-            .with_topology(topo)
-            .with_trace(netsim::TraceConfig::default());
-        let outcomes = cluster
-            .run(|comm| collectives::allreduce(comm, &fields[comm.rank()], opts).expect(label));
-        let makespan = outcomes.iter().map(|o| o.elapsed).fold(0.0f64, f64::max);
-        let (mut results, traces) = netsim::trace::take_traces(outcomes);
-        let cp = netsim::CriticalPath::analyze_with_topology(&traces, &net, Some(&topo));
-        (results.swap_remove(0), makespan, cp)
+        let cluster = SimBuilder::new(nranks)
+            .net(net)
+            .timing(timing)
+            .topology(topo)
+            .trace(netsim::TraceConfig::default());
+        let report = cluster
+            .run(|comm| collectives::allreduce(comm, &fields[comm.rank()], opts).expect(label))
+            .expect_clean();
+        let makespan = report.stats.makespan;
+        let cp = netsim::CriticalPath::analyze_with_topology(&report.traces, &net, Some(&topo));
+        (report.values().swap_remove(0), makespan, cp)
     };
 
     let (flat_out, t_flat, _) = run("flat hz ring", &CollectiveOpts::hz(EB));

@@ -11,7 +11,7 @@
 use datasets::{save_pgm, App, Quality};
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::Mode;
-use netsim::{Cluster, ComputeTiming, ThroughputModel};
+use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 use std::path::Path;
 
 const SIDE: usize = 512;
@@ -42,18 +42,23 @@ fn main() {
     let hz_opts = CollectiveOpts::hz(EB).with_mode(Mode::MultiThread(2));
 
     // --- baseline: uncompressed MPI stacking
-    let cluster = Cluster::new(RANKS).with_timing(timing);
-    let (mpi_results, mpi_stats) = cluster.run_stats(|comm| {
-        collectives::allreduce(comm, &observations[comm.rank()], &CollectiveOpts::mpi())
-            .expect("mpi stacking")
-    });
-    let mpi_image = &mpi_results[0];
+    let cluster = SimBuilder::new(RANKS).timing(timing);
+    let mpi_report = cluster
+        .run(|comm| {
+            collectives::allreduce(comm, &observations[comm.rank()], &CollectiveOpts::mpi())
+                .expect("mpi stacking")
+        })
+        .expect_clean();
+    let (mpi_stats, mpi_image) = (mpi_report.stats, mpi_report.value(0).clone());
 
     // --- hZCCL-accelerated stacking
-    let (hz_results, hz_stats) = cluster.run_stats(|comm| {
-        collectives::allreduce(comm, &observations[comm.rank()], &hz_opts).expect("hzccl stacking")
-    });
-    let hz_image = &hz_results[0];
+    let hz_report = cluster
+        .run(|comm| {
+            collectives::allreduce(comm, &observations[comm.rank()], &hz_opts)
+                .expect("hzccl stacking")
+        })
+        .expect_clean();
+    let (hz_stats, hz_image) = (hz_report.stats, hz_report.value(0).clone());
 
     println!("stacked {RANKS} observations of a {SIDE}x{SIDE} scene (abs eb {EB:.0e})");
     println!(
@@ -63,13 +68,13 @@ fn main() {
         mpi_stats.makespan / hz_stats.makespan
     );
 
-    let q = Quality::compare(mpi_image, hz_image);
+    let q = Quality::compare(&mpi_image, &hz_image);
     println!("hZCCL vs exact stack: PSNR {:.2} dB, NRMSE {:.2e}", q.psnr, q.nrmse);
     assert!(q.max_abs_err <= RANKS as f64 * EB * 1.01, "stacking must stay error-bounded");
 
     let dir = Path::new("target/image_stacking");
     std::fs::create_dir_all(dir).expect("mkdir");
-    save_pgm(&dir.join("stack_mpi.pgm"), mpi_image, SIDE, SIDE).expect("write mpi");
-    save_pgm(&dir.join("stack_hzccl.pgm"), hz_image, SIDE, SIDE).expect("write hzccl");
+    save_pgm(&dir.join("stack_mpi.pgm"), &mpi_image, SIDE, SIDE).expect("write mpi");
+    save_pgm(&dir.join("stack_hzccl.pgm"), &hz_image, SIDE, SIDE).expect("write hzccl");
     println!("wrote {}/stack_mpi.pgm and stack_hzccl.pgm", dir.display());
 }

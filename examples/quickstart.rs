@@ -10,7 +10,7 @@ use datasets::{App, Quality};
 use fzlight::{compress, decompress, Config, ErrorBound};
 use hzccl::collectives::{self, CollectiveOpts};
 use hzdyn::homomorphic_sum;
-use netsim::Cluster;
+use netsim::SimBuilder;
 
 fn main() {
     // 1. Two snapshots of a scientific field (synthetic Hurricane data).
@@ -60,12 +60,15 @@ fn main() {
     //    collectives API runs the homomorphic ring Allreduce on a simulated
     //    8-rank machine (add `.with_segments(4)` to pipeline it).
     let opts = CollectiveOpts::hz(eb);
-    let cluster = Cluster::new(8);
+    let cluster = SimBuilder::new(8);
     let m = 1 << 12;
-    let outcomes = cluster.run(|comm| {
-        let data = App::Hurricane.generate(m, comm.rank() as u64);
-        collectives::allreduce(comm, &data, &opts).expect("allreduce")
-    });
+    let outcomes = cluster
+        .run(|comm| {
+            let data = App::Hurricane.generate(m, comm.rank() as u64);
+            collectives::allreduce(comm, &data, &opts).expect("allreduce")
+        })
+        .expect_clean()
+        .outcomes;
     assert!(outcomes.iter().all(|o| o.value == outcomes[0].value));
     println!("cluster allreduce: 8 ranks agree bit-for-bit on the error-bounded sum");
 

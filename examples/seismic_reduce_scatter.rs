@@ -11,7 +11,7 @@ use datasets::App;
 use fzlight::{Config, ErrorBound};
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{CollectiveConfig, Mode};
-use netsim::{Cluster, ComputeTiming};
+use netsim::{ComputeTiming, SimBuilder};
 
 const RANKS: usize = 32;
 const ELEMS: usize = 1 << 21; // 8 MiB per rank
@@ -37,11 +37,14 @@ fn main() {
     let doc_timing = ComputeTiming::Modeled(hzccl::calibrate_doc(sample, &cfg));
 
     let run = |label: &str, timing: ComputeTiming, opts: &CollectiveOpts| -> f64 {
-        let cluster = Cluster::new(RANKS).with_timing(timing);
-        let (_, stats) = cluster.run_stats(|comm| {
-            let data = &fields[comm.rank()];
-            collectives::reduce_scatter(comm, data, opts).expect(label);
-        });
+        let cluster = SimBuilder::new(RANKS).timing(timing);
+        let stats = cluster
+            .run(|comm| {
+                let data = &fields[comm.rank()];
+                collectives::reduce_scatter(comm, data, opts).expect(label);
+            })
+            .expect_clean()
+            .stats;
         println!("{label:<26} {:>9.3} ms", stats.makespan * 1e3);
         stats.makespan
     };
@@ -61,14 +64,20 @@ fn main() {
     );
 
     // 3. Correctness: hZCCL's chunk equals MPI's within N*eb.
-    let cluster = Cluster::new(RANKS).with_timing(hz_timing);
-    let exact = cluster.run(|comm| {
-        collectives::reduce_scatter(comm, &fields[comm.rank()], &CollectiveOpts::mpi())
-            .expect("mpi")
-    });
-    let approx = cluster.run(|comm| {
-        collectives::reduce_scatter(comm, &fields[comm.rank()], &hz_opts).expect("hzccl")
-    });
+    let cluster = SimBuilder::new(RANKS).timing(hz_timing);
+    let exact = cluster
+        .run(|comm| {
+            collectives::reduce_scatter(comm, &fields[comm.rank()], &CollectiveOpts::mpi())
+                .expect("mpi")
+        })
+        .expect_clean()
+        .outcomes;
+    let approx = cluster
+        .run(|comm| {
+            collectives::reduce_scatter(comm, &fields[comm.rank()], &hz_opts).expect("hzccl")
+        })
+        .expect_clean()
+        .outcomes;
     let mut worst = 0f64;
     for (e, a) in exact.iter().zip(&approx) {
         for (x, y) in e.value.iter().zip(&a.value) {

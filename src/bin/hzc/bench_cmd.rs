@@ -25,14 +25,19 @@ pub(crate) fn bench(args: &[String]) -> Result<(), String> {
     if let Some(app) = flag::<String>(args, "--app")? {
         cfg.app = parse_app(&app)?;
     }
+    if let Some(engine) = flag::<String>(args, "--engine")? {
+        cfg.engine = netsim::SimEngine::parse(&engine)
+            .ok_or_else(|| format!("unknown engine '{engine}' (events|threads)"))?;
+    }
 
     let (suite_name, cases) = select_cases(args, quick)?;
     println!(
-        "bench: suite={suite_name} cases={} seed={} eb={:e} app={} (virtual time, deterministic)",
+        "bench: suite={suite_name} cases={} seed={} eb={:e} app={} engine={} (virtual time, deterministic)",
         cases.len(),
         cfg.seed,
         cfg.eb,
-        cfg.app.name()
+        cfg.app.name(),
+        cfg.engine.name()
     );
     println!();
     println!(
@@ -74,9 +79,13 @@ pub(crate) fn bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// The case list: `--quick`/default sweeps, or a custom sweep constructed
-/// from `--ops/--variants/--ranks-list/--sizes-kb/--segments-list`.
+/// The case list: `--scale` (the large-rank-count family), `--quick`/default
+/// sweeps, or a custom sweep constructed from
+/// `--ops/--variants/--ranks-list/--sizes-kb/--segments-list`.
 fn select_cases(args: &[String], quick: bool) -> Result<(String, Vec<CaseSpec>), String> {
+    if has_flag(args, "--scale") {
+        return Ok(("scale".into(), suite::scale_cases()));
+    }
     let custom = ["--ops", "--variants", "--ranks-list", "--sizes-kb", "--segments-list"]
         .iter()
         .any(|f| args.iter().any(|a| a == f));

@@ -49,9 +49,10 @@ const USAGE: &str = "usage:
           [--variant hz|ccoll|mpi|rd|auto] [--eb E] [--threads T] [--segments S]
           [--topology NxP[:oversub]] [--app A] [--seed S] [--cache state.json]
           [--trace out.json] [--metrics] [--width W] [--critical-path] [--slack]
-  hzc bench [--quick] [--out F] [--against baseline.json] [--tol-time R]
-          [--tol-bytes R] [--seed S] [--eb E] [--app A] [--ops L] [--variants L]
-          [--ranks-list L] [--sizes-kb L] [--segments-list L] [--no-fault]
+  hzc bench [--quick] [--scale] [--out F] [--against baseline.json] [--tol-time R]
+          [--tol-bytes R] [--seed S] [--eb E] [--app A] [--engine events|threads]
+          [--ops L] [--variants L] [--ranks-list L] [--sizes-kb L]
+          [--segments-list L] [--no-fault]
           deterministic perf suite; nonzero exit on regression vs baseline
   hzc tune [--ops L] [--ranks L] [--sizes-kb L] [--eb E] [--app A] [--seed S]
           [--out state.json]   (L = comma-separated list, e.g. 8,64)
@@ -322,7 +323,7 @@ fn parse_app(name: &str) -> Result<App, String> {
 /// plan plus the engine's full ranking are printed.
 fn sim(args: &[String]) -> Result<(), String> {
     use hzccl::{CollectiveConfig, Mode};
-    use netsim::{trace, Cluster, ComputeTiming, TraceConfig};
+    use netsim::{trace, ComputeTiming, SimBuilder, TraceConfig};
 
     let op = args.first().map(|s| s.as_str()).ok_or("missing collective op")?;
     if !matches!(op, "allreduce" | "reduce_scatter" | "reduce" | "bcast") {
@@ -395,56 +396,54 @@ fn sim(args: &[String]) -> Result<(), String> {
     let cfg = CollectiveConfig::new(eb, mode);
     let timing = ComputeTiming::Modeled(hzccl::paper_model(variant.timing_variant(), mode));
     let net = netsim::NetConfig::default();
-    let mut cluster =
-        Cluster::new(ranks).with_net(net).with_timing(timing).with_trace(TraceConfig::default());
+    let mut cluster = SimBuilder::new(ranks).net(net).timing(timing).trace(TraceConfig::default());
     if let Some(t) = topology {
-        cluster = cluster.with_topology(t);
+        cluster = cluster.topology(t);
     }
-    let outcomes = cluster.run(|comm| {
-        let data = &fields[comm.rank()];
-        match variant {
-            SimVariant::Auto => {
-                let tuner_op = tuner::Op::parse(op).expect("op validated above");
-                return run_auto(comm, tuner_op, data, &cfg, &engine, topology.as_ref());
-            }
-            SimVariant::Rd => {
-                hzccl::rd::allreduce_rd_hz(comm, data, &cfg).expect("rd allreduce");
-            }
-            SimVariant::Static(v) => {
-                let mut opts = hzccl::collectives::CollectiveOpts::for_variant(v, eb)
-                    .with_mode(mode)
-                    .with_segments(segments);
-                if let Some(t) = topology {
-                    opts = opts.with_topology(t);
+    let report = cluster
+        .run(|comm| {
+            let data = &fields[comm.rank()];
+            match variant {
+                SimVariant::Auto => {
+                    let tuner_op = tuner::Op::parse(op).expect("op validated above");
+                    return run_auto(comm, tuner_op, data, &cfg, &engine, topology.as_ref());
                 }
-                match op {
-                    "allreduce" => {
-                        hzccl::collectives::allreduce(comm, data, &opts).expect("allreduce");
+                SimVariant::Rd => {
+                    hzccl::rd::allreduce_rd_hz(comm, data, &cfg).expect("rd allreduce");
+                }
+                SimVariant::Static(v) => {
+                    let mut opts = hzccl::collectives::CollectiveOpts::for_variant(v, eb)
+                        .with_mode(mode)
+                        .with_segments(segments);
+                    if let Some(t) = topology {
+                        opts = opts.with_topology(t);
                     }
-                    "reduce_scatter" => {
-                        hzccl::collectives::reduce_scatter(comm, data, &opts)
-                            .expect("reduce_scatter");
+                    match op {
+                        "allreduce" => {
+                            hzccl::collectives::allreduce(comm, data, &opts).expect("allreduce");
+                        }
+                        "reduce_scatter" => {
+                            hzccl::collectives::reduce_scatter(comm, data, &opts)
+                                .expect("reduce_scatter");
+                        }
+                        "reduce" => {
+                            hzccl::collectives::reduce(comm, data, &opts).expect("reduce");
+                        }
+                        "bcast" => {
+                            hzccl::collectives::bcast(comm, data, &opts).expect("bcast");
+                        }
+                        _ => unreachable!("op validated above"),
                     }
-                    "reduce" => {
-                        hzccl::collectives::reduce(comm, data, &opts).expect("reduce");
-                    }
-                    "bcast" => {
-                        hzccl::collectives::bcast(comm, data, &opts).expect("bcast");
-                    }
-                    _ => unreachable!("op validated above"),
                 }
             }
-        }
-        None
-    });
+            None
+        })
+        .expect_clean();
+    let outcomes = &report.outcomes;
 
     // --- breakdown table ---------------------------------------------------
-    let mut total = netsim::Breakdown::default();
-    let mut makespan = 0f64;
-    for o in &outcomes {
-        total += o.breakdown;
-        makespan = makespan.max(o.elapsed);
-    }
+    let total = report.stats.total;
+    let makespan = report.stats.makespan;
     let field_desc = match kb {
         Some(k) => format!("{k} KiB/rank"),
         None => format!("{mb} MiB/rank"),
@@ -475,7 +474,7 @@ fn sim(args: &[String]) -> Result<(), String> {
         }
         if let Some(p) = &cache_path {
             let mut engine = engine.clone();
-            engine.observe_run(spec, &decision.plan, &outcomes);
+            engine.observe_run(spec, &decision.plan, &report);
             engine.save(Path::new(p)).map_err(|e| format!("{p}: {e}"))?;
             println!("recorded {:.6} s into {p}", makespan);
         }
@@ -499,19 +498,19 @@ fn sim(args: &[String]) -> Result<(), String> {
 
     // --- per-rank timeline --------------------------------------------------
     let mut registry = netsim::Registry::new();
-    registry.record_run(&outcomes);
-    let (_, traces) = trace::take_traces(outcomes);
+    registry.record_report(&report);
+    let traces = &report.traces;
     println!();
-    println!("{}", trace::ascii_timeline(&traces, width));
+    println!("{}", trace::ascii_timeline(traces, width));
 
     // --- causal critical-path analysis --------------------------------------
     let critpath = (want_critpath || want_slack)
-        .then(|| netsim::CriticalPath::analyze_with_topology(&traces, &net, topology.as_ref()));
+        .then(|| netsim::CriticalPath::analyze_with_topology(traces, &net, topology.as_ref()));
     if let Some(cp) = critpath.as_ref().filter(|_| want_critpath) {
         print_critical_path(cp, makespan);
     }
     if let Some(cp) = critpath.as_ref().filter(|_| want_slack) {
-        print_slack(cp, &traces);
+        print_slack(cp, traces);
     }
 
     if want_metrics {
@@ -526,7 +525,7 @@ fn sim(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = trace_out {
-        let json = trace::chrome_trace_with(&traces, critpath.as_ref());
+        let json = trace::chrome_trace_with(traces, critpath.as_ref());
         std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
         println!(
             "wrote Chrome trace to {path} (load in Perfetto / chrome://tracing{})",
@@ -737,7 +736,7 @@ fn run_auto(
 /// diverges or if faults were injected but the transport never retried.
 fn chaos(args: &[String]) -> Result<(), String> {
     use hzccl::{CollectiveOpts, Mode, Resilience, Variant};
-    use netsim::{Cluster, ComputeTiming, FaultPlan, TraceConfig};
+    use netsim::{ComputeTiming, FaultPlan, SimBuilder, TraceConfig};
 
     let seed: u64 = flag(args, "--seed")?.unwrap_or(7);
     let ranks: usize = flag(args, "--ranks")?.unwrap_or(8);
@@ -783,32 +782,33 @@ fn chaos(args: &[String]) -> Result<(), String> {
             let timing = ComputeTiming::Modeled(hzccl::paper_model(variant, mode));
             for op in ops {
                 let opts = CollectiveOpts::for_variant(variant, eb).with_mode(mode);
-                let run_one = |cluster: &Cluster, opts: &CollectiveOpts| {
-                    cluster.run(|comm| {
-                        let data = &fields[comm.rank()];
-                        match op {
-                            "allreduce" => {
-                                hzccl::collectives::allreduce(comm, data, opts).expect("allreduce")
+                let run_one = |cluster: &SimBuilder, opts: &CollectiveOpts| {
+                    cluster
+                        .run(|comm| {
+                            let data = &fields[comm.rank()];
+                            match op {
+                                "allreduce" => hzccl::collectives::allreduce(comm, data, opts)
+                                    .expect("allreduce"),
+                                _ => hzccl::collectives::reduce_scatter(comm, data, opts)
+                                    .expect("reduce_scatter"),
                             }
-                            _ => hzccl::collectives::reduce_scatter(comm, data, opts)
-                                .expect("reduce_scatter"),
-                        }
-                    })
+                        })
+                        .expect_clean()
                 };
                 // fault-free baseline on the stock (unframed) path
-                let baseline = run_one(&Cluster::new(ranks).with_timing(timing), &opts);
+                let baseline = run_one(&SimBuilder::new(ranks).timing(timing), &opts);
                 let plan =
                     FaultPlan::new(seed).with_drop(drop).with_corrupt(corrupt).with_jitter(jitter);
-                let cluster = Cluster::new(ranks)
-                    .with_timing(timing)
-                    .with_trace(TraceConfig::default())
-                    .with_faults(plan);
+                let cluster = SimBuilder::new(ranks)
+                    .timing(timing)
+                    .trace(TraceConfig::default())
+                    .faults(plan);
                 let faulty =
                     run_one(&cluster, &opts.clone().with_resilience(Resilience::default()));
 
-                let makespan = faulty.iter().map(|o| o.elapsed).fold(0f64, f64::max);
+                let makespan = faulty.stats.makespan;
                 let mut max_err = 0f64;
-                for (b, f) in baseline.iter().zip(&faulty) {
+                for (b, f) in baseline.outcomes.iter().zip(&faulty.outcomes) {
                     for (x, y) in b.value.iter().zip(&f.value) {
                         max_err = max_err.max((x - y).abs() as f64);
                     }
@@ -817,7 +817,7 @@ fn chaos(args: &[String]) -> Result<(), String> {
                 // flavours may re-quantize each degraded segment once
                 let tol = if vname == "mpi" { 0.0 } else { (2.0 * ranks as f64 + 2.0) * eb };
                 let mut registry = netsim::Registry::new();
-                registry.record_run(&faulty);
+                registry.record_report(&faulty);
                 let retrans = registry.counter("hz_retransmits_total").unwrap_or(0);
                 let timeouts = registry.counter("hz_timeouts_total").unwrap_or(0);
                 let degraded = registry.counter("hz_degraded_segments_total").unwrap_or(0);
@@ -944,7 +944,7 @@ fn run_tune_plan(
 /// the tuning cache, and persist the engine state to `--out` — ready for
 /// `hzc sim --variant auto --cache <out>`.
 fn tune(args: &[String]) -> Result<(), String> {
-    use netsim::{Cluster, ComputeTiming, TraceConfig};
+    use netsim::{ComputeTiming, SimBuilder, TraceConfig};
 
     let ops: Vec<tuner::Op> = flag::<String>(args, "--ops")?
         .unwrap_or_else(|| "allreduce".into())
@@ -1014,15 +1014,17 @@ fn tune(args: &[String]) -> Result<(), String> {
 
                 for plan in engine.candidates(&spec) {
                     let timing = ComputeTiming::Modeled(engine.calib.model(plan.flavor, plan.mode));
-                    let cluster = Cluster::new(nranks)
-                        .with_net(netsim::NetConfig::default())
-                        .with_timing(timing)
-                        .with_trace(TraceConfig::default());
-                    let outcomes = cluster.run(|comm| {
-                        run_tune_plan(comm, op, &plan, &fields[comm.rank()], eb);
-                    });
+                    let cluster = SimBuilder::new(nranks)
+                        .net(netsim::NetConfig::default())
+                        .timing(timing)
+                        .trace(TraceConfig::default());
+                    let report = cluster
+                        .run(|comm| {
+                            run_tune_plan(comm, op, &plan, &fields[comm.rank()], eb);
+                        })
+                        .expect_clean();
                     let model = engine.predict(&spec, &plan);
-                    let measured = engine.observe_run(&spec, &plan, &outcomes);
+                    let measured = engine.observe_run(&spec, &plan, &report);
                     println!(
                         "{:<16} {:<26} {:<16} {:>10.6}s {:>10.6}s",
                         scenario_label,

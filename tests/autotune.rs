@@ -8,7 +8,7 @@
 use datasets::App;
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{auto, CollectiveConfig, Mode};
-use netsim::{cluster::RankOutcome, Cluster, ComputeTiming, NetConfig, OpKind, TraceConfig};
+use netsim::{ComputeTiming, NetConfig, OpKind, RunReport, SimBuilder, TraceConfig};
 use tuner::{Algo, Calibration, Engine, Flavor, Op, Plan, ScenarioSpec, ThreadMode};
 
 fn rank_fields(nranks: usize, elems: usize, seed: u64) -> Vec<Vec<f32>> {
@@ -32,23 +32,23 @@ fn probe_ratio(base: &[f32], eb: f64) -> f64 {
 }
 
 /// Execute one static plan on the paper-calibrated simulator; returns the
-/// makespan and per-rank outcomes (traced, so `observe_run` can calibrate).
+/// makespan and the run report (traced, so `observe_run` can calibrate).
 fn run_static(
     nranks: usize,
     fields: &[Vec<f32>],
     plan: &Plan,
     eb: f64,
     timing: ComputeTiming,
-) -> (f64, Vec<RankOutcome<()>>) {
+) -> (f64, RunReport<()>) {
     let mode = match plan.mode {
         ThreadMode::St => Mode::SingleThread,
         ThreadMode::Mt(k) => Mode::MultiThread(k),
     };
-    let cluster = Cluster::new(nranks)
-        .with_net(NetConfig::default())
-        .with_timing(timing)
-        .with_trace(TraceConfig::default());
-    let outcomes = cluster.run(|comm| {
+    let cluster = SimBuilder::new(nranks)
+        .net(NetConfig::default())
+        .timing(timing)
+        .trace(TraceConfig::default());
+    let cluster_run = cluster.run(|comm| {
         let data = &fields[comm.rank()];
         match (plan.flavor, plan.algo) {
             (Flavor::Mpi, Algo::Rd) => {
@@ -72,8 +72,8 @@ fn run_static(
             }
         }
     });
-    let makespan = outcomes.iter().fold(0f64, |m, o| m.max(o.elapsed));
-    (makespan, outcomes)
+    let report = cluster_run.expect_clean();
+    (report.stats.makespan, report)
 }
 
 /// The headline acceptance sweep. Two passes per (ranks, size) point: pass 1
@@ -100,8 +100,8 @@ fn auto_tracks_best_static_within_5pct_across_the_sweep() {
             let mut worst = 0f64;
             for plan in engine.candidates(&spec) {
                 let timing = ComputeTiming::Modeled(engine.calib.model(plan.flavor, plan.mode));
-                let (makespan, outcomes) = run_static(nranks, &fields, &plan, eb, timing);
-                engine.observe_run(&spec, &plan, &outcomes);
+                let (makespan, report) = run_static(nranks, &fields, &plan, eb, timing);
+                engine.observe_run(&spec, &plan, &report);
                 best = best.min(makespan);
                 worst = worst.max(makespan);
             }
@@ -112,13 +112,16 @@ fn auto_tracks_best_static_within_5pct_across_the_sweep() {
             let timing = ComputeTiming::Modeled(
                 engine.calib.model(decision.plan.flavor, decision.plan.mode),
             );
-            let cluster = Cluster::new(nranks).with_net(NetConfig::default()).with_timing(timing);
-            let (_, stats) = cluster.run_stats(|comm| {
-                let mut session = auto::Session::new();
-                session.allreduce(comm, &fields[comm.rank()], &cfg, &engine).expect("cold");
-                comm.reset_clock();
-                session.allreduce(comm, &fields[comm.rank()], &cfg, &engine).expect("warm");
-            });
+            let cluster = SimBuilder::new(nranks).net(NetConfig::default()).timing(timing);
+            let stats = cluster
+                .run(|comm| {
+                    let mut session = auto::Session::new();
+                    session.allreduce(comm, &fields[comm.rank()], &cfg, &engine).expect("cold");
+                    comm.reset_clock();
+                    session.allreduce(comm, &fields[comm.rank()], &cfg, &engine).expect("warm");
+                })
+                .expect_clean()
+                .stats;
             let t_auto = stats.makespan;
 
             assert!(
@@ -186,8 +189,8 @@ fn calibration_converges_from_a_mis_seeded_constant() {
 
     let mut estimates = vec![engine.calib.thr[&key][OpKind::Hpr.index()]];
     for _ in 0..6 {
-        let (_, outcomes) = run_static(nranks, &fields, &plan, eb, true_timing);
-        engine.observe_run(&spec, &plan, &outcomes);
+        let (_, report) = run_static(nranks, &fields, &plan, eb, true_timing);
+        engine.observe_run(&spec, &plan, &report);
         estimates.push(engine.calib.thr[&key][OpKind::Hpr.index()]);
     }
 

@@ -5,7 +5,7 @@
 use hzccl::collectives::{allreduce, reduce_scatter, CollectiveOpts};
 use hzccl::{Mode, Resilience, Variant};
 use netsim::{
-    Cluster, ComputeTiming, FaultPlan, LinkFault, Registry, ThroughputModel, TraceConfig,
+    ComputeTiming, FaultPlan, LinkFault, Registry, SimBuilder, ThroughputModel, TraceConfig,
 };
 
 fn modeled() -> ComputeTiming {
@@ -29,22 +29,23 @@ fn same_seed_fault_plan_replays_bit_identically() {
     let nranks = 6;
     let plan = FaultPlan::new(42).with_drop(0.05).with_corrupt(0.02).with_jitter(2e-6);
     let run = || {
-        let cluster = Cluster::new(nranks)
-            .with_timing(modeled())
-            .with_trace(TraceConfig::default())
-            .with_faults(plan.clone());
-        cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            let opts = opts_for(Variant::Hzccl, 1e-4).with_resilience(Resilience::default());
-            allreduce(comm, &data, &opts).expect("resilient allreduce")
-        })
+        SimBuilder::new(nranks)
+            .timing(modeled())
+            .trace(TraceConfig::default())
+            .faults(plan.clone())
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                let opts = opts_for(Variant::Hzccl, 1e-4).with_resilience(Resilience::default());
+                allreduce(comm, &data, &opts).expect("resilient allreduce")
+            })
+            .expect_clean()
     };
     let (a, b) = (run(), run());
-    for (oa, ob) in a.iter().zip(&b) {
-        assert_eq!(oa.value, ob.value, "rank {} values differ across replays", oa.breakdown.mpi);
+    for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(oa.value, ob.value, "rank {} values differ across replays", oa.rank);
         assert_eq!(oa.elapsed, ob.elapsed, "virtual makespan differs across replays");
-        assert_eq!(oa.trace, ob.trace, "virtual-time traces differ across replays");
     }
+    assert_eq!(a.traces, b.traces, "virtual-time traces differ across replays");
 }
 
 /// Recorder invariant: retransmitted frames are real wire traffic but not
@@ -56,18 +57,19 @@ fn retransmits_count_as_wire_bytes_not_logical_bytes() {
     let n = 4096;
     let nranks = 4;
     let run = |plan: Option<FaultPlan>| {
-        let mut cluster =
-            Cluster::new(nranks).with_timing(modeled()).with_trace(TraceConfig::default());
+        let mut cluster = SimBuilder::new(nranks).timing(modeled()).trace(TraceConfig::default());
         if let Some(p) = plan {
-            cluster = cluster.with_faults(p);
+            cluster = cluster.faults(p);
         }
-        let outcomes = cluster.run(|comm| {
-            let data = field(comm.rank(), n);
-            let opts = opts_for(Variant::Hzccl, 1e-4).with_resilience(Resilience::default());
-            allreduce(comm, &data, &opts).expect("resilient allreduce")
-        });
+        let report = cluster
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                let opts = opts_for(Variant::Hzccl, 1e-4).with_resilience(Resilience::default());
+                allreduce(comm, &data, &opts).expect("resilient allreduce")
+            })
+            .expect_clean();
         let mut reg = Registry::new();
-        reg.record_run(&outcomes);
+        reg.record_report(&report);
         reg
     };
     let clean = run(None);
@@ -101,28 +103,30 @@ fn soak_drop_and_corruption_across_flavours() {
         for variant in [Variant::Mpi, Variant::CColl, Variant::Hzccl] {
             for op in ["allreduce", "reduce_scatter"] {
                 let opts = opts_for(variant, eb);
-                let run_one = |cluster: &Cluster, opts: &CollectiveOpts| {
-                    cluster.run(|comm| {
-                        let data = field(comm.rank(), n);
-                        match op {
-                            "allreduce" => allreduce(comm, &data, opts).expect("allreduce"),
-                            _ => reduce_scatter(comm, &data, opts).expect("reduce_scatter"),
-                        }
-                    })
+                let run_one = |cluster: &SimBuilder, opts: &CollectiveOpts| {
+                    cluster
+                        .run(|comm| {
+                            let data = field(comm.rank(), n);
+                            match op {
+                                "allreduce" => allreduce(comm, &data, opts).expect("allreduce"),
+                                _ => reduce_scatter(comm, &data, opts).expect("reduce_scatter"),
+                            }
+                        })
+                        .expect_clean()
                 };
-                let baseline = run_one(&Cluster::new(nranks).with_timing(modeled()), &opts);
+                let baseline = run_one(&SimBuilder::new(nranks).timing(modeled()), &opts);
                 let plan = FaultPlan::new(7).with_drop(drop).with_corrupt(0.01);
-                let cluster = Cluster::new(nranks)
-                    .with_timing(modeled())
-                    .with_trace(TraceConfig::default())
-                    .with_faults(plan);
+                let cluster = SimBuilder::new(nranks)
+                    .timing(modeled())
+                    .trace(TraceConfig::default())
+                    .faults(plan);
                 let faulty =
                     run_one(&cluster, &opts.clone().with_resilience(Resilience::default()));
                 let tol = match variant {
                     Variant::Mpi => 0.0,
                     _ => (2.0 * nranks as f64 + 2.0) * eb,
                 };
-                for (b, f) in baseline.iter().zip(&faulty) {
+                for (b, f) in baseline.outcomes.iter().zip(&faulty.outcomes) {
                     assert_eq!(b.value.len(), f.value.len());
                     for (x, y) in b.value.iter().zip(&f.value) {
                         assert!(
@@ -132,7 +136,7 @@ fn soak_drop_and_corruption_across_flavours() {
                     }
                 }
                 let mut reg = Registry::new();
-                reg.record_run(&faulty);
+                reg.record_report(&faulty);
                 total_retrans += reg.counter("hz_retransmits_total").unwrap_or(0);
                 // the counter must exist (reported), even when zero
                 let _degraded = reg.counter("hz_degraded_segments_total").unwrap_or(0);
@@ -153,22 +157,22 @@ fn dead_link_degrades_gracefully_instead_of_aborting() {
     let eb = 1e-4;
     for variant in [Variant::Mpi, Variant::CColl, Variant::Hzccl] {
         let opts = opts_for(variant, eb);
-        let run_one = |cluster: &Cluster, opts: &CollectiveOpts| {
-            cluster.run(|comm| {
-                let data = field(comm.rank(), n);
-                allreduce(comm, &data, opts).expect("allreduce")
-            })
+        let run_one = |cluster: &SimBuilder, opts: &CollectiveOpts| {
+            cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    allreduce(comm, &data, opts).expect("allreduce")
+                })
+                .expect_clean()
         };
-        let baseline = run_one(&Cluster::new(nranks).with_timing(modeled()), &opts);
+        let baseline = run_one(&SimBuilder::new(nranks).timing(modeled()), &opts);
         let dead = LinkFault { drop_p: 1.0, corrupt_p: 0.0, jitter_s: 0.0 };
         let plan = FaultPlan::new(3).with_link(0, 1, dead);
-        let cluster = Cluster::new(nranks)
-            .with_timing(modeled())
-            .with_trace(TraceConfig::default())
-            .with_faults(plan);
+        let cluster =
+            SimBuilder::new(nranks).timing(modeled()).trace(TraceConfig::default()).faults(plan);
         let faulty = run_one(&cluster, &opts.clone().with_resilience(Resilience::default()));
         let mut reg = Registry::new();
-        reg.record_run(&faulty);
+        reg.record_report(&faulty);
         assert!(
             reg.counter("hz_degraded_segments_total").unwrap_or(0) > 0,
             "{variant:?}: a 100%-loss link must exhaust retries and degrade"
@@ -178,7 +182,7 @@ fn dead_link_degrades_gracefully_instead_of_aborting() {
             Variant::Mpi => 0.0,
             _ => (2.0 * nranks as f64 + 2.0) * eb,
         };
-        for (b, f) in baseline.iter().zip(&faulty) {
+        for (b, f) in baseline.outcomes.iter().zip(&faulty.outcomes) {
             for (x, y) in b.value.iter().zip(&f.value) {
                 assert!(
                     ((x - y).abs() as f64) <= tol,
@@ -190,26 +194,25 @@ fn dead_link_degrades_gracefully_instead_of_aborting() {
 }
 
 /// An injected crash takes down its rank with a named panic and cascades to
-/// the peers blocked on it; `try_run` reports every fate as a value.
+/// the peers blocked on it; the report records every fate as a value.
 #[test]
 fn injected_crash_propagates_with_named_payloads() {
     let n = 2048;
     let nranks = 4;
     let plan = FaultPlan::new(1).with_crash(2, 1);
-    let cluster = Cluster::new(nranks).with_timing(modeled()).with_faults(plan);
-    let fates = cluster.try_run(|comm| {
+    let report = SimBuilder::new(nranks).timing(modeled()).faults(plan).run(|comm| {
         let data = field(comm.rank(), n);
         let opts = opts_for(Variant::Mpi, 1e-4);
         allreduce(comm, &data, &opts).expect("allreduce")
     });
-    let crashed = fates[2].as_ref().expect_err("rank 2 must die");
+    let crashed = report.panic_of(2).expect("rank 2 must die");
     assert_eq!(crashed.rank, 2);
     assert!(
         crashed.message.contains("crashed by fault plan"),
         "unexpected crash payload: {}",
         crashed.message
     );
-    for (r, fate) in fates.iter().enumerate() {
+    for (r, fate) in report.fates().iter().enumerate() {
         if r == 2 {
             continue;
         }

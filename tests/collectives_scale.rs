@@ -4,7 +4,7 @@
 use datasets::App;
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{Kernel, Mode};
-use netsim::{Cluster, ComputeTiming, ThroughputModel};
+use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 
 fn modeled() -> ComputeTiming {
     ComputeTiming::Modeled(ThroughputModel::new(2.0, 4.0, 20.0, 10.0, 20.0))
@@ -21,9 +21,11 @@ fn sixty_four_rank_allreduce_is_consistent_everywhere() {
     let n = 64 * 200 + 13; // uneven: last chunk bigger
     let data = fields(nranks, n);
     let opts = CollectiveOpts::hz(1e-4);
-    let cluster = Cluster::new(nranks).with_timing(modeled());
+    let cluster = SimBuilder::new(nranks).timing(modeled());
     let outcomes = cluster
-        .run(|comm| collectives::allreduce(comm, &data[comm.rank()], &opts).expect("allreduce"));
+        .run(|comm| collectives::allreduce(comm, &data[comm.rank()], &opts).expect("allreduce"))
+        .expect_clean()
+        .outcomes;
     // all ranks identical, and error-bounded against the exact sum
     let exact: Vec<f64> = (0..n).map(|i| data.iter().map(|f| f[i] as f64).sum()).collect();
     let tol = nranks as f64 * 1e-4 + 1e-6;
@@ -44,11 +46,14 @@ fn breakdown_totals_are_consistent_with_makespan() {
     let nranks = 16;
     let data = fields(nranks, 16 * 512);
     let opts = CollectiveOpts::hz(1e-4);
-    let cluster = Cluster::new(nranks).with_timing(modeled());
-    let outcomes = cluster.run(|comm| {
-        collectives::allreduce(comm, &data[comm.rank()], &opts).expect("allreduce");
-        (comm.elapsed(), comm.breakdown())
-    });
+    let cluster = SimBuilder::new(nranks).timing(modeled());
+    let outcomes = cluster
+        .run(|comm| {
+            collectives::allreduce(comm, &data[comm.rank()], &opts).expect("allreduce");
+            (comm.elapsed(), comm.breakdown())
+        })
+        .expect_clean()
+        .outcomes;
     for o in &outcomes {
         let (elapsed, b) = o.value;
         // every second of a rank's virtual clock is attributed to a bucket
@@ -66,11 +71,14 @@ fn hzccl_beats_ccoll_beats_mpi_at_scale() {
     let n = 1 << 17;
     let data = fields(nranks, n);
     let run = |opts: &CollectiveOpts| -> f64 {
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let (_, stats) = cluster.run_stats(|comm| {
-            let d = &data[comm.rank()];
-            collectives::allreduce(comm, d, opts).expect("allreduce");
-        });
+        let cluster = SimBuilder::new(nranks).timing(modeled());
+        let stats = cluster
+            .run(|comm| {
+                let d = &data[comm.rank()];
+                collectives::allreduce(comm, d, opts).expect("allreduce");
+            })
+            .expect_clean()
+            .stats;
         stats.makespan
     };
     let (t_mpi, t_ccoll, t_hz) = (
@@ -88,9 +96,11 @@ fn reduce_scatter_chunks_reassemble_to_the_full_sum() {
     let n = 1000; // 9 chunks of 111 + last 112
     let data = fields(nranks, n);
     let opts = CollectiveOpts::hz(1e-4).with_mode(Mode::MultiThread(2));
-    let cluster = Cluster::new(nranks).with_timing(modeled());
+    let cluster = SimBuilder::new(nranks).timing(modeled());
     let outcomes = cluster
-        .run(|comm| collectives::reduce_scatter(comm, &data[comm.rank()], &opts).expect("rs"));
+        .run(|comm| collectives::reduce_scatter(comm, &data[comm.rank()], &opts).expect("rs"))
+        .expect_clean()
+        .outcomes;
     let gathered: Vec<f32> = outcomes.iter().flat_map(|o| o.value.clone()).collect();
     assert_eq!(gathered.len(), n);
     let exact: Vec<f64> = (0..n).map(|i| data.iter().map(|f| f[i] as f64).sum()).collect();
@@ -107,10 +117,13 @@ fn kernels_are_deterministic_in_virtual_time() {
     let nranks = 8;
     let data = fields(nranks, 1 << 14);
     let once = |kernel: Kernel| -> f64 {
-        let cluster = Cluster::new(nranks).with_timing(modeled());
-        let (_, stats) = cluster.run_stats(|comm| {
-            kernel.allreduce(comm, &data[comm.rank()], 1e-4, 2).expect("kernel");
-        });
+        let cluster = SimBuilder::new(nranks).timing(modeled());
+        let stats = cluster
+            .run(|comm| {
+                kernel.allreduce(comm, &data[comm.rank()], 1e-4, 2).expect("kernel");
+            })
+            .expect_clean()
+            .stats;
         stats.makespan
     };
     for kernel in Kernel::ALL {

@@ -7,8 +7,7 @@
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{Mode, Resilience, Variant};
 use netsim::{
-    trace::take_traces, Cluster, ComputeTiming, CriticalPath, FaultPlan, NetConfig, RankTrace,
-    TraceConfig,
+    ComputeTiming, CriticalPath, FaultPlan, NetConfig, RankTrace, SimBuilder, TraceConfig,
 };
 
 fn fields(nranks: usize, elems: usize) -> Vec<Vec<f32>> {
@@ -35,28 +34,28 @@ fn run_traced(
     faults: Option<FaultPlan>,
 ) -> (f64, Vec<RankTrace>) {
     let data = fields(nranks, elems);
-    let mut cluster = Cluster::new(nranks)
-        .with_net(NetConfig::default())
-        .with_timing(paper_timing(opts.variant()))
-        .with_trace(TraceConfig::default());
+    let mut cluster = SimBuilder::new(nranks)
+        .net(NetConfig::default())
+        .timing(paper_timing(opts.variant()))
+        .trace(TraceConfig::default());
     if let Some(plan) = faults {
-        cluster = cluster.with_faults(plan);
+        cluster = cluster.faults(plan);
     }
-    let outcomes = cluster.run(|comm| {
-        let mine = &data[comm.rank()];
-        match op {
-            "allreduce" => {
-                collectives::allreduce(comm, mine, opts).expect("allreduce");
+    let report = cluster
+        .run(|comm| {
+            let mine = &data[comm.rank()];
+            match op {
+                "allreduce" => {
+                    collectives::allreduce(comm, mine, opts).expect("allreduce");
+                }
+                "reduce_scatter" => {
+                    collectives::reduce_scatter(comm, mine, opts).expect("reduce_scatter");
+                }
+                other => panic!("unknown op {other}"),
             }
-            "reduce_scatter" => {
-                collectives::reduce_scatter(comm, mine, opts).expect("reduce_scatter");
-            }
-            other => panic!("unknown op {other}"),
-        }
-    });
-    let makespan = outcomes.iter().map(|o| o.elapsed).fold(0f64, f64::max);
-    let (_, traces) = take_traces(outcomes);
-    (makespan, traces)
+        })
+        .expect_clean();
+    (report.stats.makespan, report.traces)
 }
 
 fn assert_tiles(cp: &CriticalPath, makespan: f64, what: &str) {
@@ -112,16 +111,16 @@ fn path_tiles_the_makespan_on_recursive_doubling() {
     let nranks = 8;
     let data = fields(nranks, 4096);
     let cfg = hzccl::CollectiveConfig::new(1e-4, Mode::SingleThread);
-    let outcomes = Cluster::new(nranks)
-        .with_net(NetConfig::default())
-        .with_timing(paper_timing(Variant::Hzccl))
-        .with_trace(TraceConfig::default())
+    let report = SimBuilder::new(nranks)
+        .net(NetConfig::default())
+        .timing(paper_timing(Variant::Hzccl))
+        .trace(TraceConfig::default())
         .run(|comm| {
             hzccl::rd::allreduce_rd_hz(comm, &data[comm.rank()], &cfg).expect("rd");
-        });
-    let makespan = outcomes.iter().map(|o| o.elapsed).fold(0f64, f64::max);
-    let (_, traces) = take_traces(outcomes);
-    let cp = CriticalPath::analyze(&traces, &NetConfig::default());
+        })
+        .expect_clean();
+    let makespan = report.stats.makespan;
+    let cp = CriticalPath::analyze(&report.traces, &NetConfig::default());
     assert_tiles(&cp, makespan, "rd/hz");
     // every on-path hop decodes to the rd/fold tag spaces
     for tag in cp.by_tag.keys() {

@@ -6,7 +6,7 @@ use datasets::{App, Quality};
 use fzlight::{Config, ErrorBound};
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::Kernel;
-use netsim::{Cluster, ComputeTiming, ThroughputModel};
+use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 
 fn q_ulp(data: &[f32]) -> f64 {
     data.iter().fold(0f32, |m, v| m.max(v.abs())) as f64
@@ -74,9 +74,11 @@ fn all_kernels_agree_with_mpi_within_n_times_eb() {
     let fields: Vec<Vec<f32>> =
         (0..nranks).map(|r| base.iter().map(|&v| v * (1.0 + 0.01 * r as f32)).collect()).collect();
 
-    let cluster = Cluster::new(nranks).with_timing(modeled());
+    let cluster = SimBuilder::new(nranks).timing(modeled());
     let reference = cluster
-        .run(|comm| Kernel::MpiOriginal.allreduce(comm, &fields[comm.rank()], eb, 2).expect("mpi"));
+        .run(|comm| Kernel::MpiOriginal.allreduce(comm, &fields[comm.rank()], eb, 2).expect("mpi"))
+        .expect_clean()
+        .outcomes;
     for kernel in [
         Kernel::CCollSingleThread,
         Kernel::CCollMultiThread,
@@ -84,7 +86,9 @@ fn all_kernels_agree_with_mpi_within_n_times_eb() {
         Kernel::HzcclMultiThread,
     ] {
         let outcomes = cluster
-            .run(|comm| kernel.allreduce(comm, &fields[comm.rank()], eb, 2).expect("kernel"));
+            .run(|comm| kernel.allreduce(comm, &fields[comm.rank()], eb, 2).expect("kernel"))
+            .expect_clean()
+            .outcomes;
         let tol = 2.0 * nranks as f64 * eb;
         for (o, r) in outcomes.iter().zip(&reference) {
             for (a, b) in o.value.iter().zip(&r.value) {
@@ -103,13 +107,18 @@ fn reduce_scatter_then_allgather_equals_allreduce_for_hzccl() {
     let fields: Vec<Vec<f32>> =
         (0..nranks).map(|r| base.iter().map(|&v| v + r as f32 * 0.01).collect()).collect();
     let opts = CollectiveOpts::hz(eb);
-    let cluster = Cluster::new(nranks).with_timing(modeled());
+    let cluster = SimBuilder::new(nranks).timing(modeled());
     let fused = cluster
-        .run(|comm| collectives::allreduce(comm, &fields[comm.rank()], &opts).expect("fused"));
-    let staged = cluster.run(|comm| {
-        let own = collectives::reduce_scatter(comm, &fields[comm.rank()], &opts).expect("rs");
-        hzccl::mpi::allgather(comm, &own, n)
-    });
+        .run(|comm| collectives::allreduce(comm, &fields[comm.rank()], &opts).expect("fused"))
+        .expect_clean()
+        .outcomes;
+    let staged = cluster
+        .run(|comm| {
+            let own = collectives::reduce_scatter(comm, &fields[comm.rank()], &opts).expect("rs");
+            hzccl::mpi::allgather(comm, &own, n)
+        })
+        .expect_clean()
+        .outcomes;
     for (f, s) in fused.iter().zip(&staged) {
         for (a, b) in f.value.iter().zip(&s.value) {
             // staged path gathers the decompressed chunks uncompressed, so
@@ -128,17 +137,20 @@ fn compressed_streams_survive_the_simulated_wire() {
     let expect = fzlight::decompress(&stream).unwrap();
     let bytes = stream.into_bytes();
 
-    let cluster = Cluster::new(2).with_timing(modeled());
-    let outcomes = cluster.run(|comm| {
-        if comm.rank() == 0 {
-            comm.send(1, 0, bytes.clone());
-            Vec::new()
-        } else {
-            let got = comm.recv(0, 0);
-            let s = fzlight::CompressedStream::from_bytes(got).expect("parse");
-            fzlight::decompress(&s).expect("remote decompress")
-        }
-    });
+    let cluster = SimBuilder::new(2).timing(modeled());
+    let outcomes = cluster
+        .run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, bytes.clone());
+                Vec::new()
+            } else {
+                let got = comm.recv(0, 0);
+                let s = fzlight::CompressedStream::from_bytes(got).expect("parse");
+                fzlight::decompress(&s).expect("remote decompress")
+            }
+        })
+        .expect_clean()
+        .outcomes;
     assert_eq!(outcomes[1].value, expect);
 }
 
@@ -155,19 +167,25 @@ fn costmodel_and_simulation_agree_on_the_winner() {
     let thr = ThroughputModel::new(2.0, 4.0, 20.0, 10.0, 20.0);
     let timing = ComputeTiming::Modeled(thr);
     let hz_opts = CollectiveOpts::hz(eb);
-    let cluster = Cluster::new(nranks).with_timing(timing);
+    let cluster = SimBuilder::new(nranks).timing(timing);
 
     let t_mpi = {
-        let (_, s) = cluster.run_stats(|comm| {
-            collectives::allreduce(comm, &fields[comm.rank()], &CollectiveOpts::mpi())
-                .expect("mpi");
-        });
+        let s = cluster
+            .run(|comm| {
+                collectives::allreduce(comm, &fields[comm.rank()], &CollectiveOpts::mpi())
+                    .expect("mpi");
+            })
+            .expect_clean()
+            .stats;
         s.makespan
     };
     let t_hz = {
-        let (_, s) = cluster.run_stats(|comm| {
-            collectives::allreduce(comm, &fields[comm.rank()], &hz_opts).expect("hz");
-        });
+        let s = cluster
+            .run(|comm| {
+                collectives::allreduce(comm, &fields[comm.rank()], &hz_opts).expect("hz");
+            })
+            .expect_clean()
+            .stats;
         s.makespan
     };
 

@@ -1,0 +1,178 @@
+//! The event-driven scheduler must be observationally identical to the
+//! thread-per-rank engine: same values, same virtual clocks, and
+//! bit-identical flight-recorder traces — across every collective flavour,
+//! both reduction ops, and under fault injection with the resilient
+//! transport engaged. Plus the scale smoke the redesign exists for: a
+//! 4096-rank allreduce that a thread-per-rank model could not schedule.
+
+use hzccl::collectives::{self, CollectiveOpts};
+use hzccl::{Mode, Resilience, Variant};
+use netsim::{
+    ComputeTiming, FaultPlan, RunReport, SimBuilder, SimEngine, ThroughputModel, TraceConfig,
+};
+
+fn modeled() -> ComputeTiming {
+    ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
+}
+
+fn fields(nranks: usize, n: usize) -> Vec<Vec<f32>> {
+    let base = datasets::App::SimSet2.generate(n, 13);
+    (0..nranks).map(|r| base.iter().map(|&v| v * (1.0 + 0.001 * r as f32)).collect()).collect()
+}
+
+fn run_with(
+    engine: SimEngine,
+    variant: Variant,
+    op: &str,
+    faults: Option<FaultPlan>,
+) -> RunReport<Vec<f32>> {
+    let nranks = 6;
+    let data = fields(nranks, 4096);
+    let mut opts = CollectiveOpts::for_variant(variant, 1e-4).with_mode(Mode::SingleThread);
+    if faults.is_some() {
+        opts = opts.with_resilience(Resilience::default());
+    }
+    let mut sim =
+        SimBuilder::new(nranks).timing(modeled()).trace(TraceConfig::default()).engine(engine);
+    if let Some(plan) = faults {
+        sim = sim.faults(plan);
+    }
+    sim.run(|comm| {
+        let mine = &data[comm.rank()];
+        match op {
+            "allreduce" => collectives::allreduce(comm, mine, &opts).expect("allreduce"),
+            _ => collectives::reduce_scatter(comm, mine, &opts).expect("reduce_scatter"),
+        }
+    })
+    .expect_clean()
+}
+
+/// The reconciliation matrix: {mpi, ccoll, hz} x {allreduce,
+/// reduce_scatter} x {fault-free, faulted}. Fibers and OS threads schedule
+/// ranks in completely different orders; if any rank's result, virtual
+/// clock, or recorded event stream depended on that order, this test sees
+/// it.
+#[test]
+fn engines_agree_on_every_flavour_op_and_fault_setting() {
+    if !SimEngine::events_supported() {
+        eprintln!("skipping: no fiber support on this target");
+        return;
+    }
+    for variant in [Variant::Mpi, Variant::CColl, Variant::Hzccl] {
+        for op in ["allreduce", "reduce_scatter"] {
+            for faulted in [false, true] {
+                let plan = faulted.then(|| {
+                    FaultPlan::new(11).with_drop(0.03).with_corrupt(0.01).with_jitter(1e-6)
+                });
+                let what = format!("{variant:?}/{op}/faulted={faulted}");
+                let threads = run_with(SimEngine::Threads, variant, op, plan.clone());
+                let events = run_with(SimEngine::Events, variant, op, plan);
+                for (t, e) in threads.outcomes.iter().zip(&events.outcomes) {
+                    assert_eq!(t.value, e.value, "{what}: rank {} values differ", t.rank);
+                    assert_eq!(t.elapsed, e.elapsed, "{what}: rank {} clocks differ", t.rank);
+                    assert_eq!(
+                        t.breakdown, e.breakdown,
+                        "{what}: rank {} breakdowns differ",
+                        t.rank
+                    );
+                }
+                assert_eq!(threads.traces, events.traces, "{what}: traces differ");
+                assert_eq!(
+                    threads.stats.makespan, events.stats.makespan,
+                    "{what}: makespans differ"
+                );
+            }
+        }
+    }
+}
+
+/// Crash fates reconcile too: the same injected crash kills the same rank
+/// with the same payload on both engines, and every cascade casualty dies
+/// for a crash-shaped reason. (Which casualty's notice a blocked peer sees
+/// first is scheduler order, so cascade *attribution* is not compared —
+/// the same contract tests/chaos.rs pins for a single engine.)
+#[test]
+fn engines_agree_on_crash_fates() {
+    if !SimEngine::events_supported() {
+        eprintln!("skipping: no fiber support on this target");
+        return;
+    }
+    let nranks = 5;
+    let data = fields(nranks, 2048);
+    let run = |engine: SimEngine| {
+        SimBuilder::new(nranks)
+            .timing(modeled())
+            .faults(FaultPlan::new(2).with_crash(3, 1))
+            .engine(engine)
+            .run(|comm| {
+                let opts = CollectiveOpts::mpi();
+                collectives::allreduce(comm, &data[comm.rank()], &opts).expect("allreduce")
+            })
+    };
+    let threads = run(SimEngine::Threads);
+    let events = run(SimEngine::Events);
+    for report in [&threads, &events] {
+        let crashed = report.panic_of(3).expect("rank 3 must die on both engines");
+        assert!(
+            crashed.message.contains("crashed by fault plan"),
+            "unexpected crash payload: {}",
+            crashed.message
+        );
+        for p in &report.panics {
+            if p.rank == 3 {
+                continue;
+            }
+            assert!(
+                p.message.contains("observed crash of rank"),
+                "rank {} died for the wrong reason: {}",
+                p.rank,
+                p.message
+            );
+        }
+    }
+    assert_eq!(
+        threads.panic_of(3).unwrap().message,
+        events.panic_of(3).unwrap().message,
+        "the primary crash payload is deterministic"
+    );
+    for (t, e) in threads.outcomes.iter().zip(&events.outcomes) {
+        assert_eq!(t.rank, e.rank, "surviving-rank sets differ");
+        assert_eq!(t.value, e.value, "survivor {} computed different values", t.rank);
+    }
+}
+
+/// The scale smoke: 4096 cooperatively-scheduled ranks run a ring
+/// allreduce to completion. A thread-per-rank engine would need 4096 OS
+/// threads; the event engine runs them on one. Debug builds exercise the
+/// same path at a size the unoptimized build can turn around quickly.
+#[test]
+fn thousands_of_ranks_complete_on_one_os_thread() {
+    if !SimEngine::events_supported() {
+        eprintln!("skipping: no fiber support on this target");
+        return;
+    }
+    let nranks = if cfg!(debug_assertions) { 512 } else { 4096 };
+    let budget_s = 60.0;
+    let data = fields(nranks, nranks); // one element per rank chunk
+    let t0 = std::time::Instant::now();
+    let report = SimBuilder::new(nranks)
+        .timing(modeled())
+        .engine(SimEngine::Events)
+        .stack_bytes(256 * 1024)
+        .run(|comm| {
+            let opts = CollectiveOpts::hz(1e-4);
+            collectives::allreduce(comm, &data[comm.rank()], &opts).expect("hz allreduce")
+        })
+        .expect_clean();
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(report.outcomes.len(), nranks);
+    let first = &report.outcomes[0].value;
+    for o in &report.outcomes {
+        assert_eq!(&o.value, first, "rank {} disagrees at scale", o.rank);
+    }
+    assert!(report.stats.makespan > 0.0);
+    assert!(
+        wall < budget_s,
+        "{nranks}-rank allreduce took {wall:.1}s wall-clock (budget {budget_s}s)"
+    );
+}

@@ -4,7 +4,7 @@
 
 use datasets::App;
 use fzlight::{compress, CompressedStream, Config, ErrorBound};
-use netsim::{Cluster, ComputeTiming, ThroughputModel};
+use netsim::{ComputeTiming, SimBuilder, ThroughputModel};
 
 fn valid_stream_bytes() -> Vec<u8> {
     let data = App::Hurricane.generate(4096, 9);
@@ -52,17 +52,20 @@ fn truncation_never_panics() {
 #[test]
 fn garbage_on_the_wire_fails_cleanly() {
     let timing = ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0));
-    let cluster = Cluster::new(2).with_timing(timing);
-    let outcomes = cluster.run(|comm| {
-        if comm.rank() == 0 {
-            // rank 0 maliciously sends noise instead of a stream
-            comm.send(1, 7, vec![0xAB; 100]);
-            Ok(())
-        } else {
-            let got = comm.recv(0, 7);
-            CompressedStream::from_bytes(got).map(|_| ())
-        }
-    });
+    let cluster = SimBuilder::new(2).timing(timing);
+    let outcomes = cluster
+        .run(|comm| {
+            if comm.rank() == 0 {
+                // rank 0 maliciously sends noise instead of a stream
+                comm.send(1, 7, vec![0xAB; 100]);
+                Ok(())
+            } else {
+                let got = comm.recv(0, 7);
+                CompressedStream::from_bytes(got).map(|_| ())
+            }
+        })
+        .expect_clean()
+        .outcomes;
     assert!(outcomes[0].value.is_ok());
     assert!(outcomes[1].value.is_err());
 }

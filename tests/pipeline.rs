@@ -9,7 +9,7 @@
 use datasets::App;
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{paper_model, Mode, Variant};
-use netsim::{Cluster, ComputeTiming, NetConfig, ThroughputModel};
+use netsim::{ComputeTiming, NetConfig, SimBuilder, ThroughputModel};
 
 fn modeled() -> ComputeTiming {
     ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
@@ -28,7 +28,7 @@ fn every_variant_op_and_segment_count_is_bit_identical_to_serial() {
     let nranks = 5;
     let n = 5 * 640 + 17; // uneven chunks
     let data = fields(nranks, n);
-    let cluster = Cluster::new(nranks).with_timing(modeled());
+    let cluster = SimBuilder::new(nranks).timing(modeled());
     for variant in [Variant::Mpi, Variant::CColl, Variant::Hzccl] {
         let opts_for = |segments: usize| {
             CollectiveOpts::for_variant(variant, 1e-4).with_root(1).with_segments(segments)
@@ -47,9 +47,8 @@ fn every_variant_op_and_segment_count_is_bit_identical_to_serial() {
                         }
                         .unwrap_or_else(|e| panic!("{variant:?}/{op}/S={segments}: {e}"))
                     })
-                    .into_iter()
-                    .map(|o| o.value)
-                    .collect()
+                    .expect_clean()
+                    .values()
             };
             let reference = run(1);
             // S=2 and S=5 exercise steady-state pipelining; S=64 exceeds the
@@ -79,11 +78,11 @@ fn pipelined_hz_ring_beats_phase_serial_by_at_least_15_percent() {
     let timing = ComputeTiming::Modeled(paper_model(Variant::Hzccl, mode));
     let run = |segments: usize| -> (f64, Vec<f32>) {
         let opts = CollectiveOpts::hz(1e-4).with_mode(mode).with_segments(segments);
-        let cluster = Cluster::new(nranks).with_net(NetConfig::default()).with_timing(timing);
-        let (results, stats) = cluster.run_stats(|comm| {
-            collectives::allreduce(comm, &data[comm.rank()], &opts).expect("allreduce")
-        });
-        (stats.makespan, results.into_iter().next().unwrap())
+        let cluster = SimBuilder::new(nranks).net(NetConfig::default()).timing(timing);
+        let report = cluster
+            .run(|comm| collectives::allreduce(comm, &data[comm.rank()], &opts).expect("allreduce"))
+            .expect_clean();
+        (report.stats.makespan, report.values().into_iter().next().unwrap())
     };
     let (t_serial, out_serial) = run(1);
     let (t_pipe, out_pipe) = run(4);
@@ -110,10 +109,13 @@ fn moderate_segmentation_degrades_gracefully_and_wins_somewhere() {
         let timing = ComputeTiming::Modeled(paper_model(variant, Mode::SingleThread));
         let run = |segments: usize| -> f64 {
             let opts = CollectiveOpts::for_variant(variant, 1e-4).with_segments(segments);
-            let cluster = Cluster::new(nranks).with_net(NetConfig::default()).with_timing(timing);
-            let (_, stats) = cluster.run_stats(|comm| {
-                collectives::allreduce(comm, &data[comm.rank()], &opts).expect("allreduce");
-            });
+            let cluster = SimBuilder::new(nranks).net(NetConfig::default()).timing(timing);
+            let stats = cluster
+                .run(|comm| {
+                    collectives::allreduce(comm, &data[comm.rank()], &opts).expect("allreduce");
+                })
+                .expect_clean()
+                .stats;
             stats.makespan
         };
         let t_serial = run(1);
@@ -145,10 +147,13 @@ fn auto_picks_a_segmented_plan_where_the_model_predicts_one() {
     let engine = tuner::Engine::paper();
     let cfg = hzccl::CollectiveConfig::new(1e-4, Mode::SingleThread);
     let timing = ComputeTiming::Modeled(paper_model(Variant::Hzccl, Mode::SingleThread));
-    let cluster = Cluster::new(nranks).with_net(NetConfig::default()).with_timing(timing);
-    let outcomes = cluster.run(|comm| {
-        hzccl::auto::allreduce(comm, &data[comm.rank()], &cfg, &engine, None).expect("auto")
-    });
+    let cluster = SimBuilder::new(nranks).net(NetConfig::default()).timing(timing);
+    let outcomes = cluster
+        .run(|comm| {
+            hzccl::auto::allreduce(comm, &data[comm.rank()], &cfg, &engine, None).expect("auto")
+        })
+        .expect_clean()
+        .outcomes;
     let plan = outcomes[0].value.plan;
     assert!(
         plan.segments > 1,
@@ -173,10 +178,13 @@ fn collectives_auto_variant_runs_segmented_plans_correctly() {
     let data = fields(nranks, n);
     let opts = CollectiveOpts::auto(1e-4);
     let timing = ComputeTiming::Modeled(paper_model(Variant::Hzccl, Mode::SingleThread));
-    let cluster = Cluster::new(nranks).with_net(NetConfig::default()).with_timing(timing);
-    let outcomes = cluster.run(|comm| {
-        collectives::allreduce(comm, &data[comm.rank()], &opts).expect("auto allreduce")
-    });
+    let cluster = SimBuilder::new(nranks).net(NetConfig::default()).timing(timing);
+    let outcomes = cluster
+        .run(|comm| {
+            collectives::allreduce(comm, &data[comm.rank()], &opts).expect("auto allreduce")
+        })
+        .expect_clean()
+        .outcomes;
     let exact: Vec<f64> = (0..n).map(|i| data.iter().map(|f| f[i] as f64).sum()).collect();
     let tol = nranks as f64 * 1e-4 + 1e-6;
     for o in &outcomes {

@@ -4,7 +4,7 @@
 
 use hzccl::collectives::{self, CollectiveOpts};
 use hzccl::{CollectiveConfig, Mode};
-use netsim::{trace, Cluster, ComputeTiming, Event, Json, OpKind, ThroughputModel, TraceConfig};
+use netsim::{trace, ComputeTiming, Event, Json, OpKind, SimBuilder, ThroughputModel, TraceConfig};
 
 fn modeled() -> ComputeTiming {
     ComputeTiming::Modeled(ThroughputModel::new(5.0, 10.0, 50.0, 20.0, 40.0))
@@ -24,11 +24,10 @@ fn assert_trace_reconciles<F>(nranks: usize, what: &str, f: F) -> Vec<trace::Ran
 where
     F: Fn(&mut netsim::Comm) + Sync,
 {
-    let cluster = Cluster::new(nranks).with_timing(modeled()).with_trace(TraceConfig::default());
-    let outcomes = cluster.run(|comm| f(comm));
-    let mut traces = Vec::new();
-    for o in outcomes {
-        let t = o.trace.expect("tracing was enabled");
+    let cluster = SimBuilder::new(nranks).timing(modeled()).trace(TraceConfig::default());
+    let report = cluster.run(|comm| f(comm)).expect_clean();
+    assert_eq!(report.traces.len(), nranks, "{what}: tracing was enabled for every rank");
+    for (o, t) in report.outcomes.iter().zip(&report.traces) {
         let rank = t.rank;
         let live = o.breakdown;
         let rec = t.reconstructed_breakdown();
@@ -64,9 +63,8 @@ where
             t.end_time() <= o.elapsed + 1e-12,
             "{what} rank {rank}: event past the final clock"
         );
-        traces.push(t);
     }
-    traces
+    report.traces
 }
 
 #[test]
@@ -201,31 +199,33 @@ fn ascii_timeline_renders_all_ranks() {
 
 #[test]
 fn untraced_runs_carry_no_trace() {
-    let cluster = Cluster::new(2).with_timing(modeled());
-    let outcomes = cluster.run(|comm| {
-        let data = field(comm.rank(), 256);
-        collectives::allreduce(comm, &data, &CollectiveOpts::mpi()).expect("mpi");
-    });
-    for o in outcomes {
-        assert!(o.trace.is_none(), "tracing must be off by default");
-    }
+    let cluster = SimBuilder::new(2).timing(modeled());
+    let report = cluster
+        .run(|comm| {
+            let data = field(comm.rank(), 256);
+            collectives::allreduce(comm, &data, &CollectiveOpts::mpi()).expect("mpi");
+        })
+        .expect_clean();
+    assert!(report.traces.is_empty(), "tracing must be off by default");
+    assert!(report.trace_of(0).is_none(), "no per-rank trace without TraceConfig");
 }
 
 #[test]
 fn registry_record_run_matches_trace_sums() {
     let opts = CollectiveOpts::hz(1e-4);
-    let cluster = Cluster::new(4).with_timing(modeled()).with_trace(TraceConfig::default());
-    let outcomes = cluster.run(|comm| {
-        let data = field(comm.rank(), 2000);
-        collectives::allreduce(comm, &data, &opts).expect("hz");
-    });
+    let cluster = SimBuilder::new(4).timing(modeled()).trace(TraceConfig::default());
+    let report = cluster
+        .run(|comm| {
+            let data = field(comm.rank(), 2000);
+            collectives::allreduce(comm, &data, &opts).expect("hz");
+        })
+        .expect_clean();
     let mut reg = netsim::Registry::new();
-    reg.record_run(&outcomes);
+    reg.record_report(&report);
 
     // messages_total equals Send events; wire bytes match
     let (mut sends, mut wire, mut cpr) = (0u64, 0u64, 0.0f64);
-    for o in &outcomes {
-        let t = o.trace.as_ref().unwrap();
+    for t in &report.traces {
         for ev in &t.events {
             if let Event::Send { wire_bytes, .. } = *ev {
                 sends += 1;
