@@ -22,6 +22,7 @@ use hzccl::{CollectiveConfig, Mode, Variant};
 use netsim::{ComputeTiming, NetConfig};
 use std::time::Instant;
 
+pub mod kernel_throughput;
 pub mod snapshot;
 pub mod suite;
 

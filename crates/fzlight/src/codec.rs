@@ -26,7 +26,22 @@
 //! `ultra_fast_bit_shifting_x` scheme: full bytes of every element are stored
 //! with plain shifts (no bit-granular work), and only the final `r < 8`
 //! residual bits per element go through a packed bit writer.
+//!
+//! ## Word-parallel hot paths
+//!
+//! The production [`encode_block`]/[`decode_block`] pair is word-parallel:
+//! output is written once via `resize` + slice stores (no per-byte `Vec`
+//! growth checks), the sign bitmap moves as one `u64`, byte planes are plain
+//! vectorizable gather/scatter loops, and the residual plane exploits that
+//! **8 elements × r bits is always exactly `r` whole bytes** — each group of
+//! eight elements packs into one `u64` with shifts and moves with a single
+//! bounded copy, no carry state between groups. Sign application on decode is
+//! branchless (`(m ^ -s) + s`). The original byte-at-a-time/bit-buffered
+//! loops are retained as [`encode_block_scalar`]/[`decode_block_scalar`]: the
+//! verified reference the fast path is property-tested against byte-for-byte,
+//! and the baseline the `hzc kernels` harness reports speedup over.
 
+use crate::config::MAX_BLOCK_LEN;
 use crate::error::{Error, Result};
 
 /// Number of sign-bitmap bytes for a block of `len` deltas.
@@ -75,8 +90,87 @@ pub fn peek_code(input: &[u8]) -> Result<u8> {
 /// `signs` bit `i` set means delta `i` is negative. Magnitude 0 must carry
 /// sign bit 0 so the encoding is canonical (the homomorphic sum relies on
 /// byte-identical copies for pipelines ② and ③).
+///
+/// Word-parallel fast path, byte-identical to [`encode_block_scalar`].
 pub fn encode_block(mags: &[u32], signs: u64, out: &mut Vec<u8>) -> u8 {
-    debug_assert!(mags.len() <= crate::config::MAX_BLOCK_LEN);
+    debug_assert!(mags.len() <= MAX_BLOCK_LEN);
+    let len = mags.len();
+    let mut max = 0u32;
+    for &m in mags {
+        max |= m;
+    }
+    let c = code_for_max(max);
+    let start = out.len();
+    out.resize(start + block_size(c, len), 0);
+    let buf = &mut out[start..];
+    buf[0] = c;
+    if c == 0 {
+        return 0;
+    }
+    // sign bitmap: one u64 store, clipped
+    let sb = sign_bytes(len);
+    buf[1..1 + sb].copy_from_slice(&signs.to_le_bytes()[..sb]);
+    let mut pos = 1 + sb;
+    // full byte planes: contiguous scatter, vectorizable
+    let byte_count = (c / 8) as usize;
+    for p in 0..byte_count {
+        let shift = 8 * p as u32;
+        for (o, &m) in buf[pos..pos + len].iter_mut().zip(mags) {
+            *o = (m >> shift) as u8;
+        }
+        pos += len;
+    }
+    // residual (high) bits: 8 elements * r bits == r whole bytes per group.
+    // Dispatch to a monomorphized packer so the group loop fully unrolls
+    // with constant shifts (a runtime `j * r` shift defeats unrolling).
+    let r = (c % 8) as u32;
+    let base = 8 * byte_count as u32;
+    match r {
+        0 => {}
+        1 => pack_resid::<1>(mags, base, &mut buf[pos..]),
+        2 => pack_resid::<2>(mags, base, &mut buf[pos..]),
+        3 => pack_resid::<3>(mags, base, &mut buf[pos..]),
+        4 => pack_resid::<4>(mags, base, &mut buf[pos..]),
+        5 => pack_resid::<5>(mags, base, &mut buf[pos..]),
+        6 => pack_resid::<6>(mags, base, &mut buf[pos..]),
+        _ => pack_resid::<7>(mags, base, &mut buf[pos..]),
+    }
+    c
+}
+
+/// Pack the `R`-bit residual plane of every magnitude (bits `base..base+R`)
+/// into `buf`: each full 8-element group is built in one `u64` and stored as
+/// exactly `R` bytes; the tail group stores `ceil(tail*R/8)` bytes.
+#[inline]
+fn pack_resid<const R: usize>(mags: &[u32], base: u32, buf: &mut [u8]) {
+    let mask = (1u32 << R) - 1;
+    let len = mags.len();
+    let full_groups = len / 8;
+    let mut pos = 0usize;
+    for g in 0..full_groups {
+        let mut w = 0u64;
+        for (j, &m) in mags[8 * g..8 * g + 8].iter().enumerate() {
+            w |= (((m >> base) & mask) as u64) << (j * R);
+        }
+        buf[pos..pos + R].copy_from_slice(&w.to_le_bytes()[..R]);
+        pos += R;
+    }
+    let tail = len % 8;
+    if tail > 0 {
+        let mut w = 0u64;
+        for (j, &m) in mags[8 * full_groups..].iter().enumerate() {
+            w |= (((m >> base) & mask) as u64) << (j * R);
+        }
+        let nb = (tail * R).div_ceil(8);
+        buf[pos..pos + nb].copy_from_slice(&w.to_le_bytes()[..nb]);
+    }
+}
+
+/// Scalar reference encoder: per-byte `Vec::push` and a carried bit
+/// accumulator, exactly the original element-at-a-time loop. Retained as the
+/// verified baseline for differential tests and the kernel harness.
+pub fn encode_block_scalar(mags: &[u32], signs: u64, out: &mut Vec<u8>) -> u8 {
+    debug_assert!(mags.len() <= MAX_BLOCK_LEN);
     let len = mags.len();
     let mut max = 0u32;
     for &m in mags {
@@ -87,12 +181,10 @@ pub fn encode_block(mags: &[u32], signs: u64, out: &mut Vec<u8>) -> u8 {
     if c == 0 {
         return 0;
     }
-    // sign bitmap
     let sb = sign_bytes(len);
     for b in 0..sb {
         out.push(((signs >> (8 * b)) & 0xFF) as u8);
     }
-    // full byte planes
     let byte_count = (c / 8) as usize;
     for p in 0..byte_count {
         let shift = 8 * p as u32;
@@ -100,7 +192,6 @@ pub fn encode_block(mags: &[u32], signs: u64, out: &mut Vec<u8>) -> u8 {
             out.push((m >> shift) as u8);
         }
     }
-    // residual (high) bits, LSB-first packed
     let r = (c % 8) as u32;
     if r > 0 {
         let base = 8 * byte_count as u32;
@@ -128,8 +219,26 @@ pub fn encode_block(mags: &[u32], signs: u64, out: &mut Vec<u8>) -> u8 {
 ///
 /// Fails with [`Error::DeltaOverflow`] if any `|delta| > u32::MAX`.
 pub fn encode_deltas(deltas: &[i64], out: &mut Vec<u8>) -> Result<u8> {
-    debug_assert!(deltas.len() <= crate::config::MAX_BLOCK_LEN);
-    let mut mags = [0u32; crate::config::MAX_BLOCK_LEN];
+    debug_assert!(deltas.len() <= MAX_BLOCK_LEN);
+    let mut mags = [0u32; MAX_BLOCK_LEN];
+    let mut signs = 0u64;
+    let mut wide = 0u64;
+    for (i, (o, &d)) in mags.iter_mut().zip(deltas).enumerate() {
+        let mag = d.unsigned_abs();
+        wide |= mag;
+        *o = mag as u32;
+        signs |= u64::from(d < 0) << i;
+    }
+    if wide > u32::MAX as u64 {
+        return Err(Error::DeltaOverflow);
+    }
+    Ok(encode_block(&mags[..deltas.len()], signs, out))
+}
+
+/// Reference counterpart of [`encode_deltas`] built on the scalar encoder.
+pub fn encode_deltas_scalar(deltas: &[i64], out: &mut Vec<u8>) -> Result<u8> {
+    debug_assert!(deltas.len() <= MAX_BLOCK_LEN);
+    let mut mags = [0u32; MAX_BLOCK_LEN];
     let mut signs = 0u64;
     for (i, &d) in deltas.iter().enumerate() {
         let mag = d.unsigned_abs();
@@ -139,14 +248,249 @@ pub fn encode_deltas(deltas: &[i64], out: &mut Vec<u8>) -> Result<u8> {
         mags[i] = mag as u32;
         signs |= u64::from(d < 0) << i;
     }
-    Ok(encode_block(&mags[..deltas.len()], signs, out))
+    Ok(encode_block_scalar(&mags[..deltas.len()], signs, out))
+}
+
+/// Decode the magnitude planes + sign bitmap of a non-constant block body
+/// (`input` starts right after the code byte). Shared by the delta and
+/// parts decoders; the caller has already validated the total length.
+fn decode_body(input: &[u8], c: u8, len: usize, mags: &mut [u32], signs: &mut u64) {
+    // sign bitmap as one u64 load, clipped
+    let sb = sign_bytes(len);
+    let mut sbuf = [0u8; 8];
+    sbuf[..sb].copy_from_slice(&input[..sb]);
+    *signs = u64::from_le_bytes(sbuf);
+    let mut pos = sb;
+    // full byte planes: contiguous gather, vectorizable. The first plane
+    // stores (no prior fill needed); later planes OR.
+    let byte_count = (c / 8) as usize;
+    let r = (c % 8) as u32;
+    if byte_count == 0 {
+        // residual-only block (c < 8, the dominant case on smooth fields):
+        // magnitudes come wholly from the packed residual plane.
+        match r {
+            1 => unpack_resid::<1, false>(&input[pos..], 0, &mut mags[..len]),
+            2 => unpack_resid::<2, false>(&input[pos..], 0, &mut mags[..len]),
+            3 => unpack_resid::<3, false>(&input[pos..], 0, &mut mags[..len]),
+            4 => unpack_resid::<4, false>(&input[pos..], 0, &mut mags[..len]),
+            5 => unpack_resid::<5, false>(&input[pos..], 0, &mut mags[..len]),
+            6 => unpack_resid::<6, false>(&input[pos..], 0, &mut mags[..len]),
+            _ => unpack_resid::<7, false>(&input[pos..], 0, &mut mags[..len]),
+        }
+        return;
+    }
+    for (m, &byte) in mags[..len].iter_mut().zip(&input[pos..pos + len]) {
+        *m = byte as u32;
+    }
+    pos += len;
+    for p in 1..byte_count {
+        let shift = 8 * p as u32;
+        for (m, &byte) in mags[..len].iter_mut().zip(&input[pos..pos + len]) {
+            *m |= (byte as u32) << shift;
+        }
+        pos += len;
+    }
+    let base = 8 * byte_count as u32;
+    match r {
+        0 => {}
+        1 => unpack_resid::<1, true>(&input[pos..], base, &mut mags[..len]),
+        2 => unpack_resid::<2, true>(&input[pos..], base, &mut mags[..len]),
+        3 => unpack_resid::<3, true>(&input[pos..], base, &mut mags[..len]),
+        4 => unpack_resid::<4, true>(&input[pos..], base, &mut mags[..len]),
+        5 => unpack_resid::<5, true>(&input[pos..], base, &mut mags[..len]),
+        6 => unpack_resid::<6, true>(&input[pos..], base, &mut mags[..len]),
+        _ => unpack_resid::<7, true>(&input[pos..], base, &mut mags[..len]),
+    }
+}
+
+/// Unpack the `R`-bit residual plane into `mags` (bits `base..base+R`): one
+/// bounded `u64` load per 8-element group, fully unrolled for constant `R`.
+/// `OR` selects accumulate (after byte planes) vs plain store (c < 8).
+#[inline]
+fn unpack_resid<const R: usize, const OR: bool>(input: &[u8], base: u32, mags: &mut [u32]) {
+    let mask = (1u64 << R) - 1;
+    let len = mags.len();
+    let full_groups = len / 8;
+    let mut pos = 0usize;
+    for g in 0..full_groups {
+        let mut wbuf = [0u8; 8];
+        wbuf[..R].copy_from_slice(&input[pos..pos + R]);
+        let w = u64::from_le_bytes(wbuf);
+        for (j, m) in mags[8 * g..8 * g + 8].iter_mut().enumerate() {
+            let bits = (((w >> (j * R)) & mask) as u32) << base;
+            if OR {
+                *m |= bits;
+            } else {
+                *m = bits;
+            }
+        }
+        pos += R;
+    }
+    let tail = len % 8;
+    if tail > 0 {
+        let nb = (tail * R).div_ceil(8);
+        let mut wbuf = [0u8; 8];
+        wbuf[..nb].copy_from_slice(&input[pos..pos + nb]);
+        let w = u64::from_le_bytes(wbuf);
+        for (j, m) in mags[8 * full_groups..len].iter_mut().enumerate() {
+            let bits = (((w >> (j * R)) & mask) as u32) << base;
+            if OR {
+                *m |= bits;
+            } else {
+                *m = bits;
+            }
+        }
+    }
+}
+
+/// Store (`MODE == 0`), add (`MODE == 1`), or subtract (`MODE == 2`) the
+/// decoded deltas into `deltas`. One body serves all three so the bit
+/// unpacking stays identical; `MODE` is const, so the sink folds to a single
+/// instruction per element.
+#[inline]
+fn decode_block_with<const MODE: u8>(input: &[u8], deltas: &mut [i64]) -> Result<usize> {
+    let len = deltas.len();
+    debug_assert!(len <= MAX_BLOCK_LEN);
+    let sink = |slot: &mut i64, d: i64| match MODE {
+        0 => *slot = d,
+        1 => *slot += d,
+        _ => *slot -= d,
+    };
+    let c = peek_code(input)?;
+    let total = block_size(c, len);
+    if input.len() < total {
+        return Err(Error::Truncated { need: total, have: input.len() });
+    }
+    if c == 0 {
+        // all deltas are zero: nothing to accumulate in add/sub mode
+        if MODE == 0 {
+            deltas.fill(0);
+        }
+        return Ok(1);
+    }
+    if c < 8 {
+        // residual-only block: skip the magnitude staging array entirely and
+        // apply signs while unpacking (one pass, branchless).
+        let sb = sign_bytes(len);
+        let mut sbuf = [0u8; 8];
+        sbuf[..sb].copy_from_slice(&input[1..1 + sb]);
+        let signs = u64::from_le_bytes(sbuf);
+        let resid = &input[1 + sb..total];
+        match c {
+            1 => unpack_signed::<1>(resid, signs, deltas, sink),
+            2 => unpack_signed::<2>(resid, signs, deltas, sink),
+            3 => unpack_signed::<3>(resid, signs, deltas, sink),
+            4 => unpack_signed::<4>(resid, signs, deltas, sink),
+            5 => unpack_signed::<5>(resid, signs, deltas, sink),
+            6 => unpack_signed::<6>(resid, signs, deltas, sink),
+            _ => unpack_signed::<7>(resid, signs, deltas, sink),
+        }
+        return Ok(total);
+    }
+    let mut mags = [0u32; MAX_BLOCK_LEN];
+    let mut signs = 0u64;
+    decode_body(&input[1..], c, len, &mut mags, &mut signs);
+    // branchless sign application: (m ^ -s) + s negates when s == 1
+    for (i, d) in deltas.iter_mut().enumerate() {
+        let m = mags[i] as i64;
+        let s = ((signs >> i) & 1) as i64;
+        sink(d, (m ^ -s) + s);
+    }
+    Ok(total)
 }
 
 /// Decode the block starting at `input[0]` into `deltas` (whose length is the
 /// block length). Returns the number of bytes consumed.
+///
+/// Word-parallel fast path; result-identical to [`decode_block_scalar`].
 pub fn decode_block(input: &[u8], deltas: &mut [i64]) -> Result<usize> {
+    decode_block_with::<0>(input, deltas)
+}
+
+/// Decode the block starting at `input[0]` and **add** its deltas into `acc`
+/// (fused decode-accumulate: no staging buffer, one pass over the tile).
+/// Returns the number of bytes consumed.
+pub fn decode_block_add(input: &[u8], acc: &mut [i64]) -> Result<usize> {
+    decode_block_with::<1>(input, acc)
+}
+
+/// Like [`decode_block_add`] but **subtracts** the decoded deltas from `acc`.
+pub fn decode_block_sub(input: &[u8], acc: &mut [i64]) -> Result<usize> {
+    decode_block_with::<2>(input, acc)
+}
+
+/// Decode a residual-only block body (c < 8) straight into signed deltas:
+/// per 8-element group, one bounded `u64` load, constant-`R` unrolled bit
+/// extraction, and branchless sign application fused into the same pass.
+/// `sink` stores/accumulates the decoded delta into the output slot — it
+/// monomorphizes per call site, so store/add/sub variants stay branch-free.
+#[inline]
+fn unpack_signed<const R: usize>(
+    input: &[u8],
+    signs: u64,
+    deltas: &mut [i64],
+    sink: impl Fn(&mut i64, i64) + Copy,
+) {
+    let mask = (1u64 << R) - 1;
     let len = deltas.len();
-    debug_assert!(len <= crate::config::MAX_BLOCK_LEN);
+    let full_groups = len / 8;
+    let mut pos = 0usize;
+    for g in 0..full_groups {
+        let mut wbuf = [0u8; 8];
+        wbuf[..R].copy_from_slice(&input[pos..pos + R]);
+        let w = u64::from_le_bytes(wbuf);
+        for (j, d) in deltas[8 * g..8 * g + 8].iter_mut().enumerate() {
+            let m = ((w >> (j * R)) & mask) as i64;
+            let s = ((signs >> (8 * g + j)) & 1) as i64;
+            sink(d, (m ^ -s) + s);
+        }
+        pos += R;
+    }
+    let tail = len % 8;
+    if tail > 0 {
+        let nb = (tail * R).div_ceil(8);
+        let mut wbuf = [0u8; 8];
+        wbuf[..nb].copy_from_slice(&input[pos..pos + nb]);
+        let w = u64::from_le_bytes(wbuf);
+        for (j, d) in deltas[8 * full_groups..len].iter_mut().enumerate() {
+            let m = ((w >> (j * R)) & mask) as i64;
+            let s = ((signs >> (8 * full_groups + j)) & 1) as i64;
+            sink(d, (m ^ -s) + s);
+        }
+    }
+}
+
+/// Decode a block into its wire-native parts: `u32` magnitudes plus the sign
+/// bitmap, skipping the signed-integer conversion. `mags.len()` is the block
+/// length. Returns bytes consumed; a constant block yields all-zero
+/// magnitudes and an empty bitmap.
+///
+/// This is the entry point for homomorphic kernels that re-encode
+/// immediately (the magnitudes+signs form is exactly what
+/// [`encode_block`] consumes).
+pub fn decode_block_parts(input: &[u8], mags: &mut [u32], signs: &mut u64) -> Result<usize> {
+    let len = mags.len();
+    debug_assert!(len <= MAX_BLOCK_LEN);
+    let c = peek_code(input)?;
+    let total = block_size(c, len);
+    if input.len() < total {
+        return Err(Error::Truncated { need: total, have: input.len() });
+    }
+    if c == 0 {
+        mags.fill(0);
+        *signs = 0;
+        return Ok(1);
+    }
+    decode_body(&input[1..], c, len, mags, signs);
+    Ok(total)
+}
+
+/// Scalar reference decoder: bit-buffered residual reads and branchy sign
+/// application, exactly the original loop. Retained as the verified baseline
+/// for differential tests and the kernel harness.
+pub fn decode_block_scalar(input: &[u8], deltas: &mut [i64]) -> Result<usize> {
+    let len = deltas.len();
+    debug_assert!(len <= MAX_BLOCK_LEN);
     let c = peek_code(input)?;
     let total = block_size(c, len);
     if input.len() < total {
@@ -157,16 +501,14 @@ pub fn decode_block(input: &[u8], deltas: &mut [i64]) -> Result<usize> {
         return Ok(1);
     }
     let mut pos = 1usize;
-    // sign bitmap
     let sb = sign_bytes(len);
     let mut signs = 0u64;
     for b in 0..sb {
         signs |= (input[pos + b] as u64) << (8 * b);
     }
     pos += sb;
-    // full byte planes
     let byte_count = (c / 8) as usize;
-    let mut mags = [0u32; crate::config::MAX_BLOCK_LEN];
+    let mut mags = [0u32; MAX_BLOCK_LEN];
     for p in 0..byte_count {
         let shift = 8 * p as u32;
         let plane = &input[pos..pos + len];
@@ -175,7 +517,6 @@ pub fn decode_block(input: &[u8], deltas: &mut [i64]) -> Result<usize> {
         }
         pos += len;
     }
-    // residual bits
     let r = (c % 8) as u32;
     if r > 0 {
         let base = 8 * byte_count as u32;
@@ -194,7 +535,6 @@ pub fn decode_block(input: &[u8], deltas: &mut [i64]) -> Result<usize> {
             nbits -= r;
         }
     }
-    // apply signs
     for (i, d) in deltas.iter_mut().enumerate() {
         let m = mags[i] as i64;
         *d = if (signs >> i) & 1 == 1 { -m } else { m };
@@ -234,6 +574,13 @@ mod tests {
         let mut out = vec![0i64; deltas.len()];
         let used = decode_block(&buf, &mut out).unwrap();
         assert_eq!(used, buf.len(), "decoder must consume exactly what encoder wrote");
+        // the scalar reference must agree byte-for-byte and value-for-value
+        let mut sbuf = Vec::new();
+        encode_deltas_scalar(deltas, &mut sbuf).unwrap();
+        assert_eq!(buf, sbuf, "fast encoder diverged from the scalar reference");
+        let mut sout = vec![0i64; deltas.len()];
+        assert_eq!(decode_block_scalar(&buf, &mut sout).unwrap(), used);
+        assert_eq!(out, sout, "fast decoder diverged from the scalar reference");
         out
     }
 
@@ -283,14 +630,16 @@ mod tests {
         let deltas = [u32::MAX as i64 + 1];
         let mut buf = Vec::new();
         assert!(matches!(encode_deltas(&deltas, &mut buf), Err(Error::DeltaOverflow)));
+        assert!(matches!(encode_deltas_scalar(&deltas, &mut buf), Err(Error::DeltaOverflow)));
         let deltas = [-(u32::MAX as i64) - 1];
         assert!(matches!(encode_deltas(&deltas, &mut buf), Err(Error::DeltaOverflow)));
+        assert!(matches!(encode_deltas_scalar(&deltas, &mut buf), Err(Error::DeltaOverflow)));
     }
 
     #[test]
     fn partial_blocks_roundtrip() {
         for len in 1..=33usize {
-            let len = len.min(crate::config::MAX_BLOCK_LEN);
+            let len = len.min(MAX_BLOCK_LEN);
             let deltas: Vec<i64> = (0..len).map(|i| (i as i64 - 5) * 1000).collect();
             assert_eq!(roundtrip(&deltas), deltas, "len {len}");
         }
@@ -320,8 +669,12 @@ mod tests {
         let mut buf = Vec::new();
         encode_deltas(&deltas, &mut buf).unwrap();
         let mut out = [0i64; 32];
+        let mut mags = [0u32; 32];
+        let mut signs = 0u64;
         for cut in 0..buf.len() {
             assert!(decode_block(&buf[..cut], &mut out).is_err(), "cut at {cut} should fail");
+            assert!(decode_block_scalar(&buf[..cut], &mut out).is_err(), "cut at {cut}");
+            assert!(decode_block_parts(&buf[..cut], &mut mags, &mut signs).is_err(), "cut {cut}");
         }
     }
 
@@ -362,5 +715,27 @@ mod tests {
         encode_deltas(&deltas, &mut a).unwrap();
         encode_deltas(&deltas, &mut b).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parts_decode_matches_delta_decode() {
+        for len in [1usize, 7, 8, 31, 32, 63, 64] {
+            let deltas: Vec<i64> =
+                (0..len).map(|i| ((i as i64 * 97) % 5000 - 2500) * (i as i64 % 3 + 1)).collect();
+            let mut buf = Vec::new();
+            encode_deltas(&deltas, &mut buf).unwrap();
+            let mut mags = vec![0u32; len];
+            let mut signs = 0u64;
+            let used = decode_block_parts(&buf, &mut mags, &mut signs).unwrap();
+            assert_eq!(used, buf.len());
+            for (i, &d) in deltas.iter().enumerate() {
+                assert_eq!(mags[i] as u64, d.unsigned_abs(), "len={len} at {i}");
+                assert_eq!((signs >> i) & 1 == 1, d < 0, "len={len} at {i}");
+            }
+            // and re-encoding the parts reproduces the exact bytes
+            let mut rebuf = Vec::new();
+            encode_block(&mags, signs, &mut rebuf);
+            assert_eq!(rebuf, buf, "len={len}");
+        }
     }
 }

@@ -6,7 +6,7 @@ use crate::codec;
 use crate::config::{Config, MAX_BLOCK_LEN};
 use crate::error::Result;
 use crate::header::Header;
-use crate::quantize::quantize;
+use crate::quantize::quantize_block;
 use crate::stream::CompressedStream;
 
 /// Compress `data` with the given configuration.
@@ -118,22 +118,28 @@ pub(crate) fn compress_chunk(
 ) -> Result<()> {
     debug_assert!(!chunk.is_empty());
     debug_assert!(block_len <= MAX_BLOCK_LEN);
-    let q0 = quantize(chunk[0], inv_2eb, base)?;
-    out.extend_from_slice(&q0.to_le_bytes());
-    let mut q_prev = q0 as i64;
+    let mut qbuf = [0i32; MAX_BLOCK_LEN];
     let mut mags = [0u32; MAX_BLOCK_LEN];
+    let mut q_prev = 0i64;
     let mut index = base;
     for block in chunk.chunks(block_len) {
+        let qb = &mut qbuf[..block.len()];
+        quantize_block(block, inv_2eb, index, qb)?;
+        if index == base {
+            // chunk outlier: the first quantization integer, stored verbatim
+            out.extend_from_slice(&qb[0].to_le_bytes());
+            q_prev = qb[0] as i64;
+        }
         let mut signs = 0u64;
-        for (k, &v) in block.iter().enumerate() {
-            let q = quantize(v, inv_2eb, index)? as i64;
-            index += 1;
+        for (k, &qi) in qb.iter().enumerate() {
+            let q = qi as i64;
             let d = q - q_prev;
             q_prev = q;
             // |d| <= 2^32 - 2 because both integers fit in i32.
             mags[k] = d.unsigned_abs() as u32;
             signs |= u64::from(d < 0) << k;
         }
+        index += block.len();
         codec::encode_block(&mags[..block.len()], signs, out);
     }
     Ok(())

@@ -61,6 +61,7 @@ pub use config::{Config, ErrorBound, DEFAULT_BLOCK_LEN};
 pub use decompress::{decompress, decompress_into, decompress_range};
 pub use error::{Error, Result};
 pub use header::Header;
+pub use quantize::{quantize_block, quantize_block_scalar};
 pub use stats::StreamStats;
 pub use stream::CompressedStream;
 pub use unfused::compress_unfused;

@@ -4,6 +4,13 @@
 //! `q = round(v / (2*eb))`, reconstructed as `v' = q * 2*eb`, which bounds the
 //! point-wise error by `eb`. All downstream stages (prediction, encoding,
 //! homomorphic reduction) operate on the integers `q` exactly.
+//!
+//! The hot-path entry point is the slice-level [`quantize_block`]: one tight
+//! pass with the finite/overflow checks hoisted out of the loop body into an
+//! accumulated flag, so the compiler can vectorize the multiply+round. Only
+//! when the flag trips does a cold rescan attribute the exact failing index —
+//! the error values and ordering are identical to the per-element path, which
+//! is retained as [`quantize_block_scalar`] (the differential-test reference).
 
 use crate::error::{Error, Result};
 
@@ -11,8 +18,20 @@ use crate::error::{Error, Result};
 ///
 /// Rejects non-finite inputs and quantization integers outside `i32` range
 /// (the stream stores 4-byte outliers and 32-bit delta magnitudes).
+#[deprecated(
+    since = "0.9.0",
+    note = "use the slice-level `quantize_block` — it hoists the error checks \
+            out of the hot loop and drops the per-call index plumbing"
+)]
 #[inline]
 pub fn quantize(v: f32, inv_2eb: f64, index: usize) -> Result<i32> {
+    quantize_one(v, inv_2eb, index)
+}
+
+/// Internal per-element quantizer shared by the deprecated [`quantize`] shim
+/// and the cold rescan path.
+#[inline]
+fn quantize_one(v: f32, inv_2eb: f64, index: usize) -> Result<i32> {
     if !v.is_finite() {
         return Err(Error::NonFiniteInput { index });
     }
@@ -23,6 +42,50 @@ pub fn quantize(v: f32, inv_2eb: f64, index: usize) -> Result<i32> {
     Ok(q as i32)
 }
 
+/// Quantize a slice in one pass, writing the integers into `out`
+/// (`out.len() == values.len()`).
+///
+/// Global element indices for error reporting start at `base` (the slice's
+/// offset within the full field). The fast pass accumulates a single validity
+/// flag instead of branching per element; on failure, a cold rescan reports
+/// exactly the error the per-element reference would have raised first.
+pub fn quantize_block(values: &[f32], inv_2eb: f64, base: usize, out: &mut [i32]) -> Result<()> {
+    debug_assert_eq!(values.len(), out.len());
+    let mut ok = true;
+    for (o, &v) in out.iter_mut().zip(values) {
+        let q = (v as f64 * inv_2eb).round();
+        // NaN fails both comparisons, infinities fail the range check after
+        // the multiply, so one accumulated flag covers every error class.
+        ok &= v.is_finite() & (q <= i32::MAX as f64) & (q >= i32::MIN as f64);
+        *o = q as i32;
+    }
+    if ok {
+        return Ok(());
+    }
+    // Cold path: rescan in element order so the reported index and error
+    // variant match the scalar reference exactly.
+    for (k, &v) in values.iter().enumerate() {
+        quantize_one(v, inv_2eb, base + k)?;
+    }
+    unreachable!("accumulated quantization error flag without an offending element")
+}
+
+/// Per-element reference implementation of [`quantize_block`]: calls the
+/// original scalar quantizer with full per-call error plumbing. Retained for
+/// differential property tests and the `hzc kernels` baseline.
+pub fn quantize_block_scalar(
+    values: &[f32],
+    inv_2eb: f64,
+    base: usize,
+    out: &mut [i32],
+) -> Result<()> {
+    debug_assert_eq!(values.len(), out.len());
+    for (k, (o, &v)) in out.iter_mut().zip(values).enumerate() {
+        *o = quantize_one(v, inv_2eb, base + k)?;
+    }
+    Ok(())
+}
+
 /// Reconstruct a value from its quantization integer.
 #[inline]
 pub fn dequantize(q: i32, two_eb: f64) -> f32 {
@@ -30,6 +93,7 @@ pub fn dequantize(q: i32, two_eb: f64) -> f32 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -73,5 +137,45 @@ mod tests {
     fn non_finite_detected() {
         assert!(quantize(f32::NAN, 1.0, 0).is_err());
         assert!(quantize(f32::NEG_INFINITY, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn block_matches_scalar_on_clean_data() {
+        let inv = 1.0 / (2.0 * 1e-3);
+        let values: Vec<f32> = (0..4096).map(|i| ((i as f32) * 0.013).sin() * 40.0).collect();
+        let mut fast = vec![0i32; values.len()];
+        let mut slow = vec![0i32; values.len()];
+        quantize_block(&values, inv, 100, &mut fast).unwrap();
+        quantize_block_scalar(&values, inv, 100, &mut slow).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn block_reports_first_error_with_global_index() {
+        let inv = 1.0 / (2.0 * 1e-3);
+        let mut values: Vec<f32> = vec![1.0; 64];
+        values[41] = f32::NAN;
+        values[50] = f32::INFINITY;
+        let mut out = vec![0i32; 64];
+        let err = quantize_block(&values, inv, 1000, &mut out).unwrap_err();
+        assert_eq!(err, Error::NonFiniteInput { index: 1041 });
+        let err_ref = quantize_block_scalar(&values, inv, 1000, &mut out).unwrap_err();
+        assert_eq!(err, err_ref);
+    }
+
+    #[test]
+    fn block_reports_overflow_like_scalar() {
+        let inv = 1.0 / (2.0 * 1e-30);
+        let values = [0.0f32, 1.0e9, f32::NAN];
+        let mut out = [0i32; 3];
+        let err = quantize_block(&values, inv, 7, &mut out).unwrap_err();
+        assert!(matches!(err, Error::QuantizationOverflow { index: 8, .. }));
+        let err_ref = quantize_block_scalar(&values, inv, 7, &mut out).unwrap_err();
+        assert_eq!(err, err_ref);
+    }
+
+    #[test]
+    fn empty_block_is_ok() {
+        quantize_block(&[], 1.0, 0, &mut []).unwrap();
     }
 }

@@ -12,7 +12,7 @@ use crate::codec;
 use crate::config::Config;
 use crate::error::Result;
 use crate::header::Header;
-use crate::quantize::quantize;
+use crate::quantize::quantize_block;
 use crate::stream::CompressedStream;
 
 /// Compress with separate quantize / predict / encode passes.
@@ -32,10 +32,9 @@ pub fn compress_unfused(data: &[f32], cfg: &Config) -> Result<CompressedStream> 
     let run_chunk = |start: usize, len: usize| -> Result<Vec<u8>> {
         let chunk = &data[start..start + len];
         // Pass 1: quantize everything into an intermediate array.
-        let mut q = vec![0i64; len];
-        for (k, &v) in chunk.iter().enumerate() {
-            q[k] = quantize(v, inv_2eb, start + k)? as i64;
-        }
+        let mut qi = vec![0i32; len];
+        quantize_block(chunk, inv_2eb, start, &mut qi)?;
+        let mut q: Vec<i64> = qi.iter().map(|&x| x as i64).collect();
         // Pass 2: delta-predict in place (reverse order keeps predecessors).
         let outlier = q[0] as i32;
         for k in (1..len).rev() {

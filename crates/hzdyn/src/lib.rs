@@ -49,6 +49,7 @@ pub mod accumulate;
 pub mod doc;
 pub mod dynamic;
 pub mod op;
+pub mod reference;
 pub mod static_pipeline;
 pub mod stats;
 

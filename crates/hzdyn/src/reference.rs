@@ -1,0 +1,172 @@
+//! Retained scalar reference for the homomorphic sum.
+//!
+//! This is the original block-at-a-time walk over the two operand streams,
+//! built on the scalar codec paths
+//! ([`codec::decode_block_scalar`]/[`codec::encode_deltas_scalar`]): no tile
+//! arenas, per-byte `Vec` pushes, bit-buffered residual handling. It is kept
+//! for two jobs:
+//!
+//! 1. **Differential testing** — the cache-blocked fast path in
+//!    [`crate::dynamic`] must produce byte-identical streams (asserted by the
+//!    workspace `kernel_equivalence` property tests).
+//! 2. **Roofline baseline** — `hzc kernels` measures the fast path's speedup
+//!    against this implementation, so the reported ratio reflects real kernel
+//!    work, not harness overhead.
+//!
+//! Parallelization over thread-chunks is identical to the fast path; only the
+//! per-block kernels differ.
+
+use fzlight::chunk::chunk_spans;
+use fzlight::codec;
+use fzlight::config::MAX_BLOCK_LEN;
+use fzlight::error::{Error, Result};
+use fzlight::header::Header;
+use fzlight::stream::CompressedStream;
+
+/// Homomorphic element-wise sum via the scalar reference kernels.
+///
+/// Byte-identical to [`crate::homomorphic_sum`]; slower by design.
+pub fn homomorphic_sum_scalar(
+    a: &CompressedStream,
+    b: &CompressedStream,
+) -> Result<CompressedStream> {
+    a.header().check_compatible(b.header())?;
+    let n = a.n();
+    let nchunks = a.nchunks();
+    let block_len = a.block_len();
+    let spans = chunk_spans(n, nchunks);
+
+    let parts: Vec<Result<Vec<u8>>> = if nchunks <= 1 {
+        spans
+            .iter()
+            .enumerate()
+            .map(|(ci, span)| {
+                hz_chunk_scalar(a.chunk_payload(ci), b.chunk_payload(ci), ci, span.len, block_len)
+            })
+            .collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = spans
+                .iter()
+                .enumerate()
+                .map(|(ci, span)| {
+                    let (pa, pb, len) = (a.chunk_payload(ci), b.chunk_payload(ci), span.len);
+                    s.spawn(move || hz_chunk_scalar(pa, pb, ci, len, block_len))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("hz scalar thread panicked")).collect()
+        })
+    };
+
+    let mut offsets = Vec::with_capacity(nchunks + 1);
+    offsets.push(0u64);
+    let mut body = Vec::new();
+    for part in parts {
+        body.extend_from_slice(&part?);
+        offsets.push(body.len() as u64);
+    }
+    let header = Header {
+        n: n as u64,
+        eb: a.eb(),
+        block_len: block_len as u32,
+        nchunks: nchunks as u32,
+        offsets,
+    };
+    Ok(CompressedStream::from_parts(header, &body))
+}
+
+/// The original per-block chunk walk: dynamic pipeline dispatch with scalar
+/// decode → add → scalar encode on pipeline ④.
+fn hz_chunk_scalar(
+    pa: &[u8],
+    pb: &[u8],
+    ci: usize,
+    chunk_len: usize,
+    block_len: usize,
+) -> Result<Vec<u8>> {
+    if pa.len() < 4 || pb.len() < 4 {
+        return Err(Error::Truncated { need: 4, have: pa.len().min(pb.len()) });
+    }
+    let oa = i32::from_le_bytes(pa[0..4].try_into().unwrap()) as i64;
+    let ob = i32::from_le_bytes(pb[0..4].try_into().unwrap()) as i64;
+    let o32 = i32::try_from(oa + ob).map_err(|_| Error::HomomorphicOverflow { chunk: ci })?;
+
+    let mut out = Vec::with_capacity(pa.len().max(pb.len()) + 16);
+    out.extend_from_slice(&o32.to_le_bytes());
+
+    let mut posa = 4usize;
+    let mut posb = 4usize;
+    let mut da = [0i64; MAX_BLOCK_LEN];
+    let mut db = [0i64; MAX_BLOCK_LEN];
+    let mut remaining = chunk_len;
+    while remaining > 0 {
+        let len = remaining.min(block_len);
+        remaining -= len;
+        let ca = codec::peek_code(&pa[posa..])?;
+        let cb = codec::peek_code(&pb[posb..])?;
+        match (ca, cb) {
+            (0, 0) => {
+                out.push(0);
+                posa += 1;
+                posb += 1;
+            }
+            (0, _) => {
+                posa += 1;
+                posb += codec::copy_block(&pb[posb..], len, &mut out)?;
+            }
+            (_, 0) => {
+                posb += 1;
+                posa += codec::copy_block(&pa[posa..], len, &mut out)?;
+            }
+            (_, _) => {
+                posa += codec::decode_block_scalar(&pa[posa..], &mut da[..len])?;
+                posb += codec::decode_block_scalar(&pb[posb..], &mut db[..len])?;
+                for k in 0..len {
+                    da[k] += db[k];
+                }
+                codec::encode_deltas_scalar(&da[..len], &mut out)
+                    .map_err(|_| Error::HomomorphicOverflow { chunk: ci })?;
+            }
+        }
+    }
+    if posa != pa.len() || posb != pb.len() {
+        return Err(Error::Corrupt("chunk payload longer than its blocks"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fzlight::{compress, Config, ErrorBound};
+
+    #[test]
+    fn scalar_reference_is_byte_identical_to_fast_path() {
+        let a: Vec<f32> = (0..20_000).map(|i| (i as f32 * 0.013).sin() * 6.0).collect();
+        let b: Vec<f32> = (0..20_000).map(|i| (i as f32 * 0.029).cos() * 3.0).collect();
+        for threads in [1usize, 3] {
+            let cfg = Config::new(ErrorBound::Abs(1e-4)).with_threads(threads);
+            let ca = compress(&a, &cfg).unwrap();
+            let cb = compress(&b, &cfg).unwrap();
+            let fast = crate::homomorphic_sum(&ca, &cb).unwrap();
+            let slow = homomorphic_sum_scalar(&ca, &cb).unwrap();
+            assert_eq!(fast.as_bytes(), slow.as_bytes(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scalar_reference_handles_mixed_pipelines() {
+        // interleave constant and varying regions to exercise ①②③④
+        let n = 32 * 128;
+        let a: Vec<f32> =
+            (0..n).map(|i| if (i / 64) % 2 == 0 { 0.0 } else { (i as f32 * 0.7).sin() }).collect();
+        let b: Vec<f32> =
+            (0..n).map(|i| if (i / 128) % 2 == 0 { 0.0 } else { (i as f32 * 0.3).cos() }).collect();
+        let cfg = Config::new(ErrorBound::Abs(1e-3));
+        let ca = compress(&a, &cfg).unwrap();
+        let cb = compress(&b, &cfg).unwrap();
+        let fast = crate::homomorphic_sum(&ca, &cb).unwrap();
+        let slow = homomorphic_sum_scalar(&ca, &cb).unwrap();
+        assert_eq!(fast.as_bytes(), slow.as_bytes());
+    }
+}

@@ -10,7 +10,7 @@
 use crate::bitshuffle;
 use crate::format::{OszpHeader, OszpStream, ZERO_BLOCK};
 use fzlight::config::{Config, MAX_BLOCK_LEN};
-use fzlight::error::{Error, Result};
+use fzlight::error::Result;
 
 /// Compress `data` with cuSZp's parallelism strategy.
 pub fn compress(data: &[f32], cfg: &Config) -> Result<OszpStream> {
@@ -175,17 +175,17 @@ unsafe fn quantize_predict_block(
     outlier_out: *mut i32,
     code_out: *mut u8,
 ) -> Result<()> {
+    let mut qbuf = [0i32; MAX_BLOCK_LEN];
+    let qb = &mut qbuf[..block.len()];
+    fzlight::quantize::quantize_block(block, inv_2eb, base, qb)?;
     let mut q_prev = 0i64;
     let mut all_zero = true;
     let mut max_mag = 0u64;
-    for (k, &v) in block.iter().enumerate() {
-        if !v.is_finite() {
-            return Err(Error::NonFiniteInput { index: base + k });
-        }
-        let q = fzlight::quantize::quantize(v, inv_2eb, base + k)? as i64;
+    for (k, &qi) in qb.iter().enumerate() {
+        let q = qi as i64;
         all_zero &= q == 0;
         if k == 0 {
-            unsafe { outlier_out.write(q as i32) };
+            unsafe { outlier_out.write(qi) };
             unsafe { deltas_out.write(0) };
         } else {
             let d = q - q_prev;

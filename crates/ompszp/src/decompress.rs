@@ -103,7 +103,7 @@ fn decode_record(
         signs |= (input[pos + b] as u64) << (8 * b);
     }
     pos += sb;
-    bitshuffle::decode_planes(&input[pos..], c, &mut mags[..len]);
+    bitshuffle::decode_planes(&input[pos..], c, &mut mags[..len])?;
     for (k, o) in dst.iter_mut().enumerate() {
         if k > 0 {
             let m = mags[k] as i64;

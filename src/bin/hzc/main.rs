@@ -12,6 +12,7 @@
 //!                                                  run a simulated collective
 //! hzc tune [--ranks L] [--sizes-kb L] [--out F]    offline autotune sweep
 //! hzc bench [--quick] [--against baseline.json]    deterministic perf suite
+//! hzc kernels [--quick] [--gate R] [--out F]       kernel roofline harness
 //! ```
 //!
 //! `.f32` files are raw little-endian floats (the SDRBench layout); `<app>`
@@ -23,6 +24,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 mod bench_cmd;
+mod kernels_cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +56,10 @@ const USAGE: &str = "usage:
           [--ops L] [--variants L] [--ranks-list L] [--sizes-kb L]
           [--segments-list L] [--no-fault]
           deterministic perf suite; nonzero exit on regression vs baseline
+  hzc kernels [--quick] [--elems N] [--trials K] [--threads T] [--gate R]
+          [--out BENCH_kernels.json] [--check BENCH_kernels.json]
+          kernel micro-benchmarks vs scalar references + STREAM roofline;
+          --gate enforces a minimum speedup, --check verifies a snapshot
   hzc tune [--ops L] [--ranks L] [--sizes-kb L] [--eb E] [--app A] [--seed S]
           [--out state.json]   (L = comma-separated list, e.g. 8,64)
   hzc chaos [--seed S] [--ranks N] [--kb K] [--eb E] [--drop P[,P..]]
@@ -75,6 +81,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "tune" => tune(rest),
         "chaos" => chaos(rest),
         "bench" => bench_cmd::bench(rest),
+        "kernels" => kernels_cmd::kernels(rest),
         other => Err(format!("unknown command '{other}'")),
     }
 }

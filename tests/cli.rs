@@ -327,3 +327,30 @@ fn tune_writes_a_cache_that_auto_then_uses() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `hzc kernels --out` / `--check` round-trip: the bit-stable snapshot it
+/// writes must verify against itself, and a doctored checksum must be
+/// rejected with exit code 2 naming the drifted kernel.
+#[test]
+fn kernels_snapshot_roundtrip_and_drift_detection() {
+    let dir = tmpdir("kernels");
+    let snap = dir.join("BENCH_kernels.json");
+
+    let out = hzc().args(["kernels", "--out", snap.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&snap).unwrap();
+    assert!(text.contains("\"schema_version\""), "{text}");
+
+    let out = hzc().args(["kernels", "--check", snap.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("match"), "checksum verdict missing");
+
+    // flip one checksum nibble: --check must exit 2 and name the kernel
+    let doctored = text.replacen("\"checksum\":\"0x", "\"checksum\":\"0f", 1);
+    assert_ne!(doctored, text);
+    std::fs::write(&snap, doctored).unwrap();
+    let out = hzc().args(["kernels", "--check", snap.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("kernel"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -116,6 +116,37 @@ fn poke_oszp(bytes: Vec<u8>) -> fzlight::Result<()> {
     ompszp::decompress(&stream).map(|_| ())
 }
 
+/// `decode_planes` used to read past the end of a short plane buffer (a
+/// panic in the block walk); it now validates up front. Every truncated
+/// prefix, across block lengths and all code lengths, must surface as a
+/// typed `Truncated` error carrying the exact byte requirement — on the
+/// bit-parallel fast path and the scalar reference alike.
+#[test]
+fn bitshuffle_truncation_fuzz_table() {
+    use ompszp::bitshuffle;
+    for len in [1usize, 7, 8, 31, 32, 64] {
+        for c in 0..=32u8 {
+            let mask = ((1u64 << c) - 1) as u32;
+            let mags: Vec<u32> =
+                (0..len).map(|i| (i as u32).wrapping_mul(0x9E37_79B9) & mask).collect();
+            let mut planes = Vec::new();
+            bitshuffle::encode_planes(&mags, c, &mut planes);
+            let need = bitshuffle::planes_size(c, len);
+            assert_eq!(planes.len(), need);
+            let mut out = vec![0u32; len];
+            for cut in 0..need {
+                let err = bitshuffle::decode_planes(&planes[..cut], c, &mut out)
+                    .expect_err("short plane buffer must be rejected");
+                assert!(
+                    matches!(err, fzlight::Error::Truncated { need: n, have } if n == need && have == cut),
+                    "len={len} c={c} cut={cut}: unexpected error {err:?}"
+                );
+                assert!(bitshuffle::decode_planes_scalar(&planes[..cut], c, &mut out).is_err());
+            }
+        }
+    }
+}
+
 /// Fuzz-style table over both codecs × {truncation, single-bit flip}: every
 /// truncation must surface as a *typed* error (`Truncated`/`Corrupt` — the
 /// variants the resilient transport reacts to with a NACK), and every

@@ -1,0 +1,253 @@
+//! Differential property tests for the bit-parallel kernel overhaul: every
+//! fast kernel (bitshuffle planes, block quantization, block codec, tiled
+//! homomorphic sum) must be **bit-identical** to its retained scalar
+//! reference across block lengths, code lengths and adversarial inputs.
+//!
+//! Lengths sweep {1, 7, 8, 63, 64, 65, 4096} — one element, a partial
+//! 8-group, an exact group, both sides of the 64-element block boundary and a
+//! multi-block slice — and code lengths sweep the full 0..=32 range so every
+//! const-generic specialization (residual widths 1..=7, byte planes, the
+//! transpose path) is exercised, not just the codes paper-like data happens
+//! to produce.
+
+use fzlight::config::MAX_BLOCK_LEN;
+use fzlight::{codec, compress, decompress, quantize, Config, ErrorBound};
+use ompszp::bitshuffle;
+
+/// Deterministic xorshift64* PRNG — the workspace's zero-dependency test
+/// generator (same idiom as `tests/properties.rs`).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Slice lengths exercised by every kernel (block-level kernels clamp to the
+/// 64-element codec maximum).
+const LENS: [usize; 7] = [1, 7, 8, 63, 64, 65, 4096];
+
+/// Magnitudes that need exactly `bits` planes: random below the top bit, and
+/// (when the slice allows) one element pinned at the maximum so the sweep
+/// covers the saturated case too.
+fn mags_for_bits(rng: &mut Rng, len: usize, bits: u8) -> Vec<u32> {
+    let mask = if bits == 0 { 0 } else { (1u64 << bits) - 1 } as u32;
+    let mut mags: Vec<u32> = (0..len).map(|_| rng.next_u64() as u32 & mask).collect();
+    if bits > 0 {
+        let at = rng.next_u64() as usize % len;
+        mags[at] = mask;
+    }
+    mags
+}
+
+/// Signed deltas whose magnitudes fit `bits`, sign-heavy (every element gets
+/// an independent random sign, so sign planes are dense).
+fn deltas_for_bits(rng: &mut Rng, len: usize, bits: u8) -> Vec<i64> {
+    mags_for_bits(rng, len, bits)
+        .into_iter()
+        .map(|m| if rng.next_u64() & 1 == 1 { -(m as i64) } else { m as i64 })
+        .collect()
+}
+
+#[test]
+fn bitshuffle_encode_matches_scalar() {
+    let mut rng = Rng::new(0xB17_5F0F);
+    for &len in &LENS {
+        for bits in 0u8..=32 {
+            let mags = mags_for_bits(&mut rng, len, bits);
+            let mut fast = Vec::new();
+            let mut slow = Vec::new();
+            bitshuffle::encode_planes(&mags, bits, &mut fast);
+            bitshuffle::encode_planes_scalar(&mags, bits, &mut slow);
+            assert_eq!(fast, slow, "len={len} c={bits}");
+            assert_eq!(fast.len(), bitshuffle::planes_size(bits, len));
+        }
+    }
+}
+
+#[test]
+fn bitshuffle_decode_matches_scalar() {
+    let mut rng = Rng::new(0xDEC0DE);
+    for &len in &LENS {
+        for bits in 0u8..=32 {
+            let mags = mags_for_bits(&mut rng, len, bits);
+            let mut planes = Vec::new();
+            bitshuffle::encode_planes(&mags, bits, &mut planes);
+            // prefill with a sentinel so overwrite/fill behavior is compared
+            // too, not just the decoded bits
+            let mut fast = vec![0xFFFF_FFFFu32; len];
+            let mut slow = vec![0xFFFF_FFFFu32; len];
+            let nf = bitshuffle::decode_planes(&planes, bits, &mut fast).unwrap();
+            let ns = bitshuffle::decode_planes_scalar(&planes, bits, &mut slow).unwrap();
+            assert_eq!(nf, ns, "len={len} c={bits}");
+            assert_eq!(fast, slow, "len={len} c={bits}");
+            assert_eq!(fast, mags, "len={len} c={bits} roundtrip");
+        }
+    }
+}
+
+#[test]
+fn codec_encode_matches_scalar() {
+    let mut rng = Rng::new(0xE2C0DE);
+    for &len in &LENS {
+        let len = len.min(MAX_BLOCK_LEN);
+        for bits in 0u8..=32 {
+            let deltas = deltas_for_bits(&mut rng, len, bits);
+            let mut fast = Vec::new();
+            let mut slow = Vec::new();
+            let cf = codec::encode_deltas(&deltas, &mut fast).unwrap();
+            let cs = codec::encode_deltas_scalar(&deltas, &mut slow).unwrap();
+            assert_eq!(cf, cs, "len={len} bits={bits}");
+            assert_eq!(fast, slow, "len={len} bits={bits}");
+        }
+    }
+}
+
+#[test]
+fn codec_decode_matches_scalar() {
+    let mut rng = Rng::new(0x5EED);
+    for &len in &LENS {
+        let len = len.min(MAX_BLOCK_LEN);
+        for bits in 0u8..=32 {
+            let deltas = deltas_for_bits(&mut rng, len, bits);
+            let mut enc = Vec::new();
+            codec::encode_deltas(&deltas, &mut enc).unwrap();
+            let mut fast = vec![i64::MIN; len];
+            let mut slow = vec![i64::MIN; len];
+            let nf = codec::decode_block(&enc, &mut fast).unwrap();
+            let ns = codec::decode_block_scalar(&enc, &mut slow).unwrap();
+            assert_eq!(nf, ns, "len={len} bits={bits}");
+            assert_eq!(fast, slow, "len={len} bits={bits}");
+            assert_eq!(fast, deltas, "len={len} bits={bits} roundtrip");
+        }
+    }
+}
+
+/// The fused decode-accumulate entry points (`decode_block_add`/`_sub`) must
+/// equal decode-then-combine on every code length.
+#[test]
+fn codec_fused_accumulate_matches_decode_then_combine() {
+    let mut rng = Rng::new(0xACC);
+    for &len in &LENS {
+        let len = len.min(MAX_BLOCK_LEN);
+        for bits in 0u8..=32 {
+            let deltas = deltas_for_bits(&mut rng, len, bits);
+            let mut enc = Vec::new();
+            codec::encode_deltas(&deltas, &mut enc).unwrap();
+            let base: Vec<i64> =
+                (0..len).map(|_| (rng.next_u64() as u32) as i64 - (1 << 31)).collect();
+            let mut tmp = vec![0i64; len];
+            let nref = codec::decode_block_scalar(&enc, &mut tmp).unwrap();
+            let want_add: Vec<i64> = base.iter().zip(&tmp).map(|(b, d)| b + d).collect();
+            let want_sub: Vec<i64> = base.iter().zip(&tmp).map(|(b, d)| b - d).collect();
+            let mut acc = base.clone();
+            assert_eq!(codec::decode_block_add(&enc, &mut acc).unwrap(), nref);
+            assert_eq!(acc, want_add, "add len={len} bits={bits}");
+            let mut acc = base.clone();
+            assert_eq!(codec::decode_block_sub(&enc, &mut acc).unwrap(), nref);
+            assert_eq!(acc, want_sub, "sub len={len} bits={bits}");
+        }
+    }
+}
+
+#[test]
+fn quantize_block_matches_scalar_on_adversarial_inputs() {
+    let mut rng = Rng::new(0x0_44A7);
+    for &len in &LENS {
+        for case in 0..6 {
+            // outlier-heavy mixes: huge magnitudes, denormals, exact zeros,
+            // and sprinkled non-finite values / overflow triggers
+            let values: Vec<f32> = (0..len)
+                .map(|_| match (rng.next_u64() % 8, case) {
+                    (_, 3) => f32::NAN,
+                    (0, 4) => f32::INFINITY,
+                    (1, 5) => 1.0e30,
+                    (0..=3, _) => ((rng.next_u64() as u32) as f32 - 2.0e9) * 1.0e-3,
+                    (4..=5, _) => (rng.next_u64() as u32) as f32 * 1.0e-38,
+                    _ => 0.0,
+                })
+                .collect();
+            for inv_2eb in [1.0 / 2e-3, 1.0 / 2e-10] {
+                let mut fast = vec![0i32; len];
+                let mut slow = vec![0i32; len];
+                let rf = quantize::quantize_block(&values, inv_2eb, 17, &mut fast);
+                let rs = quantize::quantize_block_scalar(&values, inv_2eb, 17, &mut slow);
+                assert_eq!(rf, rs, "len={len} case={case} inv={inv_2eb}");
+                if rf.is_ok() {
+                    assert_eq!(fast, slow, "len={len} case={case} inv={inv_2eb}");
+                }
+            }
+        }
+    }
+}
+
+/// Sign- and outlier-heavy field: alternating-sign large values with abrupt
+/// jumps, so blocks land on high code lengths and dense sign planes.
+fn spiky_field(rng: &mut Rng, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let m = (rng.next_u64() % 1000) as f32;
+            let spike = if rng.next_u64().is_multiple_of(16) { 1.0e3 } else { 1.0 };
+            if i.is_multiple_of(2) {
+                m * spike
+            } else {
+                -m * spike
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn homomorphic_sum_matches_scalar_reference() {
+    let mut rng = Rng::new(0x50_0050);
+    for &len in &LENS {
+        for threads in [1usize, 3] {
+            let a = spiky_field(&mut rng, len);
+            let b = spiky_field(&mut rng, len);
+            let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(threads);
+            let ca = compress(&a, &cfg).unwrap();
+            let cb = compress(&b, &cfg).unwrap();
+            let fast = hzdyn::homomorphic_sum(&ca, &cb).unwrap();
+            let slow = hzdyn::reference::homomorphic_sum_scalar(&ca, &cb).unwrap();
+            assert_eq!(fast.as_bytes(), slow.as_bytes(), "len={len} threads={threads}");
+        }
+    }
+}
+
+/// The Diff pipeline (exercising `decode_block_sub`) must produce the same
+/// bytes as the independent axpby(1, -1) implementation, and decompress to
+/// the quantized difference.
+#[test]
+fn homomorphic_diff_matches_axpby() {
+    let mut rng = Rng::new(0xD1FF);
+    for &len in &[63usize, 65, 4096] {
+        let a = spiky_field(&mut rng, len);
+        let b = spiky_field(&mut rng, len);
+        let cfg = Config::new(ErrorBound::Abs(1e-3)).with_threads(2);
+        let ca = compress(&a, &cfg).unwrap();
+        let cb = compress(&b, &cfg).unwrap();
+        let diff = hzdyn::homomorphic_op(&ca, &cb, hzdyn::ReduceOp::Diff).unwrap();
+        let axpby = hzdyn::homomorphic_axpby(&ca, 1, &cb, -1).unwrap();
+        assert_eq!(diff.as_bytes(), axpby.as_bytes(), "len={len}");
+        let want: Vec<f32> = decompress(&ca)
+            .unwrap()
+            .iter()
+            .zip(decompress(&cb).unwrap())
+            .map(|(x, y)| x - y)
+            .collect();
+        let got = decompress(&diff).unwrap();
+        for i in 0..len {
+            assert!((got[i] - want[i]).abs() <= 2.1e-3, "len={len} at {i}");
+        }
+    }
+}
