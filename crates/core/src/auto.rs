@@ -58,12 +58,25 @@ fn mode_of(plan: &Plan) -> Mode {
     }
 }
 
-/// The per-call config the plan implies: caller's error bound, plan's block
-/// length and thread mode.
+/// The per-call config the plan implies: caller's error bound and resilient
+/// transport, plan's block length and thread mode. The tuner's cost model
+/// does not price retry/backoff time, but that only skews the *choice* on
+/// lossy fabrics — silently stripping `res` would change the *transport*
+/// behind the caller's back and leave frames unprotected on the very
+/// networks resilience was requested for.
 fn cfg_for(plan: &Plan, base: &CollectiveConfig) -> CollectiveConfig {
-    // the tuner's cost model knows nothing about retry/backoff time, so
-    // Auto always plans (and runs) without the resilient transport
-    CollectiveConfig { eb: base.eb, block_len: plan.block_len, mode: mode_of(plan), res: None }
+    CollectiveConfig { eb: base.eb, block_len: plan.block_len, mode: mode_of(plan), res: base.res }
+}
+
+/// The segment count a plan actually runs at: the resilient transport only
+/// covers the phase-serial schedules, so resilience forces `segments == 1`
+/// (the same rule as `CollectiveOpts::eff_segments`).
+fn eff_segments(plan: &Plan, cfg: &CollectiveConfig) -> usize {
+    if cfg.res.is_some() {
+        1
+    } else {
+        plan.segments
+    }
 }
 
 /// Probe-compress a sample of `data` at each candidate block length and
@@ -177,14 +190,19 @@ pub fn allreduce_planned(
             return hierarchy::allreduce_hier(comm, data, plan.flavor, topo, &pcfg);
         }
     }
+    let segs = eff_segments(plan, &pcfg);
+    // recursive-doubling schedules have no resilient framing: under a
+    // resilience policy an rd plan degrades to the ring schedule of the
+    // same flavour rather than running unprotected
+    let rd_ok = pcfg.res.is_none();
     Ok(match (plan.flavor, plan.algo) {
-        (Flavor::Mpi, Algo::Ring) => {
-            mpi::allreduce_impl(comm, data, pcfg.mode.threads(), plan.segments, None)
+        (Flavor::Mpi, Algo::Rd) if rd_ok => rd::allreduce_rd(comm, data, pcfg.mode.threads()),
+        (Flavor::Mpi, _) => {
+            mpi::allreduce_impl(comm, data, pcfg.mode.threads(), segs, pcfg.res.as_ref())
         }
-        (Flavor::Mpi, Algo::Rd) => rd::allreduce_rd(comm, data, pcfg.mode.threads()),
-        (Flavor::CColl, _) => ccoll::allreduce_impl(comm, data, &pcfg, plan.segments)?,
-        (Flavor::Hzccl, Algo::Ring) => hz::allreduce_impl(comm, data, &pcfg, plan.segments)?,
-        (Flavor::Hzccl, Algo::Rd) => rd::allreduce_rd_hz(comm, data, &pcfg)?,
+        (Flavor::CColl, _) => ccoll::allreduce_impl(comm, data, &pcfg, segs)?,
+        (Flavor::Hzccl, Algo::Rd) if rd_ok => rd::allreduce_rd_hz(comm, data, &pcfg)?,
+        (Flavor::Hzccl, _) => hz::allreduce_impl(comm, data, &pcfg, segs)?,
     })
 }
 
@@ -196,12 +214,13 @@ pub fn reduce_scatter_planned(
     plan: &Plan,
 ) -> Result<Vec<f32>> {
     let pcfg = cfg_for(plan, cfg);
+    let segs = eff_segments(plan, &pcfg);
     Ok(match plan.flavor {
         Flavor::Mpi => {
-            mpi::reduce_scatter_impl(comm, data, pcfg.mode.threads(), plan.segments, None)
+            mpi::reduce_scatter_impl(comm, data, pcfg.mode.threads(), segs, pcfg.res.as_ref())
         }
-        Flavor::CColl => ccoll::reduce_scatter_impl(comm, data, &pcfg, plan.segments)?,
-        Flavor::Hzccl => hz::reduce_scatter_impl(comm, data, &pcfg, plan.segments)?,
+        Flavor::CColl => ccoll::reduce_scatter_impl(comm, data, &pcfg, segs)?,
+        Flavor::Hzccl => hz::reduce_scatter_impl(comm, data, &pcfg, segs)?,
     })
 }
 
@@ -214,10 +233,13 @@ pub fn reduce_planned(
     plan: &Plan,
 ) -> Result<Option<Vec<f32>>> {
     let pcfg = cfg_for(plan, cfg);
+    let segs = eff_segments(plan, &pcfg);
     Ok(match plan.flavor {
-        Flavor::Mpi => mpi::reduce_impl(comm, data, root, pcfg.mode.threads(), plan.segments, None),
-        Flavor::CColl => ccoll::reduce_impl(comm, data, root, &pcfg, plan.segments)?,
-        Flavor::Hzccl => hz::reduce_impl(comm, data, root, &pcfg, plan.segments)?,
+        Flavor::Mpi => {
+            mpi::reduce_impl(comm, data, root, pcfg.mode.threads(), segs, pcfg.res.as_ref())
+        }
+        Flavor::CColl => ccoll::reduce_impl(comm, data, root, &pcfg, segs)?,
+        Flavor::Hzccl => hz::reduce_impl(comm, data, root, &pcfg, segs)?,
     })
 }
 
@@ -231,10 +253,11 @@ pub fn bcast_planned(
     plan: &Plan,
 ) -> Result<Vec<f32>> {
     let pcfg = cfg_for(plan, cfg);
+    let segs = eff_segments(plan, &pcfg);
     Ok(match plan.flavor {
-        Flavor::Mpi => mpi::bcast_impl(comm, data, root, total_len, plan.segments, None),
-        Flavor::CColl => ccoll::bcast_impl(comm, data, root, total_len, &pcfg, plan.segments)?,
-        Flavor::Hzccl => hz::bcast_impl(comm, data, root, total_len, &pcfg, plan.segments)?,
+        Flavor::Mpi => mpi::bcast_impl(comm, data, root, total_len, segs, pcfg.res.as_ref()),
+        Flavor::CColl => ccoll::bcast_impl(comm, data, root, total_len, &pcfg, segs)?,
+        Flavor::Hzccl => hz::bcast_impl(comm, data, root, total_len, &pcfg, segs)?,
     })
 }
 
@@ -560,6 +583,42 @@ mod tests {
         }
         // decider's detail only on the cold call of rank 0
         assert!(outcomes[0].value.0.detail.is_some());
+    }
+
+    #[test]
+    fn resilience_composes_with_auto_instead_of_being_stripped() {
+        // regression: Auto used to silently strip the resilience policy, so
+        // a resilient call was bit- and time-identical to a plain one. Now
+        // the agreed plan runs over the resilient transport — same values
+        // on a clean fabric, but the framing (CRC frames + ACK round trips)
+        // visibly reaches the wire.
+        let nranks = 4;
+        let n = 1 << 12;
+        let eb = 1e-3;
+        let eng = engine();
+        let run = |res: Option<crate::resilient::Resilience>| {
+            let mut cfg = CollectiveConfig::new(eb, Mode::SingleThread);
+            if let Some(r) = res {
+                cfg = cfg.with_resilience(r);
+            }
+            let cluster = SimBuilder::new(nranks).timing(modeled());
+            let report = cluster
+                .run(|comm| {
+                    let data = field(comm.rank(), n);
+                    allreduce(comm, &data, &cfg, &eng, None).expect("auto allreduce").value
+                })
+                .expect_clean();
+            (report.stats.makespan, report.outcomes[0].value.clone())
+        };
+        let (t_plain, v_plain) = run(None);
+        let (t_res, v_res) = run(Some(crate::resilient::Resilience::default()));
+        assert!(
+            t_res > t_plain,
+            "resilient framing must reach the wire under Auto: {t_res} vs {t_plain}"
+        );
+        for (a, b) in v_res.iter().zip(&v_plain) {
+            assert!((a - b).abs() as f64 <= 2.0 * nranks as f64 * eb, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -47,8 +47,9 @@
 use crate::auto;
 use crate::config::{CollectiveConfig, Mode, Variant};
 use crate::resilient::Resilience;
+use crate::survivable::{self, SvFlavor};
 use crate::{ccoll, hierarchy, hz, mpi};
-use netsim::{Comm, Topology};
+use netsim::{Comm, OpKind, Topology};
 use std::fmt;
 use tuner::Engine;
 
@@ -79,6 +80,21 @@ pub enum Error {
         /// Ranks in the communicator.
         nranks: usize,
     },
+    /// The recovery layer ran out of membership epochs: more repairs than
+    /// the 8-bit epoch tag field can number.
+    TooManyEpochs {
+        /// The epoch cap that was exhausted ([`crate::pipeline::MAX_EPOCH`]).
+        epochs: u32,
+    },
+    /// The requested [`RecoveryPolicy`] cannot run under these options —
+    /// the combination is refused with a typed error instead of being
+    /// silently downgraded.
+    RecoveryUnsupported {
+        /// The flavour that cannot recover.
+        variant: Variant,
+        /// Why the combination is refused.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -95,6 +111,12 @@ impl fmt::Display for Error {
             }
             Error::TopologyMismatch { topology, nranks } => {
                 write!(f, "topology describes {topology} ranks but the communicator has {nranks}")
+            }
+            Error::TooManyEpochs { epochs } => {
+                write!(f, "recovery exhausted all {epochs} membership epochs")
+            }
+            Error::RecoveryUnsupported { variant, reason } => {
+                write!(f, "{variant:?} cannot run this recovery policy: {reason}")
             }
         }
     }
@@ -118,6 +140,39 @@ impl From<fzlight::Error> for Error {
 /// Result alias of this module.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// What a collective does when a rank dies mid-flight (ULFM-style
+/// semantics, selected per call via [`CollectiveOpts::with_recovery`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Today's behaviour: a peer crash panics the observing rank (the
+    /// simulator reports a [`netsim::RankFate::Panicked`] cascade). The
+    /// only policy the plain verbs accept.
+    #[default]
+    FailFast,
+    /// Survivors agree on the dead, splice them out of the ring under a
+    /// new epoch, and deliver the **sum over survivors**: exact for `mpi`,
+    /// error-bounded for the compressed flavours.
+    Shrink,
+    /// [`RecoveryPolicy::Shrink`], then rescale by `n0 / survivors` — the
+    /// survivor *mean* times the launch size, the right estimator when
+    /// every rank contributes a same-scale shard (gradient averaging).
+    ShrinkRescale,
+}
+
+/// What a recoverable collective delivered: the value plus exactly whose
+/// contributions are in it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialResult {
+    /// The reduced vector (see [`RecoveryPolicy`] for its semantics).
+    pub value: Vec<f32>,
+    /// Sorted launch ranks whose inputs the value aggregates. The full
+    /// communicator on a fault-free run.
+    pub contributors: Vec<usize>,
+    /// The membership epoch that committed: 0 when nothing died, +1 per
+    /// mid-flight repair.
+    pub epoch: u32,
+}
+
 /// Options of one collective call: flavour, compression parameters, thread
 /// mode, pipeline segment count, and (for rooted verbs) the root rank.
 ///
@@ -135,6 +190,7 @@ pub struct CollectiveOpts {
     engine: Option<Engine>,
     resilience: Option<Resilience>,
     topology: Option<Topology>,
+    recovery: RecoveryPolicy,
 }
 
 impl CollectiveOpts {
@@ -149,6 +205,7 @@ impl CollectiveOpts {
             engine,
             resilience: None,
             topology: None,
+            recovery: RecoveryPolicy::FailFast,
         }
     }
 
@@ -227,10 +284,23 @@ impl CollectiveOpts {
     /// ([`crate::resilient`]): checksummed frames, NACK/retransmit, and
     /// graceful degradation to raw f32 after `max_retries`. Forces the
     /// phase-serial schedule (the segmented pipelined ring is not made
-    /// resilient), and is stripped by [`Variant::Auto`] (the tuner's cost
-    /// model knows nothing about retry time).
+    /// resilient). Composes with every flavour, [`Variant::Auto`]
+    /// included — the tuner picks the plan and the chosen flavour runs it
+    /// over the resilient transport.
     pub fn with_resilience(mut self, res: Resilience) -> CollectiveOpts {
         self.resilience = Some(res);
+        self
+    }
+
+    /// What to do when a rank dies mid-collective (default
+    /// [`RecoveryPolicy::FailFast`]). The shrinking policies are only
+    /// honoured by the recoverable verbs ([`allreduce_recoverable`],
+    /// [`reduce_scatter_recoverable`]) — the plain verbs return
+    /// [`Error::RecoveryUnsupported`] rather than silently discarding the
+    /// request, because their `Vec<f32>` shape cannot say *whose* data the
+    /// sum contains.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> CollectiveOpts {
+        self.recovery = recovery;
         self
     }
 
@@ -243,7 +313,7 @@ impl CollectiveOpts {
     /// their flat schedules. `topology.nranks()` must equal the
     /// communicator size at call time or the verb returns
     /// [`Error::TopologyMismatch`]. Pair with
-    /// [`netsim::Cluster::with_topology`] so the simulated fabric matches
+    /// [`netsim::SimBuilder::topology`] so the simulated fabric matches
     /// the schedule's assumptions.
     pub fn with_topology(mut self, topology: Topology) -> CollectiveOpts {
         self.topology = Some(topology);
@@ -283,6 +353,11 @@ impl CollectiveOpts {
     /// The resilient-transport policy, when one is attached.
     pub fn resilience(&self) -> Option<&Resilience> {
         self.resilience.as_ref()
+    }
+
+    /// The crash-recovery policy of this call.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
     }
 
     /// The attached fabric shape, when one is attached.
@@ -343,10 +418,24 @@ fn check_root(comm: &Comm, root: usize) -> Result<()> {
     Ok(())
 }
 
+/// The plain verbs cannot express partial results, so they refuse the
+/// shrinking policies instead of silently discarding them.
+fn check_fail_fast(opts: &CollectiveOpts) -> Result<()> {
+    if opts.recovery != RecoveryPolicy::FailFast {
+        return Err(Error::RecoveryUnsupported {
+            variant: opts.variant,
+            reason: "plain verbs return a bare Vec<f32> and cannot say whose data survived; \
+                     call allreduce_recoverable / reduce_scatter_recoverable instead",
+        });
+    }
+    Ok(())
+}
+
 /// `Allreduce(sum)`: every rank contributes `data`, every rank receives the
 /// (error-bounded, for compressed flavours) element-wise sum.
 pub fn allreduce(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec<f32>> {
     check_elems(comm, data.len())?;
+    check_fail_fast(opts)?;
     let cfg = opts.cfg();
     let topo = opts.hier_topology(comm)?;
     if let Some(topo) = topo {
@@ -381,6 +470,7 @@ pub fn allreduce(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result
 /// (chunk layout [`crate::chunks::node_chunks`]).
 pub fn reduce_scatter(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec<f32>> {
     check_elems(comm, data.len())?;
+    check_fail_fast(opts)?;
     opts.hier_topology(comm)?; // only Allreduce has a hierarchical schedule
     let cfg = opts.cfg();
     Ok(match opts.variant {
@@ -402,6 +492,7 @@ pub fn reduce_scatter(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> R
 /// split between flavours).
 pub fn reduce(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec<f32>> {
     check_elems(comm, data.len())?;
+    check_fail_fast(opts)?;
     check_root(comm, opts.root)?;
     opts.hier_topology(comm)?; // only Allreduce has a hierarchical schedule
     let cfg = opts.cfg();
@@ -426,6 +517,7 @@ pub fn reduce(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Ve
 /// contents are ignored) and receives the root's vector back.
 pub fn bcast(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec<f32>> {
     check_elems(comm, data.len())?;
+    check_fail_fast(opts)?;
     check_root(comm, opts.root)?;
     opts.hier_topology(comm)?; // only Allreduce has a hierarchical schedule
     let total_len = data.len();
@@ -450,6 +542,94 @@ pub fn bcast(comm: &mut Comm, data: &[f32], opts: &CollectiveOpts) -> Result<Vec
             auto::bcast(comm, payload, opts.root, total_len, &cfg, opts.engine_ref())?.value
         }
     })
+}
+
+/// Map the options' flavour onto the survivable ring's wire formats.
+/// [`Variant::Auto`] is refused: the tuner plans against a fixed
+/// membership, and a plan agreed at launch is meaningless after a repair.
+fn sv_flavor(opts: &CollectiveOpts) -> Result<SvFlavor> {
+    match opts.variant {
+        Variant::Mpi => Ok(SvFlavor::Mpi),
+        Variant::CColl => Ok(SvFlavor::Ccoll),
+        Variant::Hzccl => Ok(SvFlavor::Hz),
+        Variant::Auto => Err(Error::RecoveryUnsupported {
+            variant: Variant::Auto,
+            reason: "the tuner cannot plan across unknown future memberships; \
+                     pick a static flavour for the shrinking policies",
+        }),
+    }
+}
+
+fn run_recoverable(
+    comm: &mut Comm,
+    data: &[f32],
+    opts: &CollectiveOpts,
+    ag: bool,
+) -> Result<PartialResult> {
+    check_elems(comm, data.len())?;
+    if opts.recovery == RecoveryPolicy::FailFast {
+        // fail-fast recoverable calls are the plain verbs with the full
+        // communicator stamped on — bit-identical schedules and traffic
+        let value =
+            if ag { allreduce(comm, data, opts)? } else { reduce_scatter(comm, data, opts)? };
+        return Ok(PartialResult { value, contributors: (0..comm.size()).collect(), epoch: 0 });
+    }
+    let flavor = sv_flavor(opts)?;
+    if opts.hier_topology(comm)?.is_some() {
+        return Err(Error::RecoveryUnsupported {
+            variant: opts.variant,
+            reason: "the hierarchical two-tier schedule is not survivable; detach the topology",
+        });
+    }
+    let cfg = opts.cfg();
+    let out = survivable::run_survivable(comm, data, flavor, &cfg, ag)?;
+    let mut value = out.value;
+    if opts.recovery == RecoveryPolicy::ShrinkRescale {
+        let scale = comm.size() as f32 / out.members.len() as f32;
+        let bytes = value.len() * 4;
+        comm.compute_labeled(OpKind::Cpt, bytes, "rec:rescale", || {
+            for v in value.iter_mut() {
+                *v *= scale;
+            }
+        });
+    }
+    Ok(PartialResult { value, contributors: out.members, epoch: out.epoch })
+}
+
+/// `Allreduce(sum)` with crash recovery: like [`allreduce`], but a rank
+/// dying mid-flight is handled per `opts.recovery()` instead of cascading
+/// panics, and the result says exactly whose data it aggregates.
+///
+/// Under [`RecoveryPolicy::Shrink`] / [`RecoveryPolicy::ShrinkRescale`]
+/// the survivors run the epoch-numbered self-healing ring
+/// (`crate::survivable`): an attempt that observes a death tears down
+/// in-band, all survivors agree on the new membership, and the collective
+/// re-runs over the shrunk ring — fault-free runs commit at epoch 0 with
+/// schedules and traffic identical to the plain verb. Requires a static
+/// flavour ([`Variant::Auto`] and attached topologies return
+/// [`Error::RecoveryUnsupported`]).
+pub fn allreduce_recoverable(
+    comm: &mut Comm,
+    data: &[f32],
+    opts: &CollectiveOpts,
+) -> Result<PartialResult> {
+    run_recoverable(comm, data, opts, true)
+}
+
+/// `Reduce_scatter(sum)` with crash recovery (see [`allreduce_recoverable`]).
+///
+/// The delivered value is this rank's contiguous owned region **under the
+/// committed membership**: at epoch 0 exactly the
+/// [`crate::chunks::node_chunks`] chunk, after a repair the survivor's
+/// whole segment group (dead ranks' segments are redistributed, so regions
+/// grow — consult [`PartialResult::contributors`] and the epoch to map
+/// regions back to elements).
+pub fn reduce_scatter_recoverable(
+    comm: &mut Comm,
+    data: &[f32],
+    opts: &CollectiveOpts,
+) -> Result<PartialResult> {
+    run_recoverable(comm, data, opts, false)
 }
 
 #[cfg(test)]

@@ -53,16 +53,19 @@ pub mod error_bounds;
 pub mod hierarchy;
 pub mod hz;
 pub mod kernels;
+pub mod membership;
 pub mod mpi;
 pub mod p2p;
 pub mod pipeline;
 pub mod rd;
 pub mod resilient;
 pub(crate) mod ring;
+pub(crate) mod survivable;
 
-pub use collectives::CollectiveOpts;
+pub use collectives::{CollectiveOpts, PartialResult, RecoveryPolicy};
 pub use config::{calibrate_doc, calibrate_hz, paper_model, CollectiveConfig, Mode, Variant};
 pub use kernels::Kernel;
+pub use membership::View;
 pub use pipeline::{decode_tag, TagInfo};
 pub use resilient::{PayloadKind, Resilience};
 

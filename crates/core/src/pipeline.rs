@@ -31,6 +31,25 @@ pub(crate) fn seg_tag(base: u64, step: usize, seg: usize) -> u64 {
     base + (step as u64) * SEG_TAG_STRIDE + seg as u64
 }
 
+/// Bit position of the 8-bit membership-epoch field inside a wire tag:
+/// bits 40–47, above every phase base (bits 32–35) and below the resilient
+/// control bit (63). Epoch 0 leaves the tag bit-identical to the historical
+/// layout, so fault-free and fail-fast runs are untouched.
+pub(crate) const EPOCH_SHIFT: u32 = 40;
+
+/// Maximum membership epoch a tag can carry (and thus the recovery layer
+/// can reach): the epoch advances only when ranks die, so 255 repairs is
+/// far beyond any simulated crash plan.
+pub const MAX_EPOCH: u32 = 0xFF;
+
+/// [`seg_tag`] salted with the membership epoch of the survivable
+/// collective layer, so messages of a revoked attempt can never match a
+/// repaired epoch's receives.
+pub(crate) fn epoch_tag(base: u64, step: usize, seg: usize, epoch: u32) -> u64 {
+    debug_assert!(epoch <= MAX_EPOCH, "epoch overflows its 8-bit tag field");
+    seg_tag(base, step, seg) | (u64::from(epoch) << EPOCH_SHIFT)
+}
+
 /// Decoded coordinates of a collective wire tag (the inverse of
 /// [`seg_tag`] plus the phase base and the resilient transport's
 /// control-channel bit). Powers the per-phase/step/segment views of
@@ -49,6 +68,9 @@ pub struct TagInfo {
     /// True for the resilient transport's ACK/NACK control channel
     /// (bit 63 set on the data tag).
     pub ctrl: bool,
+    /// Membership epoch salted into bits 40–47 by the survivable
+    /// collective layer (0 for fault-free / fail-fast traffic).
+    pub epoch: u32,
 }
 
 /// Decode a wire tag into its `(phase, step, segment)` coordinates.
@@ -57,6 +79,8 @@ pub struct TagInfo {
 pub fn decode_tag(tag: u64) -> Option<TagInfo> {
     let ctrl = tag & (1 << 63) != 0;
     let tag = tag & !(1u64 << 63);
+    let epoch = ((tag >> EPOCH_SHIFT) & u64::from(MAX_EPOCH)) as u32;
+    let tag = tag & !(u64::from(MAX_EPOCH) << EPOCH_SHIFT);
     let phase = match tag >> 32 {
         1 => "rs",
         2 => "ag",
@@ -68,6 +92,7 @@ pub fn decode_tag(tag: u64) -> Option<TagInfo> {
         8 => "h-rs",
         9 => "h-ring",
         10 => "h-ag",
+        11 => "agree",
         _ => return None,
     };
     let rem = tag & 0xFFFF_FFFF;
@@ -76,6 +101,7 @@ pub fn decode_tag(tag: u64) -> Option<TagInfo> {
         step: (rem / SEG_TAG_STRIDE) as usize,
         seg: (rem % SEG_TAG_STRIDE) as usize,
         ctrl,
+        epoch,
     })
 }
 
@@ -177,7 +203,7 @@ mod tests {
 
     #[test]
     fn decode_round_trips_every_phase_base_including_hierarchical() {
-        let bases: [(u64, &str); 10] = [
+        let bases: [(u64, &str); 11] = [
             (1, "rs"),
             (2, "ag"),
             (3, "gather"),
@@ -188,6 +214,7 @@ mod tests {
             (8, "h-rs"),
             (9, "h-ring"),
             (10, "h-ag"),
+            (11, "agree"),
         ];
         let mut seen = std::collections::BTreeSet::new();
         for (base, phase) in bases {
@@ -196,13 +223,32 @@ mod tests {
                     let tag = seg_tag(base << 32, step, seg);
                     assert!(seen.insert(tag), "tag collision across phase bases");
                     let info = decode_tag(tag).expect("collective tags decode");
-                    assert_eq!(info, TagInfo { phase, step, seg, ctrl: false });
+                    assert_eq!(info, TagInfo { phase, step, seg, ctrl: false, epoch: 0 });
                     // the resilient ctrl bit round-trips orthogonally
                     let ctrl = decode_tag(tag | 1 << 63).unwrap();
-                    assert_eq!(ctrl, TagInfo { phase, step, seg, ctrl: true });
+                    assert_eq!(ctrl, TagInfo { phase, step, seg, ctrl: true, epoch: 0 });
                 }
             }
         }
-        assert_eq!(decode_tag(11 << 32), None, "bases above the hierarchy are unassigned");
+        assert_eq!(decode_tag(12 << 32), None, "bases above the agreement plane are unassigned");
+    }
+
+    #[test]
+    fn epoch_salt_round_trips_and_keeps_epoch_zero_identical() {
+        // epoch 0 leaves the historical tag layout untouched
+        assert_eq!(epoch_tag(1 << 32, 3, 5, 0), seg_tag(1 << 32, 3, 5));
+        let mut seen = std::collections::BTreeSet::new();
+        for epoch in [0u32, 1, 7, MAX_EPOCH] {
+            for step in [0usize, 2, 63] {
+                let tag = epoch_tag(11 << 32, step, 0, epoch);
+                assert!(seen.insert(tag), "epochs must not collide");
+                let info = decode_tag(tag).expect("epoch-salted tags decode");
+                assert_eq!(info, TagInfo { phase: "agree", step, seg: 0, ctrl: false, epoch });
+                // the resilient ctrl bit composes with the epoch field
+                let ctrl = decode_tag(tag | 1 << 63).unwrap();
+                assert_eq!(ctrl.epoch, epoch);
+                assert!(ctrl.ctrl);
+            }
+        }
     }
 }

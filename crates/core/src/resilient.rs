@@ -67,11 +67,28 @@ pub struct Resilience {
     pub backoff_base_s: f64,
     /// Backoff ceiling (virtual seconds).
     pub backoff_max_s: f64,
+    /// Fractional jitter applied to every backoff wait: each retry's wait
+    /// is scaled by a deterministic factor in
+    /// `[1 - jitter/2, 1 + jitter/2)` hashed from
+    /// `(jitter_seed, tag, retry)`, decorrelating the synchronized retry
+    /// storms a lossy fabric otherwise produces. `0.0` (the default)
+    /// reproduces the historical constant schedule bit-for-bit.
+    pub backoff_jitter: f64,
+    /// Seed of the jitter hash; runs with equal seeds replay identical
+    /// backoff sequences.
+    pub jitter_seed: u64,
 }
 
 impl Default for Resilience {
     fn default() -> Self {
-        Resilience { max_retries: 4, timeout_s: 50e-6, backoff_base_s: 5e-6, backoff_max_s: 80e-6 }
+        Resilience {
+            max_retries: 4,
+            timeout_s: 50e-6,
+            backoff_base_s: 5e-6,
+            backoff_max_s: 80e-6,
+            backoff_jitter: 0.0,
+            jitter_seed: 0,
+        }
     }
 }
 
@@ -91,6 +108,8 @@ impl Resilience {
             timeout_s: d.timeout_s * scale,
             backoff_base_s: d.backoff_base_s * scale,
             backoff_max_s: d.backoff_max_s * scale,
+            backoff_jitter: d.backoff_jitter,
+            jitter_seed: d.jitter_seed,
         }
     }
     /// Override the retransmission budget.
@@ -112,10 +131,45 @@ impl Resilience {
         self
     }
 
+    /// Enable seeded backoff jitter: `frac` is the total spread (clamped to
+    /// `[0, 1]`, so the wait stays within ±50% of the deterministic
+    /// schedule), `seed` makes it reproducible. `frac = 0.0` restores the
+    /// exact constant backoffs.
+    pub fn with_backoff_jitter(mut self, frac: f64, seed: u64) -> Self {
+        self.backoff_jitter = frac.clamp(0.0, 1.0);
+        self.jitter_seed = seed;
+        self
+    }
+
     fn backoff(&self, retry: u32) -> f64 {
         let exp = retry.saturating_sub(1).min(30);
         (self.backoff_base_s * f64::from(1u32 << exp)).min(self.backoff_max_s)
     }
+
+    /// [`Self::backoff`] scaled by the seeded jitter factor for this
+    /// `(tag, retry)`: a pure hash, so every replay of the same seed waits
+    /// the same virtual time, yet distinct tags (and thus distinct
+    /// contending transfers) desynchronize. Returns [`Self::backoff`]
+    /// exactly when jitter is off — the transport tests pin that equality.
+    fn backoff_jittered(&self, retry: u32, salt: u64) -> f64 {
+        let base = self.backoff(retry);
+        if self.backoff_jitter <= 0.0 {
+            return base;
+        }
+        let h = splitmix64(splitmix64(splitmix64(self.jitter_seed) ^ salt) ^ u64::from(retry));
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // uniform in [0, 1)
+        base * (1.0 + self.backoff_jitter * (unit - 0.5))
+    }
+}
+
+/// SplitMix64 finalizer — the same mixer `netsim::faults` uses for its
+/// per-message drop decisions, kept local so the transport owns its own
+/// determinism story.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// What a data frame's payload contains, so a receiver knows how to
@@ -358,7 +412,7 @@ fn engine(
                 let frame = encode_frame(data_kind_byte(o.kind), attempts, tag, &o.payload);
                 comm.send_reliable(o.to, tag, frame, 0);
             } else {
-                let backoff = res.backoff(attempts);
+                let backoff = res.backoff_jittered(attempts, tag);
                 attempts += 1;
                 if backoff > 0.0 {
                     comm.advance_labeled(OpKind::Other, backoff, "res:backoff");
@@ -437,6 +491,189 @@ pub(crate) fn recv_resilient(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Survivable (checked) transport — the data plane of `crate::survivable`
+// ---------------------------------------------------------------------------
+
+/// First payload byte of a survivable message: ordinary schedule data.
+pub(crate) const SV_DATA: u8 = 0;
+/// First payload byte of a survivable message: in-band abort — the sender
+/// is tearing down this attempt and will meet the receiver at the
+/// agreement barrier instead of sending the scheduled data.
+pub(crate) const SV_ABORT: u8 = 1;
+
+/// Why a survivable exchange stopped before delivering its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Interrupt {
+    /// A crash notice for this rank arrived on the awaited channel.
+    Dead(usize),
+    /// The predecessor sent [`SV_ABORT`] instead of data.
+    Aborted,
+}
+
+/// Send the one-byte in-band abort to `to` on `tag` — the tag of the data
+/// the receiver will next await from this rank, so the abort is consumed at
+/// a deterministic point of its schedule. Travels the reliable channel
+/// (aborts must not be droppable) and is never ACKed; under resilience it
+/// is unambiguous because every ARQ frame is at least [`HEADER_LEN`] bytes.
+pub(crate) fn sv_abort(comm: &mut Comm, to: usize, tag: u64) {
+    comm.send_reliable(to, tag, vec![SV_ABORT], 0);
+}
+
+///// Survivable ring exchange: send `payload` to `to` and receive the
+/// counterpart from `from` on the same `tag`, tolerating peer death and
+/// in-band aborts.
+///
+/// Unlike the fail-fast wrappers above, both halves run to completion even
+/// when the other half fails — a rank that has observed a death keeps
+/// serving its live peer (ACKing its data, or retransmitting until ACKed)
+/// before returning, so no survivor is ever left waiting on a rank that
+/// silently walked away. Only then is the interrupt reported, and the
+/// caller escalates it into the abort ripple (`crate::survivable`).
+///
+/// Retry exhaustion under recovery resends the *same* bytes on the
+/// reliable channel instead of degrading to raw f32: survivable group
+/// payloads are multi-segment containers whose wire format the group codec
+/// must see unchanged.
+pub(crate) fn sv_exchange(
+    comm: &mut Comm,
+    res: Option<&Resilience>,
+    to: usize,
+    from: usize,
+    tag: u64,
+    payload: &[u8],
+    logical_bytes: usize,
+) -> Result<Vec<u8>, Interrupt> {
+    match res {
+        None => {
+            let mut framed = Vec::with_capacity(1 + payload.len());
+            framed.push(SV_DATA);
+            framed.extend_from_slice(payload);
+            comm.send_compressed(to, tag, framed, logical_bytes);
+            let got = comm.recv_checked(from, tag).map_err(|c| Interrupt::Dead(c.rank))?;
+            assert!(
+                !got.dropped,
+                "survivable exchanges need the resilient transport on lossy fabrics"
+            );
+            match got.payload.first() {
+                Some(&SV_ABORT) => Err(Interrupt::Aborted),
+                Some(&SV_DATA) => Ok(got.payload[1..].to_vec()),
+                _ => unreachable!("survivable payloads always carry a kind prefix"),
+            }
+        }
+        Some(res) => engine_checked(comm, res, tag, to, from, payload, logical_bytes),
+    }
+}
+
+/// The checked stop-and-wait engine behind [`sv_exchange`] with resilience
+/// on. Mirrors [`engine`] frame-for-frame on the happy path (same timeout
+/// charge, same NACK/backoff/retransmit schedule), with three changes:
+/// every blocking receive goes through [`Comm::recv_checked`] so a peer's
+/// crash surfaces as [`Interrupt::Dead`] instead of a panic; a sub-header
+/// message on the data tag is the in-band [`SV_ABORT`] (returned without
+/// ACKing — the aborting sender is no longer listening); and exhaustion
+/// resends the original bytes reliably rather than degrading to raw f32.
+fn engine_checked(
+    comm: &mut Comm,
+    res: &Resilience,
+    tag: u64,
+    to: usize,
+    from: usize,
+    payload: &[u8],
+    logical_bytes: usize,
+) -> Result<Vec<u8>, Interrupt> {
+    let ctrl = ctrl_tag(tag);
+    let mut sv_payload = Vec::with_capacity(1 + payload.len());
+    sv_payload.push(SV_DATA);
+    sv_payload.extend_from_slice(payload);
+    let mut attempts: u32 = 1;
+    let frame = encode_frame(KIND_DATA_OPAQUE, attempts, tag, &sv_payload);
+    comm.send_compressed(to, tag, frame, logical_bytes);
+    let mut incoming: Option<Result<Vec<u8>, Interrupt>> = None;
+    let mut out_dead: Option<Interrupt> = None;
+    let mut out_done = false;
+    while !(incoming.is_some() && out_done) {
+        if incoming.is_none() {
+            match comm.recv_checked(from, tag) {
+                Err(crash) => incoming = Some(Err(Interrupt::Dead(crash.rank))),
+                Ok(got) if !got.dropped && got.payload.len() < HEADER_LEN => {
+                    debug_assert_eq!(got.payload, [SV_ABORT]);
+                    incoming = Some(Err(Interrupt::Aborted));
+                }
+                Ok(got) => {
+                    let frame = if got.dropped {
+                        comm.advance_labeled(OpKind::Other, res.timeout_s, "res:timeout-wait");
+                        comm.mark("res:timeout");
+                        None
+                    } else {
+                        decode_frame(&got.payload).ok()
+                    };
+                    match frame {
+                        Some(f) => {
+                            comm.send_reliable(
+                                from,
+                                ctrl,
+                                encode_frame(KIND_ACK, f.seq, ctrl, &[]),
+                                0,
+                            );
+                            debug_assert_eq!(f.payload.first(), Some(&SV_DATA));
+                            incoming = Some(Ok(f.payload[1..].to_vec()));
+                        }
+                        None => comm.send_reliable(
+                            from,
+                            ctrl,
+                            encode_frame(KIND_NACK, attempts, ctrl, &[]),
+                            0,
+                        ),
+                    }
+                }
+            }
+        }
+        if !out_done {
+            match comm.recv_checked(to, ctrl) {
+                Err(crash) => {
+                    out_dead = Some(Interrupt::Dead(crash.rank));
+                    out_done = true;
+                }
+                Ok(got) => {
+                    assert!(!got.dropped, "control frames travel the reliable channel");
+                    let frame = decode_frame(&got.payload)
+                        .expect("control frame corrupted on reliable channel");
+                    if frame.kind == KIND_ACK {
+                        out_done = true;
+                        continue;
+                    }
+                    if attempts > res.max_retries {
+                        // out of retries to a live peer: the reliable channel
+                        // carries the same bytes — no format change for the
+                        // group codec to cope with
+                        comm.mark("rec:reliable-resend");
+                        attempts += 1;
+                        let frame = encode_frame(KIND_DATA_OPAQUE, attempts, tag, &sv_payload);
+                        comm.send_reliable(to, tag, frame, 0);
+                    } else {
+                        let backoff = res.backoff_jittered(attempts, tag);
+                        attempts += 1;
+                        if backoff > 0.0 {
+                            comm.advance_labeled(OpKind::Other, backoff, "res:backoff");
+                        }
+                        comm.mark("res:retransmit");
+                        let frame = encode_frame(KIND_DATA_OPAQUE, attempts, tag, &sv_payload);
+                        comm.send_compressed(to, tag, frame, 0);
+                    }
+                }
+            }
+        }
+    }
+    match incoming.expect("incoming half resolved") {
+        Err(i) => Err(i),
+        Ok(bytes) => match out_dead {
+            Some(i) => Err(i),
+            None => Ok(bytes),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +739,42 @@ mod tests {
     #[test]
     fn for_net_on_the_paper_fabric_is_exactly_the_default() {
         assert_eq!(Resilience::for_net(&NetConfig::default()), Resilience::default());
+    }
+
+    #[test]
+    fn jitter_off_reproduces_the_constant_backoff_schedule() {
+        // the default (and an explicit zero) must be bit-identical to the
+        // historical constants — fault-free traces depend on it
+        for res in [Resilience::default(), Resilience::default().with_backoff_jitter(0.0, 1234)] {
+            for retry in 1..12 {
+                for salt in [0u64, 7, u64::MAX] {
+                    assert_eq!(res.backoff_jittered(retry, salt), res.backoff(retry));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_seeded_bounded_and_deterministic() {
+        let res = Resilience::default().with_backoff_jitter(0.5, 42);
+        let twin = Resilience::default().with_backoff_jitter(0.5, 42);
+        let other_seed = Resilience::default().with_backoff_jitter(0.5, 43);
+        let mut moved = 0;
+        for retry in 1..10 {
+            for salt in [3u64, 1 << 32, 99] {
+                let b = res.backoff(retry);
+                let j = res.backoff_jittered(retry, salt);
+                assert!(j >= b * 0.75 && j < b * 1.25, "jitter stays within the ±25% band");
+                assert_eq!(j, twin.backoff_jittered(retry, salt), "same seed replays exactly");
+                if j != b {
+                    moved += 1;
+                }
+                if j != other_seed.backoff_jittered(retry, salt) {
+                    moved += 1;
+                }
+            }
+        }
+        assert!(moved > 10, "jitter must actually perturb and depend on the seed");
     }
 
     #[test]

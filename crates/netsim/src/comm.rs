@@ -7,7 +7,7 @@ use crate::engine::events::EventEndpoint;
 use crate::faults::{FaultKind, FaultPlan};
 use crate::topology::{LinkTier, Topology};
 use crate::trace::{Event, RankTrace, TraceConfig};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 use std::time::Instant;
 
@@ -50,11 +50,20 @@ pub(crate) enum Endpoint {
 }
 
 impl Endpoint {
-    /// Post `msg` to rank `to`.
-    fn deliver(&self, to: usize, msg: Message) {
+    /// Post `msg` to rank `to`. With `lenient` (survivable mode) a send to a
+    /// rank that already finished — most importantly, one that crashed — is
+    /// silently discarded instead of panicking: the self-healing layer keeps
+    /// addressing dead peers until membership agreement removes them.
+    fn deliver(&self, to: usize, msg: Message, lenient: bool) {
         match self {
-            Endpoint::Threads { txs, .. } => txs[to].send(msg).expect("receiver rank hung up"),
-            Endpoint::Events(ep) => ep.deliver(to, msg),
+            Endpoint::Threads { txs, .. } => {
+                if lenient {
+                    let _ = txs[to].send(msg);
+                } else {
+                    txs[to].send(msg).expect("receiver rank hung up")
+                }
+            }
+            Endpoint::Events(ep) => ep.deliver_checked(to, msg, lenient),
         }
     }
 
@@ -99,6 +108,24 @@ impl Endpoint {
         }
     }
 }
+
+/// Error of [`Comm::recv_checked`]: the peer the caller was blocked on has
+/// crashed, so the awaited message can never arrive. Only observable in
+/// survivable mode ([`Comm::set_survivable`]); the default mode keeps the
+/// historical behaviour of panicking on any observed crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerCrashed {
+    /// The rank that crashed (always the `from` the caller was waiting on).
+    pub rank: usize,
+}
+
+impl std::fmt::Display for PeerCrashed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer rank {} crashed", self.rank)
+    }
+}
+
+impl std::error::Error for PeerCrashed {}
 
 /// What [`Comm::recv_msg`] saw: the payload plus whether the fault plan
 /// dropped the message in transit (in which case `payload` is what was
@@ -168,6 +195,16 @@ pub struct Comm {
     pub(crate) sends_total: u64,
     /// Straggler multiplier applied to compute durations (1.0 = healthy).
     pub(crate) compute_scale: f64,
+    /// Survivable mode: crash notices are recorded into [`Comm::dead`] and
+    /// surfaced through [`Comm::recv_checked`] instead of panicking, and
+    /// sends to finished/crashed peers are silently discarded. Off by
+    /// default — every legacy code path is byte-identical.
+    pub(crate) survivable: bool,
+    /// Ranks this rank has *observed* to be dead (crash notices consumed
+    /// while in survivable mode). A subset of the truly-dead set; grows
+    /// monotonically and only at deterministic points of the rank's own
+    /// receive sequence.
+    pub(crate) dead: BTreeSet<usize>,
 }
 
 impl Comm {
@@ -200,6 +237,8 @@ impl Comm {
             send_seq: vec![0; size],
             sends_total: 0,
             compute_scale,
+            survivable: false,
+            dead: BTreeSet::new(),
         }
     }
 
@@ -238,6 +277,33 @@ impl Comm {
     /// [`crate::SimBuilder::topology`].
     pub fn topology(&self) -> Option<&Topology> {
         self.topology.as_ref()
+    }
+
+    /// Switch survivable mode on or off. While on, observed peer crashes are
+    /// recorded (see [`Comm::recv_checked`], [`Comm::known_dead`]) instead of
+    /// panicking, and sends to finished peers are discarded instead of
+    /// asserting — the substrate the self-healing collective layer builds
+    /// on. The default (`false`) keeps every code path byte-identical to the
+    /// historical fail-fast behaviour.
+    pub fn set_survivable(&mut self, on: bool) {
+        self.survivable = on;
+    }
+
+    /// Whether survivable mode is active.
+    pub fn survivable(&self) -> bool {
+        self.survivable
+    }
+
+    /// Whether this rank has observed `rank`'s crash (survivable mode only;
+    /// a subset of the truly-dead ranks — a crash is observed only when its
+    /// notice is consumed by this rank's own receive sequence).
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.dead.contains(&rank)
+    }
+
+    /// The ranks this rank has observed to be dead, ascending.
+    pub fn known_dead(&self) -> Vec<usize> {
+        self.dead.iter().copied().collect()
     }
 
     /// Reset the virtual clock, breakdown and recorded events (e.g. after a
@@ -298,9 +364,18 @@ impl Comm {
         reliable: bool,
     ) {
         assert!(to != self.rank, "self-send in a collective is a bug");
-        if let Some(step) = self.faults.as_ref().and_then(|p| p.crash_step(self.rank)) {
-            if self.sends_total == step {
-                self.crash(step);
+        // Crash injection models *data-plane* deaths: a rank dies at its
+        // configured data send step (`>=` so a step consumed by control
+        // traffic still fires at the next data send). Link-level-protected
+        // control traffic (`send_reliable`) never triggers the crash — the
+        // membership/agreement protocol relies on control rounds being
+        // crash-free (DESIGN.md §5.5); any rank already past its crash step
+        // never reaches another data send anyway.
+        if !reliable {
+            if let Some(step) = self.faults.as_ref().and_then(|p| p.crash_step(self.rank)) {
+                if self.sends_total >= step {
+                    self.crash(step);
+                }
             }
         }
         self.sends_total += 1;
@@ -364,7 +439,7 @@ impl Comm {
             }
         }
         let msg = Message { from: self.rank, tag, payload, arrival, status };
-        self.endpoint.deliver(to, msg);
+        self.endpoint.deliver(to, msg, self.survivable);
     }
 
     /// One-shot fault-plan crash. The panic unwinds into the cluster's
@@ -439,6 +514,59 @@ impl Comm {
         let wire_bytes = msg.payload.len();
         self.record(|| Event::Recv { t, from, tag, wire_bytes, wait_secs: wait });
         RecvMsg { payload: msg.payload, dropped: msg.status == MsgStatus::Dropped }
+    }
+
+    /// [`Comm::recv_msg`] for survivable mode: a crash of the awaited peer
+    /// surfaces as `Err(PeerCrashed)` instead of a panic, so the caller can
+    /// repair and continue.
+    ///
+    /// Determinism contract (the engine-equivalence property relies on it):
+    /// the result depends only on this rank's program order and on `from`'s
+    /// program order, never on cross-sender arrival interleaving. While
+    /// blocked on `(from, tag)`, a crash notice from a *different* rank `c`
+    /// is recorded into the dead set and waiting continues — it is acted on
+    /// only at deterministic points (a later `recv_checked(c, ..)` or a
+    /// membership round). A crash notice *from* `from` yields `Err`; since
+    /// both engines deliver each sender's messages in send order, everything
+    /// `from` sent before dying is matched first, on both engines.
+    ///
+    /// Only meaningful in survivable mode; outside it the notice-tolerant
+    /// branch is unreachable (notices panic in `recv_msg`-style paths first)
+    /// but the method still behaves like a fallible `recv_msg`.
+    pub fn recv_checked(&mut self, from: usize, tag: u64) -> Result<RecvMsg, PeerCrashed> {
+        let key = (from, tag);
+        let msg = loop {
+            if let Some(m) = self.pending.get_mut(&key).and_then(|q| q.pop_front()) {
+                break m;
+            }
+            // No earlier message from `from` can still be in flight once its
+            // notice has been consumed (per-sender FIFO), so checking the
+            // pending map first and the dead set second is exact.
+            if self.dead.contains(&from) {
+                return Err(PeerCrashed { rank: from });
+            }
+            let m = self.endpoint.recv_next();
+            if m.status == MsgStatus::CrashNotice {
+                self.dead.insert(m.from);
+                if m.from == from {
+                    return Err(PeerCrashed { rank: from });
+                }
+                continue;
+            }
+            if m.from == from && m.tag == tag {
+                break m;
+            }
+            self.pending.entry((m.from, m.tag)).or_default().push_back(m);
+        };
+        let t = self.clock;
+        let wait = (msg.arrival - self.clock).max(0.0);
+        if wait > 0.0 {
+            self.breakdown.mpi += wait;
+            self.clock = msg.arrival;
+        }
+        let wire_bytes = msg.payload.len();
+        self.record(|| Event::Recv { t, from, tag, wire_bytes, wait_secs: wait });
+        Ok(RecvMsg { payload: msg.payload, dropped: msg.status == MsgStatus::Dropped })
     }
 
     /// Non-blocking probe (`MPI_Iprobe`): would a [`Comm::recv`] of
@@ -551,5 +679,19 @@ impl Comm {
     pub fn mark(&mut self, label: &'static str) {
         let t = self.clock;
         self.record(|| Event::Compute { t, kind: OpKind::Other, bytes: 0, secs: 0.0, label });
+    }
+
+    /// [`Comm::mark`] carrying a number in the event's `bytes` field (e.g.
+    /// `"rec:epoch"` with the committed epoch), so the metrics registry can
+    /// surface values — not just occurrence counts — from trace labels.
+    pub fn mark_value(&mut self, label: &'static str, value: u64) {
+        let t = self.clock;
+        self.record(|| Event::Compute {
+            t,
+            kind: OpKind::Other,
+            bytes: value as usize,
+            secs: 0.0,
+            label,
+        });
     }
 }

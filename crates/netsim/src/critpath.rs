@@ -122,6 +122,9 @@ pub struct PathBuckets {
     pub jitter: f64,
     /// Resilient-transport charges (`res:*`-labelled timeouts/backoffs).
     pub resilience: f64,
+    /// Crash-recovery charges (`rec:*`-labelled abort/agreement/repair work
+    /// of the survivable collective layer).
+    pub recovery: f64,
     /// Waits that could not be attributed to a matched send (crashed or
     /// truncated traces only; ~0 on healthy runs).
     pub blocked_wait: f64,
@@ -139,11 +142,12 @@ impl PathBuckets {
             + self.wire
             + self.jitter
             + self.resilience
+            + self.recovery
             + self.blocked_wait
     }
 
     /// `(name, seconds)` pairs in stable rendering order.
-    pub fn entries(&self) -> [(&'static str, f64); 10] {
+    pub fn entries(&self) -> [(&'static str, f64); 11] {
         [
             ("cpr", self.cpr),
             ("dpr", self.dpr),
@@ -154,6 +158,7 @@ impl PathBuckets {
             ("wire", self.wire),
             ("jitter", self.jitter),
             ("resilience", self.resilience),
+            ("recovery", self.recovery),
             ("blocked_wait", self.blocked_wait),
         ]
     }
@@ -481,6 +486,8 @@ impl CriticalPath {
                 SpanKind::Compute { rank, kind, label } => {
                     if label.starts_with("res:") {
                         buckets.resilience += secs;
+                    } else if label.starts_with("rec:") {
+                        buckets.recovery += secs;
                     } else {
                         match kind {
                             OpKind::Cpr => buckets.cpr += secs,

@@ -94,10 +94,20 @@ impl EventEndpoint {
     /// non-deterministically (only when the receiver's thread happens to
     /// have exited first).
     pub(crate) fn deliver(&self, to: usize, msg: Message) {
-        assert!(
-            self.shared.status[to].get() != Status::Done,
-            "receiver rank hung up: rank {to} already finished"
-        );
+        self.deliver_checked(to, msg, false);
+    }
+
+    /// [`EventEndpoint::deliver`] with an explicit leniency flag: in
+    /// survivable mode a send to a finished (usually crashed) rank is
+    /// silently discarded — the thread engine's `let _ = tx.send(..)` to a
+    /// dropped receiver — instead of asserting. The dead rank never reads
+    /// its inbox again, so dropping and enqueueing are observationally
+    /// identical; dropping just mirrors the thread engine exactly.
+    pub(crate) fn deliver_checked(&self, to: usize, msg: Message, lenient: bool) {
+        if self.shared.status[to].get() == Status::Done {
+            assert!(lenient, "receiver rank hung up: rank {to} already finished");
+            return;
+        }
         self.shared.inboxes.borrow_mut()[to].push_back(msg);
         if self.shared.status[to].get() == Status::Blocked {
             self.shared.status[to].set(Status::Ready);

@@ -133,11 +133,15 @@ impl FaultPlan {
         self
     }
 
-    /// Crash `rank` when it posts its `send_step`-th message (0-based,
-    /// counted over every send the rank performs). One-shot: the rank
+    /// Crash `rank` at its first *data-plane* send at or after `send_step`
+    /// (0-based, counted over every send the rank performs; control traffic
+    /// via [`crate::Comm::send_reliable`] advances the count but never
+    /// triggers the crash — see DESIGN.md §5.5). One-shot: the rank
     /// broadcasts a crash notice to all peers and panics; peers blocked on
-    /// it panic in turn, so the whole run terminates cleanly and
-    /// [`crate::RunReport::panics`] reports who died and why.
+    /// it panic in turn — unless they run in survivable mode and repair —
+    /// so the whole run terminates cleanly and
+    /// [`crate::RunReport::panics`] reports who died and why. Call
+    /// repeatedly to crash several ranks.
     pub fn with_crash(mut self, rank: usize, send_step: u64) -> FaultPlan {
         self.crashes.retain(|(r, _)| *r != rank);
         self.crashes.push((rank, send_step));

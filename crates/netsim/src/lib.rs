@@ -46,7 +46,6 @@
 //! ```
 
 pub mod breakdown;
-pub mod cluster;
 pub mod comm;
 pub mod config;
 pub mod critpath;
@@ -59,9 +58,7 @@ pub mod topology;
 pub mod trace;
 
 pub use breakdown::Breakdown;
-#[allow(deprecated)]
-pub use cluster::Cluster;
-pub use comm::{Comm, RecvMsg};
+pub use comm::{Comm, PeerCrashed, RecvMsg};
 pub use config::{ComputeTiming, NetConfig, OpKind, ThroughputModel};
 pub use critpath::{CriticalPath, PathBuckets, PathElement, SpanKind, TagTime, TierTime};
 pub use faults::{FaultKind, FaultPlan, LinkFault};

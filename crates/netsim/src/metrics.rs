@@ -221,13 +221,17 @@ impl Registry {
                     Event::Recv { wait_secs, .. } => {
                         self.observe("hz_recv_wait_seconds", wait_secs);
                     }
-                    Event::Compute { kind, secs, label, .. } => {
-                        // zero-duration resilience markers become dedicated
-                        // counters; everything else is a per-label timing
+                    Event::Compute { kind, secs, label, bytes, .. } => {
+                        // zero-duration resilience/recovery markers become
+                        // dedicated counters and gauges; everything else is a
+                        // per-label timing
                         match label {
                             "res:retransmit" => self.inc("hz_retransmits_total", 1),
                             "res:timeout" => self.inc("hz_timeouts_total", 1),
                             "res:degraded-segment" => self.inc("hz_degraded_segments_total", 1),
+                            "rec:recovery" => self.inc("hz_recoveries_total", 1),
+                            "rec:epoch" => self.set_max("hz_epochs", bytes as f64),
+                            "rec:survivors" => self.set_max("hz_survivors", bytes as f64),
                             _ => {
                                 let label = if label.is_empty() { kind.name() } else { label };
                                 self.add(&format!("hz_step_seconds{{label=\"{label}\"}}"), secs);

@@ -4,9 +4,9 @@
 //! produces — per-rank outcomes, aggregate stats, flight-recorder traces
 //! and rank panics.
 //!
-//! This replaces the `Cluster::{run, try_run, run_stats}` trio and the
-//! accumulating `with_*` chain (see [`crate::cluster`] for the deprecated
-//! wrappers and DESIGN.md for the migration table).
+//! This replaced the historic `Cluster::{run, try_run, run_stats}` trio
+//! and its accumulating `with_*` chain; the deprecated wrappers are gone
+//! (DESIGN.md §10.3 keeps the migration table).
 
 use crate::breakdown::Breakdown;
 use crate::comm::Comm;
@@ -139,8 +139,7 @@ impl<R> RunReport<R> {
     }
 
     /// Assert the run was clean, propagating the first rank panic otherwise
-    /// (the old `Cluster::run` contract, chainable:
-    /// `sim.run(f).expect_clean().outcomes`).
+    /// (chainable: `sim.run(f).expect_clean().outcomes`).
     #[track_caller]
     pub fn expect_clean(self) -> Self {
         if let Some(p) = self.panics.first() {
@@ -185,7 +184,7 @@ impl<R> RunReport<R> {
     }
 
     /// Per-rank fates in rank order: `Ok` for survivors, `Err` for
-    /// casualties (the old `Cluster::try_run` view).
+    /// casualties.
     pub fn fates(&self) -> Vec<Result<&RankOutcome<R>, &RankPanic>> {
         let n = self.outcomes.len() + self.panics.len();
         let mut out = Vec::with_capacity(n);

@@ -63,8 +63,11 @@ const USAGE: &str = "usage:
   hzc tune [--ops L] [--ranks L] [--sizes-kb L] [--eb E] [--app A] [--seed S]
           [--out state.json]   (L = comma-separated list, e.g. 8,64)
   hzc chaos [--seed S] [--ranks N] [--kb K] [--eb E] [--drop P[,P..]]
-          [--corrupt P] [--jitter SECS] [--app A]
-          soak the resilient collectives under injected faults";
+          [--corrupt P] [--jitter SECS] [--app A] [--crash-rate P[,P..]]
+          soak the resilient collectives under injected faults;
+          --crash-rate switches to the crash-recovery gate: seeded rank
+          crashes under the Shrink policy, survivor sums checked bit-exact
+          (mpi) or error-bounded (ccoll/hz), nonzero exit on divergence";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -759,6 +762,10 @@ fn chaos(args: &[String]) -> Result<(), String> {
     let corrupt: f64 = flag(args, "--corrupt")?.unwrap_or(0.01);
     let jitter: f64 = flag(args, "--jitter")?.unwrap_or(0.0);
     let app = parse_app(flag::<String>(args, "--app")?.as_deref().unwrap_or("sim2"))?;
+    let crash_rates = match flag::<String>(args, "--crash-rate")? {
+        Some(s) => parse_f64_list(&s, "--crash-rate")?,
+        None => Vec::new(),
+    };
 
     let elems = ((kb << 10) / 4).max(ranks);
     let base = app.generate(elems, seed);
@@ -768,6 +775,13 @@ fn chaos(args: &[String]) -> Result<(), String> {
             base.iter().map(|&v| v * k).collect()
         })
         .collect();
+
+    if !crash_rates.is_empty() {
+        // crash recovery is a different fault class (whole ranks die, the
+        // membership shrinks) with its own oracle, so it replaces the
+        // message-level drop/corrupt soak for this invocation
+        return chaos_crash(seed, ranks, eb, &fields, &crash_rates);
+    }
 
     let variants = [("mpi", Variant::Mpi), ("ccoll", Variant::CColl), ("hz", Variant::Hzccl)];
     let ops = ["allreduce", "reduce_scatter"];
@@ -867,6 +881,228 @@ fn chaos(args: &[String]) -> Result<(), String> {
     } else {
         Err(format!("chaos soak failed:\n  {}", failures.join("\n  ")))
     }
+}
+
+/// `hzc chaos --crash-rate`: the crash-recovery gate. For every rate the
+/// sweep derives a deterministic victim set (1–3 ranks, always leaving a
+/// survivor), runs a Shrink-policy recoverable allreduce per flavour under
+/// the seeded crash plan, and gates on survivor-sum correctness: `mpi`
+/// must reproduce the survivable ring's reduction order bit-for-bit, the
+/// compressed flavours must agree bitwise across survivors and stay within
+/// `(2m+2)·eb` of the exact f64 survivor sum. Recovery observability
+/// (`hz_recoveries_total`, `hz_epochs`, `hz_survivors`) is read back from
+/// the flight recorder; any divergence exits nonzero. Hangs are the CI
+/// wrapper's job (`timeout` around the invocation).
+fn chaos_crash(
+    seed: u64,
+    ranks: usize,
+    eb: f64,
+    fields: &[Vec<f32>],
+    rates: &[f64],
+) -> Result<(), String> {
+    use hzccl::collectives::{allreduce_recoverable, RecoveryPolicy};
+    use hzccl::{CollectiveOpts, Mode, Variant};
+    use netsim::{ComputeTiming, FaultPlan, Registry, SimBuilder, TraceConfig};
+
+    if ranks < 2 {
+        return Err("--crash-rate needs at least 2 ranks (someone must survive)".into());
+    }
+    let n = fields[0].len();
+    let variants = [("mpi", Variant::Mpi), ("ccoll", Variant::CColl), ("hz", Variant::Hzccl)];
+    // the seeded deaths are the point of the exercise: keep their panic
+    // reports off stderr so the table stays readable, and delegate anything
+    // unexpected to the stock hook (the process exits right after the sweep,
+    // so the hook is not restored)
+    let stock_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !(msg.contains("crashed by fault plan") || msg.contains("observed crash of rank")) {
+            stock_hook(info);
+        }
+    }));
+    println!("crash-recovery gate: ranks={ranks} elems={n} eb={eb:e} seed={seed} policy=shrink");
+    println!(
+        "{:<6} {:<8} {:<14} {:>6} {:>11} {:>10} {:>11}",
+        "rate", "variant", "crashed", "epoch", "recoveries", "survivors", "max_err"
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    for (ri, &rate) in rates.iter().enumerate() {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--crash-rate entries must lie in [0, 1], got {rate}"));
+        }
+        // deterministic victim set: rate scales the crash count, capped at
+        // three deaths and never the whole communicator
+        let want = ((rate * ranks as f64).ceil() as usize).clamp(1, 3.min(ranks - 1));
+        let mut dead: Vec<usize> = Vec::new();
+        let mut ctr = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ri as u64 + 1);
+        while dead.len() < want {
+            ctr = ctr.wrapping_add(1);
+            let r = (splitmix(ctr) % ranks as u64) as usize;
+            if !dead.contains(&r) {
+                dead.push(r);
+            }
+        }
+        dead.sort_unstable();
+        let mut plan = FaultPlan::new(seed);
+        // a rank makes 2(ranks-1) data-plane sends per attempt; keep the
+        // seeded step below that so every victim dies in the first attempt
+        // even on tiny communicators
+        let max_step = (2 * (ranks as u64 - 1) - 1).clamp(1, 6);
+        for (i, &r) in dead.iter().enumerate() {
+            plan = plan.with_crash(r, 1 + splitmix(ctr ^ (i as u64 + 0x51)) % max_step);
+        }
+        let survivors: Vec<usize> = (0..ranks).filter(|r| !dead.contains(r)).collect();
+        let m = survivors.len();
+        let oracle = crash_survivor_sum(fields, &survivors);
+        let exact = crash_mpi_expected(fields, &survivors);
+        for (vname, variant) in variants {
+            let mode = Mode::SingleThread;
+            let timing = ComputeTiming::Modeled(hzccl::paper_model(variant, mode));
+            let opts = CollectiveOpts::for_variant(variant, eb)
+                .with_mode(mode)
+                .with_recovery(RecoveryPolicy::Shrink);
+            let report = SimBuilder::new(ranks)
+                .timing(timing)
+                .trace(TraceConfig::default())
+                .faults(plan.clone())
+                .run(|comm| {
+                    let data = &fields[comm.rank()];
+                    allreduce_recoverable(comm, data, &opts).expect("recoverable allreduce")
+                });
+            let mut errs: Vec<String> = Vec::new();
+            for &r in &dead {
+                match report.panic_of(r) {
+                    Some(p) if p.message.contains("crashed by fault plan") => {}
+                    Some(p) => {
+                        errs.push(format!("rank {r} died for the wrong reason: {}", p.message))
+                    }
+                    None => errs.push(format!("seeded victim {r} never crashed")),
+                }
+            }
+            let first = report.value(survivors[0]);
+            let mut max_err = 0f64;
+            for &r in &survivors {
+                let got = report.value(r);
+                if got.contributors != survivors {
+                    errs.push(format!(
+                        "rank {r}: contributors {:?} != survivors",
+                        got.contributors
+                    ));
+                }
+                if got.epoch < 1 || got.epoch as usize > dead.len() {
+                    errs.push(format!("rank {r}: epoch {} outside 1..={}", got.epoch, dead.len()));
+                }
+                if got.epoch != first.epoch {
+                    errs.push(format!(
+                        "rank {r}: epoch {} disagrees with {}",
+                        got.epoch, first.epoch
+                    ));
+                }
+                if vname == "mpi" {
+                    if got.value != exact {
+                        errs.push(format!("rank {r}: mpi survivor sum not bit-exact"));
+                    }
+                } else if got.value != first.value {
+                    errs.push(format!("rank {r}: compressed survivors disagree bitwise"));
+                }
+                // mpi is gated against the replicated reduction order (bit
+                // exact); the compressed flavours against the f64 oracle
+                if vname == "mpi" {
+                    for (a, b) in got.value.iter().zip(&exact) {
+                        max_err = max_err.max((f64::from(*a) - f64::from(*b)).abs());
+                    }
+                } else {
+                    for (a, b) in got.value.iter().zip(&oracle) {
+                        max_err = max_err.max((f64::from(*a) - b).abs());
+                    }
+                }
+            }
+            let tol =
+                if vname == "mpi" { 0.0 } else { hzccl::error_bounds::shrink_allreduce(m, eb) };
+            if max_err > tol {
+                errs.push(format!("max_err {max_err:e} exceeds tol {tol:e}"));
+            }
+            let mut registry = Registry::new();
+            registry.record_report(&report);
+            let recoveries = registry.counter("hz_recoveries_total").unwrap_or(0);
+            let epoch_gauge = registry.gauge("hz_epochs").unwrap_or(0.0);
+            let surv_gauge = registry.gauge("hz_survivors").unwrap_or(0.0);
+            if recoveries == 0 {
+                errs.push("no recovery counted despite seeded crashes".into());
+            }
+            if surv_gauge != m as f64 {
+                errs.push(format!("hz_survivors gauge {surv_gauge} != {m}"));
+            }
+            println!(
+                "{:<6} {:<8} {:<14} {:>6} {:>11} {:>10} {:>11.3e}{}",
+                rate,
+                vname,
+                format!("{dead:?}"),
+                epoch_gauge,
+                recoveries,
+                surv_gauge,
+                max_err,
+                if errs.is_empty() { "" } else { "  DIVERGED" }
+            );
+            failures.extend(errs.into_iter().map(|e| format!("{vname} rate={rate}: {e}")));
+        }
+    }
+    if failures.is_empty() {
+        println!("crash-recovery gate passed");
+        Ok(())
+    } else {
+        Err(format!("crash-recovery gate failed:\n  {}", failures.join("\n  ")))
+    }
+}
+
+/// splitmix64 finalizer: the deterministic victim picker of the crash gate.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exact f64 survivor sum — the accuracy oracle for the compressed flavours.
+fn crash_survivor_sum(fields: &[Vec<f32>], survivors: &[usize]) -> Vec<f64> {
+    let mut acc = vec![0f64; fields[0].len()];
+    for &r in survivors {
+        for (a, &b) in acc.iter_mut().zip(&fields[r]) {
+            *a += f64::from(b);
+        }
+    }
+    acc
+}
+
+/// Replicate the survivable mpi ring's reduction order: the accumulator of
+/// segment group `g` originates at virtual rank `(g+1) % m` and folds one
+/// member per hop until the owner adds its own share last. f32 addition is
+/// bitwise commutative, so this left fold is the bit-exact expectation.
+fn crash_mpi_expected(fields: &[Vec<f32>], survivors: &[usize]) -> Vec<f32> {
+    let n0 = fields.len();
+    let n = fields[0].len();
+    let m = survivors.len();
+    let ranges = hzccl::chunks::node_chunks(n, n0);
+    let groups = hzccl::chunks::node_chunks(n0, m);
+    let mut out = vec![0f32; n];
+    for (g, segs) in groups.iter().enumerate() {
+        for seg in segs.clone() {
+            for i in ranges[seg].clone() {
+                let mut acc = fields[survivors[(g + 1) % m]][i];
+                for k in 2..=m {
+                    acc += fields[survivors[(g + k) % m]][i];
+                }
+                out[i] = acc;
+            }
+        }
+    }
+    out
 }
 
 /// Comma-separated f64 list, e.g. `0.01,0.05`.

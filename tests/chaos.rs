@@ -227,3 +227,32 @@ fn injected_crash_propagates_with_named_payloads() {
         }
     }
 }
+
+/// The chaos determinism contract extends to recovery: two runs of a
+/// Shrink-policy recoverable collective under the same seeded crash plan
+/// replay bit-identically — same survivor values, same committed epoch,
+/// and bit-identical virtual-time traces (abort ripple, agreement gossip
+/// and the repaired attempt included).
+#[test]
+fn same_seed_crash_recovery_replays_bit_identically() {
+    use hzccl::collectives::{allreduce_recoverable, RecoveryPolicy};
+    let n = 4096;
+    let nranks = 8;
+    let plan = FaultPlan::new(29).with_crash(3, 2).with_crash(6, 4);
+    let run = || {
+        SimBuilder::new(nranks)
+            .timing(modeled())
+            .trace(TraceConfig::default())
+            .faults(plan.clone())
+            .run(|comm| {
+                let data = field(comm.rank(), n);
+                let opts = opts_for(Variant::Hzccl, 1e-4).with_recovery(RecoveryPolicy::Shrink);
+                allreduce_recoverable(comm, &data, &opts).expect("recoverable allreduce")
+            })
+    };
+    let (a, b) = (run(), run());
+    for r in (0..nranks).filter(|&r| r != 3 && r != 6) {
+        assert_eq!(a.value(r), b.value(r), "rank {r}: recovery diverged across replays");
+    }
+    assert_eq!(a.traces, b.traces, "recovery traces differ across replays");
+}
